@@ -1,0 +1,86 @@
+//! Calibration self-check: print the model constants next to the paper
+//! measurements they were solved from, computed live from the code (so a
+//! drifting constant shows up here before it corrupts the figures).
+
+use hta_cluster::ClusterConfig;
+use hta_des::SimRng;
+use hta_workqueue::FairShareLink;
+
+fn row(name: &str, measured: f64, paper: f64) {
+    println!(
+        "{:<44} {:>10.2} {:>10.2} {:>7.3}",
+        name,
+        measured,
+        paper,
+        measured / paper
+    );
+}
+
+fn main() {
+    println!("=== Calibration self-check (measured vs paper) ===\n");
+    println!(
+        "{:<44} {:>10} {:>10} {:>7}",
+        "constant", "model", "paper", "ratio"
+    );
+
+    // Fig. 6: end-to-end initialization latency of a cold pod.
+    let cfg = ClusterConfig::default();
+    row(
+        "init latency, 500 MB image (s)  [Fig. 6]",
+        cfg.expected_init_latency(500.0).as_secs_f64(),
+        157.4,
+    );
+    // σ of the reservation component.
+    row(
+        "init latency σ (s)              [Fig. 6]",
+        cfg.node_provision_sd.as_secs_f64(),
+        4.2,
+    );
+
+    // Fig. 4: uplink aggregates at the two concurrency levels the paper
+    // measured.
+    let link = FairShareLink::paper_calibrated();
+    row(
+        "uplink aggregate @ 15 flows (MB/s) [Fig. 4a]",
+        link.aggregate_mbps(15),
+        278.382,
+    );
+    row(
+        "uplink aggregate @ 5 flows (MB/s)  [Fig. 4b]",
+        link.aggregate_mbps(5),
+        452.138,
+    );
+
+    // Sampled latency distribution sanity (10k draws).
+    let mut rng = SimRng::seed_from_u64(99);
+    let n = 10_000;
+    let samples: Vec<f64> = (0..n)
+        .map(|_| {
+            rng.normal_duration(cfg.node_provision_mean, cfg.node_provision_sd)
+                .as_secs_f64()
+        })
+        .collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    row(
+        "sampled reservation mean (s)",
+        mean,
+        cfg.node_provision_mean.as_secs_f64(),
+    );
+
+    // Machine shape.
+    row(
+        "n1-standard-4 vCPUs",
+        cfg.machine.capacity.cores_f64(),
+        4.0,
+    );
+    row(
+        "n1-standard-4 memory (GB)",
+        cfg.machine.capacity.memory_mb as f64 / 1000.0,
+        15.0,
+    );
+
+    println!(
+        "\nEvery ratio should sit near 1.00; re-solve the constant in\n\
+         ARCHITECTURE.md §5 if one drifts."
+    );
+}

@@ -1,0 +1,127 @@
+//! Compare every built-in policy on a chosen workload.
+//!
+//! ```text
+//! cargo run --release -p hta-bench --bin compare -- [workload] [size]
+//!   workload: blast | multistage | iobound | md   (default: blast)
+//!   size:     task count / scale knob             (default: workload-specific)
+//! ```
+
+use hta_core::driver::{DriverConfig, RunResult, SystemDriver};
+use hta_core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
+use hta_core::{OperatorConfig, OraclePolicy, TargetTrackingConfig, TargetTrackingPolicy};
+use hta_des::Duration;
+use hta_makeflow::Workflow;
+use hta_resources::Resources;
+use hta_workloads::{
+    blast_multistage, blast_single_stage, iobound, md_ensemble, BlastParams, IoBoundParams,
+    MdParams, MultistageParams,
+};
+use rayon::prelude::*;
+
+fn workload(kind: &str, size: usize, declared: bool) -> Workflow {
+    match kind {
+        "multistage" => {
+            let p = MultistageParams {
+                stage_tasks: vec![size, (size / 6).max(2), size / 2 + 2],
+                ..MultistageParams::default()
+            };
+            blast_multistage(&if declared { p.declared() } else { p })
+        }
+        "iobound" => {
+            let p = IoBoundParams {
+                tasks: size,
+                ..IoBoundParams::default()
+            };
+            iobound(&if declared { p.declared() } else { p })
+        }
+        "md" => {
+            let p = MdParams {
+                replicas: size.max(2),
+                ..MdParams::default()
+            };
+            md_ensemble(&if declared { p.declared() } else { p })
+        }
+        _ => blast_single_stage(&BlastParams {
+            jobs: size,
+            wall: Duration::from_secs(120),
+            declared: declared.then_some(Resources::cores(1, 3_000, 5_000)),
+            ..BlastParams::default()
+        }),
+    }
+}
+
+fn run(kind: &str, size: usize, which: usize) -> (String, RunResult) {
+    // Build the policy inside the worker so trait objects need not be Send.
+    let declared_wf = workload(kind, size, true);
+    let (policy, hta): (Box<dyn ScalingPolicy>, bool) = match which {
+        0 => (Box::new(HtaPolicy::new(HtaConfig::default())), true),
+        1 => (Box::new(HpaPolicy::new(0.20, 3, 20)), false),
+        2 => (Box::new(HpaPolicy::new(0.50, 3, 20)), false),
+        3 => (Box::new(FixedPolicy::new(20)), false),
+        4 => (
+            Box::new(TargetTrackingPolicy::new(TargetTrackingConfig::default())),
+            false,
+        ),
+        _ => (Box::new(OraclePolicy::from_workflow(&declared_wf)), false),
+    };
+    let cfg = DriverConfig {
+        operator: OperatorConfig {
+            warmup: hta,
+            trust_declared: !hta,
+            learn: true,
+            seed: 13,
+        },
+        ..DriverConfig::default()
+    };
+    let wf = workload(kind, size, !hta);
+    let label = policy.name();
+    (label, SystemDriver::new(cfg, wf, policy).run())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = args.first().map(String::as_str).unwrap_or("blast").to_string();
+    let default_size = match kind.as_str() {
+        "multistage" => 120,
+        "iobound" => 120,
+        "md" => 24,
+        _ => 150,
+    };
+    let size: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_size);
+    println!("workload: {kind} (size {size}) — all policies, 20-worker quota\n");
+
+    let results: Vec<(String, RunResult)> = (0..6usize)
+        .collect::<Vec<_>>()
+        .par_iter()
+        .map(|&i| run(&kind, size, i))
+        .collect();
+
+    println!(
+        "{:<26} {:>10} {:>14} {:>16} {:>7} {:>6}",
+        "policy", "runtime_s", "waste_core_s", "shortage_core_s", "peak_w", "intr"
+    );
+    for (label, r) in &results {
+        assert!(!r.timed_out, "{label} timed out");
+        println!(
+            "{:<26} {:>10.0} {:>14.0} {:>16.0} {:>7.0} {:>6}",
+            label,
+            r.summary.runtime_s,
+            r.summary.accumulated_waste_core_s,
+            r.summary.accumulated_shortage_core_s,
+            r.summary.peak_workers,
+            r.interrupted_tasks,
+        );
+    }
+    let best_waste = results
+        .iter()
+        .map(|(_, r)| r.summary.accumulated_waste_core_s)
+        .fold(f64::INFINITY, f64::min);
+    let hta = &results[0].1.summary;
+    println!(
+        "\nHTA waste is {:.1}x the best observed ({best_waste:.0} core·s)",
+        hta.accumulated_waste_core_s / best_waste.max(1.0)
+    );
+}

@@ -1,0 +1,120 @@
+//! Fig. 10 — the multistage BLAST workflow under HPA-20 / HPA-50 / HTA
+//! (§VI-A).
+//!
+//! Three split → align → reduce stages of 200 / 34 / 164 tasks on a
+//! 20-node cluster with node-sized (3-core) worker pods. Paper results
+//! (Fig. 10c):
+//!
+//! | autoscaler | runtime (s) | waste (core·s) | shortage (core·s) |
+//! |------------|------------:|---------------:|------------------:|
+//! | HPA(20%)   |        2656 |          51324 |             34813 |
+//! | HPA(50%)   |        2480 |          39353 |             66611 |
+//! | HTA        |        3060 |           9146 |             40680 |
+//!
+//! Headline claims: HTA cuts waste 5.6× vs HPA-20 (4.3× vs HPA-50) at a
+//! 12.5–16.6 % runtime cost.
+
+use hta_bench::results::{default_dir, save, FigureResult};
+use hta_bench::{fig10_run, fig10_workload, print_series_chart, PolicyKind, ReportTable};
+
+fn main() {
+    println!("=== Fig. 10: multistage BLAST workflow ===\n");
+
+    // Fig. 10a — the workload's stage composition, from static analysis.
+    let wf = fig10_workload(false);
+    let analysis = hta_makeflow::analyze(&wf);
+    println!("Fig. 10a — workload structure (split → align → reduce per stage):");
+    println!("  stage widths: 200 / 34 / 164 tasks; total jobs: {}", wf.len());
+    println!(
+        "  dependency levels: {:?} (depth {}, peak width {})",
+        analysis.level_widths, analysis.depth, analysis.max_width
+    );
+    println!(
+        "  critical path {:.0} s, total work {:.0} core·s, avg parallelism {:.1}",
+        analysis.critical_path.as_secs_f64(),
+        analysis.total_work.as_secs_f64(),
+        analysis.average_parallelism()
+    );
+    println!(
+        "  makespan lower bound at 60 slots: {:.0} s\n",
+        analysis.makespan_lower_bound(60).as_secs_f64()
+    );
+
+    let configs = [
+        ("HPA(20% CPU)", PolicyKind::Hpa(0.20), (2656.0, 51324.0, 34813.0)),
+        ("HPA(50% CPU)", PolicyKind::Hpa(0.50), (2480.0, 39353.0, 66611.0)),
+        ("HTA", PolicyKind::Hta, (3060.0, 9146.0, 40680.0)),
+    ];
+
+    let mut table = ReportTable::new(
+        "Fig. 10c — workflow performance summary",
+        vec!["runtime_s", "waste_core_s", "shortage_core_s"],
+    );
+    let mut saved = FigureResult::new(
+        "fig10",
+        "Fig. 10c — workflow performance summary",
+        &["runtime_s", "waste_core_s", "shortage_core_s"],
+    );
+    let mut results = Vec::new();
+    for (i, (label, kind, (p_rt, p_w, p_s))) in configs.iter().enumerate() {
+        let r = fig10_run(*kind, 42 + i as u64);
+        let measured = vec![
+            r.summary.runtime_s,
+            r.summary.accumulated_waste_core_s,
+            r.summary.accumulated_shortage_core_s,
+        ];
+        let paper = vec![Some(*p_rt), Some(*p_w), Some(*p_s)];
+        table.add_row(*label, measured.clone(), paper.clone());
+        saved.push_row(label, &measured, &paper);
+        results.push((label, r));
+    }
+    if let Ok(path) = save(&default_dir(), &saved) {
+        println!("results saved to {}\n", path.display());
+    }
+
+    // Fig. 10a (dynamic) — the HTA run's per-stage running-task timeline.
+    if let Some((_, hta_run)) = results.iter().find(|(l, _)| **l == "HTA") {
+        let mut chart = hta_metrics::AsciiChart::new(
+            "Fig. 10a — running tasks per category over the HTA run",
+            100,
+            12,
+            hta_run.summary.runtime_s,
+        );
+        for (glyph, name) in [('s', "running:split"), ('a', "running:align"), ('r', "running:reduce")] {
+            if let Some(series) = hta_run.recorder.extra.get(name) {
+                chart.add(glyph, series.clone());
+            }
+        }
+        println!("{}", chart.render());
+    }
+
+    // Fig. 10b — supply vs demand panels.
+    for (label, r) in &results {
+        println!(
+            "{}",
+            print_series_chart(
+                &format!("Fig. 10b [{label}] — resource supply (s) / demand (d) / in-use (u), cores"),
+                &r.recorder,
+                r.summary.runtime_s
+            )
+        );
+    }
+
+    println!("{}", table.render());
+    let hpa20 = &results[0].1.summary;
+    let hta = &results[2].1.summary;
+    println!(
+        "waste reduction HTA vs HPA-20: {:.1}x (paper: 5.6x)",
+        hpa20.accumulated_waste_core_s / hta.accumulated_waste_core_s.max(1.0)
+    );
+    println!(
+        "runtime increase HTA vs HPA-20: {:+.1}% (paper: +15.2%)",
+        (hta.runtime_s / hpa20.runtime_s - 1.0) * 100.0
+    );
+    println!(
+        "\nKey shapes to check: HPA holds the 60-core limit through the\n\
+         narrow stage 2 and the stage barriers (waste); HTA's supply\n\
+         tracks the demand dips (drains mid-run, re-provisions for stage\n\
+         3) at a slight runtime cost."
+    );
+}

@@ -1,0 +1,100 @@
+//! Fig. 4 — runtime statistics of a workload with unknown resource
+//! requirements (§IV-A).
+//!
+//! 100 BLAST jobs sharing a cacheable 1.4 GB database on a fixed 5-node
+//! (3 vCPU / 12 GB) cluster, three worker configurations:
+//!
+//! (a) fine-grained: 15 × 1-vCPU workers — paper: 411 s, 278.382 MB/s,
+//!     87.21 % CPU;
+//! (b) coarse-grained, resources unknown: 5 node-sized workers, one task
+//!     at a time — paper: 632 s, 452.138 MB/s, 32.43 % CPU;
+//! (c) coarse-grained, resources known: 5 node-sized workers, three
+//!     parallel tasks each — paper: 330 s, 466.173 MB/s, 85.73 % CPU.
+
+use hta_bench::results::{default_dir, save, FigureResult};
+use hta_bench::{fig4_run, Fig4Config, ReportTable};
+use hta_metrics::TimeSeries;
+
+/// Mean of a series over the samples where it is positive — the paper's
+/// "average bandwidth" is over transfer-active periods, not the idle run.
+fn mean_while_active(series: &TimeSeries) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (_, v) in series.iter() {
+        if v > 0.0 {
+            sum += v;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+fn main() {
+    println!("=== Fig. 4: worker-pod sizing on BLAST-100 (1.4 GB shared input) ===\n");
+    let configs = [
+        (
+            "fine-grained",
+            Fig4Config::FineGrained,
+            (411.0, 278.382, 87.21),
+        ),
+        (
+            "coarse-unknown",
+            Fig4Config::CoarseUnknown,
+            (632.0, 452.138, 32.43),
+        ),
+        (
+            "coarse-known",
+            Fig4Config::CoarseKnown,
+            (330.0, 466.173, 85.73),
+        ),
+        // Extension beyond the paper: fine-grained workers with
+        // worker-to-worker replication of the cached database.
+        ("fine+peer (ext)", Fig4Config::FineGrainedPeer, (f64::NAN, f64::NAN, f64::NAN)),
+    ];
+
+    let mut table = ReportTable::new(
+        "Fig. 4 — runtime, bandwidth, CPU",
+        vec!["runtime_s", "bandwidth_MB/s", "cpu_use_%"],
+    );
+    let mut saved = FigureResult::new(
+        "fig4",
+        "Fig. 4 — runtime, bandwidth, CPU",
+        &["runtime_s", "bandwidth_MB/s", "cpu_use_%"],
+    );
+
+    for (i, (label, cfg, (p_rt, p_bw, p_cpu))) in configs.iter().enumerate() {
+        let r = fig4_run(*cfg, 42 + i as u64);
+        let bw = mean_while_active(&r.recorder.egress_mbps);
+        let measured = vec![
+            r.summary.runtime_s,
+            bw,
+            r.summary.avg_cpu_utilization * 100.0,
+        ];
+        let paper = vec![
+            (!p_rt.is_nan()).then_some(*p_rt),
+            (!p_bw.is_nan()).then_some(*p_bw),
+            (!p_cpu.is_nan()).then_some(*p_cpu),
+        ];
+        table.add_row(*label, measured.clone(), paper.clone());
+        saved.push_row(label, &measured, &paper);
+    }
+    println!("{}", table.render());
+    if let Ok(path) = save(&default_dir(), &saved) {
+        println!("results saved to {}\n", path.display());
+    }
+    println!(
+        "Key shapes to check: coarse-known < fine-grained < coarse-unknown\n\
+         runtime; coarse-unknown CPU ~1/3 of the others (one 1-core job\n\
+         holding a whole 3-core worker); fine-grained bandwidth below the\n\
+         coarse configurations (15 concurrent database pulls contend).\n\
+         The fine+peer extension matches plain fine-grained here because\n\
+         all 15 workers start cold simultaneously (no peer holds the\n\
+         database yet); worker-to-worker replication pays off when workers\n\
+         arrive in waves, as during autoscaler ramps (see the unit tests\n\
+         in hta-workqueue::master)."
+    );
+}

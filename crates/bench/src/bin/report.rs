@@ -1,0 +1,48 @@
+//! Regenerate the combined paper-vs-measured markdown report from the
+//! results the figure binaries saved under `target/paper-results/`.
+//!
+//! ```sh
+//! cargo run --release -p hta-bench --bin fig10
+//! cargo run --release -p hta-bench --bin fig11
+//! cargo run --release -p hta-bench --bin report          # print
+//! cargo run --release -p hta-bench --bin report out.md   # write file
+//! ```
+
+use hta_bench::results::{default_dir, load_all};
+
+fn main() {
+    let dir = default_dir();
+    let results = match load_all(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    if results.is_empty() {
+        eprintln!(
+            "no saved results in {} — run the figure binaries first\n\
+             (cargo run --release -p hta-bench --bin fig10, …)",
+            dir.display()
+        );
+        std::process::exit(1);
+    }
+    let mut out = String::from(
+        "# Paper-vs-measured report (generated)\n\n\
+         Regenerate any row with `cargo run --release -p hta-bench --bin <figure>`.\n\n",
+    );
+    for r in &results {
+        out.push_str(&r.to_markdown());
+        out.push('\n');
+    }
+    match std::env::args().nth(1) {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &out) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("report for {} figure(s) written to {path}", results.len());
+        }
+        None => print!("{out}"),
+    }
+}

@@ -1,0 +1,148 @@
+//! Sensitivity sweeps (beyond the paper): how the HTA-vs-HPA comparison
+//! moves with workload size, task duration, and the initialization-
+//! latency variance the paper's eq. 2 assumes small.
+//!
+//! All configurations run in parallel (rayon) — each simulation is an
+//! independent deterministic event loop.
+
+use hta_bench::PolicyKind;
+use hta_cluster::ClusterConfig;
+use hta_core::driver::{DriverConfig, RunResult, SystemDriver};
+use hta_core::policy::{HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
+use hta_core::OperatorConfig;
+use hta_des::Duration;
+use hta_resources::Resources;
+use hta_workloads::{blast_single_stage, BlastParams};
+use rayon::prelude::*;
+
+fn policy_for(kind: PolicyKind, max: usize) -> (Box<dyn ScalingPolicy>, bool) {
+    match kind {
+        PolicyKind::Hta => (
+            Box::new(HtaPolicy::new(HtaConfig::default())) as Box<dyn ScalingPolicy>,
+            true,
+        ),
+        PolicyKind::Hpa(t) => (Box::new(HpaPolicy::new(t, 3, max)), false),
+        PolicyKind::Fixed(_) => unreachable!("not used in sweeps"),
+    }
+}
+
+fn run_one(jobs: usize, wall_s: u64, init_sd_s: u64, kind: PolicyKind) -> RunResult {
+    let (policy, hta) = policy_for(kind, 20);
+    let cfg = DriverConfig {
+        cluster: ClusterConfig {
+            min_nodes: 3,
+            max_nodes: 20,
+            node_provision_sd: Duration::from_secs(init_sd_s),
+            seed: 42 ^ (jobs as u64) ^ (wall_s << 8) ^ (init_sd_s << 16),
+            ..ClusterConfig::default()
+        },
+        operator: OperatorConfig {
+            warmup: hta,
+            trust_declared: !hta,
+            learn: true,
+            seed: 9,
+        },
+        initial_workers: 3,
+        max_workers: 20,
+        ..DriverConfig::default()
+    };
+    let wf = blast_single_stage(&BlastParams {
+        jobs,
+        wall: Duration::from_secs(wall_s),
+        db_mb: 400.0,
+        declared: (!hta).then_some(Resources::cores(1, 3_000, 5_000)),
+        ..BlastParams::default()
+    });
+    SystemDriver::new(cfg, wf, policy).run()
+}
+
+fn main() {
+    println!("=== Sensitivity sweeps: HTA vs HPA-20 ===\n");
+
+    // Sweep 1: workload size.
+    let sizes = [50usize, 100, 200, 400, 800];
+    let rows: Vec<(usize, RunResult, RunResult)> = sizes
+        .par_iter()
+        .map(|&n| {
+            let hta = run_one(n, 120, 4, PolicyKind::Hta);
+            let hpa = run_one(n, 120, 4, PolicyKind::Hpa(0.20));
+            (n, hta, hpa)
+        })
+        .collect();
+    println!("-- workload size (120 s tasks) --");
+    println!(
+        "{:>6} | {:>10} {:>10} {:>7} | {:>12} {:>12} {:>7}",
+        "jobs", "hta_rt_s", "hpa_rt_s", "rt_x", "hta_waste", "hpa_waste", "waste_x"
+    );
+    for (n, hta, hpa) in &rows {
+        println!(
+            "{:>6} | {:>10.0} {:>10.0} {:>7.2} | {:>12.0} {:>12.0} {:>7.2}",
+            n,
+            hta.summary.runtime_s,
+            hpa.summary.runtime_s,
+            hta.summary.runtime_s / hpa.summary.runtime_s,
+            hta.summary.accumulated_waste_core_s,
+            hpa.summary.accumulated_waste_core_s,
+            hpa.summary.accumulated_waste_core_s
+                / hta.summary.accumulated_waste_core_s.max(1.0),
+        );
+        assert!(!hta.timed_out && !hpa.timed_out);
+    }
+
+    // Sweep 2: task duration (fixed 200 jobs).
+    let walls = [30u64, 60, 120, 300, 600];
+    let rows: Vec<(u64, RunResult, RunResult)> = walls
+        .par_iter()
+        .map(|&w| {
+            let hta = run_one(200, w, 4, PolicyKind::Hta);
+            let hpa = run_one(200, w, 4, PolicyKind::Hpa(0.20));
+            (w, hta, hpa)
+        })
+        .collect();
+    println!("\n-- task duration (200 jobs) --");
+    println!(
+        "{:>6} | {:>10} {:>10} {:>7} | {:>12} {:>12}",
+        "wall_s", "hta_rt_s", "hpa_rt_s", "rt_x", "hta_waste", "hpa_waste"
+    );
+    for (w, hta, hpa) in &rows {
+        println!(
+            "{:>6} | {:>10.0} {:>10.0} {:>7.2} | {:>12.0} {:>12.0}",
+            w,
+            hta.summary.runtime_s,
+            hpa.summary.runtime_s,
+            hta.summary.runtime_s / hpa.summary.runtime_s,
+            hta.summary.accumulated_waste_core_s,
+            hpa.summary.accumulated_waste_core_s,
+        );
+    }
+
+    // Sweep 3: provisioning-latency variance — eq. 2 assumes the pool is
+    // constant within one cycle; large σ violates the premise.
+    let sds = [0u64, 4, 15, 40, 80];
+    let rows: Vec<(u64, RunResult)> = sds
+        .par_iter()
+        .map(|&sd| (sd, run_one(200, 120, sd, PolicyKind::Hta)))
+        .collect();
+    println!("\n-- init-latency σ (HTA, 200 × 120 s jobs; paper measures σ=4.2 s) --");
+    println!(
+        "{:>6} | {:>10} {:>12} {:>14} {:>8}",
+        "sd_s", "runtime_s", "waste", "shortage", "measured"
+    );
+    for (sd, r) in &rows {
+        println!(
+            "{:>6} | {:>10.0} {:>12.0} {:>14.0} {:>8}",
+            sd,
+            r.summary.runtime_s,
+            r.summary.accumulated_waste_core_s,
+            r.summary.accumulated_shortage_core_s,
+            r.init_measurements.len(),
+        );
+    }
+    println!(
+        "\nExpected shapes: the waste advantage of HTA grows with task\n\
+         duration (HPA holds peak capacity through ever-longer tails);\n\
+         the runtime premium shrinks with workload size (the probe\n\
+         amortizes); HTA degrades gracefully as init-latency variance\n\
+         breaks the constant-pool premise."
+    );
+}

@@ -1,0 +1,477 @@
+//! Configuration of every evaluation setup in the paper.
+//!
+//! Each `figN_*` function builds the workload + driver configuration for
+//! one experimental configuration, so the figure binaries, integration
+//! tests and Criterion benches run exactly the same setups.
+
+use hta_cluster::{ClusterConfig, MachineType};
+use hta_core::driver::{DriverConfig, RunResult, SystemDriver};
+use hta_core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
+use hta_core::OperatorConfig;
+use hta_des::Duration;
+use hta_makeflow::Workflow;
+use hta_resources::Resources;
+use hta_workloads::{blast_multistage, blast_single_stage, iobound, BlastParams, IoBoundParams, MultistageParams};
+use hta_workqueue::master::MasterConfig;
+
+/// Which autoscaler drives a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// The paper's contribution.
+    Hta,
+    /// `HPA(target CPU)` with the given target in `[0, 1]`.
+    Hpa(f64),
+    /// A fixed pool of N workers.
+    Fixed(usize),
+}
+
+fn make_policy(kind: PolicyKind, min_replicas: usize, max_replicas: usize) -> Box<dyn ScalingPolicy> {
+    match kind {
+        PolicyKind::Hta => Box::new(HtaPolicy::new(HtaConfig::default())),
+        PolicyKind::Hpa(target) => Box::new(HpaPolicy::new(target, min_replicas, max_replicas)),
+        PolicyKind::Fixed(n) => Box::new(FixedPolicy::new(n)),
+    }
+}
+
+/// The paper's evaluation cluster (§VI): 20 × `n1-standard-4`, private
+/// registry, Kubernetes 1.13 semantics.
+fn paper_cluster(min_nodes: usize, max_nodes: usize, seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        machine: MachineType::n1_standard_4(),
+        min_nodes,
+        max_nodes,
+        seed,
+        ..ClusterConfig::default()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fig. 2 — HPA target-CPU sweep on BLAST-200
+// ----------------------------------------------------------------------
+
+/// The Fig. 2 workload: 200 equal BLAST jobs, requirements known
+/// (§III-B: "We assume that the resource requirements of individual jobs
+/// are known in advance").
+pub fn fig2_workload() -> Workflow {
+    blast_single_stage(&BlastParams {
+        jobs: 200,
+        db_mb: 50.0,
+        query_mb: 2.0,
+        output_mb: 0.6,
+        wall: Duration::from_secs(60),
+        wall_jitter: 0.05,
+        actual: Resources::cores(1, 3_000, 5_000),
+        declared: Some(Resources::cores(1, 3_000, 5_000)),
+    })
+}
+
+/// Driver config for Fig. 2: a 15-node GKE cluster, 1-core worker pods
+/// (up to 60), master outside the cluster.
+pub fn fig2_driver(seed: u64) -> DriverConfig {
+    DriverConfig {
+        cluster: paper_cluster(3, 15, seed),
+        master: MasterConfig::default(),
+        operator: OperatorConfig {
+            warmup: false,
+            trust_declared: true,
+            learn: true,
+            seed,
+        },
+        worker_request: Resources::new(1000, 3_500, 10_000),
+        worker_anti_affinity: false,
+        worker_image_mb: 500.0,
+        master_in_cluster: false,
+        master_request: Resources::ZERO,
+        initial_workers: 3,
+        max_workers: 60,
+        sample_interval: Duration::from_secs(1),
+        default_init_time: Duration::from_millis(157_400),
+        use_measured_init_time: true,
+        node_failures: Vec::new(),
+        trace_capacity: 0,
+        metrics_lag: Duration::from_secs(60),
+        max_sim_time: Duration::from_secs(50_000),
+    }
+}
+
+/// One Fig. 2 configuration (`Config-10/50/99` or the ideal pool).
+pub fn fig2_run(kind: PolicyKind, seed: u64) -> RunResult {
+    let mut cfg = fig2_driver(seed);
+    if let PolicyKind::Fixed(n) = kind {
+        // The "ideal scenario": the full pool exists from the start.
+        cfg.initial_workers = n;
+        cfg.cluster.min_nodes = cfg.cluster.max_nodes;
+    }
+    let policy = make_policy(kind, 3, cfg.max_workers);
+    SystemDriver::new(cfg, fig2_workload(), policy).run()
+}
+
+// ----------------------------------------------------------------------
+// Fig. 4 — worker-pod sizing on BLAST-100
+// ----------------------------------------------------------------------
+
+/// The three §IV-A configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig4Config {
+    /// (a) 15 × 1-vCPU/4 GB worker pods.
+    FineGrained,
+    /// (b) 5 node-sized workers, resource requirements unknown.
+    CoarseUnknown,
+    /// (c) 5 node-sized workers, resource requirements known.
+    CoarseKnown,
+    /// Extension (not in the paper): the fine-grained configuration with
+    /// worker-to-worker transfers enabled — the database replicates over
+    /// the peer network instead of the master uplink, recovering most of
+    /// the fine-grained penalty.
+    FineGrainedPeer,
+}
+
+/// The Fig. 4 workload: 100 BLAST jobs sharing a cacheable 1.4 GB input,
+/// ~600 KB outputs.
+pub fn fig4_workload(declared: bool) -> Workflow {
+    blast_single_stage(&BlastParams {
+        jobs: 100,
+        db_mb: 1_400.0,
+        query_mb: 2.0,
+        output_mb: 0.6,
+        wall: Duration::from_secs(40),
+        wall_jitter: 0.05,
+        actual: Resources::cores(1, 3_000, 5_000),
+        declared: declared.then_some(Resources::cores(1, 3_000, 5_000)),
+    })
+}
+
+/// One Fig. 4 run on the fixed 5-node (3 vCPU / 12 GB) cluster.
+pub fn fig4_run(config: Fig4Config, seed: u64) -> RunResult {
+    let machine = MachineType::gke_3cpu_12gb();
+    let (workers, worker_request, declared, learn) = match config {
+        Fig4Config::FineGrained | Fig4Config::FineGrainedPeer => (
+            15usize,
+            Resources::new(1000, 3_800, 20_000),
+            true,
+            true,
+        ),
+        Fig4Config::CoarseUnknown => (5, machine.allocatable, false, false),
+        Fig4Config::CoarseKnown => (5, machine.allocatable, true, true),
+    };
+    let master = MasterConfig {
+        peer_transfers: config == Fig4Config::FineGrainedPeer,
+        ..MasterConfig::default()
+    };
+    let cfg = DriverConfig {
+        cluster: ClusterConfig {
+            machine,
+            min_nodes: 5,
+            max_nodes: 5,
+            seed,
+            ..ClusterConfig::default()
+        },
+        master,
+        operator: OperatorConfig {
+            warmup: false,
+            trust_declared: declared,
+            learn,
+            seed,
+        },
+        worker_request,
+        worker_anti_affinity: false,
+        worker_image_mb: 500.0,
+        master_in_cluster: false,
+        master_request: Resources::ZERO,
+        initial_workers: workers,
+        max_workers: workers,
+        sample_interval: Duration::from_secs(1),
+        default_init_time: Duration::from_millis(157_400),
+        use_measured_init_time: true,
+        node_failures: Vec::new(),
+        trace_capacity: 0,
+        metrics_lag: Duration::from_secs(60),
+        max_sim_time: Duration::from_secs(20_000),
+    };
+    let policy = make_policy(PolicyKind::Fixed(workers), workers, workers);
+    SystemDriver::new(cfg, fig4_workload(declared), policy).run()
+}
+
+// ----------------------------------------------------------------------
+// Fig. 6 — resource-initialization latency
+// ----------------------------------------------------------------------
+
+/// One cold-start measurement: (reservation_s, pull_and_start_s).
+#[derive(Debug, Clone, Copy)]
+pub struct InitSample {
+    /// Machine reservation component (create → scheduled on a node).
+    pub reservation_s: f64,
+    /// Image pull + container start (scheduled → running).
+    pub pull_s: f64,
+}
+
+impl InitSample {
+    /// End-to-end initialization latency.
+    pub fn total_s(&self) -> f64 {
+        self.reservation_s + self.pull_s
+    }
+}
+
+/// Reproduce the Fig. 6 benchmark: `runs` sequential pod creations, each
+/// requiring a fresh node (previous pods keep their nodes busy).
+pub fn fig6_measurements(runs: usize, seed: u64) -> Vec<InitSample> {
+    use hta_cluster::{Cluster, ClusterEvent, PodPhase, PodSpec};
+    use hta_des::{EventQueue, SimTime};
+
+    let mut cluster = Cluster::new(ClusterConfig {
+        machine: MachineType::n1_standard_4(),
+        min_nodes: 0,
+        max_nodes: runs + 1,
+        seed,
+        ..ClusterConfig::default()
+    });
+    let image = cluster.registry_mut().register("wq-worker:latest", 500.0);
+    let mut q: EventQueue<ClusterEvent> = EventQueue::new();
+    for (d, e) in cluster.bootstrap(SimTime::ZERO) {
+        q.schedule_in(d, e);
+    }
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let (pod, fx) = cluster.create_pod(
+            q.now(),
+            PodSpec {
+                request: Resources::cores(4, 14_000, 50_000),
+                image,
+                group: "bench".into(),
+                anti_affinity: false,
+            },
+        );
+        for (d, e) in fx {
+            q.schedule_in(d, e);
+        }
+        // Run until this pod is running.
+        for _ in 0..100_000 {
+            if cluster.pod(pod).is_some_and(|p| p.phase == PodPhase::Running) {
+                break;
+            }
+            let Some((now, ev)) = q.pop() else { break };
+            for (d, e) in cluster.handle(now, ev) {
+                q.schedule_in(d, e);
+            }
+        }
+        let p = cluster.pod(pod).expect("pod exists");
+        assert_eq!(p.phase, PodPhase::Running, "pod failed to start");
+        let created = p.created_at.as_secs_f64();
+        let scheduled = p.scheduled_at.expect("scheduled").as_secs_f64();
+        let running = p.running_at.expect("running").as_secs_f64();
+        samples.push(InitSample {
+            reservation_s: scheduled - created,
+            pull_s: running - scheduled,
+        });
+    }
+    samples
+}
+
+// ----------------------------------------------------------------------
+// Fig. 10 — multistage BLAST under HPA-20 / HPA-50 / HTA
+// ----------------------------------------------------------------------
+
+/// The multistage workload (stages of 200/34/164 tasks).
+pub fn fig10_workload(declared: bool) -> Workflow {
+    let params = if declared {
+        MultistageParams::default().declared()
+    } else {
+        MultistageParams::default()
+    };
+    blast_multistage(&params)
+}
+
+/// Driver config for the §VI evaluation cluster: 20 × n1-standard-4,
+/// node-sized (3-core) worker pods, master in-cluster.
+pub fn fig10_driver(kind: PolicyKind, seed: u64) -> DriverConfig {
+    let hta = kind == PolicyKind::Hta;
+    DriverConfig {
+        cluster: paper_cluster(3, 20, seed),
+        master: MasterConfig::default(),
+        operator: OperatorConfig {
+            warmup: hta,
+            trust_declared: !hta,
+            learn: true,
+            seed,
+        },
+        worker_request: Resources::cores(3, 12_000, 50_000),
+        worker_anti_affinity: false,
+        worker_image_mb: 500.0,
+        master_in_cluster: true,
+        master_request: Resources::new(1000, 4_000, 20_000),
+        initial_workers: 3,
+        max_workers: 20,
+        sample_interval: Duration::from_secs(1),
+        default_init_time: Duration::from_millis(157_400),
+        use_measured_init_time: true,
+        node_failures: Vec::new(),
+        trace_capacity: 0,
+        metrics_lag: Duration::from_secs(60),
+        max_sim_time: Duration::from_secs(100_000),
+    }
+}
+
+/// One Fig. 10 run.
+pub fn fig10_run(kind: PolicyKind, seed: u64) -> RunResult {
+    let cfg = fig10_driver(kind, seed);
+    let policy = make_policy(kind, 3, cfg.max_workers);
+    let workload = fig10_workload(kind != PolicyKind::Hta);
+    SystemDriver::new(cfg, workload, policy).run()
+}
+
+// ----------------------------------------------------------------------
+// Fig. 11 — I/O-bound workload under HPA-20 / HPA-50 / HTA
+// ----------------------------------------------------------------------
+
+/// One Fig. 11 run: 200 `dd` tasks.
+pub fn fig11_run(kind: PolicyKind, seed: u64) -> RunResult {
+    let hta = kind == PolicyKind::Hta;
+    let mut cfg = fig10_driver(kind, seed);
+    // The HPA baselines start from the small standing pool they then
+    // never grow (CPU stays under every target); HTA starts from the
+    // 3-node warm-up pool.
+    cfg.initial_workers = if hta { 3 } else { 5 };
+    cfg.cluster.min_nodes = if hta { 3 } else { 5 };
+    let policy = make_policy(kind, cfg.initial_workers, cfg.max_workers);
+    let params = if hta {
+        IoBoundParams::default()
+    } else {
+        IoBoundParams::default().declared()
+    };
+    SystemDriver::new(cfg, iobound(&params), policy).run()
+}
+
+// ----------------------------------------------------------------------
+// Ablations
+// ----------------------------------------------------------------------
+
+/// HTA ablation variants (design-choice benches called out in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ablation {
+    /// Full HTA (reference).
+    Full,
+    /// No category learning: every task holds a whole worker for the
+    /// entire run (what §IV-A's measurement step buys).
+    NoLearning,
+    /// No warm-up: all jobs fan out immediately; unknown-resource tasks
+    /// flood the exclusive path (what §V-C's probing buys).
+    NoWarmup,
+    /// Init-time feedback disabled: the estimator always uses a fixed
+    /// 30 s window instead of the measured ~157 s (what the informer
+    /// tracking buys).
+    FrozenInitTime,
+    /// Per-worker free lists instead of the paper's aggregate `avaRsrc`
+    /// (no phantom fits across capacity fragments).
+    PerWorkerEstimator,
+}
+
+/// Run one ablation variant on the Fig. 10 multistage workload.
+pub fn ablation_run(variant: Ablation, seed: u64) -> RunResult {
+    use hta_core::policy::EstimatorMode;
+    let mut cfg = fig10_driver(PolicyKind::Hta, seed);
+    let mut hta_cfg = HtaConfig::default();
+    match variant {
+        Ablation::Full => {}
+        Ablation::NoLearning => {
+            cfg.operator.learn = false;
+            cfg.operator.warmup = false;
+        }
+        Ablation::NoWarmup => {
+            cfg.operator.warmup = false;
+        }
+        Ablation::FrozenInitTime => {
+            cfg.use_measured_init_time = false;
+            cfg.default_init_time = Duration::from_secs(30);
+        }
+        Ablation::PerWorkerEstimator => {
+            hta_cfg.estimator_mode = EstimatorMode::PerWorker;
+        }
+    }
+    let policy: Box<dyn ScalingPolicy> = Box::new(HtaPolicy::new(hta_cfg));
+    SystemDriver::new(cfg, fig10_workload(false), policy).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_latency_matches_calibration() {
+        let samples = fig6_measurements(10, 42);
+        assert_eq!(samples.len(), 10);
+        let totals: Vec<f64> = samples.iter().map(|s| s.total_s()).collect();
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        // Paper: mean 157.4 s, σ 4.2 s.
+        assert!((mean - 157.4).abs() < 12.0, "mean={mean}");
+        for s in &samples {
+            assert!(s.reservation_s > 100.0, "reservation {:?}", s);
+            assert!(s.pull_s > 5.0 && s.pull_s < 30.0, "pull {:?}", s);
+        }
+    }
+
+    #[test]
+    fn fig4_workload_sizes() {
+        assert_eq!(fig4_workload(true).len(), 100);
+        assert!(fig4_workload(false).categories["align"].declared.is_none());
+    }
+
+    #[test]
+    fn fig4_peer_variant_completes() {
+        let r = fig4_run(Fig4Config::FineGrainedPeer, 1);
+        assert!(!r.timed_out);
+        assert_eq!(r.summary.peak_workers, 15.0);
+    }
+
+    #[test]
+    fn fig2_ideal_beats_every_hpa_config() {
+        let ideal = fig2_run(PolicyKind::Fixed(60), 1);
+        let hpa10 = fig2_run(PolicyKind::Hpa(0.10), 1);
+        let hpa99 = fig2_run(PolicyKind::Hpa(0.99), 1);
+        assert!(!ideal.timed_out && !hpa10.timed_out && !hpa99.timed_out);
+        assert!(ideal.summary.runtime_s < hpa10.summary.runtime_s);
+        assert!(hpa10.summary.runtime_s < hpa99.summary.runtime_s);
+        assert!(
+            hpa99.summary.peak_workers <= 3.0,
+            "Config-99 must never scale (peak {})",
+            hpa99.summary.peak_workers
+        );
+    }
+
+    #[test]
+    fn fig11_headline_holds_for_any_seed() {
+        for seed in [3, 77] {
+            let hpa = fig11_run(PolicyKind::Hpa(0.20), seed);
+            let hta = fig11_run(PolicyKind::Hta, seed);
+            assert!(
+                hta.summary.runtime_s * 1.5 < hpa.summary.runtime_s,
+                "seed {seed}: HTA {} vs HPA {}",
+                hta.summary.runtime_s,
+                hpa.summary.runtime_s
+            );
+        }
+    }
+
+    #[test]
+    fn fig10_headline_holds_for_any_seed() {
+        for seed in [3, 77] {
+            let hpa = fig10_run(PolicyKind::Hpa(0.20), seed);
+            let hta = fig10_run(PolicyKind::Hta, seed);
+            // Waste at least halved; runtime within +40 %.
+            assert!(
+                hta.summary.accumulated_waste_core_s * 2.0
+                    < hpa.summary.accumulated_waste_core_s,
+                "seed {seed}: waste {} vs {}",
+                hta.summary.accumulated_waste_core_s,
+                hpa.summary.accumulated_waste_core_s
+            );
+            assert!(hta.summary.runtime_s < hpa.summary.runtime_s * 1.4, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fig10_workload_shape() {
+        let wf = fig10_workload(true);
+        assert_eq!(wf.len(), 398);
+        assert!(wf.categories["align"].declared.is_some());
+    }
+}

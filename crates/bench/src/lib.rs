@@ -1,0 +1,17 @@
+//! # hta-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run --release -p hta-bench --bin figN`), plus Criterion benches
+//! over the simulation engine and scaled-down end-to-end experiments.
+//!
+//! [`experiments`] holds the configuration of every evaluation setup so
+//! the binaries, integration tests and Criterion benches share one source
+//! of truth; [`report`] holds the paper-vs-measured table printer.
+
+pub mod experiments;
+pub mod report;
+pub mod results;
+
+pub use experiments::*;
+pub use report::{print_series_chart, PaperRow, ReportTable};
+pub use results::{load_all, save, FigureResult};

@@ -1,0 +1,168 @@
+//! Persisted experiment results.
+//!
+//! Every figure binary saves its measured rows as JSON under
+//! `target/paper-results/`; `cargo run -p hta-bench --bin report` then
+//! regenerates the combined paper-vs-measured markdown from whatever has
+//! been run — the workflow behind EXPERIMENTS.md.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One configuration's measurements (and the paper's reference values).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct RowRecord {
+    /// Configuration label (e.g. `"HPA(20% CPU)"`).
+    pub label: String,
+    /// Measured metrics by column name.
+    pub metrics: BTreeMap<String, f64>,
+    /// Paper reference values by column name (absent → no reference).
+    pub paper: BTreeMap<String, f64>,
+}
+
+/// A figure/table's complete result set.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct FigureResult {
+    /// Identifier (`"fig10"`, `"ablation"`, …).
+    pub figure: String,
+    /// Human title.
+    pub title: String,
+    /// Column order for rendering.
+    pub columns: Vec<String>,
+    /// Rows in presentation order.
+    pub rows: Vec<RowRecord>,
+}
+
+impl FigureResult {
+    /// Start an empty result set.
+    pub fn new(figure: &str, title: &str, columns: &[&str]) -> Self {
+        FigureResult {
+            figure: figure.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; `measured` and `paper` follow the column order
+    /// (`None` paper entries are skipped).
+    pub fn push_row(&mut self, label: &str, measured: &[f64], paper: &[Option<f64>]) {
+        debug_assert_eq!(measured.len(), self.columns.len());
+        let mut m = BTreeMap::new();
+        let mut p = BTreeMap::new();
+        for (i, col) in self.columns.iter().enumerate() {
+            m.insert(col.clone(), measured[i]);
+            if let Some(Some(v)) = paper.get(i) {
+                p.insert(col.clone(), *v);
+            }
+        }
+        self.rows.push(RowRecord {
+            label: label.to_string(),
+            metrics: m,
+            paper: p,
+        });
+    }
+
+    /// Render as a markdown table with measured/paper/ratio columns.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("## {}\n\n", self.title);
+        out.push_str("| config |");
+        for c in &self.columns {
+            out.push_str(&format!(" {c} | paper | ratio |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str("---:|---:|---:|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("| {} |", row.label));
+            for c in &self.columns {
+                let m = row.metrics.get(c).copied().unwrap_or(f64::NAN);
+                match row.paper.get(c) {
+                    Some(p) if p.abs() > 1e-12 => {
+                        out.push_str(&format!(" {m:.1} | {p:.1} | {:.2} |", m / p))
+                    }
+                    Some(p) => out.push_str(&format!(" {m:.1} | {p:.1} | — |")),
+                    None => out.push_str(&format!(" {m:.1} | — | — |")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Default results directory (`target/paper-results`).
+pub fn default_dir() -> PathBuf {
+    PathBuf::from("target").join("paper-results")
+}
+
+/// Persist a figure's results as pretty JSON; returns the file path.
+pub fn save(dir: &Path, result: &FigureResult) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", result.figure));
+    let json = serde_json::to_string_pretty(result)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Load every saved figure result, sorted by figure id.
+pub fn load_all(dir: &Path) -> std::io::Result<Vec<FigureResult>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let text = std::fs::read_to_string(&path)?;
+            match serde_json::from_str::<FigureResult>(&text) {
+                Ok(r) => out.push(r),
+                Err(e) => eprintln!("skipping {}: {e}", path.display()),
+            }
+        }
+    }
+    out.sort_by(|a, b| a.figure.cmp(&b.figure));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureResult {
+        let mut r = FigureResult::new("fig10", "Fig. 10c", &["runtime_s", "waste"]);
+        r.push_row("HTA", &[3754.0, 12813.0], &[Some(3060.0), Some(9146.0)]);
+        r.push_row("X", &[1.0, 2.0], &[None, None]);
+        r
+    }
+
+    #[test]
+    fn markdown_renders_ratio_and_dashes() {
+        let md = sample().to_markdown();
+        assert!(md.contains("## Fig. 10c"));
+        assert!(md.contains("| HTA | 3754.0 | 3060.0 | 1.23 |"));
+        assert!(md.contains("| X | 1.0 | — | — |"));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hta-results-{}", std::process::id()));
+        let r = sample();
+        let path = save(&dir, &r).unwrap();
+        assert!(path.exists());
+        let loaded = load_all(&dir).unwrap();
+        assert_eq!(loaded, vec![r]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_dir_is_empty() {
+        let loaded = load_all(Path::new("/nonexistent/hta-results")).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

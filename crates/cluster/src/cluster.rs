@@ -1,0 +1,1277 @@
+//! The cluster state machine: API server + scheduler + cloud controller
+//! manager + cluster autoscaler.
+//!
+//! [`Cluster`] is a pure state machine. The system driver delivers
+//! [`ClusterEvent`]s at simulated instants via [`Cluster::handle`]; each
+//! call returns follow-up events as `(delay, event)` pairs ([`Effect`]s)
+//! that the driver schedules on the global queue. API mutations
+//! ([`Cluster::create_pod`], [`Cluster::delete_pod`],
+//! [`Cluster::complete_pod`]) likewise return effects.
+//!
+//! Every observable transition is appended to the informer buffer; HTA's
+//! init-time tracker and the Work Queue driver drain it with
+//! [`Cluster::drain_watch`].
+
+use std::collections::BTreeMap;
+
+use hta_des::{Duration, SimRng, SimTime};
+use hta_resources::Resources;
+
+use crate::config::ClusterConfig;
+use crate::ids::{IdGen, NodeId, PodId};
+use crate::image::Registry;
+use crate::node::{Node, NodeState};
+use crate::pod::{PendingReason, Pod, PodPhase, PodSpec};
+use crate::watch::{WatchEvent, WatchKind};
+
+/// Internal events the cluster schedules for itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// Cloud-controller-manager reconcile: provision nodes for
+    /// unschedulable pods, remove idle-expired nodes, re-arm the tick.
+    ControllerTick,
+    /// A node reservation completed.
+    NodeProvisioned(NodeId),
+    /// The provider reclaimed a preemptible node (spot pool only).
+    NodePreempted(NodeId),
+    /// Kubelet finished pulling a pod's image on a node.
+    PodImagePulled(PodId, NodeId),
+    /// Pod containers finished starting.
+    PodStarted(PodId),
+}
+
+/// A follow-up event with its delay.
+pub type Effect = (Duration, ClusterEvent);
+
+/// Aggregate cluster counters (see [`Cluster::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Nodes with a reservation in flight.
+    pub nodes_provisioning: usize,
+    /// Nodes accepting pods.
+    pub nodes_ready: usize,
+    /// Nodes removed (scale-down, failure, preemption).
+    pub nodes_removed: usize,
+    /// Pods with no placeable node.
+    pub pods_unschedulable: usize,
+    /// Pods waiting on an image pull.
+    pub pods_pulling: usize,
+    /// Pods running.
+    pub pods_running: usize,
+    /// Pods that exited gracefully.
+    pub pods_succeeded: usize,
+    /// Pods killed.
+    pub pods_failed: usize,
+    /// Pods deleted before running.
+    pub pods_deleted: usize,
+}
+
+/// The simulated orchestrator.
+#[derive(Debug)]
+pub struct Cluster {
+    cfg: ClusterConfig,
+    registry: Registry,
+    nodes: BTreeMap<NodeId, Node>,
+    pods: BTreeMap<PodId, Pod>,
+    /// FIFO queue of pods awaiting a node binding.
+    pending: Vec<PodId>,
+    node_ids: IdGen,
+    pod_ids: IdGen,
+    rng: SimRng,
+    watch: Vec<WatchEvent>,
+    controller_armed: bool,
+}
+
+impl Cluster {
+    /// A cluster with no nodes. Call [`Cluster::bootstrap`] to create the
+    /// initial node pool and arm the controller loop.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        let registry = Registry::new(cfg.registry_bandwidth_mbps, cfg.image_pull_jitter);
+        Cluster {
+            cfg,
+            registry,
+            nodes: BTreeMap::new(),
+            pods: BTreeMap::new(),
+            pending: Vec::new(),
+            node_ids: IdGen::default(),
+            pod_ids: IdGen::default(),
+            rng,
+            watch: Vec::new(),
+            controller_armed: false,
+        }
+    }
+
+    /// Access the image registry (to register images before running).
+    pub fn registry_mut(&mut self) -> &mut Registry {
+        &mut self.registry
+    }
+
+    /// Shared registry access.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Create the initial `min_nodes` pool **already Ready** (the paper's
+    /// experiments start from an existing 3-node cluster) and arm the
+    /// controller tick.
+    pub fn bootstrap(&mut self, now: SimTime) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        for _ in 0..self.cfg.min_nodes {
+            let id = NodeId(self.node_ids.alloc());
+            let mut node = Node::provisioning(id, self.cfg.machine.clone(), now);
+            node.mark_ready(now);
+            self.watch.push(WatchEvent::node(now, WatchKind::NodeReady(id)));
+            self.nodes.insert(id, node);
+            if let Some(d) = self.sample_preemption() {
+                fx.push((d, ClusterEvent::NodePreempted(id)));
+            }
+        }
+        self.controller_armed = true;
+        fx.push((self.cfg.controller_interval, ClusterEvent::ControllerTick));
+        fx
+    }
+
+    /// Sample a preemptible node's lifetime (exponential with the
+    /// configured mean), or `None` for on-demand pools.
+    fn sample_preemption(&mut self) -> Option<Duration> {
+        let mean = self.cfg.preemption_mean_lifetime?;
+        // Inverse-CDF sampling of Exp(1/mean).
+        let u = (1.0 - self.rng.uniform()).max(1e-12);
+        Some(Duration::from_secs_f64(-mean.as_secs_f64() * u.ln()))
+    }
+
+    // ------------------------------------------------------------------
+    // API-server surface
+    // ------------------------------------------------------------------
+
+    /// Submit a pod. Returns its id and any follow-up effects (the pod may
+    /// schedule immediately onto a warm node).
+    pub fn create_pod(&mut self, now: SimTime, spec: PodSpec) -> (PodId, Vec<Effect>) {
+        let id = PodId(self.pod_ids.alloc());
+        let pod = Pod::new(id, spec, now);
+        self.watch
+            .push(WatchEvent::pod(now, id, WatchKind::PodCreated));
+        self.pods.insert(id, pod);
+        self.pending.push(id);
+        let fx = self.try_schedule_all(now);
+        (id, fx)
+    }
+
+    /// Delete a pod (eviction semantics): running pods turn `Failed`,
+    /// pending pods are simply removed. Frees node resources immediately.
+    pub fn delete_pod(&mut self, now: SimTime, id: PodId) -> Vec<Effect> {
+        let Some(pod) = self.pods.get_mut(&id) else {
+            return Vec::new();
+        };
+        if pod.phase.is_terminal() {
+            return Vec::new();
+        }
+        let was_running = pod.phase == PodPhase::Running;
+        let node = pod.node.take();
+        pod.phase = if was_running {
+            PodPhase::Failed
+        } else {
+            PodPhase::Deleted
+        };
+        pod.finished_at = Some(now);
+        self.pending.retain(|p| *p != id);
+        if let Some(nid) = node {
+            if let Some(n) = self.nodes.get_mut(&nid) {
+                n.release_pod(id.raw(), now);
+            }
+        }
+        self.watch.push(WatchEvent::pod(
+            now,
+            id,
+            if was_running {
+                WatchKind::PodFailed
+            } else {
+                WatchKind::PodSucceeded
+            },
+        ));
+        // Freed capacity may admit a pending pod right away.
+        self.try_schedule_all(now)
+    }
+
+    /// Mark a running pod's containers as exited successfully (graceful
+    /// worker drain — the paper's *Worker-Pod Stopped* state). Frees the
+    /// node's resources.
+    pub fn complete_pod(&mut self, now: SimTime, id: PodId) -> Vec<Effect> {
+        let Some(pod) = self.pods.get_mut(&id) else {
+            return Vec::new();
+        };
+        if pod.phase.is_terminal() {
+            return Vec::new();
+        }
+        let node = pod.node.take();
+        pod.phase = PodPhase::Succeeded;
+        pod.finished_at = Some(now);
+        self.pending.retain(|p| *p != id);
+        if let Some(nid) = node {
+            if let Some(n) = self.nodes.get_mut(&nid) {
+                n.release_pod(id.raw(), now);
+            }
+        }
+        self.watch
+            .push(WatchEvent::pod(now, id, WatchKind::PodSucceeded));
+        self.try_schedule_all(now)
+    }
+
+    /// Crash a node (failure injection): every pod bound to it fails
+    /// (emitting `PodFailed` watch events — workers on it are killed and
+    /// their tasks re-queued by the layers above), the node is removed,
+    /// and the cloud controller will replace capacity on its next scan if
+    /// pending pods need it.
+    pub fn fail_node(&mut self, now: SimTime, id: NodeId) -> Vec<Effect> {
+        let Some(node) = self.nodes.get_mut(&id) else {
+            return Vec::new();
+        };
+        if node.state == NodeState::Removed {
+            return Vec::new();
+        }
+        let victims: Vec<PodId> = node.pool.iter().map(|(k, _)| PodId(k)).collect();
+        node.mark_removed(now);
+        self.watch
+            .push(WatchEvent::node(now, WatchKind::NodeRemoved(id)));
+        for pid in victims {
+            if let Some(pod) = self.pods.get_mut(&pid) {
+                if !pod.phase.is_terminal() {
+                    pod.phase = PodPhase::Failed;
+                    pod.finished_at = Some(now);
+                    pod.node = None;
+                    self.watch
+                        .push(WatchEvent::pod(now, pid, WatchKind::PodFailed));
+                }
+            }
+        }
+        // Pods that were pending on this node never started; nothing else
+        // holds it. Any queue pressure re-provisions via the controller.
+        self.try_schedule_all(now)
+    }
+
+    /// A random ready node, if any (failure-injection helper).
+    pub fn any_ready_node(&self) -> Option<NodeId> {
+        self.nodes
+            .values()
+            .find(|n| n.state == NodeState::Ready && !n.pool.is_empty())
+            .map(|n| n.id)
+            .or_else(|| {
+                self.nodes
+                    .values()
+                    .find(|n| n.state == NodeState::Ready)
+                    .map(|n| n.id)
+            })
+    }
+
+    /// Drain the informer buffer (events since the last drain).
+    pub fn drain_watch(&mut self) -> Vec<WatchEvent> {
+        std::mem::take(&mut self.watch)
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    /// Deliver one internal event.
+    pub fn handle(&mut self, now: SimTime, ev: ClusterEvent) -> Vec<Effect> {
+        match ev {
+            ClusterEvent::ControllerTick => self.controller_tick(now),
+            ClusterEvent::NodeProvisioned(id) => self.node_provisioned(now, id),
+            ClusterEvent::NodePreempted(id) => self.fail_node(now, id),
+            ClusterEvent::PodImagePulled(pod, node) => self.image_pulled(now, pod, node),
+            ClusterEvent::PodStarted(pod) => self.pod_started(now, pod),
+        }
+    }
+
+    fn controller_tick(&mut self, now: SimTime) -> Vec<Effect> {
+        let mut fx = self.scale_up_for_pending(now);
+        self.scale_down_idle(now);
+        fx.push((self.cfg.controller_interval, ClusterEvent::ControllerTick));
+        fx
+    }
+
+    /// Provision nodes for pods that cannot be placed on current (ready or
+    /// in-flight) capacity. First-fit virtual packing decides how many new
+    /// machines the pending set needs; the request is submitted as one
+    /// batch, each node sampling its own latency from the calibrated
+    /// distribution (the paper: "requests submitted in the same batch …
+    /// experience similar resource initialization latency").
+    fn scale_up_for_pending(&mut self, now: SimTime) -> Vec<Effect> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        // Batched reservation processing: while a batch is in flight, new
+        // requests wait for the next cycle (§IV-B).
+        if self.cfg.serialize_provisioning
+            && self
+                .nodes
+                .values()
+                .any(|n| n.state == NodeState::Provisioning)
+        {
+            return Vec::new();
+        }
+        // Virtual free list: ready nodes' available + provisioning nodes'
+        // full allocatable.
+        let mut free: Vec<Resources> = self
+            .nodes
+            .values()
+            .filter_map(|n| match n.state {
+                NodeState::Ready => Some(n.pool.available()),
+                NodeState::Provisioning => Some(n.machine.allocatable),
+                NodeState::Removed => None,
+            })
+            .collect();
+        let machine_alloc = self.cfg.machine.allocatable;
+        let mut new_nodes = 0usize;
+        for pid in &self.pending {
+            let req = self.pods[pid].spec.request;
+            // Anti-affinity pods conservatively claim whole fresh nodes in
+            // the virtual packing (they cannot share a node with their
+            // group, and group placement on partially-free nodes is not
+            // tracked here).
+            let anti = self.pods[pid].spec.anti_affinity;
+            if !anti {
+                if let Some(slot) = free.iter_mut().find(|s| req.fits_in(s)) {
+                    *slot = slot.saturating_sub(&req);
+                    continue;
+                }
+            }
+            if req.fits_in(&machine_alloc) {
+                new_nodes += 1;
+                if !anti {
+                    free.push(machine_alloc.saturating_sub(&req));
+                }
+            }
+            // else: request larger than any machine — stays pending forever.
+        }
+        let live = self.live_node_count();
+        let headroom = self.cfg.max_nodes.saturating_sub(live);
+        let to_create = new_nodes.min(headroom);
+        let mut fx = Vec::with_capacity(to_create);
+        for _ in 0..to_create {
+            let id = NodeId(self.node_ids.alloc());
+            let node = Node::provisioning(id, self.cfg.machine.clone(), now);
+            self.nodes.insert(id, node);
+            let latency = self
+                .rng
+                .normal_duration(self.cfg.node_provision_mean, self.cfg.node_provision_sd);
+            if let Some(life) = self.sample_preemption() {
+                fx.push((latency + life, ClusterEvent::NodePreempted(id)));
+            }
+            fx.push((latency, ClusterEvent::NodeProvisioned(id)));
+        }
+        fx
+    }
+
+    /// Remove nodes that have been empty past the idle timeout, never
+    /// shrinking below `min_nodes`.
+    fn scale_down_idle(&mut self, now: SimTime) {
+        let mut live = self.live_node_count();
+        let expired: Vec<NodeId> = self
+            .nodes
+            .values()
+            .filter(|n| n.idle_expired(now, self.cfg.node_idle_timeout))
+            .map(|n| n.id)
+            .collect();
+        for id in expired {
+            if live <= self.cfg.min_nodes {
+                break;
+            }
+            if let Some(n) = self.nodes.get_mut(&id) {
+                n.mark_removed(now);
+                live -= 1;
+                self.watch
+                    .push(WatchEvent::node(now, WatchKind::NodeRemoved(id)));
+            }
+        }
+    }
+
+    fn node_provisioned(&mut self, now: SimTime, id: NodeId) -> Vec<Effect> {
+        if let Some(n) = self.nodes.get_mut(&id) {
+            if n.state == NodeState::Provisioning {
+                n.mark_ready(now);
+                self.watch
+                    .push(WatchEvent::node(now, WatchKind::NodeReady(id)));
+            }
+        }
+        self.try_schedule_all(now)
+    }
+
+    fn image_pulled(&mut self, now: SimTime, pod_id: PodId, node_id: NodeId) -> Vec<Effect> {
+        // The pull completed on the node regardless of the pod's fate.
+        if let Some(n) = self.nodes.get_mut(&node_id) {
+            if n.state == NodeState::Ready {
+                if let Some(pod) = self.pods.get(&pod_id) {
+                    n.cache_image(pod.spec.image);
+                }
+            }
+        }
+        let Some(pod) = self.pods.get_mut(&pod_id) else {
+            return Vec::new();
+        };
+        if pod.phase != PodPhase::Pending(PendingReason::PullingImage) {
+            return Vec::new();
+        }
+        pod.pulled_image = true;
+        self.watch.push(WatchEvent::pod(
+            now,
+            pod_id,
+            WatchKind::PodImagePulled(node_id),
+        ));
+        vec![(self.cfg.pod_start_delay, ClusterEvent::PodStarted(pod_id))]
+    }
+
+    fn pod_started(&mut self, now: SimTime, pod_id: PodId) -> Vec<Effect> {
+        let Some(pod) = self.pods.get_mut(&pod_id) else {
+            return Vec::new();
+        };
+        if pod.phase.is_terminal() || pod.phase == PodPhase::Running {
+            return Vec::new();
+        }
+        let Some(node) = pod.node else {
+            return Vec::new();
+        };
+        pod.phase = PodPhase::Running;
+        pod.running_at = Some(now);
+        self.watch
+            .push(WatchEvent::pod(now, pod_id, WatchKind::PodRunning(node)));
+        Vec::new()
+    }
+
+    /// First-fit FIFO scheduler pass over the pending queue.
+    fn try_schedule_all(&mut self, now: SimTime) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        let mut still_pending = Vec::new();
+        let pending = std::mem::take(&mut self.pending);
+        for pid in pending {
+            let Some(pod) = self.pods.get(&pid) else {
+                continue;
+            };
+            if pod.phase != PodPhase::Pending(PendingReason::InsufficientResource) {
+                continue;
+            }
+            let req = pod.spec.request;
+            let image = pod.spec.image;
+            let anti = pod.spec.anti_affinity.then(|| pod.spec.group.clone());
+            let target = self
+                .nodes
+                .values()
+                .filter(|n| n.can_fit(&req))
+                .filter(|n| {
+                    anti.as_deref().is_none_or(|group| {
+                        !self.node_hosts_group(n.id, group)
+                    })
+                })
+                .map(|n| n.id)
+                .next();
+            match target {
+                Some(nid) => {
+                    let node = self.nodes.get_mut(&nid).expect("node exists");
+                    node.bind_pod(pid.raw(), req)
+                        .expect("can_fit checked before bind");
+                    let cached = node.has_image(image);
+                    let pull = if cached {
+                        Duration::ZERO
+                    } else {
+                        self.registry.pull_duration(image, &mut self.rng)
+                    };
+                    let pod = self.pods.get_mut(&pid).expect("pod exists");
+                    pod.node = Some(nid);
+                    pod.scheduled_at = Some(now);
+                    pod.phase = PodPhase::Pending(PendingReason::PullingImage);
+                    self.watch
+                        .push(WatchEvent::pod(now, pid, WatchKind::PodScheduled(nid)));
+                    if cached {
+                        // Skip the pull phase entirely.
+                        pod.phase = PodPhase::Pending(PendingReason::PullingImage);
+                        fx.push((self.cfg.pod_start_delay, ClusterEvent::PodStarted(pid)));
+                        self.watch.push(WatchEvent::pod(
+                            now,
+                            pid,
+                            WatchKind::PodImagePulled(nid),
+                        ));
+                    } else {
+                        fx.push((pull, ClusterEvent::PodImagePulled(pid, nid)));
+                    }
+                }
+                None => {
+                    let pod = self.pods.get_mut(&pid).expect("pod exists");
+                    if !pod.waited_for_node {
+                        pod.waited_for_node = true;
+                        self.watch
+                            .push(WatchEvent::pod(now, pid, WatchKind::PodUnschedulable));
+                    }
+                    still_pending.push(pid);
+                }
+            }
+        }
+        self.pending = still_pending;
+        fx
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Whether a node currently hosts a resource-holding pod of `group`.
+    fn node_hosts_group(&self, node: NodeId, group: &str) -> bool {
+        self.pods.values().any(|p| {
+            p.node == Some(node) && p.spec.group == group && p.phase.holds_resources()
+        })
+    }
+
+    /// Nodes that are `Ready` or `Provisioning`.
+    pub fn live_node_count(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|n| n.state != NodeState::Removed)
+            .count()
+    }
+
+    /// Nodes currently `Ready`.
+    pub fn ready_node_count(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|n| n.state == NodeState::Ready)
+            .count()
+    }
+
+    /// Sum of allocatable capacity across ready nodes.
+    pub fn ready_capacity(&self) -> Resources {
+        self.nodes
+            .values()
+            .filter(|n| n.state == NodeState::Ready)
+            .map(|n| n.pool.capacity())
+            .sum()
+    }
+
+    /// A pod by id.
+    pub fn pod(&self, id: PodId) -> Option<&Pod> {
+        self.pods.get(&id)
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// All pods (any phase).
+    pub fn pods(&self) -> impl Iterator<Item = &Pod> {
+        self.pods.values()
+    }
+
+    /// Non-terminal pods in a group.
+    pub fn live_pods_in_group<'a>(&'a self, group: &'a str) -> impl Iterator<Item = &'a Pod> + 'a {
+        self.pods
+            .values()
+            .filter(move |p| p.spec.group == group && !p.phase.is_terminal())
+    }
+
+    /// Number of non-terminal pods in a group (HPA's "current replicas").
+    pub fn group_replicas(&self, group: &str) -> usize {
+        self.live_pods_in_group(group).count()
+    }
+
+    /// Running pods in a group.
+    pub fn running_pods_in_group(&self, group: &str) -> Vec<PodId> {
+        self.pods
+            .values()
+            .filter(|p| p.spec.group == group && p.phase == PodPhase::Running)
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Number of pods still pending (any group).
+    pub fn pending_pod_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Aggregate counters by phase/state (monitoring endpoints).
+    pub fn stats(&self) -> ClusterStats {
+        let mut st = ClusterStats::default();
+        for n in self.nodes.values() {
+            match n.state {
+                NodeState::Provisioning => st.nodes_provisioning += 1,
+                NodeState::Ready => st.nodes_ready += 1,
+                NodeState::Removed => st.nodes_removed += 1,
+            }
+        }
+        for p in self.pods.values() {
+            match p.phase {
+                PodPhase::Pending(PendingReason::InsufficientResource) => st.pods_unschedulable += 1,
+                PodPhase::Pending(PendingReason::PullingImage) => st.pods_pulling += 1,
+                PodPhase::Running => st.pods_running += 1,
+                PodPhase::Succeeded => st.pods_succeeded += 1,
+                PodPhase::Failed => st.pods_failed += 1,
+                PodPhase::Deleted => st.pods_deleted += 1,
+            }
+        }
+        st
+    }
+
+    /// `kubectl get`-style textual snapshot of nodes and non-terminal
+    /// pods — the first thing to print when a simulation misbehaves.
+    pub fn describe(&self, now: SimTime) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "NODES ({} live):", self.live_node_count());
+        for n in self.nodes.values() {
+            if n.state == NodeState::Removed {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<13} used {} / {}  pods {}",
+                n.id.to_string(),
+                format!("{:?}", n.state),
+                n.pool.used(),
+                n.pool.capacity(),
+                n.pool.len(),
+            );
+        }
+        let live_pods: Vec<&Pod> = self
+            .pods
+            .values()
+            .filter(|p| !p.phase.is_terminal())
+            .collect();
+        let _ = writeln!(out, "PODS ({} live):", live_pods.len());
+        for p in live_pods {
+            let age = now.since(p.created_at).as_secs_f64();
+            let _ = writeln!(
+                out,
+                "  {:<8} {:<12} {:<28} node {:<8} age {:.0}s",
+                p.id.to_string(),
+                p.spec.group,
+                format!("{:?}", p.phase),
+                p.node.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+                age,
+            );
+        }
+        out
+    }
+
+    /// Debug invariant: every node pool's allocations reference live pods
+    /// bound to that node, and sums are consistent.
+    pub fn check_invariants(&self) -> bool {
+        for node in self.nodes.values() {
+            if !node.pool.check_invariant() {
+                return false;
+            }
+            for (key, _) in node.pool.iter() {
+                let pid = PodId(key);
+                match self.pods.get(&pid) {
+                    Some(p) => {
+                        if p.node != Some(node.id) || !p.phase.holds_resources() {
+                            return false;
+                        }
+                    }
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineType;
+    use crate::ids::ImageId;
+
+    fn small_cfg() -> ClusterConfig {
+        ClusterConfig {
+            machine: MachineType::custom("m4", Resources::cores(4, 16_000, 100_000)),
+            min_nodes: 1,
+            max_nodes: 5,
+            node_provision_mean: Duration::from_secs(150),
+            node_provision_sd: Duration::ZERO,
+            controller_interval: Duration::from_secs(10),
+            node_idle_timeout: Duration::from_secs(60),
+            serialize_provisioning: true,
+            registry_bandwidth_mbps: 50.0,
+            preemption_mean_lifetime: None,
+            image_pull_jitter: 0.0,
+            pod_start_delay: Duration::from_secs(1),
+            seed: 7,
+        }
+    }
+
+    /// Drive a cluster's own event loop until quiescent, returning the end
+    /// time. Mirrors what the hta-core driver does for the full system.
+    fn run_to_quiescence(cluster: &mut Cluster, fx: Vec<Effect>, q: &mut hta_des::EventQueue<ClusterEvent>, max_events: usize) {
+        for (d, e) in fx {
+            q.schedule_in(d, e);
+        }
+        for _ in 0..max_events {
+            // Stop if only the recurring controller tick remains and
+            // nothing is pending or provisioning.
+            let only_ticks = cluster.pending_pod_count() == 0
+                && cluster
+                    .nodes
+                    .values()
+                    .all(|n| n.state != NodeState::Provisioning);
+            if only_ticks
+                && cluster
+                    .pods
+                    .values()
+                    .all(|p| p.phase == PodPhase::Running || p.phase.is_terminal())
+            {
+                break;
+            }
+            let Some((now, ev)) = q.pop() else { break };
+            for (d, e) in cluster.handle(now, ev) {
+                q.schedule_in(d, e);
+            }
+        }
+    }
+
+    fn worker_spec(image: ImageId) -> PodSpec {
+        PodSpec {
+            request: Resources::cores(4, 15_000, 50_000),
+            image,
+            group: "wq-worker".into(),
+            anti_affinity: false,
+        }
+    }
+
+    #[test]
+    fn bootstrap_creates_ready_min_nodes() {
+        let mut c = Cluster::new(small_cfg());
+        let fx = c.bootstrap(SimTime::ZERO);
+        assert_eq!(c.ready_node_count(), 1);
+        assert_eq!(fx.len(), 1); // the controller tick
+        let events = c.drain_watch();
+        assert!(matches!(events[0].kind, WatchKind::NodeReady(_)));
+    }
+
+    #[test]
+    fn pod_on_warm_node_skips_pull_when_cached() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 500.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+
+        // First pod: cold pull (10s at 50MB/s).
+        let (p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let pod1 = c.pod(p1).unwrap();
+        assert_eq!(pod1.phase, PodPhase::Running);
+        assert!(pod1.pulled_image);
+        assert!(!pod1.waited_for_node);
+        // 10s pull + 1s start.
+        assert_eq!(pod1.running_at.unwrap(), SimTime::from_secs(11));
+
+        // Complete it, then a second pod reuses the cached image.
+        let fx = c.complete_pod(q.now(), p1);
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let (p2, fx) = c.create_pod(q.now(), worker_spec(img));
+        let before = q.now();
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let pod2 = c.pod(p2).unwrap();
+        assert_eq!(pod2.phase, PodPhase::Running);
+        assert!(!pod2.pulled_image, "image was cached");
+        assert_eq!(
+            pod2.running_at.unwrap().since(before),
+            Duration::from_secs(1)
+        );
+    }
+
+    #[test]
+    fn unschedulable_pod_triggers_node_provision_and_full_init() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 500.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+
+        // Fill the single warm node, then submit one more pod.
+        let (_p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let (p2, fx) = c.create_pod(q.now(), worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 5000);
+
+        let pod2 = c.pod(p2).unwrap();
+        assert_eq!(pod2.phase, PodPhase::Running);
+        assert!(pod2.waited_for_node);
+        assert!(pod2.pulled_image);
+        assert!(pod2.measured_full_init());
+        // Init latency ≈ controller tick (≤10s) + 150s provision + 10s pull + 1s start.
+        let lat = pod2.init_latency().unwrap().as_secs_f64();
+        assert!((155.0..=175.0).contains(&lat), "latency {lat}");
+        assert_eq!(c.ready_node_count(), 2);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn max_nodes_is_respected() {
+        let mut cfg = small_cfg();
+        cfg.max_nodes = 2;
+        let mut c = Cluster::new(cfg);
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let mut fx_all = Vec::new();
+        for _ in 0..5 {
+            let (_, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+            fx_all.extend(fx);
+        }
+        run_to_quiescence(&mut c, fx_all, &mut q, 3000);
+        assert_eq!(c.live_node_count(), 2);
+        // 2 pods run (one per node), 3 remain pending.
+        assert_eq!(c.pending_pod_count(), 3);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn idle_nodes_scale_down_but_not_below_min() {
+        let mut cfg = small_cfg();
+        cfg.min_nodes = 1;
+        cfg.node_idle_timeout = Duration::from_secs(30);
+        let mut c = Cluster::new(cfg);
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+
+        // Force a second node into existence.
+        let (p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let (p2, fx) = c.create_pod(q.now(), worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 5000);
+        assert_eq!(c.ready_node_count(), 2);
+
+        // Finish both pods; after the idle timeout one node is reclaimed.
+        let mut fx = c.complete_pod(q.now(), p1);
+        fx.extend(c.complete_pod(q.now(), p2));
+        for (d, e) in fx {
+            q.schedule_in(d, e);
+        }
+        // Run controller ticks for 120 s of simulated time.
+        let deadline = q.now() + Duration::from_secs(120);
+        while let Some(t) = q.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = q.pop().unwrap();
+            for (d, e) in c.handle(now, ev) {
+                q.schedule_in(d, e);
+            }
+        }
+        assert_eq!(c.ready_node_count(), 1, "scaled down to min_nodes");
+        let removed = c
+            .nodes
+            .values()
+            .filter(|n| n.state == NodeState::Removed)
+            .count();
+        assert_eq!(removed, 1);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn delete_running_pod_fails_it_and_frees_capacity() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let (p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        assert_eq!(c.pod(p1).unwrap().phase, PodPhase::Running);
+
+        c.drain_watch();
+        let _ = c.delete_pod(q.now(), p1);
+        assert_eq!(c.pod(p1).unwrap().phase, PodPhase::Failed);
+        let events = c.drain_watch();
+        assert!(events.iter().any(|e| e.kind == WatchKind::PodFailed));
+        // Node is free again.
+        let node = c.nodes.values().next().unwrap();
+        assert!(node.pool.is_empty());
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn delete_pending_pod_is_clean() {
+        let mut cfg = small_cfg();
+        cfg.max_nodes = 1; // nothing can ever fit a second pod
+        let mut c = Cluster::new(cfg);
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let (_p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let (p2, _fx) = c.create_pod(q.now(), worker_spec(img));
+        let _ = c.delete_pod(q.now(), p2);
+        assert_eq!(c.pod(p2).unwrap().phase, PodPhase::Deleted);
+        assert_eq!(c.pending_pod_count(), 0);
+    }
+
+    #[test]
+    fn watch_stream_records_full_lifecycle_in_order() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let _ = c.bootstrap(SimTime::ZERO);
+        c.drain_watch();
+        let mut q = hta_des::EventQueue::new();
+        let (p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let kinds: Vec<WatchKind> = c
+            .drain_watch()
+            .into_iter()
+            .filter(|e| e.pod == p1)
+            .map(|e| e.kind)
+            .collect();
+        assert!(matches!(kinds[0], WatchKind::PodCreated));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, WatchKind::PodScheduled(_))));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, WatchKind::PodImagePulled(_))));
+        assert!(matches!(kinds.last(), Some(WatchKind::PodRunning(_))));
+    }
+
+    #[test]
+    fn stats_count_by_phase() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let (p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let (_p2, _fx) = c.create_pod(q.now(), worker_spec(img)); // unschedulable
+        let st = c.stats();
+        assert_eq!(st.nodes_ready, 1);
+        assert_eq!(st.pods_running, 1);
+        assert_eq!(st.pods_unschedulable, 1);
+        let _ = c.complete_pod(q.now(), p1);
+        assert_eq!(c.stats().pods_succeeded, 1);
+    }
+
+    #[test]
+    fn describe_reports_nodes_and_pods() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let (_p, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let text = c.describe(q.now());
+        assert!(text.contains("NODES (1 live)"), "{text}");
+        assert!(text.contains("PODS (1 live)"), "{text}");
+        assert!(text.contains("Running"), "{text}");
+        assert!(text.contains("wq-worker"), "{text}");
+    }
+
+    #[test]
+    fn group_queries() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let (p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        assert_eq!(c.group_replicas("wq-worker"), 1);
+        assert_eq!(c.group_replicas("other"), 0);
+        assert_eq!(c.running_pods_in_group("wq-worker"), vec![p1]);
+    }
+
+    #[test]
+    fn preemptible_nodes_get_reclaimed_and_replaced() {
+        let mut cfg = small_cfg();
+        cfg.preemption_mean_lifetime = Some(Duration::from_secs(300));
+        cfg.min_nodes = 1;
+        cfg.max_nodes = 4;
+        let mut c = Cluster::new(cfg);
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        // A long-lived pod occupies the bootstrap node.
+        let (p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        for (d, e) in fx {
+            q.schedule_in(d, e);
+        }
+        // Run for two simulated hours: the node must be reclaimed at some
+        // point (mean lifetime 300 s) and the pod must fail with it.
+        let deadline = SimTime::from_secs(7200);
+        let mut preempted = false;
+        while let Some(t) = q.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = q.pop().unwrap();
+            for (d, e) in c.handle(now, ev) {
+                q.schedule_in(d, e);
+            }
+            if c.pod(p1).is_some_and(|p| p.phase == PodPhase::Failed) {
+                preempted = true;
+                break;
+            }
+        }
+        assert!(preempted, "spot node must be reclaimed within 2 h");
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn on_demand_nodes_never_self_preempt() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let (p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        // Drain controller ticks for a long horizon; nothing may fail.
+        let deadline = SimTime::from_secs(7200);
+        while let Some(t) = q.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = q.pop().unwrap();
+            for (d, e) in c.handle(now, ev) {
+                q.schedule_in(d, e);
+            }
+        }
+        assert_eq!(c.pod(p1).unwrap().phase, PodPhase::Running);
+    }
+
+    #[test]
+    fn node_failure_fails_pods_and_replacement_provisions() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let (p1, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 1000);
+        let node = c.pod(p1).unwrap().node.unwrap();
+        c.drain_watch();
+        let fx = c.fail_node(q.now(), node);
+        for (d, e) in fx {
+            q.schedule_in(d, e);
+        }
+        assert_eq!(c.pod(p1).unwrap().phase, PodPhase::Failed);
+        let events = c.drain_watch();
+        assert!(events.iter().any(|e| e.kind == WatchKind::PodFailed));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, WatchKind::NodeRemoved(_))));
+        assert!(c.check_invariants());
+        // A replacement pod pends and a fresh node is provisioned.
+        let (p2, fx) = c.create_pod(q.now(), worker_spec(img));
+        run_to_quiescence(&mut c, fx, &mut q, 5000);
+        assert_eq!(c.pod(p2).unwrap().phase, PodPhase::Running);
+    }
+
+    #[test]
+    fn failing_unknown_or_removed_node_is_noop() {
+        let mut c = Cluster::new(small_cfg());
+        let _ = c.bootstrap(SimTime::ZERO);
+        assert!(c.fail_node(SimTime::ZERO, NodeId(99)).is_empty());
+        let id = c.any_ready_node().unwrap();
+        let _ = c.fail_node(SimTime::ZERO, id);
+        assert!(c.fail_node(SimTime::ZERO, id).is_empty(), "double fail");
+    }
+
+    #[test]
+    fn anti_affinity_spreads_pods_across_nodes() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        // Three tiny anti-affinity pods: CPU-wise they all fit one node,
+        // but the scheduler must give each its own node.
+        let spec = PodSpec {
+            request: Resources::cores(1, 2_000, 5_000),
+            image: img,
+            group: "wq-worker".into(),
+            anti_affinity: true,
+        };
+        let mut fx_all = Vec::new();
+        for _ in 0..3 {
+            let (_, fx) = c.create_pod(SimTime::ZERO, spec.clone());
+            fx_all.extend(fx);
+        }
+        run_to_quiescence(&mut c, fx_all, &mut q, 5000);
+        let pods = c.running_pods_in_group("wq-worker");
+        assert_eq!(pods.len(), 3);
+        let nodes: std::collections::HashSet<_> = pods
+            .iter()
+            .map(|p| c.pod(*p).unwrap().node.unwrap())
+            .collect();
+        assert_eq!(nodes.len(), 3, "one node per pod");
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn anti_affinity_only_applies_within_the_group() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let worker = PodSpec {
+            request: Resources::cores(1, 2_000, 5_000),
+            image: img,
+            group: "wq-worker".into(),
+            anti_affinity: true,
+        };
+        let sidecar = PodSpec {
+            request: Resources::cores(1, 2_000, 5_000),
+            image: img,
+            group: "sidecar".into(),
+            anti_affinity: false,
+        };
+        let (p1, fx1) = c.create_pod(SimTime::ZERO, worker);
+        let (p2, fx2) = c.create_pod(SimTime::ZERO, sidecar);
+        let mut fx = fx1;
+        fx.extend(fx2);
+        run_to_quiescence(&mut c, fx, &mut q, 2000);
+        // Different groups may share the single bootstrap node.
+        assert_eq!(
+            c.pod(p1).unwrap().node,
+            c.pod(p2).unwrap().node,
+            "cross-group co-location allowed"
+        );
+    }
+
+    #[test]
+    fn memory_binds_packing_before_cpu() {
+        // 4-core node with 16 GB: 7 GB pods pack 2-per-node even though
+        // CPU would allow 4.
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let spec = PodSpec {
+            request: Resources::new(1000, 7_000, 5_000),
+            image: img,
+            group: "wq-worker".into(),
+            anti_affinity: false,
+        };
+        let mut fx_all = Vec::new();
+        for _ in 0..4 {
+            let (_, fx) = c.create_pod(SimTime::ZERO, spec.clone());
+            fx_all.extend(fx);
+        }
+        run_to_quiescence(&mut c, fx_all, &mut q, 5000);
+        // 2 pods on the bootstrap node, 2 on a provisioned one.
+        assert_eq!(c.ready_node_count(), 2);
+        assert_eq!(c.running_pods_in_group("wq-worker").len(), 4);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn pod_larger_than_any_machine_pends_forever() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let (p, fx) = c.create_pod(
+            SimTime::ZERO,
+            PodSpec {
+                request: Resources::cores(64, 1_000_000, 0),
+                image: img,
+                group: "huge".into(),
+                anti_affinity: false,
+            },
+        );
+        for (d, e) in fx {
+            q.schedule_in(d, e);
+        }
+        // Run many controller ticks: no node is ever provisioned for it.
+        let deadline = SimTime::from_secs(600);
+        while let Some(t) = q.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = q.pop().unwrap();
+            for (d, e) in c.handle(now, ev) {
+                q.schedule_in(d, e);
+            }
+        }
+        assert!(matches!(
+            c.pod(p).unwrap().phase,
+            PodPhase::Pending(PendingReason::InsufficientResource)
+        ));
+        assert_eq!(c.live_node_count(), 1, "no futile provisioning");
+    }
+
+    #[test]
+    fn image_pull_jitter_is_deterministic_per_seed() {
+        let run_once = |seed: u64| {
+            let mut cfg = small_cfg();
+            cfg.image_pull_jitter = 0.2;
+            cfg.seed = seed;
+            let mut c = Cluster::new(cfg);
+            let img = c.registry_mut().register("worker", 400.0);
+            let mut q = hta_des::EventQueue::new();
+            for (d, e) in c.bootstrap(SimTime::ZERO) {
+                q.schedule_in(d, e);
+            }
+            let (p, fx) = c.create_pod(SimTime::ZERO, worker_spec(img));
+            run_to_quiescence(&mut c, fx, &mut q, 1000);
+            c.pod(p).unwrap().running_at.unwrap()
+        };
+        assert_eq!(run_once(5), run_once(5), "same seed, same pull time");
+        assert_ne!(run_once(5), run_once(6), "different seed differs");
+    }
+
+    #[test]
+    fn small_pods_pack_multiple_per_node() {
+        let mut c = Cluster::new(small_cfg());
+        let img = c.registry_mut().register("worker", 100.0);
+        let mut q = hta_des::EventQueue::new();
+        for (d, e) in c.bootstrap(SimTime::ZERO) {
+            q.schedule_in(d, e);
+        }
+        let small = PodSpec {
+            request: Resources::cores(1, 2_000, 5_000),
+            image: img,
+            group: "wq-worker".into(),
+            anti_affinity: false,
+        };
+        let mut fx_all = Vec::new();
+        for _ in 0..4 {
+            let (_, fx) = c.create_pod(SimTime::ZERO, small.clone());
+            fx_all.extend(fx);
+        }
+        run_to_quiescence(&mut c, fx_all, &mut q, 2000);
+        // All four 1-core pods fit the single 4-core node.
+        assert_eq!(c.ready_node_count(), 1);
+        assert_eq!(c.running_pods_in_group("wq-worker").len(), 4);
+        assert!(c.check_invariants());
+    }
+}

@@ -1,0 +1,172 @@
+//! Cluster configuration: machine types and the latency/behaviour knobs.
+//!
+//! Defaults are calibrated to the paper's evaluation setup (§VI): GKE with
+//! `n1-standard-4` instances (4 vCPU, 15 GB RAM, 100 GB SSD), a private
+//! container registry in the same region, Kubernetes 1.13 semantics for
+//! the scheduler and cluster autoscaler, and the Fig. 6 initialization
+//! latency (mean 157.4 s, σ 4.2 s end-to-end; the node-reservation part
+//! here is that total minus the default image pull).
+
+use hta_des::Duration;
+use hta_resources::Resources;
+use serde::{Deserialize, Serialize};
+
+/// A virtual machine shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineType {
+    /// Display name (e.g. `"n1-standard-4"`).
+    pub name: String,
+    /// Raw machine capacity.
+    pub capacity: Resources,
+    /// Capacity allocatable to pods (capacity minus system reservation).
+    pub allocatable: Resources,
+}
+
+impl MachineType {
+    /// GCE `n1-standard-4`: 4 vCPU, 15 GB RAM, 100 GB SSD — the paper's
+    /// evaluation instance type. Kubernetes reserves a sliver for system
+    /// daemons; worker pods in the paper occupy "an entire physical node",
+    /// which in practice means the allocatable share. We model 1 full core
+    /// equivalence: allocatable = capacity here, and instead size worker
+    /// pods at 3 cores like the paper's §IV-A experiment (3 usable vCPUs).
+    pub fn n1_standard_4() -> Self {
+        MachineType {
+            name: "n1-standard-4".into(),
+            capacity: Resources::cores(4, 15_000, 100_000),
+            allocatable: Resources::cores(4, 14_000, 95_000),
+        }
+    }
+
+    /// The §IV-A experiment's 3 vCPU / 12 GB node.
+    pub fn gke_3cpu_12gb() -> Self {
+        MachineType {
+            name: "custom-3-12288".into(),
+            capacity: Resources::cores(3, 12_288, 100_000),
+            allocatable: Resources::cores(3, 11_500, 95_000),
+        }
+    }
+
+    /// A custom shape with allocatable == capacity (unit tests).
+    pub fn custom(name: &str, capacity: Resources) -> Self {
+        MachineType {
+            name: name.into(),
+            capacity,
+            allocatable: capacity,
+        }
+    }
+}
+
+/// All cluster behaviour knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// The single machine type nodes are provisioned from. (GKE node pools
+    /// are homogeneous; the paper uses one pool.)
+    pub machine: MachineType,
+    /// Nodes the cluster never shrinks below (the paper keeps 3 — §V-A
+    /// footnote: smaller clusters can become unreachable during master
+    /// upgrades).
+    pub min_nodes: usize,
+    /// Hard cap on cluster size (user budget / quota).
+    pub max_nodes: usize,
+    /// Mean node reservation latency (VM create + boot + join). Fig. 6's
+    /// end-to-end 157.4 s minus the default worker-image pull.
+    pub node_provision_mean: Duration,
+    /// Standard deviation of the reservation latency.
+    pub node_provision_sd: Duration,
+    /// Cloud-controller-manager reconcile interval (scans pending pods and
+    /// idle nodes).
+    pub controller_interval: Duration,
+    /// How long a node must be empty before the cluster autoscaler removes
+    /// it. Kubernetes' cluster-autoscaler default is 10 minutes; GKE in
+    /// 2019/2020 behaved the same.
+    pub node_idle_timeout: Duration,
+    /// Process node reservations in serialized batches: a new batch
+    /// starts only after the previous batch's nodes are ready. This is
+    /// the paper's §IV-B observation ("cluster managers usually process
+    /// reservation requests in batches") and produces the staircase
+    /// scale-up GKE exhibits in Figs. 2 and 10.
+    pub serialize_provisioning: bool,
+    /// Bandwidth from the (private, same-region) container registry to a
+    /// node, MB/s. Governs image pull time.
+    pub registry_bandwidth_mbps: f64,
+    /// Relative jitter applied to each image pull (±).
+    pub image_pull_jitter: f64,
+    /// Delay from "image present" to "containers running" (kubelet start,
+    /// readiness).
+    pub pod_start_delay: Duration,
+    /// Preemptible ("spot") node pool: each provisioned node receives a
+    /// random lifetime drawn from an exponential distribution with this
+    /// mean, after which the provider reclaims it (all pods fail). `None`
+    /// models on-demand nodes. Spot capacity is the natural cost play for
+    /// HTC's interruptible jobs — the pay-as-you-go theme of §I.
+    pub preemption_mean_lifetime: Option<Duration>,
+    /// RNG seed for provisioning/pull latencies.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            machine: MachineType::n1_standard_4(),
+            min_nodes: 3,
+            max_nodes: 20,
+            // 157.4s end-to-end (Fig. 6) ≈ ~5s controller-scan wait +
+            // ~138s reservation + ~12.5s pull of a 500 MB worker image at
+            // 40 MB/s + 2s pod start.
+            node_provision_mean: Duration::from_millis(137_900),
+            node_provision_sd: Duration::from_millis(4_000),
+            controller_interval: Duration::from_secs(10),
+            node_idle_timeout: Duration::from_secs(600),
+            serialize_provisioning: true,
+            registry_bandwidth_mbps: 40.0,
+            image_pull_jitter: 0.08,
+            pod_start_delay: Duration::from_secs(2),
+            preemption_mean_lifetime: None,
+            seed: 0x4854_4131, // "HTA1"
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The Fig. 6 calibration target: expected end-to-end initialization
+    /// latency for a pod that needs a fresh node and a cold image pull of
+    /// `image_mb` megabytes. Includes the mean wait for the next
+    /// cloud-controller scan (half the reconcile interval).
+    pub fn expected_init_latency(&self, image_mb: f64) -> Duration {
+        let pull = Duration::from_secs_f64(image_mb / self.registry_bandwidth_mbps.max(1e-9));
+        let mean_scan_wait = Duration::from_millis(self.controller_interval.as_millis() / 2);
+        mean_scan_wait + self.node_provision_mean + pull + self.pod_start_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n1_standard_4_matches_paper() {
+        let m = MachineType::n1_standard_4();
+        assert_eq!(m.capacity.millicores, 4000);
+        assert_eq!(m.capacity.memory_mb, 15_000);
+        assert_eq!(m.capacity.disk_mb, 100_000);
+        assert!(m.allocatable.fits_in(&m.capacity));
+    }
+
+    #[test]
+    fn default_init_latency_is_near_fig6() {
+        let cfg = ClusterConfig::default();
+        let total = cfg.expected_init_latency(500.0).as_secs_f64();
+        assert!(
+            (total - 157.4).abs() < 3.0,
+            "expected ≈157.4s end-to-end, got {total}"
+        );
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = ClusterConfig::default();
+        assert!(cfg.min_nodes <= cfg.max_nodes);
+        assert!(cfg.registry_bandwidth_mbps > 0.0);
+        assert!(!cfg.controller_interval.is_zero());
+    }
+}

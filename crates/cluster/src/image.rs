@@ -1,0 +1,127 @@
+//! Container images and pull-time modeling.
+//!
+//! The paper sets up a private registry in the same region "to avoid
+//! network speed variations between a public Docker registry and the
+//! daemons" (§VI). Pull time is therefore stable: `size / bandwidth` with
+//! small jitter. Nodes cache images after the first pull — the second pod
+//! of the same image on a node starts without the *No Container Image*
+//! phase, exactly as kubelet behaves.
+
+use hta_des::{Duration, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ImageId;
+
+/// A container image stored in the (private) registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageSpec {
+    /// Identifier handed out by [`Registry::register`].
+    pub id: ImageId,
+    /// Human-readable reference, e.g. `"gcr.io/nd-ccl/wq-worker:7.0"`.
+    pub reference: String,
+    /// Compressed image size in MB (drives pull time).
+    pub size_mb: f64,
+}
+
+/// The container registry: image catalogue + pull-time model.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    images: Vec<ImageSpec>,
+    bandwidth_mbps: f64,
+    jitter: f64,
+}
+
+impl Registry {
+    /// A registry with the given node-visible bandwidth and pull jitter.
+    pub fn new(bandwidth_mbps: f64, jitter: f64) -> Self {
+        Registry {
+            images: Vec::new(),
+            bandwidth_mbps: bandwidth_mbps.max(1e-9),
+            jitter: jitter.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Register an image, returning its id.
+    pub fn register(&mut self, reference: impl Into<String>, size_mb: f64) -> ImageId {
+        let id = ImageId(self.images.len() as u64);
+        self.images.push(ImageSpec {
+            id,
+            reference: reference.into(),
+            size_mb: size_mb.max(0.0),
+        });
+        id
+    }
+
+    /// Look up an image.
+    pub fn get(&self, id: ImageId) -> Option<&ImageSpec> {
+        self.images.get(id.raw() as usize)
+    }
+
+    /// Number of registered images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when no image has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Sample the pull duration for `id` (zero for unknown images, which
+    /// models an image already baked into the node boot disk).
+    pub fn pull_duration(&self, id: ImageId, rng: &mut SimRng) -> Duration {
+        match self.get(id) {
+            Some(img) if img.size_mb > 0.0 => {
+                let base = Duration::from_secs_f64(img.size_mb / self.bandwidth_mbps);
+                rng.jittered(base, self.jitter)
+            }
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = Registry::new(40.0, 0.0);
+        let a = reg.register("worker:1", 500.0);
+        let b = reg.register("blast-db:2", 1400.0);
+        assert_ne!(a, b);
+        assert_eq!(reg.get(a).unwrap().reference, "worker:1");
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn pull_time_is_size_over_bandwidth() {
+        let mut reg = Registry::new(40.0, 0.0);
+        let id = reg.register("worker", 500.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        let d = reg.pull_duration(id, &mut rng);
+        assert!((d.as_secs_f64() - 12.5).abs() < 1e-6, "got {d:?}");
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let mut reg = Registry::new(100.0, 0.1);
+        let id = reg.register("img", 1000.0); // 10s nominal
+        let mut rng = SimRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let d = reg.pull_duration(id, &mut rng).as_secs_f64();
+            assert!((8.99..=11.01).contains(&d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn unknown_or_empty_image_pulls_instantly() {
+        let reg = Registry::new(40.0, 0.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        assert_eq!(reg.pull_duration(ImageId(99), &mut rng), Duration::ZERO);
+        let mut reg = Registry::new(40.0, 0.0);
+        let id = reg.register("empty", 0.0);
+        assert_eq!(reg.pull_duration(id, &mut rng), Duration::ZERO);
+    }
+}

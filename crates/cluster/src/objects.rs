@@ -1,0 +1,159 @@
+//! Lightweight StatefulSet and Service objects.
+//!
+//! The paper's deployment (§V-A) wraps the Work Queue *master* pod in a
+//! StatefulSet (sticky identity + persistent volume for intermediate data)
+//! and exposes it through two Services (in-cluster for workers, external
+//! for Makeflow/HTA). Worker pods are deliberately *not* wrapped in a
+//! controller object — §II-C: deleting a managing deployment unit would
+//! interrupt running jobs, so HTA manages worker-pod lifecycles directly
+//! through Work Queue.
+//!
+//! These objects carry just enough state for the operator to reproduce
+//! that topology; they do not add behaviour beyond identity bookkeeping.
+
+use hta_resources::Resources;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::PodId;
+
+/// A StatefulSet with sticky pod identities.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatefulSet {
+    /// Object name (e.g. `"wq-master"`).
+    pub name: String,
+    /// Desired replica count.
+    pub replicas: usize,
+    /// Ordinal → pod binding; `None` while the ordinal's pod is pending
+    /// replacement.
+    pub pods: Vec<Option<PodId>>,
+    /// Size of the attached persistent volume (MB).
+    pub volume_mb: i64,
+}
+
+impl StatefulSet {
+    /// A new set with all ordinals unbound.
+    pub fn new(name: impl Into<String>, replicas: usize, volume_mb: i64) -> Self {
+        StatefulSet {
+            name: name.into(),
+            replicas,
+            pods: vec![None; replicas],
+            volume_mb: volume_mb.max(0),
+        }
+    }
+
+    /// Bind `pod` to the first free ordinal; returns the ordinal.
+    pub fn bind(&mut self, pod: PodId) -> Option<usize> {
+        let slot = self.pods.iter().position(|p| p.is_none())?;
+        self.pods[slot] = Some(pod);
+        Some(slot)
+    }
+
+    /// Unbind whichever ordinal holds `pod` (pod restart); the identity
+    /// (ordinal) is retained for the replacement.
+    pub fn unbind(&mut self, pod: PodId) -> Option<usize> {
+        let slot = self.pods.iter().position(|p| *p == Some(pod))?;
+        self.pods[slot] = None;
+        Some(slot)
+    }
+
+    /// Stable DNS-style identity for an ordinal (`name-0`, `name-1`, …).
+    pub fn identity(&self, ordinal: usize) -> String {
+        format!("{}-{}", self.name, ordinal)
+    }
+
+    /// True when every ordinal is bound.
+    pub fn fully_bound(&self) -> bool {
+        self.pods.iter().all(|p| p.is_some())
+    }
+}
+
+/// How a Service is reachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Reachable only inside the cluster (worker → master).
+    ClusterIp,
+    /// Reachable from outside (Makeflow/HTA → master).
+    LoadBalancer,
+}
+
+/// A Service selecting a pod group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Service {
+    /// Object name.
+    pub name: String,
+    /// Pod group this service routes to.
+    pub selector_group: String,
+    /// Exposure.
+    pub kind: ServiceKind,
+    /// Service port.
+    pub port: u16,
+}
+
+impl Service {
+    /// Construct a service.
+    pub fn new(
+        name: impl Into<String>,
+        selector_group: impl Into<String>,
+        kind: ServiceKind,
+        port: u16,
+    ) -> Self {
+        Service {
+            name: name.into(),
+            selector_group: selector_group.into(),
+            kind,
+            port,
+        }
+    }
+
+    /// Whether a pod in `group` is selected by this service.
+    pub fn selects(&self, group: &str) -> bool {
+        self.selector_group == group
+    }
+}
+
+/// The master-pod resource request used by the operator: modest CPU, room
+/// for the queue state and cached intermediate data on the volume.
+pub fn master_pod_request() -> Resources {
+    Resources::new(1000, 4_000, 20_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statefulset_sticky_identity() {
+        let mut ss = StatefulSet::new("wq-master", 1, 50_000);
+        assert!(!ss.fully_bound());
+        let ord = ss.bind(PodId(10)).unwrap();
+        assert_eq!(ord, 0);
+        assert_eq!(ss.identity(ord), "wq-master-0");
+        assert!(ss.fully_bound());
+        // Restart: unbind frees the same ordinal for the replacement.
+        assert_eq!(ss.unbind(PodId(10)), Some(0));
+        let ord2 = ss.bind(PodId(11)).unwrap();
+        assert_eq!(ord2, 0, "replacement keeps the sticky ordinal");
+    }
+
+    #[test]
+    fn bind_fails_when_full() {
+        let mut ss = StatefulSet::new("s", 1, 0);
+        ss.bind(PodId(1)).unwrap();
+        assert_eq!(ss.bind(PodId(2)), None);
+        assert_eq!(ss.unbind(PodId(99)), None);
+    }
+
+    #[test]
+    fn service_selection() {
+        let svc = Service::new("wq-master-external", "wq-master", ServiceKind::LoadBalancer, 9123);
+        assert!(svc.selects("wq-master"));
+        assert!(!svc.selects("wq-worker"));
+        assert_eq!(svc.kind, ServiceKind::LoadBalancer);
+    }
+
+    #[test]
+    fn master_request_is_modest() {
+        let r = master_pod_request();
+        assert!(r.fits_in(&crate::config::MachineType::n1_standard_4().allocatable));
+    }
+}

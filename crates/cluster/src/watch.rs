@@ -1,0 +1,92 @@
+//! The informer/watch event stream.
+//!
+//! HTA's implementation (§V-A) registers a client-go informer cache and
+//! derives the latest resource-initialization time from pod lifecycle
+//! events. The simulator emits the same stream: every pod and node
+//! transition appends a [`WatchEvent`]; consumers drain the buffer after
+//! each simulation step.
+
+use hta_des::SimTime;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{NodeId, PodId};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WatchKind {
+    /// Pod accepted by the API server (phase `Pending`).
+    PodCreated,
+    /// Pod could not be scheduled: `FailedScheduling / Insufficient ...`.
+    /// The paper's *No Available Node* state.
+    PodUnschedulable,
+    /// Pod bound to a node; image pull begins. *No Container Image*.
+    PodScheduled(NodeId),
+    /// Image pull finished; containers starting.
+    PodImagePulled(NodeId),
+    /// Containers running.
+    PodRunning(NodeId),
+    /// Pod exited gracefully (worker drained). *Worker-Pod Stopped*.
+    PodSucceeded,
+    /// Pod killed (eviction / delete while running).
+    PodFailed,
+    /// Node became `Ready`.
+    NodeReady(NodeId),
+    /// Node removed by the cluster autoscaler.
+    NodeRemoved(NodeId),
+}
+
+/// One timestamped informer record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchEvent {
+    /// When the transition happened.
+    pub at: SimTime,
+    /// Subject pod (or the pod-sized sentinel `PodId(u64::MAX)` for pure
+    /// node events, which carry the node in their kind).
+    pub pod: PodId,
+    /// Transition kind.
+    pub kind: WatchKind,
+}
+
+impl WatchEvent {
+    /// Sentinel pod id used for node-only events.
+    pub const NODE_EVENT: PodId = PodId(u64::MAX);
+
+    /// A pod event.
+    pub fn pod(at: SimTime, pod: PodId, kind: WatchKind) -> Self {
+        WatchEvent { at, pod, kind }
+    }
+
+    /// A node event.
+    pub fn node(at: SimTime, kind: WatchKind) -> Self {
+        WatchEvent {
+            at,
+            pod: Self::NODE_EVENT,
+            kind,
+        }
+    }
+
+    /// True for node-only events.
+    pub fn is_node_event(&self) -> bool {
+        self.pod == Self::NODE_EVENT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_events_use_sentinel() {
+        let e = WatchEvent::node(SimTime::ZERO, WatchKind::NodeReady(NodeId(3)));
+        assert!(e.is_node_event());
+        let p = WatchEvent::pod(SimTime::ZERO, PodId(1), WatchKind::PodCreated);
+        assert!(!p.is_node_event());
+    }
+
+    #[test]
+    fn events_are_copy_and_comparable() {
+        let a = WatchEvent::pod(SimTime::from_secs(1), PodId(1), WatchKind::PodSucceeded);
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-category runtime statistics (the feedback input).
+//!
+//! §IV-A: "By collecting the resource usage of complete jobs, we can
+//! estimate the resource requirements of jobs belonging to the same
+//! stage." The estimate is conservative: the **component-wise maximum**
+//! of measured peaks (so packing never starves a job), while execution
+//! time uses a running mean (the estimator wants expected completion
+//! times, not worst cases).
+
+use std::collections::BTreeMap;
+
+use hta_des::Duration;
+use hta_resources::Resources;
+use hta_workqueue::task::Measured;
+
+/// What the stats can say about one category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryEstimate {
+    /// Conservative per-job resource requirement (max of observed peaks).
+    pub resources: Resources,
+    /// Mean observed execution (wall) time.
+    pub mean_wall: Duration,
+    /// Number of completed jobs backing the estimate.
+    pub samples: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Accum {
+    peak: Resources,
+    total_wall_ms: u128,
+    samples: u64,
+}
+
+/// Online per-category statistics.
+#[derive(Debug, Clone, Default)]
+pub struct CategoryStats {
+    by_category: BTreeMap<String, Accum>,
+}
+
+impl CategoryStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed job's measurement.
+    pub fn observe(&mut self, category: &str, measured: Measured) {
+        let acc = self.by_category.entry(category.to_string()).or_default();
+        acc.peak = acc.peak.max(&measured.peak);
+        acc.total_wall_ms += measured.wall.as_millis() as u128;
+        acc.samples += 1;
+    }
+
+    /// Current estimate for a category, if at least one job completed.
+    pub fn estimate(&self, category: &str) -> Option<CategoryEstimate> {
+        let acc = self.by_category.get(category)?;
+        if acc.samples == 0 {
+            return None;
+        }
+        Some(CategoryEstimate {
+            resources: acc.peak,
+            mean_wall: Duration::from_millis((acc.total_wall_ms / acc.samples as u128) as u64),
+            samples: acc.samples,
+        })
+    }
+
+    /// True once the category has any measurement.
+    pub fn knows(&self, category: &str) -> bool {
+        self.by_category
+            .get(category)
+            .is_some_and(|a| a.samples > 0)
+    }
+
+    /// Number of categories with measurements.
+    pub fn categories_known(&self) -> usize {
+        self.by_category.values().filter(|a| a.samples > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(cores: i64, mem: i64, wall_s: u64) -> Measured {
+        Measured {
+            peak: Resources::new(cores, mem, 0),
+            wall: Duration::from_secs(wall_s),
+        }
+    }
+
+    #[test]
+    fn unknown_category_has_no_estimate() {
+        let s = CategoryStats::new();
+        assert!(s.estimate("align").is_none());
+        assert!(!s.knows("align"));
+        assert_eq!(s.categories_known(), 0);
+    }
+
+    #[test]
+    fn single_observation_is_the_estimate() {
+        let mut s = CategoryStats::new();
+        s.observe("align", m(1000, 2000, 90));
+        let e = s.estimate("align").unwrap();
+        assert_eq!(e.resources, Resources::new(1000, 2000, 0));
+        assert_eq!(e.mean_wall, Duration::from_secs(90));
+        assert_eq!(e.samples, 1);
+        assert!(s.knows("align"));
+    }
+
+    #[test]
+    fn resources_take_max_wall_takes_mean() {
+        let mut s = CategoryStats::new();
+        s.observe("align", m(1000, 4000, 80));
+        s.observe("align", m(1500, 2000, 120));
+        let e = s.estimate("align").unwrap();
+        // Max per component — not the max vector of either sample.
+        assert_eq!(e.resources, Resources::new(1500, 4000, 0));
+        assert_eq!(e.mean_wall, Duration::from_secs(100));
+        assert_eq!(e.samples, 2);
+    }
+
+    #[test]
+    fn categories_are_independent() {
+        let mut s = CategoryStats::new();
+        s.observe("align", m(1000, 0, 10));
+        s.observe("reduce", m(2000, 0, 20));
+        assert_eq!(s.categories_known(), 2);
+        assert_eq!(
+            s.estimate("align").unwrap().resources.millicores,
+            1000
+        );
+        assert_eq!(
+            s.estimate("reduce").unwrap().resources.millicores,
+            2000
+        );
+    }
+}

@@ -1,0 +1,1000 @@
+//! The end-to-end system driver.
+//!
+//! Wires the four components of the paper's stack — the Kubernetes-like
+//! cluster simulator, the Work Queue master, the Makeflow workflow (via
+//! the operator) and a scaling policy — into one deterministic event
+//! loop, and records the evaluation metrics (supply, in-use, shortage,
+//! waste, pod counts, bandwidth, utilization) the figures are built from.
+//!
+//! Plumbing between components follows the paper's architecture (Fig. 8):
+//!
+//! * the **informer** stream from the cluster feeds HTA's init-time
+//!   tracker and tells the driver when worker pods come up (worker
+//!   connects to the master) or are evicted (worker killed, tasks
+//!   re-queued);
+//! * Work Queue **notifications** feed the operator (task completions →
+//!   category statistics → DAG progress) and the cluster (drained workers
+//!   exit → pod `Succeeded`);
+//! * the **policy** is evaluated on its own cadence and its actions are
+//!   translated into pod creations, graceful drains, or evictions.
+
+use hta_cluster::objects::{Service, ServiceKind, StatefulSet};
+use hta_cluster::{Cluster, ClusterConfig, ClusterEvent, ImageId, PodId, PodPhase, PodSpec, WatchKind};
+use hta_des::trace::TraceRing;
+use hta_des::{Duration, EventQueue, SimTime};
+use hta_makeflow::Workflow;
+use hta_metrics::{RunRecorder, RunSummary, Sample, TaskSpan};
+use hta_resources::Resources;
+use hta_workqueue::master::{Master, MasterConfig, WqEvent, WqNotification};
+use hta_workqueue::{WorkerId, WorkerState};
+use std::collections::BTreeMap;
+
+use crate::init_time::InitTimeTracker;
+use crate::operator::{Operator, OperatorConfig};
+use crate::policy::{PolicyContext, ScaleAction, ScalingPolicy};
+
+/// The worker-pod group label.
+pub const WORKER_GROUP: &str = "wq-worker";
+/// The master-pod group label.
+pub const MASTER_GROUP: &str = "wq-master";
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Cluster simulator configuration.
+    pub cluster: ClusterConfig,
+    /// Master (egress link) configuration.
+    pub master: MasterConfig,
+    /// Operator behaviour (warm-up, declared-resource trust).
+    pub operator: OperatorConfig,
+    /// Worker pod resource request (§IV-A: node-sized for HTA).
+    pub worker_request: Resources,
+    /// Hard anti-affinity between worker pods (never two on one node) —
+    /// guarantees the one-worker-per-node layout even for small workers.
+    pub worker_anti_affinity: bool,
+    /// Worker container image size (MB) — drives pull time.
+    pub worker_image_mb: f64,
+    /// Run the master as a StatefulSet pod in the cluster (§V-A) or
+    /// outside it (the §III/IV micro-benchmarks).
+    pub master_in_cluster: bool,
+    /// Master pod resource request (when in cluster).
+    pub master_request: Resources,
+    /// Worker pods created as soon as the master is up (HTA's warm-up
+    /// starts with the 3 bootstrap nodes; HPA starts at its minimum).
+    pub initial_workers: usize,
+    /// Hard cap on worker pods.
+    pub max_workers: usize,
+    /// Metric sampling interval.
+    pub sample_interval: Duration,
+    /// Default resource-initialization time before the first measurement.
+    pub default_init_time: Duration,
+    /// Feed measured initialization times to the policy (true, normal
+    /// HTA) or always hand it `default_init_time` (false — the
+    /// frozen-init-time ablation).
+    pub use_measured_init_time: bool,
+    /// Failure injection: instants at which a node hosting a running
+    /// worker crashes (pods fail, tasks re-queue, capacity re-provisions).
+    pub node_failures: Vec<Duration>,
+    /// Keep the most recent N trace entries (scaling decisions, pod and
+    /// workload transitions). 0 disables tracing.
+    pub trace_capacity: usize,
+    /// Metrics-pipeline staleness: the utilization the HPA reads is this
+    /// old (Kubernetes 1.13's metrics-server scraped at 60 s resolution,
+    /// so autoscaling decisions lag the workload — one of the mechanisms
+    /// behind the paper's slow Fig. 2 ramps). Zero = instant metrics.
+    pub metrics_lag: Duration,
+    /// Safety cut-off for the simulation.
+    pub max_sim_time: Duration,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            cluster: ClusterConfig::default(),
+            master: MasterConfig::default(),
+            operator: OperatorConfig::default(),
+            worker_request: Resources::cores(3, 12_000, 50_000),
+            worker_anti_affinity: false,
+            worker_image_mb: 500.0,
+            master_in_cluster: true,
+            master_request: Resources::new(1000, 4_000, 20_000),
+            initial_workers: 3,
+            max_workers: 20,
+            sample_interval: Duration::from_secs(1),
+            default_init_time: Duration::from_millis(157_400),
+            use_measured_init_time: true,
+            node_failures: Vec::new(),
+            trace_capacity: 0,
+            metrics_lag: Duration::from_secs(60),
+            max_sim_time: Duration::from_secs(200_000),
+        }
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Policy label.
+    pub label: String,
+    /// The full metric series.
+    pub recorder: RunRecorder,
+    /// The paper-style summary row.
+    pub summary: RunSummary,
+    /// Workload makespan (first submission → last completion), seconds.
+    pub makespan_s: f64,
+    /// Full-cycle initialization measurements taken during the run.
+    pub init_measurements: Vec<Duration>,
+    /// Total simulation events processed.
+    pub events: u64,
+    /// True if the run hit the safety cut-off before completing.
+    pub timed_out: bool,
+    /// Tasks that were interrupted (re-queued) at least once.
+    pub interrupted_tasks: u64,
+    /// Node failures injected during the run.
+    pub failures_injected: u64,
+    /// The retained trace tail (empty when tracing was disabled).
+    pub trace: TraceRing,
+    /// Per-task lifecycle spans (submission/start/completion), for Gantt
+    /// rendering and post-run analysis.
+    pub task_spans: Vec<TaskSpan>,
+}
+
+/// Global event type.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Cluster(ClusterEvent),
+    Wq(WqEvent),
+    PolicyTick,
+    Sample,
+    /// Failure injection: crash a node hosting a running worker.
+    FailWorkerNode,
+}
+
+/// The driver.
+pub struct SystemDriver {
+    cfg: DriverConfig,
+    cluster: Cluster,
+    master: Master,
+    operator: Operator,
+    policy: Box<dyn ScalingPolicy>,
+    tracker: InitTimeTracker,
+    recorder: RunRecorder,
+    queue: EventQueue<Event>,
+    worker_image: ImageId,
+    master_image: ImageId,
+    pod_to_worker: BTreeMap<PodId, WorkerId>,
+    worker_to_pod: BTreeMap<WorkerId, PodId>,
+    master_pod: Option<PodId>,
+    /// The §V-A deployment objects: the master runs in a single-replica
+    /// StatefulSet (sticky identity + persistent volume for intermediate
+    /// data) behind one in-cluster and one external Service.
+    master_set: StatefulSet,
+    services: Vec<Service>,
+    master_ready: bool,
+    initial_workers_created: bool,
+    workload_finished_at: Option<SimTime>,
+    cleanup_started: bool,
+    interrupted: u64,
+    failures_injected: u64,
+    trace: TraceRing,
+    seen_categories: std::collections::BTreeSet<String>,
+    /// `(sampled_at, diluted utilization)` ring for the metrics-pipeline
+    /// lag; newest at the back.
+    util_history: std::collections::VecDeque<(SimTime, Option<f64>)>,
+}
+
+impl SystemDriver {
+    /// Build a driver over a workflow with the given policy.
+    pub fn new(cfg: DriverConfig, workflow: Workflow, policy: Box<dyn ScalingPolicy>) -> Self {
+        let mut cluster = Cluster::new(cfg.cluster.clone());
+        let worker_image = cluster
+            .registry_mut()
+            .register("wq-worker:latest", cfg.worker_image_mb);
+        let master_image = cluster.registry_mut().register("wq-master:latest", 300.0);
+        let mut master = Master::new(cfg.master.clone(), hta_workqueue::FileCatalog::new());
+        let operator = Operator::new(cfg.operator.clone(), workflow, &mut master);
+        let tracker = InitTimeTracker::new(cfg.default_init_time);
+        let trace = if cfg.trace_capacity > 0 {
+            TraceRing::new(cfg.trace_capacity)
+        } else {
+            TraceRing::disabled()
+        };
+        SystemDriver {
+            cfg,
+            cluster,
+            master,
+            operator,
+            policy,
+            tracker,
+            recorder: RunRecorder::new(),
+            queue: EventQueue::new(),
+            worker_image,
+            master_image,
+            pod_to_worker: BTreeMap::new(),
+            worker_to_pod: BTreeMap::new(),
+            master_pod: None,
+            master_set: StatefulSet::new(MASTER_GROUP, 1, 50_000),
+            services: vec![
+                Service::new("wq-master-internal", MASTER_GROUP, ServiceKind::ClusterIp, 9123),
+                Service::new("wq-master-external", MASTER_GROUP, ServiceKind::LoadBalancer, 9123),
+            ],
+            master_ready: false,
+            initial_workers_created: false,
+            workload_finished_at: None,
+            cleanup_started: false,
+            interrupted: 0,
+            failures_injected: 0,
+            trace,
+            seen_categories: std::collections::BTreeSet::new(),
+            util_history: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Create (or re-create) the master pod.
+    fn create_master_pod(&mut self, now: SimTime) -> PodId {
+        let spec = PodSpec {
+            request: self.cfg.master_request,
+            image: self.master_image,
+            group: MASTER_GROUP.into(),
+            anti_affinity: false,
+        };
+        let (pod, fx) = self.cluster.create_pod(now, spec);
+        self.master_pod = Some(pod);
+        for (d, e) in fx {
+            self.queue.schedule_in(d, Event::Cluster(e));
+        }
+        pod
+    }
+
+    /// The Services routing to the master (for introspection/tests).
+    pub fn services(&self) -> &[Service] {
+        &self.services
+    }
+
+    fn worker_pod_spec(&self) -> PodSpec {
+        PodSpec {
+            request: self.cfg.worker_request,
+            image: self.worker_image,
+            group: WORKER_GROUP.into(),
+            anti_affinity: self.cfg.worker_anti_affinity,
+        }
+    }
+
+    /// Worker pods not yet terminal (pending + running).
+    fn live_worker_pods(&self) -> usize {
+        self.cluster.group_replicas(WORKER_GROUP)
+    }
+
+    /// Worker pods still waiting for a node / image.
+    fn pending_worker_pods(&self) -> Vec<PodId> {
+        self.cluster
+            .live_pods_in_group(WORKER_GROUP)
+            .filter(|p| !matches!(p.phase, PodPhase::Running))
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Run to completion (or the safety cut-off).
+    pub fn run(mut self) -> RunResult {
+        let start = SimTime::ZERO;
+        for (d, e) in self.cluster.bootstrap(start) {
+            self.queue.schedule_in(d, Event::Cluster(e));
+        }
+        if self.cfg.master_in_cluster {
+            let pod = self.create_master_pod(start);
+            self.master_set.bind(pod);
+            debug_assert!(self.master_set.fully_bound());
+        } else {
+            self.master_ready = true;
+            self.on_master_ready(start);
+        }
+        self.pump(start);
+        self.queue.schedule_in(Duration::ZERO, Event::Sample);
+        self.queue
+            .schedule_in(Duration::from_secs(1), Event::PolicyTick);
+        for at in self.cfg.node_failures.clone() {
+            self.queue.schedule_in(at, Event::FailWorkerNode);
+        }
+
+        let deadline = start + self.cfg.max_sim_time;
+        let mut timed_out = false;
+        while let Some((now, ev)) = self.queue.pop() {
+            if now > deadline {
+                timed_out = true;
+                break;
+            }
+            match ev {
+                Event::Cluster(ce) => {
+                    for (d, e) in self.cluster.handle(now, ce) {
+                        self.queue.schedule_in(d, Event::Cluster(e));
+                    }
+                }
+                Event::Wq(we) => {
+                    for (d, e) in self.master.handle(now, we) {
+                        self.queue.schedule_in(d, Event::Wq(e));
+                    }
+                }
+                Event::PolicyTick => self.policy_tick(now),
+                Event::Sample => {
+                    self.sample(now);
+                    self.queue
+                        .schedule_in(self.cfg.sample_interval, Event::Sample);
+                }
+                Event::FailWorkerNode => self.fail_worker_node(now),
+            }
+            self.pump(now);
+            if self.is_finished() {
+                break;
+            }
+        }
+
+        // Final sample so the series reflect the drained end state (the
+        // loop exits on pod events, which can land between sample ticks).
+        let now = self.queue.now();
+        self.sample(now);
+        let end = self
+            .workload_finished_at
+            .unwrap_or(now)
+            .as_secs_f64();
+        self.recorder.finish(end);
+        let label = self.policy.name();
+        let summary = self.recorder.summary(label.clone());
+        let task_spans: Vec<TaskSpan> = self
+            .master
+            .task_records()
+            .map(|r| TaskSpan {
+                label: r.spec.id.to_string(),
+                category: r.spec.category.clone(),
+                submitted_s: r.submitted_at.as_secs_f64(),
+                started_s: r.started_at.map(|t| t.as_secs_f64()),
+                completed_s: r.completed_at.map(|t| t.as_secs_f64()),
+                interruptions: r.interruptions,
+            })
+            .collect();
+        RunResult {
+            label,
+            makespan_s: end,
+            summary,
+            init_measurements: self.tracker.measurements().to_vec(),
+            events: self.queue.delivered(),
+            timed_out,
+            interrupted_tasks: self.interrupted,
+            failures_injected: self.failures_injected,
+            trace: self.trace,
+            task_spans,
+            recorder: self.recorder,
+        }
+    }
+
+    /// True once the workload is done and every cluster object we created
+    /// has reached a terminal phase.
+    fn is_finished(&self) -> bool {
+        if self.workload_finished_at.is_none() {
+            return false;
+        }
+        if self.live_worker_pods() > 0 {
+            return false;
+        }
+        match self.master_pod {
+            Some(pod) => self
+                .cluster
+                .pod(pod)
+                .map(|p| p.phase.is_terminal())
+                .unwrap_or(true),
+            None => true,
+        }
+    }
+
+    /// Cross-component plumbing: drain informer events and master
+    /// notifications until both are quiet.
+    fn pump(&mut self, now: SimTime) {
+        loop {
+            let watch = self.cluster.drain_watch();
+            let notes = self.master.drain_notifications();
+            if watch.is_empty() && notes.is_empty() {
+                break;
+            }
+            self.tracker.observe_all(watch.iter());
+            for ev in &watch {
+                match ev.kind {
+                    WatchKind::PodRunning(_) => {
+                        if Some(ev.pod) == self.master_pod && !self.master_ready {
+                            self.master_ready = true;
+                            self.on_master_ready(now);
+                        } else if self
+                            .cluster
+                            .pod(ev.pod)
+                            .is_some_and(|p| p.spec.group == WORKER_GROUP)
+                        {
+                            let (wid, fx) =
+                                self.master.worker_connect(now, self.cfg.worker_request);
+                            self.pod_to_worker.insert(ev.pod, wid);
+                            self.worker_to_pod.insert(wid, ev.pod);
+                            for (d, e) in fx {
+                                self.queue.schedule_in(d, Event::Wq(e));
+                            }
+                        }
+                    }
+                    WatchKind::PodFailed => {
+                        if Some(ev.pod) == self.master_pod && !self.cleanup_started {
+                            // StatefulSet semantics: the replacement pod
+                            // takes the same sticky ordinal; queue state
+                            // and intermediate data survive on the
+                            // persistent volume (§V-A).
+                            self.master_set.unbind(ev.pod);
+                            self.trace.push(
+                                now,
+                                "driver",
+                                format!("master pod {} lost; StatefulSet restarting it", ev.pod),
+                            );
+                            let pod = self.create_master_pod(now);
+                            self.master_set.bind(pod);
+                        }
+                        if let Some(wid) = self.pod_to_worker.remove(&ev.pod) {
+                            self.trace.push(
+                                now,
+                                "driver",
+                                format!("worker pod {} killed ({wid})", ev.pod),
+                            );
+                            self.worker_to_pod.remove(&wid);
+                            for (d, e) in self.master.kill_worker(now, wid) {
+                                self.queue.schedule_in(d, Event::Wq(e));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            for note in notes {
+                match note {
+                    WqNotification::TaskCompleted {
+                        task,
+                        category,
+                        measured,
+                    } => {
+                        let fx = self.operator.on_task_completed(
+                            now,
+                            task,
+                            &category,
+                            measured,
+                            &mut self.master,
+                        );
+                        for (d, e) in fx {
+                            self.queue.schedule_in(d, Event::Wq(e));
+                        }
+                        if self.operator.all_complete() && self.workload_finished_at.is_none() {
+                            self.workload_finished_at = Some(now);
+                            self.trace
+                                .push(now, "driver", "workload complete; cleanup".into());
+                            self.start_cleanup(now);
+                        }
+                    }
+                    WqNotification::TaskRequeued(t) => {
+                        self.interrupted += 1;
+                        self.trace
+                            .push(now, "wq", format!("{t} re-queued (worker killed)"));
+                    }
+                    WqNotification::TaskFastAborted(t) => {
+                        self.interrupted += 1;
+                        self.trace
+                            .push(now, "wq", format!("{t} fast-aborted (straggler)"));
+                    }
+                    WqNotification::WorkerStopped(wid) => {
+                        if let Some(pod) = self.worker_to_pod.remove(&wid) {
+                            self.pod_to_worker.remove(&pod);
+                            for (d, e) in self.cluster.complete_pod(now, pod) {
+                                self.queue.schedule_in(d, Event::Cluster(e));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The master pod is up: create the initial worker pods and submit the
+    /// first batch of jobs (warm-up stage, §V-C).
+    fn on_master_ready(&mut self, now: SimTime) {
+        if !self.initial_workers_created {
+            self.initial_workers_created = true;
+            for _ in 0..self.cfg.initial_workers.min(self.cfg.max_workers) {
+                let (_pod, fx) = self.cluster.create_pod(now, self.worker_pod_spec());
+                for (d, e) in fx {
+                    self.queue.schedule_in(d, Event::Cluster(e));
+                }
+            }
+        }
+        let fx = self.operator.submit_ready(now, &mut self.master);
+        for (d, e) in fx {
+            self.queue.schedule_in(d, Event::Wq(e));
+        }
+    }
+
+    /// Clean-up stage: drain every worker, delete pending worker pods and
+    /// the master pod.
+    fn start_cleanup(&mut self, now: SimTime) {
+        if self.cleanup_started {
+            return;
+        }
+        self.cleanup_started = true;
+        for pod in self.pending_worker_pods() {
+            for (d, e) in self.cluster.delete_pod(now, pod) {
+                self.queue.schedule_in(d, Event::Cluster(e));
+            }
+        }
+        let workers: Vec<WorkerId> = self.worker_to_pod.keys().copied().collect();
+        for wid in workers {
+            for (d, e) in self.master.drain_worker(now, wid) {
+                self.queue.schedule_in(d, Event::Wq(e));
+            }
+        }
+        if let Some(pod) = self.master_pod {
+            for (d, e) in self.cluster.delete_pod(now, pod) {
+                self.queue.schedule_in(d, Event::Cluster(e));
+            }
+        }
+    }
+
+    fn policy_tick(&mut self, now: SimTime) {
+        if self.cleanup_started {
+            // Keep draining stragglers (workers that were mid-task when
+            // cleanup began finish and stop on their own; pending pods are
+            // already deleted). No policy involvement needed.
+            self.queue
+                .schedule_in(Duration::from_secs(10), Event::PolicyTick);
+            return;
+        }
+        // Autoscaling belongs to the runtime stage (§V-C): before the
+        // master is up there is no queue to read and the initial worker
+        // pool has not been created, so a policy acting now would race
+        // the set-up (an HPA would double-create its minimum replicas).
+        if !self.master_ready {
+            self.queue
+                .schedule_in(Duration::from_secs(5), Event::PolicyTick);
+            return;
+        }
+        let status = self.master.queue_status();
+        let held = self.operator.held_jobs();
+        let pending = self.pending_worker_pods().len();
+        let utilization = self.lagged_utilization(now);
+        let ctx = PolicyContext {
+            now,
+            queue: &status,
+            held_jobs: &held,
+            stats: self.operator.stats(),
+            init_time: if self.cfg.use_measured_init_time {
+                self.tracker.latest()
+            } else {
+                self.cfg.default_init_time
+            },
+            worker_unit: self.cfg.worker_request,
+            live_worker_pods: self.live_worker_pods(),
+            pending_worker_pods: pending,
+            utilization,
+            max_workers: self.cfg.max_workers,
+            workload_done: self.operator.all_complete(),
+        };
+        let (action, next) = self.policy.decide(&ctx);
+        if self.trace.is_enabled() && action != ScaleAction::None {
+            self.trace.push(
+                now,
+                "policy",
+                format!(
+                    "{:?} (live={} pending={} waiting={} init={:.0}s)",
+                    action,
+                    ctx.live_worker_pods,
+                    ctx.pending_worker_pods,
+                    ctx.queue.waiting.len(),
+                    ctx.init_time.as_secs_f64()
+                ),
+            );
+        }
+        drop(status);
+        match action {
+            ScaleAction::None => {}
+            ScaleAction::CreateWorkers(n) => {
+                let headroom = self.cfg.max_workers.saturating_sub(self.live_worker_pods());
+                for _ in 0..n.min(headroom) {
+                    let (_pod, fx) = self.cluster.create_pod(now, self.worker_pod_spec());
+                    for (d, e) in fx {
+                        self.queue.schedule_in(d, Event::Cluster(e));
+                    }
+                }
+            }
+            ScaleAction::DrainWorkers(n) => self.drain_workers(now, n),
+            ScaleAction::KillWorkers(n) => self.kill_workers(now, n),
+        }
+        self.queue
+            .schedule_in(next.max(Duration::from_secs(1)), Event::PolicyTick);
+    }
+
+    /// HTA-style graceful scale-down: delete pending pods first (nothing
+    /// runs on them), then drain idle workers, then the least-loaded.
+    fn drain_workers(&mut self, now: SimTime, n: usize) {
+        let mut remaining = n;
+        for pod in self.pending_worker_pods() {
+            if remaining == 0 {
+                return;
+            }
+            for (d, e) in self.cluster.delete_pod(now, pod) {
+                self.queue.schedule_in(d, Event::Cluster(e));
+            }
+            remaining -= 1;
+        }
+        // Active workers ordered: idle first, then by ascending task count.
+        let mut candidates: Vec<(usize, WorkerId)> = self
+            .worker_to_pod
+            .keys()
+            .filter_map(|w| {
+                let worker = self.master.worker(*w)?;
+                (worker.state == WorkerState::Active).then_some((worker.task_count(), *w))
+            })
+            .collect();
+        candidates.sort();
+        for (_tasks, wid) in candidates.into_iter().take(remaining) {
+            for (d, e) in self.master.drain_worker(now, wid) {
+                self.queue.schedule_in(d, Event::Wq(e));
+            }
+        }
+    }
+
+    /// HPA-style eviction: pending (not-ready) pods first — matching the
+    /// ReplicaSet downscale preference — then idle, then busy workers,
+    /// whose tasks are re-queued.
+    fn kill_workers(&mut self, now: SimTime, n: usize) {
+        let mut remaining = n;
+        for pod in self.pending_worker_pods() {
+            if remaining == 0 {
+                return;
+            }
+            for (d, e) in self.cluster.delete_pod(now, pod) {
+                self.queue.schedule_in(d, Event::Cluster(e));
+            }
+            remaining -= 1;
+        }
+        let mut candidates: Vec<(usize, PodId)> = self
+            .pod_to_worker
+            .iter()
+            .filter_map(|(pod, wid)| {
+                let worker = self.master.worker(*wid)?;
+                (worker.state != WorkerState::Stopped).then_some((worker.task_count(), *pod))
+            })
+            .collect();
+        candidates.sort();
+        for (_tasks, pod) in candidates.into_iter().take(remaining) {
+            // delete_pod → PodFailed watch event → kill_worker in pump().
+            for (d, e) in self.cluster.delete_pod(now, pod) {
+                self.queue.schedule_in(d, Event::Cluster(e));
+            }
+        }
+    }
+
+    /// Failure injection: crash the node under some running worker pod.
+    /// No-op when no worker is running (nothing interesting to kill).
+    fn fail_worker_node(&mut self, now: SimTime) {
+        let target = self
+            .pod_to_worker
+            .keys()
+            .filter_map(|pid| self.cluster.pod(*pid))
+            .filter(|p| p.phase == hta_cluster::PodPhase::Running)
+            .filter_map(|p| p.node)
+            .next();
+        if let Some(node) = target {
+            self.failures_injected += 1;
+            self.trace
+                .push(now, "inject", format!("node {node} crashed"));
+            for (d, e) in self.cluster.fail_node(now, node) {
+                self.queue.schedule_in(d, Event::Cluster(e));
+            }
+        }
+    }
+
+    /// The utilization the metrics pipeline reports *right now*.
+    ///
+    /// Kubernetes HPA semantics: pods without metrics (pending — still
+    /// waiting for a node or an image) are averaged in at 0 % usage on
+    /// scale-up. This dilution is one of the two mechanisms that stall
+    /// the paper's Fig. 2 ramps while each batch of fresh nodes
+    /// provisions (the other being the pipeline staleness below).
+    fn current_utilization(&self) -> Option<f64> {
+        let live = self.live_worker_pods();
+        if live == 0 {
+            self.master.mean_worker_utilization()
+        } else {
+            let connected_sum = self
+                .master
+                .mean_worker_utilization()
+                .map(|m| m * self.master.connected_workers() as f64)
+                .unwrap_or(0.0);
+            Some(connected_sum / live as f64)
+        }
+    }
+
+    /// The utilization as the HPA sees it: the newest pipeline sample at
+    /// least `metrics_lag` old (falling back to the oldest sample, then
+    /// to the live value when no history exists yet).
+    fn lagged_utilization(&self, now: SimTime) -> Option<f64> {
+        if self.cfg.metrics_lag.is_zero() {
+            return self.current_utilization();
+        }
+        let mut candidate: Option<Option<f64>> = None;
+        for &(t, u) in self.util_history.iter() {
+            if now.since(t) >= self.cfg.metrics_lag {
+                candidate = Some(u);
+            } else {
+                break;
+            }
+        }
+        match candidate {
+            Some(u) => u,
+            // Pipeline has no old-enough scrape yet: report the oldest
+            // one (or the live value before any sample exists).
+            None => self
+                .util_history
+                .front()
+                .map(|&(_, u)| u)
+                .unwrap_or_else(|| self.current_utilization()),
+        }
+    }
+
+    /// Record one metrics sample.
+    ///
+    /// Definitions follow §IV-B as used in the evaluation tables:
+    /// **RS** = cores of connected workers; **RIU** = cores held by
+    /// running jobs; **RSH** = the *provisionable* unmet demand — demand
+    /// beyond current supply, capped at the maximum resource quota
+    /// ("there usually exists a maximum resource quota depending on the
+    /// user budget"), which is what an autoscaler could still fix.
+    fn sample(&mut self, now: SimTime) {
+        // Feed the (laggy) metrics pipeline.
+        let util_now = self.current_utilization();
+        self.util_history.push_back((now, util_now));
+        let horizon = self
+            .cfg
+            .metrics_lag
+            .saturating_add(Duration::from_secs(120));
+        while let Some(&(t, _)) = self.util_history.front() {
+            if now.since(t) > horizon && self.util_history.len() > 2 {
+                self.util_history.pop_front();
+            } else {
+                break;
+            }
+        }
+        let status = self.master.queue_status();
+        let supply_cores: f64 = status.workers.iter().map(|w| w.capacity.cores_f64()).sum();
+        let held = self.operator.held_jobs();
+        let held_count: usize = held.iter().map(|(_, c)| c).sum();
+        let waiting_cores: f64 = status
+            .waiting
+            .iter()
+            .map(|w| {
+                w.declared
+                    .or_else(|| self.operator.known_resources(&w.category))
+                    .unwrap_or(self.cfg.worker_request)
+                    .cores_f64()
+            })
+            .sum::<f64>()
+            + held
+                .iter()
+                .map(|(cat, count)| {
+                    self.operator
+                        .known_resources(cat)
+                        .unwrap_or(self.cfg.worker_request)
+                        .cores_f64()
+                        * *count as f64
+                })
+                .sum::<f64>();
+        let in_use_cores = self.master.in_use_cores();
+        let quota_cores =
+            self.cfg.max_workers as f64 * self.cfg.worker_request.cores_f64();
+        let allocated = self.master.in_use_cores();
+        let demand = allocated + waiting_cores;
+        let shortage_cores = (demand.min(quota_cores) - supply_cores).max(0.0);
+        // Per-category running counts — the Fig. 10a stage-timeline data.
+        // Categories seen before but not running now record an explicit
+        // zero so their series drop instead of holding the last value.
+        let mut per_cat: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for r in &status.running {
+            *per_cat.entry(r.category.clone()).or_insert(0) += 1;
+        }
+        let t = now.as_secs_f64();
+        for cat in &self.seen_categories {
+            if !per_cat.contains_key(cat) {
+                self.recorder.record_extra(&format!("running:{cat}"), t, 0.0);
+            }
+        }
+        for (cat, count) in per_cat {
+            self.recorder
+                .record_extra(&format!("running:{cat}"), t, count as f64);
+            self.seen_categories.insert(cat);
+        }
+        self.recorder.record(Sample {
+            time_s: now.as_secs_f64(),
+            supply_cores,
+            in_use_cores,
+            shortage_cores,
+            nodes: self.cluster.ready_node_count() as f64,
+            workers_connected: self.master.connected_workers() as f64,
+            workers_idle: self.master.idle_workers() as f64,
+            workers_desired: self.policy.desired() as f64,
+            tasks_waiting: (self.master.waiting_count() + held_count) as f64,
+            tasks_running: self.master.running_count() as f64,
+            egress_mbps: self.master.egress_throughput_mbps(),
+            cpu_utilization: self.master.mean_worker_utilization().unwrap_or(0.0),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FixedPolicy, HtaConfig, HtaPolicy};
+    use hta_cluster::MachineType;
+    use hta_makeflow::{CategoryProfile, Job, JobId, SimProfile};
+
+    fn tiny_workflow(n: u64) -> Workflow {
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| Job {
+                id: JobId(i),
+                category: "align".into(),
+                command: format!("blast {i}"),
+                inputs: vec!["db".into()],
+                outputs: vec![format!("out.{i}")],
+            })
+            .collect();
+        let profile = CategoryProfile {
+            name: "align".into(),
+            declared: Some(Resources::cores(1, 2_000, 2_000)),
+            sim: SimProfile {
+                wall: Duration::from_secs(60),
+                cpu_fraction: 0.9,
+                actual: Resources::cores(1, 2_000, 2_000),
+                output_mb: 0.6,
+                wall_jitter: 0.0,
+                heavy_tail: false,
+            },
+        };
+        Workflow::from_jobs(jobs, vec![profile])
+            .unwrap()
+            .with_source_file("db", 100.0, true)
+    }
+
+    fn small_cfg() -> DriverConfig {
+        DriverConfig {
+            cluster: ClusterConfig {
+                machine: MachineType::custom("m4", Resources::cores(4, 16_000, 100_000)),
+                min_nodes: 2,
+                max_nodes: 6,
+                node_provision_mean: Duration::from_secs(150),
+                node_provision_sd: Duration::from_secs(2),
+                controller_interval: Duration::from_secs(10),
+                node_idle_timeout: Duration::from_secs(120),
+                serialize_provisioning: true,
+                registry_bandwidth_mbps: 50.0,
+                image_pull_jitter: 0.0,
+                pod_start_delay: Duration::from_secs(1),
+                preemption_mean_lifetime: None,
+                seed: 11,
+            },
+            master: MasterConfig {
+                egress_base_mbps: 200.0,
+                egress_overhead_per_flow: 0.0,
+                fast_abort_multiplier: None,
+                peer_transfers: false,
+                peer_bandwidth_mbps: 2_000.0,
+            },
+            operator: OperatorConfig {
+                warmup: false,
+                trust_declared: true,
+                learn: true,
+                seed: 1,
+            },
+            worker_request: Resources::cores(3, 12_000, 50_000),
+            worker_anti_affinity: false,
+            worker_image_mb: 250.0,
+            master_in_cluster: true,
+            master_request: Resources::new(1000, 2_000, 5_000),
+            initial_workers: 2,
+            max_workers: 6,
+            sample_interval: Duration::from_secs(1),
+            default_init_time: Duration::from_secs(157),
+            use_measured_init_time: true,
+            node_failures: Vec::new(),
+            trace_capacity: 0,
+            metrics_lag: Duration::ZERO,
+            max_sim_time: Duration::from_secs(20_000),
+        }
+    }
+
+    #[test]
+    fn fixed_pool_completes_small_workload() {
+        let driver = SystemDriver::new(
+            small_cfg(),
+            tiny_workflow(6),
+            Box::new(FixedPolicy::new(2)),
+        );
+        let result = driver.run();
+        assert!(!result.timed_out, "run must complete");
+        // 6 one-core jobs on 2×3-core workers: one 60 s generation after
+        // the image pull and staging. Makespan well under 300 s.
+        assert!(
+            result.makespan_s < 300.0,
+            "makespan {}",
+            result.makespan_s
+        );
+        assert!(result.summary.runtime_s > 0.0);
+        assert_eq!(result.interrupted_tasks, 0);
+    }
+
+    #[test]
+    fn hta_scales_up_for_backlog_and_completes() {
+        let mut cfg = small_cfg();
+        cfg.operator = OperatorConfig {
+            warmup: true,
+            trust_declared: false,
+            learn: true,
+            seed: 2,
+        };
+        cfg.initial_workers = 2;
+        let driver = SystemDriver::new(
+            cfg,
+            tiny_workflow(30),
+            Box::new(HtaPolicy::new(HtaConfig::default())),
+        );
+        let result = driver.run();
+        assert!(!result.timed_out);
+        // Warm-up probes one job, learns ~1 core, then fans out. The
+        // backlog forces extra worker pods beyond the initial 2.
+        assert!(
+            result.summary.peak_workers > 2.0,
+            "peak workers {}",
+            result.summary.peak_workers
+        );
+        assert!(result.makespan_s < 2_000.0, "makespan {}", result.makespan_s);
+    }
+
+    #[test]
+    fn run_produces_consistent_metrics() {
+        let driver = SystemDriver::new(
+            small_cfg(),
+            tiny_workflow(6),
+            Box::new(FixedPolicy::new(2)),
+        );
+        let result = driver.run();
+        let r = &result.recorder;
+        assert!(!r.supply.is_empty());
+        assert!(!r.in_use.is_empty());
+        // Waste = supply − in-use ≥ 0 everywhere by construction.
+        assert!(r.waste.values().iter().all(|v| *v >= 0.0));
+        // Utilization bounded.
+        assert!(r
+            .cpu_utilization
+            .values()
+            .iter()
+            .all(|v| (0.0..=1.0).contains(v)));
+        // Summary integrals are finite and non-negative.
+        assert!(result.summary.accumulated_waste_core_s >= 0.0);
+        assert!(result.summary.accumulated_shortage_core_s >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            SystemDriver::new(
+                small_cfg(),
+                tiny_workflow(10),
+                Box::new(FixedPolicy::new(3)),
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            a.summary.accumulated_waste_core_s,
+            b.summary.accumulated_waste_core_s
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Resource-initialization-time tracking (the infrastructure input).
+//!
+//! §V-B: HTA uses the informer's pod-lifecycle events to measure how long
+//! a worker pod takes from the creation request to `Running`, but **only**
+//! for pods that traversed all three creation states — *No Available
+//! Node* → *No Container Image* → *Running* — because only those measure a
+//! full cycle (node reservation + image pull + start). Pods that landed on
+//! a warm node measure nothing.
+//!
+//! The tracker keeps the *latest* full measurement (the paper's choice:
+//! "we will use the time interval … as the latest resource initialization
+//! time") plus a count and mean for diagnostics, and falls back to a
+//! configurable default before the first measurement.
+
+use std::collections::HashMap;
+
+use hta_cluster::{PodId, WatchEvent, WatchKind};
+use hta_des::{Duration, SimTime};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PodTrack {
+    created_at: Option<SimTime>,
+    waited_for_node: bool,
+    pulled_image: bool,
+}
+
+/// Informer consumer measuring the latest resource-initialization time.
+#[derive(Debug, Clone)]
+pub struct InitTimeTracker {
+    default: Duration,
+    latest: Option<Duration>,
+    tracks: HashMap<PodId, PodTrack>,
+    measurements: Vec<Duration>,
+}
+
+impl InitTimeTracker {
+    /// A tracker that reports `default` until the first full measurement.
+    pub fn new(default: Duration) -> Self {
+        InitTimeTracker {
+            default,
+            latest: None,
+            tracks: HashMap::new(),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Feed one informer event.
+    pub fn observe(&mut self, ev: &WatchEvent) {
+        if ev.is_node_event() {
+            return;
+        }
+        match ev.kind {
+            WatchKind::PodCreated => {
+                self.tracks.insert(
+                    ev.pod,
+                    PodTrack {
+                        created_at: Some(ev.at),
+                        ..PodTrack::default()
+                    },
+                );
+            }
+            WatchKind::PodUnschedulable => {
+                if let Some(t) = self.tracks.get_mut(&ev.pod) {
+                    t.waited_for_node = true;
+                }
+            }
+            WatchKind::PodImagePulled(_) => {
+                if let Some(t) = self.tracks.get_mut(&ev.pod) {
+                    t.pulled_image = true;
+                }
+            }
+            WatchKind::PodRunning(_) => {
+                if let Some(t) = self.tracks.remove(&ev.pod) {
+                    if t.waited_for_node && t.pulled_image {
+                        if let Some(created) = t.created_at {
+                            let lat = ev.at.since(created);
+                            self.latest = Some(lat);
+                            self.measurements.push(lat);
+                        }
+                    }
+                }
+            }
+            WatchKind::PodSucceeded | WatchKind::PodFailed => {
+                self.tracks.remove(&ev.pod);
+            }
+            _ => {}
+        }
+    }
+
+    /// Feed a batch of events.
+    pub fn observe_all<'a>(&mut self, events: impl IntoIterator<Item = &'a WatchEvent>) {
+        for ev in events {
+            self.observe(ev);
+        }
+    }
+
+    /// The latest full-cycle measurement, or the default.
+    pub fn latest(&self) -> Duration {
+        self.latest.unwrap_or(self.default)
+    }
+
+    /// Number of full-cycle measurements taken.
+    pub fn count(&self) -> usize {
+        self.measurements.len()
+    }
+
+    /// Mean of all measurements (diagnostics; `None` before the first).
+    pub fn mean(&self) -> Option<Duration> {
+        if self.measurements.is_empty() {
+            return None;
+        }
+        let total: u128 = self.measurements.iter().map(|d| d.as_millis() as u128).sum();
+        Some(Duration::from_millis(
+            (total / self.measurements.len() as u128) as u64,
+        ))
+    }
+
+    /// Sample standard deviation in seconds (diagnostics; the Fig. 6
+    /// benchmark reports mean 157.4 s, σ 4.2 s on GKE).
+    pub fn std_dev_secs(&self) -> Option<f64> {
+        let n = self.measurements.len();
+        if n < 2 {
+            return None;
+        }
+        let mean = self.mean()?.as_secs_f64();
+        let var = self
+            .measurements
+            .iter()
+            .map(|d| (d.as_secs_f64() - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// All measurements (for the Fig. 6 reproduction binary).
+    pub fn measurements(&self) -> &[Duration] {
+        &self.measurements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_cluster::NodeId;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn full_cycle(tracker: &mut InitTimeTracker, pod: u64, start: u64, latency: u64) {
+        let p = PodId(pod);
+        let n = NodeId(0);
+        tracker.observe(&WatchEvent::pod(t(start), p, WatchKind::PodCreated));
+        tracker.observe(&WatchEvent::pod(t(start), p, WatchKind::PodUnschedulable));
+        tracker.observe(&WatchEvent::pod(
+            t(start + latency - 15),
+            p,
+            WatchKind::PodScheduled(n),
+        ));
+        tracker.observe(&WatchEvent::pod(
+            t(start + latency - 2),
+            p,
+            WatchKind::PodImagePulled(n),
+        ));
+        tracker.observe(&WatchEvent::pod(
+            t(start + latency),
+            p,
+            WatchKind::PodRunning(n),
+        ));
+    }
+
+    #[test]
+    fn default_until_first_measurement() {
+        let tracker = InitTimeTracker::new(Duration::from_secs(157));
+        assert_eq!(tracker.latest(), Duration::from_secs(157));
+        assert_eq!(tracker.count(), 0);
+        assert_eq!(tracker.mean(), None);
+    }
+
+    #[test]
+    fn full_cycle_is_measured() {
+        let mut tracker = InitTimeTracker::new(Duration::from_secs(100));
+        full_cycle(&mut tracker, 1, 10, 160);
+        assert_eq!(tracker.latest(), Duration::from_secs(160));
+        assert_eq!(tracker.count(), 1);
+    }
+
+    #[test]
+    fn warm_pod_does_not_measure() {
+        let mut tracker = InitTimeTracker::new(Duration::from_secs(100));
+        let p = PodId(2);
+        let n = NodeId(0);
+        // Scheduled immediately (no Unschedulable), image cached (no
+        // ImagePulled? — cached pods do emit ImagePulled in our cluster;
+        // model the truly-warm case: no unschedulable event).
+        tracker.observe(&WatchEvent::pod(t(0), p, WatchKind::PodCreated));
+        tracker.observe(&WatchEvent::pod(t(0), p, WatchKind::PodScheduled(n)));
+        tracker.observe(&WatchEvent::pod(t(0), p, WatchKind::PodImagePulled(n)));
+        tracker.observe(&WatchEvent::pod(t(2), p, WatchKind::PodRunning(n)));
+        assert_eq!(tracker.count(), 0);
+        assert_eq!(tracker.latest(), Duration::from_secs(100), "still default");
+    }
+
+    #[test]
+    fn latest_tracks_most_recent() {
+        let mut tracker = InitTimeTracker::new(Duration::from_secs(100));
+        full_cycle(&mut tracker, 1, 0, 150);
+        full_cycle(&mut tracker, 2, 1000, 164);
+        assert_eq!(tracker.latest(), Duration::from_secs(164));
+        assert_eq!(tracker.count(), 2);
+        assert_eq!(tracker.mean(), Some(Duration::from_secs(157)));
+        let sd = tracker.std_dev_secs().unwrap();
+        assert!((sd - 9.899).abs() < 0.01, "sd={sd}");
+    }
+
+    #[test]
+    fn killed_pending_pod_is_forgotten() {
+        let mut tracker = InitTimeTracker::new(Duration::from_secs(100));
+        let p = PodId(5);
+        tracker.observe(&WatchEvent::pod(t(0), p, WatchKind::PodCreated));
+        tracker.observe(&WatchEvent::pod(t(0), p, WatchKind::PodUnschedulable));
+        tracker.observe(&WatchEvent::pod(t(5), p, WatchKind::PodFailed));
+        // A later Running for the same id (id reuse never happens, but be
+        // robust) measures nothing.
+        tracker.observe(&WatchEvent::pod(t(200), p, WatchKind::PodRunning(NodeId(0))));
+        assert_eq!(tracker.count(), 0);
+    }
+
+    #[test]
+    fn node_events_are_ignored() {
+        let mut tracker = InitTimeTracker::new(Duration::from_secs(100));
+        tracker.observe(&WatchEvent::node(t(0), WatchKind::NodeReady(NodeId(1))));
+        tracker.observe(&WatchEvent::node(t(0), WatchKind::NodeRemoved(NodeId(1))));
+        assert_eq!(tracker.count(), 0);
+    }
+}

@@ -1,0 +1,645 @@
+//! The Makeflow-Kubernetes operator (§V-A).
+//!
+//! The operator sits between Makeflow and Work Queue: it receives job
+//! specifications from the workflow manager (the paper's TCP server),
+//! submits ready jobs to the master (the TCP client), and implements the
+//! **warm-up stage** (§V-C): "Instead of fanning out all jobs at once,
+//! HTA sends out only a portion of jobs with one job per category to
+//! collect resource statistics of each category." Once a category's probe
+//! completes, its measured resources are applied to every held and queued
+//! job of that category.
+//!
+//! The operator also owns the translation from workflow jobs (file names,
+//! category profiles) into Work Queue task specs (file ids, exec models),
+//! registering source and intermediate files in the master's catalogue.
+
+use std::collections::BTreeMap;
+
+use hta_des::{Duration, SimRng, SimTime};
+use hta_makeflow::{JobId, Workflow};
+use hta_resources::Resources;
+use hta_workqueue::master::{Master, WqEffect};
+use hta_workqueue::task::{ExecModel, Measured, TaskSpec};
+use hta_workqueue::{FileId, TaskId};
+
+/// Operator behaviour switches.
+#[derive(Debug, Clone)]
+pub struct OperatorConfig {
+    /// Warm-up probing: hold a category's jobs until one measured probe
+    /// completes. HTA runs with this on; the HPA baselines (which assume
+    /// resources are known, §III-B) run with it off.
+    pub warmup: bool,
+    /// Trust the workflow's declared category resources (HPA baselines).
+    /// When false, declared resources are ignored and everything is
+    /// learned from probes (pure HTA mode).
+    pub trust_declared: bool,
+    /// Learn category resources from completed jobs. Disabling this
+    /// reproduces the paper's Fig. 4(b) configuration: resources stay
+    /// unknown for the whole run and every task holds a whole worker.
+    pub learn: bool,
+    /// Seed for per-job wall-time jitter.
+    pub seed: u64,
+}
+
+impl Default for OperatorConfig {
+    fn default() -> Self {
+        OperatorConfig {
+            warmup: true,
+            trust_declared: false,
+            learn: true,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Category knowledge state used for submission decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CatKnowledge {
+    /// Resources known (declared and trusted, or learned).
+    Known,
+    /// Probe in flight; hold further jobs.
+    Probing,
+    /// Nothing known; next job becomes the probe.
+    Unknown,
+}
+
+/// The operator.
+#[derive(Debug)]
+pub struct Operator {
+    cfg: OperatorConfig,
+    workflow: Workflow,
+    stats: crate::category_stats::CategoryStats,
+    /// Learned (or trusted-declared) per-category resources.
+    learned: BTreeMap<String, Resources>,
+    probing: BTreeMap<String, bool>,
+    held: BTreeMap<String, Vec<JobId>>,
+    file_ids: BTreeMap<String, FileId>,
+    job_for_task: BTreeMap<TaskId, JobId>,
+    task_for_job: BTreeMap<JobId, TaskId>,
+    next_task: u64,
+    rng: SimRng,
+    submitted: usize,
+}
+
+impl Operator {
+    /// Build an operator over a workflow, registering its files in the
+    /// master's catalogue.
+    pub fn new(cfg: OperatorConfig, workflow: Workflow, master: &mut Master) -> Self {
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        let mut file_ids = BTreeMap::new();
+        // Register source files with their metadata; intermediate files
+        // with the producing category's output size (non-cacheable).
+        let mut names: Vec<String> = Vec::new();
+        for job in workflow.dag.jobs() {
+            for f in job.inputs.iter().chain(job.outputs.iter()) {
+                if !names.contains(f) {
+                    names.push(f.clone());
+                }
+            }
+        }
+        for name in names {
+            let id = match workflow.source_files.get(&name) {
+                Some(src) => master
+                    .catalog_mut()
+                    .register(name.clone(), src.size_mb, src.cacheable),
+                None => match workflow.dag.producer_of(&name) {
+                    Some(producer) => {
+                        let cat = &workflow.dag.job(producer).expect("producer exists").category;
+                        let out_mb = workflow
+                            .categories
+                            .get(cat)
+                            .map(|p| p.sim.output_mb)
+                            .unwrap_or(0.0);
+                        master.catalog_mut().register(name.clone(), out_mb, false)
+                    }
+                    // Unlisted source (wrapper script etc.): zero-sized.
+                    None => master.catalog_mut().register(name.clone(), 0.0, false),
+                },
+            };
+            file_ids.insert(name, id);
+        }
+        // Trusted declared resources seed the knowledge map.
+        let mut learned = BTreeMap::new();
+        if cfg.trust_declared {
+            for (name, prof) in &workflow.categories {
+                if let Some(r) = prof.declared {
+                    learned.insert(name.clone(), r);
+                }
+            }
+        }
+        Operator {
+            cfg,
+            workflow,
+            stats: crate::category_stats::CategoryStats::new(),
+            learned,
+            probing: BTreeMap::new(),
+            held: BTreeMap::new(),
+            file_ids,
+            job_for_task: BTreeMap::new(),
+            task_for_job: BTreeMap::new(),
+            next_task: 0,
+            rng,
+            submitted: 0,
+        }
+    }
+
+    /// The learned statistics (feedback input).
+    pub fn stats(&self) -> &crate::category_stats::CategoryStats {
+        &self.stats
+    }
+
+    /// The wrapped workflow (read access).
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// Known per-category resources (declared-and-trusted or learned).
+    pub fn known_resources(&self, category: &str) -> Option<Resources> {
+        self.learned.get(category).copied()
+    }
+
+    /// Jobs currently held back by warm-up, as `(category, count)`.
+    pub fn held_jobs(&self) -> Vec<(String, usize)> {
+        self.held
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(k, v)| (k.clone(), v.len()))
+            .collect()
+    }
+
+    /// Total jobs submitted to the master so far.
+    pub fn submitted_count(&self) -> usize {
+        self.submitted
+    }
+
+    /// True when the whole workflow is complete.
+    pub fn all_complete(&self) -> bool {
+        self.workflow.all_complete()
+    }
+
+    fn knowledge(&self, category: &str) -> CatKnowledge {
+        if self.learned.contains_key(category) {
+            CatKnowledge::Known
+        } else if self.probing.get(category).copied().unwrap_or(false) {
+            CatKnowledge::Probing
+        } else {
+            CatKnowledge::Unknown
+        }
+    }
+
+    /// Submit every ready job the warm-up rules allow.
+    pub fn submit_ready(&mut self, now: SimTime, master: &mut Master) -> Vec<WqEffect> {
+        let mut fx = Vec::new();
+        for job in self.workflow.ready_jobs() {
+            let category = self
+                .workflow
+                .dag
+                .job(job)
+                .expect("ready job exists")
+                .category
+                .clone();
+            if !self.cfg.warmup {
+                fx.extend(self.submit_job(now, job, master));
+                continue;
+            }
+            match self.knowledge(&category) {
+                CatKnowledge::Known => fx.extend(self.submit_job(now, job, master)),
+                CatKnowledge::Unknown => {
+                    self.probing.insert(category.clone(), true);
+                    fx.extend(self.submit_job(now, job, master));
+                }
+                CatKnowledge::Probing => {
+                    self.workflow.submit(job); // leaves the DAG ready set
+                    self.held.entry(category.clone()).or_default().push(job);
+                }
+            }
+        }
+        fx
+    }
+
+    fn submit_job(&mut self, now: SimTime, job: JobId, master: &mut Master) -> Vec<WqEffect> {
+        let j = self.workflow.dag.job(job).expect("job exists").clone();
+        let profile = self
+            .workflow
+            .categories
+            .get(&j.category)
+            .cloned()
+            .unwrap_or_else(|| hta_makeflow::CategoryProfile::unknown(j.category.clone()));
+        let declared = self.learned.get(&j.category).copied();
+        let inputs: Vec<FileId> = j
+            .inputs
+            .iter()
+            .filter_map(|f| self.file_ids.get(f).copied())
+            .collect();
+        let wall = self.sample_wall(&profile.sim);
+        let task_id = TaskId(self.next_task);
+        self.next_task += 1;
+        let spec = TaskSpec {
+            id: task_id,
+            category: j.category.clone(),
+            inputs,
+            output_mb: profile.sim.output_mb,
+            declared,
+            actual: profile.sim.actual,
+            exec: ExecModel {
+                duration: wall,
+                cpu_fraction: profile.sim.cpu_fraction,
+            },
+        };
+        self.workflow.submit(job);
+        self.job_for_task.insert(task_id, job);
+        self.task_for_job.insert(job, task_id);
+        self.submitted += 1;
+        master.submit(now, spec)
+    }
+
+    /// Handle a completed task: record statistics, release held jobs,
+    /// unblock dependents, submit whatever is now ready.
+    pub fn on_task_completed(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        category: &str,
+        measured: Measured,
+        master: &mut Master,
+    ) -> Vec<WqEffect> {
+        self.stats.observe(category, measured);
+        let mut fx = Vec::new();
+
+        // First measurement for a category with unknown resources: commit
+        // the learned requirement, upgrade queued tasks, release held jobs.
+        if self.cfg.learn && !self.learned.contains_key(category) {
+            let est = self
+                .stats
+                .estimate(category)
+                .expect("just observed this category");
+            self.learned.insert(category.to_string(), est.resources);
+            self.probing.insert(category.to_string(), false);
+            // Upgrade already-queued waiting tasks of this category (e.g.
+            // re-queued after a worker kill).
+            let waiting: Vec<TaskId> = master
+                .queue_status()
+                .waiting
+                .iter()
+                .filter(|w| w.category == category)
+                .map(|w| w.id)
+                .collect();
+            for t in waiting {
+                master.declare_resources(t, est.resources);
+            }
+            if let Some(held) = self.held.remove(category) {
+                for job in held {
+                    // Held jobs were marked submitted in the DAG; submit
+                    // them to the master now with the learned resources.
+                    fx.extend(self.submit_held_job(now, job, master));
+                }
+            }
+        }
+
+        // Unblock the DAG and submit newly ready jobs.
+        if let Some(job) = self.job_for_task.get(&task).copied() {
+            let _newly_ready = self.workflow.complete(job);
+            fx.extend(self.submit_ready(now, master));
+        }
+        fx
+    }
+
+    /// Submit a job that was held during warm-up (already marked
+    /// `Submitted` in the DAG).
+    fn submit_held_job(&mut self, now: SimTime, job: JobId, master: &mut Master) -> Vec<WqEffect> {
+        let j = self.workflow.dag.job(job).expect("job exists").clone();
+        let profile = self
+            .workflow
+            .categories
+            .get(&j.category)
+            .cloned()
+            .unwrap_or_else(|| hta_makeflow::CategoryProfile::unknown(j.category.clone()));
+        let declared = self.learned.get(&j.category).copied();
+        let inputs: Vec<FileId> = j
+            .inputs
+            .iter()
+            .filter_map(|f| self.file_ids.get(f).copied())
+            .collect();
+        let wall = self.sample_wall(&profile.sim);
+        let task_id = TaskId(self.next_task);
+        self.next_task += 1;
+        let spec = TaskSpec {
+            id: task_id,
+            category: j.category.clone(),
+            inputs,
+            output_mb: profile.sim.output_mb,
+            declared,
+            actual: profile.sim.actual,
+            exec: ExecModel {
+                duration: wall,
+                cpu_fraction: profile.sim.cpu_fraction,
+            },
+        };
+        self.job_for_task.insert(task_id, job);
+        self.task_for_job.insert(job, task_id);
+        self.submitted += 1;
+        master.submit(now, spec)
+    }
+
+    /// Sample a job's wall time from its category profile: exact when
+    /// jitter is zero, uniform ±jitter by default, lognormal (median =
+    /// nominal wall, σ = jitter) when the profile is heavy-tailed.
+    fn sample_wall(&mut self, sim: &hta_makeflow::SimProfile) -> Duration {
+        if sim.wall_jitter <= 0.0 {
+            return sim.wall;
+        }
+        if sim.heavy_tail {
+            let mu = sim.wall.as_secs_f64().max(1e-3).ln();
+            let secs = self.rng.lognormal(mu, sim.wall_jitter);
+            Duration::from_secs_f64(secs)
+        } else {
+            self.rng.jittered(sim.wall, sim.wall_jitter)
+        }
+    }
+
+    /// The workflow job a task implements.
+    pub fn job_of(&self, task: TaskId) -> Option<JobId> {
+        self.job_for_task.get(&task).copied()
+    }
+
+    /// Default execution estimate for the estimator (mean of known
+    /// category walls, or 60 s).
+    pub fn default_exec_estimate(&self) -> Duration {
+        Duration::from_secs(60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_makeflow::{CategoryProfile, Job, SimProfile, Workflow};
+    use hta_workqueue::master::MasterConfig;
+    use hta_workqueue::FileCatalog;
+
+    fn parallel_workflow(n: u64, declared: Option<Resources>) -> Workflow {
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| Job {
+                id: JobId(i),
+                category: "align".into(),
+                command: format!("blast {i}"),
+                inputs: vec!["db".into()],
+                outputs: vec![format!("out.{i}")],
+            })
+            .collect();
+        let profile = CategoryProfile {
+            name: "align".into(),
+            declared,
+            sim: SimProfile {
+                wall: Duration::from_secs(60),
+                cpu_fraction: 0.9,
+                actual: Resources::cores(1, 2_000, 2_000),
+                output_mb: 0.6,
+                wall_jitter: 0.0,
+                heavy_tail: false,
+            },
+        };
+        Workflow::from_jobs(jobs, vec![profile])
+            .unwrap()
+            .with_source_file("db", 100.0, true)
+    }
+
+    fn master() -> Master {
+        Master::new(
+            MasterConfig {
+                egress_base_mbps: 100.0,
+                egress_overhead_per_flow: 0.0,
+                fast_abort_multiplier: None,
+                peer_transfers: false,
+                peer_bandwidth_mbps: 2_000.0,
+            },
+            FileCatalog::new(),
+        )
+    }
+
+    #[test]
+    fn files_are_registered_in_catalog() {
+        let mut m = master();
+        let wf = parallel_workflow(3, None);
+        let op = Operator::new(OperatorConfig::default(), wf, &mut m);
+        // db + 3 outputs.
+        assert_eq!(m.catalog().len(), 4);
+        assert!(op.known_resources("align").is_none());
+    }
+
+    #[test]
+    fn warmup_probes_one_job_per_category() {
+        let mut m = master();
+        let wf = parallel_workflow(10, None);
+        let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
+        let _fx = op.submit_ready(SimTime::ZERO, &mut m);
+        assert_eq!(op.submitted_count(), 1, "only the probe goes out");
+        assert_eq!(op.held_jobs(), vec![("align".to_string(), 9)]);
+        assert_eq!(m.waiting_count() + m.running_count(), 1);
+    }
+
+    #[test]
+    fn probe_completion_releases_held_jobs_with_learned_resources() {
+        let mut m = master();
+        let wf = parallel_workflow(10, None);
+        let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
+        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        let measured = Measured {
+            peak: Resources::cores(1, 2_000, 2_000),
+            wall: Duration::from_secs(58),
+        };
+        let _ = op.on_task_completed(SimTime::from_secs(60), TaskId(0), "align", measured, &mut m);
+        assert_eq!(op.submitted_count(), 10, "probe + 9 released");
+        assert!(op.held_jobs().is_empty());
+        assert_eq!(
+            op.known_resources("align"),
+            Some(Resources::cores(1, 2_000, 2_000))
+        );
+        // Released tasks carry the learned declaration.
+        let st = m.queue_status();
+        assert!(st
+            .waiting
+            .iter()
+            .all(|w| w.declared == Some(Resources::cores(1, 2_000, 2_000))));
+    }
+
+    #[test]
+    fn trust_declared_skips_probing() {
+        let mut m = master();
+        let wf = parallel_workflow(10, Some(Resources::cores(1, 2_000, 2_000)));
+        let mut op = Operator::new(
+            OperatorConfig {
+                warmup: true,
+                trust_declared: true,
+                learn: true,
+                seed: 1,
+            },
+            wf,
+            &mut m,
+        );
+        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        assert_eq!(op.submitted_count(), 10, "no probing needed");
+        assert!(op.held_jobs().is_empty());
+    }
+
+    #[test]
+    fn no_warmup_fans_out_everything() {
+        let mut m = master();
+        let wf = parallel_workflow(10, None);
+        let mut op = Operator::new(
+            OperatorConfig {
+                warmup: false,
+                trust_declared: false,
+                learn: true,
+                seed: 1,
+            },
+            wf,
+            &mut m,
+        );
+        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        assert_eq!(op.submitted_count(), 10);
+    }
+
+    #[test]
+    fn requeued_tasks_get_upgraded_once_category_is_learned() {
+        // A task re-queued (worker killed) before its category was learned
+        // sits in the queue with unknown resources; the first completion
+        // of the category must upgrade it in place.
+        let mut m = master();
+        let wf = parallel_workflow(3, None);
+        let mut op = Operator::new(
+            OperatorConfig {
+                warmup: false,
+                trust_declared: false,
+                learn: true,
+                seed: 1,
+            },
+            wf,
+            &mut m,
+        );
+        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        // All three submitted unknown; none dispatched (no workers), so
+        // they are all waiting with declared = None.
+        assert!(m
+            .queue_status()
+            .waiting
+            .iter()
+            .all(|w| w.declared.is_none()));
+        // Simulate the category's first measurement arriving: every task
+        // still in the queue gets the learned declaration in place.
+        let measured = Measured {
+            peak: Resources::cores(1, 2_000, 2_000),
+            wall: Duration::from_secs(55),
+        };
+        let _ = op.on_task_completed(SimTime::from_secs(60), TaskId(0), "align", measured, &mut m);
+        let upgraded = m
+            .queue_status()
+            .waiting
+            .iter()
+            .filter(|w| w.declared == Some(Resources::cores(1, 2_000, 2_000)))
+            .count();
+        assert_eq!(upgraded, 3, "all queued align tasks upgraded");
+    }
+
+    #[test]
+    fn second_category_probes_independently() {
+        // Two-stage workflow with distinct categories: after stage a is
+        // learned, stage b still probes one job first.
+        let jobs = vec![
+            Job {
+                id: JobId(0),
+                category: "a".into(),
+                command: "a".into(),
+                inputs: vec![],
+                outputs: vec!["x".into()],
+            },
+            Job {
+                id: JobId(1),
+                category: "b".into(),
+                command: "b1".into(),
+                inputs: vec!["x".into()],
+                outputs: vec!["y1".into()],
+            },
+            Job {
+                id: JobId(2),
+                category: "b".into(),
+                command: "b2".into(),
+                inputs: vec!["x".into()],
+                outputs: vec!["y2".into()],
+            },
+            Job {
+                id: JobId(3),
+                category: "b".into(),
+                command: "b3".into(),
+                inputs: vec!["x".into()],
+                outputs: vec!["y3".into()],
+            },
+        ];
+        let wf = Workflow::from_jobs(jobs, vec![]).unwrap();
+        let mut m = master();
+        let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
+        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        assert_eq!(op.submitted_count(), 1, "stage-a probe only");
+        let measured = Measured {
+            peak: Resources::cores(1, 1_000, 0),
+            wall: Duration::from_secs(10),
+        };
+        let _ = op.on_task_completed(SimTime::from_secs(10), TaskId(0), "a", measured, &mut m);
+        // Stage b became ready: exactly one b-probe goes out, two held.
+        assert_eq!(op.submitted_count(), 2);
+        assert_eq!(op.held_jobs(), vec![("b".to_string(), 2)]);
+        let _ = op.on_task_completed(SimTime::from_secs(20), TaskId(1), "b", measured, &mut m);
+        assert_eq!(op.submitted_count(), 4, "held b jobs released");
+        assert!(op.held_jobs().is_empty());
+    }
+
+    #[test]
+    fn dag_dependencies_gate_submission() {
+        // two-stage: 2 stage-a jobs then 1 stage-b job consuming both.
+        let jobs = vec![
+            Job {
+                id: JobId(0),
+                category: "a".into(),
+                command: "a0".into(),
+                inputs: vec![],
+                outputs: vec!["x0".into()],
+            },
+            Job {
+                id: JobId(1),
+                category: "a".into(),
+                command: "a1".into(),
+                inputs: vec![],
+                outputs: vec!["x1".into()],
+            },
+            Job {
+                id: JobId(2),
+                category: "b".into(),
+                command: "b".into(),
+                inputs: vec!["x0".into(), "x1".into()],
+                outputs: vec!["y".into()],
+            },
+        ];
+        let wf = Workflow::from_jobs(jobs, vec![]).unwrap();
+        let mut m = master();
+        let mut op = Operator::new(
+            OperatorConfig {
+                warmup: false,
+                ..OperatorConfig::default()
+            },
+            wf,
+            &mut m,
+        );
+        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        assert_eq!(op.submitted_count(), 2, "stage-b blocked");
+        let measured = Measured {
+            peak: Resources::cores(1, 0, 0),
+            wall: Duration::from_secs(10),
+        };
+        let _ = op.on_task_completed(SimTime::from_secs(10), TaskId(0), "a", measured, &mut m);
+        assert_eq!(op.submitted_count(), 2, "one dependency still missing");
+        let _ = op.on_task_completed(SimTime::from_secs(12), TaskId(1), "a", measured, &mut m);
+        assert_eq!(op.submitted_count(), 3, "stage-b released");
+        assert!(!op.all_complete());
+        let _ = op.on_task_completed(SimTime::from_secs(30), TaskId(2), "b", measured, &mut m);
+        assert!(op.all_complete());
+    }
+}

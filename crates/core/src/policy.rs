@@ -1,0 +1,632 @@
+//! Scaling policies.
+//!
+//! The driver evaluates one [`ScalingPolicy`] on a cadence the policy
+//! itself chooses (HTA: the latest resource-initialization time, §V-C
+//! "time intervals between two resizing actions is always set as the
+//! latest resource initialization time"; HPA: the 15 s sync period).
+//!
+//! The action type distinguishes HTA's **drain** (graceful, via Work
+//! Queue) from HPA's **kill** (pod deletion, interrupting jobs) — the
+//! §II-C deployment difference the paper builds its middleware around.
+
+use hta_cluster::{Hpa, HpaConfig};
+use hta_des::{Duration, SimTime};
+use hta_resources::Resources;
+use hta_workqueue::master::QueueStatus;
+
+use crate::category_stats::CategoryStats;
+use crate::estimator::{
+    estimate, estimate_per_worker, EstimatorInput, RunningTask, ScaleDecision, WaitingTask,
+};
+
+/// Which capacity model Algorithm 1 uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorMode {
+    /// The paper's scalar `avaRsrc` (aggregate free capacity).
+    #[default]
+    Aggregate,
+    /// Per-worker free lists (no phantom fits across fragments).
+    PerWorker,
+}
+
+/// What the driver should do to the worker-pod pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAction {
+    /// Leave the pool alone.
+    None,
+    /// Create this many worker pods.
+    CreateWorkers(usize),
+    /// Gracefully drain this many workers (HTA).
+    DrainWorkers(usize),
+    /// Delete this many worker pods outright (HPA eviction).
+    KillWorkers(usize),
+}
+
+/// Snapshot handed to a policy at each evaluation.
+#[derive(Debug, Clone)]
+pub struct PolicyContext<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Work Queue state (waiting/running/workers).
+    pub queue: &'a QueueStatus,
+    /// Jobs the operator is still holding back (warm-up): they are demand
+    /// the queue does not show. `(category, count)` pairs.
+    pub held_jobs: &'a [(String, usize)],
+    /// Per-category learned statistics.
+    pub stats: &'a CategoryStats,
+    /// Latest measured resource-initialization time.
+    pub init_time: Duration,
+    /// Capacity of one worker pod.
+    pub worker_unit: Resources,
+    /// Worker pods alive in the cluster (pending + running).
+    pub live_worker_pods: usize,
+    /// Worker pods still pending (created, no node / image yet).
+    pub pending_worker_pods: usize,
+    /// Mean worker CPU utilization, `None` when no workers are connected.
+    pub utilization: Option<f64>,
+    /// Hard cap on worker pods (cluster quota).
+    pub max_workers: usize,
+    /// True once the workflow has no more jobs (clean-up stage).
+    pub workload_done: bool,
+}
+
+/// A worker-pool scaling policy.
+pub trait ScalingPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> String;
+    /// Decide an action and when to be called next.
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> (ScaleAction, Duration);
+    /// The most recent desired worker-pod count (for the Fig. 2 series).
+    fn desired(&self) -> usize;
+}
+
+// ----------------------------------------------------------------------
+// HTA
+// ----------------------------------------------------------------------
+
+/// Tuning for [`HtaPolicy`].
+#[derive(Debug, Clone)]
+pub struct HtaConfig {
+    /// Re-evaluation interval when the estimator has nothing to do.
+    pub default_cycle: Duration,
+    /// Expected execution time for categories with no measurement yet.
+    pub default_exec: Duration,
+    /// Lower bound between evaluations (avoid zero-delay loops).
+    pub min_interval: Duration,
+    /// Upper bound between evaluations (stay responsive to new stages).
+    pub max_interval: Duration,
+    /// Capacity model for the estimator (ablation knob).
+    pub estimator_mode: EstimatorMode,
+    /// Standby floor: never drain below this many worker pods while the
+    /// workload is running (a production guardrail against the
+    /// probe/stage-boundary churn; 0 = paper behaviour).
+    pub min_pool: usize,
+    /// At most this many workers drained per decision (rate limit; the
+    /// next cycle re-evaluates). `usize::MAX` = paper behaviour.
+    pub max_drain_per_cycle: usize,
+}
+
+impl Default for HtaConfig {
+    fn default() -> Self {
+        HtaConfig {
+            default_cycle: Duration::from_secs(30),
+            default_exec: Duration::from_secs(60),
+            min_interval: Duration::from_secs(5),
+            max_interval: Duration::from_secs(120),
+            estimator_mode: EstimatorMode::Aggregate,
+            min_pool: 0,
+            max_drain_per_cycle: usize::MAX,
+        }
+    }
+}
+
+/// The paper's well-informed feedback autoscaler.
+#[derive(Debug, Clone)]
+pub struct HtaPolicy {
+    cfg: HtaConfig,
+    last_desired: usize,
+}
+
+impl HtaPolicy {
+    /// A fresh policy.
+    pub fn new(cfg: HtaConfig) -> Self {
+        HtaPolicy {
+            cfg,
+            last_desired: 0,
+        }
+    }
+
+    /// Build the estimator's view from the queue snapshot.
+    fn build_input(&self, ctx: &PolicyContext<'_>) -> EstimatorInput {
+        let stats = ctx.stats;
+        let default_exec = self.cfg.default_exec;
+
+        let running: Vec<RunningTask> = ctx
+            .queue
+            .running
+            .iter()
+            .map(|r| {
+                let mean = stats
+                    .estimate(&r.category)
+                    .map(|e| e.mean_wall)
+                    .unwrap_or(default_exec);
+                let elapsed = r
+                    .started_at
+                    .map(|s| ctx.now.since(s))
+                    .unwrap_or(Duration::ZERO);
+                RunningTask {
+                    remaining: mean.saturating_sub(elapsed),
+                    allocation: r.allocation,
+                }
+            })
+            .collect();
+
+        let mut waiting: Vec<WaitingTask> = ctx
+            .queue
+            .waiting
+            .iter()
+            .map(|w| {
+                let est = stats.estimate(&w.category);
+                let resources = w
+                    .declared
+                    .or(est.map(|e| e.resources))
+                    .unwrap_or(ctx.worker_unit);
+                let exec = est.map(|e| e.mean_wall).unwrap_or(default_exec);
+                WaitingTask { resources, exec }
+            })
+            .collect();
+        // Held jobs whose category is already measured are demand (they
+        // enter the queue as soon as the release happens); jobs held for a
+        // still-running probe have *unknown* size and contribute nothing —
+        // the warm-up stage collects statistics before provisioning for
+        // them (§V-C).
+        for (cat, count) in ctx.held_jobs {
+            if let Some(est) = stats.estimate(cat) {
+                for _ in 0..*count {
+                    waiting.push(WaitingTask {
+                        resources: est.resources,
+                        exec: est.mean_wall,
+                    });
+                }
+            }
+        }
+
+        // Active worker capacities; pending worker pods count as full
+        // future capacity so one shortage is not provisioned twice.
+        let mut active_workers: Vec<Resources> = ctx
+            .queue
+            .workers
+            .iter()
+            .filter(|w| w.state == hta_workqueue::WorkerState::Active)
+            .map(|w| w.capacity)
+            .collect();
+        active_workers.extend(std::iter::repeat_n(
+            ctx.worker_unit,
+            ctx.pending_worker_pods,
+        ));
+
+        EstimatorInput {
+            rsrc_init_time: ctx.init_time,
+            default_cycle: self.cfg.default_cycle,
+            running,
+            waiting,
+            active_workers,
+            worker_unit: ctx.worker_unit,
+        }
+    }
+}
+
+impl ScalingPolicy for HtaPolicy {
+    fn name(&self) -> String {
+        "HTA".into()
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> (ScaleAction, Duration) {
+        if ctx.workload_done {
+            // Clean-up stage: drain everything.
+            self.last_desired = 0;
+            let live = ctx.live_worker_pods;
+            return if live > 0 {
+                (ScaleAction::DrainWorkers(live), self.cfg.default_cycle)
+            } else {
+                (ScaleAction::None, self.cfg.default_cycle)
+            };
+        }
+        let input = self.build_input(ctx);
+        let ScaleDecision { delta, next_action } = match self.cfg.estimator_mode {
+            EstimatorMode::Aggregate => estimate(&input),
+            EstimatorMode::PerWorker => estimate_per_worker(&input),
+        };
+        let next = next_action
+            .max(self.cfg.min_interval)
+            .min(self.cfg.max_interval);
+        let action = if delta > 0 {
+            let headroom = ctx.max_workers.saturating_sub(ctx.live_worker_pods);
+            let n = (delta as usize).min(headroom);
+            self.last_desired = ctx.live_worker_pods + n;
+            if n == 0 {
+                ScaleAction::None
+            } else {
+                ScaleAction::CreateWorkers(n)
+            }
+        } else if delta < 0 {
+            let n = (-delta) as usize;
+            // Guardrails: the standby floor and the per-cycle drain limit.
+            let floor = self.cfg.min_pool.min(ctx.max_workers);
+            let drainable = ctx.live_worker_pods.saturating_sub(floor);
+            let n = n.min(drainable).min(self.cfg.max_drain_per_cycle);
+            self.last_desired = ctx.live_worker_pods - n;
+            if n == 0 {
+                ScaleAction::None
+            } else {
+                ScaleAction::DrainWorkers(n)
+            }
+        } else {
+            self.last_desired = ctx.live_worker_pods;
+            ScaleAction::None
+        };
+        (action, next)
+    }
+
+    fn desired(&self) -> usize {
+        self.last_desired
+    }
+}
+
+// ----------------------------------------------------------------------
+// HPA
+// ----------------------------------------------------------------------
+
+/// The Kubernetes HPA baseline driving the worker-pod group.
+#[derive(Debug, Clone)]
+pub struct HpaPolicy {
+    hpa: Hpa,
+    label: String,
+    last_desired: usize,
+}
+
+impl HpaPolicy {
+    /// `HPA(target% CPU)` with the given replica bounds.
+    pub fn new(target_utilization: f64, min_replicas: usize, max_replicas: usize) -> Self {
+        let label = format!("HPA({}% CPU)", (target_utilization * 100.0).round() as u32);
+        HpaPolicy {
+            hpa: Hpa::new(HpaConfig::with_target(
+                target_utilization,
+                min_replicas,
+                max_replicas,
+            )),
+            label,
+            last_desired: min_replicas,
+        }
+    }
+}
+
+impl ScalingPolicy for HpaPolicy {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> (ScaleAction, Duration) {
+        let sync = self.hpa.config().sync_interval;
+        let desired = self
+            .hpa
+            .tick(ctx.now, ctx.live_worker_pods, ctx.utilization)
+            .min(ctx.max_workers);
+        self.last_desired = desired;
+        let current = ctx.live_worker_pods;
+        let action = if desired > current {
+            ScaleAction::CreateWorkers(desired - current)
+        } else if desired < current {
+            ScaleAction::KillWorkers(current - desired)
+        } else {
+            ScaleAction::None
+        };
+        (action, sync)
+    }
+
+    fn desired(&self) -> usize {
+        self.last_desired
+    }
+}
+
+// ----------------------------------------------------------------------
+// Fixed pool
+// ----------------------------------------------------------------------
+
+/// A static pool of `n` workers (the paper's §IV-A fixed configurations).
+#[derive(Debug, Clone)]
+pub struct FixedPolicy {
+    target: usize,
+    interval: Duration,
+}
+
+impl FixedPolicy {
+    /// Hold the pool at `target` workers.
+    pub fn new(target: usize) -> Self {
+        FixedPolicy {
+            target,
+            interval: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ScalingPolicy for FixedPolicy {
+    fn name(&self) -> String {
+        format!("Fixed({})", self.target)
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> (ScaleAction, Duration) {
+        if ctx.workload_done {
+            return if ctx.live_worker_pods > 0 {
+                (
+                    ScaleAction::DrainWorkers(ctx.live_worker_pods),
+                    self.interval,
+                )
+            } else {
+                (ScaleAction::None, self.interval)
+            };
+        }
+        let action = if ctx.live_worker_pods < self.target {
+            ScaleAction::CreateWorkers(self.target - ctx.live_worker_pods)
+        } else {
+            ScaleAction::None
+        };
+        (action, self.interval)
+    }
+
+    fn desired(&self) -> usize {
+        self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_workqueue::master::{QueueStatus, WaitingSnapshot, WorkerSnapshot};
+    use hta_workqueue::{TaskId, WorkerId, WorkerState};
+
+    fn worker_unit() -> Resources {
+        Resources::cores(3, 12_000, 50_000)
+    }
+
+    fn empty_queue() -> QueueStatus {
+        QueueStatus::default()
+    }
+
+    fn ctx<'a>(
+        queue: &'a QueueStatus,
+        stats: &'a CategoryStats,
+        held: &'a [(String, usize)],
+        live: usize,
+    ) -> PolicyContext<'a> {
+        PolicyContext {
+            now: SimTime::from_secs(100),
+            queue,
+            held_jobs: held,
+            stats,
+            init_time: Duration::from_secs(157),
+            worker_unit: worker_unit(),
+            live_worker_pods: live,
+            pending_worker_pods: 0,
+            utilization: None,
+            max_workers: 20,
+            workload_done: false,
+        }
+    }
+
+    fn waiting_queue(n: usize, declared: Option<Resources>) -> QueueStatus {
+        QueueStatus {
+            waiting: (0..n)
+                .map(|i| WaitingSnapshot {
+                    id: TaskId(i as u64),
+                    category: "align".into(),
+                    declared,
+                })
+                .collect(),
+            running: vec![],
+            workers: vec![],
+        }
+    }
+
+    #[test]
+    fn hta_scales_up_for_declared_backlog() {
+        let q = waiting_queue(9, Some(Resources::cores(1, 2_000, 2_000)));
+        let stats = CategoryStats::new();
+        let mut p = HtaPolicy::new(HtaConfig::default());
+        let (action, next) = p.decide(&ctx(&q, &stats, &[], 0));
+        assert_eq!(action, ScaleAction::CreateWorkers(3));
+        assert_eq!(p.desired(), 3);
+        assert_eq!(next, Duration::from_secs(120), "init time clamped to max");
+    }
+
+    #[test]
+    fn hta_respects_max_workers() {
+        let q = waiting_queue(300, Some(Resources::cores(3, 0, 0)));
+        let stats = CategoryStats::new();
+        let mut p = HtaPolicy::new(HtaConfig::default());
+        let (action, _) = p.decide(&ctx(&q, &stats, &[], 18));
+        assert_eq!(action, ScaleAction::CreateWorkers(2), "18 + 2 = cap 20");
+    }
+
+    #[test]
+    fn hta_ignores_held_jobs_of_unmeasured_categories() {
+        let q = empty_queue();
+        let stats = CategoryStats::new();
+        let held = vec![("align".to_string(), 6)];
+        let mut p = HtaPolicy::new(HtaConfig::default());
+        // Unknown category under probe → no demand yet (warm-up collects
+        // statistics before provisioning).
+        let (action, _) = p.decide(&ctx(&q, &stats, &held, 0));
+        assert_eq!(action, ScaleAction::None);
+    }
+
+    #[test]
+    fn hta_counts_measured_held_jobs_as_demand() {
+        use hta_workqueue::task::Measured;
+        let q = empty_queue();
+        let mut stats = CategoryStats::new();
+        stats.observe(
+            "align",
+            Measured {
+                peak: Resources::cores(1, 2_000, 2_000),
+                wall: Duration::from_secs(60),
+            },
+        );
+        let held = vec![("align".to_string(), 6)];
+        let mut p = HtaPolicy::new(HtaConfig::default());
+        // 6 measured 1-core jobs pack into 2 three-core workers.
+        let (action, _) = p.decide(&ctx(&q, &stats, &held, 0));
+        assert_eq!(action, ScaleAction::CreateWorkers(2));
+    }
+
+    #[test]
+    fn hta_drains_idle_pool_even_during_probe() {
+        // Draining while a probe runs is safe here: nodes stay warm for
+        // the idle timeout and images are cached, so re-creating workers
+        // after the probe completes costs seconds, not an init cycle.
+        let mut q = empty_queue();
+        q.workers = (0..4)
+            .map(|i| WorkerSnapshot {
+                id: WorkerId(i),
+                capacity: worker_unit(),
+                available: worker_unit(),
+                state: WorkerState::Active,
+                tasks: 0,
+            })
+            .collect();
+        let stats = CategoryStats::new();
+        let held = vec![("stage2".to_string(), 33)];
+        let mut p = HtaPolicy::new(HtaConfig::default());
+        let (action, _) = p.decide(&ctx(&q, &stats, &held, 4));
+        assert_eq!(action, ScaleAction::DrainWorkers(4));
+    }
+
+    #[test]
+    fn hta_drains_on_idle_pool() {
+        let mut q = empty_queue();
+        q.workers = (0..4)
+            .map(|i| WorkerSnapshot {
+                id: WorkerId(i),
+                capacity: worker_unit(),
+                available: worker_unit(),
+                state: WorkerState::Active,
+                tasks: 0,
+            })
+            .collect();
+        // One waiting task too big for the aggregate → idle forever.
+        q.waiting = vec![WaitingSnapshot {
+            id: TaskId(0),
+            category: "huge".into(),
+            declared: Some(Resources::new(1000, 80_000, 0)),
+        }];
+        let stats = CategoryStats::new();
+        let mut p = HtaPolicy::new(HtaConfig::default());
+        let (action, _) = p.decide(&ctx(&q, &stats, &[], 4));
+        assert_eq!(action, ScaleAction::DrainWorkers(4));
+    }
+
+    #[test]
+    fn min_pool_floor_limits_drains() {
+        let mut q = empty_queue();
+        q.workers = (0..6)
+            .map(|i| WorkerSnapshot {
+                id: WorkerId(i),
+                capacity: worker_unit(),
+                available: worker_unit(),
+                state: WorkerState::Active,
+                tasks: 0,
+            })
+            .collect();
+        let stats = CategoryStats::new();
+        let mut p = HtaPolicy::new(HtaConfig {
+            min_pool: 4,
+            ..HtaConfig::default()
+        });
+        // Fully idle pool of 6 would drain 6; the floor keeps 4.
+        let (action, _) = p.decide(&ctx(&q, &stats, &[], 6));
+        assert_eq!(action, ScaleAction::DrainWorkers(2));
+        assert_eq!(p.desired(), 4);
+        // Clean-up ignores the floor.
+        let mut done = ctx(&q, &stats, &[], 6);
+        done.workload_done = true;
+        let (action, _) = p.decide(&done);
+        assert_eq!(action, ScaleAction::DrainWorkers(6));
+    }
+
+    #[test]
+    fn drain_rate_limit_caps_each_cycle() {
+        let mut q = empty_queue();
+        q.workers = (0..8)
+            .map(|i| WorkerSnapshot {
+                id: WorkerId(i),
+                capacity: worker_unit(),
+                available: worker_unit(),
+                state: WorkerState::Active,
+                tasks: 0,
+            })
+            .collect();
+        let stats = CategoryStats::new();
+        let mut p = HtaPolicy::new(HtaConfig {
+            max_drain_per_cycle: 3,
+            ..HtaConfig::default()
+        });
+        let (action, _) = p.decide(&ctx(&q, &stats, &[], 8));
+        assert_eq!(action, ScaleAction::DrainWorkers(3));
+    }
+
+    #[test]
+    fn hta_cleanup_drains_everything() {
+        let q = empty_queue();
+        let stats = CategoryStats::new();
+        let mut p = HtaPolicy::new(HtaConfig::default());
+        let mut c = ctx(&q, &stats, &[], 7);
+        c.workload_done = true;
+        let (action, _) = p.decide(&c);
+        assert_eq!(action, ScaleAction::DrainWorkers(7));
+        assert_eq!(p.desired(), 0);
+    }
+
+    #[test]
+    fn hta_pending_pods_prevent_double_provisioning() {
+        let q = waiting_queue(9, Some(Resources::cores(1, 2_000, 2_000)));
+        let stats = CategoryStats::new();
+        let mut c = ctx(&q, &stats, &[], 3);
+        c.pending_worker_pods = 3;
+        let mut p = HtaPolicy::new(HtaConfig::default());
+        // 3 pending workers × 3 cores absorb the 9 one-core tasks.
+        let (action, _) = p.decide(&c);
+        assert_eq!(action, ScaleAction::None);
+    }
+
+    #[test]
+    fn hpa_policy_scales_and_kills() {
+        let q = empty_queue();
+        let stats = CategoryStats::new();
+        let mut p = HpaPolicy::new(0.5, 1, 15);
+        assert_eq!(p.name(), "HPA(50% CPU)");
+        let mut c = ctx(&q, &stats, &[], 3);
+        c.utilization = Some(0.9);
+        let (action, next) = p.decide(&c);
+        assert_eq!(action, ScaleAction::CreateWorkers(3), "3 → ceil(3×1.8)=6");
+        assert_eq!(next, Duration::from_secs(15));
+        assert_eq!(p.desired(), 6);
+        // Low utilization after the stabilization window → kill.
+        let mut c2 = ctx(&q, &stats, &[], 6);
+        c2.now = SimTime::from_secs(500);
+        c2.utilization = Some(0.05);
+        let (action, _) = p.decide(&c2);
+        assert!(matches!(action, ScaleAction::KillWorkers(_)));
+    }
+
+    #[test]
+    fn fixed_policy_tops_up_then_holds() {
+        let q = empty_queue();
+        let stats = CategoryStats::new();
+        let mut p = FixedPolicy::new(5);
+        let (action, _) = p.decide(&ctx(&q, &stats, &[], 2));
+        assert_eq!(action, ScaleAction::CreateWorkers(3));
+        let (action, _) = p.decide(&ctx(&q, &stats, &[], 5));
+        assert_eq!(action, ScaleAction::None);
+        assert_eq!(p.desired(), 5);
+    }
+}

@@ -1,0 +1,205 @@
+//! A target-tracking baseline (the related-work space, §VII).
+//!
+//! Cloud providers' generic autoscalers (AWS target tracking, and — in
+//! spirit — queue-metric scalers like KEDA) keep a chosen metric at a
+//! target by proportional control. [`TargetTrackingPolicy`] tracks
+//! **backlog per worker** (waiting tasks / live workers) — a queue-aware
+//! but initialization-blind strategy:
+//!
+//! ```text
+//! desired = ceil(live × backlog_per_worker / target)
+//! ```
+//!
+//! It is better informed than HPA's CPU metric (it sees the queue) but,
+//! unlike HTA, it neither packs by measured resources nor forecasts
+//! completions across the initialization cycle — so it over-provisions
+//! on backlogs the current pool would absorb anyway.
+
+use hta_des::{Duration, SimTime};
+
+use crate::policy::{PolicyContext, ScaleAction, ScalingPolicy};
+
+/// Target-tracking configuration.
+#[derive(Debug, Clone)]
+pub struct TargetTrackingConfig {
+    /// Desired waiting tasks per live worker.
+    pub target_backlog_per_worker: f64,
+    /// Evaluation period.
+    pub sync_interval: Duration,
+    /// Scale-in cooldown (AWS default: 300 s).
+    pub scale_in_cooldown: Duration,
+    /// Lower clamp.
+    pub min_workers: usize,
+}
+
+impl Default for TargetTrackingConfig {
+    fn default() -> Self {
+        TargetTrackingConfig {
+            target_backlog_per_worker: 2.0,
+            sync_interval: Duration::from_secs(15),
+            scale_in_cooldown: Duration::from_secs(300),
+            min_workers: 1,
+        }
+    }
+}
+
+/// The policy.
+#[derive(Debug, Clone)]
+pub struct TargetTrackingPolicy {
+    cfg: TargetTrackingConfig,
+    last_desired: usize,
+    last_scale_in: Option<SimTime>,
+}
+
+impl TargetTrackingPolicy {
+    /// A fresh controller.
+    pub fn new(cfg: TargetTrackingConfig) -> Self {
+        TargetTrackingPolicy {
+            cfg,
+            last_desired: 0,
+            last_scale_in: None,
+        }
+    }
+}
+
+impl ScalingPolicy for TargetTrackingPolicy {
+    fn name(&self) -> String {
+        format!(
+            "TargetTracking({}/worker)",
+            self.cfg.target_backlog_per_worker
+        )
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> (ScaleAction, Duration) {
+        if ctx.workload_done {
+            self.last_desired = 0;
+            return if ctx.live_worker_pods > 0 {
+                (
+                    ScaleAction::DrainWorkers(ctx.live_worker_pods),
+                    self.cfg.sync_interval,
+                )
+            } else {
+                (ScaleAction::None, self.cfg.sync_interval)
+            };
+        }
+        let backlog = ctx.queue.waiting.len()
+            + ctx.held_jobs.iter().map(|(_, n)| *n).sum::<usize>();
+        let live = ctx.live_worker_pods.max(1);
+        let metric = backlog as f64 / live as f64;
+        let raw = ((live as f64) * metric / self.cfg.target_backlog_per_worker).ceil() as usize;
+        // Keep at least enough workers for what is running.
+        let busy_floor = if ctx.queue.running.is_empty() { 0 } else { 1 };
+        let desired = raw
+            .max(self.cfg.min_workers)
+            .max(busy_floor)
+            .min(ctx.max_workers);
+        self.last_desired = desired;
+        let action = if desired > ctx.live_worker_pods {
+            ScaleAction::CreateWorkers(desired - ctx.live_worker_pods)
+        } else if desired < ctx.live_worker_pods {
+            // Scale-in cooldown.
+            let ok = self
+                .last_scale_in
+                .map(|t| ctx.now.since(t) >= self.cfg.scale_in_cooldown)
+                .unwrap_or(true);
+            if ok {
+                self.last_scale_in = Some(ctx.now);
+                ScaleAction::DrainWorkers(ctx.live_worker_pods - desired)
+            } else {
+                ScaleAction::None
+            }
+        } else {
+            ScaleAction::None
+        };
+        (action, self.cfg.sync_interval)
+    }
+
+    fn desired(&self) -> usize {
+        self.last_desired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category_stats::CategoryStats;
+    use hta_resources::Resources;
+    use hta_workqueue::master::{QueueStatus, WaitingSnapshot};
+    use hta_workqueue::TaskId;
+
+    fn ctx<'a>(
+        queue: &'a QueueStatus,
+        stats: &'a CategoryStats,
+        live: usize,
+        now_s: u64,
+    ) -> PolicyContext<'a> {
+        PolicyContext {
+            now: SimTime::from_secs(now_s),
+            queue,
+            held_jobs: &[],
+            stats,
+            init_time: Duration::from_secs(157),
+            worker_unit: Resources::cores(3, 12_000, 50_000),
+            live_worker_pods: live,
+            pending_worker_pods: 0,
+            utilization: None,
+            max_workers: 20,
+            workload_done: false,
+        }
+    }
+
+    fn backlog(n: usize) -> QueueStatus {
+        QueueStatus {
+            waiting: (0..n)
+                .map(|i| WaitingSnapshot {
+                    id: TaskId(i as u64),
+                    category: "t".into(),
+                    declared: None,
+                })
+                .collect(),
+            running: vec![],
+            workers: vec![],
+        }
+    }
+
+    #[test]
+    fn tracks_backlog_target() {
+        let mut p = TargetTrackingPolicy::new(TargetTrackingConfig::default());
+        let q = backlog(20);
+        let stats = CategoryStats::new();
+        // 20 waiting / target 2 per worker → 10 desired.
+        let (action, next) = p.decide(&ctx(&q, &stats, 4, 0));
+        assert_eq!(action, ScaleAction::CreateWorkers(6));
+        assert_eq!(p.desired(), 10);
+        assert_eq!(next, Duration::from_secs(15));
+    }
+
+    #[test]
+    fn scale_in_respects_cooldown() {
+        let mut p = TargetTrackingPolicy::new(TargetTrackingConfig::default());
+        let stats = CategoryStats::new();
+        let empty = backlog(0);
+        // First scale-in applies…
+        let (a1, _) = p.decide(&ctx(&empty, &stats, 10, 100));
+        assert_eq!(a1, ScaleAction::DrainWorkers(9), "down to min");
+        // …a second within the cooldown is suppressed…
+        let (a2, _) = p.decide(&ctx(&empty, &stats, 8, 150));
+        assert_eq!(a2, ScaleAction::None);
+        // …and allowed again after it passes.
+        let (a3, _) = p.decide(&ctx(&empty, &stats, 8, 500));
+        assert!(matches!(a3, ScaleAction::DrainWorkers(_)));
+    }
+
+    #[test]
+    fn quota_clamped_and_cleanup() {
+        let mut p = TargetTrackingPolicy::new(TargetTrackingConfig::default());
+        let stats = CategoryStats::new();
+        let q = backlog(500);
+        let (action, _) = p.decide(&ctx(&q, &stats, 1, 0));
+        assert_eq!(action, ScaleAction::CreateWorkers(19), "clamped to 20");
+        let mut done = ctx(&q, &stats, 6, 10);
+        done.workload_done = true;
+        let (action, _) = p.decide(&done);
+        assert_eq!(action, ScaleAction::DrainWorkers(6));
+    }
+}

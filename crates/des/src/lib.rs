@@ -1,0 +1,46 @@
+//! # hta-des — discrete-event simulation kernel
+//!
+//! The HTA reproduction replaces the paper's real Google Kubernetes Engine
+//! testbed with a deterministic discrete-event simulation. This crate is the
+//! kernel every other crate builds on:
+//!
+//! * [`SimTime`] / [`Duration`] — millisecond-resolution simulated time,
+//! * [`EventQueue`] — a stable (FIFO-within-timestamp) future event list,
+//! * [`SimRng`] — a seeded random source with the distribution samplers the
+//!   model needs (normal via Box–Muller, lognormal, uniform),
+//! * [`trace`] — a bounded in-memory trace ring for debugging simulations.
+//!
+//! Every component in the stack is written as a *pure state machine*: it
+//! consumes an event at a known `now` and returns follow-up events with
+//! non-negative delays. The kernel guarantees deterministic replay: events
+//! scheduled for the same instant are delivered in scheduling order.
+//!
+//! # Example
+//!
+//! ```
+//! use hta_des::{Duration, EventQueue, SimRng, SimTime};
+//!
+//! let mut queue: EventQueue<&str> = EventQueue::new();
+//! queue.schedule_in(Duration::from_secs(5), "pod ready");
+//! queue.schedule_at(SimTime::from_secs(2), "image pulled");
+//!
+//! let (at, event) = queue.pop().unwrap();
+//! assert_eq!((at, event), (SimTime::from_secs(2), "image pulled"));
+//! assert_eq!(queue.now(), SimTime::from_secs(2));
+//!
+//! // Deterministic, seeded randomness for latency models:
+//! let mut rng = SimRng::seed_from_u64(42);
+//! let latency = rng.normal_duration(Duration::from_secs(157), Duration::from_secs(4));
+//! assert!(latency.as_secs_f64() > 100.0);
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod time;
+pub mod trace;
+
+pub use queue::{EventQueue, Scheduled};
+pub use rng::SimRng;
+pub use sim::{Simulation, StopReason};
+pub use time::{Duration, SimTime};

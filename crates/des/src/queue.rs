@@ -1,0 +1,217 @@
+//! The future event list.
+//!
+//! A binary heap keyed by `(time, sequence)`. The sequence number makes the
+//! order of same-timestamp events equal to their scheduling order, which is
+//! what makes whole-system runs byte-for-byte reproducible: two events
+//! scheduled for the same millisecond are always delivered FIFO.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{Duration, SimTime};
+
+/// An event with its delivery time and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// Delivery instant.
+    pub at: SimTime,
+    /// Scheduling order, used to break ties deterministically.
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    /// Reversed so that the `BinaryHeap` (a max-heap) pops the *earliest*
+    /// `(at, seq)` pair first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic future event list.
+///
+/// The queue tracks the current simulated time: popping an event advances
+/// the clock to the event's timestamp. Scheduling into the past is a logic
+/// error and panics in debug builds (it silently clamps to `now` in release
+/// builds, which keeps long experiment sweeps robust against millisecond
+/// rounding at the edges of the fluid-flow transfer model).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    delivered: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        let at = self.now + delay;
+        self.push_at(at, event);
+    }
+
+    /// Schedule `event` at an absolute instant.
+    ///
+    /// Debug builds panic when `at < now`; release builds clamp to `now`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event into the past: at={:?} now={:?}",
+            at,
+            self.now
+        );
+        let at = at.max(self.now);
+        self.push_at(at, event);
+    }
+
+    fn push_at(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue time went backwards");
+        self.now = s.at;
+        self.delivered += 1;
+        Some((s.at, s.event))
+    }
+
+    /// Drop every pending event (used by experiment teardown).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(30), "c");
+        q.schedule_at(SimTime::from_millis(10), "a");
+        q.schedule_at(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_timestamp_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(SimTime::from_millis(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Duration::from_secs(2), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimTime::from_secs(2));
+        assert_eq!(q.now(), SimTime::from_secs(2));
+        assert_eq!(q.delivered(), 1);
+    }
+
+    #[test]
+    fn relative_scheduling_is_from_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Duration::from_secs(1), 1u32);
+        q.pop().unwrap();
+        q.schedule_in(Duration::from_secs(1), 2u32);
+        let (at, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Duration::ZERO, ());
+        q.schedule_in(Duration::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event into the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), ());
+        q.pop().unwrap();
+        q.schedule_at(SimTime::from_secs(1), ());
+    }
+}

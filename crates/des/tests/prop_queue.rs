@@ -1,0 +1,69 @@
+//! Property tests for the event queue: global time ordering and FIFO
+//! delivery within a timestamp — the invariants deterministic replay
+//! rests on.
+
+use hta_des::{Duration, EventQueue, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, regardless of the
+    /// scheduling order.
+    #[test]
+    fn pops_are_time_ordered(times in proptest::collection::vec(0u64..100_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_millis(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last, "time went backwards");
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Among events sharing a timestamp, delivery order equals scheduling
+    /// order (stable FIFO ties).
+    #[test]
+    fn ties_are_fifo(groups in proptest::collection::vec((0u64..50, 1usize..6), 1..40)) {
+        let mut q = EventQueue::new();
+        let mut seq = 0usize;
+        for (t, n) in &groups {
+            for _ in 0..*n {
+                q.schedule_at(SimTime::from_millis(*t), seq);
+                seq += 1;
+            }
+        }
+        // Collect per-timestamp sequences; each must be increasing.
+        let mut per_time: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
+        while let Some((at, payload)) = q.pop() {
+            per_time.entry(at.as_millis()).or_default().push(payload);
+        }
+        for (t, seqs) in per_time {
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&seqs, &sorted, "non-FIFO at t={}", t);
+        }
+    }
+
+    /// Relative scheduling (`schedule_in`) after pops lands at
+    /// `now + delay` exactly.
+    #[test]
+    fn relative_delays_accumulate(delays in proptest::collection::vec(1u64..10_000, 1..100)) {
+        let mut q = EventQueue::new();
+        let mut expect = 0u64;
+        q.schedule_in(Duration::from_millis(delays[0]), 0usize);
+        for (i, d) in delays.iter().enumerate().skip(1) {
+            let (at, _) = q.pop().unwrap();
+            expect += delays[i - 1];
+            prop_assert_eq!(at.as_millis(), expect);
+            q.schedule_in(Duration::from_millis(*d), i);
+        }
+        let (at, _) = q.pop().unwrap();
+        expect += delays[delays.len() - 1];
+        prop_assert_eq!(at.as_millis(), expect);
+        prop_assert!(q.is_empty());
+    }
+}

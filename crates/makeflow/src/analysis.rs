@@ -1,0 +1,246 @@
+//! Static DAG analysis.
+//!
+//! Answers the questions a resource planner asks before running a
+//! workflow: how deep is it (critical path), how wide can it get
+//! (parallelism profile), and how do jobs group into dependency levels —
+//! the information behind the paper's Fig. 10a stage timeline and the
+//! first (static-reservation) autoscaling approach of Fig. 1.
+
+use std::collections::BTreeMap;
+
+use hta_des::Duration;
+
+use crate::dag::Dag;
+use crate::job::JobId;
+use crate::workflow::Workflow;
+
+/// Static structure report for a workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagAnalysis {
+    /// Jobs per dependency level (level = longest producer chain).
+    pub level_widths: Vec<usize>,
+    /// Maximum level width — the workflow's peak parallelism.
+    pub max_width: usize,
+    /// Number of levels (critical path length in jobs).
+    pub depth: usize,
+    /// Critical-path wall time using each job's category mean.
+    pub critical_path: Duration,
+    /// Total serial work (Σ category wall over all jobs).
+    pub total_work: Duration,
+    /// Per-category job counts, in name order.
+    pub category_counts: BTreeMap<String, usize>,
+}
+
+impl DagAnalysis {
+    /// Lower bound on makespan with `slots` parallel task slots:
+    /// `max(critical_path, total_work / slots)`.
+    pub fn makespan_lower_bound(&self, slots: usize) -> Duration {
+        if slots == 0 {
+            return Duration::MAX;
+        }
+        let area = self.total_work.mul_f64(1.0 / slots as f64);
+        self.critical_path.max(area)
+    }
+
+    /// Average parallelism: total work / critical path.
+    pub fn average_parallelism(&self) -> f64 {
+        let cp = self.critical_path.as_secs_f64();
+        if cp <= 0.0 {
+            return 0.0;
+        }
+        self.total_work.as_secs_f64() / cp
+    }
+}
+
+/// Compute the level decomposition of a DAG (ignoring durations).
+///
+/// Level of a job = 1 + max level of its producers (sources are level 0).
+pub fn levels(dag: &Dag) -> BTreeMap<JobId, usize> {
+    let mut level: BTreeMap<JobId, usize> = BTreeMap::new();
+    // Jobs are not guaranteed topologically ordered by id; iterate to a
+    // fixed point (bounded by depth, which is ≤ |jobs|).
+    let jobs: Vec<_> = dag.jobs().cloned().collect();
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds <= jobs.len() + 1 {
+        changed = false;
+        rounds += 1;
+        for job in &jobs {
+            let mut lvl = 0usize;
+            for input in &job.inputs {
+                if let Some(p) = dag.producer_of(input) {
+                    lvl = lvl.max(level.get(&p).copied().unwrap_or(0) + 1);
+                }
+            }
+            let entry = level.entry(job.id).or_insert(0);
+            if *entry != lvl {
+                *entry = lvl;
+                changed = true;
+            }
+        }
+    }
+    level
+}
+
+/// Analyse a workflow (structure + category-profile durations).
+pub fn analyze(workflow: &Workflow) -> DagAnalysis {
+    let level = levels(&workflow.dag);
+    let depth = level.values().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut level_widths = vec![0usize; depth];
+    for &l in level.values() {
+        level_widths[l] += 1;
+    }
+
+    // Critical path over durations: longest finish time per job.
+    let wall_of = |job: JobId| -> Duration {
+        workflow
+            .profile_for(job)
+            .map(|p| p.sim.wall)
+            .unwrap_or(Duration::ZERO)
+    };
+    let mut finish: BTreeMap<JobId, Duration> = BTreeMap::new();
+    // Process by ascending level so producers resolve first.
+    let mut by_level: Vec<Vec<JobId>> = vec![Vec::new(); depth];
+    for (&j, &l) in &level {
+        by_level[l].push(j);
+    }
+    let mut critical_path = Duration::ZERO;
+    for lvl in &by_level {
+        for &j in lvl {
+            let job = workflow.dag.job(j).expect("job exists");
+            let mut start = Duration::ZERO;
+            for input in &job.inputs {
+                if let Some(p) = workflow.dag.producer_of(input) {
+                    start = start.max(finish.get(&p).copied().unwrap_or(Duration::ZERO));
+                }
+            }
+            let f = start + wall_of(j);
+            critical_path = critical_path.max(f);
+            finish.insert(j, f);
+        }
+    }
+
+    let total_work: Duration = workflow
+        .dag
+        .jobs()
+        .map(|j| wall_of(j.id))
+        .fold(Duration::ZERO, |a, b| a + b);
+
+    let mut category_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for j in workflow.dag.jobs() {
+        *category_counts.entry(j.category.clone()).or_insert(0) += 1;
+    }
+
+    DagAnalysis {
+        max_width: level_widths.iter().copied().max().unwrap_or(0),
+        level_widths,
+        depth,
+        critical_path,
+        total_work,
+        category_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::{CategoryProfile, SimProfile};
+    use crate::job::Job;
+    use hta_resources::Resources;
+
+    fn job(id: u64, cat: &str, inputs: &[&str], outputs: &[&str]) -> Job {
+        Job {
+            id: JobId(id),
+            category: cat.into(),
+            command: String::new(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    fn profile(name: &str, wall_s: u64) -> CategoryProfile {
+        CategoryProfile {
+            name: name.into(),
+            declared: None,
+            sim: SimProfile {
+                wall: Duration::from_secs(wall_s),
+                cpu_fraction: 0.9,
+                actual: Resources::cores(1, 1_000, 1_000),
+                output_mb: 0.1,
+                wall_jitter: 0.0,
+                heavy_tail: false,
+            },
+        }
+    }
+
+    /// split(10s) → 3×align(100s) → reduce(20s)
+    fn pipeline() -> Workflow {
+        let jobs = vec![
+            job(0, "split", &["in"], &["p0", "p1", "p2"]),
+            job(1, "align", &["p0"], &["o0"]),
+            job(2, "align", &["p1"], &["o1"]),
+            job(3, "align", &["p2"], &["o2"]),
+            job(4, "reduce", &["o0", "o1", "o2"], &["result"]),
+        ];
+        Workflow::from_jobs(
+            jobs,
+            vec![profile("split", 10), profile("align", 100), profile("reduce", 20)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn levels_and_widths() {
+        let wf = pipeline();
+        let a = analyze(&wf);
+        assert_eq!(a.depth, 3);
+        assert_eq!(a.level_widths, vec![1, 3, 1]);
+        assert_eq!(a.max_width, 3);
+        assert_eq!(a.category_counts["align"], 3);
+    }
+
+    #[test]
+    fn critical_path_and_total_work() {
+        let a = analyze(&pipeline());
+        // 10 + 100 + 20 on the critical chain.
+        assert_eq!(a.critical_path, Duration::from_secs(130));
+        // 10 + 3×100 + 20 total.
+        assert_eq!(a.total_work, Duration::from_secs(330));
+        assert!((a.average_parallelism() - 330.0 / 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_lower_bound() {
+        let a = analyze(&pipeline());
+        // 1 slot: bounded by total work; many slots: by critical path.
+        assert_eq!(a.makespan_lower_bound(1), Duration::from_secs(330));
+        assert_eq!(a.makespan_lower_bound(100), Duration::from_secs(130));
+        assert_eq!(a.makespan_lower_bound(0), Duration::MAX);
+    }
+
+    #[test]
+    fn out_of_order_ids_still_level_correctly() {
+        // Producer has a *higher* id than its consumer.
+        let jobs = vec![
+            job(0, "b", &["x"], &["y"]),
+            job(1, "a", &[], &["x"]),
+        ];
+        let wf = Workflow::from_jobs(jobs, vec![profile("a", 5), profile("b", 7)]).unwrap();
+        let a = analyze(&wf);
+        assert_eq!(a.depth, 2);
+        assert_eq!(a.critical_path, Duration::from_secs(12));
+    }
+
+    #[test]
+    fn independent_jobs_are_one_level() {
+        let jobs = (0..5).map(|i| job(i, "p", &[], &[])).enumerate().map(|(i, mut j)| {
+            j.outputs = vec![format!("o{i}")];
+            j
+        }).collect();
+        let wf = Workflow::from_jobs(jobs, vec![profile("p", 10)]).unwrap();
+        let a = analyze(&wf);
+        assert_eq!(a.depth, 1);
+        assert_eq!(a.max_width, 5);
+        assert_eq!(a.critical_path, Duration::from_secs(10));
+    }
+}

@@ -1,0 +1,104 @@
+//! Job categories.
+//!
+//! "Parallel jobs from the same stages are usually copies of the same
+//! program that works on different input datasets" (§IV-A). A category
+//! groups those copies; HTA measures the first completed job of a
+//! category and applies its resource footprint to the rest.
+//!
+//! Because the simulation does not execute commands, a category also
+//! carries a [`SimProfile`] — the ground truth the simulated task will
+//! exhibit (wall time, CPU fraction, true peak resources, data sizes).
+
+use hta_des::Duration;
+use hta_resources::Resources;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth behaviour of jobs in a category.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimProfile {
+    /// Wall time once inputs are local.
+    pub wall: Duration,
+    /// Fraction of allocated CPU kept busy (drives the HPA metric).
+    pub cpu_fraction: f64,
+    /// True peak resource consumption.
+    pub actual: Resources,
+    /// Output size returned to the master (MB).
+    pub output_mb: f64,
+    /// Relative jitter on wall time between jobs of the category (±).
+    pub wall_jitter: f64,
+    /// Heavy-tailed wall times: draw from a lognormal with σ =
+    /// `wall_jitter` (median = `wall`) instead of a uniform ± band.
+    /// Models the long right tails real bioinformatics jobs exhibit.
+    #[serde(default)]
+    pub heavy_tail: bool,
+}
+
+impl Default for SimProfile {
+    fn default() -> Self {
+        SimProfile {
+            wall: Duration::from_secs(60),
+            cpu_fraction: 0.9,
+            actual: Resources::cores(1, 2_000, 2_000),
+            output_mb: 0.6,
+            wall_jitter: 0.0,
+            heavy_tail: false,
+        }
+    }
+}
+
+/// A category: declared knowledge plus simulated ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryProfile {
+    /// Category name.
+    pub name: String,
+    /// Resources declared in the workflow file (`CORES`/`MEMORY`/`DISK`),
+    /// if any. `None` reproduces the unknown-resources mode.
+    pub declared: Option<Resources>,
+    /// Ground-truth simulation behaviour.
+    pub sim: SimProfile,
+}
+
+impl CategoryProfile {
+    /// A category with no declared resources and default behaviour.
+    pub fn unknown(name: impl Into<String>) -> Self {
+        CategoryProfile {
+            name: name.into(),
+            declared: None,
+            sim: SimProfile::default(),
+        }
+    }
+
+    /// A category with explicit declared resources.
+    pub fn declared(name: impl Into<String>, declared: Resources, sim: SimProfile) -> Self {
+        CategoryProfile {
+            name: name.into(),
+            declared: Some(declared),
+            sim,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_cpu_bound_like() {
+        let p = SimProfile::default();
+        assert!(p.cpu_fraction > 0.5);
+        assert!(p.actual.millicores >= 1000);
+    }
+
+    #[test]
+    fn constructors() {
+        let u = CategoryProfile::unknown("align");
+        assert_eq!(u.declared, None);
+        let d = CategoryProfile::declared(
+            "reduce",
+            Resources::cores(2, 4_000, 0),
+            SimProfile::default(),
+        );
+        assert_eq!(d.declared.unwrap().millicores, 2000);
+        assert_eq!(d.name, "reduce");
+    }
+}

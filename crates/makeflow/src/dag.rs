@@ -1,0 +1,330 @@
+//! The workflow DAG.
+//!
+//! Nodes are jobs; an edge exists from job A to job B when B consumes a
+//! file A produces. The DAG maintains the ready set incrementally: when a
+//! job completes, exactly the jobs whose last missing input it produced
+//! become ready — the operation Makeflow performs on every completion
+//! notification.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::job::{Job, JobId, JobState};
+
+/// Errors building a DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// Two jobs claim to produce the same file.
+    DuplicateProducer(String),
+    /// The dependency graph contains a cycle through this job.
+    Cycle(JobId),
+}
+
+impl std::fmt::Display for DagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DagError::DuplicateProducer(file) => {
+                write!(f, "file {file:?} is produced by more than one rule")
+            }
+            DagError::Cycle(j) => write!(f, "dependency cycle involving {j}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// The workflow DAG with execution state.
+#[derive(Debug, Clone)]
+pub struct Dag {
+    jobs: BTreeMap<JobId, Job>,
+    states: BTreeMap<JobId, JobState>,
+    /// file name → producing job.
+    producers: HashMap<String, JobId>,
+    /// job → jobs that consume one of its outputs.
+    dependents: BTreeMap<JobId, BTreeSet<JobId>>,
+    /// job → number of *incomplete* producer jobs it waits on.
+    missing_deps: BTreeMap<JobId, usize>,
+    completed: usize,
+}
+
+impl Dag {
+    /// Build a DAG from jobs. Inputs with no producer are workflow source
+    /// files (assumed present). Fails on duplicate producers or cycles.
+    pub fn build(jobs: Vec<Job>) -> Result<Self, DagError> {
+        let mut producers: HashMap<String, JobId> = HashMap::new();
+        for job in &jobs {
+            for out in &job.outputs {
+                if producers.insert(out.clone(), job.id).is_some() {
+                    return Err(DagError::DuplicateProducer(out.clone()));
+                }
+            }
+        }
+        let mut dependents: BTreeMap<JobId, BTreeSet<JobId>> = BTreeMap::new();
+        let mut missing: BTreeMap<JobId, usize> = BTreeMap::new();
+        for job in &jobs {
+            let mut producer_set = BTreeSet::new();
+            for input in &job.inputs {
+                if let Some(&p) = producers.get(input) {
+                    if p == job.id {
+                        return Err(DagError::Cycle(job.id));
+                    }
+                    producer_set.insert(p);
+                }
+            }
+            missing.insert(job.id, producer_set.len());
+            for p in producer_set {
+                dependents.entry(p).or_default().insert(job.id);
+            }
+        }
+        let states: BTreeMap<JobId, JobState> = jobs
+            .iter()
+            .map(|j| {
+                let st = if missing[&j.id] == 0 {
+                    JobState::Ready
+                } else {
+                    JobState::Blocked
+                };
+                (j.id, st)
+            })
+            .collect();
+        let dag = Dag {
+            jobs: jobs.into_iter().map(|j| (j.id, j)).collect(),
+            states,
+            producers,
+            dependents,
+            missing_deps: missing,
+            completed: 0,
+        };
+        dag.check_acyclic()?;
+        Ok(dag)
+    }
+
+    /// Kahn's algorithm over the producer counts: if not every job can be
+    /// ordered, there is a cycle.
+    fn check_acyclic(&self) -> Result<(), DagError> {
+        let mut missing = self.missing_deps.clone();
+        let mut queue: Vec<JobId> = missing
+            .iter()
+            .filter(|(_, &m)| m == 0)
+            .map(|(&j, _)| j)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(j) = queue.pop() {
+            seen += 1;
+            if let Some(deps) = self.dependents.get(&j) {
+                for &d in deps {
+                    let m = missing.get_mut(&d).expect("dependent exists");
+                    *m -= 1;
+                    if *m == 0 {
+                        queue.push(d);
+                    }
+                }
+            }
+        }
+        if seen != self.jobs.len() {
+            let stuck = missing
+                .iter()
+                .find(|(_, &m)| m > 0)
+                .map(|(&j, _)| j)
+                .expect("some job is stuck in a cycle");
+            return Err(DagError::Cycle(stuck));
+        }
+        Ok(())
+    }
+
+    /// Total job count.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the DAG holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Jobs currently in `Ready` state, in id order.
+    pub fn ready_jobs(&self) -> Vec<JobId> {
+        self.states
+            .iter()
+            .filter(|(_, s)| **s == JobState::Ready)
+            .map(|(&j, _)| j)
+            .collect()
+    }
+
+    /// A job by id.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// A job's state.
+    pub fn state(&self, id: JobId) -> Option<JobState> {
+        self.states.get(&id).copied()
+    }
+
+    /// Mark a ready job as handed to the execution layer.
+    pub fn mark_submitted(&mut self, id: JobId) {
+        if let Some(s) = self.states.get_mut(&id) {
+            debug_assert_eq!(*s, JobState::Ready, "submitting a non-ready job");
+            *s = JobState::Submitted;
+        }
+    }
+
+    /// Record a completion; returns the jobs that just became ready.
+    pub fn complete_job(&mut self, id: JobId) -> Vec<JobId> {
+        let Some(s) = self.states.get_mut(&id) else {
+            return Vec::new();
+        };
+        if *s == JobState::Complete {
+            return Vec::new();
+        }
+        *s = JobState::Complete;
+        self.completed += 1;
+        let mut newly_ready = Vec::new();
+        if let Some(deps) = self.dependents.get(&id).cloned() {
+            for d in deps {
+                let m = self
+                    .missing_deps
+                    .get_mut(&d)
+                    .expect("dependent tracked");
+                *m = m.saturating_sub(1);
+                if *m == 0 {
+                    let st = self.states.get_mut(&d).expect("state tracked");
+                    if *st == JobState::Blocked {
+                        *st = JobState::Ready;
+                        newly_ready.push(d);
+                    }
+                }
+            }
+        }
+        newly_ready
+    }
+
+    /// Number of completed jobs.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// True when every job is complete.
+    pub fn all_complete(&self) -> bool {
+        self.completed == self.jobs.len()
+    }
+
+    /// Which job produces `file`, if any (workflow sources have none).
+    pub fn producer_of(&self, file: &str) -> Option<JobId> {
+        self.producers.get(file).copied()
+    }
+
+    /// Iterate jobs in id order.
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// Distinct category names, in first-seen (id) order.
+    pub fn categories(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for j in self.jobs.values() {
+            if !seen.contains(&j.category) {
+                seen.push(j.category.clone());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, cat: &str, inputs: &[&str], outputs: &[&str]) -> Job {
+        Job {
+            id: JobId(id),
+            category: cat.into(),
+            command: format!("cmd-{id}"),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// split → [a, b] → reduce diamond.
+    fn diamond() -> Dag {
+        Dag::build(vec![
+            job(0, "split", &["input"], &["p0", "p1"]),
+            job(1, "align", &["p0"], &["o0"]),
+            job(2, "align", &["p1"], &["o1"]),
+            job(3, "reduce", &["o0", "o1"], &["result"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_ready_set_is_sources_only() {
+        let d = diamond();
+        assert_eq!(d.ready_jobs(), vec![JobId(0)]);
+        assert_eq!(d.state(JobId(3)), Some(JobState::Blocked));
+    }
+
+    #[test]
+    fn completion_unblocks_dependents_incrementally() {
+        let mut d = diamond();
+        d.mark_submitted(JobId(0));
+        let ready = d.complete_job(JobId(0));
+        assert_eq!(ready, vec![JobId(1), JobId(2)]);
+        assert!(d.complete_job(JobId(1)).is_empty(), "reduce still waits");
+        let ready = d.complete_job(JobId(2));
+        assert_eq!(ready, vec![JobId(3)]);
+        d.complete_job(JobId(3));
+        assert!(d.all_complete());
+        assert_eq!(d.completed(), 4);
+    }
+
+    #[test]
+    fn double_completion_is_idempotent() {
+        let mut d = diamond();
+        d.complete_job(JobId(0));
+        assert!(d.complete_job(JobId(0)).is_empty());
+        assert_eq!(d.completed(), 1);
+    }
+
+    #[test]
+    fn duplicate_producer_rejected() {
+        let err = Dag::build(vec![
+            job(0, "a", &[], &["x"]),
+            job(1, "a", &[], &["x"]),
+        ])
+        .unwrap_err();
+        assert_eq!(err, DagError::DuplicateProducer("x".into()));
+    }
+
+    #[test]
+    fn self_cycle_rejected() {
+        let err = Dag::build(vec![job(0, "a", &["x"], &["x"])]).unwrap_err();
+        assert_eq!(err, DagError::Cycle(JobId(0)));
+    }
+
+    #[test]
+    fn two_job_cycle_rejected() {
+        let err = Dag::build(vec![
+            job(0, "a", &["y"], &["x"]),
+            job(1, "a", &["x"], &["y"]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, DagError::Cycle(_)));
+    }
+
+    #[test]
+    fn producer_lookup_and_categories() {
+        let d = diamond();
+        assert_eq!(d.producer_of("o1"), Some(JobId(2)));
+        assert_eq!(d.producer_of("input"), None, "workflow source");
+        assert_eq!(d.categories(), vec!["split", "align", "reduce"]);
+    }
+
+    #[test]
+    fn independent_jobs_all_start_ready() {
+        let d = Dag::build((0..10).map(|i| job(i, "par", &["db"], &[])).map(|mut j| {
+            j.outputs = vec![format!("out.{}", j.id.raw())];
+            j
+        }).collect())
+        .unwrap();
+        assert_eq!(d.ready_jobs().len(), 10);
+    }
+}

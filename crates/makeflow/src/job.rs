@@ -1,0 +1,80 @@
+//! Jobs: the nodes of the workflow DAG.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A job in the workflow DAG.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl JobId {
+    /// The raw numeric id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Where a job is in the workflow's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Some input is not yet produced.
+    Blocked,
+    /// All inputs available; not yet handed to the execution layer.
+    Ready,
+    /// Handed to the execution layer.
+    Submitted,
+    /// Finished; outputs exist.
+    Complete,
+}
+
+/// One rule of the workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Identity within the DAG.
+    pub id: JobId,
+    /// Category (stage) this job belongs to.
+    pub category: String,
+    /// The shell command (descriptive only in the simulation).
+    pub command: String,
+    /// Files consumed.
+    pub inputs: Vec<String>,
+    /// Files produced.
+    pub outputs: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(format!("{}", JobId(4)), "job-4");
+        assert_eq!(format!("{:?}", JobId(4)), "job-4");
+    }
+
+    #[test]
+    fn job_fields_round_trip() {
+        let j = Job {
+            id: JobId(0),
+            category: "align".into(),
+            command: "blastall -i part.0".into(),
+            inputs: vec!["db".into(), "part.0".into()],
+            outputs: vec!["out.0".into()],
+        };
+        assert_eq!(j.inputs.len(), 2);
+        assert_eq!(j.outputs[0], "out.0");
+    }
+}

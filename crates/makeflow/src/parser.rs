@@ -1,0 +1,433 @@
+//! The Makeflow-syntax parser.
+//!
+//! Supported subset (enough to express the paper's workloads):
+//!
+//! ```text
+//! # comment
+//! DB=blast.db                       # variable assignment
+//! CATEGORY=align                    # special: category of following rules
+//! CORES=1                           # special: declared cores (per category)
+//! MEMORY=4000                       # special: declared memory MB
+//! DISK=5000                         # special: declared disk MB
+//! SIM_WALL_SECS=90                  # simulation: wall time of the jobs
+//! SIM_CPU_FRACTION=0.9              # simulation: busy CPU share
+//! SIM_OUTPUT_MB=0.6                 # simulation: output size
+//! SIM_ACTUAL_CORES=1                # simulation: true peak cores
+//! SIM_ACTUAL_MEMORY=2000            # simulation: true peak memory MB
+//!
+//! out.0: $(DB) part.0
+//!     blastall -db $(DB) -i part.0 -o out.0
+//! ```
+//!
+//! Rules are `targets : sources` followed by one tab- (or 4-space-)
+//! indented command line. `$(VAR)` substitution applies to rule lines and
+//! commands. `CORES`/`MEMORY`/`DISK` attach *declared* resources to the
+//! current category — leaving them unset reproduces the paper's
+//! unknown-resources mode for that category.
+
+use std::collections::BTreeMap;
+
+use hta_des::Duration;
+use hta_resources::Resources;
+
+use crate::category::{CategoryProfile, SimProfile};
+use crate::dag::{Dag, DagError};
+use crate::job::{Job, JobId};
+use crate::workflow::Workflow;
+
+/// Parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A command line appeared without a preceding rule.
+    CommandWithoutRule(usize),
+    /// A rule was missing its command line.
+    RuleWithoutCommand(usize),
+    /// Line is neither a rule, assignment, comment, nor blank.
+    Malformed(usize, String),
+    /// A numeric directive failed to parse.
+    BadNumber(usize, String),
+    /// DAG construction failed (duplicate producers, cycles).
+    Dag(DagError),
+    /// The file could not be read (path, reason).
+    Io(String, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::CommandWithoutRule(l) => {
+                write!(f, "line {l}: command line without a preceding rule")
+            }
+            ParseError::RuleWithoutCommand(l) => {
+                write!(f, "line {l}: rule has no command line")
+            }
+            ParseError::Malformed(l, s) => write!(f, "line {l}: cannot parse {s:?}"),
+            ParseError::BadNumber(l, s) => write!(f, "line {l}: bad numeric value {s:?}"),
+            ParseError::Dag(e) => write!(f, "workflow graph error: {e}"),
+            ParseError::Io(path, e) => write!(f, "cannot read {path}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<DagError> for ParseError {
+    fn from(e: DagError) -> Self {
+        ParseError::Dag(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+#[derive(Default)]
+struct CategoryState {
+    cores: Option<i64>,
+    memory_mb: Option<i64>,
+    disk_mb: Option<i64>,
+    sim: SimProfile,
+}
+
+
+impl CategoryState {
+    fn declared(&self) -> Option<Resources> {
+        // Declared resources exist once any dimension is stated; unstated
+        // dimensions default to zero (Work Queue treats them as "no
+        // constraint" and we approximate with zero demand).
+        if self.cores.is_none() && self.memory_mb.is_none() && self.disk_mb.is_none() {
+            return None;
+        }
+        Some(Resources::new(
+            self.cores.unwrap_or(0) * 1000,
+            self.memory_mb.unwrap_or(0),
+            self.disk_mb.unwrap_or(0),
+        ))
+    }
+}
+
+/// Substitute `$(VAR)` occurrences.
+fn substitute(line: &str, vars: &BTreeMap<String, String>) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut rest = line;
+    while let Some(start) = rest.find("$(") {
+        out.push_str(&rest[..start]);
+        match rest[start..].find(')') {
+            Some(end_rel) => {
+                let var = &rest[start + 2..start + end_rel];
+                match vars.get(var) {
+                    Some(v) => out.push_str(v),
+                    None => out.push_str(&rest[start..=start + end_rel]),
+                }
+                rest = &rest[start + end_rel + 1..];
+            }
+            None => {
+                out.push_str(&rest[start..]);
+                rest = "";
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Read and parse a Makeflow file from disk.
+pub fn parse_file(path: impl AsRef<std::path::Path>) -> Result<Workflow, ParseError> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| ParseError::Io(path.as_ref().display().to_string(), e.to_string()))?;
+    parse(&text)
+}
+
+/// Parse a Makeflow file into a [`Workflow`].
+pub fn parse(text: &str) -> Result<Workflow, ParseError> {
+    let mut vars: BTreeMap<String, String> = BTreeMap::new();
+    let mut current_category = "default".to_string();
+    let mut cat_states: BTreeMap<String, CategoryState> = BTreeMap::new();
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut pending_rule: Option<(usize, Vec<String>, Vec<String>)> = None;
+    let mut source_files: BTreeMap<String, crate::workflow::SourceFile> = BTreeMap::new();
+
+    let parse_num = |lineno: usize, v: &str| -> Result<f64, ParseError> {
+        v.trim()
+            .parse::<f64>()
+            .map_err(|_| ParseError::BadNumber(lineno, v.to_string()))
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let is_command_line = raw.starts_with('\t') || raw.starts_with("    ");
+        let line = raw.trim_end();
+
+        if is_command_line {
+            let (_, targets, sources) = pending_rule
+                .take()
+                .ok_or(ParseError::CommandWithoutRule(lineno))?;
+            let command = substitute(line.trim_start(), &vars);
+            jobs.push(Job {
+                id: JobId(jobs.len() as u64),
+                category: current_category.clone(),
+                command,
+                inputs: sources,
+                outputs: targets,
+            });
+            continue;
+        }
+
+        if let Some((rule_line, _, _)) = &pending_rule {
+            return Err(ParseError::RuleWithoutCommand(*rule_line));
+        }
+
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+
+        // `.SIZE name mb [cache]` — source-file metadata directive.
+        if let Some(rest) = trimmed.strip_prefix(".SIZE ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() < 2 {
+                return Err(ParseError::Malformed(lineno, trimmed.to_string()));
+            }
+            let name = substitute(parts[0], &vars);
+            let mb = parse_num(lineno, parts[1])?;
+            let cacheable = parts.get(2).is_some_and(|p| *p == "cache");
+            source_files.insert(
+                name,
+                crate::workflow::SourceFile {
+                    size_mb: mb.max(0.0),
+                    cacheable,
+                },
+            );
+            continue;
+        }
+
+        // Assignment? (checked before rules; a rule needs whitespace-free
+        // handling of ':' which may also appear in values — assignments
+        // win when '=' appears before any ':').
+        let eq = trimmed.find('=');
+        let colon = trimmed.find(':');
+        if let Some(eq_pos) = eq {
+            if colon.is_none_or(|c| eq_pos < c) {
+                let key = trimmed[..eq_pos].trim().to_string();
+                let value = substitute(trimmed[eq_pos + 1..].trim(), &vars);
+                let st = cat_states
+                    .entry(current_category.clone())
+                    .or_default();
+                match key.as_str() {
+                    "CATEGORY" => {
+                        current_category = value.clone();
+                        cat_states.entry(current_category.clone()).or_default();
+                    }
+                    "CORES" => st.cores = Some(parse_num(lineno, &value)? as i64),
+                    "MEMORY" => st.memory_mb = Some(parse_num(lineno, &value)? as i64),
+                    "DISK" => st.disk_mb = Some(parse_num(lineno, &value)? as i64),
+                    "SIM_WALL_SECS" => {
+                        st.sim.wall = Duration::from_secs_f64(parse_num(lineno, &value)?)
+                    }
+                    "SIM_CPU_FRACTION" => {
+                        st.sim.cpu_fraction = parse_num(lineno, &value)?.clamp(0.0, 1.0)
+                    }
+                    "SIM_OUTPUT_MB" => st.sim.output_mb = parse_num(lineno, &value)?.max(0.0),
+                    "SIM_WALL_JITTER" => {
+                        st.sim.wall_jitter = parse_num(lineno, &value)?.clamp(0.0, 1.0)
+                    }
+                    "SIM_HEAVY_TAIL" => {
+                        st.sim.heavy_tail = value.trim() == "1" || value.trim() == "true"
+                    }
+                    "SIM_ACTUAL_CORES" => {
+                        st.sim.actual.millicores = (parse_num(lineno, &value)? * 1000.0) as i64
+                    }
+                    "SIM_ACTUAL_MEMORY" => {
+                        st.sim.actual.memory_mb = parse_num(lineno, &value)? as i64
+                    }
+                    "SIM_ACTUAL_DISK" => {
+                        st.sim.actual.disk_mb = parse_num(lineno, &value)? as i64
+                    }
+                    _ => {
+                        vars.insert(key, value);
+                    }
+                }
+                continue;
+            }
+        }
+
+        // Rule: `targets : sources`.
+        if let Some(colon_pos) = colon {
+            let expanded = substitute(trimmed, &vars);
+            let colon_pos = expanded.find(':').unwrap_or(colon_pos);
+            let targets: Vec<String> = expanded[..colon_pos]
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
+            let sources: Vec<String> = expanded[colon_pos + 1..]
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
+            if targets.is_empty() {
+                return Err(ParseError::Malformed(lineno, trimmed.to_string()));
+            }
+            pending_rule = Some((lineno, targets, sources));
+            continue;
+        }
+
+        return Err(ParseError::Malformed(lineno, trimmed.to_string()));
+    }
+
+    if let Some((rule_line, _, _)) = pending_rule {
+        return Err(ParseError::RuleWithoutCommand(rule_line));
+    }
+
+    // Materialise category profiles for every category that has jobs.
+    let mut categories: BTreeMap<String, CategoryProfile> = BTreeMap::new();
+    for job in &jobs {
+        let st = cat_states.entry(job.category.clone()).or_default();
+        categories
+            .entry(job.category.clone())
+            .or_insert_with(|| CategoryProfile {
+                name: job.category.clone(),
+                declared: st.declared(),
+                sim: st.sim,
+            });
+    }
+
+    let dag = Dag::build(jobs)?;
+    let mut wf = Workflow::new(dag, categories);
+    wf.source_files = source_files;
+    Ok(wf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BLAST_MF: &str = r#"
+# A miniature BLAST workflow.
+DB=nt.db
+CATEGORY=split
+SIM_WALL_SECS=10
+part.0 part.1: $(DB) query.fasta
+	split_fasta query.fasta 2
+
+CATEGORY=align
+CORES=1
+MEMORY=4000
+SIM_WALL_SECS=90
+SIM_OUTPUT_MB=0.6
+out.0: $(DB) part.0
+	blastall -db $(DB) -i part.0 -o out.0
+out.1: $(DB) part.1
+	blastall -db $(DB) -i part.1 -o out.1
+
+CATEGORY=reduce
+result: out.0 out.1
+	cat out.0 out.1 > result
+"#;
+
+    #[test]
+    fn parses_blast_workflow() {
+        let wf = parse(BLAST_MF).unwrap();
+        assert_eq!(wf.dag.len(), 4);
+        assert_eq!(wf.dag.categories(), vec!["split", "align", "reduce"]);
+        // Variable substitution applied.
+        let j = wf.dag.job(crate::job::JobId(1)).unwrap();
+        assert!(j.command.contains("-db nt.db"));
+        assert_eq!(j.inputs, vec!["nt.db", "part.0"]);
+    }
+
+    #[test]
+    fn category_resources_and_sim_directives() {
+        let wf = parse(BLAST_MF).unwrap();
+        let align = &wf.categories["align"];
+        assert_eq!(align.declared.unwrap().millicores, 1000);
+        assert_eq!(align.declared.unwrap().memory_mb, 4000);
+        assert_eq!(align.sim.wall, Duration::from_secs(90));
+        assert!((align.sim.output_mb - 0.6).abs() < 1e-9);
+        // reduce declared nothing → unknown-resources mode.
+        assert_eq!(wf.categories["reduce"].declared, None);
+    }
+
+    #[test]
+    fn dag_dependencies_follow_files() {
+        let wf = parse(BLAST_MF).unwrap();
+        assert_eq!(wf.dag.ready_jobs(), vec![crate::job::JobId(0)]);
+    }
+
+    #[test]
+    fn command_without_rule_errors() {
+        let err = parse("\techo hello\n").unwrap_err();
+        assert_eq!(err, ParseError::CommandWithoutRule(1));
+    }
+
+    #[test]
+    fn rule_without_command_errors() {
+        let err = parse("a: b\n# comment\n").unwrap_err();
+        assert_eq!(err, ParseError::RuleWithoutCommand(1));
+        let err = parse("a: b").unwrap_err();
+        assert_eq!(err, ParseError::RuleWithoutCommand(1));
+    }
+
+    #[test]
+    fn malformed_line_errors() {
+        let err = parse("not a rule or assignment\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(1, _)));
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let err = parse("CORES=abc\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadNumber(1, _)));
+    }
+
+    #[test]
+    fn duplicate_target_reported_via_dag() {
+        let text = "x: a\n\tcmd\nx: b\n\tcmd\n";
+        let err = parse(text).unwrap_err();
+        assert!(matches!(err, ParseError::Dag(DagError::DuplicateProducer(_))));
+    }
+
+    #[test]
+    fn four_space_indent_counts_as_command() {
+        let wf = parse("out: in\n    do_thing\n").unwrap();
+        assert_eq!(wf.dag.len(), 1);
+    }
+
+    #[test]
+    fn heavy_tail_directive() {
+        let wf = parse("SIM_HEAVY_TAIL=true\nSIM_WALL_JITTER=0.5\nout: in\n\tcmd\n").unwrap();
+        assert!(wf.categories["default"].sim.heavy_tail);
+        assert!((wf.categories["default"].sim.wall_jitter - 0.5).abs() < 1e-9);
+        let wf2 = parse("out: in\n\tcmd\n").unwrap();
+        assert!(!wf2.categories["default"].sim.heavy_tail);
+    }
+
+    #[test]
+    fn size_directive_populates_source_files() {
+        let wf = parse(".SIZE nt.db 1400 cache\n.SIZE query.fasta 2\nout: nt.db query.fasta\n\tblast\n").unwrap();
+        let db = wf.source_files.get("nt.db").unwrap();
+        assert!((db.size_mb - 1400.0).abs() < 1e-9);
+        assert!(db.cacheable);
+        assert!(!wf.source_files["query.fasta"].cacheable);
+        let err = parse(".SIZE onlyname\n").unwrap_err();
+        assert!(matches!(err, ParseError::Malformed(1, _)));
+    }
+
+    #[test]
+    fn parse_file_roundtrip_via_disk() {
+        let dir = std::env::temp_dir().join(format!("hta-mf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wf.mf");
+        std::fs::write(&path, BLAST_MF).unwrap();
+        let wf = parse_file(&path).unwrap();
+        assert_eq!(wf.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+        let err = parse_file("/definitely/not/here.mf").unwrap_err();
+        assert!(matches!(err, ParseError::Io(_, _)));
+    }
+
+    #[test]
+    fn unknown_variable_left_verbatim() {
+        let vars = BTreeMap::new();
+        assert_eq!(substitute("a $(NOPE) b", &vars), "a $(NOPE) b");
+        let mut vars = BTreeMap::new();
+        vars.insert("X".to_string(), "1".to_string());
+        assert_eq!(substitute("$(X)$(X)", &vars), "11");
+        assert_eq!(substitute("dangling $(X", &vars), "dangling $(X");
+    }
+}

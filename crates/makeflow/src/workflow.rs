@@ -1,0 +1,181 @@
+//! The parsed workflow bundle: DAG + per-category profiles.
+//!
+//! A [`Workflow`] is what the operator (hta-core) consumes: it asks for
+//! ready jobs, submits them to Work Queue, and feeds completions back via
+//! [`Workflow::complete`]. Workload generators construct `Workflow`s
+//! programmatically via [`Workflow::from_jobs`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::category::CategoryProfile;
+use crate::dag::{Dag, DagError};
+use crate::job::{Job, JobId};
+
+/// Metadata for a workflow *source* file (one no rule produces): its size
+/// drives staging-transfer time and `cacheable` marks shared inputs (the
+/// BLAST database) that workers keep after first delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// Size in MB.
+    pub size_mb: f64,
+    /// Whether workers cache it after first delivery.
+    pub cacheable: bool,
+}
+
+/// A workflow ready to execute.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    /// The dependency graph with execution state.
+    pub dag: Dag,
+    /// Per-category declared resources and simulation profiles.
+    pub categories: BTreeMap<String, CategoryProfile>,
+    /// Sizes of source files (files with no producing rule). Files absent
+    /// from the map are treated as zero-sized (wrappers, scripts).
+    pub source_files: BTreeMap<String, SourceFile>,
+}
+
+impl Workflow {
+    /// Bundle a DAG with its category profiles.
+    pub fn new(dag: Dag, categories: BTreeMap<String, CategoryProfile>) -> Self {
+        Workflow {
+            dag,
+            categories,
+            source_files: BTreeMap::new(),
+        }
+    }
+
+    /// Attach source-file metadata (builder style).
+    pub fn with_source_file(
+        mut self,
+        name: impl Into<String>,
+        size_mb: f64,
+        cacheable: bool,
+    ) -> Self {
+        self.source_files.insert(
+            name.into(),
+            SourceFile {
+                size_mb: size_mb.max(0.0),
+                cacheable,
+            },
+        );
+        self
+    }
+
+    /// Build from jobs + profiles (the workload-generator path). Every job
+    /// category missing a profile gets [`CategoryProfile::unknown`].
+    pub fn from_jobs(
+        jobs: Vec<Job>,
+        profiles: impl IntoIterator<Item = CategoryProfile>,
+    ) -> Result<Self, DagError> {
+        let mut categories: BTreeMap<String, CategoryProfile> = profiles
+            .into_iter()
+            .map(|p| (p.name.clone(), p))
+            .collect();
+        for j in &jobs {
+            categories
+                .entry(j.category.clone())
+                .or_insert_with(|| CategoryProfile::unknown(j.category.clone()));
+        }
+        Ok(Workflow::new(Dag::build(jobs)?, categories))
+    }
+
+    /// Profile for a job's category.
+    pub fn profile_for(&self, job: JobId) -> Option<&CategoryProfile> {
+        let j = self.dag.job(job)?;
+        self.categories.get(&j.category)
+    }
+
+    /// Ready jobs not yet submitted.
+    pub fn ready_jobs(&self) -> Vec<JobId> {
+        self.dag.ready_jobs()
+    }
+
+    /// Mark a job submitted to the execution layer.
+    pub fn submit(&mut self, job: JobId) {
+        self.dag.mark_submitted(job);
+    }
+
+    /// Record a completion; returns newly ready jobs.
+    pub fn complete(&mut self, job: JobId) -> Vec<JobId> {
+        self.dag.complete_job(job)
+    }
+
+    /// True when the whole workflow has finished.
+    pub fn all_complete(&self) -> bool {
+        self.dag.all_complete()
+    }
+
+    /// Number of jobs in the workflow.
+    pub fn len(&self) -> usize {
+        self.dag.len()
+    }
+
+    /// True for an empty workflow.
+    pub fn is_empty(&self) -> bool {
+        self.dag.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::SimProfile;
+    use hta_resources::Resources;
+
+    fn jobs() -> Vec<Job> {
+        vec![
+            Job {
+                id: JobId(0),
+                category: "a".into(),
+                command: "one".into(),
+                inputs: vec![],
+                outputs: vec!["x".into()],
+            },
+            Job {
+                id: JobId(1),
+                category: "b".into(),
+                command: "two".into(),
+                inputs: vec!["x".into()],
+                outputs: vec!["y".into()],
+            },
+        ]
+    }
+
+    #[test]
+    fn from_jobs_fills_missing_profiles() {
+        let wf = Workflow::from_jobs(
+            jobs(),
+            vec![CategoryProfile::declared(
+                "a",
+                Resources::cores(1, 0, 0),
+                SimProfile::default(),
+            )],
+        )
+        .unwrap();
+        assert!(wf.categories["a"].declared.is_some());
+        assert!(wf.categories["b"].declared.is_none(), "auto-filled unknown");
+    }
+
+    #[test]
+    fn submit_and_complete_flow() {
+        let mut wf = Workflow::from_jobs(jobs(), vec![]).unwrap();
+        assert_eq!(wf.ready_jobs(), vec![JobId(0)]);
+        wf.submit(JobId(0));
+        assert!(wf.ready_jobs().is_empty());
+        let newly = wf.complete(JobId(0));
+        assert_eq!(newly, vec![JobId(1)]);
+        wf.submit(JobId(1));
+        wf.complete(JobId(1));
+        assert!(wf.all_complete());
+        assert_eq!(wf.len(), 2);
+    }
+
+    #[test]
+    fn profile_for_resolves_category() {
+        let wf = Workflow::from_jobs(jobs(), vec![]).unwrap();
+        assert_eq!(wf.profile_for(JobId(1)).unwrap().name, "b");
+        assert!(wf.profile_for(JobId(99)).is_none());
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the DAG: random layered workflows complete in any
+//! valid order; ready-set maintenance is exact; cycles are rejected.
+
+use hta_makeflow::{Dag, Job, JobId, JobState};
+use proptest::prelude::*;
+
+/// Build a random layered DAG: `widths[l]` jobs in layer `l`, each job in
+/// layer l > 0 consuming 1..=3 outputs of layer l-1 (indices from the
+/// seed data).
+fn layered(widths: Vec<usize>, picks: Vec<usize>) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    let mut prev: Vec<String> = Vec::new();
+    let mut pick_iter = picks.into_iter().cycle();
+    for (l, &w) in widths.iter().enumerate() {
+        let mut outs = Vec::new();
+        for j in 0..w {
+            let out = format!("f{l}.{j}");
+            let inputs: Vec<String> = if prev.is_empty() {
+                vec![]
+            } else {
+                let k = 1 + pick_iter.next().unwrap_or(0) % 3.min(prev.len());
+                (0..k)
+                    .map(|i| {
+                        let idx = pick_iter.next().unwrap_or(0) % prev.len();
+                        prev[(idx + i) % prev.len()].clone()
+                    })
+                    .collect()
+            };
+            jobs.push(Job {
+                id: JobId(id),
+                category: format!("layer{l}"),
+                command: format!("job {id}"),
+                inputs,
+                outputs: vec![out.clone()],
+            });
+            outs.push(out);
+            id += 1;
+        }
+        prev = outs;
+    }
+    jobs
+}
+
+proptest! {
+    /// Repeatedly submitting+completing the ready set finishes every job,
+    /// and no job ever becomes ready before its producers completed.
+    #[test]
+    fn layered_dags_complete_in_ready_order(
+        widths in proptest::collection::vec(1usize..8, 1..6),
+        picks in proptest::collection::vec(0usize..100, 8..64),
+    ) {
+        let jobs = layered(widths, picks);
+        let total = jobs.len();
+        let inputs_of: std::collections::BTreeMap<JobId, Vec<String>> =
+            jobs.iter().map(|j| (j.id, j.inputs.clone())).collect();
+        let mut dag = Dag::build(jobs).expect("layered graphs are acyclic");
+        let mut produced: std::collections::HashSet<String> = Default::default();
+        let mut steps = 0;
+        while !dag.all_complete() {
+            let ready = dag.ready_jobs();
+            prop_assert!(!ready.is_empty(), "stuck with incomplete DAG");
+            for r in ready {
+                // Every input of a ready job is a source or already produced.
+                for input in &inputs_of[&r] {
+                    let is_source = dag.producer_of(input).is_none();
+                    prop_assert!(
+                        is_source || produced.contains(input),
+                        "job {r} ready before input {input}"
+                    );
+                }
+                dag.mark_submitted(r);
+                for out in &dag.job(r).unwrap().outputs.clone() {
+                    produced.insert(out.clone());
+                }
+                dag.complete_job(r);
+            }
+            steps += 1;
+            prop_assert!(steps <= total + 1, "too many rounds");
+        }
+        prop_assert_eq!(dag.completed(), total);
+    }
+
+    /// The initial ready set is exactly the jobs with no produced inputs.
+    #[test]
+    fn initial_ready_set_is_exact(
+        widths in proptest::collection::vec(1usize..6, 1..5),
+        picks in proptest::collection::vec(0usize..100, 8..64),
+    ) {
+        let jobs = layered(widths, picks);
+        let dag = Dag::build(jobs.clone()).unwrap();
+        for j in &jobs {
+            let expect_ready = j
+                .inputs
+                .iter()
+                .all(|i| dag.producer_of(i).is_none());
+            let state = dag.state(j.id).unwrap();
+            if expect_ready {
+                prop_assert_eq!(state, JobState::Ready);
+            } else {
+                prop_assert_eq!(state, JobState::Blocked);
+            }
+        }
+    }
+
+    /// Closing a random layered DAG into a ring (last layer feeding the
+    /// first) is always rejected as a cycle.
+    #[test]
+    fn rings_are_rejected(
+        widths in proptest::collection::vec(1usize..5, 2..5),
+        picks in proptest::collection::vec(0usize..100, 8..32),
+    ) {
+        let mut jobs = layered(widths, picks);
+        // Guarantee a cycle: the last job consumes the first job's output
+        // and the first job consumes the last job's output.
+        let first_out = jobs[0].outputs[0].clone();
+        let last_out = jobs.last().unwrap().outputs[0].clone();
+        jobs.last_mut().unwrap().inputs.push(first_out);
+        jobs[0].inputs.push(last_out);
+        let result = Dag::build(jobs);
+        prop_assert!(result.is_err(), "ring must be rejected");
+    }
+}
+
+mod roundtrip {
+    use super::layered;
+    use hta_makeflow::{emit, parse, Workflow};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// emit → parse round-trips any layered workflow's structure.
+        #[test]
+        fn emit_parse_roundtrip(
+            widths in proptest::collection::vec(1usize..6, 1..5),
+            picks in proptest::collection::vec(0usize..100, 8..64),
+        ) {
+            let jobs = layered(widths, picks);
+            let wf = Workflow::from_jobs(jobs, vec![]).unwrap();
+            let text = emit(&wf);
+            let parsed = parse(&text).expect("emitted workflow parses");
+            prop_assert_eq!(parsed.len(), wf.len());
+            prop_assert_eq!(parsed.dag.categories(), wf.dag.categories());
+            prop_assert_eq!(parsed.ready_jobs().len(), wf.ready_jobs().len());
+            // Analysis (levels, widths) is identical on both.
+            let a = hta_makeflow::analyze(&wf);
+            let b = hta_makeflow::analyze(&parsed);
+            prop_assert_eq!(a.level_widths, b.level_widths);
+            prop_assert_eq!(a.depth, b.depth);
+        }
+    }
+}

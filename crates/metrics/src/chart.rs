@@ -1,0 +1,137 @@
+//! Terminal line charts for the figure binaries.
+//!
+//! The paper's figures are plots of step series over the workload lifetime.
+//! The figure binaries regenerate them as compact ASCII charts so
+//! `cargo run -p hta-bench --bin fig10` shows the same supply/demand shape
+//! the paper prints, with no plotting dependencies.
+
+use crate::series::TimeSeries;
+
+/// A fixed-size character-grid chart with multiple overlaid series.
+#[derive(Debug)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    series: Vec<(char, TimeSeries)>,
+    title: String,
+    end_s: f64,
+}
+
+impl AsciiChart {
+    /// A chart `width × height` characters covering `[first_sample, end_s]`.
+    pub fn new(title: impl Into<String>, width: usize, height: usize, end_s: f64) -> Self {
+        AsciiChart {
+            width: width.clamp(16, 400),
+            height: height.clamp(4, 80),
+            series: Vec::new(),
+            title: title.into(),
+            end_s,
+        }
+    }
+
+    /// Overlay a series drawn with the given glyph.
+    pub fn add(&mut self, glyph: char, series: TimeSeries) -> &mut Self {
+        self.series.push((glyph, series));
+        self
+    }
+
+    /// Render the chart with axis labels and a legend.
+    pub fn render(&self) -> String {
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let max_v = self
+            .series
+            .iter()
+            .map(|(_, s)| s.max_value())
+            .fold(0.0, f64::max)
+            .max(1e-9);
+
+        for (glyph, s) in &self.series {
+            let (_, vs) = s.resample(self.width, self.end_s);
+            for (x, v) in vs.iter().enumerate() {
+                let frac = (v / max_v).clamp(0.0, 1.0);
+                let y = ((1.0 - frac) * (self.height - 1) as f64).round() as usize;
+                let y = y.min(self.height - 1);
+                grid[y][x] = *glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.title));
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{max_v:>8.1} |")
+            } else if i == self.height - 1 {
+                format!("{:>8.1} |", 0.0)
+            } else {
+                format!("{:>8} |", "")
+            };
+            out.push_str(&label);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>8} +{}\n{:>10}0s{:>width$.0}s\n",
+            "",
+            "-".repeat(self.width),
+            "",
+            self.end_s,
+            width = self.width - 3
+        ));
+        for (glyph, s) in &self.series {
+            out.push_str(&format!("  {glyph} = {}\n", s.name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(name: &str, pairs: &[(f64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for &(t, v) in pairs {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn render_contains_title_legend_and_glyphs() {
+        let mut c = AsciiChart::new("Fig test", 40, 8, 100.0);
+        c.add('s', series("supply", &[(0.0, 10.0), (50.0, 20.0)]));
+        c.add('d', series("demand", &[(0.0, 5.0)]));
+        let out = c.render();
+        assert!(out.contains("Fig test"));
+        assert!(out.contains("s = supply"));
+        assert!(out.contains("d = demand"));
+        assert!(out.contains('s'));
+        assert!(out.contains('d'));
+    }
+
+    #[test]
+    fn empty_series_render_without_panic() {
+        let mut c = AsciiChart::new("empty", 20, 5, 10.0);
+        c.add('x', TimeSeries::new("nothing"));
+        let out = c.render();
+        assert!(out.contains("x = nothing"));
+    }
+
+    #[test]
+    fn dimensions_are_clamped() {
+        let c = AsciiChart::new("t", 1, 1, 10.0);
+        // Does not panic; minimum grid enforced.
+        let out = c.render();
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn high_values_map_to_top_row() {
+        let mut c = AsciiChart::new("t", 20, 6, 10.0);
+        c.add('#', series("flat", &[(0.0, 100.0)]));
+        let out = c.render();
+        // The first grid line (top) should contain the glyph.
+        let top = out.lines().nth(1).unwrap();
+        assert!(top.contains('#'), "top row: {top}");
+    }
+}

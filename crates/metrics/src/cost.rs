@@ -1,0 +1,116 @@
+//! Pay-as-you-go cost accounting.
+//!
+//! The paper's motivation (§I) is the public cloud's pay-as-you-go
+//! pricing: an autoscaler's waste is billed money. This module turns the
+//! recorded node/supply series into billed core-hours and dollars under a
+//! simple price book, so experiments can report cost next to runtime —
+//! used by the spot-capacity extension experiment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::series::TimeSeries;
+
+/// Per-core-hour prices (defaults from GCE's 2020 `n1-standard` list
+/// price and its preemptible discount).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PriceBook {
+    /// On-demand price per core-hour (USD).
+    pub on_demand_per_core_hour: f64,
+    /// Preemptible/spot price per core-hour (USD).
+    pub spot_per_core_hour: f64,
+}
+
+impl Default for PriceBook {
+    fn default() -> Self {
+        PriceBook {
+            // n1-standard-4: ~$0.19/h for 4 vCPUs → ~$0.0475/core-hour.
+            on_demand_per_core_hour: 0.0475,
+            // GCE preemptible: ~$0.04/h → ~$0.01/core-hour.
+            spot_per_core_hour: 0.01,
+        }
+    }
+}
+
+/// A run's bill.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bill {
+    /// Billed core-hours (`∫ provisioned cores dt / 3600`).
+    pub core_hours: f64,
+    /// Cost in USD at the chosen tier.
+    pub usd: f64,
+    /// Effective core-hours per unit of useful work (billed / used);
+    /// 1.0 would be a perfectly efficient bill.
+    pub overhead_factor: f64,
+}
+
+/// Bill a run from its provisioned-capacity and in-use series over
+/// `[0, end_s]`. `spot` selects the price tier.
+pub fn bill(
+    provisioned_cores: &TimeSeries,
+    in_use_cores: &TimeSeries,
+    end_s: f64,
+    prices: &PriceBook,
+    spot: bool,
+) -> Bill {
+    let billed_core_s = provisioned_cores.integral_until(end_s);
+    let used_core_s = in_use_cores.integral_until(end_s);
+    let core_hours = billed_core_s / 3600.0;
+    let rate = if spot {
+        prices.spot_per_core_hour
+    } else {
+        prices.on_demand_per_core_hour
+    };
+    Bill {
+        core_hours,
+        usd: core_hours * rate,
+        overhead_factor: if used_core_s > 0.0 {
+            billed_core_s / used_core_s
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(pairs: &[(f64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new("s");
+        for &(t, v) in pairs {
+            s.push(t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn bills_the_step_integral() {
+        // 60 cores for one hour.
+        let supply = series(&[(0.0, 60.0)]);
+        let used = series(&[(0.0, 30.0)]);
+        let b = bill(&supply, &used, 3600.0, &PriceBook::default(), false);
+        assert!((b.core_hours - 60.0).abs() < 1e-9);
+        assert!((b.usd - 60.0 * 0.0475).abs() < 1e-9);
+        assert!((b.overhead_factor - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spot_tier_is_cheaper() {
+        let supply = series(&[(0.0, 10.0)]);
+        let used = series(&[(0.0, 10.0)]);
+        let od = bill(&supply, &used, 3600.0, &PriceBook::default(), false);
+        let sp = bill(&supply, &used, 3600.0, &PriceBook::default(), true);
+        assert!(sp.usd < od.usd / 4.0);
+        assert_eq!(sp.core_hours, od.core_hours);
+        assert!((od.overhead_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_usage_has_infinite_overhead() {
+        let supply = series(&[(0.0, 5.0)]);
+        let used = series(&[(0.0, 0.0)]);
+        let b = bill(&supply, &used, 100.0, &PriceBook::default(), false);
+        assert!(b.overhead_factor.is_infinite());
+        assert!(b.usd > 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Gantt-style text rendering of task timelines.
+//!
+//! Each task contributes one row spanning `[submitted, completed]`, with
+//! the queue-wait prefix drawn differently from the execution span — the
+//! visual form of the paper's Fig. 10a stage timeline, at task
+//! granularity.
+
+use serde::{Deserialize, Serialize};
+
+/// One task's lifecycle timestamps (seconds).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TaskSpan {
+    /// Display label (task id or category).
+    pub label: String,
+    /// Category/stage name (used for the row glyph).
+    pub category: String,
+    /// Submission time.
+    pub submitted_s: f64,
+    /// Execution start (`None` if it never started).
+    pub started_s: Option<f64>,
+    /// Completion (`None` if it never finished).
+    pub completed_s: Option<f64>,
+    /// Times the task was interrupted and re-run.
+    pub interruptions: u32,
+}
+
+/// Render at most `max_rows` task rows over `[0, end_s]`, `width`
+/// characters wide. Rows are ordered by submission; when there are more
+/// tasks than rows, an even subsample is drawn. Queue wait renders as
+/// `.`, execution as the first letter of the category (uppercase when the
+/// task was interrupted at least once).
+pub fn render_gantt(spans: &[TaskSpan], end_s: f64, width: usize, max_rows: usize) -> String {
+    let width = width.clamp(20, 300);
+    let max_rows = max_rows.max(1);
+    if spans.is_empty() || end_s <= 0.0 {
+        return String::from("(no tasks)\n");
+    }
+    let mut ordered: Vec<&TaskSpan> = spans.iter().collect();
+    ordered.sort_by(|a, b| {
+        a.submitted_s
+            .partial_cmp(&b.submitted_s)
+            .expect("finite times")
+    });
+    let step = (ordered.len().max(1) as f64 / max_rows as f64).max(1.0);
+    let col = |t: f64| -> usize {
+        (((t / end_s) * (width as f64 - 1.0)).round() as usize).min(width - 1)
+    };
+
+    let mut out = String::new();
+    let mut i = 0.0;
+    while (i as usize) < ordered.len() {
+        let s = ordered[i as usize];
+        let mut row = vec![' '; width];
+        let start_col = col(s.submitted_s);
+        let exec_col = s.started_s.map(col);
+        let end_col = s.completed_s.map(col).unwrap_or(width - 1);
+        for (c, slot) in row.iter_mut().enumerate() {
+            let in_span = c >= start_col && c <= end_col;
+            if !in_span {
+                continue;
+            }
+            let executing = exec_col.is_some_and(|e| c >= e);
+            *slot = if executing {
+                let g = s.category.chars().next().unwrap_or('x');
+                if s.interruptions > 0 {
+                    g.to_ascii_uppercase()
+                } else {
+                    g.to_ascii_lowercase()
+                }
+            } else {
+                '.'
+            };
+        }
+        out.push_str(&format!("{:<12}|", truncate(&s.label, 12)));
+        out.extend(row.iter());
+        out.push('\n');
+        i += step;
+    }
+    out.push_str(&format!(
+        "{:<12}+{}\n{:<13}0s{:>width$.0}s\n",
+        "",
+        "-".repeat(width),
+        "",
+        end_s,
+        width = width - 3
+    ));
+    out.push_str("  '.' queued   lowercase = executing   UPPERCASE = re-run after interruption\n");
+    out
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    match s.char_indices().nth(n) {
+        Some((idx, _)) => &s[..idx],
+        None => s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(label: &str, cat: &str, sub: f64, start: f64, done: f64) -> TaskSpan {
+        TaskSpan {
+            label: label.into(),
+            category: cat.into(),
+            submitted_s: sub,
+            started_s: Some(start),
+            completed_s: Some(done),
+            interruptions: 0,
+        }
+    }
+
+    #[test]
+    fn renders_queue_and_exec_phases() {
+        let spans = vec![span("task-0", "align", 0.0, 50.0, 100.0)];
+        let g = render_gantt(&spans, 100.0, 60, 10);
+        assert!(g.contains("task-0"));
+        assert!(g.contains('.'), "queued prefix drawn");
+        assert!(g.contains('a'), "execution glyph drawn");
+    }
+
+    #[test]
+    fn interrupted_tasks_render_uppercase() {
+        let mut s = span("task-1", "align", 0.0, 10.0, 90.0);
+        s.interruptions = 2;
+        let g = render_gantt(&[s], 100.0, 60, 10);
+        let row = g.lines().find(|l| l.starts_with("task-1")).unwrap();
+        let bars = row.split('|').nth(1).unwrap(); // strip the label column
+        assert!(bars.contains('A'));
+        assert!(!bars.contains('a'), "no lowercase exec glyph in the row");
+    }
+
+    #[test]
+    fn subsamples_to_max_rows() {
+        let spans: Vec<TaskSpan> = (0..100)
+            .map(|i| span(&format!("t{i}"), "x", i as f64, i as f64 + 1.0, i as f64 + 5.0))
+            .collect();
+        let g = render_gantt(&spans, 120.0, 40, 10);
+        let rows = g.lines().filter(|l| l.contains('|')).count();
+        assert!(rows <= 11, "rows={rows}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(render_gantt(&[], 10.0, 40, 5), "(no tasks)\n");
+        let s = span("t", "c", 0.0, 0.0, 0.0);
+        assert_eq!(render_gantt(&[s], 0.0, 40, 5), "(no tasks)\n");
+    }
+
+    #[test]
+    fn unfinished_tasks_extend_to_the_edge() {
+        let s = TaskSpan {
+            label: "stuck".into(),
+            category: "q".into(),
+            submitted_s: 10.0,
+            started_s: None,
+            completed_s: None,
+            interruptions: 0,
+        };
+        let g = render_gantt(&[s], 100.0, 50, 5);
+        let row = g.lines().find(|l| l.starts_with("stuck")).unwrap();
+        // Entirely queued dots to the right edge.
+        assert!(row.contains(".."));
+        assert!(!row.contains('q'), "never executed");
+    }
+}

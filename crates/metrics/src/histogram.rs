@@ -1,0 +1,154 @@
+//! A small fixed-bin histogram with summary statistics.
+//!
+//! Used for latency distributions (the Fig. 6 initialization-latency
+//! benchmark) and task-runtime spreads in the sweep studies.
+
+use serde::{Deserialize, Serialize};
+
+/// Histogram over `[lo, hi)` with equal-width bins (values outside the
+/// range clamp into the edge bins).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins over `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        Histogram {
+            lo: lo.min(hi),
+            hi: hi.max(lo + 1e-12),
+            bins: vec![0; bins.max(1)],
+            values: Vec::new(),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let n = self.bins.len();
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * n as f64) as isize).clamp(0, n as isize - 1) as usize;
+        self.bins[idx] += 1;
+        self.values.push(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (`None` below two observations).
+    pub fn std_dev(&self) -> Option<f64> {
+        let n = self.values.len();
+        if n < 2 {
+            return None;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Render a compact vertical bar chart, one row per bin.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.clamp(10, 200);
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let n = self.bins.len();
+        let step = (self.hi - self.lo) / n as f64;
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!(
+                "[{:>8.1}, {:>8.1}) |{:<width$}| {}\n",
+                self.lo + step * i as f64,
+                self.lo + step * (i as f64 + 1.0),
+                bar,
+                c,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [1.0, 1.5, 5.0, 9.0, 9.5] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 5.2).abs() < 1e-9);
+        assert!(h.std_dev().unwrap() > 3.0);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(9.5));
+        assert_eq!(h.quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edge_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 2);
+        h.record(-100.0);
+        h.record(100.0);
+        h.record(f64::NAN); // dropped
+        assert_eq!(h.count(), 2);
+        let rendered = h.render(20);
+        assert_eq!(rendered.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.std_dev(), None);
+        assert_eq!(h.quantile(0.5), None);
+        let _ = h.render(30);
+    }
+
+    #[test]
+    fn render_scales_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        for _ in 0..10 {
+            h.record(0.5);
+        }
+        h.record(1.5);
+        let s = h.render(10);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].matches('#').count() > lines[1].matches('#').count());
+    }
+}

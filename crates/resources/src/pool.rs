@@ -1,0 +1,214 @@
+//! Capacity/allocation bookkeeping for a single resource owner.
+//!
+//! Both Kubernetes nodes (pods bin-packed onto allocatable capacity) and
+//! Work Queue workers (tasks packed onto declared worker size) need the
+//! same invariant-checked ledger: a fixed capacity, a set of named
+//! allocations, and a guarantee that the sum of allocations never exceeds
+//! capacity. [`ResourcePool`] provides that ledger; the invariant is
+//! property-tested in `tests/`.
+
+use std::collections::BTreeMap;
+
+use crate::Resources;
+
+/// Error returned when an allocation cannot be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The request does not fit in the currently available capacity.
+    Insufficient {
+        /// What was requested.
+        requested: Resources,
+        /// What was available at the time of the request.
+        available: Resources,
+    },
+    /// An allocation with this key already exists.
+    DuplicateKey(u64),
+    /// No allocation with this key exists.
+    UnknownKey(u64),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Insufficient {
+                requested,
+                available,
+            } => write!(f, "insufficient resources: requested {requested}, available {available}"),
+            PoolError::DuplicateKey(k) => write!(f, "allocation key {k} already present"),
+            PoolError::UnknownKey(k) => write!(f, "allocation key {k} not found"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A fixed-capacity resource ledger with named allocations.
+#[derive(Debug, Clone, Default)]
+pub struct ResourcePool {
+    capacity: Resources,
+    allocations: BTreeMap<u64, Resources>,
+    used: Resources,
+}
+
+impl ResourcePool {
+    /// A pool with the given total capacity and no allocations.
+    pub fn new(capacity: Resources) -> Self {
+        ResourcePool {
+            capacity,
+            allocations: BTreeMap::new(),
+            used: Resources::ZERO,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> Resources {
+        self.capacity
+    }
+
+    /// Sum of live allocations.
+    pub fn used(&self) -> Resources {
+        self.used
+    }
+
+    /// Capacity not currently allocated.
+    pub fn available(&self) -> Resources {
+        self.capacity.saturating_sub(&self.used)
+    }
+
+    /// Number of live allocations.
+    pub fn len(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// True when nothing is allocated.
+    pub fn is_empty(&self) -> bool {
+        self.allocations.is_empty()
+    }
+
+    /// True if a request of this size could be allocated right now.
+    pub fn can_fit(&self, request: &Resources) -> bool {
+        request.fits_in(&self.available())
+    }
+
+    /// Allocate `request` under `key`.
+    pub fn allocate(&mut self, key: u64, request: Resources) -> Result<(), PoolError> {
+        if self.allocations.contains_key(&key) {
+            return Err(PoolError::DuplicateKey(key));
+        }
+        if !self.can_fit(&request) {
+            return Err(PoolError::Insufficient {
+                requested: request,
+                available: self.available(),
+            });
+        }
+        self.used += request;
+        self.allocations.insert(key, request);
+        Ok(())
+    }
+
+    /// Release the allocation under `key`, returning its size.
+    pub fn release(&mut self, key: u64) -> Result<Resources, PoolError> {
+        let r = self
+            .allocations
+            .remove(&key)
+            .ok_or(PoolError::UnknownKey(key))?;
+        self.used -= r;
+        debug_assert!(!self.used.has_negative(), "pool used went negative");
+        Ok(r)
+    }
+
+    /// Look up one allocation.
+    pub fn get(&self, key: u64) -> Option<Resources> {
+        self.allocations.get(&key).copied()
+    }
+
+    /// Iterate `(key, size)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Resources)> + '_ {
+        self.allocations.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Drop every allocation (e.g. the owner died); returns how much was
+    /// freed.
+    pub fn clear(&mut self) -> Resources {
+        let freed = self.used;
+        self.allocations.clear();
+        self.used = Resources::ZERO;
+        freed
+    }
+
+    /// Verify the internal invariant (used by tests / debug assertions):
+    /// `used == Σ allocations` and `used.fits_in(capacity)`.
+    pub fn check_invariant(&self) -> bool {
+        let sum: Resources = self.allocations.values().copied().sum();
+        sum == self.used && self.used.fits_in(&self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> ResourcePool {
+        ResourcePool::new(Resources::cores(4, 15_000, 100_000))
+    }
+
+    #[test]
+    fn allocate_release_roundtrip() {
+        let mut p = node();
+        let r = Resources::cores(1, 4_000, 10_000);
+        p.allocate(1, r).unwrap();
+        assert_eq!(p.used(), r);
+        assert_eq!(p.len(), 1);
+        assert!(p.check_invariant());
+        let freed = p.release(1).unwrap();
+        assert_eq!(freed, r);
+        assert!(p.is_empty());
+        assert_eq!(p.used(), Resources::ZERO);
+    }
+
+    #[test]
+    fn rejects_overcommit() {
+        let mut p = node();
+        p.allocate(1, Resources::cores(3, 1000, 0)).unwrap();
+        let err = p.allocate(2, Resources::cores(2, 1000, 0)).unwrap_err();
+        match err {
+            PoolError::Insufficient { available, .. } => {
+                assert_eq!(available.millicores, 1000);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // Failed allocation must not mutate the pool.
+        assert_eq!(p.len(), 1);
+        assert!(p.check_invariant());
+    }
+
+    #[test]
+    fn rejects_duplicate_and_unknown_keys() {
+        let mut p = node();
+        p.allocate(7, Resources::cores(1, 0, 0)).unwrap();
+        assert_eq!(
+            p.allocate(7, Resources::cores(1, 0, 0)),
+            Err(PoolError::DuplicateKey(7))
+        );
+        assert_eq!(p.release(9), Err(PoolError::UnknownKey(9)));
+    }
+
+    #[test]
+    fn clear_frees_everything() {
+        let mut p = node();
+        p.allocate(1, Resources::cores(1, 0, 0)).unwrap();
+        p.allocate(2, Resources::cores(2, 0, 0)).unwrap();
+        let freed = p.clear();
+        assert_eq!(freed.millicores, 3000);
+        assert!(p.is_empty());
+        assert!(p.can_fit(&Resources::cores(4, 15_000, 100_000)));
+    }
+
+    #[test]
+    fn zero_sized_allocations_are_fine() {
+        let mut p = ResourcePool::new(Resources::ZERO);
+        p.allocate(1, Resources::ZERO).unwrap();
+        assert!(p.check_invariant());
+        assert_eq!(p.release(1).unwrap(), Resources::ZERO);
+    }
+}

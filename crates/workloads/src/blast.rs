@@ -1,0 +1,314 @@
+//! BLAST-like workload generators.
+//!
+//! BLAST jobs align query chunks against a large shared database. The
+//! resource signature (all the evaluation depends on):
+//!
+//! * one **1.4 GB cacheable** database input shared by every alignment
+//!   job (§IV-A),
+//! * a small per-job query chunk (~2 MB),
+//! * ~600 KB output per job,
+//! * CPU-bound execution (≈90 % of one core),
+//! * equal-sized inputs → near-identical wall times within a stage.
+//!
+//! [`blast_single_stage`] reproduces the Figs. 2/4 workload (N parallel
+//! alignment jobs); [`blast_multistage`] reproduces the Fig. 10 workload:
+//! three chained stages of 200 / 34 / 164 tasks, each stage consuming a
+//! spread of the previous stage's outputs so stages overlap at the edges
+//! exactly as split/align/reduce pipelines do.
+
+use hta_des::Duration;
+use hta_makeflow::{CategoryProfile, Job, JobId, SimProfile, Workflow};
+use hta_resources::Resources;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a single-stage BLAST workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlastParams {
+    /// Number of parallel alignment jobs.
+    pub jobs: usize,
+    /// Shared database size (MB), cacheable per worker.
+    pub db_mb: f64,
+    /// Per-job query chunk size (MB), not cacheable.
+    pub query_mb: f64,
+    /// Per-job output size (MB).
+    pub output_mb: f64,
+    /// Wall time of one alignment job.
+    pub wall: Duration,
+    /// Relative wall-time jitter between jobs (±).
+    pub wall_jitter: f64,
+    /// True peak resources of one job.
+    pub actual: Resources,
+    /// Declared category resources (the §III-B experiments assume
+    /// requirements are known; `None` reproduces the unknown mode).
+    pub declared: Option<Resources>,
+}
+
+impl Default for BlastParams {
+    fn default() -> Self {
+        BlastParams {
+            jobs: 100,
+            db_mb: 1_400.0,
+            query_mb: 2.0,
+            output_mb: 0.6,
+            wall: Duration::from_secs(40),
+            wall_jitter: 0.05,
+            actual: Resources::cores(1, 3_000, 5_000),
+            declared: Some(Resources::cores(1, 3_000, 5_000)),
+        }
+    }
+}
+
+/// Build the single-stage workload: `jobs` parallel alignments of query
+/// chunks against the shared database.
+pub fn blast_single_stage(params: &BlastParams) -> Workflow {
+    let mut jobs = Vec::with_capacity(params.jobs);
+    for i in 0..params.jobs {
+        jobs.push(Job {
+            id: JobId(i as u64),
+            category: "align".into(),
+            command: format!("blastall -p blastn -d nt.db -i query.{i} -o out.{i}"),
+            inputs: vec!["nt.db".into(), format!("query.{i}")],
+            outputs: vec![format!("out.{i}")],
+        });
+    }
+    let profile = CategoryProfile {
+        name: "align".into(),
+        declared: params.declared,
+        sim: SimProfile {
+            wall: params.wall,
+            cpu_fraction: 0.9,
+            actual: params.actual,
+            output_mb: params.output_mb,
+            wall_jitter: params.wall_jitter,
+            heavy_tail: false,
+        },
+    };
+    let mut wf = Workflow::from_jobs(jobs, vec![profile])
+        .expect("parallel jobs cannot form a cycle")
+        .with_source_file("nt.db", params.db_mb, true);
+    for i in 0..params.jobs {
+        wf = wf.with_source_file(format!("query.{i}"), params.query_mb, false);
+    }
+    wf
+}
+
+/// Parameters of the Fig. 10 multistage workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultistageParams {
+    /// Tasks per stage — the paper's workload is `[200, 34, 164]`. Each
+    /// stage is 1 split + (N−2) aligns + 1 reduce (§VI-A: "each stage
+    /// involves three steps, i.e., splitting an input data, aligning
+    /// subsequences, and reducing intermediate results").
+    pub stage_tasks: Vec<usize>,
+    /// Wall time of one alignment task.
+    pub wall: Duration,
+    /// Relative wall-time jitter (staggers stage tails so stages overlap).
+    pub wall_jitter: f64,
+    /// Wall time of the split and reduce steps (I/O-dominated merges).
+    pub split_reduce_wall: Duration,
+    /// Shared database size (MB), consumed by every align.
+    pub db_mb: f64,
+    /// Per-align output size (MB).
+    pub output_mb: f64,
+    /// True peak resources per task (all steps).
+    pub actual: Resources,
+    /// Declared resources (for the HPA baselines) or `None` (HTA learns).
+    pub declared: Option<Resources>,
+}
+
+impl Default for MultistageParams {
+    fn default() -> Self {
+        MultistageParams {
+            stage_tasks: vec![200, 34, 164],
+            wall: Duration::from_secs(300),
+            wall_jitter: 0.30,
+            split_reduce_wall: Duration::from_secs(60),
+            db_mb: 1_400.0,
+            output_mb: 0.6,
+            actual: Resources::cores(1, 3_000, 5_000),
+            declared: None,
+        }
+    }
+}
+
+impl MultistageParams {
+    /// The paper's configuration with resources declared (HPA baselines).
+    pub fn declared(mut self) -> Self {
+        self.declared = Some(self.actual);
+        self
+    }
+}
+
+/// Build the multistage workload. Each stage is a split → align → reduce
+/// pipeline (§VI-A); the reduce of stage `s` feeds the split of stage
+/// `s+1`, so stage boundaries are true barriers — the resource-demand
+/// profile of Fig. 10a with its dip in the narrow middle stage.
+///
+/// The split/align/reduce programs are the same across stages, so the
+/// three categories are shared — HTA probes each category once.
+pub fn blast_multistage(params: &MultistageParams) -> Workflow {
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut id = 0u64;
+    let mut prev_result = "query.fasta".to_string();
+
+    for (stage_idx, &count) in params.stage_tasks.iter().enumerate() {
+        let sn = stage_idx + 1;
+        let aligns = count.saturating_sub(2).max(1);
+
+        // Split: consumes the previous stage's result, emits align chunks.
+        let parts: Vec<String> = (0..aligns).map(|j| format!("s{sn}.part.{j}")).collect();
+        jobs.push(Job {
+            id: JobId(id),
+            category: "split".into(),
+            command: format!("split_fasta {prev_result} {aligns}"),
+            inputs: vec![prev_result.clone()],
+            outputs: parts.clone(),
+        });
+        id += 1;
+
+        // Aligns: each consumes the shared database + its chunk.
+        let mut outs = Vec::with_capacity(aligns);
+        for (j, part) in parts.iter().enumerate() {
+            let out = format!("s{sn}.out.{j}");
+            jobs.push(Job {
+                id: JobId(id),
+                category: "align".into(),
+                command: format!("blastall -d nt.db -i {part} -o {out}"),
+                inputs: vec!["nt.db".into(), part.clone()],
+                outputs: vec![out.clone()],
+            });
+            outs.push(out);
+            id += 1;
+        }
+
+        // Reduce: consumes every align output — the stage barrier.
+        let result = format!("s{sn}.result");
+        let mut reduce_inputs = outs;
+        jobs.push(Job {
+            id: JobId(id),
+            category: "reduce".into(),
+            command: format!("cat s{sn}.out.* > {result}"),
+            inputs: std::mem::take(&mut reduce_inputs),
+            outputs: vec![result.clone()],
+        });
+        id += 1;
+        prev_result = result;
+    }
+
+    let align_profile = CategoryProfile {
+        name: "align".into(),
+        declared: params.declared,
+        sim: SimProfile {
+            wall: params.wall,
+            cpu_fraction: 0.9,
+            actual: params.actual,
+            output_mb: params.output_mb,
+            wall_jitter: params.wall_jitter,
+            heavy_tail: false,
+        },
+    };
+    let merge_sim = SimProfile {
+        wall: params.split_reduce_wall,
+        cpu_fraction: 0.5,
+        actual: params.actual,
+        output_mb: 20.0,
+        wall_jitter: 0.1,
+        heavy_tail: false,
+    };
+    let split_profile = CategoryProfile {
+        name: "split".into(),
+        declared: params.declared,
+        sim: merge_sim,
+    };
+    let reduce_profile = CategoryProfile {
+        name: "reduce".into(),
+        declared: params.declared,
+        sim: merge_sim,
+    };
+
+    Workflow::from_jobs(jobs, vec![split_profile, align_profile, reduce_profile])
+        .expect("a staged pipeline cannot form a cycle")
+        .with_source_file("nt.db", params.db_mb, true)
+        .with_source_file("query.fasta", 50.0, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stage_shape() {
+        let wf = blast_single_stage(&BlastParams::default());
+        assert_eq!(wf.len(), 100);
+        assert_eq!(wf.ready_jobs().len(), 100, "all parallel");
+        assert!(wf.source_files["nt.db"].cacheable);
+        assert!((wf.source_files["nt.db"].size_mb - 1400.0).abs() < 1e-9);
+        assert_eq!(wf.categories["align"].sim.cpu_fraction, 0.9);
+    }
+
+    #[test]
+    fn multistage_matches_paper_stage_widths() {
+        let wf = blast_multistage(&MultistageParams::default());
+        // 1 split + (N−2) aligns + 1 reduce per stage → N tasks per stage.
+        assert_eq!(wf.len(), 200 + 34 + 164);
+        // Only the first split is initially ready — everything else waits.
+        assert_eq!(wf.ready_jobs().len(), 1);
+        let cats = wf.dag.categories();
+        assert_eq!(cats, vec!["split", "align", "reduce"]);
+    }
+
+    #[test]
+    fn multistage_reduce_consumes_every_align_output() {
+        let wf = blast_multistage(&MultistageParams::default());
+        let reduce_inputs: std::collections::HashSet<&str> = wf
+            .dag
+            .jobs()
+            .filter(|j| j.category == "reduce")
+            .flat_map(|j| j.inputs.iter().map(|s| s.as_str()))
+            .collect();
+        for j in 0..198 {
+            let out = format!("s1.out.{j}");
+            assert!(
+                reduce_inputs.contains(out.as_str()),
+                "{out} not consumed by a reduce"
+            );
+        }
+    }
+
+    #[test]
+    fn multistage_stage_barriers_hold() {
+        let mut wf = blast_multistage(&MultistageParams {
+            stage_tasks: vec![4, 3, 4],
+            ..MultistageParams::default()
+        });
+        // Split 1 → 2 aligns → reduce 1 → split 2 …
+        let split = wf.ready_jobs();
+        assert_eq!(split.len(), 1);
+        wf.submit(split[0]);
+        wf.complete(split[0]);
+        let aligns = wf.ready_jobs();
+        assert_eq!(aligns.len(), 2, "stage-1 aligns");
+        // Submit both; completing only one keeps the reduce blocked.
+        wf.submit(aligns[0]);
+        wf.submit(aligns[1]);
+        wf.complete(aligns[0]);
+        assert!(wf.ready_jobs().is_empty(), "reduce blocked on second align");
+        wf.complete(aligns[1]);
+        let reduce = wf.ready_jobs();
+        assert_eq!(reduce.len(), 1, "stage-1 reduce");
+        wf.submit(reduce[0]);
+        wf.complete(reduce[0]);
+        let split2 = wf.ready_jobs();
+        assert_eq!(split2.len(), 1, "stage-2 split unblocked by the barrier");
+    }
+
+    #[test]
+    fn declared_builder_sets_resources() {
+        let p = MultistageParams::default().declared();
+        let wf = blast_multistage(&p);
+        assert!(wf.categories["align"].declared.is_some());
+        let p2 = MultistageParams::default();
+        let wf2 = blast_multistage(&p2);
+        assert!(wf2.categories["align"].declared.is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! The I/O-bound synthetic workload (Fig. 11).
+//!
+//! "We create a synthetic workload that contains 200 I/O intensive
+//! parallel tasks. Each task of them runs `dd` commands to read/write
+//! data from the disk device" (§VI-B). The properties the experiment
+//! depends on:
+//!
+//! * the tasks keep the CPU "rarely over 20 %" — so a CPU-metric
+//!   autoscaler (HPA) sees no pressure and never scales;
+//! * each task still *requires* a processor and disk bandwidth, so the
+//!   declared/learned demand is one core per task — which is what lets
+//!   HTA scale the pool correctly;
+//! * no input transfers (the data is generated and consumed locally).
+
+use hta_des::Duration;
+use hta_makeflow::{CategoryProfile, Job, JobId, SimProfile, Workflow};
+use hta_resources::Resources;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the I/O-bound workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IoBoundParams {
+    /// Number of parallel `dd` tasks.
+    pub tasks: usize,
+    /// Wall time of one task (disk-bound).
+    pub wall: Duration,
+    /// Relative wall-time jitter (±).
+    pub wall_jitter: f64,
+    /// Busy CPU fraction ("rarely over 20 %").
+    pub cpu_fraction: f64,
+    /// True peak resources (one processor + scratch disk).
+    pub actual: Resources,
+    /// Declared resources (`None` → learned by HTA's probe).
+    pub declared: Option<Resources>,
+}
+
+impl Default for IoBoundParams {
+    fn default() -> Self {
+        IoBoundParams {
+            tasks: 200,
+            wall: Duration::from_secs(450),
+            wall_jitter: 0.05,
+            cpu_fraction: 0.15,
+            actual: Resources::cores(1, 1_000, 15_000),
+            declared: None,
+        }
+    }
+}
+
+impl IoBoundParams {
+    /// Declared-resources variant (the HPA baselines know requirements).
+    pub fn declared(mut self) -> Self {
+        self.declared = Some(self.actual);
+        self
+    }
+}
+
+/// Build the workload: `tasks` independent `dd` jobs with no inputs and
+/// no meaningful outputs.
+pub fn iobound(params: &IoBoundParams) -> Workflow {
+    let jobs: Vec<Job> = (0..params.tasks)
+        .map(|i| Job {
+            id: JobId(i as u64),
+            category: "dd".into(),
+            command: format!(
+                "dd if=/dev/zero of=scratch.{i} bs=1M count=16384 && dd if=scratch.{i} of=/dev/null"
+            ),
+            inputs: vec![],
+            outputs: vec![format!("dd.done.{i}")],
+        })
+        .collect();
+    let profile = CategoryProfile {
+        name: "dd".into(),
+        declared: params.declared,
+        sim: SimProfile {
+            wall: params.wall,
+            cpu_fraction: params.cpu_fraction,
+            actual: params.actual,
+            output_mb: 0.0,
+            wall_jitter: params.wall_jitter,
+            heavy_tail: false,
+        },
+    };
+    Workflow::from_jobs(jobs, vec![profile]).expect("independent jobs cannot form a cycle")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let wf = iobound(&IoBoundParams::default());
+        assert_eq!(wf.len(), 200);
+        assert_eq!(wf.ready_jobs().len(), 200);
+        let p = &wf.categories["dd"];
+        assert!(p.sim.cpu_fraction < 0.2, "CPU rarely over 20%");
+        assert_eq!(p.sim.output_mb, 0.0);
+        assert!(p.declared.is_none());
+    }
+
+    #[test]
+    fn declared_variant() {
+        let wf = iobound(&IoBoundParams::default().declared());
+        assert_eq!(
+            wf.categories["dd"].declared,
+            Some(Resources::cores(1, 1_000, 15_000))
+        );
+    }
+
+    #[test]
+    fn no_input_transfers() {
+        let wf = iobound(&IoBoundParams::default());
+        assert!(wf.dag.jobs().all(|j| j.inputs.is_empty()));
+        assert!(wf.source_files.is_empty());
+    }
+}

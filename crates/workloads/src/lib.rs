@@ -1,0 +1,33 @@
+//! # hta-workloads — synthetic workload generators
+//!
+//! The paper evaluates on two workloads:
+//!
+//! * **BLAST** (Basic Local Alignment Search Tool): CPU-bound genome
+//!   alignment jobs sharing a large cacheable database input (~1.4 GB)
+//!   and producing small outputs (~600 KB). Used single-stage (Figs. 2
+//!   and 4) and multistage (Fig. 10: stages of 200 / 34 / 164 tasks,
+//!   each stage splitting input, aligning subsequences and reducing
+//!   intermediate results).
+//! * A **synthetic I/O-bound** workload (Fig. 11): 200 parallel `dd`
+//!   tasks reading/writing the local disk — CPU "rarely over 20 %", the
+//!   case that blinds a CPU-metric autoscaler.
+//!
+//! Plus a third domain workload from the paper's introduction (not in
+//! its evaluation): a **replica-exchange molecular-dynamics ensemble**
+//! ([`md`]) whose demand oscillates every round.
+//!
+//! Neither BLAST binaries nor real genomes exist in this environment, so
+//! the generators reproduce the workloads' *resource signatures*: data
+//! sizes, stage widths, CPU fractions and calibrated wall times. All
+//! generators return [`hta_makeflow::Workflow`]s, so they run through the
+//! same operator/driver path a parsed Makeflow file would.
+
+pub mod blast;
+pub mod iobound;
+pub mod md;
+pub mod sweep;
+
+pub use blast::{blast_multistage, blast_single_stage, BlastParams, MultistageParams};
+pub use iobound::{iobound, IoBoundParams};
+pub use md::{md_ensemble, MdParams};
+pub use sweep::{scale_series, vary_tasks, vary_wall};

@@ -1,0 +1,193 @@
+//! Replica-exchange molecular-dynamics ensemble.
+//!
+//! The paper's introduction names molecular dynamics as a canonical HTC
+//! workload. A replica-exchange ensemble runs `replicas` independent
+//! simulations for a time window, exchanges states (a cheap synchronous
+//! step), and repeats for `rounds` — a *deep* workflow of many identical
+//! short stages. It stresses the autoscaler differently from BLAST:
+//!
+//! * demand oscillates every round (wide simulate → single exchange),
+//!   so a sticky pool wastes the exchange windows while an eager one
+//!   thrashes;
+//! * all simulate jobs share one category across every round, so HTA's
+//!   single warm-up probe pays off `rounds × replicas` times.
+
+use hta_des::Duration;
+use hta_makeflow::{CategoryProfile, Job, JobId, SimProfile, Workflow};
+use hta_resources::Resources;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MdParams {
+    /// Parallel replicas per round.
+    pub replicas: usize,
+    /// Exchange rounds.
+    pub rounds: usize,
+    /// Wall time of one simulation window.
+    pub sim_wall: Duration,
+    /// Wall time of the exchange step.
+    pub exchange_wall: Duration,
+    /// Relative wall-time jitter on simulations (±).
+    pub wall_jitter: f64,
+    /// True peak resources of a simulation job.
+    pub actual: Resources,
+    /// Declared resources (`None` → HTA learns from its probe).
+    pub declared: Option<Resources>,
+    /// Per-replica state size exchanged between rounds (MB).
+    pub state_mb: f64,
+}
+
+impl Default for MdParams {
+    fn default() -> Self {
+        MdParams {
+            replicas: 32,
+            rounds: 6,
+            sim_wall: Duration::from_secs(180),
+            exchange_wall: Duration::from_secs(15),
+            wall_jitter: 0.10,
+            actual: Resources::cores(1, 2_000, 3_000),
+            declared: None,
+            state_mb: 5.0,
+        }
+    }
+}
+
+impl MdParams {
+    /// Declared-resources variant.
+    pub fn declared(mut self) -> Self {
+        self.declared = Some(self.actual);
+        self
+    }
+}
+
+/// Build the ensemble workflow: `rounds` × (`replicas` simulate jobs →
+/// 1 exchange job), each round's simulations consuming the previous
+/// exchange's output states.
+pub fn md_ensemble(params: &MdParams) -> Workflow {
+    let mut jobs = Vec::with_capacity(params.rounds * (params.replicas + 1));
+    let mut id = 0u64;
+    let mut prev_states: Vec<String> = (0..params.replicas)
+        .map(|r| format!("init.state.{r}"))
+        .collect();
+
+    for round in 0..params.rounds {
+        let mut outputs = Vec::with_capacity(params.replicas);
+        for (r, state) in prev_states.iter().enumerate() {
+            let out = format!("r{round}.traj.{r}");
+            jobs.push(Job {
+                id: JobId(id),
+                category: "simulate".into(),
+                command: format!("md_run --replica {r} --round {round}"),
+                inputs: vec![state.clone(), "forcefield.prm".into()],
+                outputs: vec![out.clone()],
+            });
+            outputs.push(out);
+            id += 1;
+        }
+        // Exchange: consumes every trajectory, emits the next states.
+        let next_states: Vec<String> = (0..params.replicas)
+            .map(|r| format!("r{round}.state.{r}"))
+            .collect();
+        jobs.push(Job {
+            id: JobId(id),
+            category: "exchange".into(),
+            command: format!("replica_exchange --round {round}"),
+            inputs: outputs,
+            outputs: next_states.clone(),
+        });
+        id += 1;
+        prev_states = next_states;
+    }
+
+    let simulate = CategoryProfile {
+        name: "simulate".into(),
+        declared: params.declared,
+        sim: SimProfile {
+            wall: params.sim_wall,
+            cpu_fraction: 0.95,
+            actual: params.actual,
+            output_mb: params.state_mb,
+            wall_jitter: params.wall_jitter,
+            heavy_tail: false,
+        },
+    };
+    let exchange = CategoryProfile {
+        name: "exchange".into(),
+        declared: params.declared,
+        sim: SimProfile {
+            wall: params.exchange_wall,
+            cpu_fraction: 0.5,
+            actual: params.actual,
+            output_mb: params.state_mb,
+            wall_jitter: 0.05,
+            heavy_tail: false,
+        },
+    };
+
+    let mut wf = Workflow::from_jobs(jobs, vec![simulate, exchange])
+        .expect("round-robin chains cannot form a cycle")
+        .with_source_file("forcefield.prm", 50.0, true);
+    for r in 0..params.replicas {
+        wf = wf.with_source_file(format!("init.state.{r}"), params.state_mb, false);
+    }
+    wf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_makeflow::analyze;
+
+    #[test]
+    fn shape_is_rounds_times_replicas_plus_exchanges() {
+        let p = MdParams::default();
+        let wf = md_ensemble(&p);
+        assert_eq!(wf.len(), 6 * 33);
+        assert_eq!(wf.ready_jobs().len(), 32, "round-0 simulations");
+        assert_eq!(wf.dag.categories(), vec!["simulate", "exchange"]);
+    }
+
+    #[test]
+    fn analysis_sees_alternating_widths() {
+        let wf = md_ensemble(&MdParams {
+            replicas: 8,
+            rounds: 3,
+            ..MdParams::default()
+        });
+        let a = analyze(&wf);
+        assert_eq!(a.depth, 6, "sim, exch × 3 rounds");
+        assert_eq!(a.level_widths, vec![8, 1, 8, 1, 8, 1]);
+        // Critical path: 3 × (180 + 15) s.
+        assert_eq!(a.critical_path.as_secs_f64(), 3.0 * 195.0);
+    }
+
+    #[test]
+    fn exchange_is_a_barrier() {
+        let mut wf = md_ensemble(&MdParams {
+            replicas: 3,
+            rounds: 2,
+            ..MdParams::default()
+        });
+        let sims = wf.ready_jobs();
+        assert_eq!(sims.len(), 3);
+        for j in &sims {
+            wf.submit(*j);
+        }
+        wf.complete(sims[0]);
+        wf.complete(sims[1]);
+        assert!(wf.ready_jobs().is_empty(), "exchange waits for replica 3");
+        wf.complete(sims[2]);
+        let exch = wf.ready_jobs();
+        assert_eq!(exch.len(), 1);
+        wf.submit(exch[0]);
+        assert_eq!(wf.complete(exch[0]).len(), 3, "next round unblocked");
+    }
+
+    #[test]
+    fn shared_forcefield_is_cacheable() {
+        let wf = md_ensemble(&MdParams::default());
+        assert!(wf.source_files["forcefield.prm"].cacheable);
+        assert!(!wf.source_files["init.state.0"].cacheable);
+    }
+}

@@ -1,0 +1,74 @@
+//! Parameter-sweep helpers for the benchmark harness and ablations.
+
+use hta_des::Duration;
+
+use crate::blast::{blast_single_stage, BlastParams};
+use hta_makeflow::Workflow;
+
+/// Single-stage BLAST workloads at several job counts (scaling sweeps).
+pub fn vary_tasks(base: &BlastParams, counts: &[usize]) -> Vec<(usize, Workflow)> {
+    counts
+        .iter()
+        .map(|&n| {
+            let mut p = base.clone();
+            p.jobs = n;
+            (n, blast_single_stage(&p))
+        })
+        .collect()
+}
+
+/// Geometric series of scales `start × ratio^k`, capped at `max` — used
+/// by the engine benchmarks to pick workload sizes.
+pub fn scale_series(start: usize, ratio: usize, steps: usize, max: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(steps);
+    let mut v = start.max(1);
+    for _ in 0..steps {
+        if v > max {
+            break;
+        }
+        out.push(v);
+        v = v.saturating_mul(ratio.max(2));
+    }
+    out
+}
+
+/// Wall-time variants of a base workload (sensitivity sweeps).
+pub fn vary_wall(base: &BlastParams, walls_s: &[u64]) -> Vec<(u64, Workflow)> {
+    walls_s
+        .iter()
+        .map(|&w| {
+            let mut p = base.clone();
+            p.wall = Duration::from_secs(w);
+            (w, blast_single_stage(&p))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vary_tasks_builds_each_size() {
+        let sweeps = vary_tasks(&BlastParams::default(), &[10, 50, 100]);
+        assert_eq!(sweeps.len(), 3);
+        assert_eq!(sweeps[0].1.len(), 10);
+        assert_eq!(sweeps[2].1.len(), 100);
+    }
+
+    #[test]
+    fn scale_series_caps() {
+        assert_eq!(scale_series(10, 4, 5, 200), vec![10, 40, 160]);
+        assert_eq!(scale_series(1, 2, 3, 100), vec![1, 2, 4]);
+        assert!(scale_series(1000, 2, 3, 10).is_empty());
+    }
+
+    #[test]
+    fn vary_wall_sets_durations() {
+        let sweeps = vary_wall(&BlastParams::default(), &[30, 60]);
+        assert_eq!(
+            sweeps[1].1.categories["align"].sim.wall,
+            Duration::from_secs(60)
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Files: task inputs and outputs.
+//!
+//! The paper's BLAST jobs share a 1.4 GB **cacheable** database input and
+//! write ~600 KB outputs. Cacheable files are kept in a worker's cache
+//! after first delivery (Work Queue's `WORK_QUEUE_CACHE` flag), so each
+//! worker pays the transfer once; non-cacheable inputs (per-task query
+//! chunks) are moved for every task.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::FileId;
+
+/// A file known to the master.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileSpec {
+    /// Identity within the catalogue.
+    pub id: FileId,
+    /// Display name.
+    pub name: String,
+    /// Size in MB.
+    pub size_mb: f64,
+    /// Whether workers keep it cached after first delivery.
+    pub cacheable: bool,
+}
+
+/// The master's file catalogue.
+#[derive(Debug, Clone, Default)]
+pub struct FileCatalog {
+    files: Vec<FileSpec>,
+}
+
+impl FileCatalog {
+    /// An empty catalogue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a file; returns its id.
+    pub fn register(&mut self, name: impl Into<String>, size_mb: f64, cacheable: bool) -> FileId {
+        let id = FileId(self.files.len() as u64);
+        self.files.push(FileSpec {
+            id,
+            name: name.into(),
+            size_mb: size_mb.max(0.0),
+            cacheable,
+        });
+        id
+    }
+
+    /// Look up a file.
+    pub fn get(&self, id: FileId) -> Option<&FileSpec> {
+        self.files.get(id.raw() as usize)
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Total MB a worker still needs for `inputs` given its cache.
+    pub fn missing_mb<'a>(
+        &self,
+        inputs: impl IntoIterator<Item = &'a FileId>,
+        cached: impl Fn(FileId) -> bool,
+    ) -> f64 {
+        inputs
+            .into_iter()
+            .filter_map(|id| self.get(*id))
+            .filter(|f| !cached(f.id))
+            .map(|f| f.size_mb)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn register_and_get() {
+        let mut cat = FileCatalog::new();
+        let db = cat.register("blast-db", 1400.0, true);
+        let q = cat.register("query-0", 2.0, false);
+        assert_eq!(cat.len(), 2);
+        assert!(cat.get(db).unwrap().cacheable);
+        assert!(!cat.get(q).unwrap().cacheable);
+        assert_eq!(cat.get(FileId(99)), None);
+    }
+
+    #[test]
+    fn missing_mb_respects_cache() {
+        let mut cat = FileCatalog::new();
+        let db = cat.register("db", 1400.0, true);
+        let q = cat.register("q", 2.0, false);
+        let cached: HashSet<FileId> = [db].into_iter().collect();
+        let missing = cat.missing_mb([&db, &q], |f| cached.contains(&f));
+        assert!((missing - 2.0).abs() < 1e-9);
+        let missing_all = cat.missing_mb([&db, &q], |_| false);
+        assert!((missing_all - 1402.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_sizes_clamp() {
+        let mut cat = FileCatalog::new();
+        let f = cat.register("weird", -5.0, false);
+        assert_eq!(cat.get(f).unwrap().size_mb, 0.0);
+    }
+}

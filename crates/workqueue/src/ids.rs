@@ -1,0 +1,75 @@
+//! Typed identifiers for Work Queue objects.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The raw numeric id.
+            #[inline]
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A task submitted to the master.
+    TaskId,
+    "task-"
+);
+id_type!(
+    /// A connected worker process.
+    WorkerId,
+    "worker-"
+);
+id_type!(
+    /// A file in the master's catalogue.
+    FileId,
+    "file-"
+);
+id_type!(
+    /// A data transfer in flight on the master's link.
+    FlowId,
+    "flow-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format!("{}", TaskId(1)), "task-1");
+        assert_eq!(format!("{:?}", WorkerId(2)), "worker-2");
+        assert_eq!(format!("{}", FileId(3)), "file-3");
+        assert_eq!(format!("{}", FlowId(4)), "flow-4");
+    }
+
+    #[test]
+    fn ordering_and_raw() {
+        assert!(TaskId(1) < TaskId(9));
+        assert_eq!(FlowId(7).raw(), 7);
+    }
+}

@@ -1,0 +1,212 @@
+//! Tasks and their execution model.
+//!
+//! A task carries two resource views:
+//!
+//! * [`TaskSpec::declared`] — what the submitter *knows* at submission
+//!   time. `None` reproduces the paper's §III-A conservative mode: the
+//!   master will run the task alone on a whole worker.
+//! * [`TaskSpec::actual`] — ground truth consumption, hidden from the
+//!   scheduler until the resource monitor measures a completed run. This
+//!   is what HTA's category estimator learns from.
+//!
+//! The [`ExecModel`] gives the wall time of the task once its inputs are
+//! worker-local, and the fraction of its allocated CPU it actually keeps
+//! busy (≈0.9 for the CPU-bound BLAST jobs, <0.2 for the `dd` I/O-bound
+//! workload — the value HPA's CPU metric sees).
+
+use hta_des::{Duration, SimTime};
+use hta_resources::Resources;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{FileId, TaskId, WorkerId};
+
+/// How a task behaves once running.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecModel {
+    /// Wall-clock execution time with inputs local.
+    pub duration: Duration,
+    /// Fraction of the *allocated* CPU the task keeps busy while running,
+    /// in `[0, 1]`. Drives the CPU-utilization metric HPA reacts to.
+    pub cpu_fraction: f64,
+}
+
+impl ExecModel {
+    /// A CPU-bound job: high utilization of its cores.
+    pub fn cpu_bound(duration: Duration) -> Self {
+        ExecModel {
+            duration,
+            cpu_fraction: 0.9,
+        }
+    }
+
+    /// An I/O-bound job (the paper's `dd` tasks): the CPU is mostly idle
+    /// waiting on the disk, "rarely over 20%" (§VI-B).
+    pub fn io_bound(duration: Duration) -> Self {
+        ExecModel {
+            duration,
+            cpu_fraction: 0.15,
+        }
+    }
+}
+
+/// A task as submitted to the master.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Identity (allocated by the submitting layer).
+    pub id: TaskId,
+    /// Workflow category (stage) — jobs in one category are near-identical.
+    pub category: String,
+    /// Input files to deliver before execution.
+    pub inputs: Vec<FileId>,
+    /// Output size transferred back to the master on completion (MB).
+    pub output_mb: f64,
+    /// Resources known at submission (`None` → conservative whole-worker).
+    pub declared: Option<Resources>,
+    /// Ground-truth peak consumption (hidden until measured).
+    pub actual: Resources,
+    /// Execution behaviour.
+    pub exec: ExecModel,
+}
+
+/// Where a task is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// In the master's queue.
+    Waiting,
+    /// Assigned to a worker; inputs are being transferred.
+    Staging(WorkerId),
+    /// Executing on a worker.
+    Running(WorkerId),
+    /// Execution finished; output transferring back to the master.
+    Returning(WorkerId),
+    /// Done; measured statistics available.
+    Complete,
+}
+
+/// Resource-monitor measurement of a finished run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measured {
+    /// Peak resource consumption observed.
+    pub peak: Resources,
+    /// Wall time from execution start to finish (excludes staging).
+    pub wall: Duration,
+}
+
+/// Master-side record of one task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The submitted spec.
+    pub spec: TaskSpec,
+    /// Current state.
+    pub state: TaskState,
+    /// What the master allocated on the worker for this run (whole worker
+    /// when resources were unknown).
+    pub allocation: Option<Resources>,
+    /// When the task entered the queue.
+    pub submitted_at: SimTime,
+    /// When execution started (inputs local).
+    pub started_at: Option<SimTime>,
+    /// When the task completed (output at master).
+    pub completed_at: Option<SimTime>,
+    /// Resource-monitor measurement, set on completion.
+    pub measured: Option<Measured>,
+    /// Number of times the task was re-queued after a worker was killed.
+    pub interruptions: u32,
+    /// Run generation: incremented on every (re)dispatch so stale
+    /// execution-finished events from a killed run are ignored.
+    pub run_generation: u64,
+}
+
+impl TaskRecord {
+    /// A freshly submitted record.
+    pub fn new(spec: TaskSpec, submitted_at: SimTime) -> Self {
+        TaskRecord {
+            spec,
+            state: TaskState::Waiting,
+            allocation: None,
+            submitted_at,
+            started_at: None,
+            completed_at: None,
+            measured: None,
+            interruptions: 0,
+            run_generation: 0,
+        }
+    }
+
+    /// The resources the master should plan with: declared if known,
+    /// otherwise `None` (whole-worker).
+    pub fn planning_resources(&self) -> Option<Resources> {
+        self.spec.declared
+    }
+
+    /// Worker currently responsible for the task, if any.
+    pub fn worker(&self) -> Option<WorkerId> {
+        match self.state {
+            TaskState::Staging(w) | TaskState::Running(w) | TaskState::Returning(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Queue wait time (submission → execution start), if started.
+    pub fn queue_delay(&self) -> Option<Duration> {
+        self.started_at.map(|s| s.since(self.submitted_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(declared: Option<Resources>) -> TaskSpec {
+        TaskSpec {
+            id: TaskId(0),
+            category: "align".into(),
+            inputs: vec![FileId(0)],
+            output_mb: 0.6,
+            declared,
+            actual: Resources::new(1000, 2_000, 3_000),
+            exec: ExecModel::cpu_bound(Duration::from_secs(90)),
+        }
+    }
+
+    #[test]
+    fn exec_model_presets() {
+        let cpu = ExecModel::cpu_bound(Duration::from_secs(10));
+        assert!(cpu.cpu_fraction > 0.8);
+        let io = ExecModel::io_bound(Duration::from_secs(10));
+        assert!(io.cpu_fraction < 0.2, "dd tasks rarely exceed 20% CPU");
+    }
+
+    #[test]
+    fn record_lifecycle_accessors() {
+        let mut r = TaskRecord::new(spec(None), SimTime::from_secs(1));
+        assert_eq!(r.state, TaskState::Waiting);
+        assert_eq!(r.worker(), None);
+        assert_eq!(r.planning_resources(), None);
+        r.state = TaskState::Running(WorkerId(3));
+        assert_eq!(r.worker(), Some(WorkerId(3)));
+        r.started_at = Some(SimTime::from_secs(11));
+        assert_eq!(r.queue_delay(), Some(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn declared_resources_flow_to_planning() {
+        let r = TaskRecord::new(spec(Some(Resources::new(1000, 2_000, 0))), SimTime::ZERO);
+        assert_eq!(r.planning_resources(), Some(Resources::new(1000, 2_000, 0)));
+    }
+
+    #[test]
+    fn state_worker_mapping_is_exhaustive() {
+        for (state, expect) in [
+            (TaskState::Waiting, None),
+            (TaskState::Staging(WorkerId(1)), Some(WorkerId(1))),
+            (TaskState::Running(WorkerId(2)), Some(WorkerId(2))),
+            (TaskState::Returning(WorkerId(3)), Some(WorkerId(3))),
+            (TaskState::Complete, None),
+        ] {
+            let mut r = TaskRecord::new(spec(None), SimTime::ZERO);
+            r.state = state;
+            assert_eq!(r.worker(), expect);
+        }
+    }
+}

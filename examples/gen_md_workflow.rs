@@ -1,0 +1,20 @@
+//! Regenerate `examples/workflows/md.mf` from the MD-ensemble generator —
+//! demonstrates the Makeflow *emitter* (`hta::makeflow::emit_to_file`).
+//!
+//! ```sh
+//! cargo run --release --example gen_md_workflow
+//! ```
+
+use hta::makeflow::emit_to_file;
+use hta::workloads::{md_ensemble, MdParams};
+
+fn main() {
+    let wf = md_ensemble(&MdParams {
+        replicas: 8,
+        rounds: 3,
+        ..MdParams::default().declared()
+    });
+    let path = "examples/workflows/md.mf";
+    emit_to_file(&wf, path).expect("writable repo checkout");
+    println!("wrote {path}: {} jobs, categories {:?}", wf.len(), wf.dag.categories());
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/table plus the extension experiments, then
+# the combined markdown report. Results land in target/paper-results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p hta-bench
+
+for fig in fig2 fig4 fig6 fig10 fig11 ablation spot sweep; do
+    echo "=== $fig ==="
+    cargo run --release -q -p hta-bench --bin "$fig"
+    echo
+done
+
+cargo run --release -q -p hta-bench --bin report target/paper-results/REPORT.md
+echo "combined report: target/paper-results/REPORT.md"

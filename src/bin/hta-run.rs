@@ -1,0 +1,359 @@
+//! `hta-run` — run a Makeflow workflow file through the simulated stack.
+//!
+//! ```text
+//! hta-run <workflow.mf | demo> [options]
+//!
+//! options:
+//!   --policy <hta | hpa:<target%> | fixed:<n> | oracle | tracking>
+//!                          autoscaler driving the worker pool  [hta]
+//!   --max-workers <n>      worker-pod quota                    [20]
+//!   --nodes <min>:<max>    cluster size bounds                 [3:20]
+//!   --worker-cores <n>     worker pod size in cores            [3]
+//!   --initial <n>          worker pods created at start        [3]
+//!   --seed <n>             simulation seed                     [42]
+//!   --fail-at <s,s,...>    inject node crashes at these times
+//!   --csv <path>           write the full metric series as CSV
+//!   --json <path>          write the run summary as JSON
+//!   --chart                print supply/demand ASCII chart
+//!   --gantt                print a per-task Gantt timeline
+//!   --trace                print the scaling-decision trace tail
+//!   --analyze-only         print DAG structure + plan bounds, don't run
+//! ```
+//!
+//! Example:
+//! ```sh
+//! cargo run --release --bin hta-run -- demo --policy hpa:20 --chart
+//! ```
+
+use std::collections::VecDeque;
+use std::process::ExitCode;
+
+use hta::cluster::ClusterConfig;
+use hta::core::driver::{DriverConfig, SystemDriver};
+use hta::core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
+use hta::core::{OperatorConfig, OraclePolicy, TargetTrackingConfig, TargetTrackingPolicy};
+use hta::makeflow;
+use hta::metrics::AsciiChart;
+use hta::prelude::*;
+
+const DEMO: &str = r#"
+# Demo: a two-stage pipeline with a shared cacheable input.
+DB=ref.db
+.SIZE ref.db 700 cache
+.SIZE input.fasta 20
+
+CATEGORY=split
+SIM_WALL_SECS=30
+part.0 part.1 part.2 part.3: input.fasta
+	split input.fasta 4
+
+CATEGORY=align
+SIM_WALL_SECS=120
+SIM_ACTUAL_CORES=1
+SIM_ACTUAL_MEMORY=2500
+SIM_OUTPUT_MB=1.0
+out.0: $(DB) part.0
+	align part.0
+out.1: $(DB) part.1
+	align part.1
+out.2: $(DB) part.2
+	align part.2
+out.3: $(DB) part.3
+	align part.3
+
+CATEGORY=reduce
+SIM_WALL_SECS=20
+result: out.0 out.1 out.2 out.3
+	merge
+"#;
+
+struct Options {
+    workflow: String,
+    policy: String,
+    max_workers: usize,
+    min_nodes: usize,
+    max_nodes: usize,
+    worker_cores: i64,
+    initial: usize,
+    seed: u64,
+    fail_at: Vec<u64>,
+    csv: Option<String>,
+    json: Option<String>,
+    chart: bool,
+    gantt: bool,
+    trace: bool,
+    analyze_only: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: hta-run <workflow.mf | demo> [--policy hta|hpa:<target%>|fixed:<n>|oracle|tracking] \
+     [--max-workers N] [--nodes MIN:MAX] [--worker-cores N] [--initial N] [--seed N] \
+     [--fail-at s,s,...] [--csv path] [--json path] [--chart] [--gantt] [--trace]\n\
+     [--analyze-only]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args: VecDeque<String> = std::env::args().skip(1).collect();
+    let workflow = args.pop_front().ok_or_else(|| usage().to_string())?;
+    let mut opt = Options {
+        workflow,
+        policy: "hta".into(),
+        max_workers: 20,
+        min_nodes: 3,
+        max_nodes: 20,
+        worker_cores: 3,
+        initial: 3,
+        seed: 42,
+        fail_at: Vec::new(),
+        csv: None,
+        json: None,
+        chart: false,
+        gantt: false,
+        trace: false,
+        analyze_only: false,
+    };
+    let need = |args: &mut VecDeque<String>, flag: &str| {
+        args.pop_front()
+            .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+    };
+    while let Some(a) = args.pop_front() {
+        match a.as_str() {
+            "--policy" => opt.policy = need(&mut args, "--policy")?,
+            "--max-workers" => {
+                opt.max_workers = need(&mut args, "--max-workers")?
+                    .parse()
+                    .map_err(|e| format!("--max-workers: {e}"))?
+            }
+            "--nodes" => {
+                let v = need(&mut args, "--nodes")?;
+                let (lo, hi) = v
+                    .split_once(':')
+                    .ok_or_else(|| "--nodes wants MIN:MAX".to_string())?;
+                opt.min_nodes = lo.parse().map_err(|e| format!("--nodes: {e}"))?;
+                opt.max_nodes = hi.parse().map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--worker-cores" => {
+                opt.worker_cores = need(&mut args, "--worker-cores")?
+                    .parse()
+                    .map_err(|e| format!("--worker-cores: {e}"))?
+            }
+            "--initial" => {
+                opt.initial = need(&mut args, "--initial")?
+                    .parse()
+                    .map_err(|e| format!("--initial: {e}"))?
+            }
+            "--seed" => {
+                opt.seed = need(&mut args, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--fail-at" => {
+                let v = need(&mut args, "--fail-at")?;
+                for part in v.split(',') {
+                    opt.fail_at
+                        .push(part.trim().parse().map_err(|e| format!("--fail-at: {e}"))?);
+                }
+            }
+            "--csv" => opt.csv = Some(need(&mut args, "--csv")?),
+            "--json" => opt.json = Some(need(&mut args, "--json")?),
+            "--chart" => opt.chart = true,
+            "--gantt" => opt.gantt = true,
+            "--trace" => opt.trace = true,
+            "--analyze-only" => opt.analyze_only = true,
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    Ok(opt)
+}
+
+fn build_policy(
+    spec: &str,
+    workflow: &makeflow::Workflow,
+    min: usize,
+    max: usize,
+) -> Result<(Box<dyn ScalingPolicy>, bool), String> {
+    // Returns (policy, is_hta): non-HTA policies trust declared resources.
+    if spec == "hta" {
+        return Ok((Box::new(HtaPolicy::new(HtaConfig::default())), true));
+    }
+    if spec == "oracle" {
+        return Ok((Box::new(OraclePolicy::from_workflow(workflow)), false));
+    }
+    if spec == "tracking" {
+        return Ok((
+            Box::new(TargetTrackingPolicy::new(TargetTrackingConfig::default())),
+            false,
+        ));
+    }
+    if let Some(t) = spec.strip_prefix("hpa:") {
+        let pct: f64 = t
+            .trim_end_matches('%')
+            .parse()
+            .map_err(|e| format!("--policy hpa: {e}"))?;
+        return Ok((Box::new(HpaPolicy::new(pct / 100.0, min, max)), false));
+    }
+    if let Some(n) = spec.strip_prefix("fixed:") {
+        let n: usize = n.parse().map_err(|e| format!("--policy fixed: {e}"))?;
+        return Ok((Box::new(FixedPolicy::new(n)), false));
+    }
+    Err(format!("unknown policy {spec:?}\n{}", usage()))
+}
+
+fn main() -> ExitCode {
+    let opt = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let text = if opt.workflow == "demo" {
+        DEMO.to_string()
+    } else {
+        match std::fs::read_to_string(&opt.workflow) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", opt.workflow);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let workflow = match makeflow::parse(&text) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let analysis = makeflow::analyze(&workflow);
+    println!(
+        "workflow: {} jobs, categories {:?}",
+        workflow.len(),
+        workflow.dag.categories()
+    );
+    println!(
+        "structure: depth {}, peak width {}, critical path {:.0} s, avg parallelism {:.1}",
+        analysis.depth,
+        analysis.max_width,
+        analysis.critical_path.as_secs_f64(),
+        analysis.average_parallelism()
+    );
+
+    if opt.analyze_only {
+        println!("\nper-level widths: {:?}", analysis.level_widths);
+        println!("category counts:  {:?}", analysis.category_counts);
+        for slots in [3usize, 15, 30, 60] {
+            println!(
+                "makespan lower bound @ {slots:>3} slots: {:>8.0} s",
+                analysis.makespan_lower_bound(slots).as_secs_f64()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (policy, is_hta) = match build_policy(&opt.policy, &workflow, opt.initial, opt.max_workers)
+    {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = DriverConfig {
+        cluster: ClusterConfig {
+            min_nodes: opt.min_nodes,
+            max_nodes: opt.max_nodes,
+            seed: opt.seed,
+            ..ClusterConfig::default()
+        },
+        operator: OperatorConfig {
+            warmup: is_hta,
+            trust_declared: !is_hta,
+            learn: true,
+            seed: opt.seed,
+        },
+        worker_request: Resources::cores(opt.worker_cores, 4_000 * opt.worker_cores, 50_000),
+        initial_workers: opt.initial,
+        max_workers: opt.max_workers,
+        node_failures: opt
+            .fail_at
+            .iter()
+            .map(|s| Duration::from_secs(*s))
+            .collect(),
+        trace_capacity: if opt.trace { 2048 } else { 0 },
+        ..DriverConfig::default()
+    };
+    let label = policy.name();
+    println!("policy: {label}\n");
+    let result = SystemDriver::new(cfg, workflow, policy).run();
+
+    println!("makespan:             {:>10.0} s", result.makespan_s);
+    println!(
+        "accumulated waste:    {:>10.0} core·s",
+        result.summary.accumulated_waste_core_s
+    );
+    println!(
+        "accumulated shortage: {:>10.0} core·s",
+        result.summary.accumulated_shortage_core_s
+    );
+    println!(
+        "avg CPU utilization:  {:>10.1} %",
+        result.summary.avg_cpu_utilization * 100.0
+    );
+    println!("peak worker pods:     {:>10.0}", result.summary.peak_workers);
+    println!("peak nodes:           {:>10.0}", result.summary.peak_nodes);
+    println!("interrupted tasks:    {:>10}", result.interrupted_tasks);
+    println!("node failures:        {:>10}", result.failures_injected);
+    println!("simulation events:    {:>10}", result.events);
+    if result.timed_out {
+        eprintln!("WARNING: run hit the simulation time cut-off");
+    }
+
+    if opt.chart {
+        let mut chart = AsciiChart::new(
+            format!("{label}: supply (s) / demand (d) / in-use (u), cores"),
+            100,
+            14,
+            result.makespan_s,
+        );
+        chart.add('s', result.recorder.supply.clone());
+        chart.add('d', result.recorder.demand.clone());
+        chart.add('u', result.recorder.in_use.clone());
+        println!("\n{}", chart.render());
+    }
+    if opt.trace {
+        println!("\n--- trace (most recent {} entries) ---", result.trace.len());
+        print!("{}", result.trace.render());
+    }
+    if opt.gantt {
+        println!(
+            "\n{}",
+            hta::metrics::render_gantt(&result.task_spans, result.makespan_s, 100, 24)
+        );
+    }
+    if let Some(path) = opt.csv {
+        if let Err(e) = std::fs::write(&path, result.recorder.to_csv()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("series written to {path}");
+    }
+    if let Some(path) = opt.json {
+        match serde_json::to_string_pretty(&result.summary) {
+            Ok(js) => {
+                if let Err(e) = std::fs::write(&path, js) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("summary written to {path}");
+            }
+            Err(e) => {
+                eprintln!("serialize: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

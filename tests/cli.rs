@@ -1,0 +1,118 @@
+//! Integration tests for the `hta-run` CLI binary.
+
+use std::process::Command;
+
+fn hta_run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hta-run"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn demo_runs_to_completion() {
+    let out = hta_run(&["demo"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("policy: HTA"));
+    assert!(stdout.contains("makespan:"));
+    assert!(stdout.contains("workflow: 6 jobs"));
+}
+
+#[test]
+fn policy_flag_selects_hpa() {
+    let out = hta_run(&["demo", "--policy", "hpa:20"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("policy: HPA(20% CPU)"));
+}
+
+#[test]
+fn oracle_and_tracking_policies_run() {
+    for p in ["oracle", "tracking", "fixed:4"] {
+        let out = hta_run(&["demo", "--policy", p]);
+        assert!(
+            out.status.success(),
+            "policy {p}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn chart_flag_prints_series() {
+    let out = hta_run(&["demo", "--chart"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("supply_cores"), "{stdout}");
+}
+
+#[test]
+fn gantt_flag_prints_task_timeline() {
+    let out = hta_run(&["demo", "--gantt"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("task-0"), "{stdout}");
+    assert!(stdout.contains("lowercase = executing"));
+}
+
+#[test]
+fn json_and_csv_exports_write_files() {
+    let dir = std::env::temp_dir().join(format!("hta-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("run.json");
+    let csv = dir.join("run.csv");
+    let out = hta_run(&[
+        "demo",
+        "--json",
+        json.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    assert!(json_text.contains("\"runtime_s\""));
+    let csv_text = std::fs::read_to_string(&csv).unwrap();
+    assert!(csv_text.starts_with("series,time_s,value"));
+    assert!(csv_text.contains("running:align"), "per-category series exported");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn workflow_files_in_repo_run() {
+    let out = hta_run(&["examples/workflows/blast.mf", "--seed", "7"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("workflow: 26 jobs"));
+}
+
+#[test]
+fn failure_injection_flag_is_reported() {
+    let out = hta_run(&["demo", "--fail-at", "100"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("node failures:"));
+}
+
+#[test]
+fn analyze_only_skips_the_run() {
+    let out = hta_run(&["examples/workflows/md.mf", "--analyze-only"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("makespan lower bound"));
+    assert!(!stdout.contains("makespan:"), "must not simulate");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    for args in [
+        vec!["demo", "--policy", "nonsense"],
+        vec!["demo", "--max-workers", "abc"],
+        vec!["/definitely/not/a/file.mf"],
+        vec!["demo", "--nodes", "5"], // wants MIN:MAX
+        vec!["demo", "--unknown-flag"],
+    ] {
+        let out = hta_run(&args);
+        assert!(!out.status.success(), "args {args:?} should fail");
+        assert!(!out.stderr.is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Determinism guarantees: identical configuration ⇒ identical run, and
+//! distinct seeds ⇒ distinct (but valid) runs, across policies and
+//! workloads.
+
+use hta::cluster::{ClusterConfig, MachineType};
+use hta::core::driver::{DriverConfig, RunResult, SystemDriver};
+use hta::core::policy::{HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
+use hta::core::OperatorConfig;
+use hta::prelude::*;
+use hta::workloads::{blast_multistage, iobound, IoBoundParams, MultistageParams};
+
+fn cfg(seed: u64, hta: bool) -> DriverConfig {
+    DriverConfig {
+        cluster: ClusterConfig {
+            machine: MachineType::n1_standard_4(),
+            min_nodes: 2,
+            max_nodes: 8,
+            seed,
+            ..ClusterConfig::default()
+        },
+        operator: OperatorConfig {
+            warmup: hta,
+            trust_declared: !hta,
+            learn: true,
+            seed,
+        },
+        initial_workers: 2,
+        max_workers: 8,
+        ..DriverConfig::default()
+    }
+}
+
+fn multistage(declared: bool) -> hta::makeflow::Workflow {
+    let p = MultistageParams {
+        stage_tasks: vec![24, 6, 18],
+        wall: Duration::from_secs(90),
+        split_reduce_wall: Duration::from_secs(15),
+        db_mb: 200.0,
+        ..MultistageParams::default()
+    };
+    blast_multistage(&if declared { p.declared() } else { p })
+}
+
+fn fingerprint(r: &RunResult) -> (u64, u64, u64, u64) {
+    (
+        r.makespan_s.to_bits(),
+        r.summary.accumulated_waste_core_s.to_bits(),
+        r.summary.accumulated_shortage_core_s.to_bits(),
+        r.events,
+    )
+}
+
+#[test]
+fn hta_runs_are_bitwise_identical_per_seed() {
+    let go = || {
+        SystemDriver::new(
+            cfg(7, true),
+            multistage(false),
+            Box::new(HtaPolicy::new(HtaConfig::default())),
+        )
+        .run()
+    };
+    let (a, b) = (go(), go());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    // Full series identical, sample by sample.
+    let sa: Vec<_> = a.recorder.supply.iter().collect();
+    let sb: Vec<_> = b.recorder.supply.iter().collect();
+    assert_eq!(sa, sb);
+    // Task spans identical too.
+    assert_eq!(a.task_spans, b.task_spans);
+}
+
+#[test]
+fn hpa_runs_are_bitwise_identical_per_seed() {
+    let go = || {
+        SystemDriver::new(
+            cfg(11, false),
+            multistage(true),
+            Box::new(HpaPolicy::new(0.2, 2, 8)) as Box<dyn ScalingPolicy>,
+        )
+        .run()
+    };
+    assert_eq!(fingerprint(&go()), fingerprint(&go()));
+}
+
+#[test]
+fn different_seeds_change_latencies_but_not_correctness() {
+    let run = |seed| {
+        SystemDriver::new(
+            cfg(seed, true),
+            multistage(false),
+            Box::new(HtaPolicy::new(HtaConfig::default())),
+        )
+        .run()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "seeds must actually matter"
+    );
+    for r in [&a, &b] {
+        assert!(!r.timed_out);
+        assert!(r.task_spans.iter().all(|s| s.completed_s.is_some()));
+    }
+    // But the outcomes stay in the same regime (makespans within 25 %).
+    let ratio = a.makespan_s / b.makespan_s;
+    assert!((0.75..1.34).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn summary_json_snapshot_is_stable() {
+    let r = SystemDriver::new(
+        cfg(7, true),
+        iobound(&IoBoundParams {
+            tasks: 18,
+            wall: Duration::from_secs(60),
+            ..IoBoundParams::default()
+        }),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    let json = serde_json::to_string(&r.summary).unwrap();
+    // Field names are a public contract (the CLI writes them for users).
+    for field in [
+        "\"label\"",
+        "\"runtime_s\"",
+        "\"accumulated_waste_core_s\"",
+        "\"accumulated_shortage_core_s\"",
+        "\"avg_cpu_utilization\"",
+        "\"avg_egress_mbps\"",
+        "\"peak_nodes\"",
+        "\"peak_workers\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in {json}");
+    }
+    // And the JSON round-trips (approximately: serde_json's default float
+    // parsing is not guaranteed bit-exact without the `float_roundtrip`
+    // feature).
+    let back: hta::metrics::RunSummary = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.label, r.summary.label);
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * (1.0 + a.abs());
+    assert!(close(back.runtime_s, r.summary.runtime_s));
+    assert!(close(
+        back.accumulated_waste_core_s,
+        r.summary.accumulated_waste_core_s
+    ));
+    assert!(close(
+        back.accumulated_shortage_core_s,
+        r.summary.accumulated_shortage_core_s
+    ));
+    assert!(close(back.peak_workers, r.summary.peak_workers));
+}

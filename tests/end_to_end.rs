@@ -1,0 +1,324 @@
+//! Integration tests spanning every crate: workflow → operator → Work
+//! Queue → cluster → policy, through the full event loop.
+
+use hta::cluster::{ClusterConfig, MachineType};
+use hta::core::driver::{DriverConfig, RunResult, SystemDriver};
+use hta::core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
+use hta::core::OperatorConfig;
+use hta::makeflow;
+use hta::prelude::*;
+use hta::workloads::{blast_multistage, blast_single_stage, iobound, BlastParams, IoBoundParams, MultistageParams};
+
+fn small_cluster(max_nodes: usize) -> ClusterConfig {
+    ClusterConfig {
+        machine: MachineType::n1_standard_4(),
+        min_nodes: 2,
+        max_nodes,
+        seed: 1,
+        ..ClusterConfig::default()
+    }
+}
+
+fn driver_cfg(hta: bool, max_workers: usize) -> DriverConfig {
+    DriverConfig {
+        cluster: small_cluster(max_workers),
+        operator: OperatorConfig {
+            warmup: hta,
+            trust_declared: !hta,
+            learn: true,
+            seed: 2,
+        },
+        initial_workers: 2,
+        max_workers,
+        ..DriverConfig::default()
+    }
+}
+
+fn small_blast(jobs: usize, declared: bool) -> hta::makeflow::Workflow {
+    blast_single_stage(&BlastParams {
+        jobs,
+        wall: Duration::from_secs(60),
+        db_mb: 200.0,
+        declared: declared.then_some(Resources::cores(1, 3_000, 5_000)),
+        ..BlastParams::default()
+    })
+}
+
+fn run(cfg: DriverConfig, wf: hta::makeflow::Workflow, p: Box<dyn ScalingPolicy>) -> RunResult {
+    let r = SystemDriver::new(cfg, wf, p).run();
+    assert!(!r.timed_out, "{} timed out", r.label);
+    r
+}
+
+#[test]
+fn every_policy_completes_the_same_workload() {
+    let policies: Vec<(bool, Box<dyn ScalingPolicy>)> = vec![
+        (true, Box::new(HtaPolicy::new(HtaConfig::default()))),
+        (false, Box::new(HpaPolicy::new(0.2, 2, 8))),
+        (false, Box::new(HpaPolicy::new(0.5, 2, 8))),
+        (false, Box::new(FixedPolicy::new(4))),
+    ];
+    for (hta, p) in policies {
+        let label = p.name();
+        let r = run(driver_cfg(hta, 8), small_blast(24, !hta), p);
+        assert!(r.makespan_s > 0.0, "{label}");
+        assert!(
+            r.summary.accumulated_waste_core_s >= 0.0
+                && r.summary.accumulated_shortage_core_s >= 0.0,
+            "{label}"
+        );
+    }
+}
+
+#[test]
+fn hta_scales_up_then_cleans_up() {
+    let r = run(
+        driver_cfg(true, 10),
+        small_blast(60, false),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    );
+    // Backlog forced growth beyond the initial pool…
+    assert!(r.summary.peak_workers > 2.0, "peak {}", r.summary.peak_workers);
+    // …and the clean-up stage drained everything (supply back to 0).
+    assert_eq!(r.recorder.supply.last_value(), Some(0.0));
+}
+
+#[test]
+fn hpa_is_blind_to_iobound_but_hta_is_not() {
+    let hpa = run(
+        driver_cfg(false, 10),
+        iobound(&IoBoundParams {
+            tasks: 30,
+            wall: Duration::from_secs(120),
+            ..IoBoundParams::default()
+        }
+        .declared()),
+        Box::new(HpaPolicy::new(0.2, 2, 10)),
+    );
+    let hta = run(
+        driver_cfg(true, 10),
+        iobound(&IoBoundParams {
+            tasks: 30,
+            wall: Duration::from_secs(120),
+            ..IoBoundParams::default()
+        }),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    );
+    assert!(
+        hpa.summary.peak_workers <= 2.0,
+        "HPA must never scale an I/O-bound pool (peak {})",
+        hpa.summary.peak_workers
+    );
+    assert!(
+        hta.summary.peak_workers > 2.0,
+        "HTA must scale on queue demand (peak {})",
+        hta.summary.peak_workers
+    );
+    assert!(
+        hta.makespan_s < hpa.makespan_s,
+        "HTA {} vs HPA {}",
+        hta.makespan_s,
+        hpa.makespan_s
+    );
+}
+
+#[test]
+fn multistage_barriers_drive_hta_scale_down_and_up() {
+    let wf = blast_multistage(&MultistageParams {
+        stage_tasks: vec![30, 6, 24],
+        wall: Duration::from_secs(90),
+        split_reduce_wall: Duration::from_secs(20),
+        db_mb: 300.0,
+        ..MultistageParams::default()
+    });
+    let r = run(
+        driver_cfg(true, 10),
+        wf,
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    );
+    // Supply must dip below its peak mid-run (the stage-2 narrow phase),
+    // i.e. HTA scaled down and later back up.
+    let peak = r.recorder.supply.max_value();
+    let mid = r.summary.runtime_s * 0.55;
+    let supply_mid = r.recorder.supply.value_at(mid).unwrap_or(0.0);
+    assert!(
+        supply_mid < peak,
+        "supply at t={mid:.0} ({supply_mid}) should be below peak ({peak})"
+    );
+}
+
+#[test]
+fn hpa_interrupts_tasks_hta_does_not() {
+    // A workload with a long idle tail after a burst forces the HPA to
+    // downscale while tasks still run on some workers.
+    let wf = small_blast(40, true);
+    let hpa = run(driver_cfg(false, 10), wf, Box::new(HpaPolicy::new(0.5, 2, 10)));
+    let hta = run(
+        driver_cfg(true, 10),
+        small_blast(40, false),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    );
+    assert_eq!(hta.interrupted_tasks, 0, "HTA drains, never kills");
+    // The HPA may or may not kill mid-run depending on timing; what must
+    // hold is that every task still completed (the driver re-queues).
+    assert!(hpa.makespan_s > 0.0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let go = || {
+        run(
+            driver_cfg(true, 8),
+            small_blast(25, false),
+            Box::new(HtaPolicy::new(HtaConfig::default())),
+        )
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.makespan_s, b.makespan_s);
+    assert_eq!(a.events, b.events);
+    assert_eq!(
+        a.summary.accumulated_waste_core_s,
+        b.summary.accumulated_waste_core_s
+    );
+    assert_eq!(a.recorder.supply.len(), b.recorder.supply.len());
+}
+
+#[test]
+fn makeflow_text_runs_end_to_end() {
+    let text = r#"
+.SIZE db 100 cache
+CATEGORY=work
+SIM_WALL_SECS=30
+SIM_ACTUAL_CORES=1
+SIM_ACTUAL_MEMORY=1000
+a.out: db
+	work a
+b.out: db
+	work b
+CATEGORY=merge
+final: a.out b.out
+	merge
+"#;
+    let wf = makeflow::parse(text).expect("parses");
+    let r = run(
+        driver_cfg(true, 4),
+        wf,
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    );
+    // Two parallel work jobs (one probed first) then the merge.
+    assert!(r.makespan_s > 60.0, "probe serialization visible");
+    assert!(r.makespan_s < 1000.0);
+}
+
+#[test]
+fn init_time_is_measured_during_scale_up() {
+    let r = run(
+        driver_cfg(true, 10),
+        small_blast(60, false),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    );
+    assert!(
+        !r.init_measurements.is_empty(),
+        "scale-up must traverse the full pod lifecycle"
+    );
+    for d in &r.init_measurements {
+        let s = d.as_secs_f64();
+        // Most measurements see a full ~150 s cycle; a pod created while
+        // an earlier batch was already provisioning legitimately measures
+        // a shorter remainder.
+        assert!((10.0..250.0).contains(&s), "init latency {s}");
+    }
+    assert!(
+        r.init_measurements
+            .iter()
+            .any(|d| d.as_secs_f64() > 120.0),
+        "at least one full-cycle measurement"
+    );
+}
+
+#[test]
+fn metrics_are_internally_consistent() {
+    let r = run(
+        driver_cfg(true, 8),
+        small_blast(30, false),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    );
+    let rec = &r.recorder;
+    // Waste is derived as max(supply − in_use, 0): never negative, and
+    // zero whenever in_use equals supply.
+    for (t, w) in rec.waste.iter() {
+        assert!(w >= 0.0, "waste {w} at {t}");
+    }
+    // Utilization bounded.
+    assert!(rec
+        .cpu_utilization
+        .values()
+        .iter()
+        .all(|v| (0.0..=1.0).contains(v)));
+    // Demand = in_use + shortage at each recorded instant.
+    for (t, d) in rec.demand.iter().take(50) {
+        let i = rec.in_use.value_at(t).unwrap_or(0.0);
+        let s = rec.shortage.value_at(t).unwrap_or(0.0);
+        assert!((d - (i + s)).abs() < 1e-9, "demand identity at {t}");
+    }
+}
+
+
+#[test]
+fn safety_cutoff_reports_timeout() {
+    // A workload far too large for a capped simulation horizon: the run
+    // must stop at the cut-off and say so instead of spinning.
+    let mut cfg = driver_cfg(true, 4);
+    cfg.max_sim_time = Duration::from_secs(120);
+    let r = SystemDriver::new(
+        cfg,
+        small_blast(500, false),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    assert!(r.timed_out);
+    assert!(r.makespan_s <= 130.0, "clock stopped near the cut-off");
+}
+
+#[test]
+fn sample_interval_controls_series_density() {
+    let mut coarse = driver_cfg(true, 6);
+    coarse.sample_interval = Duration::from_secs(30);
+    let a = SystemDriver::new(
+        coarse,
+        small_blast(12, false),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    let mut fine = driver_cfg(true, 6);
+    fine.sample_interval = Duration::from_secs(1);
+    let b = SystemDriver::new(
+        fine,
+        small_blast(12, false),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    // Identical dynamics (sampling must not perturb the simulation)…
+    assert_eq!(a.makespan_s, b.makespan_s);
+    // …but the fine recorder holds far more samples.
+    assert!(b.recorder.tasks_running.len() > a.recorder.tasks_running.len() * 3);
+}
+
+#[test]
+fn per_category_timeline_series_are_recorded() {
+    let r = SystemDriver::new(
+        driver_cfg(true, 6),
+        small_blast(12, false),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    let align = r
+        .recorder
+        .extra
+        .get("running:align")
+        .expect("category series exists");
+    assert!(align.max_value() >= 1.0);
+    // The series returns to zero by the end of the run.
+    assert_eq!(align.last_value(), Some(0.0));
+}

@@ -1,0 +1,131 @@
+//! Failure-injection tests: node crashes mid-run must re-queue the
+//! victims' tasks, re-provision capacity, and still complete the
+//! workload with every result produced exactly once.
+
+use hta::cluster::{ClusterConfig, MachineType};
+use hta::core::driver::{DriverConfig, SystemDriver};
+use hta::core::policy::{HtaConfig, HtaPolicy};
+use hta::core::OperatorConfig;
+use hta::prelude::*;
+use hta::workloads::{blast_single_stage, BlastParams};
+
+fn cfg_with_failures(failures: Vec<Duration>) -> DriverConfig {
+    DriverConfig {
+        cluster: ClusterConfig {
+            machine: MachineType::n1_standard_4(),
+            min_nodes: 2,
+            max_nodes: 10,
+            seed: 4,
+            ..ClusterConfig::default()
+        },
+        operator: OperatorConfig {
+            warmup: true,
+            trust_declared: false,
+            learn: true,
+            seed: 4,
+        },
+        initial_workers: 2,
+        max_workers: 10,
+        node_failures: failures,
+        ..DriverConfig::default()
+    }
+}
+
+fn workload(jobs: usize) -> hta::makeflow::Workflow {
+    blast_single_stage(&BlastParams {
+        jobs,
+        wall: Duration::from_secs(120),
+        db_mb: 300.0,
+        declared: None,
+        ..BlastParams::default()
+    })
+}
+
+#[test]
+fn workload_survives_single_node_crash() {
+    let r = SystemDriver::new(
+        cfg_with_failures(vec![Duration::from_secs(400)]),
+        workload(40),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    assert!(!r.timed_out);
+    assert_eq!(r.failures_injected, 1);
+    assert!(
+        r.interrupted_tasks > 0,
+        "a busy node crash must interrupt at least one task"
+    );
+}
+
+#[test]
+fn workload_survives_repeated_crashes() {
+    let failures = (1..=4).map(|i| Duration::from_secs(300 * i)).collect();
+    let r = SystemDriver::new(
+        cfg_with_failures(failures),
+        workload(60),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    assert!(!r.timed_out, "must finish despite 4 node crashes");
+    assert!(r.failures_injected >= 2, "injected {}", r.failures_injected);
+}
+
+#[test]
+fn crash_slows_but_does_not_inflate_completions() {
+    let clean = SystemDriver::new(
+        cfg_with_failures(vec![]),
+        workload(40),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    let crashed = SystemDriver::new(
+        cfg_with_failures(vec![Duration::from_secs(500)]),
+        workload(40),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    assert!(!clean.timed_out && !crashed.timed_out);
+    assert!(
+        crashed.makespan_s >= clean.makespan_s,
+        "crash cannot speed the run up: {} vs {}",
+        crashed.makespan_s,
+        clean.makespan_s
+    );
+    // Rerun work shows up as interruptions, not duplicated completions:
+    // the workload still ends exactly when its last (re-run) task ends.
+    assert_eq!(clean.interrupted_tasks, 0);
+}
+
+#[test]
+fn failure_with_no_running_workers_is_harmless() {
+    // Inject before any worker can possibly be running (t = 1 s, while
+    // pods are still pulling images).
+    let r = SystemDriver::new(
+        cfg_with_failures(vec![Duration::from_secs(1)]),
+        workload(10),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    assert!(!r.timed_out);
+    assert_eq!(r.failures_injected, 0, "no running worker → no-op");
+}
+
+#[test]
+fn master_node_crash_restarts_master_via_statefulset() {
+    // The first worker pod shares node 0 with the master pod (4 cores =
+    // 1 master + 3 worker), so crashing that worker's node also kills the
+    // master. The StatefulSet must restart it with its sticky identity
+    // and the workload must still complete.
+    let r = SystemDriver::new(
+        cfg_with_failures(vec![Duration::from_secs(400)]),
+        workload(30),
+        Box::new(HtaPolicy::new(HtaConfig::default())),
+    )
+    .run();
+    assert!(!r.timed_out, "workload must survive a master-node crash");
+    assert_eq!(r.failures_injected, 1);
+    // The trace is disabled by default in this config; the observable
+    // contract is completion. Verify the run actually did work after the
+    // crash: the makespan extends past the failure instant.
+    assert!(r.makespan_s > 400.0);
+}

@@ -1,0 +1,140 @@
+//! Whole-system property tests: random layered workflows, random knobs —
+//! the stack must always terminate with every job done exactly once and
+//! internally consistent metrics.
+
+use hta::cluster::{ClusterConfig, MachineType};
+use hta::core::driver::{DriverConfig, SystemDriver};
+use hta::core::policy::{HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
+use hta::core::OperatorConfig;
+use hta::makeflow::{CategoryProfile, Job, JobId, SimProfile, Workflow};
+use hta::prelude::*;
+use proptest::prelude::*;
+
+/// Random layered workflow: `widths` jobs per layer, each non-source job
+/// consuming 1–2 outputs of the previous layer; categories alternate per
+/// layer; wall times from `walls`.
+fn build_workflow(widths: &[usize], picks: &[usize], walls: &[u64]) -> Workflow {
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    let mut prev: Vec<String> = Vec::new();
+    let mut pick = picks.iter().cycle();
+    for (l, &w) in widths.iter().enumerate() {
+        let mut outs = Vec::new();
+        for j in 0..w {
+            let out = format!("f{l}.{j}");
+            let inputs = if prev.is_empty() {
+                vec!["seed.dat".to_string()]
+            } else {
+                let k = 1 + pick.next().unwrap() % 2.min(prev.len());
+                (0..k)
+                    .map(|i| prev[(pick.next().unwrap() + i) % prev.len()].clone())
+                    .collect()
+            };
+            jobs.push(Job {
+                id: JobId(id),
+                category: format!("layer{l}"),
+                command: format!("job {id}"),
+                inputs,
+                outputs: vec![out.clone()],
+            });
+            outs.push(out);
+            id += 1;
+        }
+        prev = outs;
+    }
+    let profiles: Vec<CategoryProfile> = (0..widths.len())
+        .map(|l| CategoryProfile {
+            name: format!("layer{l}"),
+            declared: None,
+            sim: SimProfile {
+                wall: Duration::from_secs(walls[l % walls.len()]),
+                cpu_fraction: 0.9,
+                actual: Resources::cores(1, 2_000, 2_000),
+                output_mb: 0.5,
+                wall_jitter: 0.1,
+                heavy_tail: false,
+            },
+        })
+        .collect();
+    Workflow::from_jobs(jobs, profiles)
+        .unwrap()
+        .with_source_file("seed.dat", 50.0, true)
+}
+
+fn driver_cfg(seed: u64, hta: bool) -> DriverConfig {
+    DriverConfig {
+        cluster: ClusterConfig {
+            machine: MachineType::n1_standard_4(),
+            min_nodes: 2,
+            max_nodes: 8,
+            seed,
+            ..ClusterConfig::default()
+        },
+        operator: OperatorConfig {
+            warmup: hta,
+            trust_declared: false,
+            learn: true,
+            seed,
+        },
+        initial_workers: 2,
+        max_workers: 8,
+        sample_interval: Duration::from_secs(5),
+        ..DriverConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every random workflow terminates under HTA with one task span per
+    /// job, all completed, and consistent non-negative metrics.
+    #[test]
+    fn hta_always_terminates_and_conserves_tasks(
+        widths in proptest::collection::vec(1usize..6, 1..4),
+        picks in proptest::collection::vec(0usize..50, 8..32),
+        walls in proptest::collection::vec(10u64..120, 1..4),
+        seed in 0u64..1000,
+    ) {
+        let wf = build_workflow(&widths, &picks, &walls);
+        let total_jobs = wf.len();
+        let r = SystemDriver::new(
+            driver_cfg(seed, true),
+            wf,
+            Box::new(HtaPolicy::new(HtaConfig::default())),
+        )
+        .run();
+        prop_assert!(!r.timed_out, "timed out with widths {widths:?}");
+        prop_assert_eq!(r.task_spans.len(), total_jobs);
+        for span in &r.task_spans {
+            prop_assert!(span.completed_s.is_some(), "task {} unfinished", span.label);
+            let (s, c) = (span.started_s.unwrap(), span.completed_s.unwrap());
+            prop_assert!(span.submitted_s <= s + 1e-9);
+            prop_assert!(s <= c + 1e-9);
+        }
+        prop_assert!(r.summary.accumulated_waste_core_s >= 0.0);
+        prop_assert!(r.summary.accumulated_shortage_core_s >= 0.0);
+        // The pool was fully drained by clean-up.
+        prop_assert_eq!(r.recorder.supply.last_value(), Some(0.0));
+    }
+
+    /// HPA also always terminates — interruptions may occur (evictions),
+    /// but every job still finishes exactly once.
+    #[test]
+    fn hpa_always_terminates_despite_evictions(
+        widths in proptest::collection::vec(1usize..5, 1..3),
+        picks in proptest::collection::vec(0usize..50, 8..32),
+        seed in 0u64..1000,
+    ) {
+        let wf = build_workflow(&widths, &picks, &[60]);
+        let total_jobs = wf.len();
+        let r = SystemDriver::new(
+            driver_cfg(seed, false),
+            wf,
+            Box::new(HpaPolicy::new(0.3, 2, 8)) as Box<dyn ScalingPolicy>,
+        )
+        .run();
+        prop_assert!(!r.timed_out);
+        prop_assert_eq!(r.task_spans.len(), total_jobs);
+        prop_assert!(r.task_spans.iter().all(|s| s.completed_s.is_some()));
+    }
+}
