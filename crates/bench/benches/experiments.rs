@@ -16,10 +16,18 @@ use hta_bench::{
 fn bench_fig2(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig2");
     g.bench_function("hpa50_blast200", |b| {
-        b.iter(|| black_box(fig2_run(PolicyKind::Hpa(0.50), 42)).summary.runtime_s)
+        b.iter(|| {
+            black_box(fig2_run(PolicyKind::Hpa(0.50), 42))
+                .summary
+                .runtime_s
+        })
     });
     g.bench_function("ideal_blast200", |b| {
-        b.iter(|| black_box(fig2_run(PolicyKind::Fixed(60), 42)).summary.runtime_s)
+        b.iter(|| {
+            black_box(fig2_run(PolicyKind::Fixed(60), 42))
+                .summary
+                .runtime_s
+        })
     });
     g.finish();
 }
@@ -47,10 +55,7 @@ fn bench_fig6(c: &mut Criterion) {
 fn bench_fig10(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
-    for (name, kind) in [
-        ("hpa20", PolicyKind::Hpa(0.20)),
-        ("hta", PolicyKind::Hta),
-    ] {
+    for (name, kind) in [("hpa20", PolicyKind::Hpa(0.20)), ("hta", PolicyKind::Hta)] {
         g.bench_function(name, |b| {
             b.iter(|| black_box(fig10_run(kind, 42)).summary.runtime_s)
         });
@@ -61,10 +66,7 @@ fn bench_fig10(c: &mut Criterion) {
 fn bench_fig11(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
-    for (name, kind) in [
-        ("hpa20", PolicyKind::Hpa(0.20)),
-        ("hta", PolicyKind::Hta),
-    ] {
+    for (name, kind) in [("hpa20", PolicyKind::Hpa(0.20)), ("hta", PolicyKind::Hta)] {
         g.bench_function(name, |b| {
             b.iter(|| black_box(fig11_run(kind, 42)).summary.runtime_s)
         });

@@ -26,12 +26,22 @@ fn main() {
 
     let mut table = ReportTable::new(
         "HTA ablations (multistage BLAST workload)",
-        vec!["runtime_s", "waste_core_s", "shortage_core_s", "peak_workers"],
+        vec![
+            "runtime_s",
+            "waste_core_s",
+            "shortage_core_s",
+            "peak_workers",
+        ],
     );
     let mut saved = FigureResult::new(
         "z-ablation",
         "HTA ablations (multistage BLAST workload)",
-        &["runtime_s", "waste_core_s", "shortage_core_s", "peak_workers"],
+        &[
+            "runtime_s",
+            "waste_core_s",
+            "shortage_core_s",
+            "peak_workers",
+        ],
     );
     let mut full_runtime = None;
     for (i, (label, v)) in variants.iter().enumerate() {

@@ -68,11 +68,7 @@ fn main() {
     );
 
     // Machine shape.
-    row(
-        "n1-standard-4 vCPUs",
-        cfg.machine.capacity.cores_f64(),
-        4.0,
-    );
+    row("n1-standard-4 vCPUs", cfg.machine.capacity.cores_f64(), 4.0);
     row(
         "n1-standard-4 memory (GB)",
         cfg.machine.capacity.memory_mb as f64 / 1000.0,

@@ -80,7 +80,11 @@ fn run(kind: &str, size: usize, which: usize) -> (String, RunResult) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let kind = args.first().map(String::as_str).unwrap_or("blast").to_string();
+    let kind = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("blast")
+        .to_string();
     let default_size = match kind.as_str() {
         "multistage" => 120,
         "iobound" => 120,

@@ -24,7 +24,10 @@ fn main() {
     let wf = fig10_workload(false);
     let analysis = hta_makeflow::analyze(&wf);
     println!("Fig. 10a — workload structure (split → align → reduce per stage):");
-    println!("  stage widths: 200 / 34 / 164 tasks; total jobs: {}", wf.len());
+    println!(
+        "  stage widths: 200 / 34 / 164 tasks; total jobs: {}",
+        wf.len()
+    );
     println!(
         "  dependency levels: {:?} (depth {}, peak width {})",
         analysis.level_widths, analysis.depth, analysis.max_width
@@ -41,8 +44,16 @@ fn main() {
     );
 
     let configs = [
-        ("HPA(20% CPU)", PolicyKind::Hpa(0.20), (2656.0, 51324.0, 34813.0)),
-        ("HPA(50% CPU)", PolicyKind::Hpa(0.50), (2480.0, 39353.0, 66611.0)),
+        (
+            "HPA(20% CPU)",
+            PolicyKind::Hpa(0.20),
+            (2656.0, 51324.0, 34813.0),
+        ),
+        (
+            "HPA(50% CPU)",
+            PolicyKind::Hpa(0.50),
+            (2480.0, 39353.0, 66611.0),
+        ),
         ("HTA", PolicyKind::Hta, (3060.0, 9146.0, 40680.0)),
     ];
 
@@ -80,7 +91,11 @@ fn main() {
             12,
             hta_run.summary.runtime_s,
         );
-        for (glyph, name) in [('s', "running:split"), ('a', "running:align"), ('r', "running:reduce")] {
+        for (glyph, name) in [
+            ('s', "running:split"),
+            ('a', "running:align"),
+            ('r', "running:reduce"),
+        ] {
             if let Some(series) = hta_run.recorder.extra.get(name) {
                 chart.add(glyph, series.clone());
             }
@@ -93,7 +108,9 @@ fn main() {
         println!(
             "{}",
             print_series_chart(
-                &format!("Fig. 10b [{label}] — resource supply (s) / demand (d) / in-use (u), cores"),
+                &format!(
+                    "Fig. 10b [{label}] — resource supply (s) / demand (d) / in-use (u), cores"
+                ),
                 &r.recorder,
                 r.summary.runtime_s
             )

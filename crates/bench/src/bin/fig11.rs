@@ -18,8 +18,16 @@ use hta_bench::{fig11_run, print_series_chart, PolicyKind, ReportTable};
 fn main() {
     println!("=== Fig. 11: I/O-bound workload (200 dd tasks) ===\n");
     let configs = [
-        ("HPA(20% CPU)", PolicyKind::Hpa(0.20), (6670.0, 159.0, 337737.0)),
-        ("HPA(50% CPU)", PolicyKind::Hpa(0.50), (7230.0, 82.0, 357640.0)),
+        (
+            "HPA(20% CPU)",
+            PolicyKind::Hpa(0.20),
+            (6670.0, 159.0, 337737.0),
+        ),
+        (
+            "HPA(50% CPU)",
+            PolicyKind::Hpa(0.50),
+            (7230.0, 82.0, 357640.0),
+        ),
         ("HTA", PolicyKind::Hta, (1823.0, 2028.0, 31840.0)),
     ];
 
@@ -53,7 +61,9 @@ fn main() {
         println!(
             "{}",
             print_series_chart(
-                &format!("Fig. 11b [{label}] — resource supply (s) / demand (d) / in-use (u), cores"),
+                &format!(
+                    "Fig. 11b [{label}] — resource supply (s) / demand (d) / in-use (u), cores"
+                ),
                 &r.recorder,
                 r.summary.runtime_s
             )

@@ -53,7 +53,11 @@ fn main() {
         ),
         // Extension beyond the paper: fine-grained workers with
         // worker-to-worker replication of the cached database.
-        ("fine+peer (ext)", Fig4Config::FineGrainedPeer, (f64::NAN, f64::NAN, f64::NAN)),
+        (
+            "fine+peer (ext)",
+            Fig4Config::FineGrainedPeer,
+            (f64::NAN, f64::NAN, f64::NAN),
+        ),
     ];
 
     let mut table = ReportTable::new(

@@ -34,7 +34,10 @@ fn main() {
             let mut cfg = fig10_driver(PolicyKind::Hta, 42);
             cfg.cluster.preemption_mean_lifetime = mean_life.map(Duration::from_secs);
             let policy = Box::new(HtaPolicy::new(HtaConfig::default()));
-            (*mean_life, SystemDriver::new(cfg, fig10_workload(false), policy).run())
+            (
+                *mean_life,
+                SystemDriver::new(cfg, fig10_workload(false), policy).run(),
+            )
         })
         .collect();
 
@@ -61,7 +64,8 @@ fn main() {
         );
         println!(
             "{:>14} | {:>10.0} {:>7.0}% {:>12} {:>12.1} {:>9.2} {:>8.0}%",
-            life.map(|s| format!("{s} s")).unwrap_or_else(|| "on-demand".into()),
+            life.map(|s| format!("{s} s"))
+                .unwrap_or_else(|| "on-demand".into()),
             r.summary.runtime_s,
             (r.summary.runtime_s / on_demand_runtime - 1.0) * 100.0,
             r.interrupted_tasks,

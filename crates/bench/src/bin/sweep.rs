@@ -83,8 +83,7 @@ fn main() {
             hta.summary.runtime_s / hpa.summary.runtime_s,
             hta.summary.accumulated_waste_core_s,
             hpa.summary.accumulated_waste_core_s,
-            hpa.summary.accumulated_waste_core_s
-                / hta.summary.accumulated_waste_core_s.max(1.0),
+            hpa.summary.accumulated_waste_core_s / hta.summary.accumulated_waste_core_s.max(1.0),
         );
         assert!(!hta.timed_out && !hpa.timed_out);
     }

@@ -11,7 +11,9 @@ use hta_core::OperatorConfig;
 use hta_des::Duration;
 use hta_makeflow::Workflow;
 use hta_resources::Resources;
-use hta_workloads::{blast_multistage, blast_single_stage, iobound, BlastParams, IoBoundParams, MultistageParams};
+use hta_workloads::{
+    blast_multistage, blast_single_stage, iobound, BlastParams, IoBoundParams, MultistageParams,
+};
 use hta_workqueue::master::MasterConfig;
 
 /// Which autoscaler drives a run.
@@ -25,7 +27,11 @@ pub enum PolicyKind {
     Fixed(usize),
 }
 
-fn make_policy(kind: PolicyKind, min_replicas: usize, max_replicas: usize) -> Box<dyn ScalingPolicy> {
+fn make_policy(
+    kind: PolicyKind,
+    min_replicas: usize,
+    max_replicas: usize,
+) -> Box<dyn ScalingPolicy> {
     match kind {
         PolicyKind::Hta => Box::new(HtaPolicy::new(HtaConfig::default())),
         PolicyKind::Hpa(target) => Box::new(HpaPolicy::new(target, min_replicas, max_replicas)),
@@ -88,6 +94,7 @@ pub fn fig2_driver(seed: u64) -> DriverConfig {
         default_init_time: Duration::from_millis(157_400),
         use_measured_init_time: true,
         node_failures: Vec::new(),
+        faults: Default::default(),
         trace_capacity: 0,
         metrics_lag: Duration::from_secs(60),
         max_sim_time: Duration::from_secs(50_000),
@@ -145,12 +152,9 @@ pub fn fig4_workload(declared: bool) -> Workflow {
 pub fn fig4_run(config: Fig4Config, seed: u64) -> RunResult {
     let machine = MachineType::gke_3cpu_12gb();
     let (workers, worker_request, declared, learn) = match config {
-        Fig4Config::FineGrained | Fig4Config::FineGrainedPeer => (
-            15usize,
-            Resources::new(1000, 3_800, 20_000),
-            true,
-            true,
-        ),
+        Fig4Config::FineGrained | Fig4Config::FineGrainedPeer => {
+            (15usize, Resources::new(1000, 3_800, 20_000), true, true)
+        }
         Fig4Config::CoarseUnknown => (5, machine.allocatable, false, false),
         Fig4Config::CoarseKnown => (5, machine.allocatable, true, true),
     };
@@ -184,6 +188,7 @@ pub fn fig4_run(config: Fig4Config, seed: u64) -> RunResult {
         default_init_time: Duration::from_millis(157_400),
         use_measured_init_time: true,
         node_failures: Vec::new(),
+        faults: Default::default(),
         trace_capacity: 0,
         metrics_lag: Duration::from_secs(60),
         max_sim_time: Duration::from_secs(20_000),
@@ -246,7 +251,10 @@ pub fn fig6_measurements(runs: usize, seed: u64) -> Vec<InitSample> {
         }
         // Run until this pod is running.
         for _ in 0..100_000 {
-            if cluster.pod(pod).is_some_and(|p| p.phase == PodPhase::Running) {
+            if cluster
+                .pod(pod)
+                .is_some_and(|p| p.phase == PodPhase::Running)
+            {
                 break;
             }
             let Some((now, ev)) = q.pop() else { break };
@@ -305,6 +313,7 @@ pub fn fig10_driver(kind: PolicyKind, seed: u64) -> DriverConfig {
         default_init_time: Duration::from_millis(157_400),
         use_measured_init_time: true,
         node_failures: Vec::new(),
+        faults: Default::default(),
         trace_capacity: 0,
         metrics_lag: Duration::from_secs(60),
         max_sim_time: Duration::from_secs(100_000),
@@ -458,13 +467,15 @@ mod tests {
             let hta = fig10_run(PolicyKind::Hta, seed);
             // Waste at least halved; runtime within +40 %.
             assert!(
-                hta.summary.accumulated_waste_core_s * 2.0
-                    < hpa.summary.accumulated_waste_core_s,
+                hta.summary.accumulated_waste_core_s * 2.0 < hpa.summary.accumulated_waste_core_s,
                 "seed {seed}: waste {} vs {}",
                 hta.summary.accumulated_waste_core_s,
                 hpa.summary.accumulated_waste_core_s
             );
-            assert!(hta.summary.runtime_s < hpa.summary.runtime_s * 1.4, "seed {seed}");
+            assert!(
+                hta.summary.runtime_s < hpa.summary.runtime_s * 1.4,
+                "seed {seed}"
+            );
         }
     }
 

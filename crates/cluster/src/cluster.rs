@@ -36,6 +36,16 @@ pub enum ClusterEvent {
     NodePreempted(NodeId),
     /// Kubelet finished pulling a pod's image on a node.
     PodImagePulled(PodId, NodeId),
+    /// A pull attempt failed (fault injection); the kubelet begins
+    /// attempt number `.2` after its `ImagePullBackOff` delay.
+    PodPullRetry(PodId, NodeId, u32),
+    /// The kubelet exhausted its pull attempts for this pod.
+    PodPullGaveUp(PodId),
+    /// A flaky node's sampled lifetime expired (fault injection): the
+    /// node crashes like a preemption, but a replacement rejoins later.
+    NodeFault(NodeId),
+    /// A flaky-node replacement machine is ready to join.
+    NodeRejoin,
     /// Pod containers finished starting.
     PodStarted(PodId),
 }
@@ -66,6 +76,19 @@ pub struct ClusterStats {
     pub pods_deleted: usize,
 }
 
+/// Cumulative fault-injection counters (see [`Cluster::fault_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterFaultStats {
+    /// Image-pull attempts that failed and entered backoff.
+    pub image_pull_retries: u64,
+    /// Pods failed after exhausting their pull attempts.
+    pub image_pull_gaveups: u64,
+    /// Flaky-node crashes injected (MTTF expiries on live nodes).
+    pub node_faults: u64,
+    /// Replacement nodes that rejoined after a flaky-node crash.
+    pub node_rejoins: u64,
+}
+
 /// The simulated orchestrator.
 #[derive(Debug)]
 pub struct Cluster {
@@ -80,6 +103,7 @@ pub struct Cluster {
     rng: SimRng,
     watch: Vec<WatchEvent>,
     controller_armed: bool,
+    fault_stats: ClusterFaultStats,
 }
 
 impl Cluster {
@@ -99,6 +123,7 @@ impl Cluster {
             rng,
             watch: Vec::new(),
             controller_armed: false,
+            fault_stats: ClusterFaultStats::default(),
         }
     }
 
@@ -126,10 +151,14 @@ impl Cluster {
             let id = NodeId(self.node_ids.alloc());
             let mut node = Node::provisioning(id, self.cfg.machine.clone(), now);
             node.mark_ready(now);
-            self.watch.push(WatchEvent::node(now, WatchKind::NodeReady(id)));
+            self.watch
+                .push(WatchEvent::node(now, WatchKind::NodeReady(id)));
             self.nodes.insert(id, node);
             if let Some(d) = self.sample_preemption() {
                 fx.push((d, ClusterEvent::NodePreempted(id)));
+            }
+            if let Some(d) = self.sample_node_fault() {
+                fx.push((d, ClusterEvent::NodeFault(id)));
             }
         }
         self.controller_armed = true;
@@ -141,9 +170,21 @@ impl Cluster {
     /// configured mean), or `None` for on-demand pools.
     fn sample_preemption(&mut self) -> Option<Duration> {
         let mean = self.cfg.preemption_mean_lifetime?;
-        // Inverse-CDF sampling of Exp(1/mean).
+        Some(self.sample_exp(mean))
+    }
+
+    /// Sample a flaky node's time-to-failure, or `None` when the fault
+    /// is disabled. Called only when a node (re)joins, so fault-free
+    /// configurations draw nothing.
+    fn sample_node_fault(&mut self) -> Option<Duration> {
+        let mean = self.cfg.faults.node_mttf?;
+        Some(self.sample_exp(mean))
+    }
+
+    /// Inverse-CDF sampling of `Exp(1/mean)`.
+    fn sample_exp(&mut self, mean: Duration) -> Duration {
         let u = (1.0 - self.rng.uniform()).max(1e-12);
-        Some(Duration::from_secs_f64(-mean.as_secs_f64() * u.ln()))
+        Duration::from_secs_f64(-mean.as_secs_f64() * u.ln())
     }
 
     // ------------------------------------------------------------------
@@ -285,8 +326,56 @@ impl Cluster {
             ClusterEvent::NodeProvisioned(id) => self.node_provisioned(now, id),
             ClusterEvent::NodePreempted(id) => self.fail_node(now, id),
             ClusterEvent::PodImagePulled(pod, node) => self.image_pulled(now, pod, node),
+            ClusterEvent::PodPullRetry(pod, node, attempt) => {
+                self.pod_pull_retry(now, pod, node, attempt)
+            }
+            ClusterEvent::PodPullGaveUp(pod) => self.pod_pull_gave_up(now, pod),
+            ClusterEvent::NodeFault(id) => self.node_fault(now, id),
+            ClusterEvent::NodeRejoin => self.node_rejoin(now),
             ClusterEvent::PodStarted(pod) => self.pod_started(now, pod),
         }
+    }
+
+    /// Handle a flaky node's MTTF expiry: crash it like a preemption and
+    /// schedule a replacement machine after the sampled repair time.
+    fn node_fault(&mut self, now: SimTime, id: NodeId) -> Vec<Effect> {
+        let alive = self
+            .nodes
+            .get(&id)
+            .is_some_and(|n| n.state != NodeState::Removed);
+        if !alive {
+            // The autoscaler (or a preemption) already removed it.
+            return Vec::new();
+        }
+        self.fault_stats.node_faults += 1;
+        let mut fx = self.fail_node(now, id);
+        let mttr = self.cfg.faults.node_mttr;
+        fx.push((self.sample_exp(mttr), ClusterEvent::NodeRejoin));
+        fx
+    }
+
+    /// A replacement machine for a crashed flaky node joins the pool
+    /// (already booted — the MTTR sample covered provisioning).
+    fn node_rejoin(&mut self, now: SimTime) -> Vec<Effect> {
+        if self.live_node_count() >= self.cfg.max_nodes {
+            return Vec::new();
+        }
+        let id = NodeId(self.node_ids.alloc());
+        let mut node = Node::provisioning(id, self.cfg.machine.clone(), now);
+        node.mark_ready(now);
+        self.watch
+            .push(WatchEvent::node(now, WatchKind::NodeReady(id)));
+        self.nodes.insert(id, node);
+        self.fault_stats.node_rejoins += 1;
+        let mut fx = Vec::new();
+        if let Some(d) = self.sample_preemption() {
+            fx.push((d, ClusterEvent::NodePreempted(id)));
+        }
+        if let Some(d) = self.sample_node_fault() {
+            fx.push((d, ClusterEvent::NodeFault(id)));
+        }
+        fx.extend(self.try_schedule_all(now));
+        fx
     }
 
     fn controller_tick(&mut self, now: SimTime) -> Vec<Effect> {
@@ -364,6 +453,9 @@ impl Cluster {
             if let Some(life) = self.sample_preemption() {
                 fx.push((latency + life, ClusterEvent::NodePreempted(id)));
             }
+            if let Some(life) = self.sample_node_fault() {
+                fx.push((latency + life, ClusterEvent::NodeFault(id)));
+            }
             fx.push((latency, ClusterEvent::NodeProvisioned(id)));
         }
         fx
@@ -427,6 +519,75 @@ impl Cluster {
         vec![(self.cfg.pod_start_delay, ClusterEvent::PodStarted(pod_id))]
     }
 
+    /// Begin pull attempt `attempt` for a pod whose image transfer takes
+    /// `pull`. With fault injection active, the attempt may fail
+    /// (`ErrImagePull`): the transfer time is spent anyway, then the
+    /// kubelet backs off on the capped-exponential schedule before the
+    /// next attempt — or gives up once the attempt budget is exhausted.
+    fn start_pull(&mut self, pid: PodId, nid: NodeId, attempt: u32, pull: Duration) -> Effect {
+        let faults = self.cfg.faults.clone();
+        // No draw at rate 0 so fault-free runs keep their RNG stream.
+        let failed =
+            faults.image_pull_fail_rate > 0.0 && self.rng.uniform() < faults.image_pull_fail_rate;
+        if !failed {
+            return (pull, ClusterEvent::PodImagePulled(pid, nid));
+        }
+        let next = attempt + 1;
+        if next >= faults.image_pull_max_attempts {
+            return (pull, ClusterEvent::PodPullGaveUp(pid));
+        }
+        self.fault_stats.image_pull_retries += 1;
+        let backoff = faults.image_pull_backoff.jittered(attempt, &mut self.rng);
+        (pull + backoff, ClusterEvent::PodPullRetry(pid, nid, next))
+    }
+
+    /// A backoff window elapsed: re-attempt the pull if the pod is still
+    /// waiting on this node (it may have died with the node meanwhile).
+    fn pod_pull_retry(
+        &mut self,
+        now: SimTime,
+        pod_id: PodId,
+        node_id: NodeId,
+        attempt: u32,
+    ) -> Vec<Effect> {
+        let _ = now;
+        let valid = self.pods.get(&pod_id).is_some_and(|p| {
+            p.phase == PodPhase::Pending(PendingReason::PullingImage) && p.node == Some(node_id)
+        }) && self
+            .nodes
+            .get(&node_id)
+            .is_some_and(|n| n.state == NodeState::Ready);
+        if !valid {
+            return Vec::new();
+        }
+        let image = self.pods[&pod_id].spec.image;
+        let pull = self.registry.pull_duration(image, &mut self.rng);
+        vec![self.start_pull(pod_id, node_id, attempt, pull)]
+    }
+
+    /// The kubelet exhausted its pull attempts: fail the pod and free its
+    /// node slot. The layers above observe `PodFailed` and recover.
+    fn pod_pull_gave_up(&mut self, now: SimTime, pod_id: PodId) -> Vec<Effect> {
+        let Some(pod) = self.pods.get_mut(&pod_id) else {
+            return Vec::new();
+        };
+        if pod.phase != PodPhase::Pending(PendingReason::PullingImage) {
+            return Vec::new();
+        }
+        self.fault_stats.image_pull_gaveups += 1;
+        let node = pod.node.take();
+        pod.phase = PodPhase::Failed;
+        pod.finished_at = Some(now);
+        if let Some(nid) = node {
+            if let Some(n) = self.nodes.get_mut(&nid) {
+                n.release_pod(pod_id.raw(), now);
+            }
+        }
+        self.watch
+            .push(WatchEvent::pod(now, pod_id, WatchKind::PodFailed));
+        self.try_schedule_all(now)
+    }
+
     fn pod_started(&mut self, now: SimTime, pod_id: PodId) -> Vec<Effect> {
         let Some(pod) = self.pods.get_mut(&pod_id) else {
             return Vec::new();
@@ -464,9 +625,8 @@ impl Cluster {
                 .values()
                 .filter(|n| n.can_fit(&req))
                 .filter(|n| {
-                    anti.as_deref().is_none_or(|group| {
-                        !self.node_hosts_group(n.id, group)
-                    })
+                    anti.as_deref()
+                        .is_none_or(|group| !self.node_hosts_group(n.id, group))
                 })
                 .map(|n| n.id)
                 .next();
@@ -491,13 +651,10 @@ impl Cluster {
                         // Skip the pull phase entirely.
                         pod.phase = PodPhase::Pending(PendingReason::PullingImage);
                         fx.push((self.cfg.pod_start_delay, ClusterEvent::PodStarted(pid)));
-                        self.watch.push(WatchEvent::pod(
-                            now,
-                            pid,
-                            WatchKind::PodImagePulled(nid),
-                        ));
+                        self.watch
+                            .push(WatchEvent::pod(now, pid, WatchKind::PodImagePulled(nid)));
                     } else {
-                        fx.push((pull, ClusterEvent::PodImagePulled(pid, nid)));
+                        fx.push(self.start_pull(pid, nid, 0, pull));
                     }
                 }
                 None => {
@@ -521,9 +678,9 @@ impl Cluster {
 
     /// Whether a node currently hosts a resource-holding pod of `group`.
     fn node_hosts_group(&self, node: NodeId, group: &str) -> bool {
-        self.pods.values().any(|p| {
-            p.node == Some(node) && p.spec.group == group && p.phase.holds_resources()
-        })
+        self.pods
+            .values()
+            .any(|p| p.node == Some(node) && p.spec.group == group && p.phase.holds_resources())
     }
 
     /// Nodes that are `Ready` or `Provisioning`.
@@ -604,7 +761,9 @@ impl Cluster {
         }
         for p in self.pods.values() {
             match p.phase {
-                PodPhase::Pending(PendingReason::InsufficientResource) => st.pods_unschedulable += 1,
+                PodPhase::Pending(PendingReason::InsufficientResource) => {
+                    st.pods_unschedulable += 1
+                }
                 PodPhase::Pending(PendingReason::PullingImage) => st.pods_pulling += 1,
                 PodPhase::Running => st.pods_running += 1,
                 PodPhase::Succeeded => st.pods_succeeded += 1,
@@ -613,6 +772,11 @@ impl Cluster {
             }
         }
         st
+    }
+
+    /// Cumulative fault-injection counters.
+    pub fn fault_stats(&self) -> ClusterFaultStats {
+        self.fault_stats
     }
 
     /// `kubectl get`-style textual snapshot of nodes and non-terminal
@@ -699,13 +863,19 @@ mod tests {
             preemption_mean_lifetime: None,
             image_pull_jitter: 0.0,
             pod_start_delay: Duration::from_secs(1),
+            faults: crate::config::ClusterFaults::default(),
             seed: 7,
         }
     }
 
     /// Drive a cluster's own event loop until quiescent, returning the end
     /// time. Mirrors what the hta-core driver does for the full system.
-    fn run_to_quiescence(cluster: &mut Cluster, fx: Vec<Effect>, q: &mut hta_des::EventQueue<ClusterEvent>, max_events: usize) {
+    fn run_to_quiescence(
+        cluster: &mut Cluster,
+        fx: Vec<Effect>,
+        q: &mut hta_des::EventQueue<ClusterEvent>,
+        max_events: usize,
+    ) {
         for (d, e) in fx {
             q.schedule_in(d, e);
         }

@@ -7,7 +7,7 @@
 //! latency (mean 157.4 s, σ 4.2 s end-to-end; the node-reservation part
 //! here is that total minus the default image pull).
 
-use hta_des::Duration;
+use hta_des::{Backoff, Duration};
 use hta_resources::Resources;
 use serde::{Deserialize, Serialize};
 
@@ -100,8 +100,52 @@ pub struct ClusterConfig {
     /// models on-demand nodes. Spot capacity is the natural cost play for
     /// HTC's interruptible jobs — the pay-as-you-go theme of §I.
     pub preemption_mean_lifetime: Option<Duration>,
+    /// Injected fault behaviour (image-pull failures, flaky nodes). The
+    /// default injects nothing and leaves the RNG stream untouched, so
+    /// fault-free runs are byte-identical with or without this feature.
+    pub faults: ClusterFaults,
     /// RNG seed for provisioning/pull latencies.
     pub seed: u64,
+}
+
+/// Fault-injection knobs for the cluster layer.
+///
+/// All faults draw from the cluster's seeded RNG; with every rate at
+/// zero and `node_mttf` unset, **no draws happen at all**, keeping
+/// fault-free runs reproducible against earlier versions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterFaults {
+    /// Probability that one image-pull attempt fails (`ErrImagePull`).
+    /// The kubelet retries on the `image_pull_backoff` schedule.
+    pub image_pull_fail_rate: f64,
+    /// Retry schedule after a failed pull (`ImagePullBackOff` semantics:
+    /// capped exponential with jitter).
+    pub image_pull_backoff: Backoff,
+    /// Give up and fail the pod after this many failed pull attempts
+    /// (the layers above observe `PodFailed` and recover — e.g. the
+    /// driver re-queues the worker's tasks).
+    pub image_pull_max_attempts: u32,
+    /// "Flaky node" fault: every node that becomes ready draws a
+    /// lifetime from `Exp(mttf)`, crashes when it expires (all pods
+    /// fail), and a replacement joins after `Exp(node_mttr)`. `None`
+    /// disables the fault. Unlike `preemption_mean_lifetime`, the
+    /// capacity *comes back* — this models machine flakiness rather
+    /// than spot reclamation.
+    pub node_mttf: Option<Duration>,
+    /// Mean time until a flaky node's replacement is ready.
+    pub node_mttr: Duration,
+}
+
+impl Default for ClusterFaults {
+    fn default() -> Self {
+        ClusterFaults {
+            image_pull_fail_rate: 0.0,
+            image_pull_backoff: Backoff::IMAGE_PULL,
+            image_pull_max_attempts: 20,
+            node_mttf: None,
+            node_mttr: Duration::from_secs(120),
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -122,6 +166,7 @@ impl Default for ClusterConfig {
             image_pull_jitter: 0.08,
             pod_start_delay: Duration::from_secs(2),
             preemption_mean_lifetime: None,
+            faults: ClusterFaults::default(),
             seed: 0x4854_4131, // "HTA1"
         }
     }

@@ -115,12 +115,7 @@ impl Hpa {
             .clamp(self.cfg.min_replicas, self.cfg.max_replicas);
         self.record(now, raw);
         // Effective recommendation: max over the stabilization window.
-        let desired = self
-            .history
-            .iter()
-            .map(|&(_, r)| r)
-            .max()
-            .unwrap_or(raw);
+        let desired = self.history.iter().map(|&(_, r)| r).max().unwrap_or(raw);
         desired.clamp(self.cfg.min_replicas, self.cfg.max_replicas)
     }
 

@@ -74,8 +74,8 @@ pub mod objects;
 pub mod pod;
 pub mod watch;
 
-pub use cluster::{Cluster, ClusterEvent, ClusterStats, Effect};
-pub use config::{ClusterConfig, MachineType};
+pub use cluster::{Cluster, ClusterEvent, ClusterFaultStats, ClusterStats, Effect};
+pub use config::{ClusterConfig, ClusterFaults, MachineType};
 pub use hpa::{Hpa, HpaConfig};
 pub use ids::{ImageId, NodeId, PodId};
 pub use image::ImageSpec;

@@ -145,7 +145,12 @@ mod tests {
 
     #[test]
     fn service_selection() {
-        let svc = Service::new("wq-master-external", "wq-master", ServiceKind::LoadBalancer, 9123);
+        let svc = Service::new(
+            "wq-master-external",
+            "wq-master",
+            ServiceKind::LoadBalancer,
+            9123,
+        );
         assert!(svc.selects("wq-master"));
         assert!(!svc.selects("wq-worker"));
         assert_eq!(svc.kind, ServiceKind::LoadBalancer);

@@ -54,7 +54,10 @@ impl PodPhase {
 
     /// True once the pod has permanently stopped.
     pub fn is_terminal(self) -> bool {
-        matches!(self, PodPhase::Succeeded | PodPhase::Failed | PodPhase::Deleted)
+        matches!(
+            self,
+            PodPhase::Succeeded | PodPhase::Failed | PodPhase::Deleted
+        )
     }
 }
 
@@ -175,10 +178,7 @@ mod tests {
         p.waited_for_node = true;
         p.pulled_image = true;
         p.running_at = Some(SimTime::from_secs(167));
-        assert_eq!(
-            p.init_latency().unwrap(),
-            hta_des::Duration::from_secs(157)
-        );
+        assert_eq!(p.init_latency().unwrap(), hta_des::Duration::from_secs(157));
         assert!(p.measured_full_init());
     }
 

@@ -125,13 +125,7 @@ mod tests {
         s.observe("align", m(1000, 0, 10));
         s.observe("reduce", m(2000, 0, 20));
         assert_eq!(s.categories_known(), 2);
-        assert_eq!(
-            s.estimate("align").unwrap().resources.millicores,
-            1000
-        );
-        assert_eq!(
-            s.estimate("reduce").unwrap().resources.millicores,
-            2000
-        );
+        assert_eq!(s.estimate("align").unwrap().resources.millicores, 1000);
+        assert_eq!(s.estimate("reduce").unwrap().resources.millicores, 2000);
     }
 }

@@ -19,16 +19,19 @@
 //!   translated into pod creations, graceful drains, or evictions.
 
 use hta_cluster::objects::{Service, ServiceKind, StatefulSet};
-use hta_cluster::{Cluster, ClusterConfig, ClusterEvent, ImageId, PodId, PodPhase, PodSpec, WatchKind};
+use hta_cluster::{
+    Cluster, ClusterConfig, ClusterEvent, ImageId, PodId, PodPhase, PodSpec, WatchKind,
+};
 use hta_des::trace::TraceRing;
 use hta_des::{Duration, EventQueue, SimTime};
 use hta_makeflow::Workflow;
-use hta_metrics::{RunRecorder, RunSummary, Sample, TaskSpan};
+use hta_metrics::{FaultSummary, RunRecorder, RunSummary, Sample, TaskSpan};
 use hta_resources::Resources;
 use hta_workqueue::master::{Master, MasterConfig, WqEvent, WqNotification};
 use hta_workqueue::{WorkerId, WorkerState};
 use std::collections::BTreeMap;
 
+use crate::fault::FaultPlan;
 use crate::init_time::InitTimeTracker;
 use crate::operator::{Operator, OperatorConfig};
 use crate::policy::{PolicyContext, ScaleAction, ScalingPolicy};
@@ -75,6 +78,12 @@ pub struct DriverConfig {
     /// Failure injection: instants at which a node hosting a running
     /// worker crashes (pods fail, tasks re-queue, capacity re-provisions).
     pub node_failures: Vec<Duration>,
+    /// The unified fault-injection plan. When active it is distributed
+    /// into the cluster and master fault configs (and its crash times
+    /// appended to `node_failures`) by [`SystemDriver::new`]; when
+    /// inactive (the default) the sub-configs keep whatever fault knobs
+    /// were set on them directly.
+    pub faults: FaultPlan,
     /// Keep the most recent N trace entries (scaling decisions, pod and
     /// workload transitions). 0 disables tracing.
     pub trace_capacity: usize,
@@ -104,6 +113,7 @@ impl Default for DriverConfig {
             default_init_time: Duration::from_millis(157_400),
             use_measured_init_time: true,
             node_failures: Vec::new(),
+            faults: FaultPlan::default(),
             trace_capacity: 0,
             metrics_lag: Duration::from_secs(60),
             max_sim_time: Duration::from_secs(200_000),
@@ -132,6 +142,14 @@ pub struct RunResult {
     pub interrupted_tasks: u64,
     /// Node failures injected during the run.
     pub failures_injected: u64,
+    /// Task-layer fault counters (retries, OOM kills, speculation…).
+    pub task_faults: hta_workqueue::TaskFaultStats,
+    /// Cluster-layer fault counters (pull retries, flaky nodes).
+    pub cluster_faults: hta_cluster::ClusterFaultStats,
+    /// Workflow jobs that permanently failed / were abandoned.
+    pub jobs_failed: usize,
+    /// Workflow jobs abandoned because a dependency failed.
+    pub jobs_abandoned: usize,
     /// The retained trace tail (empty when tracing was disabled).
     pub trace: TraceRing,
     /// Per-task lifecycle spans (submission/start/completion), for Gantt
@@ -176,6 +194,13 @@ pub struct SystemDriver {
     cleanup_started: bool,
     interrupted: u64,
     failures_injected: u64,
+    /// Open recovery watches: `(crash time, worker count to get back to,
+    /// dip seen)` for each injected node crash. A watch arms once the
+    /// connected pool actually dips below its pre-crash size and resolves
+    /// at the first sample where it is back.
+    recovery_watches: Vec<(SimTime, usize, bool)>,
+    /// Resolved time-to-recover values (seconds).
+    recovery_times: Vec<f64>,
     trace: TraceRing,
     seen_categories: std::collections::BTreeSet<String>,
     /// `(sampled_at, diluted utilization)` ring for the metrics-pipeline
@@ -185,7 +210,13 @@ pub struct SystemDriver {
 
 impl SystemDriver {
     /// Build a driver over a workflow with the given policy.
-    pub fn new(cfg: DriverConfig, workflow: Workflow, policy: Box<dyn ScalingPolicy>) -> Self {
+    pub fn new(mut cfg: DriverConfig, workflow: Workflow, policy: Box<dyn ScalingPolicy>) -> Self {
+        if cfg.faults.is_active() {
+            let plan = cfg.faults.clone();
+            plan.apply(&mut cfg.cluster, &mut cfg.master);
+            cfg.node_failures
+                .extend(plan.node_crash_times.iter().copied());
+        }
         let mut cluster = Cluster::new(cfg.cluster.clone());
         let worker_image = cluster
             .registry_mut()
@@ -215,8 +246,18 @@ impl SystemDriver {
             master_pod: None,
             master_set: StatefulSet::new(MASTER_GROUP, 1, 50_000),
             services: vec![
-                Service::new("wq-master-internal", MASTER_GROUP, ServiceKind::ClusterIp, 9123),
-                Service::new("wq-master-external", MASTER_GROUP, ServiceKind::LoadBalancer, 9123),
+                Service::new(
+                    "wq-master-internal",
+                    MASTER_GROUP,
+                    ServiceKind::ClusterIp,
+                    9123,
+                ),
+                Service::new(
+                    "wq-master-external",
+                    MASTER_GROUP,
+                    ServiceKind::LoadBalancer,
+                    9123,
+                ),
             ],
             master_ready: false,
             initial_workers_created: false,
@@ -224,6 +265,8 @@ impl SystemDriver {
             cleanup_started: false,
             interrupted: 0,
             failures_injected: 0,
+            recovery_watches: Vec::new(),
+            recovery_times: Vec::new(),
             trace,
             seen_categories: std::collections::BTreeSet::new(),
             util_history: std::collections::VecDeque::new(),
@@ -332,13 +375,31 @@ impl SystemDriver {
         // loop exits on pod events, which can land between sample ticks).
         let now = self.queue.now();
         self.sample(now);
-        let end = self
-            .workload_finished_at
-            .unwrap_or(now)
-            .as_secs_f64();
+        let end = self.workload_finished_at.unwrap_or(now).as_secs_f64();
         self.recorder.finish(end);
         let label = self.policy.name();
-        let summary = self.recorder.summary(label.clone());
+        let mut summary = self.recorder.summary(label.clone());
+        let task_faults = self.master.fault_stats();
+        let cluster_faults = self.cluster.fault_stats();
+        let (jobs_failed, jobs_abandoned) = self.operator.failure_counts();
+        summary.faults = FaultSummary {
+            task_retries: task_faults.retries,
+            transient_failures: task_faults.transient_failures,
+            oom_kills: task_faults.oom_kills,
+            permanent_failures: task_faults.permanent_failures,
+            jobs_abandoned: jobs_abandoned as u64,
+            speculative_launched: task_faults.speculative_launched,
+            speculative_wins: task_faults.speculative_wins,
+            wasted_core_s: task_faults.wasted_core_s,
+            image_pull_retries: cluster_faults.image_pull_retries,
+            image_pull_gaveups: cluster_faults.image_pull_gaveups,
+            node_faults: self.failures_injected + cluster_faults.node_faults,
+            mean_recovery_s: if self.recovery_times.is_empty() {
+                0.0
+            } else {
+                self.recovery_times.iter().sum::<f64>() / self.recovery_times.len() as f64
+            },
+        };
         let task_spans: Vec<TaskSpan> = self
             .master
             .task_records()
@@ -360,6 +421,10 @@ impl SystemDriver {
             timed_out,
             interrupted_tasks: self.interrupted,
             failures_injected: self.failures_injected,
+            task_faults,
+            cluster_faults,
+            jobs_failed,
+            jobs_abandoned,
             trace: self.trace,
             task_spans,
             recorder: self.recorder,
@@ -478,6 +543,30 @@ impl SystemDriver {
                         self.interrupted += 1;
                         self.trace
                             .push(now, "wq", format!("{t} fast-aborted (straggler)"));
+                    }
+                    WqNotification::TaskFailed { task, category } => {
+                        self.trace.push(
+                            now,
+                            "wq",
+                            format!("{task} permanently failed ({category})"),
+                        );
+                        let fx =
+                            self.operator
+                                .on_task_failed(now, task, &category, &mut self.master);
+                        for (d, e) in fx {
+                            self.queue.schedule_in(d, Event::Wq(e));
+                        }
+                        // Graceful degradation can resolve the workflow
+                        // with failures: the cleanup path is the same.
+                        if self.operator.all_complete() && self.workload_finished_at.is_none() {
+                            self.workload_finished_at = Some(now);
+                            self.trace.push(
+                                now,
+                                "driver",
+                                "workload resolved (with failures); cleanup".into(),
+                            );
+                            self.start_cleanup(now);
+                        }
                     }
                     WqNotification::WorkerStopped(wid) => {
                         if let Some(pod) = self.worker_to_pod.remove(&wid) {
@@ -671,6 +760,11 @@ impl SystemDriver {
 
     /// Failure injection: crash the node under some running worker pod.
     /// No-op when no worker is running (nothing interesting to kill).
+    ///
+    /// Victim selection is deterministic: `pod_to_worker` is a `BTreeMap`,
+    /// so iteration is ordered by `PodId` and the victim is always the
+    /// running worker pod with the lowest id — two same-seed runs crash
+    /// the same node at the same instant.
     fn fail_worker_node(&mut self, now: SimTime) {
         let target = self
             .pod_to_worker
@@ -681,6 +775,10 @@ impl SystemDriver {
             .next();
         if let Some(node) = target {
             self.failures_injected += 1;
+            // Time-to-recover watch: resolved at the first sample where
+            // the connected pool is back at its pre-crash size.
+            self.recovery_watches
+                .push((now, self.master.connected_workers(), false));
             self.trace
                 .push(now, "inject", format!("node {node} crashed"));
             for (d, e) in self.cluster.fail_node(now, node) {
@@ -746,6 +844,26 @@ impl SystemDriver {
     /// ("there usually exists a maximum resource quota depending on the
     /// user budget"), which is what an autoscaler could still fix.
     fn sample(&mut self, now: SimTime) {
+        // Resolve open time-to-recover watches. Watches still open when
+        // cleanup begins never resolve (the pool shrinks on purpose).
+        if !self.recovery_watches.is_empty() && !self.cleanup_started {
+            let connected = self.master.connected_workers();
+            let t = now.as_secs_f64();
+            let mut resolved = Vec::new();
+            for w in &mut self.recovery_watches {
+                if !w.2 {
+                    w.2 = connected < w.1;
+                } else if connected >= w.1 {
+                    resolved.push(now.since(w.0).as_secs_f64());
+                    w.1 = usize::MAX; // mark for removal
+                }
+            }
+            self.recovery_watches.retain(|w| w.1 != usize::MAX);
+            for r in resolved {
+                self.recovery_times.push(r);
+                self.recorder.record_extra("recovery_s", t, r);
+            }
+        }
         // Feed the (laggy) metrics pipeline.
         let util_now = self.current_utilization();
         self.util_history.push_back((now, util_now));
@@ -785,8 +903,7 @@ impl SystemDriver {
                 })
                 .sum::<f64>();
         let in_use_cores = self.master.in_use_cores();
-        let quota_cores =
-            self.cfg.max_workers as f64 * self.cfg.worker_request.cores_f64();
+        let quota_cores = self.cfg.max_workers as f64 * self.cfg.worker_request.cores_f64();
         let allocated = self.master.in_use_cores();
         let demand = allocated + waiting_cores;
         let shortage_cores = (demand.min(quota_cores) - supply_cores).max(0.0);
@@ -801,7 +918,8 @@ impl SystemDriver {
         let t = now.as_secs_f64();
         for cat in &self.seen_categories {
             if !per_cat.contains_key(cat) {
-                self.recorder.record_extra(&format!("running:{cat}"), t, 0.0);
+                self.recorder
+                    .record_extra(&format!("running:{cat}"), t, 0.0);
             }
         }
         for (cat, count) in per_cat {
@@ -875,6 +993,7 @@ mod tests {
                 image_pull_jitter: 0.0,
                 pod_start_delay: Duration::from_secs(1),
                 preemption_mean_lifetime: None,
+                faults: Default::default(),
                 seed: 11,
             },
             master: MasterConfig {
@@ -883,6 +1002,7 @@ mod tests {
                 fast_abort_multiplier: None,
                 peer_transfers: false,
                 peer_bandwidth_mbps: 2_000.0,
+                faults: Default::default(),
             },
             operator: OperatorConfig {
                 warmup: false,
@@ -901,6 +1021,7 @@ mod tests {
             default_init_time: Duration::from_secs(157),
             use_measured_init_time: true,
             node_failures: Vec::new(),
+            faults: FaultPlan::default(),
             trace_capacity: 0,
             metrics_lag: Duration::ZERO,
             max_sim_time: Duration::from_secs(20_000),
@@ -909,20 +1030,13 @@ mod tests {
 
     #[test]
     fn fixed_pool_completes_small_workload() {
-        let driver = SystemDriver::new(
-            small_cfg(),
-            tiny_workflow(6),
-            Box::new(FixedPolicy::new(2)),
-        );
+        let driver =
+            SystemDriver::new(small_cfg(), tiny_workflow(6), Box::new(FixedPolicy::new(2)));
         let result = driver.run();
         assert!(!result.timed_out, "run must complete");
         // 6 one-core jobs on 2×3-core workers: one 60 s generation after
         // the image pull and staging. Makespan well under 300 s.
-        assert!(
-            result.makespan_s < 300.0,
-            "makespan {}",
-            result.makespan_s
-        );
+        assert!(result.makespan_s < 300.0, "makespan {}", result.makespan_s);
         assert!(result.summary.runtime_s > 0.0);
         assert_eq!(result.interrupted_tasks, 0);
     }
@@ -951,16 +1065,17 @@ mod tests {
             "peak workers {}",
             result.summary.peak_workers
         );
-        assert!(result.makespan_s < 2_000.0, "makespan {}", result.makespan_s);
+        assert!(
+            result.makespan_s < 2_000.0,
+            "makespan {}",
+            result.makespan_s
+        );
     }
 
     #[test]
     fn run_produces_consistent_metrics() {
-        let driver = SystemDriver::new(
-            small_cfg(),
-            tiny_workflow(6),
-            Box::new(FixedPolicy::new(2)),
-        );
+        let driver =
+            SystemDriver::new(small_cfg(), tiny_workflow(6), Box::new(FixedPolicy::new(2)));
         let result = driver.run();
         let r = &result.recorder;
         assert!(!r.supply.is_empty());
@@ -976,6 +1091,62 @@ mod tests {
         // Summary integrals are finite and non-negative.
         assert!(result.summary.accumulated_waste_core_s >= 0.0);
         assert!(result.summary.accumulated_shortage_core_s >= 0.0);
+    }
+
+    #[test]
+    fn fault_plan_runs_complete_and_are_deterministic() {
+        // The acceptance scenario: node crash + image-pull failures + a
+        // high transient-task rate, all from one seeded plan. The retry
+        // budget absorbs every transient, so the workload completes with
+        // exactly-once accounting, and two same-seed runs are identical.
+        let run = || {
+            let mut cfg = small_cfg();
+            cfg.faults = FaultPlan {
+                seed: 7,
+                node_crash_times: vec![Duration::from_secs(260)],
+                image_pull_fail_rate: 0.2,
+                task_transient_rate: 0.3,
+                max_task_retries: 6,
+                ..FaultPlan::default()
+            };
+            SystemDriver::new(cfg, tiny_workflow(12), Box::new(FixedPolicy::new(3))).run()
+        };
+        let a = run();
+        assert!(!a.timed_out);
+        assert_eq!(a.jobs_failed, 0, "retry budget absorbs transients");
+        let done = a
+            .task_spans
+            .iter()
+            .filter(|s| s.completed_s.is_some())
+            .count();
+        assert_eq!(done, 12, "every job completed exactly once");
+        assert!(
+            a.summary.faults.transient_failures > 0 || a.summary.faults.image_pull_retries > 0,
+            "chaos must actually bite: {:?}",
+            a.summary.faults
+        );
+        let b = run();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn permanent_failure_degrades_gracefully() {
+        // 100 % transient rate with a tiny budget: every task fails
+        // permanently, the workflow resolves (nothing hangs) and the
+        // failure counters land in the summary.
+        let mut cfg = small_cfg();
+        cfg.faults = FaultPlan {
+            seed: 3,
+            task_transient_rate: 1.0,
+            max_task_retries: 1,
+            ..FaultPlan::default()
+        };
+        let result = SystemDriver::new(cfg, tiny_workflow(4), Box::new(FixedPolicy::new(2))).run();
+        assert!(!result.timed_out, "failed workload must still resolve");
+        assert_eq!(result.jobs_failed, 4);
+        assert_eq!(result.summary.faults.permanent_failures, 4);
+        assert!(result.summary.faults.wasted_core_s > 0.0);
     }
 
     #[test]

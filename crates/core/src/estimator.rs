@@ -112,8 +112,7 @@ pub fn estimate(input: &EstimatorInput) -> ScaleDecision {
             if t.resources.fits_in(available) {
                 *available = available.saturating_sub(&t.resources);
                 let done_at = now + t.exec;
-                let pos = completions
-                    .partition_point(|(d, _)| *d <= done_at);
+                let pos = completions.partition_point(|(d, _)| *d <= done_at);
                 completions.insert(pos, (done_at, t.resources));
                 *max_rem = (*max_rem).max(done_at);
                 waiting.remove(i);

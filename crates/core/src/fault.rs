@@ -1,0 +1,189 @@
+//! The unified fault-injection plan.
+//!
+//! One [`FaultPlan`] describes every fault the stack can inject — node
+//! crashes and flakiness at the cluster layer, image-pull failures at the
+//! kubelet layer, transient exits / OOM kills / stragglers at the task
+//! layer — and the driver distributes it into each substrate's own fault
+//! knobs ([`hta_cluster::ClusterFaults`], [`hta_workqueue::TaskFaults`]).
+//!
+//! Every fault draws from the substrate's seeded RNG, so a run with a
+//! given `(FaultPlan, DriverConfig, workflow, policy)` is fully
+//! deterministic: two same-seed runs produce identical summaries. The
+//! default plan injects nothing and leaves every RNG stream untouched,
+//! keeping fault-free runs byte-identical with earlier versions.
+
+use hta_cluster::{ClusterConfig, ClusterFaults};
+use hta_des::Duration;
+use hta_workqueue::{MasterConfig, TaskFaults};
+use serde::{Deserialize, Serialize};
+
+/// A whole-stack fault-injection plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed: the task layer's fault stream derives from it (the
+    /// cluster layer keeps its own config seed so its latency streams
+    /// stay comparable across fault levels).
+    pub seed: u64,
+    /// Instants at which the node under a running worker crashes
+    /// (deterministic targeted kills, on top of any probabilistic fault).
+    pub node_crash_times: Vec<Duration>,
+    /// Flaky-node mean time to failure (`None` disables the fault).
+    pub node_mttf: Option<Duration>,
+    /// Mean time until a flaky node's replacement is ready.
+    pub node_mttr: Duration,
+    /// Probability one image-pull attempt fails (`ErrImagePull` →
+    /// capped-exponential `ImagePullBackOff` retries).
+    pub image_pull_fail_rate: f64,
+    /// Probability one task attempt exits nonzero partway through.
+    pub task_transient_rate: f64,
+    /// Probability one task attempt is OOM-killed (retry escalates its
+    /// memory allocation).
+    pub task_oom_rate: f64,
+    /// Straggler speculation threshold (× category mean wall); `None`
+    /// disables speculative re-execution.
+    pub straggler_factor: Option<f64>,
+    /// Failed attempts tolerated per task before permanent failure.
+    pub max_task_retries: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0x4641_554C, // "FAUL"
+            node_crash_times: Vec::new(),
+            node_mttf: None,
+            node_mttr: Duration::from_secs(120),
+            image_pull_fail_rate: 0.0,
+            task_transient_rate: 0.0,
+            task_oom_rate: 0.0,
+            straggler_factor: None,
+            max_task_retries: 3,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when the plan injects anything at all. An inactive plan is
+    /// never applied, so configs keep whatever fault knobs were set on
+    /// them directly.
+    pub fn is_active(&self) -> bool {
+        !self.node_crash_times.is_empty()
+            || self.node_mttf.is_some()
+            || self.image_pull_fail_rate > 0.0
+            || self.task_transient_rate > 0.0
+            || self.task_oom_rate > 0.0
+            || self.straggler_factor.is_some()
+    }
+
+    /// Distribute the plan into the per-substrate fault configs.
+    pub fn apply(&self, cluster: &mut ClusterConfig, master: &mut MasterConfig) {
+        cluster.faults = ClusterFaults {
+            image_pull_fail_rate: self.image_pull_fail_rate,
+            node_mttf: self.node_mttf,
+            node_mttr: self.node_mttr,
+            ..cluster.faults.clone()
+        };
+        master.faults = TaskFaults {
+            transient_rate: self.task_transient_rate,
+            oom_rate: self.task_oom_rate,
+            max_retries: self.max_task_retries,
+            straggler_factor: self.straggler_factor,
+            seed: self.seed,
+            ..master.faults.clone()
+        };
+    }
+
+    /// A light chaos level: occasional pull failures and transient exits.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            image_pull_fail_rate: 0.05,
+            task_transient_rate: 0.02,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A heavy chaos level: flaky nodes on top of frequent pull and task
+    /// failures, with OOM kills and speculation enabled.
+    pub fn heavy(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            node_mttf: Some(Duration::from_secs(3_600)),
+            node_mttr: Duration::from_secs(180),
+            image_pull_fail_rate: 0.15,
+            task_transient_rate: 0.05,
+            task_oom_rate: 0.02,
+            straggler_factor: Some(3.0),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inactive() {
+        assert!(!FaultPlan::default().is_active());
+    }
+
+    #[test]
+    fn any_single_knob_activates() {
+        for plan in [
+            FaultPlan {
+                node_crash_times: vec![Duration::from_secs(100)],
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                node_mttf: Some(Duration::from_secs(600)),
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                image_pull_fail_rate: 0.1,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                task_transient_rate: 0.05,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                task_oom_rate: 0.01,
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                straggler_factor: Some(2.0),
+                ..FaultPlan::default()
+            },
+        ] {
+            assert!(plan.is_active(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn apply_distributes_into_both_layers() {
+        let plan = FaultPlan::heavy(42);
+        let mut cluster = ClusterConfig::default();
+        let mut master = MasterConfig::default();
+        plan.apply(&mut cluster, &mut master);
+        assert_eq!(cluster.faults.image_pull_fail_rate, 0.15);
+        assert_eq!(cluster.faults.node_mttf, Some(Duration::from_secs(3_600)));
+        assert_eq!(master.faults.transient_rate, 0.05);
+        assert_eq!(master.faults.oom_rate, 0.02);
+        assert_eq!(master.faults.straggler_factor, Some(3.0));
+        assert_eq!(master.faults.seed, 42);
+        // Knobs the plan doesn't own are preserved.
+        assert_eq!(cluster.faults.image_pull_max_attempts, 20);
+        assert_eq!(master.faults.oom_escalation, 1.5);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_severity() {
+        let light = FaultPlan::light(1);
+        let heavy = FaultPlan::heavy(1);
+        assert!(light.is_active() && heavy.is_active());
+        assert!(heavy.image_pull_fail_rate > light.image_pull_fail_rate);
+        assert!(heavy.task_transient_rate > light.task_transient_rate);
+        assert!(heavy.node_mttf.is_some() && light.node_mttf.is_none());
+    }
+}

@@ -11,6 +11,14 @@
 //! "we will use the time interval … as the latest resource initialization
 //! time") plus a count and mean for diagnostics, and falls back to a
 //! configurable default before the first measurement.
+//!
+//! Under fault injection a pod can take an extreme full cycle — e.g. an
+//! image pull failing repeatedly into `ImagePullBackOff` for minutes —
+//! which would poison the estimator's init-time input for the rest of
+//! the run. Once five measurements exist, the tracker rejects new ones
+//! more than 3σ from the running mean (with a small floor on the band so
+//! a near-zero σ doesn't reject everything); rejections are counted but
+//! neither stored nor reported as `latest`.
 
 use std::collections::HashMap;
 
@@ -31,6 +39,7 @@ pub struct InitTimeTracker {
     latest: Option<Duration>,
     tracks: HashMap<PodId, PodTrack>,
     measurements: Vec<Duration>,
+    rejected: usize,
 }
 
 impl InitTimeTracker {
@@ -41,6 +50,7 @@ impl InitTimeTracker {
             latest: None,
             tracks: HashMap::new(),
             measurements: Vec::new(),
+            rejected: 0,
         }
     }
 
@@ -74,8 +84,12 @@ impl InitTimeTracker {
                     if t.waited_for_node && t.pulled_image {
                         if let Some(created) = t.created_at {
                             let lat = ev.at.since(created);
-                            self.latest = Some(lat);
-                            self.measurements.push(lat);
+                            if self.is_outlier(lat) {
+                                self.rejected += 1;
+                            } else {
+                                self.latest = Some(lat);
+                                self.measurements.push(lat);
+                            }
                         }
                     }
                 }
@@ -94,9 +108,28 @@ impl InitTimeTracker {
         }
     }
 
+    /// Outlier test: with five or more accepted measurements, a new one
+    /// further than `max(3σ, 10 % of mean, 1 s)` from the running mean is
+    /// rejected. The floor keeps a degenerate σ (identical samples on a
+    /// quiet cluster) from rejecting ordinary jitter.
+    fn is_outlier(&self, lat: Duration) -> bool {
+        if self.measurements.len() < 5 {
+            return false;
+        }
+        let mean = self.mean().expect("non-empty").as_secs_f64();
+        let sd = self.std_dev_secs().unwrap_or(0.0);
+        let band = (3.0 * sd).max(mean * 0.1).max(1.0);
+        (lat.as_secs_f64() - mean).abs() > band
+    }
+
     /// The latest full-cycle measurement, or the default.
     pub fn latest(&self) -> Duration {
         self.latest.unwrap_or(self.default)
+    }
+
+    /// Full-cycle measurements rejected as outliers (>3σ from the mean).
+    pub fn rejected(&self) -> usize {
+        self.rejected
     }
 
     /// Number of full-cycle measurements taken.
@@ -109,7 +142,11 @@ impl InitTimeTracker {
         if self.measurements.is_empty() {
             return None;
         }
-        let total: u128 = self.measurements.iter().map(|d| d.as_millis() as u128).sum();
+        let total: u128 = self
+            .measurements
+            .iter()
+            .map(|d| d.as_millis() as u128)
+            .sum();
         Some(Duration::from_millis(
             (total / self.measurements.len() as u128) as u64,
         ))
@@ -214,6 +251,36 @@ mod tests {
     }
 
     #[test]
+    fn outliers_are_rejected_once_baseline_exists() {
+        let mut tracker = InitTimeTracker::new(Duration::from_secs(100));
+        // Five ordinary cycles around 150–158 s build the baseline.
+        for (i, lat) in [150, 152, 154, 156, 158].iter().enumerate() {
+            full_cycle(&mut tracker, i as u64, i as u64 * 1_000, *lat);
+        }
+        assert_eq!(tracker.count(), 5);
+        // A pull-backoff victim takes 600 s: rejected, latest untouched.
+        full_cycle(&mut tracker, 10, 10_000, 600);
+        assert_eq!(tracker.count(), 5);
+        assert_eq!(tracker.rejected(), 1);
+        assert_eq!(tracker.latest(), Duration::from_secs(158));
+        // An ordinary cycle afterwards is accepted again.
+        full_cycle(&mut tracker, 11, 11_000, 153);
+        assert_eq!(tracker.count(), 6);
+        assert_eq!(tracker.latest(), Duration::from_secs(153));
+    }
+
+    #[test]
+    fn no_rejection_before_five_measurements() {
+        let mut tracker = InitTimeTracker::new(Duration::from_secs(100));
+        full_cycle(&mut tracker, 1, 0, 150);
+        full_cycle(&mut tracker, 2, 1_000, 152);
+        // Wildly different but only the 3rd sample: accepted (no baseline).
+        full_cycle(&mut tracker, 3, 2_000, 600);
+        assert_eq!(tracker.count(), 3);
+        assert_eq!(tracker.rejected(), 0);
+    }
+
+    #[test]
     fn killed_pending_pod_is_forgotten() {
         let mut tracker = InitTimeTracker::new(Duration::from_secs(100));
         let p = PodId(5);
@@ -222,7 +289,11 @@ mod tests {
         tracker.observe(&WatchEvent::pod(t(5), p, WatchKind::PodFailed));
         // A later Running for the same id (id reuse never happens, but be
         // robust) measures nothing.
-        tracker.observe(&WatchEvent::pod(t(200), p, WatchKind::PodRunning(NodeId(0))));
+        tracker.observe(&WatchEvent::pod(
+            t(200),
+            p,
+            WatchKind::PodRunning(NodeId(0)),
+        ));
         assert_eq!(tracker.count(), 0);
     }
 

@@ -72,6 +72,7 @@
 pub mod category_stats;
 pub mod driver;
 pub mod estimator;
+pub mod fault;
 pub mod init_time;
 pub mod operator;
 pub mod oracle;
@@ -81,9 +82,10 @@ pub mod target_tracking;
 pub use category_stats::{CategoryEstimate, CategoryStats};
 pub use driver::{DriverConfig, SystemDriver};
 pub use estimator::{
-    estimate, estimate_per_worker, forecast_rsh_cores, EstimatorInput, RunningTask,
-    ScaleDecision, WaitingTask,
+    estimate, estimate_per_worker, forecast_rsh_cores, EstimatorInput, RunningTask, ScaleDecision,
+    WaitingTask,
 };
+pub use fault::FaultPlan;
 pub use init_time::InitTimeTracker;
 pub use operator::{Operator, OperatorConfig};
 pub use oracle::OraclePolicy;

@@ -99,12 +99,18 @@ impl Operator {
         }
         for name in names {
             let id = match workflow.source_files.get(&name) {
-                Some(src) => master
-                    .catalog_mut()
-                    .register(name.clone(), src.size_mb, src.cacheable),
+                Some(src) => {
+                    master
+                        .catalog_mut()
+                        .register(name.clone(), src.size_mb, src.cacheable)
+                }
                 None => match workflow.dag.producer_of(&name) {
                     Some(producer) => {
-                        let cat = &workflow.dag.job(producer).expect("producer exists").category;
+                        let cat = &workflow
+                            .dag
+                            .job(producer)
+                            .expect("producer exists")
+                            .category;
                         let out_mb = workflow
                             .categories
                             .get(cat)
@@ -172,9 +178,18 @@ impl Operator {
         self.submitted
     }
 
-    /// True when the whole workflow is complete.
+    /// True when the whole workflow is resolved: every job completed,
+    /// permanently failed, or abandoned because a dependency failed.
+    /// (Without fault injection nothing fails, so this is exactly
+    /// "all complete".)
     pub fn all_complete(&self) -> bool {
-        self.workflow.all_complete()
+        self.workflow.all_resolved()
+    }
+
+    /// Jobs that permanently failed or were abandoned, as
+    /// `(failed, abandoned)` counts.
+    pub fn failure_counts(&self) -> (usize, usize) {
+        (self.workflow.dag.failed(), self.workflow.dag.abandoned())
     }
 
     fn knowledge(&self, category: &str) -> CatKnowledge {
@@ -304,6 +319,51 @@ impl Operator {
         fx
     }
 
+    /// Handle a permanently failed task (retry budget exhausted under
+    /// fault injection): fail the job, abandon its transitive dependents
+    /// (graceful degradation — independent branches keep running), and if
+    /// the failed task was a category's warm-up probe, promote a held job
+    /// of that category as the replacement probe so the category doesn't
+    /// deadlock.
+    pub fn on_task_failed(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        category: &str,
+        master: &mut Master,
+    ) -> Vec<WqEffect> {
+        let mut fx = Vec::new();
+        let Some(job) = self.job_for_task.get(&task).copied() else {
+            return fx;
+        };
+        let abandoned = self.workflow.fail(job);
+        // Abandoned jobs will never run: purge them from the held lists.
+        if !abandoned.is_empty() {
+            for list in self.held.values_mut() {
+                list.retain(|j| !abandoned.contains(j));
+            }
+            self.held.retain(|_, v| !v.is_empty());
+        }
+        // Re-aim the warm-up probe if it just died unlearned.
+        if self.cfg.warmup
+            && !self.learned.contains_key(category)
+            && self.probing.get(category).copied().unwrap_or(false)
+        {
+            self.probing.insert(category.to_string(), false);
+            let next = self
+                .held
+                .get_mut(category)
+                .filter(|v| !v.is_empty())
+                .map(|v| v.remove(0));
+            if let Some(next_job) = next {
+                self.probing.insert(category.to_string(), true);
+                fx.extend(self.submit_held_job(now, next_job, master));
+            }
+        }
+        fx.extend(self.submit_ready(now, master));
+        fx
+    }
+
     /// Submit a job that was held during warm-up (already marked
     /// `Submitted` in the DAG).
     fn submit_held_job(&mut self, now: SimTime, job: JobId, master: &mut Master) -> Vec<WqEffect> {
@@ -411,6 +471,7 @@ mod tests {
                 fast_abort_multiplier: None,
                 peer_transfers: false,
                 peer_bandwidth_mbps: 2_000.0,
+                faults: Default::default(),
             },
             FileCatalog::new(),
         )
@@ -590,6 +651,59 @@ mod tests {
         let _ = op.on_task_completed(SimTime::from_secs(20), TaskId(1), "b", measured, &mut m);
         assert_eq!(op.submitted_count(), 4, "held b jobs released");
         assert!(op.held_jobs().is_empty());
+    }
+
+    #[test]
+    fn failed_probe_promotes_a_new_probe() {
+        let mut m = master();
+        let wf = parallel_workflow(5, None);
+        let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
+        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        assert_eq!(op.submitted_count(), 1, "only the probe goes out");
+        let _ = op.on_task_failed(SimTime::from_secs(30), TaskId(0), "align", &mut m);
+        // One held job is promoted as the replacement probe; the rest
+        // stay held behind it.
+        assert_eq!(op.submitted_count(), 2);
+        assert_eq!(op.held_jobs(), vec![("align".to_string(), 3)]);
+        assert_eq!(op.failure_counts(), (1, 0));
+        assert!(!op.all_complete());
+    }
+
+    #[test]
+    fn failure_abandons_dependents_and_resolves_workflow() {
+        // Chain a → b: a fails permanently, b is abandoned, and the
+        // workflow counts as resolved (nothing left to run).
+        let jobs = vec![
+            Job {
+                id: JobId(0),
+                category: "a".into(),
+                command: "a".into(),
+                inputs: vec![],
+                outputs: vec!["x".into()],
+            },
+            Job {
+                id: JobId(1),
+                category: "b".into(),
+                command: "b".into(),
+                inputs: vec!["x".into()],
+                outputs: vec!["y".into()],
+            },
+        ];
+        let wf = Workflow::from_jobs(jobs, vec![]).unwrap();
+        let mut m = master();
+        let mut op = Operator::new(
+            OperatorConfig {
+                warmup: false,
+                ..OperatorConfig::default()
+            },
+            wf,
+            &mut m,
+        );
+        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        assert!(!op.all_complete());
+        let _ = op.on_task_failed(SimTime::from_secs(10), TaskId(0), "a", &mut m);
+        assert_eq!(op.failure_counts(), (1, 1));
+        assert!(op.all_complete(), "failed + abandoned = resolved");
     }
 
     #[test]

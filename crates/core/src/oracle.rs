@@ -46,10 +46,7 @@ impl OraclePolicy {
     }
 
     fn requirement(&self, category: &str, fallback: Resources) -> Resources {
-        self.requirements
-            .get(category)
-            .copied()
-            .unwrap_or(fallback)
+        self.requirements.get(category).copied().unwrap_or(fallback)
     }
 
     /// Pack a list of requirements into worker-unit bins (first-fit).

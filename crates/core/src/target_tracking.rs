@@ -82,8 +82,8 @@ impl ScalingPolicy for TargetTrackingPolicy {
                 (ScaleAction::None, self.cfg.sync_interval)
             };
         }
-        let backlog = ctx.queue.waiting.len()
-            + ctx.held_jobs.iter().map(|(_, n)| *n).sum::<usize>();
+        let backlog =
+            ctx.queue.waiting.len() + ctx.held_jobs.iter().map(|(_, n)| *n).sum::<usize>();
         let live = ctx.live_worker_pods.max(1);
         let metric = backlog as f64 / live as f64;
         let raw = ((live as f64) * metric / self.cfg.target_backlog_per_worker).ceil() as usize;

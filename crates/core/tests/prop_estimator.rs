@@ -11,8 +11,7 @@ fn worker_unit() -> Resources {
 }
 
 fn arb_task_res() -> impl Strategy<Value = Resources> {
-    (1i64..4, 100i64..8_000, 0i64..30_000)
-        .prop_map(|(c, m, d)| Resources::new(c * 1000, m, d))
+    (1i64..4, 100i64..8_000, 0i64..30_000).prop_map(|(c, m, d)| Resources::new(c * 1000, m, d))
 }
 
 fn arb_input() -> impl Strategy<Value = EstimatorInput> {

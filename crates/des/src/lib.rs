@@ -8,7 +8,9 @@
 //! * [`EventQueue`] — a stable (FIFO-within-timestamp) future event list,
 //! * [`SimRng`] — a seeded random source with the distribution samplers the
 //!   model needs (normal via Box–Muller, lognormal, uniform),
-//! * [`trace`] — a bounded in-memory trace ring for debugging simulations.
+//! * [`trace`] — a bounded in-memory trace ring for debugging simulations,
+//! * [`Backoff`] — a capped exponential retry schedule with jitter, shared
+//!   by every layer's transient-fault handling.
 //!
 //! Every component in the stack is written as a *pure state machine*: it
 //! consumes an event at a known `now` and returns follow-up events with
@@ -34,12 +36,14 @@
 //! assert!(latency.as_secs_f64() > 100.0);
 //! ```
 
+pub mod backoff;
 pub mod queue;
 pub mod rng;
 pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use backoff::Backoff;
 pub use queue::{EventQueue, Scheduled};
 pub use rng::SimRng;
 pub use sim::{Simulation, StopReason};

@@ -165,7 +165,7 @@ mod tests {
 
     #[test]
     fn predicate_stops_early() {
-        let mut sim = Simulation::new(0u32, |n: &mut u32, _now, ():()| {
+        let mut sim = Simulation::new(0u32, |n: &mut u32, _now, (): ()| {
             *n += 1;
             vec![(Duration::from_secs(1), ())]
         });
@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn budget_bounds_livelocks() {
-        let mut sim = Simulation::new((), |(), _now, ():()| vec![(Duration::ZERO, ())]);
+        let mut sim = Simulation::new((), |(), _now, (): ()| vec![(Duration::ZERO, ())]);
         sim.schedule_in(Duration::ZERO, ());
         let reason = sim.run_to_quiescence(50);
         assert_eq!(reason, StopReason::Budget);

@@ -99,7 +99,9 @@ impl TraceRing {
         &'a self,
         component: &'a str,
     ) -> impl Iterator<Item = &'a TraceEntry> + 'a {
-        self.entries.iter().filter(move |e| e.component == component)
+        self.entries
+            .iter()
+            .filter(move |e| e.component == component)
     }
 
     /// Count retained entries whose message contains `needle`.
@@ -114,7 +116,13 @@ impl TraceRing {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
-            let _ = writeln!(out, "[{:>10.3}] {:<8} {}", e.at.as_secs_f64(), e.component, e.message);
+            let _ = writeln!(
+                out,
+                "[{:>10.3}] {:<8} {}",
+                e.at.as_secs_f64(),
+                e.component,
+                e.message
+            );
         }
         out
     }

@@ -184,7 +184,11 @@ mod tests {
         ];
         Workflow::from_jobs(
             jobs,
-            vec![profile("split", 10), profile("align", 100), profile("reduce", 20)],
+            vec![
+                profile("split", 10),
+                profile("align", 100),
+                profile("reduce", 20),
+            ],
         )
         .unwrap()
     }
@@ -221,10 +225,7 @@ mod tests {
     #[test]
     fn out_of_order_ids_still_level_correctly() {
         // Producer has a *higher* id than its consumer.
-        let jobs = vec![
-            job(0, "b", &["x"], &["y"]),
-            job(1, "a", &[], &["x"]),
-        ];
+        let jobs = vec![job(0, "b", &["x"], &["y"]), job(1, "a", &[], &["x"])];
         let wf = Workflow::from_jobs(jobs, vec![profile("a", 5), profile("b", 7)]).unwrap();
         let a = analyze(&wf);
         assert_eq!(a.depth, 2);
@@ -233,10 +234,14 @@ mod tests {
 
     #[test]
     fn independent_jobs_are_one_level() {
-        let jobs = (0..5).map(|i| job(i, "p", &[], &[])).enumerate().map(|(i, mut j)| {
-            j.outputs = vec![format!("o{i}")];
-            j
-        }).collect();
+        let jobs = (0..5)
+            .map(|i| job(i, "p", &[], &[]))
+            .enumerate()
+            .map(|(i, mut j)| {
+                j.outputs = vec![format!("o{i}")];
+                j
+            })
+            .collect();
         let wf = Workflow::from_jobs(jobs, vec![profile("p", 10)]).unwrap();
         let a = analyze(&wf);
         assert_eq!(a.depth, 1);

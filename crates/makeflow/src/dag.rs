@@ -44,6 +44,8 @@ pub struct Dag {
     /// job → number of *incomplete* producer jobs it waits on.
     missing_deps: BTreeMap<JobId, usize>,
     completed: usize,
+    failed: usize,
+    abandoned: usize,
 }
 
 impl Dag {
@@ -93,6 +95,8 @@ impl Dag {
             dependents,
             missing_deps: missing,
             completed: 0,
+            failed: 0,
+            abandoned: 0,
         };
         dag.check_acyclic()?;
         Ok(dag)
@@ -181,10 +185,7 @@ impl Dag {
         let mut newly_ready = Vec::new();
         if let Some(deps) = self.dependents.get(&id).cloned() {
             for d in deps {
-                let m = self
-                    .missing_deps
-                    .get_mut(&d)
-                    .expect("dependent tracked");
+                let m = self.missing_deps.get_mut(&d).expect("dependent tracked");
                 *m = m.saturating_sub(1);
                 if *m == 0 {
                     let st = self.states.get_mut(&d).expect("state tracked");
@@ -198,14 +199,71 @@ impl Dag {
         newly_ready
     }
 
+    /// Record a permanent failure; transitively abandons every job that
+    /// (directly or not) consumes one of its outputs, and returns the
+    /// abandoned jobs. The rest of the workflow keeps running — graceful
+    /// degradation rather than workflow abort.
+    pub fn fail_job(&mut self, id: JobId) -> Vec<JobId> {
+        let Some(s) = self.states.get_mut(&id) else {
+            return Vec::new();
+        };
+        if matches!(
+            s,
+            JobState::Complete | JobState::Failed | JobState::Abandoned
+        ) {
+            return Vec::new();
+        }
+        *s = JobState::Failed;
+        self.failed += 1;
+        // BFS over the dependents closure.
+        let mut abandoned = Vec::new();
+        let mut frontier = vec![id];
+        while let Some(j) = frontier.pop() {
+            let Some(deps) = self.dependents.get(&j).cloned() else {
+                continue;
+            };
+            for d in deps {
+                let st = self.states.get_mut(&d).expect("state tracked");
+                if matches!(
+                    st,
+                    JobState::Complete | JobState::Failed | JobState::Abandoned
+                ) {
+                    continue;
+                }
+                *st = JobState::Abandoned;
+                self.abandoned += 1;
+                abandoned.push(d);
+                frontier.push(d);
+            }
+        }
+        abandoned
+    }
+
     /// Number of completed jobs.
     pub fn completed(&self) -> usize {
         self.completed
     }
 
+    /// Number of permanently failed jobs.
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+
+    /// Number of jobs abandoned because a dependency failed.
+    pub fn abandoned(&self) -> usize {
+        self.abandoned
+    }
+
     /// True when every job is complete.
     pub fn all_complete(&self) -> bool {
         self.completed == self.jobs.len()
+    }
+
+    /// True when every job has reached a terminal state — complete,
+    /// failed, or abandoned. This is "the workflow is over" under fault
+    /// injection; without faults it coincides with [`Dag::all_complete`].
+    pub fn all_resolved(&self) -> bool {
+        self.completed + self.failed + self.abandoned == self.jobs.len()
     }
 
     /// Which job produces `file`, if any (workflow sources have none).
@@ -286,11 +344,7 @@ mod tests {
 
     #[test]
     fn duplicate_producer_rejected() {
-        let err = Dag::build(vec![
-            job(0, "a", &[], &["x"]),
-            job(1, "a", &[], &["x"]),
-        ])
-        .unwrap_err();
+        let err = Dag::build(vec![job(0, "a", &[], &["x"]), job(1, "a", &[], &["x"])]).unwrap_err();
         assert_eq!(err, DagError::DuplicateProducer("x".into()));
     }
 
@@ -319,11 +373,57 @@ mod tests {
     }
 
     #[test]
+    fn failure_abandons_transitive_dependents_only() {
+        let mut d = diamond();
+        d.mark_submitted(JobId(0));
+        d.complete_job(JobId(0));
+        // align job-1 fails permanently: reduce (job-3) can never run, but
+        // align job-2 is untouched.
+        let abandoned = d.fail_job(JobId(1));
+        assert_eq!(abandoned, vec![JobId(3)]);
+        assert_eq!(d.state(JobId(1)), Some(JobState::Failed));
+        assert_eq!(d.state(JobId(3)), Some(JobState::Abandoned));
+        assert_eq!(d.state(JobId(2)), Some(JobState::Ready));
+        assert!(!d.all_resolved(), "job-2 still live");
+        d.complete_job(JobId(2));
+        assert!(d.all_resolved());
+        assert!(!d.all_complete());
+        assert_eq!((d.completed(), d.failed(), d.abandoned()), (2, 1, 1));
+    }
+
+    #[test]
+    fn completion_never_revives_an_abandoned_job() {
+        let mut d = diamond();
+        d.complete_job(JobId(0));
+        d.fail_job(JobId(1));
+        // job-3 is abandoned; job-2 completing must not flip it to Ready.
+        d.complete_job(JobId(2));
+        assert_eq!(d.state(JobId(3)), Some(JobState::Abandoned));
+        assert!(d.ready_jobs().is_empty());
+    }
+
+    #[test]
+    fn fail_job_is_idempotent_and_ignores_terminal_jobs() {
+        let mut d = diamond();
+        d.complete_job(JobId(0));
+        assert!(d.fail_job(JobId(0)).is_empty(), "complete job can't fail");
+        d.fail_job(JobId(1));
+        assert!(d.fail_job(JobId(1)).is_empty(), "double fail is a no-op");
+        assert_eq!(d.failed(), 1);
+        assert_eq!(d.abandoned(), 1);
+    }
+
+    #[test]
     fn independent_jobs_all_start_ready() {
-        let d = Dag::build((0..10).map(|i| job(i, "par", &["db"], &[])).map(|mut j| {
-            j.outputs = vec![format!("out.{}", j.id.raw())];
-            j
-        }).collect())
+        let d = Dag::build(
+            (0..10)
+                .map(|i| job(i, "par", &["db"], &[]))
+                .map(|mut j| {
+                    j.outputs = vec![format!("out.{}", j.id.raw())];
+                    j
+                })
+                .collect(),
+        )
         .unwrap();
         assert_eq!(d.ready_jobs().len(), 10);
     }

@@ -38,6 +38,12 @@ pub enum JobState {
     Submitted,
     /// Finished; outputs exist.
     Complete,
+    /// Permanently failed in the execution layer (retry budget exhausted
+    /// under fault injection); outputs will never exist.
+    Failed,
+    /// Will never run: some transitive dependency failed (graceful
+    /// degradation — the rest of the workflow proceeds).
+    Abandoned,
 }
 
 /// One rule of the workflow.

@@ -61,9 +61,9 @@ pub mod parser;
 pub mod workflow;
 
 pub use analysis::{analyze, DagAnalysis};
-pub use emit::{emit, emit_to_file};
 pub use category::{CategoryProfile, SimProfile};
 pub use dag::Dag;
+pub use emit::{emit, emit_to_file};
 pub use job::{Job, JobId, JobState};
 pub use parser::{parse, parse_file, ParseError};
 pub use workflow::{SourceFile, Workflow};

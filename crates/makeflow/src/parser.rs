@@ -77,15 +77,13 @@ impl From<DagError> for ParseError {
     }
 }
 
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 struct CategoryState {
     cores: Option<i64>,
     memory_mb: Option<i64>,
     disk_mb: Option<i64>,
     sim: SimProfile,
 }
-
 
 impl CategoryState {
     fn declared(&self) -> Option<Resources> {
@@ -207,9 +205,7 @@ pub fn parse(text: &str) -> Result<Workflow, ParseError> {
             if colon.is_none_or(|c| eq_pos < c) {
                 let key = trimmed[..eq_pos].trim().to_string();
                 let value = substitute(trimmed[eq_pos + 1..].trim(), &vars);
-                let st = cat_states
-                    .entry(current_category.clone())
-                    .or_default();
+                let st = cat_states.entry(current_category.clone()).or_default();
                 match key.as_str() {
                     "CATEGORY" => {
                         current_category = value.clone();
@@ -237,9 +233,7 @@ pub fn parse(text: &str) -> Result<Workflow, ParseError> {
                     "SIM_ACTUAL_MEMORY" => {
                         st.sim.actual.memory_mb = parse_num(lineno, &value)? as i64
                     }
-                    "SIM_ACTUAL_DISK" => {
-                        st.sim.actual.disk_mb = parse_num(lineno, &value)? as i64
-                    }
+                    "SIM_ACTUAL_DISK" => st.sim.actual.disk_mb = parse_num(lineno, &value)? as i64,
                     _ => {
                         vars.insert(key, value);
                     }
@@ -379,7 +373,10 @@ result: out.0 out.1
     fn duplicate_target_reported_via_dag() {
         let text = "x: a\n\tcmd\nx: b\n\tcmd\n";
         let err = parse(text).unwrap_err();
-        assert!(matches!(err, ParseError::Dag(DagError::DuplicateProducer(_))));
+        assert!(matches!(
+            err,
+            ParseError::Dag(DagError::DuplicateProducer(_))
+        ));
     }
 
     #[test]
@@ -399,7 +396,9 @@ result: out.0 out.1
 
     #[test]
     fn size_directive_populates_source_files() {
-        let wf = parse(".SIZE nt.db 1400 cache\n.SIZE query.fasta 2\nout: nt.db query.fasta\n\tblast\n").unwrap();
+        let wf =
+            parse(".SIZE nt.db 1400 cache\n.SIZE query.fasta 2\nout: nt.db query.fasta\n\tblast\n")
+                .unwrap();
         let db = wf.source_files.get("nt.db").unwrap();
         assert!((db.size_mb - 1400.0).abs() < 1e-9);
         assert!(db.cacheable);

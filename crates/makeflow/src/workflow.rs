@@ -69,10 +69,8 @@ impl Workflow {
         jobs: Vec<Job>,
         profiles: impl IntoIterator<Item = CategoryProfile>,
     ) -> Result<Self, DagError> {
-        let mut categories: BTreeMap<String, CategoryProfile> = profiles
-            .into_iter()
-            .map(|p| (p.name.clone(), p))
-            .collect();
+        let mut categories: BTreeMap<String, CategoryProfile> =
+            profiles.into_iter().map(|p| (p.name.clone(), p)).collect();
         for j in &jobs {
             categories
                 .entry(j.category.clone())
@@ -102,9 +100,21 @@ impl Workflow {
         self.dag.complete_job(job)
     }
 
+    /// Record a permanent failure; returns the transitively abandoned
+    /// dependents (graceful degradation — independent branches continue).
+    pub fn fail(&mut self, job: JobId) -> Vec<JobId> {
+        self.dag.fail_job(job)
+    }
+
     /// True when the whole workflow has finished.
     pub fn all_complete(&self) -> bool {
         self.dag.all_complete()
+    }
+
+    /// True when every job is terminal (complete, failed, or abandoned) —
+    /// the workflow cannot make further progress.
+    pub fn all_resolved(&self) -> bool {
+        self.dag.all_resolved()
     }
 
     /// Number of jobs in the workflow.

@@ -133,7 +133,15 @@ mod tests {
     #[test]
     fn subsamples_to_max_rows() {
         let spans: Vec<TaskSpan> = (0..100)
-            .map(|i| span(&format!("t{i}"), "x", i as f64, i as f64 + 1.0, i as f64 + 5.0))
+            .map(|i| {
+                span(
+                    &format!("t{i}"),
+                    "x",
+                    i as f64,
+                    i as f64 + 1.0,
+                    i as f64 + 5.0,
+                )
+            })
             .collect();
         let g = render_gantt(&spans, 120.0, 40, 10);
         let rows = g.lines().filter(|l| l.contains('|')).count();

@@ -58,12 +58,7 @@ impl Histogram {
             return None;
         }
         let mean = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1) as f64;
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         Some(var.sqrt())
     }
 

@@ -37,5 +37,5 @@ pub use chart::AsciiChart;
 pub use cost::{bill, Bill, PriceBook};
 pub use gantt::{render_gantt, TaskSpan};
 pub use histogram::Histogram;
-pub use recorder::{RunRecorder, RunSummary, Sample};
+pub use recorder::{FaultSummary, RunRecorder, RunSummary, Sample};
 pub use series::TimeSeries;

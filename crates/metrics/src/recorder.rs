@@ -164,6 +164,7 @@ impl RunRecorder {
             avg_egress_mbps: self.egress_mbps.time_weighted_mean(end),
             peak_nodes: self.nodes.max_value(),
             peak_workers: self.workers_connected.max_value(),
+            faults: FaultSummary::default(),
         }
     }
 
@@ -172,11 +173,7 @@ impl RunRecorder {
     /// of one series: `series,time_s,value`).
     pub fn to_csv(&self) -> String {
         let mut out = String::from("series,time_s,value\n");
-        for series in self
-            .all_series()
-            .into_iter()
-            .chain(self.extra.values())
-        {
+        for series in self.all_series().into_iter().chain(self.extra.values()) {
             for (t, v) in series.iter() {
                 out.push_str(&format!("{},{t},{v}\n", series.name));
             }
@@ -228,6 +225,51 @@ pub struct RunSummary {
     pub peak_nodes: f64,
     /// Maximum connected worker count reached.
     pub peak_workers: f64,
+    /// Fault-injection counters for the run (all zero on fault-free
+    /// runs). Filled in by the driver from the substrate fault stats
+    /// after the series summary is built.
+    #[serde(default)]
+    pub faults: FaultSummary,
+}
+
+/// Per-run fault/recovery counters (the resilience columns of the chaos
+/// table). The recorder itself doesn't observe faults — the driver copies
+/// these out of the cluster and Work Queue fault stats at the end of a
+/// run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Execution attempts that were retried (transient + OOM).
+    pub task_retries: u64,
+    /// Attempts killed by injected transient failures.
+    pub transient_failures: u64,
+    /// Attempts killed by the injected OOM killer.
+    pub oom_kills: u64,
+    /// Tasks that exhausted their retry budget (permanently failed).
+    pub permanent_failures: u64,
+    /// Workflow jobs abandoned because a dependency failed.
+    pub jobs_abandoned: u64,
+    /// Speculative duplicates launched for stragglers.
+    pub speculative_launched: u64,
+    /// Races won by the speculative duplicate.
+    pub speculative_wins: u64,
+    /// Core-seconds burned by failed attempts and lost races.
+    pub wasted_core_s: f64,
+    /// Image-pull attempts that failed and backed off.
+    pub image_pull_retries: u64,
+    /// Pods that exhausted their image-pull attempt budget.
+    pub image_pull_gaveups: u64,
+    /// Node crashes injected (targeted + flaky-node MTTF).
+    pub node_faults: u64,
+    /// Mean time from an injected node crash until the worker pool is
+    /// back at its pre-crash size, seconds (0 when never observed).
+    pub mean_recovery_s: f64,
+}
+
+impl FaultSummary {
+    /// True when the run saw no injected fault at all.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultSummary::default()
+    }
 }
 
 impl RunSummary {
@@ -332,6 +374,7 @@ mod tests {
             avg_egress_mbps: 100.0,
             peak_nodes: 20.0,
             peak_workers: 20.0,
+            faults: FaultSummary::default(),
         };
         let row = s.table_row();
         assert!(row.contains("HTA"));

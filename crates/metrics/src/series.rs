@@ -38,10 +38,7 @@ impl TimeSeries {
             time_s,
             self.times.last()
         );
-        let t = self
-            .times
-            .last()
-            .map_or(time_s, |&last| time_s.max(last));
+        let t = self.times.last().map_or(time_s, |&last| time_s.max(last));
         // Collapse consecutive identical values to keep long runs compact,
         // but always retain the first and allow explicit duplicates at the
         // same timestamp (value change at an instant).

@@ -33,7 +33,10 @@ impl std::fmt::Display for PoolError {
             PoolError::Insufficient {
                 requested,
                 available,
-            } => write!(f, "insufficient resources: requested {requested}, available {available}"),
+            } => write!(
+                f,
+                "insufficient resources: requested {requested}, available {available}"
+            ),
             PoolError::DuplicateKey(k) => write!(f, "allocation key {k} already present"),
             PoolError::UnknownKey(k) => write!(f, "allocation key {k} not found"),
         }

@@ -4,8 +4,7 @@ use hta_resources::{ResourcePool, Resources};
 use proptest::prelude::*;
 
 fn arb_resources() -> impl Strategy<Value = Resources> {
-    (0i64..10_000, 0i64..100_000, 0i64..1_000_000)
-        .prop_map(|(c, m, d)| Resources::new(c, m, d))
+    (0i64..10_000, 0i64..100_000, 0i64..1_000_000).prop_map(|(c, m, d)| Resources::new(c, m, d))
 }
 
 proptest! {

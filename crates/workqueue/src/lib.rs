@@ -78,6 +78,9 @@ pub mod worker;
 pub use file::{FileCatalog, FileSpec};
 pub use ids::{FileId, FlowId, TaskId, WorkerId};
 pub use link::FairShareLink;
-pub use master::{CategorySummary, Master, MasterConfig, QueueStatus, WqEffect, WqEvent, WqNotification};
-pub use task::{ExecModel, TaskRecord, TaskSpec, TaskState};
+pub use master::{
+    CategorySummary, FailKind, Master, MasterConfig, QueueStatus, TaskFaultStats, TaskFaults,
+    WqEffect, WqEvent, WqNotification,
+};
+pub use task::{ExecModel, Speculative, TaskRecord, TaskSpec, TaskState};
 pub use worker::{Worker, WorkerState};

@@ -155,11 +155,7 @@ impl FairShareLink {
         if rate <= 0.0 {
             return None;
         }
-        let min_rem = self
-            .flows
-            .values()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let min_rem = self.flows.values().copied().fold(f64::INFINITY, f64::min);
         if !min_rem.is_finite() {
             return None;
         }

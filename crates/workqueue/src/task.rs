@@ -81,6 +81,9 @@ pub enum TaskState {
     Returning(WorkerId),
     /// Done; measured statistics available.
     Complete,
+    /// Permanently failed: the retry budget was exhausted (fault
+    /// injection). Terminal — the task never completes.
+    Failed,
 }
 
 /// Resource-monitor measurement of a finished run.
@@ -90,6 +93,19 @@ pub struct Measured {
     pub peak: Resources,
     /// Wall time from execution start to finish (excludes staging).
     pub wall: Duration,
+}
+
+/// A speculative duplicate execution of a straggling task (fault
+/// injection's straggler mitigation): the duplicate races the original;
+/// whichever finishes first wins and the loser is cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Speculative {
+    /// Worker running the duplicate.
+    pub worker: WorkerId,
+    /// When the duplicate started executing.
+    pub started_at: SimTime,
+    /// The duplicate's sampled execution time.
+    pub duration: Duration,
 }
 
 /// Master-side record of one task.
@@ -112,6 +128,12 @@ pub struct TaskRecord {
     pub measured: Option<Measured>,
     /// Number of times the task was re-queued after a worker was killed.
     pub interruptions: u32,
+    /// Failed execution attempts (transient exits, OOM kills) counted
+    /// against the retry budget.
+    pub retries: u32,
+    /// An in-flight speculative duplicate, if straggler mitigation
+    /// launched one for this run.
+    pub speculative: Option<Speculative>,
     /// Run generation: incremented on every (re)dispatch so stale
     /// execution-finished events from a killed run are ignored.
     pub run_generation: u64,
@@ -129,6 +151,8 @@ impl TaskRecord {
             completed_at: None,
             measured: None,
             interruptions: 0,
+            retries: 0,
+            speculative: None,
             run_generation: 0,
         }
     }
@@ -203,6 +227,7 @@ mod tests {
             (TaskState::Running(WorkerId(2)), Some(WorkerId(2))),
             (TaskState::Returning(WorkerId(3)), Some(WorkerId(3))),
             (TaskState::Complete, None),
+            (TaskState::Failed, None),
         ] {
             let mut r = TaskRecord::new(spec(None), SimTime::ZERO);
             r.state = state;

@@ -49,9 +49,18 @@ fn main() {
     });
     let analysis = analyze(&wf);
     println!("workload: {} jobs", wf.len());
-    println!("  levels (width per dependency level): {:?}", analysis.level_widths);
-    println!("  critical path: {:.0} s", analysis.critical_path.as_secs_f64());
-    println!("  total work:    {:.0} core·s", analysis.total_work.as_secs_f64());
+    println!(
+        "  levels (width per dependency level): {:?}",
+        analysis.level_widths
+    );
+    println!(
+        "  critical path: {:.0} s",
+        analysis.critical_path.as_secs_f64()
+    );
+    println!(
+        "  total work:    {:.0} core·s",
+        analysis.total_work.as_secs_f64()
+    );
     println!("  avg parallelism: {:.1}", analysis.average_parallelism());
 
     // Static plan: a pool sized for the average parallelism (3 one-core
@@ -70,11 +79,7 @@ fn main() {
         "Fixed({pool})   measured: runtime {:>5.0} s, waste {:>6.0} core·s",
         fixed.summary.runtime_s, fixed.summary.accumulated_waste_core_s
     );
-    let hta = run(
-        Box::new(HtaPolicy::new(HtaConfig::default())),
-        true,
-        false,
-    );
+    let hta = run(Box::new(HtaPolicy::new(HtaConfig::default())), true, false);
     println!(
         "HTA        measured: runtime {:>5.0} s, waste {:>6.0} core·s",
         hta.summary.runtime_s, hta.summary.accumulated_waste_core_s

@@ -16,5 +16,9 @@ fn main() {
     });
     let path = "examples/workflows/md.mf";
     emit_to_file(&wf, path).expect("writable repo checkout");
-    println!("wrote {path}: {} jobs, categories {:?}", wf.len(), wf.dag.categories());
+    println!(
+        "wrote {path}: {} jobs, categories {:?}",
+        wf.len(),
+        wf.dag.categories()
+    );
 }

@@ -46,11 +46,7 @@ fn run(label: &str, policy: Box<dyn ScalingPolicy>, hta: bool) {
 
 fn main() {
     println!("200 I/O-bound dd tasks (CPU rarely over 20%):\n");
-    run(
-        "HPA(20% CPU)",
-        Box::new(HpaPolicy::new(0.20, 5, 20)),
-        false,
-    );
+    run("HPA(20% CPU)", Box::new(HpaPolicy::new(0.20, 5, 20)), false);
     run("HTA", Box::new(HtaPolicy::new(HtaConfig::default())), true);
     println!(
         "\nThe HPA pool never grows — per-pod CPU stays under every target,\n\

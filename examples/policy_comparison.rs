@@ -14,11 +14,17 @@ fn policies(declared_wf: &hta::makeflow::Workflow) -> Vec<(bool, Box<dyn Scaling
     // (is_hta, policy) — HTA learns resources via warm-up probing, the
     // others are given the declared requirements.
     vec![
-        (true, Box::new(HtaPolicy::new(HtaConfig::default())) as Box<dyn ScalingPolicy>),
+        (
+            true,
+            Box::new(HtaPolicy::new(HtaConfig::default())) as Box<dyn ScalingPolicy>,
+        ),
         (false, Box::new(HpaPolicy::new(0.20, 3, 20))),
         (false, Box::new(HpaPolicy::new(0.50, 3, 20))),
         (false, Box::new(FixedPolicy::new(20))),
-        (false, Box::new(TargetTrackingPolicy::new(TargetTrackingConfig::default()))),
+        (
+            false,
+            Box::new(TargetTrackingPolicy::new(TargetTrackingConfig::default())),
+        ),
         (false, Box::new(OraclePolicy::from_workflow(declared_wf))),
     ]
 }

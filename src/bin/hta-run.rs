@@ -12,6 +12,13 @@
 //!   --initial <n>          worker pods created at start        [3]
 //!   --seed <n>             simulation seed                     [42]
 //!   --fail-at <s,s,...>    inject node crashes at these times
+//!   --fail-node <s,s,...>  alias for --fail-at
+//!   --task-fail-rate <p>   transient task-failure probability  [0]
+//!   --oom-rate <p>         OOM-kill probability per attempt    [0]
+//!   --pull-fail-rate <p>   image-pull failure probability      [0]
+//!   --preempt-mean <s>     spot preemption mean lifetime (s)
+//!   --max-retries <n>      per-task retry budget               [3]
+//!   --straggler-factor <f> speculative re-execution threshold
 //!   --csv <path>           write the full metric series as CSV
 //!   --json <path>          write the run summary as JSON
 //!   --chart                print supply/demand ASCII chart
@@ -31,7 +38,9 @@ use std::process::ExitCode;
 use hta::cluster::ClusterConfig;
 use hta::core::driver::{DriverConfig, SystemDriver};
 use hta::core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
-use hta::core::{OperatorConfig, OraclePolicy, TargetTrackingConfig, TargetTrackingPolicy};
+use hta::core::{
+    FaultPlan, OperatorConfig, OraclePolicy, TargetTrackingConfig, TargetTrackingPolicy,
+};
 use hta::makeflow;
 use hta::metrics::AsciiChart;
 use hta::prelude::*;
@@ -77,6 +86,12 @@ struct Options {
     initial: usize,
     seed: u64,
     fail_at: Vec<u64>,
+    task_fail_rate: f64,
+    oom_rate: f64,
+    pull_fail_rate: f64,
+    preempt_mean: Option<u64>,
+    max_retries: u32,
+    straggler_factor: Option<f64>,
     csv: Option<String>,
     json: Option<String>,
     chart: bool,
@@ -88,8 +103,9 @@ struct Options {
 fn usage() -> &'static str {
     "usage: hta-run <workflow.mf | demo> [--policy hta|hpa:<target%>|fixed:<n>|oracle|tracking] \
      [--max-workers N] [--nodes MIN:MAX] [--worker-cores N] [--initial N] [--seed N] \
-     [--fail-at s,s,...] [--csv path] [--json path] [--chart] [--gantt] [--trace]\n\
-     [--analyze-only]"
+     [--fail-at s,s,...] [--fail-node s,s,...] [--task-fail-rate P] [--oom-rate P] \
+     [--pull-fail-rate P] [--preempt-mean S] [--max-retries N] [--straggler-factor F] \
+     [--csv path] [--json path] [--chart] [--gantt] [--trace] [--analyze-only]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -105,6 +121,12 @@ fn parse_args() -> Result<Options, String> {
         initial: 3,
         seed: 42,
         fail_at: Vec::new(),
+        task_fail_rate: 0.0,
+        oom_rate: 0.0,
+        pull_fail_rate: 0.0,
+        preempt_mean: None,
+        max_retries: 3,
+        straggler_factor: None,
         csv: None,
         json: None,
         chart: false,
@@ -147,12 +169,46 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
-            "--fail-at" => {
-                let v = need(&mut args, "--fail-at")?;
+            "--fail-at" | "--fail-node" => {
+                let v = need(&mut args, &a)?;
                 for part in v.split(',') {
                     opt.fail_at
-                        .push(part.trim().parse().map_err(|e| format!("--fail-at: {e}"))?);
+                        .push(part.trim().parse().map_err(|e| format!("{a}: {e}"))?);
                 }
+            }
+            "--task-fail-rate" => {
+                opt.task_fail_rate = need(&mut args, "--task-fail-rate")?
+                    .parse()
+                    .map_err(|e| format!("--task-fail-rate: {e}"))?
+            }
+            "--oom-rate" => {
+                opt.oom_rate = need(&mut args, "--oom-rate")?
+                    .parse()
+                    .map_err(|e| format!("--oom-rate: {e}"))?
+            }
+            "--pull-fail-rate" => {
+                opt.pull_fail_rate = need(&mut args, "--pull-fail-rate")?
+                    .parse()
+                    .map_err(|e| format!("--pull-fail-rate: {e}"))?
+            }
+            "--preempt-mean" => {
+                opt.preempt_mean = Some(
+                    need(&mut args, "--preempt-mean")?
+                        .parse()
+                        .map_err(|e| format!("--preempt-mean: {e}"))?,
+                )
+            }
+            "--max-retries" => {
+                opt.max_retries = need(&mut args, "--max-retries")?
+                    .parse()
+                    .map_err(|e| format!("--max-retries: {e}"))?
+            }
+            "--straggler-factor" => {
+                opt.straggler_factor = Some(
+                    need(&mut args, "--straggler-factor")?
+                        .parse()
+                        .map_err(|e| format!("--straggler-factor: {e}"))?,
+                )
             }
             "--csv" => opt.csv = Some(need(&mut args, "--csv")?),
             "--json" => opt.json = Some(need(&mut args, "--json")?),
@@ -266,7 +322,19 @@ fn main() -> ExitCode {
             min_nodes: opt.min_nodes,
             max_nodes: opt.max_nodes,
             seed: opt.seed,
+            preemption_mean_lifetime: opt.preempt_mean.map(Duration::from_secs),
             ..ClusterConfig::default()
+        },
+        // Node crash times go through `node_failures` directly; the plan
+        // carries the probabilistic fault rates.
+        faults: FaultPlan {
+            seed: opt.seed,
+            image_pull_fail_rate: opt.pull_fail_rate,
+            task_transient_rate: opt.task_fail_rate,
+            task_oom_rate: opt.oom_rate,
+            straggler_factor: opt.straggler_factor,
+            max_task_retries: opt.max_retries,
+            ..FaultPlan::default()
         },
         operator: OperatorConfig {
             warmup: is_hta,
@@ -302,11 +370,42 @@ fn main() -> ExitCode {
         "avg CPU utilization:  {:>10.1} %",
         result.summary.avg_cpu_utilization * 100.0
     );
-    println!("peak worker pods:     {:>10.0}", result.summary.peak_workers);
+    println!(
+        "peak worker pods:     {:>10.0}",
+        result.summary.peak_workers
+    );
     println!("peak nodes:           {:>10.0}", result.summary.peak_nodes);
     println!("interrupted tasks:    {:>10}", result.interrupted_tasks);
     println!("node failures:        {:>10}", result.failures_injected);
     println!("simulation events:    {:>10}", result.events);
+    let f = &result.summary.faults;
+    if !f.is_clean() || result.jobs_failed > 0 {
+        println!("--- failures & retries ---");
+        println!(
+            "task retries:         {:>10} ({} transient, {} oom)",
+            f.task_retries, f.transient_failures, f.oom_kills
+        );
+        println!(
+            "permanent failures:   {:>10} ({} jobs abandoned)",
+            f.permanent_failures, f.jobs_abandoned
+        );
+        if f.speculative_launched > 0 {
+            println!(
+                "speculative dups:     {:>10} launched, {} won",
+                f.speculative_launched, f.speculative_wins
+            );
+        }
+        if f.image_pull_retries > 0 {
+            println!(
+                "image-pull retries:   {:>10} ({} gave up)",
+                f.image_pull_retries, f.image_pull_gaveups
+            );
+        }
+        println!("wasted work:          {:>10.0} core·s", f.wasted_core_s);
+        if f.mean_recovery_s > 0.0 {
+            println!("mean recovery:        {:>10.0} s", f.mean_recovery_s);
+        }
+    }
     if result.timed_out {
         eprintln!("WARNING: run hit the simulation time cut-off");
     }
@@ -324,7 +423,10 @@ fn main() -> ExitCode {
         println!("\n{}", chart.render());
     }
     if opt.trace {
-        println!("\n--- trace (most recent {} entries) ---", result.trace.len());
+        println!(
+            "\n--- trace (most recent {} entries) ---",
+            result.trace.len()
+        );
         print!("{}", result.trace.render());
     }
     if opt.gantt {

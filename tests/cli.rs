@@ -12,7 +12,11 @@ fn hta_run(args: &[&str]) -> std::process::Output {
 #[test]
 fn demo_runs_to_completion() {
     let out = hta_run(&["demo"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("policy: HTA"));
     assert!(stdout.contains("makespan:"));
@@ -73,14 +77,21 @@ fn json_and_csv_exports_write_files() {
     assert!(json_text.contains("\"runtime_s\""));
     let csv_text = std::fs::read_to_string(&csv).unwrap();
     assert!(csv_text.starts_with("series,time_s,value"));
-    assert!(csv_text.contains("running:align"), "per-category series exported");
+    assert!(
+        csv_text.contains("running:align"),
+        "per-category series exported"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
 fn workflow_files_in_repo_run() {
     let out = hta_run(&["examples/workflows/blast.mf", "--seed", "7"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("workflow: 26 jobs"));
 }
@@ -91,6 +102,92 @@ fn failure_injection_flag_is_reported() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("node failures:"));
+}
+
+#[test]
+fn fault_knobs_print_failure_summary() {
+    let out = hta_run(&[
+        "demo",
+        "--policy",
+        "fixed:3",
+        "--task-fail-rate",
+        "0.9",
+        "--max-retries",
+        "8",
+        "--seed",
+        "9",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("failures & retries"), "{stdout}");
+    assert!(stdout.contains("task retries:"), "{stdout}");
+    assert!(stdout.contains("wasted work:"), "{stdout}");
+}
+
+#[test]
+fn fail_node_alias_and_oom_knob_are_accepted() {
+    let out = hta_run(&[
+        "demo",
+        "--policy",
+        "fixed:3",
+        "--fail-node",
+        "100,200",
+        "--oom-rate",
+        "0.05",
+        "--pull-fail-rate",
+        "0.1",
+        "--straggler-factor",
+        "4.0",
+        "--preempt-mean",
+        "100000",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("node failures:"), "{stdout}");
+}
+
+#[test]
+fn same_seed_fault_runs_are_identical() {
+    let args = [
+        "demo",
+        "--policy",
+        "fixed:3",
+        "--task-fail-rate",
+        "0.5",
+        "--pull-fail-rate",
+        "0.2",
+        "--seed",
+        "1234",
+    ];
+    let a = hta_run(&args);
+    let b = hta_run(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout),
+        "seeded fault injection must be deterministic"
+    );
+}
+
+#[test]
+fn bad_fault_knob_values_fail_cleanly() {
+    for args in [
+        vec!["demo", "--task-fail-rate", "abc"],
+        vec!["demo", "--max-retries", "-1"],
+        vec!["demo", "--fail-node", "1,x"],
+    ] {
+        let out = hta_run(&args);
+        assert!(!out.status.success(), "args {args:?} should fail");
+        assert!(!out.stderr.is_empty());
+    }
 }
 
 #[test]

@@ -5,7 +5,7 @@
 use hta::cluster::{ClusterConfig, MachineType};
 use hta::core::driver::{DriverConfig, RunResult, SystemDriver};
 use hta::core::policy::{HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
-use hta::core::OperatorConfig;
+use hta::core::{FaultPlan, OperatorConfig};
 use hta::prelude::*;
 use hta::workloads::{blast_multistage, iobound, IoBoundParams, MultistageParams};
 
@@ -107,6 +107,38 @@ fn different_seeds_change_latencies_but_not_correctness() {
     // But the outcomes stay in the same regime (makespans within 25 %).
     let ratio = a.makespan_s / b.makespan_s;
     assert!((0.75..1.34).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn fault_injection_runs_are_bitwise_identical_per_seed() {
+    // The whole fault stack — node crash, pull failures, transient exits,
+    // OOM kills — drawn from seeded RNG streams: two identical configs
+    // must produce identical runs down to the task spans. (The node-crash
+    // victim is deterministic too: the driver walks an ordered pod map.)
+    let go = || {
+        let mut c = cfg(5, true);
+        c.faults = FaultPlan {
+            seed: 5,
+            node_crash_times: vec![Duration::from_secs(900)],
+            image_pull_fail_rate: 0.15,
+            task_transient_rate: 0.05,
+            task_oom_rate: 0.01,
+            max_task_retries: 5,
+            ..FaultPlan::default()
+        };
+        SystemDriver::new(
+            c,
+            multistage(false),
+            Box::new(HtaPolicy::new(HtaConfig::default())),
+        )
+        .run()
+    };
+    let (a, b) = (go(), go());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.summary, b.summary, "fault counters must match too");
+    assert_eq!(a.task_spans, b.task_spans);
+    assert!(!a.summary.faults.is_clean(), "chaos must actually fire");
+    assert!(!a.timed_out);
 }
 
 #[test]

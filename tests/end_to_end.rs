@@ -7,7 +7,9 @@ use hta::core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPol
 use hta::core::OperatorConfig;
 use hta::makeflow;
 use hta::prelude::*;
-use hta::workloads::{blast_multistage, blast_single_stage, iobound, BlastParams, IoBoundParams, MultistageParams};
+use hta::workloads::{
+    blast_multistage, blast_single_stage, iobound, BlastParams, IoBoundParams, MultistageParams,
+};
 
 fn small_cluster(max_nodes: usize) -> ClusterConfig {
     ClusterConfig {
@@ -78,7 +80,11 @@ fn hta_scales_up_then_cleans_up() {
         Box::new(HtaPolicy::new(HtaConfig::default())),
     );
     // Backlog forced growth beyond the initial pool…
-    assert!(r.summary.peak_workers > 2.0, "peak {}", r.summary.peak_workers);
+    assert!(
+        r.summary.peak_workers > 2.0,
+        "peak {}",
+        r.summary.peak_workers
+    );
     // …and the clean-up stage drained everything (supply back to 0).
     assert_eq!(r.recorder.supply.last_value(), Some(0.0));
 }
@@ -87,12 +93,14 @@ fn hta_scales_up_then_cleans_up() {
 fn hpa_is_blind_to_iobound_but_hta_is_not() {
     let hpa = run(
         driver_cfg(false, 10),
-        iobound(&IoBoundParams {
-            tasks: 30,
-            wall: Duration::from_secs(120),
-            ..IoBoundParams::default()
-        }
-        .declared()),
+        iobound(
+            &IoBoundParams {
+                tasks: 30,
+                wall: Duration::from_secs(120),
+                ..IoBoundParams::default()
+            }
+            .declared(),
+        ),
         Box::new(HpaPolicy::new(0.2, 2, 10)),
     );
     let hta = run(
@@ -152,7 +160,11 @@ fn hpa_interrupts_tasks_hta_does_not() {
     // A workload with a long idle tail after a burst forces the HPA to
     // downscale while tasks still run on some workers.
     let wf = small_blast(40, true);
-    let hpa = run(driver_cfg(false, 10), wf, Box::new(HpaPolicy::new(0.5, 2, 10)));
+    let hpa = run(
+        driver_cfg(false, 10),
+        wf,
+        Box::new(HpaPolicy::new(0.5, 2, 10)),
+    );
     let hta = run(
         driver_cfg(true, 10),
         small_blast(40, false),
@@ -230,9 +242,7 @@ fn init_time_is_measured_during_scale_up() {
         assert!((10.0..250.0).contains(&s), "init latency {s}");
     }
     assert!(
-        r.init_measurements
-            .iter()
-            .any(|d| d.as_secs_f64() > 120.0),
+        r.init_measurements.iter().any(|d| d.as_secs_f64() > 120.0),
         "at least one full-cycle measurement"
     );
 }
@@ -263,7 +273,6 @@ fn metrics_are_internally_consistent() {
         assert!((d - (i + s)).abs() < 1e-9, "demand identity at {t}");
     }
 }
-
 
 #[test]
 fn safety_cutoff_reports_timeout() {

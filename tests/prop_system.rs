@@ -5,7 +5,7 @@
 use hta::cluster::{ClusterConfig, MachineType};
 use hta::core::driver::{DriverConfig, SystemDriver};
 use hta::core::policy::{HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
-use hta::core::OperatorConfig;
+use hta::core::{FaultPlan, OperatorConfig};
 use hta::makeflow::{CategoryProfile, Job, JobId, SimProfile, Workflow};
 use hta::prelude::*;
 use proptest::prelude::*;
@@ -136,5 +136,52 @@ proptest! {
         prop_assert!(!r.timed_out);
         prop_assert_eq!(r.task_spans.len(), total_jobs);
         prop_assert!(r.task_spans.iter().all(|s| s.completed_s.is_some()));
+    }
+
+    /// Exactly-once accounting under a random seeded `FaultPlan`: the run
+    /// resolves without timeout, every submitted task terminates exactly
+    /// once (one span each, all resolved), permanently failed tasks match
+    /// the failed-job count, and abandoned jobs are exactly the ones that
+    /// never got a task.
+    #[test]
+    fn fault_plans_preserve_exactly_once_accounting(
+        widths in proptest::collection::vec(1usize..5, 1..3),
+        picks in proptest::collection::vec(0usize..50, 8..32),
+        seed in 0u64..1000,
+        transient in 0.0f64..0.2,
+        oom in 0.0f64..0.05,
+        pull in 0.0f64..0.2,
+        crash_at in 200u64..2_000,
+    ) {
+        let wf = build_workflow(&widths, &picks, &[60]);
+        let total_jobs = wf.len();
+        let mut cfg = driver_cfg(seed, false);
+        cfg.faults = FaultPlan {
+            seed,
+            node_crash_times: vec![Duration::from_secs(crash_at)],
+            image_pull_fail_rate: pull,
+            task_transient_rate: transient,
+            task_oom_rate: oom,
+            straggler_factor: Some(3.0),
+            max_task_retries: 4,
+            ..FaultPlan::default()
+        };
+        let r = SystemDriver::new(
+            cfg,
+            wf,
+            Box::new(HpaPolicy::new(0.3, 2, 8)) as Box<dyn ScalingPolicy>,
+        )
+        .run();
+        prop_assert!(!r.timed_out, "timed out with widths {widths:?} seed {seed}");
+        // One span per submitted task; abandoned jobs were never submitted.
+        prop_assert_eq!(r.task_spans.len(), total_jobs - r.jobs_abandoned);
+        prop_assert!(r.task_spans.iter().all(|s| s.completed_s.is_some()),
+            "every submitted task must terminate");
+        // Terminal accounting: completions + failures + abandons = jobs.
+        let completed_ok = r.task_spans.len() - r.jobs_failed;
+        prop_assert_eq!(completed_ok + r.jobs_failed + r.jobs_abandoned, total_jobs);
+        prop_assert_eq!(r.summary.faults.permanent_failures, r.jobs_failed as u64);
+        // The pool still drains to zero at the end.
+        prop_assert_eq!(r.recorder.supply.last_value(), Some(0.0));
     }
 }

@@ -1,0 +1,175 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Supports the `slice.par_iter().map(f).collect::<Vec<_>>()` shape the
+//! bench binaries use. Work is executed on `std::thread::scope` threads
+//! (one chunk per available core), and results are returned in input order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Traits to bring `par_iter` into scope.
+    pub use super::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// `par_iter()` on slices (and anything derefing to a slice, e.g. `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Create a parallel iterator borrowing the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Item produced by this iterator.
+    type Item: Send;
+
+    /// Evaluate the pipeline for every input index, in parallel.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Apply `f` to every element.
+    fn map<R, F>(self, f: F) -> Mapped<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Mapped { inner: self, f }
+    }
+
+    /// Collect into a container (only `Vec` targets are supported).
+    fn collect<C: FromParallel<Self::Item>>(self) -> C {
+        C::from_ordered(self.run())
+    }
+}
+
+/// Composition of an inner parallel iterator and a map function.
+pub struct Mapped<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+impl<'a, T, F, R> ParallelIterator for Mapped<ParIter<'a, T>, F>
+where
+    T: Sync + 'a,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn run(self) -> Vec<R> {
+        parallel_map(self.inner.items, &self.f)
+    }
+}
+
+impl<'a, T, F1, R1, F2, R2> ParallelIterator for Mapped<Mapped<ParIter<'a, T>, F1>, F2>
+where
+    T: Sync + 'a,
+    F1: Fn(&'a T) -> R1 + Sync,
+    R1: Send,
+    F2: Fn(R1) -> R2 + Sync,
+    R2: Send,
+{
+    type Item = R2;
+
+    fn run(self) -> Vec<R2> {
+        let inner_f = self.inner.f;
+        let outer_f = self.f;
+        parallel_map(self.inner.inner.items, &|t| outer_f(inner_f(t)))
+    }
+}
+
+/// Run `f` over every element of `items` on scoped worker threads,
+/// returning results in input order.
+fn parallel_map<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                *slots[i].lock().unwrap() = Some(f(&items[i]));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker produced result"))
+        .collect()
+}
+
+/// Ordered collection target for [`ParallelIterator::collect`].
+pub trait FromParallel<T> {
+    /// Assemble from results already in input order.
+    fn from_ordered(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u64> = Vec::new();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+}

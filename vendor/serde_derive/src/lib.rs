@@ -1,0 +1,430 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! in-repo `serde` stand-in.
+//!
+//! No `syn`/`quote` (no registry access), so the item is parsed directly
+//! from the `proc_macro` token stream. Supported shapes — the ones this
+//! workspace uses:
+//!
+//! - structs with named fields (honoring `#[serde(default)]` per field)
+//! - tuple structs (newtype and multi-field)
+//! - unit structs
+//! - enums with unit and tuple variants
+//!
+//! Generic types and struct-variant enums are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`, including doc comments); return whether any
+/// of them was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        if args.stream().to_string().contains("default") {
+                            has_default = true;
+                        }
+                    }
+                }
+            }
+            *pos += 2;
+        } else {
+            break;
+        }
+    }
+    has_default
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(super)`, ...
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advance past the current element up to (not including) a comma at
+/// angle-bracket depth zero. Groups count as single trees.
+fn skip_to_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle <= 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Count comma-separated elements in a group body (tuple fields).
+fn count_elems(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < body.len() {
+        count += 1;
+        skip_to_comma(body, &mut pos);
+        pos += 1; // the comma itself
+    }
+    count
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        let has_default = skip_attrs(body, &mut pos);
+        skip_vis(body, &mut pos);
+        let name = match body.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in fields: {other:?}")),
+        };
+        pos += 1;
+        match body.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_to_comma(body, &mut pos);
+        pos += 1;
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        skip_attrs(body, &mut pos);
+        let name = match body.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("unexpected token in enum: {other:?}")),
+        };
+        pos += 1;
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = body.get(pos) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    arity = count_elems(&inner);
+                    pos += 1;
+                }
+                Delimiter::Brace => {
+                    return Err(format!("struct variant `{name}` is not supported"));
+                }
+                _ => {}
+            }
+        }
+        skip_to_comma(body, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the offline serde derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&body)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_elems(&body),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Enum {
+                    name,
+                    variants: parse_variants(&body)?,
+                })
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const V: &str = "::serde::__private::Value";
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "pairs.push(({n:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> {V} {{\n\
+                 let mut pairs: ::std::vec::Vec<(::std::string::String, {V})> = \
+                 ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 {V}::Obj(pairs)\n}}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> {V} {{ ::serde::Serialize::to_value(&self.0) }}\n}}\n"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> {V} {{ {V}::Arr(vec![{}]) }}\n}}\n",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> {V} {{ {V}::Null }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v.arity {
+                    0 => format!(
+                        "{name}::{vn} => {V}::Str({vn:?}.to_string()),\n",
+                        vn = v.name
+                    ),
+                    1 => format!(
+                        "{name}::{vn}(x0) => {V}::Obj(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::to_value(x0))]),\n",
+                        vn = v.name
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{vn}({b}) => {V}::Obj(vec![({vn:?}.to_string(), \
+                             {V}::Arr(vec![{vs}]))]),\n",
+                            vn = v.name,
+                            b = binds.join(", "),
+                            vs = vals.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> {V} {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = |name: &str, body: &str| {
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &{V}) -> \
+             ::std::result::Result<Self, ::serde::__private::Error> {{\n{body}\n}}\n}}\n"
+        )
+    };
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.has_default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(\
+                             ::serde::__private::missing_field({name:?}, {n:?}))",
+                            n = f.name
+                        )
+                    };
+                    format!(
+                        "{n}: match ::serde::__private::get(v, {n:?}) {{\n\
+                         ::std::option::Option::Some(x) => \
+                         ::serde::Deserialize::from_value(x)?,\n\
+                         ::std::option::Option::None => {missing},\n}},\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            header(
+                name,
+                &format!("::std::result::Result::Ok({name} {{\n{inits}}})"),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => header(
+            name,
+            &format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            header(
+                name,
+                &format!(
+                    "match v {{\n\
+                     {V}::Arr(items) if items.len() == {arity} => \
+                     ::std::result::Result::Ok({name}({elems})),\n\
+                     _ => ::std::result::Result::Err(::serde::__private::bad_enum({name:?})),\n}}",
+                    elems = elems.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => header(name, &format!("::std::result::Result::Ok({name})")),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v.arity {
+                    0 => format!(
+                        "{V}::Str(s) if s == {vn:?} => \
+                         ::std::result::Result::Ok({name}::{vn}),\n",
+                        vn = v.name
+                    ),
+                    1 => format!(
+                        "{V}::Obj(pairs) if pairs.len() == 1 && pairs[0].0 == {vn:?} => \
+                         ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(&pairs[0].1)?)),\n",
+                        vn = v.name
+                    ),
+                    n => {
+                        let elems: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{V}::Obj(pairs) if pairs.len() == 1 && pairs[0].0 == {vn:?} => \
+                             match &pairs[0].1 {{\n\
+                             {V}::Arr(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({es})),\n\
+                             _ => ::std::result::Result::Err(\
+                             ::serde::__private::bad_enum({name:?})),\n}},\n",
+                            vn = v.name,
+                            es = elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            header(
+                name,
+                &format!(
+                    "match v {{\n{arms}\
+                     _ => ::std::result::Result::Err(::serde::__private::bad_enum({name:?})),\n}}"
+                ),
+            )
+        }
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}

@@ -1,0 +1,57 @@
+//! Minimal offline stand-in for `serde_json`, layered over the in-repo
+//! `serde` stand-in: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`to_value`], [`from_value`], and the shared [`Value`] / [`Error`] types.
+
+pub use serde::json::{parse, Error, Value};
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().print_compact(&mut out);
+    Ok(out)
+}
+
+/// Serialize to a pretty (two-space indented) JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().print_pretty(&mut out, 0);
+    Ok(out)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse(s)?)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Convert a [`Value`] tree into a deserializable type.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn primitives_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let s = super::to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<u64> = super::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn map_round_trips() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        m.insert("b".to_string(), -2.0f64);
+        let s = super::to_string_pretty(&m).unwrap();
+        let back: BTreeMap<String, f64> = super::from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+}
