@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use hta_cluster::{Cluster, ClusterConfig, MachineType, PodSpec};
 use hta_core::{estimate, EstimatorInput, RunningTask, WaitingTask};
-use hta_des::{Duration, EventQueue, SimRng, SimTime};
+use hta_des::{Duration, EffectSink, EventQueue, SimRng, SimTime};
 use hta_resources::Resources;
 use hta_workqueue::master::{Master, MasterConfig};
 use hta_workqueue::task::{ExecModel, TaskSpec};
@@ -148,15 +148,19 @@ fn bench_master_dispatch(c: &mut Criterion) {
                     let db = catalog.register("db", 200.0, true);
                     let mut m = Master::new(MasterConfig::default(), catalog);
                     let mut q = EventQueue::new();
+                    let mut fx = EffectSink::new();
                     for _ in 0..workers {
-                        let (_, fx) =
-                            m.worker_connect(SimTime::ZERO, Resources::cores(3, 12_000, 50_000));
-                        for (d, e) in fx {
+                        m.worker_connect(
+                            SimTime::ZERO,
+                            Resources::cores(3, 12_000, 50_000),
+                            &mut fx,
+                        );
+                        for (d, e) in fx.drain() {
                             q.schedule_in(d, e);
                         }
                     }
                     for i in 0..tasks {
-                        let fx = m.submit(
+                        m.submit(
                             SimTime::ZERO,
                             TaskSpec {
                                 id: TaskId(i as u64),
@@ -167,13 +171,15 @@ fn bench_master_dispatch(c: &mut Criterion) {
                                 actual: Resources::cores(1, 2_500, 4_000),
                                 exec: ExecModel::cpu_bound(Duration::from_secs(60)),
                             },
+                            &mut fx,
                         );
-                        for (d, e) in fx {
+                        for (d, e) in fx.drain() {
                             q.schedule_in(d, e);
                         }
                     }
                     while let Some((now, ev)) = q.pop() {
-                        for (d, e) in m.handle(now, ev) {
+                        m.handle(now, ev, &mut fx);
+                        for (d, e) in fx.drain() {
                             q.schedule_in(d, e);
                         }
                         if m.all_complete() {

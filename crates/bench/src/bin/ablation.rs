@@ -13,6 +13,7 @@
 
 use hta_bench::results::{default_dir, save, FigureResult};
 use hta_bench::{ablation_run, Ablation, ReportTable};
+use rayon::prelude::*;
 
 fn main() {
     println!("=== Ablations: HTA design choices on the multistage workload ===\n");
@@ -43,9 +44,19 @@ fn main() {
             "peak_workers",
         ],
     );
+    // Independent simulations, one seed per variant (42 + i): run in
+    // parallel, report in variant order.
+    let jobs: Vec<(Ablation, u64)> = variants
+        .iter()
+        .enumerate()
+        .map(|(i, (_, v))| (*v, 42 + i as u64))
+        .collect();
+    let runs: Vec<_> = jobs
+        .par_iter()
+        .map(|&(v, seed)| ablation_run(v, seed))
+        .collect();
     let mut full_runtime = None;
-    for (i, (label, v)) in variants.iter().enumerate() {
-        let r = ablation_run(*v, 42 + i as u64);
+    for ((label, v), r) in variants.iter().zip(runs) {
         if *v == Ablation::Full {
             full_runtime = Some(r.summary.runtime_s);
         }

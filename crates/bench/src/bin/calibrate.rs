@@ -5,6 +5,7 @@
 use hta_cluster::ClusterConfig;
 use hta_des::SimRng;
 use hta_workqueue::FairShareLink;
+use rayon::prelude::*;
 
 fn row(name: &str, measured: f64, paper: f64) {
     println!(
@@ -51,16 +52,25 @@ fn main() {
         452.138,
     );
 
-    // Sampled latency distribution sanity (10k draws).
-    let mut rng = SimRng::seed_from_u64(99);
-    let n = 10_000;
-    let samples: Vec<f64> = (0..n)
-        .map(|_| {
-            rng.normal_duration(cfg.node_provision_mean, cfg.node_provision_sd)
-                .as_secs_f64()
+    // Sampled latency distribution sanity (10k draws). Drawn in parallel
+    // chunks, each from its own seed (99 + chunk), so the result does not
+    // depend on thread scheduling.
+    let per_chunk = 1_000usize;
+    let chunk_seeds: Vec<u64> = (0..10).map(|c| 99 + c).collect();
+    let n = chunk_seeds.len() * per_chunk;
+    let sums: Vec<f64> = chunk_seeds
+        .par_iter()
+        .map(|&seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            (0..per_chunk)
+                .map(|_| {
+                    rng.normal_duration(cfg.node_provision_mean, cfg.node_provision_sd)
+                        .as_secs_f64()
+                })
+                .sum()
         })
         .collect();
-    let mean = samples.iter().sum::<f64>() / n as f64;
+    let mean = sums.iter().sum::<f64>() / n as f64;
     row(
         "sampled reservation mean (s)",
         mean,

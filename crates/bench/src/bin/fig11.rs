@@ -14,6 +14,7 @@
 
 use hta_bench::results::{default_dir, save, FigureResult};
 use hta_bench::{fig11_run, print_series_chart, PolicyKind, ReportTable};
+use rayon::prelude::*;
 
 fn main() {
     println!("=== Fig. 11: I/O-bound workload (200 dd tasks) ===\n");
@@ -40,9 +41,19 @@ fn main() {
         "Fig. 11c — workflow performance summary",
         &["runtime_s", "waste_core_s", "shortage_core_s"],
     );
+    // Independent simulations, one seed per config (42 + i): run in
+    // parallel, report in config order.
+    let jobs: Vec<(PolicyKind, u64)> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, (_, kind, _))| (*kind, 42 + i as u64))
+        .collect();
+    let runs: Vec<_> = jobs
+        .par_iter()
+        .map(|&(kind, seed)| fig11_run(kind, seed))
+        .collect();
     let mut results = Vec::new();
-    for (i, (label, kind, (p_rt, p_w, p_s))) in configs.iter().enumerate() {
-        let r = fig11_run(*kind, 42 + i as u64);
+    for ((label, _, (p_rt, p_w, p_s)), r) in configs.iter().zip(runs) {
         let measured = vec![
             r.summary.runtime_s,
             r.summary.accumulated_waste_core_s,

@@ -1,0 +1,131 @@
+//! `perf` — the tracked hot-path benchmark.
+//!
+//! ```text
+//! perf [--quick] [--label NAME] [--out DIR] [--reps N]
+//!      [--check-against FILE] [--tolerance PCT]
+//! ```
+//!
+//! Runs the Fig. 4/10/11 perf workloads with a fixed seed, prints an
+//! events/sec table, and writes `BENCH_<label>.json` (default label
+//! `current`, default directory `benchmarks/`). With `--check-against`,
+//! exits non-zero if events/sec dropped more than `--tolerance` percent
+//! (default 20) below the given baseline report on any shared workload.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use hta_bench::perf::{compare, load_report, run_perf, save_report, BENCH_DIR};
+
+struct Args {
+    quick: bool,
+    label: String,
+    out: PathBuf,
+    reps: usize,
+    check_against: Option<PathBuf>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        label: "current".to_string(),
+        out: PathBuf::from(BENCH_DIR),
+        reps: 0,
+        check_against: None,
+        tolerance: 0.20,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                exit(2);
+            })
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--label" => args.label = value("--label"),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--reps" => {
+                args.reps = value("--reps").parse().unwrap_or_else(|e| {
+                    eprintln!("--reps: {e}");
+                    exit(2);
+                })
+            }
+            "--check-against" => args.check_against = Some(PathBuf::from(value("--check-against"))),
+            "--tolerance" => {
+                let pct: f64 = value("--tolerance").parse().unwrap_or_else(|e| {
+                    eprintln!("--tolerance: {e}");
+                    exit(2);
+                });
+                args.tolerance = pct / 100.0;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                exit(2);
+            }
+        }
+    }
+    if args.reps == 0 {
+        args.reps = if args.quick { 3 } else { 7 };
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let report = run_perf(&args.label, args.quick, args.reps);
+
+    println!(
+        "perf `{}` (best of {} reps, seed fixed):",
+        report.label, report.reps
+    );
+    println!(
+        "  {:<24} {:>9} {:>11} {:>13} {:>12}",
+        "workload", "events", "wall (ms)", "events/sec", "makespan (s)"
+    );
+    for e in &report.entries {
+        println!(
+            "  {:<24} {:>9} {:>11.2} {:>13.0} {:>12.1}",
+            e.name,
+            e.events,
+            e.best_wall_s * 1e3,
+            e.events_per_sec,
+            e.makespan_s
+        );
+    }
+
+    match save_report(&args.out, &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write report: {e}");
+            exit(1);
+        }
+    }
+
+    if let Some(baseline_path) = &args.check_against {
+        let baseline = match load_report(baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("failed to load baseline {}: {e}", baseline_path.display());
+                exit(1);
+            }
+        };
+        let (regressions, warnings) = compare(&report, &baseline, args.tolerance);
+        for w in &warnings {
+            println!("warning: {w}");
+        }
+        if regressions.is_empty() {
+            println!(
+                "ok: no workload regressed more than {:.0}% vs `{}`",
+                args.tolerance * 100.0,
+                baseline.label
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("REGRESSION: {r}");
+            }
+            exit(1);
+        }
+    }
+}

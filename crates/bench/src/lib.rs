@@ -9,6 +9,7 @@
 //! of truth; [`report`] holds the paper-vs-measured table printer.
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod results;
 

@@ -1,0 +1,217 @@
+//! Reproducible hot-path benchmark: events/sec and wall time per workload.
+//!
+//! The `perf` binary runs a fixed set of paper workloads (Fig. 4/10/11)
+//! with a fixed seed, times each run, and writes `BENCH_<label>.json`.
+//! Committed reports form the perf trajectory of the repository: CI runs
+//! `perf --quick --check-against benchmarks/BENCH_baseline.json` and
+//! fails when throughput regresses by more than the tolerance.
+//!
+//! Simulated work is deterministic per seed, so `events` and
+//! `makespan_s` double as a behavior fingerprint: an optimization that
+//! changes either did more than make the code faster.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::{fig10_run, fig11_run, fig4_run, Fig4Config, PolicyKind};
+use hta_core::driver::RunResult;
+
+/// Seed shared by every perf workload (arbitrary, fixed forever).
+pub const PERF_SEED: u64 = 42;
+
+/// Default directory for committed perf reports, relative to the repo
+/// root.
+pub const BENCH_DIR: &str = "benchmarks";
+
+/// One benchmarked workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfEntry {
+    /// Stable workload name (`fig10-blast200-hta`, …).
+    pub name: String,
+    /// Simulation events processed in one run (deterministic per seed).
+    pub events: u64,
+    /// Workload makespan in simulated seconds (deterministic per seed).
+    pub makespan_s: f64,
+    /// Best (minimum) wall time over the repetitions, seconds.
+    pub best_wall_s: f64,
+    /// Events per wall-clock second, from the best repetition.
+    pub events_per_sec: f64,
+}
+
+/// A full perf run: every workload, one machine, one build.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Report label (`baseline`, `after`, `ci`, …).
+    pub label: String,
+    /// Wall-time repetitions per workload (best-of is reported).
+    pub reps: usize,
+    /// Per-workload measurements.
+    pub entries: Vec<PerfEntry>,
+}
+
+type RunFn = fn(u64) -> RunResult;
+
+/// The benchmarked workloads, in reporting order.
+///
+/// `quick` keeps only the headline Fig. 10 BLAST-200 runs (the CI
+/// regression gate); the full set adds Fig. 4 and Fig. 11.
+pub fn workloads(quick: bool) -> Vec<(&'static str, RunFn)> {
+    let mut v: Vec<(&'static str, RunFn)> = vec![
+        ("fig10-blast200-hta", |s| fig10_run(PolicyKind::Hta, s)),
+        ("fig10-blast200-hpa50", |s| {
+            fig10_run(PolicyKind::Hpa(0.5), s)
+        }),
+    ];
+    if !quick {
+        v.push(("fig11-iobound-hta", |s| fig11_run(PolicyKind::Hta, s)));
+        v.push(("fig4-blast100-fine", |s| {
+            fig4_run(Fig4Config::FineGrained, s)
+        }));
+    }
+    v
+}
+
+/// Run every workload `reps` times and report the best wall time.
+pub fn run_perf(label: &str, quick: bool, reps: usize) -> PerfReport {
+    let mut entries = Vec::new();
+    for (name, f) in workloads(quick) {
+        let mut best = f64::INFINITY;
+        let mut events = 0u64;
+        let mut makespan = 0f64;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let r = f(PERF_SEED);
+            let wall = t.elapsed().as_secs_f64();
+            best = best.min(wall);
+            events = r.events;
+            makespan = r.makespan_s;
+        }
+        entries.push(PerfEntry {
+            name: name.to_string(),
+            events,
+            makespan_s: makespan,
+            best_wall_s: best,
+            events_per_sec: events as f64 / best,
+        });
+    }
+    PerfReport {
+        label: label.to_string(),
+        reps,
+        entries,
+    }
+}
+
+/// Write a report to `<dir>/BENCH_<label>.json` and return the path.
+pub fn save_report(dir: &Path, report: &PerfReport) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{}.json", report.label));
+    let json = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Load a previously saved report.
+pub fn load_report(path: &Path) -> std::io::Result<PerfReport> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Compare a fresh report against a committed baseline.
+///
+/// Returns regression messages (events/sec dropped below
+/// `1 - tolerance` of the baseline on a workload present in both) and
+/// warnings (simulated-work fingerprint changed — not a perf regression,
+/// but the baseline no longer measures the same work and should be
+/// re-recorded).
+pub fn compare(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut regressions = Vec::new();
+    let mut warnings = Vec::new();
+    for base in &baseline.entries {
+        let Some(cur) = current.entries.iter().find(|e| e.name == base.name) else {
+            continue;
+        };
+        if cur.events != base.events || cur.makespan_s != base.makespan_s {
+            warnings.push(format!(
+                "{}: simulated work changed (events {} -> {}, makespan {:.1}s -> {:.1}s); \
+                 re-record the baseline",
+                base.name, base.events, cur.events, base.makespan_s, cur.makespan_s
+            ));
+        }
+        let floor = base.events_per_sec * (1.0 - tolerance);
+        if cur.events_per_sec < floor {
+            regressions.push(format!(
+                "{}: {:.0} events/sec < {:.0} ({}% below baseline {:.0})",
+                base.name,
+                cur.events_per_sec,
+                floor,
+                ((1.0 - cur.events_per_sec / base.events_per_sec) * 100.0).round(),
+                base.events_per_sec,
+            ));
+        }
+    }
+    (regressions, warnings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, events: u64, eps: f64) -> PerfEntry {
+        PerfEntry {
+            name: name.into(),
+            events,
+            makespan_s: 100.0,
+            best_wall_s: events as f64 / eps,
+            events_per_sec: eps,
+        }
+    }
+
+    fn report(label: &str, entries: Vec<PerfEntry>) -> PerfReport {
+        PerfReport {
+            label: label.into(),
+            reps: 1,
+            entries,
+        }
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_fingerprint_drift() {
+        let base = report(
+            "baseline",
+            vec![entry("a", 100, 1000.0), entry("b", 50, 500.0)],
+        );
+        // `a` regresses 30%; `b` got faster but its event count changed.
+        let cur = report("ci", vec![entry("a", 100, 700.0), entry("b", 60, 900.0)]);
+        let (reg, warn) = compare(&cur, &base, 0.2);
+        assert_eq!(reg.len(), 1, "only `a` regresses: {reg:?}");
+        assert!(reg[0].starts_with("a:"));
+        assert_eq!(warn.len(), 1, "only `b` drifted: {warn:?}");
+        assert!(warn[0].starts_with("b:"));
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let base = report("baseline", vec![entry("a", 100, 1000.0)]);
+        let cur = report("ci", vec![entry("a", 100, 850.0)]);
+        let (reg, warn) = compare(&cur, &base, 0.2);
+        assert!(reg.is_empty() && warn.is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report("x", vec![entry("a", 1, 2.0)]);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.label, "x");
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].events, 1);
+    }
+}

@@ -6,10 +6,12 @@
 //! of measured peaks (so packing never starves a job), while execution
 //! time uses a running mean (the estimator wants expected completion
 //! times, not worst cases).
+//!
+//! Categories are addressed by interned [`CategoryId`]s (assigned by the
+//! master at submission), so the per-completion hot path indexes a `Vec`
+//! instead of hashing category name strings.
 
-use std::collections::BTreeMap;
-
-use hta_des::Duration;
+use hta_des::{CategoryId, Duration};
 use hta_resources::Resources;
 use hta_workqueue::task::Measured;
 
@@ -31,10 +33,10 @@ struct Accum {
     samples: u64,
 }
 
-/// Online per-category statistics.
+/// Online per-category statistics, indexed by [`CategoryId`].
 #[derive(Debug, Clone, Default)]
 pub struct CategoryStats {
-    by_category: BTreeMap<String, Accum>,
+    by_category: Vec<Accum>,
 }
 
 impl CategoryStats {
@@ -44,16 +46,20 @@ impl CategoryStats {
     }
 
     /// Record one completed job's measurement.
-    pub fn observe(&mut self, category: &str, measured: Measured) {
-        let acc = self.by_category.entry(category.to_string()).or_default();
+    pub fn observe(&mut self, cat: CategoryId, measured: Measured) {
+        let idx = cat.index();
+        if self.by_category.len() <= idx {
+            self.by_category.resize_with(idx + 1, Accum::default);
+        }
+        let acc = &mut self.by_category[idx];
         acc.peak = acc.peak.max(&measured.peak);
         acc.total_wall_ms += measured.wall.as_millis() as u128;
         acc.samples += 1;
     }
 
     /// Current estimate for a category, if at least one job completed.
-    pub fn estimate(&self, category: &str) -> Option<CategoryEstimate> {
-        let acc = self.by_category.get(category)?;
+    pub fn estimate(&self, cat: CategoryId) -> Option<CategoryEstimate> {
+        let acc = self.by_category.get(cat.index())?;
         if acc.samples == 0 {
             return None;
         }
@@ -65,21 +71,24 @@ impl CategoryStats {
     }
 
     /// True once the category has any measurement.
-    pub fn knows(&self, category: &str) -> bool {
+    pub fn knows(&self, cat: CategoryId) -> bool {
         self.by_category
-            .get(category)
+            .get(cat.index())
             .is_some_and(|a| a.samples > 0)
     }
 
     /// Number of categories with measurements.
     pub fn categories_known(&self) -> usize {
-        self.by_category.values().filter(|a| a.samples > 0).count()
+        self.by_category.iter().filter(|a| a.samples > 0).count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const ALIGN: CategoryId = CategoryId::from_u32(0);
+    const REDUCE: CategoryId = CategoryId::from_u32(1);
 
     fn m(cores: i64, mem: i64, wall_s: u64) -> Measured {
         Measured {
@@ -91,28 +100,28 @@ mod tests {
     #[test]
     fn unknown_category_has_no_estimate() {
         let s = CategoryStats::new();
-        assert!(s.estimate("align").is_none());
-        assert!(!s.knows("align"));
+        assert!(s.estimate(ALIGN).is_none());
+        assert!(!s.knows(ALIGN));
         assert_eq!(s.categories_known(), 0);
     }
 
     #[test]
     fn single_observation_is_the_estimate() {
         let mut s = CategoryStats::new();
-        s.observe("align", m(1000, 2000, 90));
-        let e = s.estimate("align").unwrap();
+        s.observe(ALIGN, m(1000, 2000, 90));
+        let e = s.estimate(ALIGN).unwrap();
         assert_eq!(e.resources, Resources::new(1000, 2000, 0));
         assert_eq!(e.mean_wall, Duration::from_secs(90));
         assert_eq!(e.samples, 1);
-        assert!(s.knows("align"));
+        assert!(s.knows(ALIGN));
     }
 
     #[test]
     fn resources_take_max_wall_takes_mean() {
         let mut s = CategoryStats::new();
-        s.observe("align", m(1000, 4000, 80));
-        s.observe("align", m(1500, 2000, 120));
-        let e = s.estimate("align").unwrap();
+        s.observe(ALIGN, m(1000, 4000, 80));
+        s.observe(ALIGN, m(1500, 2000, 120));
+        let e = s.estimate(ALIGN).unwrap();
         // Max per component — not the max vector of either sample.
         assert_eq!(e.resources, Resources::new(1500, 4000, 0));
         assert_eq!(e.mean_wall, Duration::from_secs(100));
@@ -122,10 +131,22 @@ mod tests {
     #[test]
     fn categories_are_independent() {
         let mut s = CategoryStats::new();
-        s.observe("align", m(1000, 0, 10));
-        s.observe("reduce", m(2000, 0, 20));
+        s.observe(ALIGN, m(1000, 0, 10));
+        s.observe(REDUCE, m(2000, 0, 20));
         assert_eq!(s.categories_known(), 2);
-        assert_eq!(s.estimate("align").unwrap().resources.millicores, 1000);
-        assert_eq!(s.estimate("reduce").unwrap().resources.millicores, 2000);
+        assert_eq!(s.estimate(ALIGN).unwrap().resources.millicores, 1000);
+        assert_eq!(s.estimate(REDUCE).unwrap().resources.millicores, 2000);
+    }
+
+    #[test]
+    fn sparse_ids_do_not_count_as_known() {
+        let mut s = CategoryStats::new();
+        // Observing id 2 grows the table through ids 0 and 1, which must
+        // stay unknown.
+        s.observe(CategoryId::from_u32(2), m(500, 0, 5));
+        assert_eq!(s.categories_known(), 1);
+        assert!(!s.knows(ALIGN));
+        assert!(!s.knows(REDUCE));
+        assert!(s.knows(CategoryId::from_u32(2)));
     }
 }

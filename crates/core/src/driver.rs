@@ -23,7 +23,7 @@ use hta_cluster::{
     Cluster, ClusterConfig, ClusterEvent, ImageId, PodId, PodPhase, PodSpec, WatchKind,
 };
 use hta_des::trace::TraceRing;
-use hta_des::{Duration, EventQueue, SimTime};
+use hta_des::{CategoryId, Duration, EffectSink, EventQueue, SimTime};
 use hta_makeflow::Workflow;
 use hta_metrics::{FaultSummary, RunRecorder, RunSummary, Sample, TaskSpan};
 use hta_resources::Resources;
@@ -202,10 +202,20 @@ pub struct SystemDriver {
     /// Resolved time-to-recover values (seconds).
     recovery_times: Vec<f64>,
     trace: TraceRing,
-    seen_categories: std::collections::BTreeSet<String>,
+    seen_categories: std::collections::BTreeSet<CategoryId>,
     /// `(sampled_at, diluted utilization)` ring for the metrics-pipeline
     /// lag; newest at the back.
     util_history: std::collections::VecDeque<(SimTime, Option<f64>)>,
+    /// Reusable effect buffer between the master and the event queue —
+    /// steady-state Work Queue dispatch allocates nothing.
+    wq_sink: EffectSink<WqEvent>,
+    /// Reusable pod-id buffer for the cleanup / scale-down paths.
+    pod_scratch: Vec<PodId>,
+    /// Reusable label buffer for per-category metric names.
+    label_buf: String,
+    /// Reusable per-category running-task counts, indexed by
+    /// [`CategoryId`]. Re-zeroed every sample.
+    per_cat_counts: Vec<u32>,
 }
 
 impl SystemDriver {
@@ -270,6 +280,17 @@ impl SystemDriver {
             trace,
             seen_categories: std::collections::BTreeSet::new(),
             util_history: std::collections::VecDeque::new(),
+            wq_sink: EffectSink::with_capacity(16),
+            pod_scratch: Vec::new(),
+            label_buf: String::new(),
+            per_cat_counts: Vec::new(),
+        }
+    }
+
+    /// Drain the reusable Work Queue effect sink into the global queue.
+    fn flush_wq(&mut self) {
+        for (d, e) in self.wq_sink.drain() {
+            self.queue.schedule_in(d, Event::Wq(e));
         }
     }
 
@@ -309,12 +330,23 @@ impl SystemDriver {
     }
 
     /// Worker pods still waiting for a node / image.
-    fn pending_worker_pods(&self) -> Vec<PodId> {
+    fn pending_worker_pod_count(&self) -> usize {
         self.cluster
             .live_pods_in_group(WORKER_GROUP)
             .filter(|p| !matches!(p.phase, PodPhase::Running))
-            .map(|p| p.id)
-            .collect()
+            .count()
+    }
+
+    /// Collect the pending worker pods into the reusable scratch buffer
+    /// (cleanup and scale-down paths).
+    fn collect_pending_pods(&mut self) {
+        self.pod_scratch.clear();
+        self.pod_scratch.extend(
+            self.cluster
+                .live_pods_in_group(WORKER_GROUP)
+                .filter(|p| !matches!(p.phase, PodPhase::Running))
+                .map(|p| p.id),
+        );
     }
 
     /// Run to completion (or the safety cut-off).
@@ -353,9 +385,8 @@ impl SystemDriver {
                     }
                 }
                 Event::Wq(we) => {
-                    for (d, e) in self.master.handle(now, we) {
-                        self.queue.schedule_in(d, Event::Wq(e));
-                    }
+                    self.master.handle(now, we, &mut self.wq_sink);
+                    self.flush_wq();
                 }
                 Event::PolicyTick => self.policy_tick(now),
                 Event::Sample => {
@@ -471,13 +502,14 @@ impl SystemDriver {
                             .pod(ev.pod)
                             .is_some_and(|p| p.spec.group == WORKER_GROUP)
                         {
-                            let (wid, fx) =
-                                self.master.worker_connect(now, self.cfg.worker_request);
+                            let wid = self.master.worker_connect(
+                                now,
+                                self.cfg.worker_request,
+                                &mut self.wq_sink,
+                            );
                             self.pod_to_worker.insert(ev.pod, wid);
                             self.worker_to_pod.insert(wid, ev.pod);
-                            for (d, e) in fx {
-                                self.queue.schedule_in(d, Event::Wq(e));
-                            }
+                            self.flush_wq();
                         }
                     }
                     WatchKind::PodFailed => {
@@ -502,9 +534,8 @@ impl SystemDriver {
                                 format!("worker pod {} killed ({wid})", ev.pod),
                             );
                             self.worker_to_pod.remove(&wid);
-                            for (d, e) in self.master.kill_worker(now, wid) {
-                                self.queue.schedule_in(d, Event::Wq(e));
-                            }
+                            self.master.kill_worker(now, wid, &mut self.wq_sink);
+                            self.flush_wq();
                         }
                     }
                     _ => {}
@@ -514,19 +545,18 @@ impl SystemDriver {
                 match note {
                     WqNotification::TaskCompleted {
                         task,
-                        category,
+                        cat,
                         measured,
                     } => {
-                        let fx = self.operator.on_task_completed(
+                        self.operator.on_task_completed(
                             now,
                             task,
-                            &category,
+                            cat,
                             measured,
                             &mut self.master,
+                            &mut self.wq_sink,
                         );
-                        for (d, e) in fx {
-                            self.queue.schedule_in(d, Event::Wq(e));
-                        }
+                        self.flush_wq();
                         if self.operator.all_complete() && self.workload_finished_at.is_none() {
                             self.workload_finished_at = Some(now);
                             self.trace
@@ -544,18 +574,23 @@ impl SystemDriver {
                         self.trace
                             .push(now, "wq", format!("{t} fast-aborted (straggler)"));
                     }
-                    WqNotification::TaskFailed { task, category } => {
-                        self.trace.push(
-                            now,
-                            "wq",
-                            format!("{task} permanently failed ({category})"),
-                        );
-                        let fx =
-                            self.operator
-                                .on_task_failed(now, task, &category, &mut self.master);
-                        for (d, e) in fx {
-                            self.queue.schedule_in(d, Event::Wq(e));
+                    WqNotification::TaskFailed { task, cat } => {
+                        if self.trace.is_enabled() {
+                            let name = self.master.interner().name(cat);
+                            self.trace.push(
+                                now,
+                                "wq",
+                                format!("{task} permanently failed ({name})"),
+                            );
                         }
+                        self.operator.on_task_failed(
+                            now,
+                            task,
+                            cat,
+                            &mut self.master,
+                            &mut self.wq_sink,
+                        );
+                        self.flush_wq();
                         // Graceful degradation can resolve the workflow
                         // with failures: the cleanup path is the same.
                         if self.operator.all_complete() && self.workload_finished_at.is_none() {
@@ -593,10 +628,9 @@ impl SystemDriver {
                 }
             }
         }
-        let fx = self.operator.submit_ready(now, &mut self.master);
-        for (d, e) in fx {
-            self.queue.schedule_in(d, Event::Wq(e));
-        }
+        self.operator
+            .submit_ready(now, &mut self.master, &mut self.wq_sink);
+        self.flush_wq();
     }
 
     /// Clean-up stage: drain every worker, delete pending worker pods and
@@ -606,16 +640,15 @@ impl SystemDriver {
             return;
         }
         self.cleanup_started = true;
-        for pod in self.pending_worker_pods() {
+        self.collect_pending_pods();
+        for i in 0..self.pod_scratch.len() {
+            let pod = self.pod_scratch[i];
             for (d, e) in self.cluster.delete_pod(now, pod) {
                 self.queue.schedule_in(d, Event::Cluster(e));
             }
         }
-        let workers: Vec<WorkerId> = self.worker_to_pod.keys().copied().collect();
-        for wid in workers {
-            for (d, e) in self.master.drain_worker(now, wid) {
-                self.queue.schedule_in(d, Event::Wq(e));
-            }
+        for (&wid, _) in self.worker_to_pod.iter() {
+            self.master.drain_worker(now, wid);
         }
         if let Some(pod) = self.master_pod {
             for (d, e) in self.cluster.delete_pod(now, pod) {
@@ -642,26 +675,32 @@ impl SystemDriver {
                 .schedule_in(Duration::from_secs(5), Event::PolicyTick);
             return;
         }
-        let status = self.master.queue_status();
         let held = self.operator.held_jobs();
-        let pending = self.pending_worker_pods().len();
+        let pending = self.pending_worker_pod_count();
         let utilization = self.lagged_utilization(now);
+        let live = self.live_worker_pods();
+        let workload_done = self.operator.all_complete();
+        let init_time = if self.cfg.use_measured_init_time {
+            self.tracker.latest()
+        } else {
+            self.cfg.default_init_time
+        };
+        // Refresh the incremental snapshot once, then hand the policy
+        // borrowed views — no per-tick queue rebuild.
+        self.master.refresh_queue_status();
         let ctx = PolicyContext {
             now,
-            queue: &status,
+            queue: self.master.snapshot(),
+            interner: self.master.interner(),
             held_jobs: &held,
             stats: self.operator.stats(),
-            init_time: if self.cfg.use_measured_init_time {
-                self.tracker.latest()
-            } else {
-                self.cfg.default_init_time
-            },
+            init_time,
             worker_unit: self.cfg.worker_request,
-            live_worker_pods: self.live_worker_pods(),
+            live_worker_pods: live,
             pending_worker_pods: pending,
             utilization,
             max_workers: self.cfg.max_workers,
-            workload_done: self.operator.all_complete(),
+            workload_done,
         };
         let (action, next) = self.policy.decide(&ctx);
         if self.trace.is_enabled() && action != ScaleAction::None {
@@ -678,7 +717,6 @@ impl SystemDriver {
                 ),
             );
         }
-        drop(status);
         match action {
             ScaleAction::None => {}
             ScaleAction::CreateWorkers(n) => {
@@ -701,10 +739,12 @@ impl SystemDriver {
     /// runs on them), then drain idle workers, then the least-loaded.
     fn drain_workers(&mut self, now: SimTime, n: usize) {
         let mut remaining = n;
-        for pod in self.pending_worker_pods() {
+        self.collect_pending_pods();
+        for i in 0..self.pod_scratch.len() {
             if remaining == 0 {
                 return;
             }
+            let pod = self.pod_scratch[i];
             for (d, e) in self.cluster.delete_pod(now, pod) {
                 self.queue.schedule_in(d, Event::Cluster(e));
             }
@@ -721,9 +761,7 @@ impl SystemDriver {
             .collect();
         candidates.sort();
         for (_tasks, wid) in candidates.into_iter().take(remaining) {
-            for (d, e) in self.master.drain_worker(now, wid) {
-                self.queue.schedule_in(d, Event::Wq(e));
-            }
+            self.master.drain_worker(now, wid);
         }
     }
 
@@ -732,10 +770,12 @@ impl SystemDriver {
     /// whose tasks are re-queued.
     fn kill_workers(&mut self, now: SimTime, n: usize) {
         let mut remaining = n;
-        for pod in self.pending_worker_pods() {
+        self.collect_pending_pods();
+        for i in 0..self.pod_scratch.len() {
             if remaining == 0 {
                 return;
             }
+            let pod = self.pod_scratch[i];
             for (d, e) in self.cluster.delete_pod(now, pod) {
                 self.queue.schedule_in(d, Event::Cluster(e));
             }
@@ -878,8 +918,15 @@ impl SystemDriver {
                 break;
             }
         }
-        let status = self.master.queue_status();
-        let supply_cores: f64 = status.workers.iter().map(|w| w.capacity.cores_f64()).sum();
+        // Refresh the incremental snapshot (a cheap no-op unless the
+        // waiting set changed since the last event) and read it borrowed.
+        self.master.refresh_queue_status();
+        let status = self.master.snapshot();
+        let supply_cores: f64 = status
+            .workers
+            .values()
+            .map(|w| w.capacity.cores_f64())
+            .sum();
         let held = self.operator.held_jobs();
         let held_count: usize = held.iter().map(|(_, c)| c).sum();
         let waiting_cores: f64 = status
@@ -887,7 +934,7 @@ impl SystemDriver {
             .iter()
             .map(|w| {
                 w.declared
-                    .or_else(|| self.operator.known_resources(&w.category))
+                    .or_else(|| self.operator.known_resources_id(w.cat))
                     .unwrap_or(self.cfg.worker_request)
                     .cores_f64()
             })
@@ -896,7 +943,7 @@ impl SystemDriver {
                 .iter()
                 .map(|(cat, count)| {
                     self.operator
-                        .known_resources(cat)
+                        .known_resources_id(*cat)
                         .unwrap_or(self.cfg.worker_request)
                         .cores_f64()
                         * *count as f64
@@ -904,27 +951,38 @@ impl SystemDriver {
                 .sum::<f64>();
         let in_use_cores = self.master.in_use_cores();
         let quota_cores = self.cfg.max_workers as f64 * self.cfg.worker_request.cores_f64();
-        let allocated = self.master.in_use_cores();
-        let demand = allocated + waiting_cores;
+        let demand = in_use_cores + waiting_cores;
         let shortage_cores = (demand.min(quota_cores) - supply_cores).max(0.0);
         // Per-category running counts — the Fig. 10a stage-timeline data.
         // Categories seen before but not running now record an explicit
         // zero so their series drop instead of holding the last value.
-        let mut per_cat: std::collections::BTreeMap<String, usize> =
-            std::collections::BTreeMap::new();
-        for r in &status.running {
-            *per_cat.entry(r.category.clone()).or_insert(0) += 1;
+        // Counted by interned id; names are resolved only at the series
+        // boundary (`record_extra` keys series by name, so id-order
+        // iteration does not change any series' contents).
+        self.per_cat_counts.clear();
+        self.per_cat_counts.resize(self.master.interner().len(), 0);
+        for r in status.running.values() {
+            self.per_cat_counts[r.cat.index()] += 1;
         }
         let t = now.as_secs_f64();
-        for cat in &self.seen_categories {
-            if !per_cat.contains_key(cat) {
-                self.recorder
-                    .record_extra(&format!("running:{cat}"), t, 0.0);
+        for &cat in &self.seen_categories {
+            if self.per_cat_counts[cat.index()] == 0 {
+                self.label_buf.clear();
+                self.label_buf.push_str("running:");
+                self.label_buf.push_str(self.master.interner().name(cat));
+                self.recorder.record_extra(&self.label_buf, t, 0.0);
             }
         }
-        for (cat, count) in per_cat {
-            self.recorder
-                .record_extra(&format!("running:{cat}"), t, count as f64);
+        for i in 0..self.per_cat_counts.len() {
+            let count = self.per_cat_counts[i];
+            if count == 0 {
+                continue;
+            }
+            let cat = CategoryId::from_u32(i as u32);
+            self.label_buf.clear();
+            self.label_buf.push_str("running:");
+            self.label_buf.push_str(self.master.interner().name(cat));
+            self.recorder.record_extra(&self.label_buf, t, count as f64);
             self.seen_categories.insert(cat);
         }
         self.recorder.record(Sample {

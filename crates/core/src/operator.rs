@@ -12,13 +12,18 @@
 //! The operator also owns the translation from workflow jobs (file names,
 //! category profiles) into Work Queue task specs (file ids, exec models),
 //! registering source and intermediate files in the master's catalogue.
+//!
+//! Category bookkeeping is keyed by interned [`CategoryId`]s: the
+//! operator pre-interns every workflow category in the master's interner
+//! at construction, so completion handling and warm-up checks never touch
+//! category name strings.
 
 use std::collections::BTreeMap;
 
-use hta_des::{Duration, SimRng, SimTime};
+use hta_des::{CategoryId, Duration, EffectSink, SimRng, SimTime};
 use hta_makeflow::{JobId, Workflow};
 use hta_resources::Resources;
-use hta_workqueue::master::{Master, WqEffect};
+use hta_workqueue::master::{Master, WqEvent};
 use hta_workqueue::task::{ExecModel, Measured, TaskSpec};
 use hta_workqueue::{FileId, TaskId};
 
@@ -69,10 +74,12 @@ pub struct Operator {
     cfg: OperatorConfig,
     workflow: Workflow,
     stats: crate::category_stats::CategoryStats,
+    /// Workflow category name → interned id (filled at construction).
+    cat_of: BTreeMap<String, CategoryId>,
     /// Learned (or trusted-declared) per-category resources.
-    learned: BTreeMap<String, Resources>,
-    probing: BTreeMap<String, bool>,
-    held: BTreeMap<String, Vec<JobId>>,
+    learned: BTreeMap<CategoryId, Resources>,
+    probing: BTreeMap<CategoryId, bool>,
+    held: BTreeMap<CategoryId, Vec<JobId>>,
     file_ids: BTreeMap<String, FileId>,
     job_for_task: BTreeMap<TaskId, JobId>,
     task_for_job: BTreeMap<JobId, TaskId>,
@@ -83,7 +90,7 @@ pub struct Operator {
 
 impl Operator {
     /// Build an operator over a workflow, registering its files in the
-    /// master's catalogue.
+    /// master's catalogue and its categories in the master's interner.
     pub fn new(cfg: OperatorConfig, workflow: Workflow, master: &mut Master) -> Self {
         let rng = SimRng::seed_from_u64(cfg.seed);
         let mut file_ids = BTreeMap::new();
@@ -124,12 +131,28 @@ impl Operator {
             };
             file_ids.insert(name, id);
         }
+        // Intern every category up front (job categories may lack
+        // profiles and vice versa — cover both) so ids exist before the
+        // first submission.
+        let mut cat_of = BTreeMap::new();
+        for job in workflow.dag.jobs() {
+            if !cat_of.contains_key(&job.category) {
+                let id = master.intern_category(&job.category);
+                cat_of.insert(job.category.clone(), id);
+            }
+        }
+        for name in workflow.categories.keys() {
+            if !cat_of.contains_key(name) {
+                let id = master.intern_category(name);
+                cat_of.insert(name.clone(), id);
+            }
+        }
         // Trusted declared resources seed the knowledge map.
         let mut learned = BTreeMap::new();
         if cfg.trust_declared {
             for (name, prof) in &workflow.categories {
                 if let Some(r) = prof.declared {
-                    learned.insert(name.clone(), r);
+                    learned.insert(cat_of[name], r);
                 }
             }
         }
@@ -137,6 +160,7 @@ impl Operator {
             cfg,
             workflow,
             stats: crate::category_stats::CategoryStats::new(),
+            cat_of,
             learned,
             probing: BTreeMap::new(),
             held: BTreeMap::new(),
@@ -159,17 +183,27 @@ impl Operator {
         &self.workflow
     }
 
-    /// Known per-category resources (declared-and-trusted or learned).
+    /// Known per-category resources by name (declared-and-trusted or
+    /// learned). Boundary convenience; the hot path uses
+    /// [`Operator::known_resources_id`].
     pub fn known_resources(&self, category: &str) -> Option<Resources> {
-        self.learned.get(category).copied()
+        self.cat_of
+            .get(category)
+            .and_then(|id| self.learned.get(id))
+            .copied()
+    }
+
+    /// Known per-category resources by interned id.
+    pub fn known_resources_id(&self, cat: CategoryId) -> Option<Resources> {
+        self.learned.get(&cat).copied()
     }
 
     /// Jobs currently held back by warm-up, as `(category, count)`.
-    pub fn held_jobs(&self) -> Vec<(String, usize)> {
+    pub fn held_jobs(&self) -> Vec<(CategoryId, usize)> {
         self.held
             .iter()
             .filter(|(_, v)| !v.is_empty())
-            .map(|(k, v)| (k.clone(), v.len()))
+            .map(|(k, v)| (*k, v.len()))
             .collect()
     }
 
@@ -192,10 +226,10 @@ impl Operator {
         (self.workflow.dag.failed(), self.workflow.dag.abandoned())
     }
 
-    fn knowledge(&self, category: &str) -> CatKnowledge {
-        if self.learned.contains_key(category) {
+    fn knowledge(&self, cat: CategoryId) -> CatKnowledge {
+        if self.learned.contains_key(&cat) {
             CatKnowledge::Known
-        } else if self.probing.get(category).copied().unwrap_or(false) {
+        } else if self.probing.get(&cat).copied().unwrap_or(false) {
             CatKnowledge::Probing
         } else {
             CatKnowledge::Unknown
@@ -203,36 +237,45 @@ impl Operator {
     }
 
     /// Submit every ready job the warm-up rules allow.
-    pub fn submit_ready(&mut self, now: SimTime, master: &mut Master) -> Vec<WqEffect> {
-        let mut fx = Vec::new();
+    pub fn submit_ready(
+        &mut self,
+        now: SimTime,
+        master: &mut Master,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
         for job in self.workflow.ready_jobs() {
-            let category = self
+            let cat = self.cat_of[&self
                 .workflow
                 .dag
                 .job(job)
                 .expect("ready job exists")
-                .category
-                .clone();
+                .category];
             if !self.cfg.warmup {
-                fx.extend(self.submit_job(now, job, master));
+                self.submit_job(now, job, master, fx);
                 continue;
             }
-            match self.knowledge(&category) {
-                CatKnowledge::Known => fx.extend(self.submit_job(now, job, master)),
+            match self.knowledge(cat) {
+                CatKnowledge::Known => self.submit_job(now, job, master, fx),
                 CatKnowledge::Unknown => {
-                    self.probing.insert(category.clone(), true);
-                    fx.extend(self.submit_job(now, job, master));
+                    self.probing.insert(cat, true);
+                    self.submit_job(now, job, master, fx);
                 }
                 CatKnowledge::Probing => {
                     self.workflow.submit(job); // leaves the DAG ready set
-                    self.held.entry(category.clone()).or_default().push(job);
+                    self.held.entry(cat).or_default().push(job);
                 }
             }
         }
-        fx
     }
 
-    fn submit_job(&mut self, now: SimTime, job: JobId, master: &mut Master) -> Vec<WqEffect> {
+    /// Build a task spec for `job` and submit it to the master.
+    fn push_job(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        master: &mut Master,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
         let j = self.workflow.dag.job(job).expect("job exists").clone();
         let profile = self
             .workflow
@@ -240,7 +283,7 @@ impl Operator {
             .get(&j.category)
             .cloned()
             .unwrap_or_else(|| hta_makeflow::CategoryProfile::unknown(j.category.clone()));
-        let declared = self.learned.get(&j.category).copied();
+        let declared = self.known_resources_id(self.cat_of[&j.category]);
         let inputs: Vec<FileId> = j
             .inputs
             .iter()
@@ -261,11 +304,21 @@ impl Operator {
                 cpu_fraction: profile.sim.cpu_fraction,
             },
         };
-        self.workflow.submit(job);
         self.job_for_task.insert(task_id, job);
         self.task_for_job.insert(job, task_id);
         self.submitted += 1;
-        master.submit(now, spec)
+        master.submit(now, spec, fx);
+    }
+
+    fn submit_job(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        master: &mut Master,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        self.workflow.submit(job);
+        self.push_job(now, job, master, fx);
     }
 
     /// Handle a completed task: record statistics, release held jobs,
@@ -274,39 +327,39 @@ impl Operator {
         &mut self,
         now: SimTime,
         task: TaskId,
-        category: &str,
+        cat: CategoryId,
         measured: Measured,
         master: &mut Master,
-    ) -> Vec<WqEffect> {
-        self.stats.observe(category, measured);
-        let mut fx = Vec::new();
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        self.stats.observe(cat, measured);
 
         // First measurement for a category with unknown resources: commit
         // the learned requirement, upgrade queued tasks, release held jobs.
-        if self.cfg.learn && !self.learned.contains_key(category) {
+        if self.cfg.learn && !self.learned.contains_key(&cat) {
             let est = self
                 .stats
-                .estimate(category)
+                .estimate(cat)
                 .expect("just observed this category");
-            self.learned.insert(category.to_string(), est.resources);
-            self.probing.insert(category.to_string(), false);
+            self.learned.insert(cat, est.resources);
+            self.probing.insert(cat, false);
             // Upgrade already-queued waiting tasks of this category (e.g.
             // re-queued after a worker kill).
             let waiting: Vec<TaskId> = master
                 .queue_status()
                 .waiting
                 .iter()
-                .filter(|w| w.category == category)
+                .filter(|w| w.cat == cat)
                 .map(|w| w.id)
                 .collect();
             for t in waiting {
                 master.declare_resources(t, est.resources);
             }
-            if let Some(held) = self.held.remove(category) {
+            if let Some(held) = self.held.remove(&cat) {
                 for job in held {
                     // Held jobs were marked submitted in the DAG; submit
                     // them to the master now with the learned resources.
-                    fx.extend(self.submit_held_job(now, job, master));
+                    self.push_job(now, job, master, fx);
                 }
             }
         }
@@ -314,9 +367,8 @@ impl Operator {
         // Unblock the DAG and submit newly ready jobs.
         if let Some(job) = self.job_for_task.get(&task).copied() {
             let _newly_ready = self.workflow.complete(job);
-            fx.extend(self.submit_ready(now, master));
+            self.submit_ready(now, master, fx);
         }
-        fx
     }
 
     /// Handle a permanently failed task (retry budget exhausted under
@@ -329,12 +381,12 @@ impl Operator {
         &mut self,
         now: SimTime,
         task: TaskId,
-        category: &str,
+        cat: CategoryId,
         master: &mut Master,
-    ) -> Vec<WqEffect> {
-        let mut fx = Vec::new();
+        fx: &mut EffectSink<WqEvent>,
+    ) {
         let Some(job) = self.job_for_task.get(&task).copied() else {
-            return fx;
+            return;
         };
         let abandoned = self.workflow.fail(job);
         // Abandoned jobs will never run: purge them from the held lists.
@@ -346,59 +398,21 @@ impl Operator {
         }
         // Re-aim the warm-up probe if it just died unlearned.
         if self.cfg.warmup
-            && !self.learned.contains_key(category)
-            && self.probing.get(category).copied().unwrap_or(false)
+            && !self.learned.contains_key(&cat)
+            && self.probing.get(&cat).copied().unwrap_or(false)
         {
-            self.probing.insert(category.to_string(), false);
+            self.probing.insert(cat, false);
             let next = self
                 .held
-                .get_mut(category)
+                .get_mut(&cat)
                 .filter(|v| !v.is_empty())
                 .map(|v| v.remove(0));
             if let Some(next_job) = next {
-                self.probing.insert(category.to_string(), true);
-                fx.extend(self.submit_held_job(now, next_job, master));
+                self.probing.insert(cat, true);
+                self.push_job(now, next_job, master, fx);
             }
         }
-        fx.extend(self.submit_ready(now, master));
-        fx
-    }
-
-    /// Submit a job that was held during warm-up (already marked
-    /// `Submitted` in the DAG).
-    fn submit_held_job(&mut self, now: SimTime, job: JobId, master: &mut Master) -> Vec<WqEffect> {
-        let j = self.workflow.dag.job(job).expect("job exists").clone();
-        let profile = self
-            .workflow
-            .categories
-            .get(&j.category)
-            .cloned()
-            .unwrap_or_else(|| hta_makeflow::CategoryProfile::unknown(j.category.clone()));
-        let declared = self.learned.get(&j.category).copied();
-        let inputs: Vec<FileId> = j
-            .inputs
-            .iter()
-            .filter_map(|f| self.file_ids.get(f).copied())
-            .collect();
-        let wall = self.sample_wall(&profile.sim);
-        let task_id = TaskId(self.next_task);
-        self.next_task += 1;
-        let spec = TaskSpec {
-            id: task_id,
-            category: j.category.clone(),
-            inputs,
-            output_mb: profile.sim.output_mb,
-            declared,
-            actual: profile.sim.actual,
-            exec: ExecModel {
-                duration: wall,
-                cpu_fraction: profile.sim.cpu_fraction,
-            },
-        };
-        self.job_for_task.insert(task_id, job);
-        self.task_for_job.insert(job, task_id);
-        self.submitted += 1;
-        master.submit(now, spec)
+        self.submit_ready(now, master, fx);
     }
 
     /// Sample a job's wall time from its category profile: exact when
@@ -477,6 +491,10 @@ mod tests {
         )
     }
 
+    fn cat(m: &Master, name: &str) -> CategoryId {
+        m.interner().get(name).expect("category interned")
+    }
+
     #[test]
     fn files_are_registered_in_catalog() {
         let mut m = master();
@@ -485,6 +503,10 @@ mod tests {
         // db + 3 outputs.
         assert_eq!(m.catalog().len(), 4);
         assert!(op.known_resources("align").is_none());
+        assert!(
+            m.interner().get("align").is_some(),
+            "workflow categories are pre-interned"
+        );
     }
 
     #[test]
@@ -492,9 +514,10 @@ mod tests {
         let mut m = master();
         let wf = parallel_workflow(10, None);
         let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
-        let _fx = op.submit_ready(SimTime::ZERO, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
         assert_eq!(op.submitted_count(), 1, "only the probe goes out");
-        assert_eq!(op.held_jobs(), vec![("align".to_string(), 9)]);
+        assert_eq!(op.held_jobs(), vec![(cat(&m, "align"), 9)]);
         assert_eq!(m.waiting_count() + m.running_count(), 1);
     }
 
@@ -503,16 +526,29 @@ mod tests {
         let mut m = master();
         let wf = parallel_workflow(10, None);
         let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
-        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
         let measured = Measured {
             peak: Resources::cores(1, 2_000, 2_000),
             wall: Duration::from_secs(58),
         };
-        let _ = op.on_task_completed(SimTime::from_secs(60), TaskId(0), "align", measured, &mut m);
+        let align = cat(&m, "align");
+        op.on_task_completed(
+            SimTime::from_secs(60),
+            TaskId(0),
+            align,
+            measured,
+            &mut m,
+            &mut fx,
+        );
         assert_eq!(op.submitted_count(), 10, "probe + 9 released");
         assert!(op.held_jobs().is_empty());
         assert_eq!(
             op.known_resources("align"),
+            Some(Resources::cores(1, 2_000, 2_000))
+        );
+        assert_eq!(
+            op.known_resources_id(align),
             Some(Resources::cores(1, 2_000, 2_000))
         );
         // Released tasks carry the learned declaration.
@@ -537,7 +573,8 @@ mod tests {
             wf,
             &mut m,
         );
-        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
         assert_eq!(op.submitted_count(), 10, "no probing needed");
         assert!(op.held_jobs().is_empty());
     }
@@ -556,7 +593,8 @@ mod tests {
             wf,
             &mut m,
         );
-        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
         assert_eq!(op.submitted_count(), 10);
     }
 
@@ -577,7 +615,8 @@ mod tests {
             wf,
             &mut m,
         );
-        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
         // All three submitted unknown; none dispatched (no workers), so
         // they are all waiting with declared = None.
         assert!(m
@@ -591,7 +630,15 @@ mod tests {
             peak: Resources::cores(1, 2_000, 2_000),
             wall: Duration::from_secs(55),
         };
-        let _ = op.on_task_completed(SimTime::from_secs(60), TaskId(0), "align", measured, &mut m);
+        let align = cat(&m, "align");
+        op.on_task_completed(
+            SimTime::from_secs(60),
+            TaskId(0),
+            align,
+            measured,
+            &mut m,
+            &mut fx,
+        );
         let upgraded = m
             .queue_status()
             .waiting
@@ -638,17 +685,34 @@ mod tests {
         let wf = Workflow::from_jobs(jobs, vec![]).unwrap();
         let mut m = master();
         let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
-        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
         assert_eq!(op.submitted_count(), 1, "stage-a probe only");
         let measured = Measured {
             peak: Resources::cores(1, 1_000, 0),
             wall: Duration::from_secs(10),
         };
-        let _ = op.on_task_completed(SimTime::from_secs(10), TaskId(0), "a", measured, &mut m);
+        let a = cat(&m, "a");
+        let b = cat(&m, "b");
+        op.on_task_completed(
+            SimTime::from_secs(10),
+            TaskId(0),
+            a,
+            measured,
+            &mut m,
+            &mut fx,
+        );
         // Stage b became ready: exactly one b-probe goes out, two held.
         assert_eq!(op.submitted_count(), 2);
-        assert_eq!(op.held_jobs(), vec![("b".to_string(), 2)]);
-        let _ = op.on_task_completed(SimTime::from_secs(20), TaskId(1), "b", measured, &mut m);
+        assert_eq!(op.held_jobs(), vec![(b, 2)]);
+        op.on_task_completed(
+            SimTime::from_secs(20),
+            TaskId(1),
+            b,
+            measured,
+            &mut m,
+            &mut fx,
+        );
         assert_eq!(op.submitted_count(), 4, "held b jobs released");
         assert!(op.held_jobs().is_empty());
     }
@@ -658,13 +722,15 @@ mod tests {
         let mut m = master();
         let wf = parallel_workflow(5, None);
         let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
-        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
         assert_eq!(op.submitted_count(), 1, "only the probe goes out");
-        let _ = op.on_task_failed(SimTime::from_secs(30), TaskId(0), "align", &mut m);
+        let align = cat(&m, "align");
+        op.on_task_failed(SimTime::from_secs(30), TaskId(0), align, &mut m, &mut fx);
         // One held job is promoted as the replacement probe; the rest
         // stay held behind it.
         assert_eq!(op.submitted_count(), 2);
-        assert_eq!(op.held_jobs(), vec![("align".to_string(), 3)]);
+        assert_eq!(op.held_jobs(), vec![(align, 3)]);
         assert_eq!(op.failure_counts(), (1, 0));
         assert!(!op.all_complete());
     }
@@ -699,9 +765,11 @@ mod tests {
             wf,
             &mut m,
         );
-        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
         assert!(!op.all_complete());
-        let _ = op.on_task_failed(SimTime::from_secs(10), TaskId(0), "a", &mut m);
+        let a = cat(&m, "a");
+        op.on_task_failed(SimTime::from_secs(10), TaskId(0), a, &mut m, &mut fx);
         assert_eq!(op.failure_counts(), (1, 1));
         assert!(op.all_complete(), "failed + abandoned = resolved");
     }
@@ -742,18 +810,42 @@ mod tests {
             wf,
             &mut m,
         );
-        let _ = op.submit_ready(SimTime::ZERO, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
         assert_eq!(op.submitted_count(), 2, "stage-b blocked");
         let measured = Measured {
             peak: Resources::cores(1, 0, 0),
             wall: Duration::from_secs(10),
         };
-        let _ = op.on_task_completed(SimTime::from_secs(10), TaskId(0), "a", measured, &mut m);
+        let a = cat(&m, "a");
+        let b = cat(&m, "b");
+        op.on_task_completed(
+            SimTime::from_secs(10),
+            TaskId(0),
+            a,
+            measured,
+            &mut m,
+            &mut fx,
+        );
         assert_eq!(op.submitted_count(), 2, "one dependency still missing");
-        let _ = op.on_task_completed(SimTime::from_secs(12), TaskId(1), "a", measured, &mut m);
+        op.on_task_completed(
+            SimTime::from_secs(12),
+            TaskId(1),
+            a,
+            measured,
+            &mut m,
+            &mut fx,
+        );
         assert_eq!(op.submitted_count(), 3, "stage-b released");
         assert!(!op.all_complete());
-        let _ = op.on_task_completed(SimTime::from_secs(30), TaskId(2), "b", measured, &mut m);
+        op.on_task_completed(
+            SimTime::from_secs(30),
+            TaskId(2),
+            b,
+            measured,
+            &mut m,
+            &mut fx,
+        );
         assert!(op.all_complete());
     }
 }

@@ -82,16 +82,18 @@ impl ScalingPolicy for OraclePolicy {
                 (ScaleAction::None, self.evaluate_every)
             };
         }
-        // The whole outstanding task set, with true requirements.
+        // The whole outstanding task set, with true requirements. The
+        // oracle keeps its truth keyed by name (it comes from the workload
+        // definition, before any interning) and resolves ids on the fly.
         let mut demands: Vec<Resources> = Vec::new();
         for w in &ctx.queue.waiting {
-            demands.push(self.requirement(&w.category, ctx.worker_unit));
+            demands.push(self.requirement(ctx.interner.name(w.cat), ctx.worker_unit));
         }
-        for r in &ctx.queue.running {
-            demands.push(self.requirement(&r.category, r.allocation));
+        for r in ctx.queue.running.values() {
+            demands.push(self.requirement(ctx.interner.name(r.cat), r.allocation));
         }
         for (cat, count) in ctx.held_jobs {
-            let req = self.requirement(cat, ctx.worker_unit);
+            let req = self.requirement(ctx.interner.name(*cat), ctx.worker_unit);
             demands.extend(std::iter::repeat_n(req, *count));
         }
         let desired = Self::bins_needed(&demands, ctx.worker_unit).min(ctx.max_workers);
@@ -116,9 +118,19 @@ impl ScalingPolicy for OraclePolicy {
 mod tests {
     use super::*;
     use crate::category_stats::CategoryStats;
-    use hta_des::SimTime;
+    use hta_des::{CategoryId, Interner, SimTime};
     use hta_workqueue::master::{QueueStatus, WaitingSnapshot};
     use hta_workqueue::TaskId;
+
+    const CAT0: CategoryId = CategoryId::from_u32(0);
+
+    fn interner(names: &[&str]) -> Interner {
+        let mut it = Interner::new();
+        for n in names {
+            it.intern(n);
+        }
+        it
+    }
 
     fn unit() -> Resources {
         Resources::cores(3, 12_000, 50_000)
@@ -127,12 +139,14 @@ mod tests {
     fn ctx<'a>(
         queue: &'a QueueStatus,
         stats: &'a CategoryStats,
-        held: &'a [(String, usize)],
+        it: &'a Interner,
+        held: &'a [(CategoryId, usize)],
         live: usize,
     ) -> PolicyContext<'a> {
         PolicyContext {
             now: SimTime::from_secs(10),
             queue,
+            interner: it,
             held_jobs: held,
             stats,
             init_time: Duration::from_secs(157),
@@ -145,24 +159,28 @@ mod tests {
         }
     }
 
+    fn waiting_queue(n: u64) -> QueueStatus {
+        QueueStatus {
+            waiting: (0..n)
+                .map(|i| WaitingSnapshot {
+                    id: TaskId(i),
+                    cat: CAT0,
+                    declared: None, // the oracle does not need declarations
+                })
+                .collect(),
+            ..QueueStatus::default()
+        }
+    }
+
     #[test]
     fn oracle_packs_true_requirements() {
         let mut req = BTreeMap::new();
         req.insert("align".to_string(), Resources::cores(1, 2_000, 2_000));
         let mut p = OraclePolicy::new(req);
-        let q = QueueStatus {
-            waiting: (0..9)
-                .map(|i| WaitingSnapshot {
-                    id: TaskId(i),
-                    category: "align".into(),
-                    declared: None, // the oracle does not need declarations
-                })
-                .collect(),
-            running: vec![],
-            workers: vec![],
-        };
+        let it = interner(&["align"]);
+        let q = waiting_queue(9);
         let stats = CategoryStats::new();
-        let (action, _) = p.decide(&ctx(&q, &stats, &[], 0));
+        let (action, _) = p.decide(&ctx(&q, &stats, &it, &[], 0));
         assert_eq!(action, ScaleAction::CreateWorkers(3), "9 × 1c → 3 workers");
         assert_eq!(p.desired(), 3);
     }
@@ -171,8 +189,9 @@ mod tests {
     fn oracle_drains_surplus_immediately() {
         let mut p = OraclePolicy::new(BTreeMap::new());
         let q = QueueStatus::default();
+        let it = Interner::new();
         let stats = CategoryStats::new();
-        let (action, _) = p.decide(&ctx(&q, &stats, &[], 5));
+        let (action, _) = p.decide(&ctx(&q, &stats, &it, &[], 5));
         assert_eq!(action, ScaleAction::DrainWorkers(5));
     }
 
@@ -181,11 +200,12 @@ mod tests {
         let mut req = BTreeMap::new();
         req.insert("dd".to_string(), Resources::cores(1, 1_000, 15_000));
         let mut p = OraclePolicy::new(req);
+        let it = interner(&["dd"]);
         let q = QueueStatus::default();
         let stats = CategoryStats::new();
-        let held = vec![("dd".to_string(), 6)];
+        let held = vec![(CAT0, 6)];
         // 15 GB disk → 3 per 50 GB worker → 2 workers.
-        let (action, _) = p.decide(&ctx(&q, &stats, &held, 0));
+        let (action, _) = p.decide(&ctx(&q, &stats, &it, &held, 0));
         assert_eq!(action, ScaleAction::CreateWorkers(2));
     }
 
@@ -194,21 +214,12 @@ mod tests {
         let mut req = BTreeMap::new();
         req.insert("x".to_string(), unit());
         let mut p = OraclePolicy::new(req);
-        let q = QueueStatus {
-            waiting: (0..100)
-                .map(|i| WaitingSnapshot {
-                    id: TaskId(i),
-                    category: "x".into(),
-                    declared: None,
-                })
-                .collect(),
-            running: vec![],
-            workers: vec![],
-        };
+        let it = interner(&["x"]);
+        let q = waiting_queue(100);
         let stats = CategoryStats::new();
-        let (action, _) = p.decide(&ctx(&q, &stats, &[], 0));
+        let (action, _) = p.decide(&ctx(&q, &stats, &it, &[], 0));
         assert_eq!(action, ScaleAction::CreateWorkers(20), "quota-clamped");
-        let mut done = ctx(&q, &stats, &[], 7);
+        let mut done = ctx(&q, &stats, &it, &[], 7);
         done.workload_done = true;
         let (action, _) = p.decide(&done);
         assert_eq!(action, ScaleAction::DrainWorkers(7));

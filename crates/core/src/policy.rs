@@ -10,7 +10,7 @@
 //! §II-C deployment difference the paper builds its middleware around.
 
 use hta_cluster::{Hpa, HpaConfig};
-use hta_des::{Duration, SimTime};
+use hta_des::{CategoryId, Duration, Interner, SimTime};
 use hta_resources::Resources;
 use hta_workqueue::master::QueueStatus;
 
@@ -49,9 +49,12 @@ pub struct PolicyContext<'a> {
     pub now: SimTime,
     /// Work Queue state (waiting/running/workers).
     pub queue: &'a QueueStatus,
+    /// The master's category interner (resolves the ids in `queue` and
+    /// `held_jobs` back to names at output boundaries).
+    pub interner: &'a Interner,
     /// Jobs the operator is still holding back (warm-up): they are demand
     /// the queue does not show. `(category, count)` pairs.
-    pub held_jobs: &'a [(String, usize)],
+    pub held_jobs: &'a [(CategoryId, usize)],
     /// Per-category learned statistics.
     pub stats: &'a CategoryStats,
     /// Latest measured resource-initialization time.
@@ -144,10 +147,10 @@ impl HtaPolicy {
         let running: Vec<RunningTask> = ctx
             .queue
             .running
-            .iter()
+            .values()
             .map(|r| {
                 let mean = stats
-                    .estimate(&r.category)
+                    .estimate(r.cat)
                     .map(|e| e.mean_wall)
                     .unwrap_or(default_exec);
                 let elapsed = r
@@ -166,7 +169,7 @@ impl HtaPolicy {
             .waiting
             .iter()
             .map(|w| {
-                let est = stats.estimate(&w.category);
+                let est = stats.estimate(w.cat);
                 let resources = w
                     .declared
                     .or(est.map(|e| e.resources))
@@ -181,7 +184,7 @@ impl HtaPolicy {
         // the warm-up stage collects statistics before provisioning for
         // them (§V-C).
         for (cat, count) in ctx.held_jobs {
-            if let Some(est) = stats.estimate(cat) {
+            if let Some(est) = stats.estimate(*cat) {
                 for _ in 0..*count {
                     waiting.push(WaitingTask {
                         resources: est.resources,
@@ -196,7 +199,7 @@ impl HtaPolicy {
         let mut active_workers: Vec<Resources> = ctx
             .queue
             .workers
-            .iter()
+            .values()
             .filter(|w| w.state == hta_workqueue::WorkerState::Active)
             .map(|w| w.capacity)
             .collect();
@@ -385,6 +388,19 @@ mod tests {
     use hta_workqueue::master::{QueueStatus, WaitingSnapshot, WorkerSnapshot};
     use hta_workqueue::{TaskId, WorkerId, WorkerState};
 
+    const ALIGN: CategoryId = CategoryId::from_u32(0);
+    const STAGE2: CategoryId = CategoryId::from_u32(1);
+
+    fn it() -> &'static Interner {
+        static IT: std::sync::OnceLock<Interner> = std::sync::OnceLock::new();
+        IT.get_or_init(|| {
+            let mut it = Interner::new();
+            it.intern("align"); // ALIGN
+            it.intern("stage2"); // STAGE2
+            it
+        })
+    }
+
     fn worker_unit() -> Resources {
         Resources::cores(3, 12_000, 50_000)
     }
@@ -396,12 +412,13 @@ mod tests {
     fn ctx<'a>(
         queue: &'a QueueStatus,
         stats: &'a CategoryStats,
-        held: &'a [(String, usize)],
+        held: &'a [(CategoryId, usize)],
         live: usize,
     ) -> PolicyContext<'a> {
         PolicyContext {
             now: SimTime::from_secs(100),
             queue,
+            interner: it(),
             held_jobs: held,
             stats,
             init_time: Duration::from_secs(157),
@@ -419,13 +436,29 @@ mod tests {
             waiting: (0..n)
                 .map(|i| WaitingSnapshot {
                     id: TaskId(i as u64),
-                    category: "align".into(),
+                    cat: ALIGN,
                     declared,
                 })
                 .collect(),
-            running: vec![],
-            workers: vec![],
+            ..QueueStatus::default()
         }
+    }
+
+    fn idle_workers(n: u64) -> std::collections::BTreeMap<WorkerId, WorkerSnapshot> {
+        (0..n)
+            .map(|i| {
+                (
+                    WorkerId(i),
+                    WorkerSnapshot {
+                        id: WorkerId(i),
+                        capacity: worker_unit(),
+                        available: worker_unit(),
+                        state: WorkerState::Active,
+                        tasks: 0,
+                    },
+                )
+            })
+            .collect()
     }
 
     #[test]
@@ -452,7 +485,7 @@ mod tests {
     fn hta_ignores_held_jobs_of_unmeasured_categories() {
         let q = empty_queue();
         let stats = CategoryStats::new();
-        let held = vec![("align".to_string(), 6)];
+        let held = vec![(ALIGN, 6)];
         let mut p = HtaPolicy::new(HtaConfig::default());
         // Unknown category under probe → no demand yet (warm-up collects
         // statistics before provisioning).
@@ -466,13 +499,13 @@ mod tests {
         let q = empty_queue();
         let mut stats = CategoryStats::new();
         stats.observe(
-            "align",
+            ALIGN,
             Measured {
                 peak: Resources::cores(1, 2_000, 2_000),
                 wall: Duration::from_secs(60),
             },
         );
-        let held = vec![("align".to_string(), 6)];
+        let held = vec![(ALIGN, 6)];
         let mut p = HtaPolicy::new(HtaConfig::default());
         // 6 measured 1-core jobs pack into 2 three-core workers.
         let (action, _) = p.decide(&ctx(&q, &stats, &held, 0));
@@ -485,17 +518,9 @@ mod tests {
         // the idle timeout and images are cached, so re-creating workers
         // after the probe completes costs seconds, not an init cycle.
         let mut q = empty_queue();
-        q.workers = (0..4)
-            .map(|i| WorkerSnapshot {
-                id: WorkerId(i),
-                capacity: worker_unit(),
-                available: worker_unit(),
-                state: WorkerState::Active,
-                tasks: 0,
-            })
-            .collect();
+        q.workers = idle_workers(4);
         let stats = CategoryStats::new();
-        let held = vec![("stage2".to_string(), 33)];
+        let held = vec![(STAGE2, 33)];
         let mut p = HtaPolicy::new(HtaConfig::default());
         let (action, _) = p.decide(&ctx(&q, &stats, &held, 4));
         assert_eq!(action, ScaleAction::DrainWorkers(4));
@@ -504,19 +529,11 @@ mod tests {
     #[test]
     fn hta_drains_on_idle_pool() {
         let mut q = empty_queue();
-        q.workers = (0..4)
-            .map(|i| WorkerSnapshot {
-                id: WorkerId(i),
-                capacity: worker_unit(),
-                available: worker_unit(),
-                state: WorkerState::Active,
-                tasks: 0,
-            })
-            .collect();
+        q.workers = idle_workers(4);
         // One waiting task too big for the aggregate → idle forever.
         q.waiting = vec![WaitingSnapshot {
             id: TaskId(0),
-            category: "huge".into(),
+            cat: STAGE2,
             declared: Some(Resources::new(1000, 80_000, 0)),
         }];
         let stats = CategoryStats::new();
@@ -528,15 +545,7 @@ mod tests {
     #[test]
     fn min_pool_floor_limits_drains() {
         let mut q = empty_queue();
-        q.workers = (0..6)
-            .map(|i| WorkerSnapshot {
-                id: WorkerId(i),
-                capacity: worker_unit(),
-                available: worker_unit(),
-                state: WorkerState::Active,
-                tasks: 0,
-            })
-            .collect();
+        q.workers = idle_workers(6);
         let stats = CategoryStats::new();
         let mut p = HtaPolicy::new(HtaConfig {
             min_pool: 4,
@@ -556,15 +565,7 @@ mod tests {
     #[test]
     fn drain_rate_limit_caps_each_cycle() {
         let mut q = empty_queue();
-        q.workers = (0..8)
-            .map(|i| WorkerSnapshot {
-                id: WorkerId(i),
-                capacity: worker_unit(),
-                available: worker_unit(),
-                state: WorkerState::Active,
-                tasks: 0,
-            })
-            .collect();
+        q.workers = idle_workers(8);
         let stats = CategoryStats::new();
         let mut p = HtaPolicy::new(HtaConfig {
             max_drain_per_cycle: 3,

@@ -123,9 +123,19 @@ impl ScalingPolicy for TargetTrackingPolicy {
 mod tests {
     use super::*;
     use crate::category_stats::CategoryStats;
+    use hta_des::{CategoryId, Interner};
     use hta_resources::Resources;
     use hta_workqueue::master::{QueueStatus, WaitingSnapshot};
     use hta_workqueue::TaskId;
+
+    fn it() -> &'static Interner {
+        static IT: std::sync::OnceLock<Interner> = std::sync::OnceLock::new();
+        IT.get_or_init(|| {
+            let mut it = Interner::new();
+            it.intern("t");
+            it
+        })
+    }
 
     fn ctx<'a>(
         queue: &'a QueueStatus,
@@ -136,6 +146,7 @@ mod tests {
         PolicyContext {
             now: SimTime::from_secs(now_s),
             queue,
+            interner: it(),
             held_jobs: &[],
             stats,
             init_time: Duration::from_secs(157),
@@ -153,12 +164,11 @@ mod tests {
             waiting: (0..n)
                 .map(|i| WaitingSnapshot {
                     id: TaskId(i as u64),
-                    category: "t".into(),
+                    cat: CategoryId::from_u32(0),
                     declared: None,
                 })
                 .collect(),
-            running: vec![],
-            workers: vec![],
+            ..QueueStatus::default()
         }
     }
 

@@ -1,0 +1,138 @@
+//! Category interning.
+//!
+//! Workflow categories ("stages") are tiny in number — a handful per
+//! workload — but their `String` names used to be cloned on every
+//! dispatch, completion, and autoscaler snapshot. An [`Interner`] maps
+//! each distinct name to a dense [`CategoryId`] once; the hot path then
+//! moves `Copy` ids around and aggregates in `Vec`s indexed by id.
+//!
+//! Determinism: ids are assigned in first-intern order, which is itself
+//! deterministic per run (workflow submission order). Anything that must
+//! present output in *name* order (summaries, recorded metrics) goes
+//! through [`Interner::iter_by_name`], which walks the names in
+//! lexicographic order exactly like the `BTreeMap<String, _>` aggregates
+//! this replaces.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A dense handle for one interned category name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CategoryId(u32);
+
+impl CategoryId {
+    /// Construct from a raw index (tests and pre-seeded tables; real ids
+    /// come from [`Interner::intern`]).
+    pub const fn from_u32(v: u32) -> Self {
+        CategoryId(v)
+    }
+
+    /// The raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as a `usize`, for `Vec`-indexed per-category tables.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string-to-[`CategoryId`] interner.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    by_name: BTreeMap<String, CategoryId>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `name`, returning its id. Allocates only on first sight of
+    /// a name; subsequent calls are a map lookup.
+    pub fn intern(&mut self, name: &str) -> CategoryId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id =
+            CategoryId(u32::try_from(self.names.len()).expect("more than u32::MAX categories"));
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id of an already-interned name, if any.
+    pub fn get(&self, name: &str) -> Option<CategoryId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name behind an id.
+    ///
+    /// Panics if `id` did not come from this interner.
+    pub fn name(&self, id: CategoryId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// `(name, id)` pairs in lexicographic name order — the iteration
+    /// order of the `BTreeMap<String, _>` aggregates interning replaced.
+    pub fn iter_by_name(&self) -> impl Iterator<Item = (&str, CategoryId)> {
+        self.by_name.iter().map(|(n, &id)| (n.as_str(), id))
+    }
+
+    /// All ids in assignment (first-intern) order.
+    pub fn ids(&self) -> impl Iterator<Item = CategoryId> {
+        (0..self.names.len() as u32).map(CategoryId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("align");
+        let b = i.intern("blast");
+        assert_eq!(i.intern("align"), a);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.name(a), "align");
+        assert_eq!(i.name(b), "blast");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn iter_by_name_is_lexicographic() {
+        let mut i = Interner::new();
+        i.intern("split");
+        i.intern("align");
+        i.intern("reduce");
+        let names: Vec<&str> = i.iter_by_name().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["align", "reduce", "split"]);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let id = i.intern("x");
+        assert_eq!(i.get("x"), Some(id));
+        assert_eq!(i.len(), 1);
+    }
+}

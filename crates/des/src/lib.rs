@@ -37,14 +37,18 @@
 //! ```
 
 pub mod backoff;
+pub mod intern;
 pub mod queue;
 pub mod rng;
 pub mod sim;
+pub mod sink;
 pub mod time;
 pub mod trace;
 
 pub use backoff::Backoff;
+pub use intern::{CategoryId, Interner};
 pub use queue::{EventQueue, Scheduled};
 pub use rng::SimRng;
 pub use sim::{Simulation, StopReason};
+pub use sink::EffectSink;
 pub use time::{Duration, SimTime};

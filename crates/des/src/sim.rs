@@ -1,23 +1,28 @@
 //! A small generic simulation driver.
 //!
 //! Components in this workspace are pure state machines
-//! (`handle(now, event) -> Vec<(delay, event)>`), and every test so far
+//! (`handle(now, event, &mut EffectSink)`), and every test so far
 //! hand-rolls the same pop/dispatch/schedule loop. [`Simulation`] packages
 //! that loop for downstream users: give it a state and a handler, and
 //! drive it to quiescence, to a deadline, or until a predicate holds.
 //!
+//! The handler pushes follow-up events into the provided sink; the
+//! driver drains them into the event queue. One sink is reused for the
+//! whole run, so dispatch allocates nothing in steady state.
+//!
 //! ```
-//! use hta_des::{Duration, SimTime, Simulation};
+//! use hta_des::{Duration, EffectSink, SimTime, Simulation};
 //!
 //! // A countdown: every event schedules its predecessor until zero.
-//! let mut sim = Simulation::new(0u32, |count: &mut u32, _now, n: u32| {
-//!     *count += 1;
-//!     if n > 0 {
-//!         vec![(Duration::from_secs(1), n - 1)]
-//!     } else {
-//!         vec![]
-//!     }
-//! });
+//! let mut sim = Simulation::new(
+//!     0u32,
+//!     |count: &mut u32, _now, n: u32, out: &mut EffectSink<u32>| {
+//!         *count += 1;
+//!         if n > 0 {
+//!             out.push(Duration::from_secs(1), n - 1);
+//!         }
+//!     },
+//! );
 //! sim.schedule_in(Duration::ZERO, 5u32);
 //! sim.run_to_quiescence(1_000);
 //! assert_eq!(*sim.state(), 6, "six events delivered");
@@ -25,6 +30,7 @@
 //! ```
 
 use crate::queue::EventQueue;
+use crate::sink::EffectSink;
 use crate::time::{Duration, SimTime};
 
 /// Why a run loop stopped.
@@ -43,16 +49,17 @@ pub enum StopReason {
 /// A state + handler + event queue bundle.
 pub struct Simulation<S, E, F>
 where
-    F: FnMut(&mut S, SimTime, E) -> Vec<(Duration, E)>,
+    F: FnMut(&mut S, SimTime, E, &mut EffectSink<E>),
 {
     state: S,
     handler: F,
     queue: EventQueue<E>,
+    sink: EffectSink<E>,
 }
 
 impl<S, E, F> Simulation<S, E, F>
 where
-    F: FnMut(&mut S, SimTime, E) -> Vec<(Duration, E)>,
+    F: FnMut(&mut S, SimTime, E, &mut EffectSink<E>),
 {
     /// Bundle a state with its event handler.
     pub fn new(state: S, handler: F) -> Self {
@@ -60,6 +67,7 @@ where
             state,
             handler,
             queue: EventQueue::new(),
+            sink: EffectSink::new(),
         }
     }
 
@@ -112,7 +120,8 @@ where
                 Some(_) => {}
             }
             let (now, event) = self.queue.pop().expect("peeked");
-            for (d, e) in (self.handler)(&mut self.state, now, event) {
+            (self.handler)(&mut self.state, now, event, &mut self.sink);
+            for (d, e) in self.sink.drain() {
                 self.queue.schedule_in(d, e);
             }
             if stop(&self.state, now) {
@@ -127,15 +136,13 @@ where
 mod tests {
     use super::*;
 
-    type Handler = fn(&mut Vec<u64>, SimTime, bool) -> Vec<(Duration, bool)>;
+    type Handler = fn(&mut Vec<u64>, SimTime, bool, &mut EffectSink<bool>);
 
     fn ping_pong() -> Simulation<Vec<u64>, bool, Handler> {
-        fn handle(log: &mut Vec<u64>, now: SimTime, ping: bool) -> Vec<(Duration, bool)> {
+        fn handle(log: &mut Vec<u64>, now: SimTime, ping: bool, out: &mut EffectSink<bool>) {
             log.push(now.as_millis());
             if ping {
-                vec![(Duration::from_millis(10), false)]
-            } else {
-                vec![]
+                out.push(Duration::from_millis(10), false);
             }
         }
         Simulation::new(Vec::new(), handle as Handler)
@@ -165,10 +172,13 @@ mod tests {
 
     #[test]
     fn predicate_stops_early() {
-        let mut sim = Simulation::new(0u32, |n: &mut u32, _now, (): ()| {
-            *n += 1;
-            vec![(Duration::from_secs(1), ())]
-        });
+        let mut sim = Simulation::new(
+            0u32,
+            |n: &mut u32, _now, (): (), out: &mut EffectSink<()>| {
+                *n += 1;
+                out.push(Duration::from_secs(1), ());
+            },
+        );
         sim.schedule_in(Duration::ZERO, ());
         let reason = sim.run_until(SimTime::MAX, 1_000, |n, _| *n >= 7);
         assert_eq!(reason, StopReason::Predicate);
@@ -177,7 +187,9 @@ mod tests {
 
     #[test]
     fn budget_bounds_livelocks() {
-        let mut sim = Simulation::new((), |(), _now, (): ()| vec![(Duration::ZERO, ())]);
+        let mut sim = Simulation::new((), |(), _now, (): (), out: &mut EffectSink<()>| {
+            out.push(Duration::ZERO, ());
+        });
         sim.schedule_in(Duration::ZERO, ());
         let reason = sim.run_to_quiescence(50);
         assert_eq!(reason, StopReason::Budget);

@@ -1,0 +1,69 @@
+//! Property tests for the category interner: interning must be a
+//! bijection between distinct names and ids (no collisions, stable
+//! round-trips), because every per-category statistic in the simulator
+//! is keyed by the id a name interned to.
+
+use std::collections::BTreeSet;
+
+use hta_des::Interner;
+use proptest::prelude::*;
+
+/// Characters category names are built from — including multi-byte
+/// unicode, separators, and the empty string (length 0 draws).
+const ALPHABET: &[char] = &[
+    'a', 'b', 'z', 'A', '0', '9', '_', '-', '.', '/', ' ', 'α', 'λ', '日', '🦀',
+];
+
+/// Arbitrary (possibly empty, possibly non-ASCII) category names.
+fn names(max: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0usize..ALPHABET.len(), 0..16)
+            .prop_map(|ix| ix.into_iter().map(|i| ALPHABET[i]).collect::<String>()),
+        1..max,
+    )
+}
+
+proptest! {
+    /// Every name round-trips: `name(intern(s)) == s`, and re-interning
+    /// returns the same id.
+    #[test]
+    fn intern_round_trips(names in names(60)) {
+        let mut it = Interner::new();
+        let ids: Vec<_> = names.iter().map(|n| it.intern(n)).collect();
+        for (name, id) in names.iter().zip(&ids) {
+            prop_assert_eq!(it.name(*id), name.as_str());
+            prop_assert_eq!(it.intern(name), *id);
+            prop_assert_eq!(it.get(name), Some(*id));
+        }
+    }
+
+    /// Distinct names never collide on an id, and the interner holds
+    /// exactly one id per distinct name.
+    #[test]
+    fn distinct_names_get_distinct_ids(names in names(80)) {
+        let mut it = Interner::new();
+        for n in &names {
+            it.intern(n);
+        }
+        let distinct: BTreeSet<&str> = names.iter().map(String::as_str).collect();
+        prop_assert_eq!(it.len(), distinct.len());
+        let ids: BTreeSet<u32> = distinct.iter().map(|n| it.get(n).unwrap().as_u32()).collect();
+        prop_assert_eq!(ids.len(), distinct.len(), "id collision");
+        // Ids are dense: 0..len, so Vec-indexed per-category tables work.
+        prop_assert!(ids.iter().all(|&i| (i as usize) < it.len()));
+    }
+
+    /// `iter_by_name` walks names in lexicographic order (the order the
+    /// deterministic reporting paths rely on).
+    #[test]
+    fn iteration_is_lexicographic(names in names(50)) {
+        let mut it = Interner::new();
+        for n in &names {
+            it.intern(n);
+        }
+        let walked: Vec<&str> = it.iter_by_name().map(|(n, _)| n).collect();
+        let mut sorted: Vec<&str> = walked.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(walked, sorted);
+    }
+}

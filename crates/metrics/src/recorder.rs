@@ -114,11 +114,16 @@ impl RunRecorder {
     }
 
     /// Record a sample of a named extra series (created on first use).
+    /// Looks the series up by `&str` first so the steady-state path (the
+    /// series already exists) allocates nothing.
     pub fn record_extra(&mut self, name: &str, time_s: f64, value: f64) {
-        self.extra
-            .entry(name.to_string())
-            .or_insert_with(|| TimeSeries::new(name))
-            .push(time_s, value);
+        if let Some(series) = self.extra.get_mut(name) {
+            series.push(time_s, value);
+            return;
+        }
+        let mut series = TimeSeries::new(name);
+        series.push(time_s, value);
+        self.extra.insert(name.to_string(), series);
     }
 
     /// Record one synchronized sample across all series.

@@ -33,7 +33,7 @@
 //! # Example
 //!
 //! ```
-//! use hta_des::{Duration, EventQueue, SimTime};
+//! use hta_des::{Duration, EffectSink, EventQueue, SimTime};
 //! use hta_resources::Resources;
 //! use hta_workqueue::master::{Master, MasterConfig};
 //! use hta_workqueue::task::{ExecModel, TaskSpec};
@@ -43,11 +43,12 @@
 //! let db = catalog.register("blast-db", 100.0, true);
 //! let mut master = Master::new(MasterConfig::default(), catalog);
 //! let mut queue = EventQueue::new();
+//! let mut fx = EffectSink::new();
 //!
-//! let (_worker, fx) = master.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-//! for (d, e) in fx { queue.schedule_in(d, e); }
+//! let _worker = master.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+//! for (d, e) in fx.drain() { queue.schedule_in(d, e); }
 //!
-//! let fx = master.submit(SimTime::ZERO, TaskSpec {
+//! master.submit(SimTime::ZERO, TaskSpec {
 //!     id: TaskId(0),
 //!     category: "align".into(),
 //!     inputs: vec![db],
@@ -55,12 +56,14 @@
 //!     declared: Some(Resources::cores(1, 3_000, 5_000)),
 //!     actual: Resources::cores(1, 2_500, 4_000),
 //!     exec: ExecModel::cpu_bound(Duration::from_secs(60)),
-//! });
-//! for (d, e) in fx { queue.schedule_in(d, e); }
+//! }, &mut fx);
+//! for (d, e) in fx.drain() { queue.schedule_in(d, e); }
 //!
-//! // Drive the event loop to completion.
+//! // Drive the event loop to completion. One sink is reused for the
+//! // whole run — steady-state dispatch allocates nothing.
 //! while let Some((now, ev)) = queue.pop() {
-//!     for (d, e) in master.handle(now, ev) {
+//!     master.handle(now, ev, &mut fx);
+//!     for (d, e) in fx.drain() {
 //!         queue.schedule_in(d, e);
 //!     }
 //!     if master.all_complete() { break; }
@@ -79,8 +82,8 @@ pub use file::{FileCatalog, FileSpec};
 pub use ids::{FileId, FlowId, TaskId, WorkerId};
 pub use link::FairShareLink;
 pub use master::{
-    CategorySummary, FailKind, Master, MasterConfig, QueueStatus, TaskFaultStats, TaskFaults,
-    WqEffect, WqEvent, WqNotification,
+    CategorySummary, FailKind, Master, MasterConfig, QueueStatus, RunningSnapshot, TaskFaultStats,
+    TaskFaults, WaitingSnapshot, WorkerSnapshot, WqEffect, WqEvent, WqNotification,
 };
 pub use task::{ExecModel, Speculative, TaskRecord, TaskSpec, TaskState};
 pub use worker::{Worker, WorkerState};

@@ -17,10 +17,25 @@
 //! Workers leave in two ways: [`Master::drain_worker`] (graceful, HTA) and
 //! [`Master::kill_worker`] (eviction, HPA) — killed workers orphan their
 //! tasks back into the queue and lose their caches.
+//!
+//! # Hot path
+//!
+//! The master sits on the simulation's innermost loop, so three design
+//! decisions keep steady-state event handling allocation-free:
+//!
+//! * category names are interned once at submission ([`CategoryId`]);
+//!   everything downstream (notifications, snapshots, per-category
+//!   statistics) moves the `Copy` id instead of cloning `String`s;
+//! * every effect-producing method pushes into a caller-owned
+//!   [`EffectSink`] instead of returning a fresh `Vec` per event;
+//! * the autoscaler's [`QueueStatus`] is maintained *incrementally* at
+//!   task/worker transitions instead of being rebuilt from scratch on
+//!   every poll ([`Master::queue_status`] only re-derives the waiting
+//!   view, and only when the queue actually changed).
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use hta_des::{Duration, SimRng, SimTime};
+use hta_des::{CategoryId, Duration, EffectSink, Interner, SimRng, SimTime};
 use hta_resources::Resources;
 use serde::{Deserialize, Serialize};
 
@@ -74,8 +89,9 @@ pub enum WqNotification {
     TaskCompleted {
         /// Which task.
         task: TaskId,
-        /// Its category (for HTA's per-category statistics).
-        category: String,
+        /// Its interned category (for HTA's per-category statistics;
+        /// resolve names through [`Master::interner`]).
+        cat: CategoryId,
         /// Measured peak resources + wall time.
         measured: Measured,
     },
@@ -87,8 +103,8 @@ pub enum WqNotification {
     TaskFailed {
         /// Which task.
         task: TaskId,
-        /// Its category.
-        category: String,
+        /// Its interned category.
+        cat: CategoryId,
     },
     /// A drained worker finished its last task and stopped.
     WorkerStopped(WorkerId),
@@ -218,23 +234,23 @@ impl FlowPurpose {
 }
 
 /// Snapshot of one waiting task (for the autoscaler).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct WaitingSnapshot {
     /// Task id.
     pub id: TaskId,
-    /// Category.
-    pub category: String,
+    /// Interned category.
+    pub cat: CategoryId,
     /// Declared resources, if known.
     pub declared: Option<Resources>,
 }
 
 /// Snapshot of one running (staging/running/returning) task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunningSnapshot {
     /// Task id.
     pub id: TaskId,
-    /// Category.
-    pub category: String,
+    /// Interned category.
+    pub cat: CategoryId,
     /// When execution started (`None` while staging).
     pub started_at: Option<SimTime>,
     /// Resources allocated on the worker.
@@ -244,7 +260,7 @@ pub struct RunningSnapshot {
 }
 
 /// Snapshot of one worker.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct WorkerSnapshot {
     /// Worker id.
     pub id: WorkerId,
@@ -275,20 +291,37 @@ pub struct CategorySummary {
 
 /// Queue status handed to the autoscaler (the paper's framework-level
 /// feedback input).
+///
+/// Maintained incrementally by the master: `running` and `workers` are
+/// updated in place at every task/worker transition; `waiting` is a
+/// lazily rebuilt view of the FIFO queue (rebuilt only when the queue
+/// changed since the last poll).
 #[derive(Debug, Clone, Default)]
 pub struct QueueStatus {
     /// Waiting tasks in FIFO order.
     pub waiting: Vec<WaitingSnapshot>,
-    /// Tasks assigned to workers.
-    pub running: Vec<RunningSnapshot>,
-    /// Active and draining workers.
-    pub workers: Vec<WorkerSnapshot>,
+    /// Tasks assigned to workers, keyed by task id.
+    pub running: BTreeMap<TaskId, RunningSnapshot>,
+    /// Active and draining workers, keyed by worker id.
+    pub workers: BTreeMap<WorkerId, WorkerSnapshot>,
+}
+
+/// Per-category wall-time accumulator with a cached mean.
+#[derive(Debug, Clone, Copy, Default)]
+struct CatWall {
+    total_ms: u128,
+    count: u64,
+    /// `total_ms / count`, recomputed on observation so the hot readers
+    /// ([`Master::mean_wall_id`], fast-abort/straggler arming, summaries)
+    /// never divide.
+    mean: Duration,
 }
 
 /// The master state machine.
 #[derive(Debug)]
 pub struct Master {
     catalog: FileCatalog,
+    interner: Interner,
     tasks: BTreeMap<TaskId, TaskRecord>,
     waiting: VecDeque<TaskId>,
     workers: BTreeMap<WorkerId, Worker>,
@@ -310,13 +343,27 @@ pub struct Master {
     completed_count: usize,
     failed_count: usize,
     fast_abort_multiplier: Option<f64>,
-    /// Mean observed wall per category (for the fast-abort threshold).
-    category_wall: HashMap<String, (u128, u64)>,
+    /// Mean observed wall per category, indexed by [`CategoryId`].
+    cat_wall: Vec<CatWall>,
     faults: TaskFaults,
     /// Fault/speculation RNG — only drawn from when a fault rate is
     /// nonzero or speculation is on, so fault-free runs stay byte-stable.
     rng: SimRng,
     fault_stats: TaskFaultStats,
+    /// Incrementally maintained autoscaler snapshot.
+    snap: QueueStatus,
+    /// True when `snap.waiting` no longer reflects the FIFO queue.
+    waiting_dirty: bool,
+    /// Recycled `leftover` deque for [`Master::dispatch`].
+    dispatch_scratch: VecDeque<TaskId>,
+    /// Recycled input-file buffer for [`Master::dispatch`].
+    input_scratch: Vec<FileId>,
+    /// Memoised [`Master::mean_worker_utilization`] result, cleared by
+    /// every mutating entry point. The metrics sampler reads the mean
+    /// several times per (usually event-free) sampling interval; the
+    /// cached value is the product of the exact same summation, so
+    /// reported series stay bit-identical.
+    mwu_cache: std::cell::Cell<Option<Option<f64>>>,
 }
 
 impl Master {
@@ -324,6 +371,7 @@ impl Master {
     pub fn new(cfg: MasterConfig, catalog: FileCatalog) -> Self {
         Master {
             catalog,
+            interner: Interner::new(),
             tasks: BTreeMap::new(),
             waiting: VecDeque::new(),
             workers: BTreeMap::new(),
@@ -338,10 +386,15 @@ impl Master {
             completed_count: 0,
             failed_count: 0,
             fast_abort_multiplier: cfg.fast_abort_multiplier,
-            category_wall: HashMap::new(),
+            cat_wall: Vec::new(),
             rng: SimRng::seed_from_u64(cfg.faults.seed),
             faults: cfg.faults,
             fault_stats: TaskFaultStats::default(),
+            snap: QueueStatus::default(),
+            waiting_dirty: false,
+            dispatch_scratch: VecDeque::new(),
+            input_scratch: Vec::new(),
+            mwu_cache: std::cell::Cell::new(None),
         }
     }
 
@@ -355,28 +408,44 @@ impl Master {
         &self.catalog
     }
 
+    /// The category interner (resolve [`CategoryId`]s to names).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Intern a category name ahead of submission (the operator does this
+    /// for every workflow category so ids exist before the first job).
+    pub fn intern_category(&mut self, name: &str) -> CategoryId {
+        self.interner.intern(name)
+    }
+
     // ------------------------------------------------------------------
     // API surface
     // ------------------------------------------------------------------
 
     /// Submit a task.
-    pub fn submit(&mut self, now: SimTime, spec: TaskSpec) -> Vec<WqEffect> {
+    pub fn submit(&mut self, now: SimTime, spec: TaskSpec, fx: &mut EffectSink<WqEvent>) {
         let id = spec.id;
         debug_assert!(
             !self.tasks.contains_key(&id),
             "duplicate task id {id:?} submitted"
         );
-        self.tasks.insert(id, TaskRecord::new(spec, now));
+        self.mwu_cache.set(None);
+        let cat = self.interner.intern(&spec.category);
+        self.tasks.insert(id, TaskRecord::new(spec, cat, now));
         self.waiting.push_back(id);
-        self.dispatch(now)
+        self.waiting_dirty = true;
+        self.dispatch(now, fx);
     }
 
     /// Update the declared resources of a *waiting* task (HTA applies a
     /// category's measured requirement to queued jobs — §IV-A step iii).
     pub fn declare_resources(&mut self, task: TaskId, declared: Resources) {
+        self.mwu_cache.set(None);
         if let Some(rec) = self.tasks.get_mut(&task) {
             if rec.state == TaskState::Waiting {
                 rec.spec.declared = Some(declared);
+                self.waiting_dirty = true;
             }
         }
     }
@@ -386,40 +455,46 @@ impl Master {
         &mut self,
         now: SimTime,
         capacity: Resources,
-    ) -> (WorkerId, Vec<WqEffect>) {
+        fx: &mut EffectSink<WqEvent>,
+    ) -> WorkerId {
+        self.mwu_cache.set(None);
         let id = WorkerId(self.next_worker);
         self.next_worker += 1;
         self.workers.insert(id, Worker::connect(id, capacity, now));
-        let fx = self.dispatch(now);
-        (id, fx)
+        self.refresh_worker_snap(id);
+        self.dispatch(now, fx);
+        id
     }
 
     /// Gracefully drain a worker: no new tasks; stops when empty. Idle
     /// workers stop immediately (notification emitted).
-    pub fn drain_worker(&mut self, now: SimTime, id: WorkerId) -> Vec<WqEffect> {
+    pub fn drain_worker(&mut self, now: SimTime, id: WorkerId) {
+        self.mwu_cache.set(None);
         let Some(w) = self.workers.get_mut(&id) else {
-            return Vec::new();
+            return;
         };
         if w.state == WorkerState::Stopped {
-            return Vec::new();
+            return;
         }
         if w.drain() {
             w.stop(now);
             self.notifications.push(WqNotification::WorkerStopped(id));
         }
-        Vec::new()
+        self.refresh_worker_snap(id);
     }
 
     /// Kill a worker (pod eviction): running/staging tasks are re-queued
     /// at the front, transfers cancelled, cache lost.
-    pub fn kill_worker(&mut self, now: SimTime, id: WorkerId) -> Vec<WqEffect> {
+    pub fn kill_worker(&mut self, now: SimTime, id: WorkerId, fx: &mut EffectSink<WqEvent>) {
+        self.mwu_cache.set(None);
         let Some(w) = self.workers.get_mut(&id) else {
-            return Vec::new();
+            return;
         };
         if w.state == WorkerState::Stopped {
-            return Vec::new();
+            return;
         }
         let orphans = w.stop(now);
+        self.refresh_worker_snap(id);
         // Cancel any flows serving the orphaned tasks (the worker's cache
         // and in-flight markers are already gone with `stop`).
         let stale: Vec<FlowId> = self
@@ -436,7 +511,6 @@ impl Master {
         for t in &orphans {
             self.staging_waits.remove(t);
         }
-        let mut fx = Vec::new();
         // Re-queue orphans at the front (retry priority), newest last so
         // original relative order is kept. Tasks entangled with a
         // speculative duplicate get special treatment: a duplicate that
@@ -468,7 +542,9 @@ impl Master {
                     rec.started_at = Some(sp.started_at);
                     rec.run_generation += 1;
                     let remaining = sp.duration.saturating_sub(now.since(sp.started_at));
-                    fx.push((remaining, WqEvent::TaskFinished(*t, rec.run_generation)));
+                    let generation = rec.run_generation;
+                    fx.push(remaining, WqEvent::TaskFinished(*t, generation));
+                    self.refresh_task_snap(*t);
                     continue;
                 }
             }
@@ -479,10 +555,11 @@ impl Master {
             rec.run_generation += 1;
             rec.interruptions += 1;
             self.waiting.push_front(*t);
+            self.waiting_dirty = true;
             self.notifications.push(WqNotification::TaskRequeued(*t));
+            self.refresh_task_snap(*t);
         }
-        fx.extend(self.dispatch(now));
-        fx
+        self.dispatch(now, fx);
     }
 
     /// Drain upward notifications.
@@ -494,50 +571,56 @@ impl Master {
     // Event handling
     // ------------------------------------------------------------------
 
-    /// Deliver one event.
-    pub fn handle(&mut self, now: SimTime, ev: WqEvent) -> Vec<WqEffect> {
+    /// Deliver one event, pushing follow-up effects into `fx`.
+    pub fn handle(&mut self, now: SimTime, ev: WqEvent, fx: &mut EffectSink<WqEvent>) {
+        self.mwu_cache.set(None);
         match ev {
             WqEvent::LinkWake(generation) => {
                 if generation != self.link.generation() {
-                    return Vec::new(); // stale wake-up
+                    return; // stale wake-up
                 }
-                self.link_progress(now)
+                self.link_progress(now, fx);
             }
             WqEvent::PeerLinkWake(generation) => {
                 if generation != self.peer_link.generation() {
-                    return Vec::new(); // stale wake-up
+                    return; // stale wake-up
                 }
                 self.peer_link.advance(now);
                 let done = self.peer_link.take_completed();
-                let mut fx = self.process_completed_flows(now, done);
-                fx.extend(self.dispatch(now));
-                fx.extend(self.arm_peer_wake());
-                fx
+                self.process_completed_flows(now, done, fx);
+                self.dispatch(now, fx);
+                self.arm_peer_wake(fx);
             }
-            WqEvent::TaskFinished(task, run_gen) => self.task_finished(now, task, run_gen),
-            WqEvent::FastAbortCheck(task, run_gen) => self.fast_abort_check(now, task, run_gen),
+            WqEvent::TaskFinished(task, run_gen) => self.task_finished(now, task, run_gen, fx),
+            WqEvent::FastAbortCheck(task, run_gen) => self.fast_abort_check(now, task, run_gen, fx),
             WqEvent::TaskAttemptFailed(task, run_gen, kind) => {
-                self.task_attempt_failed(now, task, run_gen, kind)
+                self.task_attempt_failed(now, task, run_gen, kind, fx)
             }
-            WqEvent::StragglerCheck(task, run_gen) => self.straggler_check(now, task, run_gen),
+            WqEvent::StragglerCheck(task, run_gen) => self.straggler_check(now, task, run_gen, fx),
             WqEvent::SpeculativeFinished(task, run_gen) => {
-                self.speculative_finished(now, task, run_gen)
+                self.speculative_finished(now, task, run_gen, fx)
             }
         }
     }
 
     /// Kill and re-queue a task that has been running far past its
     /// category's mean (Work Queue's fast abort).
-    fn fast_abort_check(&mut self, now: SimTime, task: TaskId, run_gen: u64) -> Vec<WqEffect> {
+    fn fast_abort_check(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        run_gen: u64,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
         let wid = {
             let Some(rec) = self.tasks.get(&task) else {
-                return Vec::new();
+                return;
             };
             if rec.run_generation != run_gen {
-                return Vec::new();
+                return;
             }
             let TaskState::Running(wid) = rec.state else {
-                return Vec::new();
+                return;
             };
             wid
         };
@@ -552,34 +635,51 @@ impl Master {
         rec.run_generation += 1;
         rec.interruptions += 1;
         self.waiting.push_front(task);
+        self.waiting_dirty = true;
         self.notifications
             .push(WqNotification::TaskFastAborted(task));
+        self.refresh_task_snap(task);
         self.release_from_worker(now, wid, task);
-        self.dispatch(now)
+        self.dispatch(now, fx);
     }
 
     /// Mean wall time of a category, if any run of it completed.
-    fn mean_wall(&self, category: &str) -> Option<Duration> {
-        let (total_ms, n) = self.category_wall.get(category)?;
-        if *n == 0 {
+    fn mean_wall_id(&self, cat: CategoryId) -> Option<Duration> {
+        let cw = self.cat_wall.get(cat.index())?;
+        if cw.count == 0 {
             return None;
         }
-        Some(Duration::from_millis((total_ms / *n as u128) as u64))
+        Some(cw.mean)
     }
 
-    fn link_progress(&mut self, now: SimTime) -> Vec<WqEffect> {
+    /// Fold one measured wall time into a category's running mean.
+    fn observe_wall(&mut self, cat: CategoryId, wall: Duration) {
+        let idx = cat.index();
+        if self.cat_wall.len() <= idx {
+            self.cat_wall.resize_with(idx + 1, CatWall::default);
+        }
+        let cw = &mut self.cat_wall[idx];
+        cw.total_ms += wall.as_millis() as u128;
+        cw.count += 1;
+        cw.mean = Duration::from_millis((cw.total_ms / cw.count as u128) as u64);
+    }
+
+    fn link_progress(&mut self, now: SimTime, fx: &mut EffectSink<WqEvent>) {
         self.link.advance(now);
         let done = self.link.take_completed();
-        let mut fx = self.process_completed_flows(now, done);
-        fx.extend(self.dispatch(now));
-        fx.extend(self.arm_link_wake());
-        fx
+        self.process_completed_flows(now, done, fx);
+        self.dispatch(now, fx);
+        self.arm_link_wake(fx);
     }
 
     /// Resolve a batch of completed staging/returning flows (from either
     /// link).
-    fn process_completed_flows(&mut self, now: SimTime, done: Vec<FlowId>) -> Vec<WqEffect> {
-        let mut fx = Vec::new();
+    fn process_completed_flows(
+        &mut self,
+        now: SimTime,
+        done: Vec<FlowId>,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
         for flow in done {
             let Some(purpose) = self.flows.remove(&flow) else {
                 continue;
@@ -608,7 +708,7 @@ impl Master {
                         .collect();
                     for t in ready {
                         self.staging_waits.remove(&t);
-                        fx.extend(self.start_execution(now, t));
+                        self.start_execution(now, t, fx);
                     }
                 }
                 FlowPurpose::Returning(task) => {
@@ -616,49 +716,43 @@ impl Master {
                 }
             }
         }
-        fx
     }
 
-    fn start_execution(&mut self, now: SimTime, task: TaskId) -> Vec<WqEffect> {
-        let (duration, generation, category) = {
+    fn start_execution(&mut self, now: SimTime, task: TaskId, fx: &mut EffectSink<WqEvent>) {
+        let (duration, generation, cat) = {
             let Some(rec) = self.tasks.get_mut(&task) else {
-                return Vec::new();
+                return;
             };
             let TaskState::Staging(wid) = rec.state else {
-                return Vec::new();
+                return;
             };
             rec.state = TaskState::Running(wid);
             rec.started_at = Some(now);
-            (
-                rec.spec.exec.duration,
-                rec.run_generation,
-                rec.spec.category.clone(),
-            )
+            (rec.spec.exec.duration, rec.run_generation, rec.cat)
         };
-        let mut fx = Vec::new();
+        self.refresh_task_snap(task);
         // Fault injection: this attempt may die partway through instead of
         // finishing. Exactly one of the two events below survives the
         // run-generation check.
         match self.draw_attempt_fate() {
-            Some((kind, frac)) => fx.push((
+            Some((kind, frac)) => fx.push(
                 duration.mul_f64(frac),
                 WqEvent::TaskAttemptFailed(task, generation, kind),
-            )),
-            None => fx.push((duration, WqEvent::TaskFinished(task, generation))),
+            ),
+            None => fx.push(duration, WqEvent::TaskFinished(task, generation)),
         }
         if let Some(mult) = self.fast_abort_multiplier {
-            if let Some(mean) = self.mean_wall(&category) {
+            if let Some(mean) = self.mean_wall_id(cat) {
                 let deadline = mean.mul_f64(mult.max(1.0));
-                fx.push((deadline, WqEvent::FastAbortCheck(task, generation)));
+                fx.push(deadline, WqEvent::FastAbortCheck(task, generation));
             }
         }
         if let Some(factor) = self.faults.straggler_factor {
-            if let Some(mean) = self.mean_wall(&category) {
+            if let Some(mean) = self.mean_wall_id(cat) {
                 let deadline = mean.mul_f64(factor.max(1.0));
-                fx.push((deadline, WqEvent::StragglerCheck(task, generation)));
+                fx.push(deadline, WqEvent::StragglerCheck(task, generation));
             }
         }
-        fx
     }
 
     /// Decide whether the execution attempt about to start will fail, and
@@ -693,16 +787,17 @@ impl Master {
         task: TaskId,
         run_gen: u64,
         kind: FailKind,
-    ) -> Vec<WqEffect> {
+        fx: &mut EffectSink<WqEvent>,
+    ) {
         let wid = {
             let Some(rec) = self.tasks.get(&task) else {
-                return Vec::new();
+                return;
             };
             if rec.run_generation != run_gen {
-                return Vec::new(); // interrupted run; event is stale
+                return; // interrupted run; event is stale
             }
             let TaskState::Running(wid) = rec.state else {
-                return Vec::new();
+                return;
             };
             wid
         };
@@ -732,9 +827,9 @@ impl Master {
             rec.completed_at = Some(now);
             self.fault_stats.permanent_failures += 1;
             self.failed_count += 1;
-            let category = rec.spec.category.clone();
+            let cat = rec.cat;
             self.notifications
-                .push(WqNotification::TaskFailed { task, category });
+                .push(WqNotification::TaskFailed { task, cat });
         } else {
             self.fault_stats.retries += 1;
             if kind == FailKind::Oom {
@@ -756,32 +851,36 @@ impl Master {
             }
             rec.state = TaskState::Waiting;
             self.waiting.push_front(task);
+            self.waiting_dirty = true;
         }
+        self.refresh_task_snap(task);
         self.release_from_worker(now, wid, task);
-        self.dispatch(now)
+        self.dispatch(now, fx);
     }
 
     /// A running task has exceeded `straggler_factor ×` its category mean:
     /// launch a speculative duplicate on another worker. First finish wins.
-    fn straggler_check(&mut self, now: SimTime, task: TaskId, run_gen: u64) -> Vec<WqEffect> {
-        let (alloc, primary_wid, category) = {
+    fn straggler_check(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        run_gen: u64,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        let (alloc, primary_wid, cat) = {
             let Some(rec) = self.tasks.get(&task) else {
-                return Vec::new();
+                return;
             };
             if rec.run_generation != run_gen {
-                return Vec::new();
+                return;
             }
             let TaskState::Running(wid) = rec.state else {
-                return Vec::new();
+                return;
             };
             if rec.speculative.is_some() {
-                return Vec::new();
+                return;
             }
-            (
-                rec.allocation.unwrap_or(rec.spec.actual),
-                wid,
-                rec.spec.category.clone(),
-            )
+            (rec.allocation.unwrap_or(rec.spec.actual), wid, rec.cat)
         };
         // A duplicate needs room on a *different* active worker; if none
         // has any, skip silently (the primary keeps running).
@@ -791,17 +890,18 @@ impl Master {
             .find(|w| w.id != primary_wid && w.can_accept(&alloc))
             .map(|w| w.id)
         else {
-            return Vec::new();
+            return;
         };
         self.workers
             .get_mut(&dup_wid)
             .expect("worker exists")
             .assign(task, alloc);
+        self.refresh_worker_snap(dup_wid);
         // The duplicate is an ordinary run of a category job: model its
         // wall time as the category mean (±10%) — speculation's premise is
         // that the straggler, not the task, is the outlier.
         let mean = self
-            .mean_wall(&category)
+            .mean_wall_id(cat)
             .unwrap_or_else(|| self.tasks[&task].spec.exec.duration);
         let duration = self.rng.jittered(mean, 0.1);
         let rec = self.tasks.get_mut(&task).expect("checked above");
@@ -811,24 +911,30 @@ impl Master {
             duration,
         });
         self.fault_stats.speculative_launched += 1;
-        vec![(duration, WqEvent::SpeculativeFinished(task, run_gen))]
+        fx.push(duration, WqEvent::SpeculativeFinished(task, run_gen));
     }
 
     /// The speculative duplicate beat the straggling primary: promote it
     /// (its run is the one that counts), cancel the primary, finish.
-    fn speculative_finished(&mut self, now: SimTime, task: TaskId, run_gen: u64) -> Vec<WqEffect> {
+    fn speculative_finished(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        run_gen: u64,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
         let (primary_wid, wasted_core_s, new_gen) = {
             let Some(rec) = self.tasks.get_mut(&task) else {
-                return Vec::new();
+                return;
             };
             if rec.run_generation != run_gen {
-                return Vec::new();
+                return;
             }
             let TaskState::Running(wid) = rec.state else {
-                return Vec::new();
+                return;
             };
             let Some(sp) = rec.speculative.take() else {
-                return Vec::new();
+                return;
             };
             let elapsed = rec.started_at.map_or(Duration::ZERO, |s| now.since(s));
             let cores = rec.allocation.unwrap_or(rec.spec.actual).cores_f64();
@@ -839,10 +945,11 @@ impl Master {
             rec.run_generation += 1;
             (wid, cores * elapsed.as_secs_f64(), rec.run_generation)
         };
+        self.refresh_task_snap(task);
         self.fault_stats.wasted_core_s += wasted_core_s;
         self.fault_stats.speculative_wins += 1;
         self.release_from_worker(now, primary_wid, task);
-        self.task_finished(now, task, new_gen)
+        self.task_finished(now, task, new_gen, fx);
     }
 
     /// Cancel an in-flight speculative duplicate (the race was decided
@@ -871,19 +978,26 @@ impl Master {
                 w.stop(now);
                 self.notifications.push(WqNotification::WorkerStopped(wid));
             }
+            self.refresh_worker_snap(wid);
         }
     }
 
-    fn task_finished(&mut self, now: SimTime, task: TaskId, run_gen: u64) -> Vec<WqEffect> {
+    fn task_finished(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        run_gen: u64,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
         {
             let Some(rec) = self.tasks.get(&task) else {
-                return Vec::new();
+                return;
             };
             if rec.run_generation != run_gen {
-                return Vec::new(); // interrupted run; event is stale
+                return; // interrupted run; event is stale
             }
             let TaskState::Running(_) = rec.state else {
-                return Vec::new();
+                return;
             };
         }
         // The primary finished first: any in-flight duplicate lost the race.
@@ -898,28 +1012,23 @@ impl Master {
             peak: rec.spec.actual,
             wall,
         });
-        let entry = self
-            .category_wall
-            .entry(rec.spec.category.clone())
-            .or_insert((0, 0));
-        entry.0 += wall.as_millis() as u128;
-        entry.1 += 1;
+        let cat = rec.cat;
         let output_mb = rec.spec.output_mb;
+        self.observe_wall(cat, wall);
         if output_mb > 0.0 {
+            let rec = self.tasks.get_mut(&task).expect("checked above");
             rec.state = TaskState::Returning(wid);
             let flow = FlowId(self.next_flow);
             self.next_flow += 1;
             self.link.advance(now);
             self.link.add_flow(now, flow, output_mb);
             self.flows.insert(flow, FlowPurpose::Returning(task));
-            let mut fx = self.arm_link_wake();
-            fx.extend(self.dispatch(now));
-            fx
+            self.arm_link_wake(fx);
+            self.dispatch(now, fx);
         } else {
             self.finalize_completion(now, task);
-            let mut fx = self.dispatch(now);
-            fx.extend(self.arm_link_wake());
-            fx
+            self.dispatch(now, fx);
+            self.arm_link_wake(fx);
         }
     }
 
@@ -937,40 +1046,59 @@ impl Master {
             peak: rec.spec.actual,
             wall: Duration::ZERO,
         });
-        let category = rec.spec.category.clone();
+        let cat = rec.cat;
         self.completed_count += 1;
         self.notifications.push(WqNotification::TaskCompleted {
             task,
-            category,
+            cat,
             measured,
         });
+        self.refresh_task_snap(task);
         if let Some(w) = self.workers.get_mut(&wid) {
             w.remove_task(task);
             if w.state == WorkerState::Draining && w.is_idle() {
                 w.stop(now);
                 self.notifications.push(WqNotification::WorkerStopped(wid));
             }
+            self.refresh_worker_snap(wid);
         }
     }
 
     /// First-fit FIFO dispatch of waiting tasks onto workers.
-    fn dispatch(&mut self, now: SimTime) -> Vec<WqEffect> {
+    fn dispatch(&mut self, now: SimTime, fx: &mut EffectSink<WqEvent>) {
         if self.waiting.is_empty() {
-            return Vec::new();
+            return;
         }
         self.link.advance(now);
-        let mut fx = Vec::new();
-        let mut leftover = VecDeque::new();
+        let mut leftover = std::mem::take(&mut self.dispatch_scratch);
+        leftover.clear();
+        let mut changed = false;
         let mut link_changed = false;
         let mut peer_changed = false;
+        // Admission gate: the component-wise max of free resources across
+        // accepting workers is a necessary condition for any placement —
+        // a request that does not fit it cannot fit any single worker. On
+        // a saturated cluster (the common long-queue case) this skips the
+        // per-task worker scan entirely without changing any decision.
+        let (mut max_free, mut any_idle) = self.dispatch_headroom();
         while let Some(tid) = self.waiting.pop_front() {
             let Some(rec) = self.tasks.get(&tid) else {
+                changed = true;
                 continue;
             };
             if rec.state != TaskState::Waiting {
+                changed = true;
                 continue;
             }
             let declared = rec.spec.declared;
+            let feasible = match declared {
+                Some(req) => req.fits_in(&max_free),
+                None => any_idle,
+            };
+            if !feasible {
+                leftover.push_back(tid);
+                continue;
+            }
             let target = match declared {
                 Some(req) => self
                     .workers
@@ -987,6 +1115,7 @@ impl Master {
                 leftover.push_back(tid);
                 continue;
             };
+            changed = true;
             {
                 let worker = self.workers.get_mut(&wid).expect("worker exists");
                 match declared {
@@ -994,11 +1123,17 @@ impl Master {
                     None => worker.assign_exclusive(tid),
                 }
             }
+            self.refresh_worker_snap(wid);
+            // The placement shrank this worker's free pool; re-derive the
+            // gate so it stays a sound upper bound.
+            (max_free, any_idle) = self.dispatch_headroom();
             // Split the task's inputs into: already cached (free), being
             // delivered by another task's flow (wait on it), available at
             // a peer worker (peer fetch), or missing (transfer them in
             // this task's own flow over the master uplink).
-            let inputs = self.tasks[&tid].spec.inputs.clone();
+            let mut inputs = std::mem::take(&mut self.input_scratch);
+            inputs.clear();
+            inputs.extend_from_slice(&self.tasks[&tid].spec.inputs);
             let mut deps: Vec<FlowId> = Vec::new();
             let mut own_mb = 0.0;
             let mut own_cacheable: Vec<FileId> = Vec::new();
@@ -1038,9 +1173,11 @@ impl Master {
                         .mark_inflight(*f, own_flow_id);
                 }
             }
+            self.input_scratch = inputs;
             let rec = self.tasks.get_mut(&tid).expect("task exists");
             rec.state = TaskState::Staging(wid);
             rec.allocation = Some(allocation);
+            self.refresh_task_snap(tid);
             if own_mb > 0.0 {
                 self.next_flow += 1;
                 self.link.add_flow(now, own_flow_id, own_mb);
@@ -1075,34 +1212,127 @@ impl Master {
                 peer_changed = true;
             }
             if deps.is_empty() {
-                fx.extend(self.start_execution(now, tid));
+                self.start_execution(now, tid, fx);
             } else {
                 self.staging_waits.insert(tid, deps);
             }
         }
-        self.waiting = leftover;
+        std::mem::swap(&mut self.waiting, &mut leftover);
+        self.dispatch_scratch = leftover;
+        if changed {
+            self.waiting_dirty = true;
+        }
         if link_changed {
-            fx.extend(self.arm_link_wake());
+            self.arm_link_wake(fx);
         }
         if peer_changed {
-            fx.extend(self.arm_peer_wake());
+            self.arm_peer_wake(fx);
         }
-        fx
+    }
+
+    /// The dispatch admission gate: the component-wise max of free
+    /// resources across workers that could take a declared-resources task,
+    /// and whether any worker could take an exclusive (unknown-resources)
+    /// one. Both are upper bounds — `can_accept` checks per-worker fit, so
+    /// a request exceeding the max on any axis fits nowhere.
+    fn dispatch_headroom(&self) -> (Resources, bool) {
+        let mut max_free = Resources::ZERO;
+        let mut any_idle = false;
+        for w in self.workers.values() {
+            if w.state != WorkerState::Active || w.exclusive_task.is_some() {
+                continue;
+            }
+            let free = w.pool.available();
+            max_free.millicores = max_free.millicores.max(free.millicores);
+            max_free.memory_mb = max_free.memory_mb.max(free.memory_mb);
+            max_free.disk_mb = max_free.disk_mb.max(free.disk_mb);
+            any_idle |= w.is_idle();
+        }
+        (max_free, any_idle)
     }
 
     /// Schedule the next link wake-up (tagged with the current generation).
-    fn arm_link_wake(&self) -> Vec<WqEffect> {
-        match self.link.next_completion_delay() {
-            Some(d) => vec![(d, WqEvent::LinkWake(self.link.generation()))],
-            None => Vec::new(),
+    fn arm_link_wake(&self, fx: &mut EffectSink<WqEvent>) {
+        if let Some(d) = self.link.next_completion_delay() {
+            fx.push(d, WqEvent::LinkWake(self.link.generation()));
         }
     }
 
     /// Schedule the next peer-link wake-up.
-    fn arm_peer_wake(&self) -> Vec<WqEffect> {
-        match self.peer_link.next_completion_delay() {
-            Some(d) => vec![(d, WqEvent::PeerLinkWake(self.peer_link.generation()))],
-            None => Vec::new(),
+    fn arm_peer_wake(&self, fx: &mut EffectSink<WqEvent>) {
+        if let Some(d) = self.peer_link.next_completion_delay() {
+            fx.push(d, WqEvent::PeerLinkWake(self.peer_link.generation()));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental snapshot maintenance
+    // ------------------------------------------------------------------
+
+    /// Re-derive one task's entry in the running snapshot (insert while it
+    /// is on a worker, remove otherwise). Called at every state change.
+    fn refresh_task_snap(&mut self, task: TaskId) {
+        let entry = self.tasks.get(&task).and_then(|r| {
+            let worker = r.worker()?;
+            Some(RunningSnapshot {
+                id: r.spec.id,
+                cat: r.cat,
+                started_at: r.started_at,
+                allocation: r.allocation.unwrap_or(Resources::ZERO),
+                worker,
+            })
+        });
+        match entry {
+            Some(s) => {
+                self.snap.running.insert(task, s);
+            }
+            None => {
+                self.snap.running.remove(&task);
+            }
+        }
+    }
+
+    /// Re-derive one worker's entry in the snapshot (removed once
+    /// stopped). Called whenever its state, load, or task count changes.
+    fn refresh_worker_snap(&mut self, wid: WorkerId) {
+        let entry = self
+            .workers
+            .get(&wid)
+            .filter(|w| w.state != WorkerState::Stopped)
+            .map(|w| WorkerSnapshot {
+                id: w.id,
+                capacity: w.capacity(),
+                available: w.pool.available(),
+                state: w.state,
+                tasks: w.task_count(),
+            });
+        match entry {
+            Some(s) => {
+                self.snap.workers.insert(wid, s);
+            }
+            None => {
+                self.snap.workers.remove(&wid);
+            }
+        }
+    }
+
+    /// Bring the waiting view of the snapshot up to date (the running and
+    /// worker views are always current). Cheap when nothing changed.
+    pub fn refresh_queue_status(&mut self) {
+        if !self.waiting_dirty {
+            return;
+        }
+        self.waiting_dirty = false;
+        self.snap.waiting.clear();
+        self.snap.waiting.reserve(self.waiting.len());
+        for t in &self.waiting {
+            if let Some(r) = self.tasks.get(t) {
+                self.snap.waiting.push(WaitingSnapshot {
+                    id: r.spec.id,
+                    cat: r.cat,
+                    declared: r.spec.declared,
+                });
+            }
         }
     }
 
@@ -1117,15 +1347,7 @@ impl Master {
 
     /// Number of tasks assigned to workers (staging/running/returning).
     pub fn running_count(&self) -> usize {
-        self.tasks
-            .values()
-            .filter(|r| {
-                matches!(
-                    r.state,
-                    TaskState::Staging(_) | TaskState::Running(_) | TaskState::Returning(_)
-                )
-            })
-            .count()
+        self.snap.running.len()
     }
 
     /// Number of completed tasks.
@@ -1161,18 +1383,12 @@ impl Master {
 
     /// Connected (non-stopped) worker count.
     pub fn connected_workers(&self) -> usize {
-        self.workers
-            .values()
-            .filter(|w| w.state != WorkerState::Stopped)
-            .count()
+        self.snap.workers.len()
     }
 
     /// Connected workers with no assigned task.
     pub fn idle_workers(&self) -> usize {
-        self.workers
-            .values()
-            .filter(|w| w.state != WorkerState::Stopped && w.is_idle())
-            .count()
+        self.snap.workers.values().filter(|w| w.tasks == 0).count()
     }
 
     /// Busy CPU cores on one worker: Σ over *running* tasks of
@@ -1204,19 +1420,25 @@ impl Master {
     /// per-worker `busy / capacity`, averaged. `None` when no worker is
     /// connected (no metrics — like a Deployment with zero ready pods).
     pub fn mean_worker_utilization(&self) -> Option<f64> {
-        let live: Vec<&Worker> = self
-            .workers
-            .values()
-            .filter(|w| w.state != WorkerState::Stopped)
-            .collect();
-        if live.is_empty() {
-            return None;
+        if let Some(cached) = self.mwu_cache.get() {
+            return cached;
         }
-        let sum: f64 = live
-            .iter()
-            .map(|w| w.utilization(self.worker_busy_cores(w.id)))
-            .sum();
-        Some(sum / live.len() as f64)
+        let mut live = 0usize;
+        let mut sum = 0.0;
+        for w in self.workers.values() {
+            if w.state == WorkerState::Stopped {
+                continue;
+            }
+            live += 1;
+            sum += w.utilization(self.worker_busy_cores(w.id));
+        }
+        let mean = if live == 0 {
+            None
+        } else {
+            Some(sum / live as f64)
+        };
+        self.mwu_cache.set(Some(mean));
+        mean
     }
 
     /// Instantaneous egress throughput (MB/s).
@@ -1226,16 +1448,10 @@ impl Master {
 
     /// Cores in use by running tasks, by *allocation* (the paper's RIU).
     pub fn in_use_cores(&self) -> f64 {
-        self.tasks
+        self.snap
+            .running
             .values()
-            .filter(|r| {
-                matches!(
-                    r.state,
-                    TaskState::Staging(_) | TaskState::Running(_) | TaskState::Returning(_)
-                )
-            })
-            .filter_map(|r| r.allocation)
-            .map(|a| a.cores_f64())
+            .map(|r| r.allocation.cores_f64())
             .sum()
     }
 
@@ -1280,13 +1496,14 @@ impl Master {
         self.tasks.values()
     }
 
-    /// Per-category queue summary: `(waiting, running, completed,
-    /// mean wall seconds)` keyed by category name.
-    pub fn category_summary(&self) -> std::collections::BTreeMap<String, CategorySummary> {
-        let mut out: std::collections::BTreeMap<String, CategorySummary> =
-            std::collections::BTreeMap::new();
+    /// Per-category queue summary keyed by category name. Cold path
+    /// (end-of-run reporting): counts accumulate in an id-indexed `Vec`
+    /// and only the final map is name-keyed.
+    pub fn category_summary(&self) -> BTreeMap<String, CategorySummary> {
+        let mut counts: Vec<CategorySummary> =
+            vec![CategorySummary::default(); self.interner.len()];
         for rec in self.tasks.values() {
-            let entry = out.entry(rec.spec.category.clone()).or_default();
+            let entry = &mut counts[rec.cat.index()];
             match rec.state {
                 TaskState::Waiting => entry.waiting += 1,
                 TaskState::Staging(_) | TaskState::Running(_) | TaskState::Returning(_) => {
@@ -1296,52 +1513,36 @@ impl Master {
                 TaskState::Failed => entry.failed += 1,
             }
         }
-        for (cat, entry) in out.iter_mut() {
-            entry.mean_wall_s = self.mean_wall(cat).map(|d| d.as_secs_f64()).unwrap_or(0.0);
+        let mut out = BTreeMap::new();
+        for (name, id) in self.interner.iter_by_name() {
+            let mut entry = counts[id.index()];
+            // Categories interned ahead of submission (the operator
+            // registers every workflow stage) but never actually submitted
+            // are absent from the old task-derived map; keep that shape.
+            if entry.waiting + entry.running + entry.completed + entry.failed == 0 {
+                continue;
+            }
+            entry.mean_wall_s = self
+                .mean_wall_id(id)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0);
+            out.insert(name.to_string(), entry);
         }
         out
     }
 
-    /// Snapshot for the autoscaler.
-    pub fn queue_status(&self) -> QueueStatus {
-        QueueStatus {
-            waiting: self
-                .waiting
-                .iter()
-                .filter_map(|t| self.tasks.get(t))
-                .map(|r| WaitingSnapshot {
-                    id: r.spec.id,
-                    category: r.spec.category.clone(),
-                    declared: r.spec.declared,
-                })
-                .collect(),
-            running: self
-                .tasks
-                .values()
-                .filter_map(|r| {
-                    let worker = r.worker()?;
-                    Some(RunningSnapshot {
-                        id: r.spec.id,
-                        category: r.spec.category.clone(),
-                        started_at: r.started_at,
-                        allocation: r.allocation.unwrap_or(Resources::ZERO),
-                        worker,
-                    })
-                })
-                .collect(),
-            workers: self
-                .workers
-                .values()
-                .filter(|w| w.state != WorkerState::Stopped)
-                .map(|w| WorkerSnapshot {
-                    id: w.id,
-                    capacity: w.capacity(),
-                    available: w.pool.available(),
-                    state: w.state,
-                    tasks: w.task_count(),
-                })
-                .collect(),
-        }
+    /// Snapshot for the autoscaler: refreshes the waiting view if the
+    /// queue changed, then returns the incrementally maintained status.
+    pub fn queue_status(&mut self) -> &QueueStatus {
+        self.refresh_queue_status();
+        &self.snap
+    }
+
+    /// The current snapshot *without* refreshing the waiting view. Pair
+    /// with [`Master::refresh_queue_status`] when shared borrows of the
+    /// master (e.g. the interner) must coexist with the snapshot.
+    pub fn snapshot(&self) -> &QueueStatus {
+        &self.snap
     }
 }
 
@@ -1369,16 +1570,25 @@ mod tests {
         }
     }
 
-    /// Drive the master until the queue is empty of events or `limit` pops.
-    fn run(master: &mut Master, q: &mut EventQueue<WqEvent>, fx: Vec<WqEffect>, limit: usize) {
-        for (d, e) in fx {
+    /// Schedule everything buffered in the sink.
+    fn sched(q: &mut EventQueue<WqEvent>, fx: &mut EffectSink<WqEvent>) {
+        for (d, e) in fx.drain() {
             q.schedule_in(d, e);
         }
+    }
+
+    /// Drive the master until the queue is empty of events or `limit` pops.
+    fn run(
+        master: &mut Master,
+        q: &mut EventQueue<WqEvent>,
+        fx: &mut EffectSink<WqEvent>,
+        limit: usize,
+    ) {
+        sched(q, fx);
         for _ in 0..limit {
             let Some((now, ev)) = q.pop() else { break };
-            for (d, e) in master.handle(now, ev) {
-                q.schedule_in(d, e);
-            }
+            master.handle(now, ev, fx);
+            sched(q, fx);
         }
     }
 
@@ -1395,13 +1605,15 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (_w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 10);
-        let fx = m.submit(
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 10);
+        m.submit(
             SimTime::ZERO,
             cpu_task(0, db, Some(Resources::cores(1, 2_000, 2_000))),
+            &mut fx,
         );
-        run(&mut m, &mut q, fx, 100);
+        run(&mut m, &mut q, &mut fx, 100);
         assert!(m.all_complete());
         let rec = m.task(TaskId(0)).unwrap();
         assert_eq!(rec.state, TaskState::Complete);
@@ -1420,15 +1632,16 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (_w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 10);
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 10);
         // Two unknown tasks, one worker: the second must wait even though
         // the worker has 4 cores.
-        let mut fx = m.submit(SimTime::ZERO, cpu_task(0, db, None));
-        fx.extend(m.submit(SimTime::ZERO, cpu_task(1, db, None)));
+        m.submit(SimTime::ZERO, cpu_task(0, db, None), &mut fx);
+        m.submit(SimTime::ZERO, cpu_task(1, db, None), &mut fx);
         assert_eq!(m.running_count(), 1);
         assert_eq!(m.waiting_count(), 1);
-        run(&mut m, &mut q, fx, 200);
+        run(&mut m, &mut q, &mut fx, 200);
         assert!(m.all_complete());
         // Sequential execution: second finishes after ~2×(stage+exec).
         let t1 = m
@@ -1445,15 +1658,15 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (_w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 10);
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 10);
         let decl = Some(Resources::cores(1, 2_000, 2_000));
-        let mut fx = Vec::new();
         for i in 0..4 {
-            fx.extend(m.submit(SimTime::ZERO, cpu_task(i, db, decl)));
+            m.submit(SimTime::ZERO, cpu_task(i, db, decl), &mut fx);
         }
         assert_eq!(m.running_count(), 4, "all four pack onto the worker");
-        run(&mut m, &mut q, fx, 400);
+        run(&mut m, &mut q, &mut fx, 400);
         assert!(m.all_complete());
         // Parallel: all done by ~62 s, not 4×61.
         for i in 0..4 {
@@ -1472,15 +1685,16 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 10);
+        let mut fx = EffectSink::new();
+        let w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 10);
         let decl = Some(Resources::cores(4, 2_000, 2_000)); // serialize on cores
-        let fx = m.submit(SimTime::ZERO, cpu_task(0, db, decl));
-        run(&mut m, &mut q, fx, 200);
+        m.submit(SimTime::ZERO, cpu_task(0, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 200);
         assert!(m.worker(w).unwrap().has_cached(db));
         let t0_done = m.task(TaskId(0)).unwrap().completed_at.unwrap();
-        let fx = m.submit(t0_done, cpu_task(1, db, decl));
-        run(&mut m, &mut q, fx, 200);
+        m.submit(t0_done, cpu_task(1, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 200);
         let rec1 = m.task(TaskId(1)).unwrap();
         // Second task skipped staging: started as soon as dispatched.
         assert_eq!(rec1.started_at.unwrap(), t0_done);
@@ -1491,17 +1705,17 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 10);
-        let fx = m.submit(
+        let mut fx = EffectSink::new();
+        let w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 10);
+        m.submit(
             SimTime::ZERO,
             cpu_task(0, db, Some(Resources::cores(1, 2_000, 2_000))),
+            &mut fx,
         );
-        for (d, e) in fx {
-            q.schedule_in(d, e);
-        }
-        let fx = m.drain_worker(SimTime::ZERO, w);
-        run(&mut m, &mut q, fx, 200);
+        sched(&mut q, &mut fx);
+        m.drain_worker(SimTime::ZERO, w);
+        run(&mut m, &mut q, &mut fx, 200);
         assert!(m.all_complete(), "running task finished despite drain");
         let notes = m.drain_notifications();
         assert!(notes.contains(&WqNotification::WorkerStopped(w)));
@@ -1512,8 +1726,9 @@ mod tests {
     fn drain_idle_worker_stops_immediately() {
         let (cat, _db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
-        let (w, _) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 0, 0));
-        let _ = m.drain_worker(SimTime::from_secs(1), w);
+        let mut fx = EffectSink::new();
+        let w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 0, 0), &mut fx);
+        m.drain_worker(SimTime::from_secs(1), w);
         let notes = m.drain_notifications();
         assert!(notes.contains(&WqNotification::WorkerStopped(w)));
     }
@@ -1523,33 +1738,30 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (w1, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
-        let fx = m.submit(
+        let mut fx = EffectSink::new();
+        let w1 = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
+        m.submit(
             SimTime::ZERO,
             cpu_task(0, db, Some(Resources::cores(1, 2_000, 2_000))),
+            &mut fx,
         );
-        for (d, e) in fx {
-            q.schedule_in(d, e);
-        }
+        sched(&mut q, &mut fx);
         // Let staging finish and execution begin (~1 s), then kill.
         while let Some(t) = q.peek_time() {
             if t > SimTime::from_secs(5) {
                 break;
             }
             let (now, ev) = q.pop().unwrap();
-            for (d, e) in m.handle(now, ev) {
-                q.schedule_in(d, e);
-            }
+            m.handle(now, ev, &mut fx);
+            sched(&mut q, &mut fx);
         }
         assert!(matches!(
             m.task(TaskId(0)).unwrap().state,
             TaskState::Running(_)
         ));
-        let fx = m.kill_worker(SimTime::from_secs(5), w1);
-        for (d, e) in fx {
-            q.schedule_in(d, e);
-        }
+        m.kill_worker(SimTime::from_secs(5), w1, &mut fx);
+        sched(&mut q, &mut fx);
         let rec = m.task(TaskId(0)).unwrap();
         assert_eq!(rec.state, TaskState::Waiting);
         assert_eq!(rec.interruptions, 1);
@@ -1559,8 +1771,8 @@ mod tests {
         // A second worker arrives; the task reruns and completes. (API
         // calls must use the queue's current time — effects are scheduled
         // relative to it.)
-        let (_w2, fx) = m.worker_connect(q.now(), Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 300);
+        let _w2 = m.worker_connect(q.now(), Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 300);
         assert!(m.all_complete());
         // The rerun re-staged (cache was lost with the killed worker) and
         // re-executed the full 60 s: completion lands after the stale
@@ -1576,20 +1788,18 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(3, 12_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
+        let mut fx = EffectSink::new();
+        let w = m.worker_connect(SimTime::ZERO, Resources::cores(3, 12_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
         // Unknown resources → exclusive 3-core hold, but the job only
         // burns 1 core at 90% → utilization ≈ 0.3 (the paper's 32.43%).
-        let fx = m.submit(SimTime::ZERO, cpu_task(0, db, None));
-        for (d, e) in fx {
-            q.schedule_in(d, e);
-        }
+        m.submit(SimTime::ZERO, cpu_task(0, db, None), &mut fx);
+        sched(&mut q, &mut fx);
         // Pump events just until execution starts (staging takes ~1 s).
         while !matches!(m.task(TaskId(0)).unwrap().state, TaskState::Running(_)) {
             let (now, ev) = q.pop().expect("events remain");
-            for (d, e) in m.handle(now, ev) {
-                q.schedule_in(d, e);
-            }
+            m.handle(now, ev, &mut fx);
+            sched(&mut q, &mut fx);
         }
         let util = m.worker_busy_cores(w) / 3.0;
         assert!((util - 0.3).abs() < 0.01, "util={util}");
@@ -1603,20 +1813,72 @@ mod tests {
     fn queue_status_snapshot() {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
-        let (_w, _) = m.worker_connect(SimTime::ZERO, Resources::cores(2, 8_000, 10_000));
-        let _ = m.submit(
+        let mut fx = EffectSink::new();
+        let w = m.worker_connect(SimTime::ZERO, Resources::cores(2, 8_000, 10_000), &mut fx);
+        m.submit(
             SimTime::ZERO,
             cpu_task(0, db, Some(Resources::cores(1, 0, 0))),
+            &mut fx,
         );
-        let _ = m.submit(
+        m.submit(
             SimTime::ZERO,
             cpu_task(1, db, Some(Resources::cores(2, 0, 0))),
+            &mut fx,
         );
         let st = m.queue_status();
         assert_eq!(st.running.len(), 1);
         assert_eq!(st.waiting.len(), 1, "2-core task can't fit beside 1-core");
         assert_eq!(st.workers.len(), 1);
-        assert_eq!(st.workers[0].tasks, 1);
+        assert_eq!(st.workers[&w].tasks, 1);
+        assert_eq!(st.waiting[0].id, TaskId(1));
+    }
+
+    #[test]
+    fn incremental_snapshot_matches_rebuilt_state() {
+        let (cat, db) = catalog_with_db();
+        let mut m = Master::new(link_cfg(), cat);
+        let mut q = EventQueue::new();
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(2, 8_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
+        let decl = Some(Resources::cores(1, 2_000, 2_000));
+        for i in 0..4 {
+            m.submit(SimTime::ZERO, cpu_task(i, db, decl), &mut fx);
+        }
+        // Cross-check the maintained snapshot against ground truth at
+        // several points through the run.
+        for _ in 0..20 {
+            let st = m.queue_status();
+            let snap_running: Vec<TaskId> = st.running.keys().copied().collect();
+            let snap_waiting: Vec<TaskId> = st.waiting.iter().map(|w| w.id).collect();
+            let truth_running: Vec<TaskId> = m
+                .task_records()
+                .filter(|r| r.worker().is_some())
+                .map(|r| r.spec.id)
+                .collect();
+            let truth_waiting: Vec<TaskId> = m
+                .task_records()
+                .filter(|r| r.state == TaskState::Waiting)
+                .map(|r| r.spec.id)
+                .collect();
+            assert_eq!(snap_running, truth_running);
+            assert_eq!(
+                {
+                    let mut s = snap_waiting.clone();
+                    s.sort();
+                    s
+                },
+                truth_waiting
+            );
+            let Some((now, ev)) = q.pop() else { break };
+            m.handle(now, ev, &mut fx);
+            sched(&mut q, &mut fx);
+        }
+        run(&mut m, &mut q, &mut fx, 400);
+        assert!(m.all_complete());
+        let st = m.queue_status();
+        assert!(st.running.is_empty());
+        assert!(st.waiting.is_empty());
     }
 
     #[test]
@@ -1624,17 +1886,23 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (_w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
         // Two unknown tasks: one runs exclusively, one waits.
-        let mut fx = m.submit(SimTime::ZERO, cpu_task(0, db, None));
-        fx.extend(m.submit(SimTime::ZERO, cpu_task(1, db, None)));
+        m.submit(SimTime::ZERO, cpu_task(0, db, None), &mut fx);
+        m.submit(SimTime::ZERO, cpu_task(1, db, None), &mut fx);
         assert_eq!(m.waiting_count(), 1);
         // HTA learns the category needs 1 core and updates the waiting task…
         m.declare_resources(TaskId(1), Resources::cores(1, 2_000, 2_000));
+        assert_eq!(
+            m.queue_status().waiting[0].declared,
+            Some(Resources::cores(1, 2_000, 2_000)),
+            "declared upgrade must show in the next snapshot"
+        );
         // …but the exclusive task still blocks the worker; the waiting task
         // dispatches only after it completes.
-        run(&mut m, &mut q, fx, 400);
+        run(&mut m, &mut q, &mut fx, 400);
         assert!(m.all_complete());
         let rec = m.task(TaskId(1)).unwrap();
         assert_eq!(rec.allocation, Some(Resources::cores(1, 2_000, 2_000)));
@@ -1653,12 +1921,13 @@ mod tests {
             cat,
         );
         let mut q = EventQueue::new();
-        let (_w1, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
+        let mut fx = EffectSink::new();
+        let _w1 = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
         let decl = Some(Resources::cores(1, 2_000, 2_000));
         // Establish the category mean with a normal 60 s task…
-        let fx = m.submit(SimTime::ZERO, cpu_task(0, db, decl));
-        run(&mut m, &mut q, fx, 100);
+        m.submit(SimTime::ZERO, cpu_task(0, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 100);
         assert!(m.task(TaskId(0)).unwrap().state == TaskState::Complete);
         // …then a straggler that would run 1000 s (mean 60 × 2 = 120 s
         // threshold). It gets aborted and re-run; the rerun also exceeds
@@ -1667,17 +1936,14 @@ mod tests {
         // by checking the first abort only.
         let mut straggler = cpu_task(1, db, decl);
         straggler.exec = ExecModel::cpu_bound(Duration::from_secs(1_000));
-        let fx = m.submit(q.now(), straggler);
-        for (d, e) in fx {
-            q.schedule_in(d, e);
-        }
+        m.submit(q.now(), straggler, &mut fx);
+        sched(&mut q, &mut fx);
         // Pump until the abort notification shows up.
         let mut aborted = false;
         for _ in 0..200 {
             let Some((now, ev)) = q.pop() else { break };
-            for (d, e) in m.handle(now, ev) {
-                q.schedule_in(d, e);
-            }
+            m.handle(now, ev, &mut fx);
+            sched(&mut q, &mut fx);
             if m.drain_notifications()
                 .iter()
                 .any(|n| matches!(n, WqNotification::TaskFastAborted(TaskId(1))))
@@ -1696,15 +1962,16 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (_w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
         let decl = Some(Resources::cores(1, 2_000, 2_000));
-        let fx = m.submit(SimTime::ZERO, cpu_task(0, db, decl));
-        run(&mut m, &mut q, fx, 100);
+        m.submit(SimTime::ZERO, cpu_task(0, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 100);
         let mut slow = cpu_task(1, db, decl);
         slow.exec = ExecModel::cpu_bound(Duration::from_secs(1_000));
-        let fx = m.submit(q.now(), slow);
-        run(&mut m, &mut q, fx, 300);
+        m.submit(q.now(), slow, &mut fx);
+        run(&mut m, &mut q, &mut fx, 300);
         assert!(m.all_complete());
         assert_eq!(m.task(TaskId(1)).unwrap().interruptions, 0);
     }
@@ -1726,30 +1993,27 @@ mod tests {
             cat,
         );
         let mut q = EventQueue::new();
-        let (_w1, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
+        let mut fx = EffectSink::new();
+        let _w1 = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
         let decl = Some(Resources::cores(4, 2_000, 2_000)); // serialize per worker
-        let fx = m.submit(SimTime::ZERO, cpu_task(0, db, decl));
-        run(&mut m, &mut q, fx, 100);
+        m.submit(SimTime::ZERO, cpu_task(0, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 100);
         assert!(m.task(TaskId(0)).unwrap().state == TaskState::Complete);
         // Pin worker 1 with a long task so the next task lands on worker 2
         // (whose cache is cold) while worker 1 still holds the db.
         let mut blocker = cpu_task(9, db, decl);
         blocker.exec = ExecModel::cpu_bound(Duration::from_secs(5_000));
-        let fx = m.submit(q.now(), blocker);
-        for (d, e) in fx {
-            q.schedule_in(d, e);
-        }
+        m.submit(q.now(), blocker, &mut fx);
+        sched(&mut q, &mut fx);
         // Second worker joins; its task's db comes over the peer link.
         // (Do not pump here: the next queued event is the blocker's finish
         // thousands of seconds away.)
-        let (w2, fx) = m.worker_connect(q.now(), Resources::cores(4, 16_000, 50_000));
-        for (d, e) in fx {
-            q.schedule_in(d, e);
-        }
+        let w2 = m.worker_connect(q.now(), Resources::cores(4, 16_000, 50_000), &mut fx);
+        sched(&mut q, &mut fx);
         let t1_submit = q.now();
-        let fx = m.submit(t1_submit, cpu_task(1, db, decl));
-        run(&mut m, &mut q, fx, 200);
+        m.submit(t1_submit, cpu_task(1, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 200);
         let rec = m.task(TaskId(1)).unwrap();
         assert_eq!(rec.state, TaskState::Complete);
         // Staging must be far faster than the 10 s a master copy takes:
@@ -1772,24 +2036,21 @@ mod tests {
             cat,
         );
         let mut q = EventQueue::new();
-        let (_w1, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
+        let mut fx = EffectSink::new();
+        let _w1 = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
         let decl = Some(Resources::cores(4, 2_000, 2_000));
-        let fx = m.submit(SimTime::ZERO, cpu_task(0, db, decl));
-        run(&mut m, &mut q, fx, 100);
+        m.submit(SimTime::ZERO, cpu_task(0, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 100);
         let mut blocker = cpu_task(9, db, decl);
         blocker.exec = ExecModel::cpu_bound(Duration::from_secs(5_000));
-        let fx = m.submit(q.now(), blocker);
-        for (d, e) in fx {
-            q.schedule_in(d, e);
-        }
-        let (_w2, fx) = m.worker_connect(q.now(), Resources::cores(4, 16_000, 50_000));
-        for (d, e) in fx {
-            q.schedule_in(d, e);
-        }
+        m.submit(q.now(), blocker, &mut fx);
+        sched(&mut q, &mut fx);
+        let _w2 = m.worker_connect(q.now(), Resources::cores(4, 16_000, 50_000), &mut fx);
+        sched(&mut q, &mut fx);
         let t1_submit = q.now();
-        let fx = m.submit(t1_submit, cpu_task(1, db, decl));
-        run(&mut m, &mut q, fx, 200);
+        m.submit(t1_submit, cpu_task(1, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 200);
         let rec = m.task(TaskId(1)).unwrap();
         let staging = rec.started_at.unwrap().since(t1_submit).as_secs_f64();
         assert!(
@@ -1803,15 +2064,19 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
         let mut q = EventQueue::new();
-        let (_w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
+        // Pre-interned-but-unsubmitted categories must not show up.
+        m.intern_category("phantom");
         let decl = Some(Resources::cores(4, 2_000, 2_000));
-        let mut fx = m.submit(SimTime::ZERO, cpu_task(0, db, decl));
-        fx.extend(m.submit(SimTime::ZERO, cpu_task(1, db, decl)));
+        m.submit(SimTime::ZERO, cpu_task(0, db, decl), &mut fx);
+        m.submit(SimTime::ZERO, cpu_task(1, db, decl), &mut fx);
         let sum = m.category_summary();
         assert_eq!(sum["align"].running, 1);
         assert_eq!(sum["align"].waiting, 1);
-        run(&mut m, &mut q, fx, 300);
+        assert!(!sum.contains_key("phantom"));
+        run(&mut m, &mut q, &mut fx, 300);
         let sum = m.category_summary();
         assert_eq!(sum["align"].completed, 2);
         assert!((sum["align"].mean_wall_s - 60.0).abs() < 1.0);
@@ -1821,10 +2086,12 @@ mod tests {
     fn describe_reports_queue_and_workers() {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
-        let (_w, _) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        let _ = m.submit(
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        m.submit(
             SimTime::ZERO,
             cpu_task(0, db, Some(Resources::cores(1, 0, 0))),
+            &mut fx,
         );
         let text = m.describe();
         assert!(text.contains("1 running"), "{text}");
@@ -1836,8 +2103,9 @@ mod tests {
     fn in_use_cores_counts_allocations() {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(link_cfg(), cat);
-        let (_w, _) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        let _ = m.submit(SimTime::ZERO, cpu_task(0, db, None));
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        m.submit(SimTime::ZERO, cpu_task(0, db, None), &mut fx);
         // Exclusive allocation = whole worker = 4 cores.
         assert!((m.in_use_cores() - 4.0).abs() < 1e-9);
     }
@@ -1865,13 +2133,15 @@ mod tests {
             cat,
         );
         let mut q = EventQueue::new();
-        let (_w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
-        let fx = m.submit(
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
+        m.submit(
             SimTime::ZERO,
             cpu_task(0, db, Some(Resources::cores(1, 2_000, 2_000))),
+            &mut fx,
         );
-        run(&mut m, &mut q, fx, 500);
+        run(&mut m, &mut q, &mut fx, 500);
         let rec = m.task(TaskId(0)).unwrap();
         assert_eq!(rec.state, TaskState::Failed);
         assert_eq!(rec.retries, 3, "max_retries + 1 attempts");
@@ -1909,13 +2179,15 @@ mod tests {
             cat,
         );
         let mut q = EventQueue::new();
-        let (_w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
-        let fx = m.submit(
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
+        m.submit(
             SimTime::ZERO,
             cpu_task(0, db, Some(Resources::cores(1, 2_000, 2_000))),
+            &mut fx,
         );
-        run(&mut m, &mut q, fx, 500);
+        run(&mut m, &mut q, &mut fx, 500);
         let rec = m.task(TaskId(0)).unwrap();
         // 2000 → 4000 → 8000 MB, capped at the 16 GB worker.
         assert_eq!(rec.spec.declared.unwrap().memory_mb, 8_000);
@@ -1927,13 +2199,15 @@ mod tests {
         let (cat, db) = catalog_with_db();
         let mut m = Master::new(faulty_cfg(TaskFaults::default()), cat);
         let mut q = EventQueue::new();
-        let (_w, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
-        let fx = m.submit(
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
+        m.submit(
             SimTime::ZERO,
             cpu_task(0, db, Some(Resources::cores(1, 2_000, 2_000))),
+            &mut fx,
         );
-        run(&mut m, &mut q, fx, 200);
+        run(&mut m, &mut q, &mut fx, 200);
         assert_eq!(m.completed_count(), 1);
         assert_eq!(m.fault_stats(), TaskFaultStats::default());
     }
@@ -1949,22 +2223,23 @@ mod tests {
             cat,
         );
         let mut q = EventQueue::new();
+        let mut fx = EffectSink::new();
         let decl = Some(Resources::cores(1, 2_000, 2_000));
-        let (_w1, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(1, 4_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
-        let (_w2, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(1, 4_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
+        let _w1 = m.worker_connect(SimTime::ZERO, Resources::cores(1, 4_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
+        let _w2 = m.worker_connect(SimTime::ZERO, Resources::cores(1, 4_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
         // Establish the category mean (60 s) with a normal task…
-        let fx = m.submit(SimTime::ZERO, cpu_task(0, db, decl));
-        run(&mut m, &mut q, fx, 100);
+        m.submit(SimTime::ZERO, cpu_task(0, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 100);
         assert_eq!(m.completed_count(), 1);
         // …then a 10 000 s straggler. At 120 s the check fires, a ~60 s
         // duplicate lands on the idle worker and wins by a mile.
         let mut straggler = cpu_task(1, db, decl);
         straggler.exec = ExecModel::cpu_bound(Duration::from_secs(10_000));
         let submit_at = q.now();
-        let fx = m.submit(submit_at, straggler);
-        run(&mut m, &mut q, fx, 500);
+        m.submit(submit_at, straggler, &mut fx);
+        run(&mut m, &mut q, &mut fx, 500);
         let rec = m.task(TaskId(1)).unwrap();
         assert_eq!(rec.state, TaskState::Complete);
         let done = rec.completed_at.unwrap().since(submit_at).as_secs_f64();
@@ -1997,19 +2272,20 @@ mod tests {
             cat,
         );
         let mut q = EventQueue::new();
+        let mut fx = EffectSink::new();
         let decl = Some(Resources::cores(1, 2_000, 2_000));
-        let (_w1, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(1, 4_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
-        let (w2, fx) = m.worker_connect(SimTime::ZERO, Resources::cores(1, 4_000, 50_000));
-        run(&mut m, &mut q, fx, 5);
+        let _w1 = m.worker_connect(SimTime::ZERO, Resources::cores(1, 4_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
+        let w2 = m.worker_connect(SimTime::ZERO, Resources::cores(1, 4_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 5);
         // Mean 60 s; the next task runs 61 s — barely a "straggler", so a
         // duplicate launches at 60 s but the primary wins the race.
-        let fx = m.submit(SimTime::ZERO, cpu_task(0, db, decl));
-        run(&mut m, &mut q, fx, 100);
+        m.submit(SimTime::ZERO, cpu_task(0, db, decl), &mut fx);
+        run(&mut m, &mut q, &mut fx, 100);
         let mut slow = cpu_task(1, db, decl);
         slow.exec = ExecModel::cpu_bound(Duration::from_secs(61));
-        let fx = m.submit(q.now(), slow);
-        run(&mut m, &mut q, fx, 500);
+        m.submit(q.now(), slow, &mut fx);
+        run(&mut m, &mut q, &mut fx, 500);
         let rec = m.task(TaskId(1)).unwrap();
         assert_eq!(rec.state, TaskState::Complete);
         let st = m.fault_stats();

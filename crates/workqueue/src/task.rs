@@ -14,7 +14,7 @@
 //! busy (≈0.9 for the CPU-bound BLAST jobs, <0.2 for the `dd` I/O-bound
 //! workload — the value HPA's CPU metric sees).
 
-use hta_des::{Duration, SimTime};
+use hta_des::{CategoryId, Duration, SimTime};
 use hta_resources::Resources;
 use serde::{Deserialize, Serialize};
 
@@ -113,6 +113,9 @@ pub struct Speculative {
 pub struct TaskRecord {
     /// The submitted spec.
     pub spec: TaskSpec,
+    /// Interned id of `spec.category` (assigned by the master's interner
+    /// at submission; the hot path moves this instead of the string).
+    pub cat: CategoryId,
     /// Current state.
     pub state: TaskState,
     /// What the master allocated on the worker for this run (whole worker
@@ -141,9 +144,10 @@ pub struct TaskRecord {
 
 impl TaskRecord {
     /// A freshly submitted record.
-    pub fn new(spec: TaskSpec, submitted_at: SimTime) -> Self {
+    pub fn new(spec: TaskSpec, cat: CategoryId, submitted_at: SimTime) -> Self {
         TaskRecord {
             spec,
+            cat,
             state: TaskState::Waiting,
             allocation: None,
             submitted_at,
@@ -203,7 +207,7 @@ mod tests {
 
     #[test]
     fn record_lifecycle_accessors() {
-        let mut r = TaskRecord::new(spec(None), SimTime::from_secs(1));
+        let mut r = TaskRecord::new(spec(None), CategoryId::from_u32(0), SimTime::from_secs(1));
         assert_eq!(r.state, TaskState::Waiting);
         assert_eq!(r.worker(), None);
         assert_eq!(r.planning_resources(), None);
@@ -215,7 +219,11 @@ mod tests {
 
     #[test]
     fn declared_resources_flow_to_planning() {
-        let r = TaskRecord::new(spec(Some(Resources::new(1000, 2_000, 0))), SimTime::ZERO);
+        let r = TaskRecord::new(
+            spec(Some(Resources::new(1000, 2_000, 0))),
+            CategoryId::from_u32(0),
+            SimTime::ZERO,
+        );
         assert_eq!(r.planning_resources(), Some(Resources::new(1000, 2_000, 0)));
     }
 
@@ -229,7 +237,7 @@ mod tests {
             (TaskState::Complete, None),
             (TaskState::Failed, None),
         ] {
-            let mut r = TaskRecord::new(spec(None), SimTime::ZERO);
+            let mut r = TaskRecord::new(spec(None), CategoryId::from_u32(0), SimTime::ZERO);
             r.state = state;
             assert_eq!(r.worker(), expect);
         }
