@@ -32,7 +32,7 @@ fn main() {
 
     for (i, (label, kind, paper)) in configs.iter().enumerate() {
         let r = fig2_run(*kind, 42 + i as u64);
-        let (paper_rt, paper_cpu) = paper.unwrap();
+        let (paper_rt, paper_cpu) = paper.expect("every fig2 config carries paper numbers");
         let measured = vec![
             r.summary.runtime_s,
             r.summary.avg_cpu_utilization * 100.0,

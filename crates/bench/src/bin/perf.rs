@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! perf [--quick] [--label NAME] [--out DIR] [--reps N]
-//!      [--check-against FILE] [--tolerance PCT]
+//!      [--check-against FILE] [--tolerance PCT] [--paranoid]
 //! ```
 //!
 //! Runs the Fig. 4/10/11 perf workloads with a fixed seed, prints an
@@ -10,11 +10,20 @@
 //! `current`, default directory `benchmarks/`). With `--check-against`,
 //! exits non-zero if events/sec dropped more than `--tolerance` percent
 //! (default 20) below the given baseline report on any shared workload.
+//!
+//! With `--paranoid`, skips timing entirely and instead runs each
+//! workload **twice** with the same seed, diffing a rolling digest of the
+//! two event streams. On a mismatch, a third capture run pinpoints the
+//! first divergent event; the binary prints it and exits non-zero. This
+//! is the tool to reach for when the golden tests fail "sometimes".
 
 use std::path::PathBuf;
 use std::process::exit;
 
-use hta_bench::perf::{compare, load_report, run_perf, save_report, BENCH_DIR};
+use hta_bench::perf::{
+    compare, load_report, paranoid_check, run_perf, save_report, workloads, ParanoidOutcome,
+    BENCH_DIR,
+};
 
 struct Args {
     quick: bool,
@@ -23,6 +32,7 @@ struct Args {
     reps: usize,
     check_against: Option<PathBuf>,
     tolerance: f64,
+    paranoid: bool,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +43,7 @@ fn parse_args() -> Args {
         reps: 0,
         check_against: None,
         tolerance: 0.20,
+        paranoid: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,6 +64,7 @@ fn parse_args() -> Args {
                 })
             }
             "--check-against" => args.check_against = Some(PathBuf::from(value("--check-against"))),
+            "--paranoid" => args.paranoid = true,
             "--tolerance" => {
                 let pct: f64 = value("--tolerance").parse().unwrap_or_else(|e| {
                     eprintln!("--tolerance: {e}");
@@ -74,6 +86,27 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+
+    if args.paranoid {
+        let mut diverged = false;
+        for (name, f) in workloads(args.quick) {
+            match paranoid_check(name, f) {
+                ParanoidOutcome::Deterministic { events } => {
+                    println!("ok: {name} — {events} events, streams identical");
+                }
+                ParanoidOutcome::Diverged { detail } => {
+                    diverged = true;
+                    eprintln!("DIVERGENCE: {detail}");
+                }
+            }
+        }
+        if diverged {
+            exit(1);
+        }
+        println!("paranoid: every workload replayed bitwise-identically");
+        return;
+    }
+
     let report = run_perf(&args.label, args.quick, args.reps);
 
     println!(

@@ -8,7 +8,7 @@ use hta_cluster::{ClusterConfig, MachineType};
 use hta_core::driver::{DriverConfig, RunResult, SystemDriver};
 use hta_core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
 use hta_core::OperatorConfig;
-use hta_des::Duration;
+use hta_des::{DigestConfig, Duration};
 use hta_makeflow::Workflow;
 use hta_resources::Resources;
 use hta_workloads::{
@@ -148,8 +148,21 @@ pub fn fig4_workload(declared: bool) -> Workflow {
     })
 }
 
+/// Finish driver construction: attach a digest when requested, run.
+fn finish(driver: SystemDriver, digest: Option<DigestConfig>) -> RunResult {
+    match digest {
+        Some(d) => driver.with_digest(d).run(),
+        None => driver.run(),
+    }
+}
+
 /// One Fig. 4 run on the fixed 5-node (3 vCPU / 12 GB) cluster.
 pub fn fig4_run(config: Fig4Config, seed: u64) -> RunResult {
+    fig4_run_with(config, seed, None)
+}
+
+/// [`fig4_run`] with an optional event-stream digest (`perf --paranoid`).
+pub fn fig4_run_with(config: Fig4Config, seed: u64, digest: Option<DigestConfig>) -> RunResult {
     let machine = MachineType::gke_3cpu_12gb();
     let (workers, worker_request, declared, learn) = match config {
         Fig4Config::FineGrained | Fig4Config::FineGrainedPeer => {
@@ -194,7 +207,10 @@ pub fn fig4_run(config: Fig4Config, seed: u64) -> RunResult {
         max_sim_time: Duration::from_secs(20_000),
     };
     let policy = make_policy(PolicyKind::Fixed(workers), workers, workers);
-    SystemDriver::new(cfg, fig4_workload(declared), policy).run()
+    finish(
+        SystemDriver::new(cfg, fig4_workload(declared), policy),
+        digest,
+    )
 }
 
 // ----------------------------------------------------------------------
@@ -322,10 +338,15 @@ pub fn fig10_driver(kind: PolicyKind, seed: u64) -> DriverConfig {
 
 /// One Fig. 10 run.
 pub fn fig10_run(kind: PolicyKind, seed: u64) -> RunResult {
+    fig10_run_with(kind, seed, None)
+}
+
+/// [`fig10_run`] with an optional event-stream digest (`perf --paranoid`).
+pub fn fig10_run_with(kind: PolicyKind, seed: u64, digest: Option<DigestConfig>) -> RunResult {
     let cfg = fig10_driver(kind, seed);
     let policy = make_policy(kind, 3, cfg.max_workers);
     let workload = fig10_workload(kind != PolicyKind::Hta);
-    SystemDriver::new(cfg, workload, policy).run()
+    finish(SystemDriver::new(cfg, workload, policy), digest)
 }
 
 // ----------------------------------------------------------------------
@@ -334,6 +355,11 @@ pub fn fig10_run(kind: PolicyKind, seed: u64) -> RunResult {
 
 /// One Fig. 11 run: 200 `dd` tasks.
 pub fn fig11_run(kind: PolicyKind, seed: u64) -> RunResult {
+    fig11_run_with(kind, seed, None)
+}
+
+/// [`fig11_run`] with an optional event-stream digest (`perf --paranoid`).
+pub fn fig11_run_with(kind: PolicyKind, seed: u64, digest: Option<DigestConfig>) -> RunResult {
     let hta = kind == PolicyKind::Hta;
     let mut cfg = fig10_driver(kind, seed);
     // The HPA baselines start from the small standing pool they then
@@ -347,7 +373,7 @@ pub fn fig11_run(kind: PolicyKind, seed: u64) -> RunResult {
     } else {
         IoBoundParams::default().declared()
     };
-    SystemDriver::new(cfg, iobound(&params), policy).run()
+    finish(SystemDriver::new(cfg, iobound(&params), policy), digest)
 }
 
 // ----------------------------------------------------------------------

@@ -15,8 +15,9 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use crate::experiments::{fig10_run, fig11_run, fig4_run, Fig4Config, PolicyKind};
+use crate::experiments::{fig10_run_with, fig11_run_with, fig4_run_with, Fig4Config, PolicyKind};
 use hta_core::driver::RunResult;
+use hta_des::sanitize::{DigestConfig, Divergence};
 
 /// Seed shared by every perf workload (arbitrary, fixed forever).
 pub const PERF_SEED: u64 = 42;
@@ -51,7 +52,7 @@ pub struct PerfReport {
     pub entries: Vec<PerfEntry>,
 }
 
-type RunFn = fn(u64) -> RunResult;
+type RunFn = fn(u64, Option<DigestConfig>) -> RunResult;
 
 /// The benchmarked workloads, in reporting order.
 ///
@@ -59,15 +60,19 @@ type RunFn = fn(u64) -> RunResult;
 /// regression gate); the full set adds Fig. 4 and Fig. 11.
 pub fn workloads(quick: bool) -> Vec<(&'static str, RunFn)> {
     let mut v: Vec<(&'static str, RunFn)> = vec![
-        ("fig10-blast200-hta", |s| fig10_run(PolicyKind::Hta, s)),
-        ("fig10-blast200-hpa50", |s| {
-            fig10_run(PolicyKind::Hpa(0.5), s)
+        ("fig10-blast200-hta", |s, d| {
+            fig10_run_with(PolicyKind::Hta, s, d)
+        }),
+        ("fig10-blast200-hpa50", |s, d| {
+            fig10_run_with(PolicyKind::Hpa(0.5), s, d)
         }),
     ];
     if !quick {
-        v.push(("fig11-iobound-hta", |s| fig11_run(PolicyKind::Hta, s)));
-        v.push(("fig4-blast100-fine", |s| {
-            fig4_run(Fig4Config::FineGrained, s)
+        v.push(("fig11-iobound-hta", |s, d| {
+            fig11_run_with(PolicyKind::Hta, s, d)
+        }));
+        v.push(("fig4-blast100-fine", |s, d| {
+            fig4_run_with(Fig4Config::FineGrained, s, d)
         }));
     }
     v
@@ -81,8 +86,11 @@ pub fn run_perf(label: &str, quick: bool, reps: usize) -> PerfReport {
         let mut events = 0u64;
         let mut makespan = 0f64;
         for _ in 0..reps {
+            // hta-lint: allow(wall-clock): measuring host wall time is
+            // this harness's purpose; the simulation itself never reads
+            // the host clock. Keep as long as this file only times runs.
             let t = Instant::now();
-            let r = f(PERF_SEED);
+            let r = f(PERF_SEED, None);
             let wall = t.elapsed().as_secs_f64();
             best = best.min(wall);
             events = r.events;
@@ -101,6 +109,61 @@ pub fn run_perf(label: &str, quick: bool, reps: usize) -> PerfReport {
         reps,
         entries,
     }
+}
+
+/// Outcome of one paranoid double-run.
+#[derive(Debug)]
+pub enum ParanoidOutcome {
+    /// Both runs produced bitwise-identical event streams.
+    Deterministic {
+        /// Events per run.
+        events: u64,
+    },
+    /// The runs diverged; the report pinpoints where.
+    Diverged {
+        /// Human-readable description of the first divergence.
+        detail: String,
+    },
+}
+
+/// Run one workload twice with the same seed and diff the event streams.
+///
+/// Same-seed runs must be bitwise identical; if they are not, a third
+/// run with a capture window around the first differing checkpoint
+/// pinpoints the exact first divergent event.
+pub fn paranoid_check(name: &str, f: RunFn) -> ParanoidOutcome {
+    let cfg = DigestConfig::default();
+    let a = f(PERF_SEED, Some(cfg)).digest.expect("digest requested");
+    let b = f(PERF_SEED, Some(cfg)).digest.expect("digest requested");
+    let Some(div) = a.first_divergence(&b) else {
+        return ParanoidOutcome::Deterministic { events: a.events };
+    };
+    let detail = match div {
+        Divergence::CountMismatch { ours, theirs } => {
+            format!("{name}: event counts differ between same-seed runs: {ours} vs {theirs}")
+        }
+        Divergence::Window { after, by } => {
+            // Replay both runs capturing the suspect window to name the
+            // exact first divergent event.
+            let capture = DigestConfig {
+                capture: Some((after, by)),
+                ..cfg
+            };
+            let ca = f(PERF_SEED, Some(capture)).digest.expect("digest");
+            let cb = f(PERF_SEED, Some(capture)).digest.expect("digest");
+            match ca.first_divergent_capture(&cb) {
+                Some((ea, eb)) => format!(
+                    "{name}: first divergent event is #{} — run A at t={}ms: {} | run B at t={}ms: {}",
+                    ea.index, ea.at_ms, ea.desc, eb.at_ms, eb.desc
+                ),
+                None => format!(
+                    "{name}: digests diverge in events ({after}, {by}] but the capture replay \
+                     matched — divergence is unstable across runs (wall-clock or address leak?)"
+                ),
+            }
+        }
+    };
+    ParanoidOutcome::Diverged { detail }
 }
 
 /// Write a report to `<dir>/BENCH_<label>.json` and return the path.

@@ -1292,7 +1292,7 @@ mod tests {
         run_to_quiescence(&mut c, fx_all, &mut q, 5000);
         let pods = c.running_pods_in_group("wq-worker");
         assert_eq!(pods.len(), 3);
-        let nodes: std::collections::HashSet<_> = pods
+        let nodes: std::collections::BTreeSet<_> = pods
             .iter()
             .map(|p| c.pod(*p).unwrap().node.unwrap())
             .collect();

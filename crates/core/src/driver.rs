@@ -23,7 +23,9 @@ use hta_cluster::{
     Cluster, ClusterConfig, ClusterEvent, ImageId, PodId, PodPhase, PodSpec, WatchKind,
 };
 use hta_des::trace::TraceRing;
-use hta_des::{CategoryId, Duration, EffectSink, EventQueue, SimTime};
+use hta_des::{
+    CategoryId, DigestConfig, DigestReport, Duration, EffectSink, EventDigest, EventQueue, SimTime,
+};
 use hta_makeflow::Workflow;
 use hta_metrics::{FaultSummary, RunRecorder, RunSummary, Sample, TaskSpan};
 use hta_resources::Resources;
@@ -155,6 +157,10 @@ pub struct RunResult {
     /// Per-task lifecycle spans (submission/start/completion), for Gantt
     /// rendering and post-run analysis.
     pub task_spans: Vec<TaskSpan>,
+    /// Event-stream digest, present when the run was started with
+    /// [`SystemDriver::with_digest`] (the `perf --paranoid` double-run
+    /// divergence hunter).
+    pub digest: Option<DigestReport>,
 }
 
 /// Global event type.
@@ -216,6 +222,9 @@ pub struct SystemDriver {
     /// Reusable per-category running-task counts, indexed by
     /// [`CategoryId`]. Re-zeroed every sample.
     per_cat_counts: Vec<u32>,
+    /// Event-stream digest (None in normal runs — recording formats every
+    /// event, which is far too slow for the measured hot path).
+    digest: Option<EventDigest>,
 }
 
 impl SystemDriver {
@@ -284,7 +293,16 @@ impl SystemDriver {
             pod_scratch: Vec::new(),
             label_buf: String::new(),
             per_cat_counts: Vec::new(),
+            digest: None,
         }
+    }
+
+    /// Record an event-stream digest during the run (see
+    /// [`RunResult::digest`]). Costs a `Debug` format per event — use for
+    /// divergence hunting, never for timed runs.
+    pub fn with_digest(mut self, cfg: DigestConfig) -> Self {
+        self.digest = Some(EventDigest::new(cfg));
+        self
     }
 
     /// Drain the reusable Work Queue effect sink into the global queue.
@@ -378,6 +396,9 @@ impl SystemDriver {
                 timed_out = true;
                 break;
             }
+            if let Some(d) = self.digest.as_mut() {
+                d.record(now.as_millis(), &ev);
+            }
             match ev {
                 Event::Cluster(ce) => {
                     for (d, e) in self.cluster.handle(now, ce) {
@@ -443,8 +464,10 @@ impl SystemDriver {
                 interruptions: r.interruptions,
             })
             .collect();
+        let digest = self.digest.take().map(EventDigest::report);
         RunResult {
             label,
+            digest,
             makespan_s: end,
             summary,
             init_measurements: self.tracker.measurements().to_vec(),
@@ -1205,6 +1228,28 @@ mod tests {
         assert_eq!(result.jobs_failed, 4);
         assert_eq!(result.summary.faults.permanent_failures, 4);
         assert!(result.summary.faults.wasted_core_s > 0.0);
+    }
+
+    #[test]
+    fn digest_is_identical_across_same_seed_runs() {
+        let run = |capture| {
+            SystemDriver::new(small_cfg(), tiny_workflow(8), Box::new(FixedPolicy::new(2)))
+                .with_digest(DigestConfig {
+                    checkpoint_every: 64,
+                    capture,
+                })
+                .run()
+        };
+        let a = run(None).digest.expect("digest recorded");
+        let b = run(None).digest.expect("digest recorded");
+        assert!(a.events > 0);
+        assert!(!a.checkpoints.is_empty(), "run long enough to checkpoint");
+        assert!(a.matches(&b));
+        assert_eq!(a.first_divergence(&b), None);
+        // A capture window re-runs to the exact same event stream.
+        let c = run(Some((0, 16))).digest.expect("digest recorded");
+        assert_eq!(c.captured.len(), 16);
+        assert!(a.matches(&c), "capturing must not perturb the run");
     }
 
     #[test]

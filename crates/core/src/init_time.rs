@@ -20,7 +20,7 @@
 //! a near-zero σ doesn't reject everything); rejections are counted but
 //! neither stored nor reported as `latest`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hta_cluster::{PodId, WatchEvent, WatchKind};
 use hta_des::{Duration, SimTime};
@@ -37,7 +37,10 @@ struct PodTrack {
 pub struct InitTimeTracker {
     default: Duration,
     latest: Option<Duration>,
-    tracks: HashMap<PodId, PodTrack>,
+    /// Ordered by pod id so the tracker stays hash-state-free (it is
+    /// keyed-lookup only today, but it sits on the determinism-critical
+    /// informer path).
+    tracks: BTreeMap<PodId, PodTrack>,
     measurements: Vec<Duration>,
     rejected: usize,
 }
@@ -48,7 +51,7 @@ impl InitTimeTracker {
         InitTimeTracker {
             default,
             latest: None,
-            tracks: HashMap::new(),
+            tracks: BTreeMap::new(),
             measurements: Vec::new(),
             rejected: 0,
         }

@@ -62,6 +62,17 @@ impl Interner {
             CategoryId(u32::try_from(self.names.len()).expect("more than u32::MAX categories"));
         self.names.push(name.to_string());
         self.by_name.insert(name.to_string(), id);
+        crate::sanitize_assert!(
+            self.names.len() == self.by_name.len(),
+            "interner id instability: {} dense ids vs {} names (duplicate or lost intern)",
+            self.names.len(),
+            self.by_name.len()
+        );
+        crate::sanitize_assert!(
+            self.names[id.index()] == name,
+            "interner id instability: id {id:?} resolves to {:?}, interned {name:?}",
+            self.names[id.index()]
+        );
         id
     }
 

@@ -40,6 +40,7 @@ pub mod backoff;
 pub mod intern;
 pub mod queue;
 pub mod rng;
+pub mod sanitize;
 pub mod sim;
 pub mod sink;
 pub mod time;
@@ -49,6 +50,7 @@ pub use backoff::Backoff;
 pub use intern::{CategoryId, Interner};
 pub use queue::{EventQueue, Scheduled};
 pub use rng::SimRng;
+pub use sanitize::{DigestConfig, DigestReport, Divergence, EventDigest};
 pub use sim::{Simulation, StopReason};
 pub use sink::EffectSink;
 pub use time::{Duration, SimTime};

@@ -55,6 +55,9 @@ where
     handler: F,
     queue: EventQueue<E>,
     sink: EffectSink<E>,
+    /// Sanitizer: time of the last delivered event; deliveries must
+    /// never move backwards even if the queue implementation changes.
+    last_now: SimTime,
 }
 
 impl<S, E, F> Simulation<S, E, F>
@@ -68,6 +71,7 @@ where
             handler,
             queue: EventQueue::new(),
             sink: EffectSink::new(),
+            last_now: SimTime::ZERO,
         }
     }
 
@@ -120,6 +124,14 @@ where
                 Some(_) => {}
             }
             let (now, event) = self.queue.pop().expect("peeked");
+            crate::sanitize_assert!(
+                now >= self.last_now,
+                "sim time moved backwards: {now:?} after {:?}",
+                self.last_now
+            );
+            if crate::sanitize::ACTIVE {
+                self.last_now = now;
+            }
             (self.handler)(&mut self.state, now, event, &mut self.sink);
             for (d, e) in self.sink.drain() {
                 self.queue.schedule_in(d, e);

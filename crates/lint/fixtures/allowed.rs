@@ -1,0 +1,23 @@
+//! Lint fixture: every hazard suppressed by a justified allow.
+//! Never compiled; scanned by `tests/fixtures.rs`.
+
+// hta-lint: allow(hash-container): fixture exercising the standalone
+// allow form; covers the use and both declaration lines below.
+use std::collections::HashMap;
+fn hazards(xs: &[f64]) -> f64 {
+    let mut weights: HashMap<u32, f64> = HashMap::new();
+
+    let started = std::time::Instant::now(); // hta-lint: allow(wall-clock): fixture for the trailing form
+
+    // hta-lint: allow(ambient-rng): fixture; remove when the trailing
+    // form grows multi-line support.
+    let jitter: f64 = rand::thread_rng().gen();
+
+    // hta-lint: allow(unordered-reduce): fixture; the reduction is on
+    // the line after the par_iter call.
+    let par_total: f64 = xs.par_iter().map(|x| x * 2.0).sum();
+
+    let hash_total: f64 = weights.values().sum(); // hta-lint: allow(float-accumulation): fixture
+
+    started.elapsed().as_secs_f64() + jitter + par_total + hash_total
+}

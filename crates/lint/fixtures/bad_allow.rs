@@ -1,0 +1,6 @@
+//! Lint fixture: an allow with no justification is itself a finding,
+//! and it does not suppress the hazard it names.
+//! Never compiled; scanned by `tests/fixtures.rs`.
+
+// hta-lint: allow(hash-container)
+use std::collections::HashSet;

@@ -1,0 +1,19 @@
+//! Lint fixture: one uncommented violation per rule.
+//! Never compiled; scanned by `tests/fixtures.rs`.
+
+use std::collections::HashMap;
+
+fn hazards(xs: &[f64]) -> f64 {
+    let started = std::time::Instant::now();
+
+    let mut weights: HashMap<u32, f64> = HashMap::new();
+    weights.insert(1, 0.5);
+
+    let jitter: f64 = rand::thread_rng().gen();
+
+    let par_total: f64 = xs.par_iter().map(|x| x * 2.0).sum();
+
+    let hash_total: f64 = weights.values().sum();
+
+    started.elapsed().as_secs_f64() + jitter + par_total + hash_total
+}

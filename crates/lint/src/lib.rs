@@ -1,0 +1,889 @@
+//! `hta-lint` — static determinism analysis for the HTA workspace.
+//!
+//! HTA's value rests on reproducible forward simulation: same-seed runs
+//! must be bitwise identical (the golden `RunSummary` tests enforce it
+//! after the fact). This linter enforces it *before* the fact, by
+//! flagging the code patterns that historically break it:
+//!
+//! | rule id              | hazard                                             |
+//! |----------------------|----------------------------------------------------|
+//! | `hash-container`     | `HashMap`/`HashSet` — iteration order follows hash |
+//! |                      | state, not program order                           |
+//! | `wall-clock`         | `Instant::now`/`SystemTime::now` — host time leaks |
+//! |                      | into simulated behaviour                           |
+//! | `ambient-rng`        | `thread_rng`/`rand::random`/`OsRng` — unseeded     |
+//! |                      | randomness outside `des::rng`                      |
+//! | `unordered-reduce`   | rayon `par_iter` feeding `reduce`/`fold`/`sum` —   |
+//! |                      | combination order is scheduling-dependent          |
+//! | `float-accumulation` | float `sum`/`fold` over a hash container's         |
+//! |                      | iterator — FP addition is not associative          |
+//! | `invalid-allow`      | an allow directive without a justification         |
+//!
+//! The scanner is deliberately simple: it walks `.rs` files (sorted, so
+//! output order is itself deterministic), strips string literals and
+//! comments, and token-scans what remains. It has no dependencies and no
+//! configuration file; the banned-token tables below *are* the policy.
+//!
+//! # Suppressing a finding
+//!
+//! ```text
+//! // hta-lint: allow(hash-container): reason the hazard is not real
+//! //     here, and when the allowance can be removed.
+//! ```
+//!
+//! A standalone allow comment suppresses the named rule from its line to
+//! the next blank line (one "paragraph" of code); a trailing allow on a
+//! code line suppresses that line only. The justification after the
+//! closing `):` is mandatory and should read like an expiry note — what
+//! has to change before the allowance can go. An allow without one does
+//! not suppress anything and is itself reported as `invalid-allow`.
+//!
+//! Because matching happens on comment- and string-stripped code, the
+//! linter can scan its own sources: every banned token in this file
+//! lives in a string literal or a comment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint rule: id, what it flags, and how to fix it.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable kebab-case id (used in `allow(...)` comments and JSON).
+    pub id: &'static str,
+    /// One-line description of the hazard.
+    pub what: &'static str,
+    /// The suggested fix.
+    pub hint: &'static str,
+}
+
+/// Every rule the linter knows, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "hash-container",
+        what: "hash-ordered container in simulation code (iteration order depends on hash state)",
+        hint: "use BTreeMap/BTreeSet, or an interned-index Vec for dense ids",
+    },
+    Rule {
+        id: "wall-clock",
+        what: "host clock read in simulation code (wall time leaks into simulated behaviour)",
+        hint: "use SimTime from the event queue; only harness timing code may read the host clock",
+    },
+    Rule {
+        id: "ambient-rng",
+        what: "unseeded randomness (thread_rng/random/OsRng) outside des::rng",
+        hint: "draw from a seeded SimRng owned by the component",
+    },
+    Rule {
+        id: "unordered-reduce",
+        what: "rayon parallel iterator feeding an order-sensitive reduction",
+        hint: "map to per-item results (seeded per item) and collect, then reduce sequentially",
+    },
+    Rule {
+        id: "float-accumulation",
+        what: "floating-point accumulation over a hash container's iteration order",
+        hint: "accumulate over an ordered container, or collect-and-sort before summing",
+    },
+    Rule {
+        id: "invalid-allow",
+        what: "hta-lint allow comment without a justification",
+        hint: "append `): <why the hazard is not real here, and when to remove this>`",
+    },
+];
+
+fn rule(id: &str) -> &'static Rule {
+    RULES
+        .iter()
+        .find(|r| r.id == id)
+        .expect("rule table covers every emitted id")
+}
+
+/// One finding: a hazard at `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (see [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description including the matched token.
+    pub message: String,
+    /// The rule's fix hint.
+    pub hint: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    fix: {}",
+            self.path, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+impl Finding {
+    /// Serialize as a JSON object (hand-rolled; the linter has no deps).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":{},\"line\":{},\"rule\":{},\"message\":{},\"hint\":{}}}",
+            json_str(&self.path),
+            self.line,
+            json_str(self.rule),
+            json_str(&self.message),
+            json_str(self.hint)
+        )
+    }
+}
+
+/// JSON-escape a string.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a full findings list as a JSON array.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str("  ");
+        out.push_str(&f.to_json());
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+// ----------------------------------------------------------------------
+// Source cleaning: strip string literals and comments
+// ----------------------------------------------------------------------
+
+/// One source line split into scannable code and its comment text.
+#[derive(Debug, Clone, Default)]
+struct CleanLine {
+    /// The line with string/char literals and comments blanked out.
+    code: String,
+    /// The concatenated comment text on the line (for allow directives).
+    comment: String,
+}
+
+/// Lexer state that survives across lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    /// Inside a `/* */` comment; Rust block comments nest.
+    Block(u32),
+    /// Inside a `"` string literal.
+    Str,
+    /// Inside a raw string literal with this many `#`s.
+    RawStr(u32),
+}
+
+/// Split a source file into per-line code/comment pairs, blanking out
+/// string and char literals so token scans cannot match inside them.
+fn clean_source(src: &str) -> Vec<CleanLine> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for raw in src.lines() {
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i];
+            let next = bytes.get(i + 1).copied();
+            match mode {
+                Mode::Block(depth) => {
+                    if c == '*' && next == Some('/') {
+                        mode = if depth == 1 {
+                            Mode::Code
+                        } else {
+                            Mode::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        i += 2; // skip the escaped char
+                    } else if c == '"' {
+                        mode = Mode::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut n = 0u32;
+                        while bytes.get(i + 1 + n as usize) == Some(&'#') && n < hashes {
+                            n += 1;
+                        }
+                        if n == hashes {
+                            mode = Mode::Code;
+                            code.push('"');
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                Mode::Code => {
+                    if c == '/' && next == Some('/') {
+                        comment.push_str(&raw[char_byte_index(raw, i)..]);
+                        i = bytes.len(); // line comment: rest of line
+                    } else if c == '/' && next == Some('*') {
+                        mode = Mode::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        mode = Mode::Str;
+                        code.push('"');
+                        i += 1;
+                    } else if c == 'r'
+                        && matches!(next, Some('"') | Some('#'))
+                        && !prev_is_ident(&bytes, i)
+                    {
+                        // Raw string: r"..." or r#"..."# (any hash count).
+                        let mut hashes = 0u32;
+                        let mut j = i + 1;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            mode = Mode::RawStr(hashes);
+                            code.push('"');
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a literal closes within
+                        // a few chars ('x', '\n', '\u{1F600}').
+                        if let Some(close) = char_literal_end(&bytes, i) {
+                            i = close + 1;
+                        } else {
+                            code.push(c); // lifetime tick
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A string/raw-string still open at EOL contributes nothing more.
+        out.push(CleanLine { code, comment });
+    }
+    out
+}
+
+/// Byte index of the `i`-th char of `s` (lines are short; O(n) is fine).
+fn char_byte_index(s: &str, i: usize) -> usize {
+    s.char_indices().nth(i).map_or(s.len(), |(b, _)| b)
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// If a char literal starts at `i` (a `'`), return the index of its
+/// closing quote; `None` means it is a lifetime tick.
+fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        '\\' => {
+            // Escape: scan to the next unescaped quote within a short
+            // window (covers \u{...}).
+            let mut j = i + 2;
+            while j < bytes.len() && j < i + 12 {
+                if bytes[j] == '\'' {
+                    return Some(j);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => (bytes.get(i + 2) == Some(&'\'')).then_some(i + 2),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Allow directives
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Allow {
+    rule_id: String,
+    /// 0-based line of the directive.
+    line: usize,
+    /// True when the directive's line has no code (comment-only line).
+    standalone: bool,
+    has_reason: bool,
+}
+
+/// Parse `hta-lint: allow(rule): reason` directives out of comment text.
+fn parse_allows(lines: &[CleanLine]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (idx, l) in lines.iter().enumerate() {
+        let c = &l.comment;
+        let Some(pos) = c.find("hta-lint:") else {
+            continue;
+        };
+        let rest = c[pos + "hta-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rule_id = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim_start();
+        let has_reason = after
+            .strip_prefix(':')
+            .map(|r| !r.trim().is_empty())
+            .unwrap_or(false);
+        out.push(Allow {
+            rule_id,
+            line: idx,
+            standalone: l.code.trim().is_empty(),
+            has_reason,
+        });
+    }
+    out
+}
+
+/// The set of (line, rule) pairs suppressed by valid allow directives,
+/// plus `invalid-allow` findings for directives without a reason.
+fn build_suppressions(
+    path: &str,
+    lines: &[CleanLine],
+    allows: &[Allow],
+) -> (BTreeMap<(usize, String), ()>, Vec<Finding>) {
+    let mut suppressed = BTreeMap::new();
+    let mut findings = Vec::new();
+    for a in allows {
+        if !a.has_reason {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: a.line + 1,
+                rule: "invalid-allow",
+                message: format!(
+                    "allow({}) has no justification; the comment must explain why the hazard \
+                     is not real here and when the allowance can be removed",
+                    a.rule_id
+                ),
+                hint: rule("invalid-allow").hint,
+            });
+            continue;
+        }
+        if a.standalone {
+            // Suppress until the next blank line (code and comment empty).
+            let mut l = a.line;
+            loop {
+                suppressed.insert((l, a.rule_id.clone()), ());
+                l += 1;
+                match lines.get(l) {
+                    Some(cl) if !(cl.code.trim().is_empty() && cl.comment.trim().is_empty()) => {}
+                    _ => break,
+                }
+            }
+        } else {
+            suppressed.insert((a.line, a.rule_id.clone()), ());
+        }
+    }
+    (suppressed, findings)
+}
+
+// ----------------------------------------------------------------------
+// Token matching
+// ----------------------------------------------------------------------
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Find `pat` in `code` as a standalone identifier (no ident char on
+/// either side). Returns the match offset.
+fn find_ident(code: &str, pat: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(rel) = code[start..].find(pat) {
+        let at = start + rel;
+        let before_ok = code[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let after = code[at + pat.len()..].chars().next();
+        let after_ok = after.is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + pat.len();
+    }
+    None
+}
+
+/// Hash-ordered container type names.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet", "AHashMap"];
+
+/// Wall-clock call tokens (call sites, not imports — the import alone
+/// does nothing).
+const WALL_CLOCK: &[&str] = &["Instant::now", "SystemTime::now", "SystemTime::UNIX_EPOCH"];
+
+/// Ambient (unseeded) randomness tokens.
+const AMBIENT_RNG: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+    "rand::random",
+];
+
+/// Rayon parallel-iterator entry points.
+const PAR_ITER: &[&str] = &[
+    ".par_iter(",
+    ".into_par_iter(",
+    ".par_bridge(",
+    ".par_chunks(",
+];
+
+/// Order-sensitive terminal reductions (checked at chain depth 0).
+const REDUCERS: &[&str] = &[".reduce(", ".fold(", ".sum(", ".sum::<", ".product("];
+
+/// Files exempt from a rule by construction.
+fn exempt(path: &str, rule_id: &str) -> bool {
+    // The seeded-RNG module is where randomness is *implemented*.
+    rule_id == "ambient-rng" && path.ends_with("crates/des/src/rng.rs")
+}
+
+/// Walk the code from (line, col) forward, tracking bracket depth, and
+/// return the 0-based line of the first depth-0 occurrence of any
+/// `targets` token within the same statement.
+fn depth0_target(
+    lines: &[CleanLine],
+    start_line: usize,
+    start_col: usize,
+    targets: &[&str],
+) -> Option<usize> {
+    let mut depth: i32 = 0;
+    let mut budget = 4000usize; // chars; bounds pathological files
+    for (lno, l) in lines.iter().enumerate().skip(start_line) {
+        let code = if lno == start_line {
+            &l.code[start_col..]
+        } else {
+            &l.code[..]
+        };
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if budget == 0 {
+                return None;
+            }
+            budget -= 1;
+            let c = chars[i];
+            match c {
+                '(' | '[' | '{' => depth += 1,
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return None; // enclosing expression ended
+                    }
+                }
+                ';' if depth == 0 => return None, // statement ended
+                '.' if depth == 0 => {
+                    let rest: String = chars[i..].iter().collect();
+                    if targets.iter().any(|t| rest.starts_with(t)) {
+                        return Some(lno);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Names of local bindings / fields declared with a hash container type
+/// anywhere in the file (heuristic: the identifier before the `:` or
+/// after `let [mut]` on a line that names a hash type).
+fn hash_binding_names(lines: &[CleanLine]) -> Vec<String> {
+    let mut names = Vec::new();
+    for l in lines {
+        let code = &l.code;
+        if !HASH_TYPES.iter().any(|t| find_ident(code, t).is_some()) {
+            continue;
+        }
+        // `let [mut] name` form.
+        if let Some(pos) = find_ident(code, "let") {
+            let rest = code[pos + 3..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let name: String = rest.chars().take_while(|c| is_ident_char(*c)).collect();
+            if !name.is_empty() {
+                names.push(name);
+                continue;
+            }
+        }
+        // `name: HashX<...>` field/param form: ident immediately before ':'.
+        if let Some(colon) = code.find(':') {
+            let before = code[..colon].trim_end();
+            let name: String = before
+                .chars()
+                .rev()
+                .take_while(|c| is_ident_char(*c))
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if name.chars().next().is_some_and(|c| !c.is_numeric()) {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+// ----------------------------------------------------------------------
+// Per-file scan
+// ----------------------------------------------------------------------
+
+/// Scan one file's contents. `path` is the repo-relative path used for
+/// reporting and scope decisions.
+pub fn scan_file(path: &str, src: &str) -> Vec<Finding> {
+    let lines = clean_source(src);
+    let allows = parse_allows(&lines);
+    let (suppressed, mut findings) = build_suppressions(path, &lines, &allows);
+    let is_suppressed =
+        |line: usize, rule_id: &str| suppressed.contains_key(&(line, rule_id.to_string()));
+    let mut push = |line: usize, rule_id: &'static str, message: String| {
+        if !is_suppressed(line, rule_id) && !exempt(path, rule_id) {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: line + 1,
+                rule: rule_id,
+                message,
+                hint: rule(rule_id).hint,
+            });
+        }
+    };
+
+    for (idx, l) in lines.iter().enumerate() {
+        let code = &l.code;
+        for t in HASH_TYPES {
+            if find_ident(code, t).is_some() {
+                push(
+                    idx,
+                    "hash-container",
+                    format!("`{t}` — {}", rule("hash-container").what),
+                );
+                break; // one finding per line
+            }
+        }
+        for t in WALL_CLOCK {
+            if code.contains(t) {
+                push(
+                    idx,
+                    "wall-clock",
+                    format!("`{t}` — {}", rule("wall-clock").what),
+                );
+                break;
+            }
+        }
+        for t in AMBIENT_RNG {
+            let hit = if t.contains("::") {
+                code.contains(t)
+            } else {
+                find_ident(code, t).is_some()
+            };
+            if hit {
+                push(
+                    idx,
+                    "ambient-rng",
+                    format!("`{t}` — {}", rule("ambient-rng").what),
+                );
+                break;
+            }
+        }
+        for t in PAR_ITER {
+            if let Some(pos) = code.find(t) {
+                // Depth starts inside the par call's own '('; begin the
+                // walk at the token so its parens balance themselves.
+                if let Some(hit_line) = depth0_target(&lines, idx, pos, REDUCERS) {
+                    push(
+                        idx,
+                        "unordered-reduce",
+                        format!(
+                            "`{}...)` feeds an order-sensitive reduction on line {} — {}",
+                            t.trim_end_matches('('),
+                            hit_line + 1,
+                            rule("unordered-reduce").what
+                        ),
+                    );
+                }
+                break;
+            }
+        }
+    }
+
+    // float-accumulation: chains off a known hash-typed binding that hit
+    // a reducer at depth 0.
+    let hash_names = hash_binding_names(&lines);
+    for (idx, l) in lines.iter().enumerate() {
+        let code = &l.code;
+        for name in &hash_names {
+            for method in [".values(", ".keys(", ".iter(", ".into_iter(", ".drain("] {
+                let probe = format!("{name}{method}");
+                if let Some(pos) = code.find(&probe) {
+                    let before_ok = code[..pos]
+                        .chars()
+                        .next_back()
+                        .is_none_or(|c| !is_ident_char(c));
+                    if !before_ok {
+                        continue;
+                    }
+                    if let Some(hit_line) = depth0_target(&lines, idx, pos + name.len(), REDUCERS) {
+                        push(
+                            idx,
+                            "float-accumulation",
+                            format!(
+                                "accumulation over `{name}{method}..)` (reduced on line {}) — {}",
+                                hit_line + 1,
+                                rule("float-accumulation").what
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings.dedup();
+    findings
+}
+
+// ----------------------------------------------------------------------
+// Workspace walking
+// ----------------------------------------------------------------------
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Top-level roots scanned below the workspace root.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Collect every `.rs` file under the scan roots, sorted for
+/// deterministic output.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            walk(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan a workspace root; returns (findings, files scanned).
+pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let files = collect_files(root)?;
+    let count = files.len();
+    let mut findings = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(f)?;
+        findings.extend(scan_file(&rel, &src));
+    }
+    Ok((findings, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_invisible() {
+        // The hazard tokens here live in strings/comments only.
+        let src = "let a = \"Ha\".to_string() + \"shMap\"; // a comment\n\
+                   /* Instant::now() in a block comment */\n\
+                   let b = r#\"thread_rng inside raw string\"#;\n";
+        assert!(scan_file("crates/des/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_container_fires_on_code() {
+        let src = "use std::collections::BTreeMap;\nlet m: Ha".to_string()
+            + "shMap<u32, u32> = Default::default();\n";
+        let f = scan_file("crates/des/src/x.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hash-container");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn ident_boundaries_respected() {
+        // `MyHashMapLike` must not match.
+        let src = "let m: MyHa".to_string() + "shMapLike = x();\n";
+        assert!(scan_file("crates/des/src/x.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_own_line_only() {
+        let tok = "Ha".to_string() + "shMap";
+        let src = format!(
+            "let a: {tok}<u8,u8> = x(); // hta-lint: allow(hash-container): test fixture, rm never\n\
+             let b: {tok}<u8,u8> = x();\n"
+        );
+        let f = scan_file("crates/des/src/x.rs", &src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn standalone_allow_covers_paragraph_until_blank() {
+        let tok = "Ha".to_string() + "shMap";
+        let src = format!(
+            "// hta-lint: allow(hash-container): both lines below are fixture, rm never\n\
+             let a: {tok}<u8,u8> = x();\n\
+             let b: {tok}<u8,u8> = x();\n\
+             \n\
+             let c: {tok}<u8,u8> = x();\n"
+        );
+        let f = scan_file("crates/des/src/x.rs", &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 5, "the post-blank-line use is not covered");
+    }
+
+    #[test]
+    fn allow_without_reason_is_invalid_and_inert() {
+        let tok = "Ha".to_string() + "shMap";
+        let src = format!(
+            "// hta-lint: allow(hash-container)\n\
+             let a: {tok}<u8,u8> = x();\n"
+        );
+        let f = scan_file("crates/des/src/x.rs", &src);
+        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"invalid-allow"), "{rules:?}");
+        assert!(rules.contains(&"hash-container"), "{rules:?}");
+    }
+
+    #[test]
+    fn par_iter_map_collect_is_clean() {
+        let src = "let v: Vec<_> = xs.par_iter().map(|x| {\n\
+                       let s: f64 = x.parts.iter().sum();\n\
+                       s * 2.0\n\
+                   }).collect();\n";
+        assert!(scan_file("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn par_iter_sum_is_flagged() {
+        let src = "let total: f64 = xs.par_iter().map(|x| x.v).sum();\n";
+        let f = scan_file("crates/bench/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unordered-reduce");
+    }
+
+    #[test]
+    fn par_iter_reduce_across_lines_is_flagged() {
+        let src = "let total = xs.par_iter()\n\
+                       .map(|x| x.v)\n\
+                       .reduce(|| 0.0, |a, b| a + b);\n";
+        let f = scan_file("crates/bench/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "unordered-reduce");
+        assert_eq!(f[0].line, 1, "reported at the par_iter call");
+    }
+
+    #[test]
+    fn float_accumulation_over_hash_values() {
+        let tok = "Ha".to_string() + "shMap";
+        let src = format!(
+            "// hta-lint: allow(hash-container): declaring it is the point of this fixture\n\
+             let mut weights: {tok}<u32, f64> = x();\n\
+             \n\
+             let total: f64 = weights.values().sum();\n"
+        );
+        let f = scan_file("crates/des/src/x.rs", &src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "float-accumulation");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn rng_module_is_exempt_from_ambient_rng() {
+        let src = "fn seed() { let r = thread_rng(); }\n";
+        assert!(scan_file("crates/des/src/rng.rs", src).is_empty());
+        assert_eq!(scan_file("crates/des/src/sim.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn json_escapes() {
+        let f = Finding {
+            path: "a\"b.rs".into(),
+            line: 3,
+            rule: "wall-clock",
+            message: "tab\there".into(),
+            hint: "h",
+        };
+        let j = f.to_json();
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("tab\\there"));
+    }
+}

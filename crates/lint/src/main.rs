@@ -1,0 +1,92 @@
+//! `hta-lint` CLI: scan the workspace for determinism hazards.
+//!
+//! ```text
+//! hta-lint [--root DIR] [--json] [--deny] [--list-rules]
+//! ```
+//!
+//! Exit status: 0 clean (or findings without `--deny`), 1 findings with
+//! `--deny`, 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hta_lint::{findings_to_json, scan_workspace, RULES};
+
+fn usage() -> &'static str {
+    "usage: hta-lint [--root DIR] [--json] [--deny] [--list-rules]\n\
+     \n\
+     Scan the HTA workspace's Rust sources for determinism hazards.\n\
+     \n\
+     options:\n\
+       --root DIR    workspace root to scan (default: current directory)\n\
+       --json        emit findings as a JSON array on stdout\n\
+       --deny        exit 1 if any finding is reported (CI mode)\n\
+       --list-rules  print the rule table and exit\n\
+       -h, --help    this message"
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny = false;
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--list-rules" => list_rules = true,
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in RULES {
+            println!("{:<20} {}", r.id, r.what);
+            println!("{:<20}   fix: {}", "", r.hint);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (findings, files) = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hta-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "hta-lint: {} finding(s) in {} file(s)",
+            findings.len(),
+            files
+        );
+    }
+
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

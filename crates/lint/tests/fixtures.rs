@@ -1,0 +1,143 @@
+//! Fixture-driven checks: every rule fires where expected, allows
+//! suppress, and the binary's `--deny` / `--json` modes behave.
+
+use std::path::Path;
+use std::process::Command;
+
+use hta_lint::{findings_to_json, scan_file, Finding, RULES};
+
+const VIOLATIONS: &str = include_str!("../fixtures/violations.rs");
+const ALLOWED: &str = include_str!("../fixtures/allowed.rs");
+const BAD_ALLOW: &str = include_str!("../fixtures/bad_allow.rs");
+
+fn pairs(findings: &[Finding]) -> Vec<(usize, &'static str)> {
+    findings.iter().map(|f| (f.line, f.rule)).collect()
+}
+
+#[test]
+fn every_rule_fires_on_the_violations_fixture() {
+    let f = scan_file("fixtures/violations.rs", VIOLATIONS);
+    assert_eq!(
+        pairs(&f),
+        vec![
+            (4, "hash-container"),
+            (7, "wall-clock"),
+            (9, "hash-container"),
+            (12, "ambient-rng"),
+            (14, "unordered-reduce"),
+            (16, "float-accumulation"),
+        ],
+        "full findings: {f:#?}"
+    );
+}
+
+#[test]
+fn violations_cover_every_scanning_rule() {
+    // Guard against adding a rule without extending the fixture.
+    // `invalid-allow` is exercised by its own fixture.
+    let f = scan_file("fixtures/violations.rs", VIOLATIONS);
+    for r in RULES.iter().filter(|r| r.id != "invalid-allow") {
+        assert!(
+            f.iter().any(|x| x.rule == r.id),
+            "rule `{}` never fires on violations.rs",
+            r.id
+        );
+    }
+}
+
+#[test]
+fn justified_allows_suppress_everything() {
+    let f = scan_file("fixtures/allowed.rs", ALLOWED);
+    assert!(f.is_empty(), "expected clean, got: {f:#?}");
+}
+
+#[test]
+fn unjustified_allow_is_reported_and_inert() {
+    let f = scan_file("fixtures/bad_allow.rs", BAD_ALLOW);
+    assert_eq!(
+        pairs(&f),
+        vec![(5, "invalid-allow"), (6, "hash-container")],
+        "full findings: {f:#?}"
+    );
+}
+
+#[test]
+fn findings_json_is_wellformed() {
+    let f = scan_file("fixtures/violations.rs", VIOLATIONS);
+    let json = findings_to_json(&f);
+    // No serde in this crate: structural spot-checks.
+    assert!(json.starts_with('[') && json.ends_with(']'));
+    assert_eq!(json.matches("\"rule\":").count(), f.len());
+    assert!(json.contains("\"rule\":\"unordered-reduce\""));
+    assert!(json.contains("\"line\":14"));
+}
+
+/// Build a throwaway workspace tree holding one fixture under `crates/`
+/// and run the real binary against it.
+fn run_binary_on(fixture: &str, extra_args: &[&str]) -> std::process::Output {
+    let dir = std::env::temp_dir().join(format!(
+        "hta-lint-test-{}-{}",
+        std::process::id(),
+        fixture.replace('.', "-")
+    ));
+    let src_dir = dir.join("crates/fake/src");
+    std::fs::create_dir_all(&src_dir).expect("create temp workspace");
+    let fixture_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(fixture);
+    std::fs::copy(&fixture_path, src_dir.join("lib.rs")).expect("copy fixture");
+    let out = Command::new(env!("CARGO_BIN_EXE_hta-lint"))
+        .arg("--root")
+        .arg(&dir)
+        .args(extra_args)
+        .output()
+        .expect("run hta-lint binary");
+    std::fs::remove_dir_all(&dir).ok();
+    out
+}
+
+#[test]
+fn deny_exits_nonzero_on_findings() {
+    let out = run_binary_on("violations.rs", &["--deny"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("crates/fake/src/lib.rs:4: [hash-container]"),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("fix: "), "hints are printed:\n{stdout}");
+}
+
+#[test]
+fn deny_exits_zero_on_clean_tree() {
+    let out = run_binary_on("allowed.rs", &["--deny"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn without_deny_findings_do_not_fail() {
+    let out = run_binary_on("violations.rs", &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn json_mode_emits_an_array() {
+    let out = run_binary_on("violations.rs", &["--json"]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "{stdout}"
+    );
+    assert!(trimmed.contains("\"rule\":\"wall-clock\""), "{stdout}");
+}
+
+#[test]
+fn repo_tree_is_lint_clean() {
+    // The workspace this crate lives in must pass its own linter; CI
+    // enforces the same via `hta-lint --deny`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (findings, files) = hta_lint::scan_workspace(&root).unwrap();
+    assert!(files > 50, "walker found only {files} files — wrong root?");
+    assert!(findings.is_empty(), "repo has lint findings: {findings:#?}");
+}

@@ -6,7 +6,7 @@
 //! become ready — the operation Makeflow performs on every completion
 //! notification.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::job::{Job, JobId, JobState};
 
@@ -37,8 +37,9 @@ impl std::error::Error for DagError {}
 pub struct Dag {
     jobs: BTreeMap<JobId, Job>,
     states: BTreeMap<JobId, JobState>,
-    /// file name → producing job.
-    producers: HashMap<String, JobId>,
+    /// file name → producing job. Ordered so that any future iteration
+    /// (none today) cannot depend on hash state.
+    producers: BTreeMap<String, JobId>,
     /// job → jobs that consume one of its outputs.
     dependents: BTreeMap<JobId, BTreeSet<JobId>>,
     /// job → number of *incomplete* producer jobs it waits on.
@@ -52,7 +53,7 @@ impl Dag {
     /// Build a DAG from jobs. Inputs with no producer are workflow source
     /// files (assumed present). Fails on duplicate producers or cycles.
     pub fn build(jobs: Vec<Job>) -> Result<Self, DagError> {
-        let mut producers: HashMap<String, JobId> = HashMap::new();
+        let mut producers: BTreeMap<String, JobId> = BTreeMap::new();
         for job in &jobs {
             for out in &job.outputs {
                 if producers.insert(out.clone(), job.id).is_some() {

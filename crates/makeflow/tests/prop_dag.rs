@@ -55,7 +55,7 @@ proptest! {
         let inputs_of: std::collections::BTreeMap<JobId, Vec<String>> =
             jobs.iter().map(|j| (j.id, j.inputs.clone())).collect();
         let mut dag = Dag::build(jobs).expect("layered graphs are acyclic");
-        let mut produced: std::collections::HashSet<String> = Default::default();
+        let mut produced: std::collections::BTreeSet<String> = Default::default();
         let mut steps = 0;
         while !dag.all_complete() {
             let ready = dag.ready_jobs();

@@ -260,7 +260,7 @@ mod tests {
     #[test]
     fn multistage_reduce_consumes_every_align_output() {
         let wf = blast_multistage(&MultistageParams::default());
-        let reduce_inputs: std::collections::HashSet<&str> = wf
+        let reduce_inputs: std::collections::BTreeSet<&str> = wf
             .dag
             .jobs()
             .filter(|j| j.category == "reduce")

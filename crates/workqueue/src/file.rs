@@ -80,7 +80,7 @@ impl FileCatalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn register_and_get() {
@@ -98,7 +98,7 @@ mod tests {
         let mut cat = FileCatalog::new();
         let db = cat.register("db", 1400.0, true);
         let q = cat.register("q", 2.0, false);
-        let cached: HashSet<FileId> = [db].into_iter().collect();
+        let cached: BTreeSet<FileId> = [db].into_iter().collect();
         let missing = cat.missing_mb([&db, &q], |f| cached.contains(&f));
         assert!((missing - 2.0).abs() < 1e-9);
         let missing_all = cat.missing_mb([&db, &q], |_| false);

@@ -436,6 +436,7 @@ impl Master {
         self.waiting.push_back(id);
         self.waiting_dirty = true;
         self.dispatch(now, fx);
+        self.assert_invariants();
     }
 
     /// Update the declared resources of a *waiting* task (HTA applies a
@@ -463,6 +464,7 @@ impl Master {
         self.workers.insert(id, Worker::connect(id, capacity, now));
         self.refresh_worker_snap(id);
         self.dispatch(now, fx);
+        self.assert_invariants();
         id
     }
 
@@ -481,6 +483,7 @@ impl Master {
             self.notifications.push(WqNotification::WorkerStopped(id));
         }
         self.refresh_worker_snap(id);
+        self.assert_invariants();
     }
 
     /// Kill a worker (pod eviction): running/staging tasks are re-queued
@@ -560,11 +563,98 @@ impl Master {
             self.refresh_task_snap(*t);
         }
         self.dispatch(now, fx);
+        self.assert_invariants();
     }
 
     /// Drain upward notifications.
     pub fn drain_notifications(&mut self) -> Vec<WqNotification> {
         std::mem::take(&mut self.notifications)
+    }
+
+    // ------------------------------------------------------------------
+    // Sim-sanitizer invariants
+    // ------------------------------------------------------------------
+
+    /// Assert the master's structural invariants (sim-sanitizer).
+    ///
+    /// Called after every event and API mutation in sanitized builds
+    /// (debug, or the `sim-sanitizer` feature); plain release builds
+    /// never evaluate the checks. O(tasks + workers) — acceptable for
+    /// checked runs, which is why it must stay behind the gate.
+    ///
+    /// Invariants:
+    /// * **Task conservation** — every submitted task is in exactly one
+    ///   of waiting / on-a-worker / complete / failed, and the terminal
+    ///   counters agree with the records.
+    /// * **Queue consistency** — the FIFO deque holds exactly the tasks
+    ///   whose record says `Waiting`, with no duplicates.
+    /// * **Non-negative free resources** — no worker pool is
+    ///   over-allocated.
+    /// * **Interner stability** — category ids stay dense and resolve
+    ///   to distinct names.
+    pub fn assert_invariants(&self) {
+        if !hta_des::sanitize::ACTIVE {
+            return;
+        }
+        let mut waiting = 0usize;
+        let mut on_worker = 0usize;
+        let mut complete = 0usize;
+        let mut failed = 0usize;
+        for rec in self.tasks.values() {
+            match rec.state {
+                TaskState::Waiting => waiting += 1,
+                TaskState::Staging(_) | TaskState::Running(_) | TaskState::Returning(_) => {
+                    on_worker += 1
+                }
+                TaskState::Complete => complete += 1,
+                TaskState::Failed => failed += 1,
+            }
+        }
+        let submitted = self.tasks.len();
+        assert!(
+            waiting + on_worker + complete + failed == submitted
+                && complete == self.completed_count
+                && failed == self.failed_count,
+            "task conservation violated: {waiting} waiting + {on_worker} on-worker + \
+             {complete} complete + {failed} failed != {submitted} submitted \
+             (counters: completed={}, failed={})",
+            self.completed_count,
+            self.failed_count
+        );
+        assert!(
+            self.waiting.len() == waiting,
+            "waiting queue holds {} ids but {waiting} tasks are in state Waiting",
+            self.waiting.len()
+        );
+        for t in &self.waiting {
+            let state = self.tasks.get(t).map(|r| r.state);
+            assert!(
+                state == Some(TaskState::Waiting),
+                "waiting queue holds {t:?} in state {state:?}"
+            );
+        }
+        for w in self.workers.values() {
+            let free = w.pool.available();
+            assert!(
+                !free.has_negative(),
+                "worker {:?} over-allocated: available {free:?} of capacity {:?}",
+                w.id,
+                w.capacity()
+            );
+        }
+        let mut seen_cats = 0usize;
+        for (name, id) in self.interner.iter_by_name() {
+            assert!(
+                self.interner.name(id) == name,
+                "interner id {id:?} no longer resolves to {name:?}"
+            );
+            seen_cats += 1;
+        }
+        assert!(
+            seen_cats == self.interner.len(),
+            "interner lost ids: {seen_cats} names resolve, {} allocated",
+            self.interner.len()
+        );
     }
 
     // ------------------------------------------------------------------
@@ -601,6 +691,7 @@ impl Master {
                 self.speculative_finished(now, task, run_gen, fx)
             }
         }
+        self.assert_invariants();
     }
 
     /// Kill and re-queue a task that has been running far past its
@@ -2294,5 +2385,38 @@ mod tests {
         // The duplicate's slot on w2 was released.
         assert!(m.worker(w2).unwrap().is_idle());
         assert!(m.all_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "task conservation violated")]
+    fn sanitizer_catches_broken_conservation() {
+        let (cat, db) = catalog_with_db();
+        let mut m = Master::new(link_cfg(), cat);
+        let mut q = EventQueue::new();
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        m.submit(
+            SimTime::ZERO,
+            cpu_task(0, db, Some(Resources::cores(1, 2_000, 2_000))),
+            &mut fx,
+        );
+        run(&mut m, &mut q, &mut fx, 100);
+        assert!(m.all_complete());
+        // Corrupt the terminal counter the way a buggy completion path
+        // would: the next invariant check must abort the run.
+        m.completed_count += 1;
+        m.assert_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "waiting queue")]
+    fn sanitizer_catches_queue_desync() {
+        let (cat, db) = catalog_with_db();
+        let mut m = Master::new(link_cfg(), cat);
+        let mut fx = EffectSink::new();
+        m.submit(SimTime::ZERO, cpu_task(0, db, None), &mut fx);
+        // A task id queued twice (double-requeue bug) must be caught.
+        m.waiting.push_back(TaskId(0));
+        m.assert_invariants();
     }
 }

@@ -90,8 +90,8 @@ fn check(policy: &str, faults: bool) {
 
     let path = golden_dir().join(format!("{name}.json"));
     if std::env::var_os("GOLDEN_BLESS").is_some() {
-        std::fs::create_dir_all(golden_dir()).unwrap();
-        std::fs::write(&path, &first).unwrap();
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, &first).expect("write golden file");
         return;
     }
     let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {

@@ -25,9 +25,11 @@ fn build_workflow(widths: &[usize], picks: &[usize], walls: &[u64]) -> Workflow 
             let inputs = if prev.is_empty() {
                 vec!["seed.dat".to_string()]
             } else {
-                let k = 1 + pick.next().unwrap() % 2.min(prev.len());
+                let k = 1 + pick.next().expect("cycle never ends") % 2.min(prev.len());
                 (0..k)
-                    .map(|i| prev[(pick.next().unwrap() + i) % prev.len()].clone())
+                    .map(|i| {
+                        prev[(pick.next().expect("cycle never ends") + i) % prev.len()].clone()
+                    })
                     .collect()
             };
             jobs.push(Job {
@@ -57,7 +59,7 @@ fn build_workflow(widths: &[usize], picks: &[usize], walls: &[u64]) -> Workflow 
         })
         .collect();
     Workflow::from_jobs(jobs, profiles)
-        .unwrap()
+        .expect("generated workflow is well-formed")
         .with_source_file("seed.dat", 50.0, true)
 }
 
