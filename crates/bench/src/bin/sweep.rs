@@ -22,7 +22,7 @@ fn policy_for(kind: PolicyKind, max: usize) -> (Box<dyn ScalingPolicy>, bool) {
             true,
         ),
         PolicyKind::Hpa(t) => (Box::new(HpaPolicy::new(t, 3, max)), false),
-        PolicyKind::Fixed(_) => unreachable!("not used in sweeps"),
+        PolicyKind::Fixed(_) | PolicyKind::Mpc => unreachable!("not used in sweeps"),
     }
 }
 

@@ -9,6 +9,7 @@ use hta_core::driver::{DriverConfig, RunResult, SystemDriver};
 use hta_core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
 use hta_core::OperatorConfig;
 use hta_des::{DigestConfig, Duration};
+use hta_forecast::{MpcConfig, MpcPolicy};
 use hta_makeflow::Workflow;
 use hta_resources::Resources;
 use hta_workloads::{
@@ -25,6 +26,18 @@ pub enum PolicyKind {
     Hpa(f64),
     /// A fixed pool of N workers.
     Fixed(usize),
+    /// Model-predictive control over snapshot/fork what-if branches
+    /// (`hta-forecast`, not in the paper).
+    Mpc,
+}
+
+impl PolicyKind {
+    /// Policies that run the HTA-style operator pipeline (warm-up
+    /// probing, learned categories, undeclared resources) rather than
+    /// trusting declared resources like the HPA/fixed baselines.
+    pub fn uses_warmup(self) -> bool {
+        matches!(self, PolicyKind::Hta | PolicyKind::Mpc)
+    }
 }
 
 fn make_policy(
@@ -36,6 +49,7 @@ fn make_policy(
         PolicyKind::Hta => Box::new(HtaPolicy::new(HtaConfig::default())),
         PolicyKind::Hpa(target) => Box::new(HpaPolicy::new(target, min_replicas, max_replicas)),
         PolicyKind::Fixed(n) => Box::new(FixedPolicy::new(n)),
+        PolicyKind::Mpc => Box::new(MpcPolicy::new(MpcConfig::default())),
     }
 }
 
@@ -308,7 +322,7 @@ pub fn fig10_workload(declared: bool) -> Workflow {
 /// Driver config for the §VI evaluation cluster: 20 × n1-standard-4,
 /// node-sized (3-core) worker pods, master in-cluster.
 pub fn fig10_driver(kind: PolicyKind, seed: u64) -> DriverConfig {
-    let hta = kind == PolicyKind::Hta;
+    let hta = kind.uses_warmup();
     DriverConfig {
         cluster: paper_cluster(3, 20, seed),
         master: MasterConfig::default(),
@@ -345,8 +359,18 @@ pub fn fig10_run(kind: PolicyKind, seed: u64) -> RunResult {
 pub fn fig10_run_with(kind: PolicyKind, seed: u64, digest: Option<DigestConfig>) -> RunResult {
     let cfg = fig10_driver(kind, seed);
     let policy = make_policy(kind, 3, cfg.max_workers);
-    let workload = fig10_workload(kind != PolicyKind::Hta);
+    let workload = fig10_workload(!kind.uses_warmup());
     finish(SystemDriver::new(cfg, workload, policy), digest)
+}
+
+/// [`fig10_run`] under an injected fault plan (the `forecast` bin's
+/// faulted frontier).
+pub fn fig10_run_faulted(kind: PolicyKind, seed: u64, faults: hta_core::FaultPlan) -> RunResult {
+    let mut cfg = fig10_driver(kind, seed);
+    cfg.faults = faults;
+    let policy = make_policy(kind, 3, cfg.max_workers);
+    let workload = fig10_workload(!kind.uses_warmup());
+    SystemDriver::new(cfg, workload, policy).run()
 }
 
 // ----------------------------------------------------------------------
@@ -360,8 +384,26 @@ pub fn fig11_run(kind: PolicyKind, seed: u64) -> RunResult {
 
 /// [`fig11_run`] with an optional event-stream digest (`perf --paranoid`).
 pub fn fig11_run_with(kind: PolicyKind, seed: u64, digest: Option<DigestConfig>) -> RunResult {
-    let hta = kind == PolicyKind::Hta;
+    fig11_run_opts(kind, seed, digest, None)
+}
+
+/// [`fig11_run`] under an injected fault plan (the `forecast` bin's
+/// faulted frontier).
+pub fn fig11_run_faulted(kind: PolicyKind, seed: u64, faults: hta_core::FaultPlan) -> RunResult {
+    fig11_run_opts(kind, seed, None, Some(faults))
+}
+
+fn fig11_run_opts(
+    kind: PolicyKind,
+    seed: u64,
+    digest: Option<DigestConfig>,
+    faults: Option<hta_core::FaultPlan>,
+) -> RunResult {
+    let hta = kind.uses_warmup();
     let mut cfg = fig10_driver(kind, seed);
+    if let Some(f) = faults {
+        cfg.faults = f;
+    }
     // The HPA baselines start from the small standing pool they then
     // never grow (CPU stays under every target); HTA starts from the
     // 3-node warm-up pool.

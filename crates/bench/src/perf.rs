@@ -15,9 +15,15 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use crate::experiments::{fig10_run_with, fig11_run_with, fig4_run_with, Fig4Config, PolicyKind};
-use hta_core::driver::RunResult;
+use crate::experiments::{
+    fig10_driver, fig10_run_with, fig10_workload, fig11_run_with, fig4_run_with, Fig4Config,
+    PolicyKind,
+};
+use hta_core::driver::{RunResult, SystemDriver};
+use hta_core::whatif::{BranchSpec, WhatIf};
+use hta_core::{HoldPolicy, ScaleAction};
 use hta_des::sanitize::{DigestConfig, Divergence};
+use hta_des::{Duration, SimTime};
 
 /// Seed shared by every perf workload (arbitrary, fixed forever).
 pub const PERF_SEED: u64 = 42;
@@ -78,6 +84,63 @@ pub fn workloads(quick: bool) -> Vec<(&'static str, RunFn)> {
     v
 }
 
+/// Branches forked per repetition of the snapshot microbenchmark.
+const SNAPSHOT_BRANCHES: u64 = 16;
+
+/// Snapshot/fork microbenchmark: fork [`SNAPSHOT_BRANCHES`] what-if
+/// branches off a mid-flight Fig. 10 driver and roll each 300 simulated
+/// seconds forward — the per-decision cost an MPC policy pays.
+///
+/// Reported in the same [`PerfEntry`] shape as the run workloads:
+/// `events` is the total branch events (deterministic, so it doubles as
+/// the fingerprint), `events_per_sec` the branch-simulation throughput
+/// including the deep-clone cost of every fork.
+pub fn snapshot_microbench(reps: usize) -> PerfEntry {
+    // Build one parent and advance it mid-flight; forking never perturbs
+    // it, so every repetition forks the identical decision point.
+    let cfg = fig10_driver(PolicyKind::Hta, PERF_SEED);
+    let mut parent = SystemDriver::new(cfg, fig10_workload(false), Box::new(HoldPolicy));
+    parent.advance_until(SimTime::ZERO + Duration::from_secs(600));
+
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    let mut elapsed = 0f64;
+    for _ in 0..reps.max(1) {
+        // hta-lint: allow(wall-clock): measuring host wall time is this
+        // harness's purpose; the simulation itself never reads the host
+        // clock. Keep as long as this file only times runs.
+        let t = Instant::now();
+        let (mut ev, mut el) = (0u64, 0f64);
+        for salt in 1..=SNAPSHOT_BRANCHES {
+            let action = match salt % 3 {
+                0 => ScaleAction::None,
+                1 => ScaleAction::CreateWorkers(2),
+                _ => ScaleAction::DrainWorkers(1),
+            };
+            let o = parent.branch(&BranchSpec {
+                salt,
+                initial_action: action,
+                horizon: Duration::from_secs(300),
+                max_events: 100_000,
+            });
+            ev += o.events;
+            el += o.elapsed_s;
+        }
+        let wall = t.elapsed().as_secs_f64();
+        best = best.min(wall);
+        events = ev;
+        elapsed = el;
+    }
+    PerfEntry {
+        name: "snapshot-fork16-branch300s".to_string(),
+        events,
+        // Total simulated branch seconds — deterministic fingerprint.
+        makespan_s: elapsed,
+        best_wall_s: best,
+        events_per_sec: events as f64 / best,
+    }
+}
+
 /// Run every workload `reps` times and report the best wall time.
 pub fn run_perf(label: &str, quick: bool, reps: usize) -> PerfReport {
     let mut entries = Vec::new();
@@ -104,6 +167,7 @@ pub fn run_perf(label: &str, quick: bool, reps: usize) -> PerfReport {
             events_per_sec: events as f64 / best,
         });
     }
+    entries.push(snapshot_microbench(reps));
     PerfReport {
         label: label.to_string(),
         reps,

@@ -90,7 +90,7 @@ pub struct ClusterFaultStats {
 }
 
 /// The simulated orchestrator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cluster {
     cfg: ClusterConfig,
     registry: Registry,
@@ -104,6 +104,14 @@ pub struct Cluster {
     watch: Vec<WatchEvent>,
     controller_armed: bool,
     fault_stats: ClusterFaultStats,
+}
+
+impl hta_des::SnapshotState for Cluster {
+    /// Re-partition the provisioning/fault RNG for a what-if branch; all
+    /// other state (nodes, pods, pending queue, watch log) is untouched.
+    fn reseed(&mut self, salt: u64) {
+        self.rng = self.rng.partition(salt);
+    }
 }
 
 impl Cluster {

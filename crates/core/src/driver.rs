@@ -37,6 +37,8 @@ use crate::fault::FaultPlan;
 use crate::init_time::InitTimeTracker;
 use crate::operator::{Operator, OperatorConfig};
 use crate::policy::{PolicyContext, ScaleAction, ScalingPolicy};
+use crate::whatif::{BranchOutcome, BranchSpec, BranchStop, WhatIf};
+use hta_des::{branch_salt, SnapshotState};
 
 /// The worker-pod group label.
 pub const WORKER_GROUP: &str = "wq-worker";
@@ -175,6 +177,13 @@ enum Event {
 }
 
 /// The driver.
+///
+/// `Clone` is the checkpoint operation of the what-if subsystem: a clone
+/// is a deep, fully independent copy of the entire system state (event
+/// queue, master, cluster, operator, policy, metrics). See
+/// [`SystemDriver::fork_branch`] for the RNG-partitioned fork used by
+/// counterfactual rollouts.
+#[derive(Clone)]
 pub struct SystemDriver {
     cfg: DriverConfig,
     cluster: Cluster,
@@ -225,6 +234,8 @@ pub struct SystemDriver {
     /// Event-stream digest (None in normal runs — recording formats every
     /// event, which is far too slow for the measured hot path).
     digest: Option<EventDigest>,
+    /// True once [`SystemDriver::start_once`] has bootstrapped the run.
+    started: bool,
 }
 
 impl SystemDriver {
@@ -294,6 +305,7 @@ impl SystemDriver {
             label_buf: String::new(),
             per_cat_counts: Vec::new(),
             digest: None,
+            started: false,
         }
     }
 
@@ -303,6 +315,23 @@ impl SystemDriver {
     pub fn with_digest(mut self, cfg: DigestConfig) -> Self {
         self.digest = Some(EventDigest::new(cfg));
         self
+    }
+
+    /// Checkpoint the full system state and fork an independent branch.
+    ///
+    /// The branch is a deep clone; salt `0` keeps the parent's RNG
+    /// streams (exact replay of the parent's own future), any other salt
+    /// re-partitions every stream via [`SnapshotState::reseed`] for an
+    /// independent stochastic future. Forking never mutates the parent —
+    /// same-seed parent runs stay bitwise identical whether or not they
+    /// were forked (enforced by the fork-determinism property tests).
+    ///
+    /// The branch never inherits the parent's event digest: digests
+    /// describe exactly one run, and a branch is a different run.
+    pub fn fork_branch(&self, salt: u64) -> SystemDriver {
+        let mut branch = SnapshotState::fork(self, salt);
+        branch.digest = None;
+        branch
     }
 
     /// Drain the reusable Work Queue effect sink into the global queue.
@@ -369,6 +398,61 @@ impl SystemDriver {
 
     /// Run to completion (or the safety cut-off).
     pub fn run(mut self) -> RunResult {
+        self.start_once();
+        let deadline = SimTime::ZERO + self.cfg.max_sim_time;
+        let (timed_out, _) = self.run_loop(deadline, u64::MAX);
+        self.finalize(timed_out)
+    }
+
+    /// Advance the run up to (and including) simulated time `until`,
+    /// processing events exactly as [`SystemDriver::run`] would, then
+    /// return with the driver mid-flight. Unlike the run loop's deadline
+    /// cut-off this never discards an event: it only pops events whose
+    /// timestamp is `≤ until`, so a run that is advanced in pieces and
+    /// then finished with [`SystemDriver::run`] is event-for-event
+    /// identical to one straight `run()` call.
+    ///
+    /// This is the decision-point hook for what-if tooling: advance to a
+    /// moment of interest, interrogate the driver via
+    /// [`WhatIf`], then keep running. Returns true once the run is
+    /// finished.
+    pub fn advance_until(&mut self, until: SimTime) -> bool {
+        self.start_once();
+        while self.queue.peek_time().is_some_and(|t| t <= until) {
+            let Some((now, ev)) = self.queue.pop() else {
+                break;
+            };
+            self.dispatch(now, ev);
+            if self.is_finished() {
+                return true;
+            }
+        }
+        self.is_finished()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Worker pods not yet terminal (pending + running), for
+    /// introspection at a decision point.
+    pub fn live_workers(&self) -> usize {
+        self.live_worker_pods()
+    }
+
+    /// Tasks the master has completed so far, for introspection at a
+    /// decision point (what-if branch deltas are measured against this).
+    pub fn completed_tasks(&self) -> usize {
+        self.master.completed_count()
+    }
+
+    /// Bootstrap on the first call; later calls are no-ops.
+    fn start_once(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
         let start = SimTime::ZERO;
         for (d, e) in self.cluster.bootstrap(start) {
             self.queue.schedule_in(d, Event::Cluster(e));
@@ -388,41 +472,66 @@ impl SystemDriver {
         for at in self.cfg.node_failures.clone() {
             self.queue.schedule_in(at, Event::FailWorkerNode);
         }
+    }
 
-        let deadline = start + self.cfg.max_sim_time;
+    /// The event loop: pop-and-dispatch until the workload resolves, the
+    /// deadline passes, or `max_events` have been processed this call.
+    ///
+    /// Returns `(timed_out, budget_exhausted)`. The deadline check runs
+    /// *after* the pop on purpose — the over-deadline event still counts
+    /// into `delivered`, which keeps event totals (and every golden
+    /// fingerprint built on them) identical to the historical behaviour.
+    fn run_loop(&mut self, deadline: SimTime, max_events: u64) -> (bool, bool) {
         let mut timed_out = false;
+        let mut budget_exhausted = false;
+        let mut processed: u64 = 0;
         while let Some((now, ev)) = self.queue.pop() {
             if now > deadline {
                 timed_out = true;
                 break;
             }
-            if let Some(d) = self.digest.as_mut() {
-                d.record(now.as_millis(), &ev);
-            }
-            match ev {
-                Event::Cluster(ce) => {
-                    for (d, e) in self.cluster.handle(now, ce) {
-                        self.queue.schedule_in(d, Event::Cluster(e));
-                    }
-                }
-                Event::Wq(we) => {
-                    self.master.handle(now, we, &mut self.wq_sink);
-                    self.flush_wq();
-                }
-                Event::PolicyTick => self.policy_tick(now),
-                Event::Sample => {
-                    self.sample(now);
-                    self.queue
-                        .schedule_in(self.cfg.sample_interval, Event::Sample);
-                }
-                Event::FailWorkerNode => self.fail_worker_node(now),
-            }
-            self.pump(now);
+            self.dispatch(now, ev);
             if self.is_finished() {
                 break;
             }
+            processed += 1;
+            if processed >= max_events {
+                budget_exhausted = true;
+                break;
+            }
         }
+        (timed_out, budget_exhausted)
+    }
 
+    /// Process one popped event: digest, dispatch to the owning
+    /// component, then pump cross-component plumbing.
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        if let Some(d) = self.digest.as_mut() {
+            d.record(now.as_millis(), &ev);
+        }
+        match ev {
+            Event::Cluster(ce) => {
+                for (d, e) in self.cluster.handle(now, ce) {
+                    self.queue.schedule_in(d, Event::Cluster(e));
+                }
+            }
+            Event::Wq(we) => {
+                self.master.handle(now, we, &mut self.wq_sink);
+                self.flush_wq();
+            }
+            Event::PolicyTick => self.policy_tick(now),
+            Event::Sample => {
+                self.sample(now);
+                self.queue
+                    .schedule_in(self.cfg.sample_interval, Event::Sample);
+            }
+            Event::FailWorkerNode => self.fail_worker_node(now),
+        }
+        self.pump(now);
+    }
+
+    /// Tear down into a [`RunResult`].
+    fn finalize(mut self, timed_out: bool) -> RunResult {
         // Final sample so the series reflect the drained end state (the
         // loop exits on pod events, which can land between sample ticks).
         let now = self.queue.now();
@@ -711,6 +820,12 @@ impl SystemDriver {
         // Refresh the incremental snapshot once, then hand the policy
         // borrowed views — no per-tick queue rebuild.
         self.master.refresh_queue_status();
+        // Swap the policy out so it can be handed `&self` as a what-if
+        // world alongside the borrowed context views. The HoldPolicy
+        // placeholder is what a forked branch sees as "its" policy, which
+        // is exactly the frozen-pool rollout semantics branches want.
+        let mut policy: Box<dyn ScalingPolicy> =
+            std::mem::replace(&mut self.policy, Box::new(crate::policy::HoldPolicy));
         let ctx = PolicyContext {
             now,
             queue: self.master.snapshot(),
@@ -725,7 +840,7 @@ impl SystemDriver {
             max_workers: self.cfg.max_workers,
             workload_done,
         };
-        let (action, next) = self.policy.decide(&ctx);
+        let (action, next) = policy.decide_with_world(&ctx, &*self);
         if self.trace.is_enabled() && action != ScaleAction::None {
             self.trace.push(
                 now,
@@ -740,6 +855,14 @@ impl SystemDriver {
                 ),
             );
         }
+        self.policy = policy;
+        self.apply_action(now, action);
+        self.queue
+            .schedule_in(next.max(Duration::from_secs(1)), Event::PolicyTick);
+    }
+
+    /// Translate a policy decision into cluster/master operations.
+    fn apply_action(&mut self, now: SimTime, action: ScaleAction) {
         match action {
             ScaleAction::None => {}
             ScaleAction::CreateWorkers(n) => {
@@ -754,8 +877,6 @@ impl SystemDriver {
             ScaleAction::DrainWorkers(n) => self.drain_workers(now, n),
             ScaleAction::KillWorkers(n) => self.kill_workers(now, n),
         }
-        self.queue
-            .schedule_in(next.max(Duration::from_secs(1)), Event::PolicyTick);
     }
 
     /// HTA-style graceful scale-down: delete pending pods first (nothing
@@ -1022,6 +1143,60 @@ impl SystemDriver {
             egress_mbps: self.master.egress_throughput_mbps(),
             cpu_utilization: self.master.mean_worker_utilization().unwrap_or(0.0),
         });
+    }
+}
+
+impl SnapshotState for SystemDriver {
+    /// Re-partition every RNG stream in the system for a what-if branch.
+    /// Each component gets its own decorrelated salt so the streams stay
+    /// independent across (and within) branches.
+    fn reseed(&mut self, salt: u64) {
+        self.cluster.reseed(branch_salt(salt, 1));
+        self.master.reseed(branch_salt(salt, 2));
+        self.operator.reseed(branch_salt(salt, 3));
+    }
+}
+
+impl WhatIf for SystemDriver {
+    /// Fork a branch, apply the candidate action at the fork instant, and
+    /// roll the branch forward under a frozen policy to the horizon (or
+    /// the event budget). The receiver is untouched.
+    fn branch(&self, spec: &BranchSpec) -> BranchOutcome {
+        let mut branch = self.fork_branch(spec.salt);
+        let t0 = branch.queue.now();
+        let completed_before = branch.master.completed_count();
+        let events_before = branch.queue.delivered();
+        branch.apply_action(t0, spec.initial_action);
+        let (_, budget_exhausted) = branch.run_loop(t0 + spec.horizon, spec.max_events);
+        let t1 = branch.queue.now();
+        // Final sample so the cost integral reflects the branch-end state.
+        branch.sample(t1);
+        let finished = branch.workload_finished_at.is_some();
+        let stop = if finished {
+            BranchStop::Finished
+        } else if budget_exhausted {
+            BranchStop::Budget
+        } else if branch.queue.is_empty() {
+            BranchStop::Quiescent
+        } else {
+            BranchStop::Horizon
+        };
+        let held: usize = branch.operator.held_jobs().iter().map(|(_, c)| c).sum();
+        let supply = &branch.recorder.supply;
+        let cost_core_s = (supply.integral_until(t1.as_secs_f64())
+            - supply.integral_until(t0.as_secs_f64()))
+        .max(0.0);
+        BranchOutcome {
+            elapsed_s: t1.since(t0).as_secs_f64(),
+            events: branch.queue.delivered() - events_before,
+            stop,
+            finished,
+            completed_delta: branch.master.completed_count() - completed_before,
+            tasks_waiting: branch.master.waiting_count() + held,
+            tasks_running: branch.master.running_count(),
+            live_worker_pods: branch.live_worker_pods(),
+            cost_core_s,
+        }
     }
 }
 

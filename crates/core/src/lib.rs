@@ -78,6 +78,7 @@ pub mod operator;
 pub mod oracle;
 pub mod policy;
 pub mod target_tracking;
+pub mod whatif;
 
 pub use category_stats::{CategoryEstimate, CategoryStats};
 pub use driver::{DriverConfig, SystemDriver};
@@ -89,5 +90,8 @@ pub use fault::FaultPlan;
 pub use init_time::InitTimeTracker;
 pub use operator::{Operator, OperatorConfig};
 pub use oracle::OraclePolicy;
-pub use policy::{FixedPolicy, HpaPolicy, HtaPolicy, PolicyContext, ScaleAction, ScalingPolicy};
+pub use policy::{
+    FixedPolicy, HoldPolicy, HpaPolicy, HtaPolicy, PolicyContext, ScaleAction, ScalingPolicy,
+};
 pub use target_tracking::{TargetTrackingConfig, TargetTrackingPolicy};
+pub use whatif::{BranchOutcome, BranchSpec, BranchStop, WhatIf};

@@ -69,7 +69,7 @@ enum CatKnowledge {
 }
 
 /// The operator.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Operator {
     cfg: OperatorConfig,
     workflow: Workflow,
@@ -86,6 +86,14 @@ pub struct Operator {
     next_task: u64,
     rng: SimRng,
     submitted: usize,
+}
+
+impl hta_des::SnapshotState for Operator {
+    /// Re-partition the submission RNG for a what-if branch; DAG state,
+    /// holds and learned resources are untouched.
+    fn reseed(&mut self, salt: u64) {
+        self.rng = self.rng.partition(salt);
+    }
 }
 
 impl Operator {

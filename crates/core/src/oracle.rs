@@ -112,6 +112,10 @@ impl ScalingPolicy for OraclePolicy {
     fn desired(&self) -> usize {
         self.last_desired
     }
+
+    fn clone_box(&self) -> Box<dyn ScalingPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,28 @@ pub trait ScalingPolicy {
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> (ScaleAction, Duration);
     /// The most recent desired worker-pod count (for the Fig. 2 series).
     fn desired(&self) -> usize;
+    /// Clone into a boxed trait object. Policies ride inside the driver,
+    /// and the driver's snapshot/fork capability deep-clones everything it
+    /// owns — so every policy must be cloneable behind the trait.
+    fn clone_box(&self) -> Box<dyn ScalingPolicy>;
+    /// Decide with access to a counterfactual world (see
+    /// [`WhatIf`](crate::whatif::WhatIf)). Classic feedback policies
+    /// ignore the world; the model-predictive policy in `crates/forecast`
+    /// overrides this to evaluate candidate actions by forking branches.
+    fn decide_with_world(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        world: &dyn crate::whatif::WhatIf,
+    ) -> (ScaleAction, Duration) {
+        let _ = world;
+        self.decide(ctx)
+    }
+}
+
+impl Clone for Box<dyn ScalingPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -274,6 +296,10 @@ impl ScalingPolicy for HtaPolicy {
     fn desired(&self) -> usize {
         self.last_desired
     }
+
+    fn clone_box(&self) -> Box<dyn ScalingPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -330,6 +356,10 @@ impl ScalingPolicy for HpaPolicy {
     fn desired(&self) -> usize {
         self.last_desired
     }
+
+    fn clone_box(&self) -> Box<dyn ScalingPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -379,6 +409,43 @@ impl ScalingPolicy for FixedPolicy {
 
     fn desired(&self) -> usize {
         self.target
+    }
+
+    fn clone_box(&self) -> Box<dyn ScalingPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Hold (no-op)
+// ----------------------------------------------------------------------
+
+/// A policy that never acts.
+///
+/// Two jobs: it is the placeholder the driver swaps into itself while the
+/// real policy is deciding (so the policy can borrow the driver as a
+/// [`WhatIf`](crate::whatif::WhatIf) world), and — because what-if
+/// branches are forked *during* that swap — it is the policy every branch
+/// rolls forward under, which gives model-predictive rollouts their
+/// constant-input ("apply the candidate action, then hold") semantics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HoldPolicy;
+
+impl ScalingPolicy for HoldPolicy {
+    fn name(&self) -> String {
+        "Hold".into()
+    }
+
+    fn decide(&mut self, _ctx: &PolicyContext<'_>) -> (ScaleAction, Duration) {
+        (ScaleAction::None, Duration::from_secs(3600))
+    }
+
+    fn desired(&self) -> usize {
+        0
+    }
+
+    fn clone_box(&self) -> Box<dyn ScalingPolicy> {
+        Box::new(*self)
     }
 }
 

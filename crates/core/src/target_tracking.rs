@@ -117,6 +117,10 @@ impl ScalingPolicy for TargetTrackingPolicy {
     fn desired(&self) -> usize {
         self.last_desired
     }
+
+    fn clone_box(&self) -> Box<dyn ScalingPolicy> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,9 @@
 //!   model needs (normal via Box–Muller, lognormal, uniform),
 //! * [`trace`] — a bounded in-memory trace ring for debugging simulations,
 //! * [`Backoff`] — a capped exponential retry schedule with jitter, shared
-//!   by every layer's transient-fault handling.
+//!   by every layer's transient-fault handling,
+//! * [`SnapshotState`] — checkpoint/fork capability with partitioned RNG
+//!   streams, the basis of the what-if forecasting subsystem.
 //!
 //! Every component in the stack is written as a *pure state machine*: it
 //! consumes an event at a known `now` and returns follow-up events with
@@ -43,6 +45,7 @@ pub mod rng;
 pub mod sanitize;
 pub mod sim;
 pub mod sink;
+pub mod snapshot;
 pub mod time;
 pub mod trace;
 
@@ -53,4 +56,5 @@ pub use rng::SimRng;
 pub use sanitize::{DigestConfig, DigestReport, Divergence, EventDigest};
 pub use sim::{Simulation, StopReason};
 pub use sink::EffectSink;
+pub use snapshot::{branch_salt, SnapshotState};
 pub use time::{Duration, SimTime};

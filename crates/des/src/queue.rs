@@ -52,7 +52,10 @@ impl<E> Ord for Scheduled<E> {
 /// error and panics in debug builds (it silently clamps to `now` in release
 /// builds, which keeps long experiment sweeps robust against millisecond
 /// rounding at the edges of the fluid-flow transfer model).
-#[derive(Debug)]
+/// Cloning an `EventQueue` (possible whenever the event payload is
+/// `Clone`) yields an independent future event list with identical
+/// contents, clock, and sequence counter — the basis of snapshot/fork.
+#[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     now: SimTime,

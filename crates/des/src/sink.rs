@@ -28,7 +28,7 @@
 use crate::time::Duration;
 
 /// A reusable buffer of `(delay, event)` effects.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EffectSink<E> {
     effects: Vec<(Duration, E)>,
 }

@@ -22,7 +22,7 @@ pub struct TraceEntry {
 }
 
 /// Fixed-capacity trace ring.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceRing {
     entries: VecDeque<TraceEntry>,
     capacity: usize,

@@ -1,0 +1,596 @@
+//! # hta-forecast — what-if forecasting and model-predictive scaling
+//!
+//! The paper's Algorithm 1 predicts the shortage at the end of the next
+//! initialization cycle with a lightweight abstract model (the
+//! `estimator` module in `hta-core`): it ignores staging, link
+//! contention, co-dispatch and injected faults. This crate takes the
+//! opposite approach — *the simulator is its own best model*. Using the
+//! snapshot/fork capability ([`hta_des::SnapshotState`], surfaced
+//! through the [`WhatIf`] trait), the [`ForecastEngine`] forks the live
+//! system into K candidate branches at a decision point, applies one
+//! scaling action per branch, rolls each forward a bounded horizon under
+//! an ensemble of RNG partitions, and scores the branches on a
+//! cost × makespan objective.
+//!
+//! [`MpcPolicy`] wraps the engine as a [`ScalingPolicy`]: classic
+//! receding-horizon model-predictive control over the worker pool,
+//! selectable next to HTA/HPA/Fixed from `hta-run --policy mpc` and the
+//! bench bins.
+//!
+//! Budgets are first-class: every branch carries an event cap, the
+//! engine carries a per-decision branch cap, and candidates whose first
+//! rollouts already score far above the current best are abandoned
+//! early — forecast work cannot explode.
+
+use hta_core::whatif::{BranchOutcome, BranchSpec, WhatIf};
+use hta_core::{PolicyContext, ScaleAction, ScalingPolicy};
+use hta_des::{branch_salt, Duration};
+
+/// Tuning for the [`ForecastEngine`].
+#[derive(Debug, Clone)]
+pub struct ForecastConfig {
+    /// Candidate pool deltas evaluated at each decision point.
+    pub deltas: Vec<i32>,
+    /// RNG partitions (branch seeds) per candidate. 1 = single rollout;
+    /// more average out stochastic noise at proportional cost.
+    pub ensemble: usize,
+    /// Event cap per branch rollout.
+    pub max_events_per_branch: u64,
+    /// Hard cap on branch rollouts per decision (the branch-budget knob:
+    /// candidates beyond the budget are not evaluated and the report is
+    /// marked truncated).
+    pub max_branches: usize,
+    /// Abandon a candidate's remaining ensemble rollouts once its mean
+    /// score exceeds this multiple of the best mean seen so far.
+    pub early_abort_factor: f64,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        ForecastConfig {
+            deltas: vec![-2, -1, 0, 1, 2, 3, 4],
+            ensemble: 2,
+            max_events_per_branch: 100_000,
+            max_branches: 32,
+            early_abort_factor: 3.0,
+        }
+    }
+}
+
+/// One candidate action to branch on.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Display label (e.g. `"+2"` or `"add 5 workers"`).
+    pub label: String,
+    /// The action applied at the fork instant.
+    pub action: ScaleAction,
+}
+
+impl Candidate {
+    /// A labelled candidate.
+    pub fn new(label: impl Into<String>, action: ScaleAction) -> Self {
+        Candidate {
+            label: label.into(),
+            action,
+        }
+    }
+}
+
+/// Ensemble-aggregated result for one candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateScore {
+    /// The candidate's label.
+    pub label: String,
+    /// The candidate's action.
+    pub action: ScaleAction,
+    /// Objective value (lower is better): ensemble mean of the
+    /// extrapolated `cost × makespan` — `(cost/frac) × (elapsed/frac)`
+    /// where `frac` is the branch's completed fraction of its visible
+    /// work (exactly `cost × makespan` when the branch finishes).
+    pub score: f64,
+    /// Mean branch cost (`∫ supply dt` over the branch window, core·s).
+    pub mean_cost_core_s: f64,
+    /// Mean simulated seconds the branches ran.
+    pub mean_elapsed_s: f64,
+    /// Mean tasks still unfinished at branch end.
+    pub mean_remaining: f64,
+    /// Fraction of rollouts in which the workload resolved.
+    pub finished_frac: f64,
+    /// Rollouts actually run (may be under the ensemble size after an
+    /// early abort or budget exhaustion; 0 = never evaluated).
+    pub rollouts: usize,
+    /// The raw per-rollout outcomes.
+    pub outcomes: Vec<BranchOutcome>,
+}
+
+/// Everything one forecast decision produced.
+#[derive(Debug, Clone)]
+pub struct ForecastReport {
+    /// Per-candidate scores, in candidate order.
+    pub candidates: Vec<CandidateScore>,
+    /// Index into `candidates` of the best (lowest) scored one that was
+    /// actually evaluated.
+    pub best: usize,
+    /// Total branch rollouts run for this decision.
+    pub branches_run: usize,
+    /// Total events simulated across the rollouts.
+    pub events_simulated: u64,
+    /// True when the branch budget cut evaluation short.
+    pub truncated: bool,
+}
+
+impl ForecastReport {
+    /// The winning candidate.
+    pub fn winner(&self) -> &CandidateScore {
+        &self.candidates[self.best]
+    }
+
+    /// Render a compact per-candidate table (for examples and bins).
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>12} {:>10} {:>10} {:>9} {:>10}",
+            "candidate", "cost core·s", "elapsed s", "remaining", "finished", "score"
+        );
+        for (i, c) in self.candidates.iter().enumerate() {
+            if c.rollouts == 0 {
+                let _ = writeln!(out, "{:<14} (not evaluated: branch budget)", c.label);
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<14} {:>12.0} {:>10.0} {:>10.1} {:>8.0}% {:>10.0}{}",
+                c.label,
+                c.mean_cost_core_s,
+                c.mean_elapsed_s,
+                c.mean_remaining,
+                c.finished_frac * 100.0,
+                c.score,
+                if i == self.best { "  ◀ best" } else { "" },
+            );
+        }
+        out
+    }
+}
+
+/// Forks candidate branches off a [`WhatIf`] world and scores them.
+///
+/// The engine is deterministic: rollout salts are derived from an
+/// internal decision counter, the candidate index and the ensemble
+/// index, so the same engine driving the same world always forks the
+/// same branches and reaches the same decision.
+#[derive(Debug, Clone)]
+pub struct ForecastEngine {
+    cfg: ForecastConfig,
+    /// Decision counter — salts each decision's branches differently.
+    decisions: u64,
+}
+
+impl ForecastEngine {
+    /// An engine with the given tuning.
+    pub fn new(cfg: ForecastConfig) -> Self {
+        ForecastEngine { cfg, decisions: 0 }
+    }
+
+    /// The tuning.
+    pub fn config(&self) -> &ForecastConfig {
+        &self.cfg
+    }
+
+    /// Build the candidate list for a pool-delta decision, deduplicating
+    /// deltas that clamp to the same effective action (e.g. every
+    /// positive delta is `None` when the pool is at `max_workers`).
+    pub fn delta_candidates(&self, live: usize, max_workers: usize) -> Vec<Candidate> {
+        let mut out: Vec<Candidate> = Vec::new();
+        for &delta in &self.cfg.deltas {
+            let action = if delta > 0 {
+                let n = (delta as usize).min(max_workers.saturating_sub(live));
+                if n == 0 {
+                    ScaleAction::None
+                } else {
+                    ScaleAction::CreateWorkers(n)
+                }
+            } else if delta < 0 {
+                let n = ((-delta) as usize).min(live);
+                if n == 0 {
+                    ScaleAction::None
+                } else {
+                    ScaleAction::DrainWorkers(n)
+                }
+            } else {
+                ScaleAction::None
+            };
+            if out.iter().all(|c| c.action != action) {
+                out.push(Candidate::new(format!("{delta:+}"), action));
+            }
+        }
+        out
+    }
+
+    /// Evaluate `candidates` against the world over `horizon` and score
+    /// them. Increments the decision counter (so the next call partitions
+    /// fresh RNG streams even for identical candidates).
+    pub fn evaluate(
+        &mut self,
+        world: &dyn WhatIf,
+        candidates: &[Candidate],
+        horizon: Duration,
+    ) -> ForecastReport {
+        self.decisions += 1;
+        let decision_salt = self.decisions;
+        let ensemble = self.cfg.ensemble.max(1);
+        let mut branches_run = 0usize;
+        let mut events_simulated = 0u64;
+        let mut truncated = false;
+        let mut best_score = f64::INFINITY;
+        let mut scores: Vec<CandidateScore> = Vec::with_capacity(candidates.len());
+        for (ci, cand) in candidates.iter().enumerate() {
+            let mut outcomes: Vec<BranchOutcome> = Vec::new();
+            for ei in 0..ensemble {
+                if branches_run >= self.cfg.max_branches {
+                    truncated = true;
+                    break;
+                }
+                // Two-level salt: decision ⊕ candidate, then ensemble
+                // index. Never zero, so branches never alias the
+                // parent's own stochastic future.
+                let salt = branch_salt(branch_salt(decision_salt, ci as u64 + 1), ei as u64 + 1);
+                let spec = BranchSpec {
+                    salt,
+                    initial_action: cand.action,
+                    horizon,
+                    max_events: self.cfg.max_events_per_branch,
+                };
+                let outcome = world.branch(&spec);
+                branches_run += 1;
+                events_simulated += outcome.events;
+                outcomes.push(outcome);
+                // Early abort: stop burning ensemble rollouts on a
+                // candidate already far above the best mean.
+                if best_score.is_finite() {
+                    let mean = Self::mean_objective(&outcomes);
+                    if mean > self.cfg.early_abort_factor * best_score {
+                        break;
+                    }
+                }
+            }
+            let score = self.summarize(cand, outcomes);
+            if score.rollouts > 0 && score.score < best_score {
+                best_score = score.score;
+            }
+            scores.push(score);
+        }
+        let best = scores
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.rollouts > 0)
+            .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        ForecastReport {
+            candidates: scores,
+            best,
+            branches_run,
+            events_simulated,
+            truncated,
+        }
+    }
+
+    /// Per-rollout objective: `cost × makespan`, normalized per unit of
+    /// completed work.
+    ///
+    /// `score = cost × elapsed / done²`, where `done` counts tasks
+    /// completed inside the branch window plus half credit for tasks
+    /// still on a worker at the horizon (in-flight progress the branch
+    /// bought). Every candidate rolls the same window forward, so the
+    /// absolute yardstick compares them fairly — crucially it does NOT
+    /// normalize by the *visible* task total, which expands when a
+    /// branch's progress unlocks the next DAG stage (fractional-progress
+    /// scoring punishes exactly the branches that advance the workflow).
+    /// When branches finish the workload, `done` is equal across them
+    /// and the score reduces to the literal spend × runtime product.
+    /// A branch that drains itself into a dead end — work left, nothing
+    /// running, no pods alive to ever run it — is rejected outright.
+    fn objective(outcome: &BranchOutcome) -> f64 {
+        if !outcome.finished
+            && outcome.tasks_waiting > 0
+            && outcome.tasks_running == 0
+            && outcome.live_worker_pods == 0
+        {
+            return f64::INFINITY;
+        }
+        let done = outcome.completed_delta as f64 + 0.5 * outcome.tasks_running as f64;
+        let base = outcome.cost_core_s.max(1.0) * outcome.elapsed_s.max(1.0);
+        base / done.max(0.25).powi(2)
+    }
+
+    fn mean_objective(outcomes: &[BranchOutcome]) -> f64 {
+        if outcomes.is_empty() {
+            return f64::INFINITY;
+        }
+        outcomes.iter().map(Self::objective).sum::<f64>() / outcomes.len() as f64
+    }
+
+    fn summarize(&self, cand: &Candidate, outcomes: Vec<BranchOutcome>) -> CandidateScore {
+        let n = outcomes.len();
+        let mean = |f: &dyn Fn(&BranchOutcome) -> f64| -> f64 {
+            if n == 0 {
+                0.0
+            } else {
+                outcomes.iter().map(f).sum::<f64>() / n as f64
+            }
+        };
+        CandidateScore {
+            label: cand.label.clone(),
+            action: cand.action,
+            score: Self::mean_objective(&outcomes),
+            mean_cost_core_s: mean(&|o| o.cost_core_s),
+            mean_elapsed_s: mean(&|o| o.elapsed_s),
+            mean_remaining: mean(&|o| o.remaining_tasks() as f64),
+            finished_frac: mean(&|o| if o.finished { 1.0 } else { 0.0 }),
+            rollouts: n,
+            outcomes,
+        }
+    }
+}
+
+/// Tuning for [`MpcPolicy`].
+#[derive(Debug, Clone)]
+pub struct MpcConfig {
+    /// Engine tuning.
+    pub forecast: ForecastConfig,
+    /// Fixed rollout horizon; `None` derives one initialization cycle
+    /// from the live measurement (the paper's natural decision window).
+    pub horizon: Option<Duration>,
+    /// Re-evaluation cadence.
+    pub interval: Duration,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        MpcConfig {
+            forecast: ForecastConfig::default(),
+            horizon: None,
+            interval: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Model-predictive scaling: at every decision point, fork one branch
+/// per candidate pool delta, roll each forward a bounded horizon in the
+/// full simulator, and apply the argmin of the cost × makespan
+/// objective.
+///
+/// Compared to HTA's Algorithm 1 the forecast sees everything the
+/// simulator models — staging, egress contention, co-dispatch, injected
+/// faults — at the price of simulating K·E bounded branches per decision
+/// instead of evaluating a closed-form estimate.
+#[derive(Debug, Clone)]
+pub struct MpcPolicy {
+    cfg: MpcConfig,
+    engine: ForecastEngine,
+    last_desired: usize,
+    /// The last decision's report (introspection for traces and tests).
+    last_report: Option<ForecastReport>,
+}
+
+impl MpcPolicy {
+    /// A fresh policy.
+    pub fn new(cfg: MpcConfig) -> Self {
+        let engine = ForecastEngine::new(cfg.forecast.clone());
+        MpcPolicy {
+            cfg,
+            engine,
+            last_desired: 0,
+            last_report: None,
+        }
+    }
+
+    /// The most recent forecast report, if a decision has been made.
+    pub fn last_report(&self) -> Option<&ForecastReport> {
+        self.last_report.as_ref()
+    }
+
+    fn horizon_for(&self, ctx: &PolicyContext<'_>) -> Duration {
+        self.cfg.horizon.unwrap_or_else(|| {
+            // The horizon must cover the actuation delay (a worker
+            // created now only boots after `init_time`) PLUS an
+            // execution window long enough for the new capacity to
+            // finish real work — a bare one-init-cycle horizon ends
+            // exactly when created workers arrive, every scale-up looks
+            // like pure cost, and the argmin degenerates to "drain".
+            let mut exec = Duration::ZERO;
+            for w in &ctx.queue.waiting {
+                if let Some(e) = ctx.stats.estimate(w.cat) {
+                    exec = exec.max(e.mean_wall);
+                }
+            }
+            for (cat, _) in ctx.held_jobs {
+                if let Some(e) = ctx.stats.estimate(*cat) {
+                    exec = exec.max(e.mean_wall);
+                }
+            }
+            if exec == Duration::ZERO {
+                // No learned statistics yet (warm-up): assume a generous
+                // execution window rather than a myopic one.
+                exec = Duration::from_secs(300);
+            }
+            let h = ctx.init_time + exec.mul_f64(1.5);
+            h.max(Duration::from_secs(120))
+                .min(Duration::from_secs(1_800))
+        })
+    }
+}
+
+impl ScalingPolicy for MpcPolicy {
+    fn name(&self) -> String {
+        "MPC".into()
+    }
+
+    /// Without a world to fork there is nothing to predict: hold the
+    /// pool. The driver always routes through
+    /// [`ScalingPolicy::decide_with_world`].
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> (ScaleAction, Duration) {
+        self.last_desired = ctx.live_worker_pods;
+        (ScaleAction::None, self.cfg.interval)
+    }
+
+    fn decide_with_world(
+        &mut self,
+        ctx: &PolicyContext<'_>,
+        world: &dyn WhatIf,
+    ) -> (ScaleAction, Duration) {
+        if ctx.workload_done {
+            self.last_desired = 0;
+            let live = ctx.live_worker_pods;
+            return if live > 0 {
+                (ScaleAction::DrainWorkers(live), self.cfg.interval)
+            } else {
+                (ScaleAction::None, self.cfg.interval)
+            };
+        }
+        let candidates = self
+            .engine
+            .delta_candidates(ctx.live_worker_pods, ctx.max_workers);
+        let horizon = self.horizon_for(ctx);
+        let report = self.engine.evaluate(world, &candidates, horizon);
+        let action = report.winner().action;
+        if std::env::var_os("HTA_MPC_DEBUG").is_some() {
+            eprintln!(
+                "[mpc @{:.0}s] live={} waiting={} running={} horizon={:.0}s -> {:?}\n{}",
+                ctx.now.as_secs_f64(),
+                ctx.live_worker_pods,
+                ctx.queue.waiting.len(),
+                ctx.queue.running.len(),
+                horizon.as_secs_f64(),
+                action,
+                report.table(),
+            );
+        }
+        self.last_desired = match action {
+            ScaleAction::CreateWorkers(n) => ctx.live_worker_pods + n,
+            ScaleAction::DrainWorkers(n) | ScaleAction::KillWorkers(n) => {
+                ctx.live_worker_pods.saturating_sub(n)
+            }
+            ScaleAction::None => ctx.live_worker_pods,
+        };
+        self.last_report = Some(report);
+        (action, self.cfg.interval)
+    }
+
+    fn desired(&self) -> usize {
+        self.last_desired
+    }
+
+    fn clone_box(&self) -> Box<dyn ScalingPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_core::whatif::BranchStop;
+
+    /// A fake world with a quadratic sweet spot at +2 workers.
+    struct FakeWorld;
+
+    impl WhatIf for FakeWorld {
+        fn branch(&self, spec: &BranchSpec) -> BranchOutcome {
+            let delta: i64 = match spec.initial_action {
+                ScaleAction::CreateWorkers(n) => n as i64,
+                ScaleAction::DrainWorkers(n) | ScaleAction::KillWorkers(n) => -(n as i64),
+                ScaleAction::None => 0,
+            };
+            let miss = (delta - 2).unsigned_abs() as f64;
+            BranchOutcome {
+                elapsed_s: spec.horizon.as_secs_f64(),
+                events: 100 + spec.salt % 7,
+                stop: BranchStop::Horizon,
+                finished: false,
+                completed_delta: 10,
+                tasks_waiting: (miss * 3.0) as usize,
+                tasks_running: 2,
+                live_worker_pods: (5 + delta).max(0) as usize,
+                cost_core_s: 500.0 + miss * 40.0,
+            }
+        }
+    }
+
+    #[test]
+    fn engine_picks_the_sweet_spot() {
+        let mut engine = ForecastEngine::new(ForecastConfig::default());
+        let candidates = engine.delta_candidates(5, 20);
+        let report = engine.evaluate(&FakeWorld, &candidates, Duration::from_secs(120));
+        assert_eq!(report.winner().action, ScaleAction::CreateWorkers(2));
+        assert!(!report.truncated);
+        assert!(report.branches_run > 0);
+        assert!(report.events_simulated > 0);
+        assert!(report.table().contains("◀ best"));
+    }
+
+    #[test]
+    fn delta_candidates_dedupe_clamped_actions() {
+        let engine = ForecastEngine::new(ForecastConfig::default());
+        // Pool at the cap: every positive delta clamps to None, and the
+        // dedup keeps a single None candidate (from the first delta that
+        // produced it).
+        let at_cap = engine.delta_candidates(20, 20);
+        let nones = at_cap
+            .iter()
+            .filter(|c| c.action == ScaleAction::None)
+            .count();
+        assert_eq!(nones, 1);
+        // Empty pool: negative deltas clamp to None too.
+        let empty = engine.delta_candidates(0, 20);
+        assert!(empty
+            .iter()
+            .all(|c| !matches!(c.action, ScaleAction::DrainWorkers(_))));
+    }
+
+    #[test]
+    fn branch_budget_truncates_and_is_reported() {
+        let mut engine = ForecastEngine::new(ForecastConfig {
+            max_branches: 3,
+            ensemble: 2,
+            ..ForecastConfig::default()
+        });
+        let candidates = engine.delta_candidates(5, 20);
+        assert!(candidates.len() * 2 > 3, "budget actually binds");
+        let report = engine.evaluate(&FakeWorld, &candidates, Duration::from_secs(120));
+        assert!(report.truncated);
+        assert_eq!(report.branches_run, 3);
+        // Unevaluated candidates can never win.
+        assert!(report.winner().rollouts > 0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_per_decision() {
+        let world = FakeWorld;
+        let run = || {
+            let mut engine = ForecastEngine::new(ForecastConfig::default());
+            let candidates = engine.delta_candidates(5, 20);
+            let r = engine.evaluate(&world, &candidates, Duration::from_secs(120));
+            (r.best, r.branches_run, r.events_simulated)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn objective_floors_zero_cost_branches() {
+        let o = BranchOutcome {
+            elapsed_s: 100.0,
+            events: 1,
+            stop: BranchStop::Horizon,
+            finished: false,
+            completed_delta: 0,
+            tasks_waiting: 5,
+            tasks_running: 0,
+            live_worker_pods: 0,
+            cost_core_s: 0.0,
+        };
+        assert!(ForecastEngine::objective(&o) > 0.0);
+    }
+}

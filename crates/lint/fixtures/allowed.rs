@@ -21,3 +21,9 @@ fn hazards(xs: &[f64]) -> f64 {
 
     started.elapsed().as_secs_f64() + jitter + par_total + hash_total
 }
+
+// hta-lint: allow(fork-unsafe-state): fixture; a Cell here would need no
+// allow at all — this exercises the Rc/RefCell form.
+fn shared(rates: std::rc::Rc<std::cell::RefCell<Vec<f64>>>) -> usize {
+    rates.borrow().len()
+}

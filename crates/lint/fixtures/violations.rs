@@ -17,3 +17,9 @@ fn hazards(xs: &[f64]) -> f64 {
 
     started.elapsed().as_secs_f64() + jitter + par_total + hash_total
 }
+
+static mut FORK_COUNTER: u64 = 0;
+
+fn shared(rates: std::rc::Rc<std::cell::RefCell<Vec<f64>>>) -> usize {
+    rates.borrow().len()
+}

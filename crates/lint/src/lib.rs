@@ -17,6 +17,8 @@
 //! |                      | combination order is scheduling-dependent          |
 //! | `float-accumulation` | float `sum`/`fold` over a hash container's         |
 //! |                      | iterator — FP addition is not associative          |
+//! | `fork-unsafe-state`  | `Rc`/`RefCell`/`static mut` — shared mutable state |
+//! |                      | that a snapshot/fork deep clone silently aliases   |
 //! | `invalid-allow`      | an allow directive without a justification         |
 //!
 //! The scanner is deliberately simple: it walks `.rs` files (sorted, so
@@ -83,6 +85,12 @@ pub const RULES: &[Rule] = &[
         id: "float-accumulation",
         what: "floating-point accumulation over a hash container's iteration order",
         hint: "accumulate over an ordered container, or collect-and-sort before summing",
+    },
+    Rule {
+        id: "fork-unsafe-state",
+        what: "shared mutable state (Rc/RefCell/static mut) that snapshot/fork deep clones alias",
+        hint:
+            "own the state directly (Clone forks it); Cell-of-Copy is fine, shared handles are not",
     },
     Rule {
         id: "invalid-allow",
@@ -479,6 +487,30 @@ const PAR_ITER: &[&str] = &[
 /// Order-sensitive terminal reductions (checked at chain depth 0).
 const REDUCERS: &[&str] = &[".reduce(", ".fold(", ".sum(", ".sum::<", ".product("];
 
+/// Shared-mutable-state types that `SnapshotState`'s deep clone silently
+/// aliases between a parent and its forked branch: two "independent"
+/// worlds end up mutating one value behind the handle. `Cell` is *not*
+/// here — a `Cell<Copy>` is owned by value, so a clone genuinely forks
+/// it (the MWU cache in the master relies on this).
+const FORK_UNSAFE_TYPES: &[&str] = &["Rc", "RefCell"];
+
+/// True when the line declares a `static mut` (globally shared mutable
+/// state — invisible to any clone). `&'static mut` references do not
+/// match: the `static` there is a lifetime, not a declaration.
+fn has_static_mut(code: &str) -> bool {
+    let mut start = 0;
+    while let Some(at) = find_ident(&code[start..], "static").map(|p| p + start) {
+        let lifetime = code[..at].ends_with('\'');
+        let rest = code[at + "static".len()..].trim_start();
+        let followed = find_ident(rest, "mut") == Some(0);
+        if !lifetime && followed {
+            return true;
+        }
+        start = at + "static".len();
+    }
+    false
+}
+
 /// Files exempt from a rule by construction.
 fn exempt(path: &str, rule_id: &str) -> bool {
     // The seeded-RNG module is where randomness is *implemented*.
@@ -634,6 +666,23 @@ pub fn scan_file(path: &str, src: &str) -> Vec<Finding> {
                 );
                 break;
             }
+        }
+        for t in FORK_UNSAFE_TYPES {
+            if find_ident(code, t).is_some() {
+                push(
+                    idx,
+                    "fork-unsafe-state",
+                    format!("`{t}` — {}", rule("fork-unsafe-state").what),
+                );
+                break;
+            }
+        }
+        if has_static_mut(code) {
+            push(
+                idx,
+                "fork-unsafe-state",
+                format!("`static mut` — {}", rule("fork-unsafe-state").what),
+            );
         }
         for t in PAR_ITER {
             if let Some(pos) = code.find(t) {
@@ -871,6 +920,34 @@ mod tests {
         let src = "fn seed() { let r = thread_rng(); }\n";
         assert!(scan_file("crates/des/src/rng.rs", src).is_empty());
         assert_eq!(scan_file("crates/des/src/sim.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn rc_refcell_and_static_mut_are_fork_unsafe() {
+        let src = "static mut TICKS: u64 = 0;\n\
+                   fn f(shared: Rc<RefCell<Vec<f64>>>) -> usize { shared.borrow().len() }\n";
+        let f = scan_file("crates/des/src/x.rs", src);
+        let got: Vec<(usize, &str)> = f.iter().map(|x| (x.line, x.rule)).collect();
+        assert_eq!(
+            got,
+            vec![(1, "fork-unsafe-state"), (2, "fork-unsafe-state")],
+            "{f:#?}"
+        );
+    }
+
+    #[test]
+    fn cell_of_copy_is_not_fork_unsafe() {
+        // `Cell<Copy>` is owned by value: a deep clone forks it, so the
+        // master's MWU cache pattern stays legal.
+        let src = "use std::cell::Cell;\nlet cache: Cell<Option<u64>> = Cell::new(None);\n";
+        assert!(scan_file("crates/workqueue/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn static_lifetime_is_not_static_mut() {
+        let src = "fn f(x: &'static mut u32, s: &'static str) -> u32 { *x }\n\
+                   static LABELS: &[&str] = &[];\n";
+        assert!(scan_file("crates/des/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -26,6 +26,8 @@ fn every_rule_fires_on_the_violations_fixture() {
             (12, "ambient-rng"),
             (14, "unordered-reduce"),
             (16, "float-accumulation"),
+            (21, "fork-unsafe-state"),
+            (23, "fork-unsafe-state"),
         ],
         "full findings: {f:#?}"
     );

@@ -318,7 +318,7 @@ struct CatWall {
 }
 
 /// The master state machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Master {
     catalog: FileCatalog,
     interner: Interner,
@@ -364,6 +364,14 @@ pub struct Master {
     /// cached value is the product of the exact same summation, so
     /// reported series stay bit-identical.
     mwu_cache: std::cell::Cell<Option<Option<f64>>>,
+}
+
+impl hta_des::SnapshotState for Master {
+    /// Re-partition the fault/speculation RNG for a what-if branch; queue
+    /// contents, workers, flows and statistics are untouched.
+    fn reseed(&mut self, salt: u64) {
+        self.rng = self.rng.partition(salt);
+    }
 }
 
 impl Master {

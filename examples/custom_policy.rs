@@ -17,7 +17,9 @@ use hta::workloads::{blast_single_stage, BlastParams};
 
 /// Naive queue-length scaler: request one worker per waiting task (no
 /// packing, no in-flight accounting, no initialization-cycle forecast),
-/// and never drain.
+/// and never drain. `Clone` is required by the trait: the driver's
+/// snapshot/fork capability deep-clones whatever policy it carries.
+#[derive(Clone)]
 struct GreedyPolicy {
     desired: usize,
 }
@@ -41,6 +43,10 @@ impl ScalingPolicy for GreedyPolicy {
 
     fn desired(&self) -> usize {
         self.desired
+    }
+
+    fn clone_box(&self) -> Box<dyn ScalingPolicy> {
+        Box::new(self.clone())
     }
 }
 

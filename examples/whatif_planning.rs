@@ -1,0 +1,93 @@
+//! What-if capacity planning with the forecast engine.
+//!
+//! The MPC policy wraps [`hta::forecast::ForecastEngine`] behind the
+//! `ScalingPolicy` trait, but the engine is useful on its own: pause a
+//! simulation at any decision point, fork candidate branches, and read
+//! the scores like a planner would — "if I added two workers right now,
+//! what would the next ten minutes cost me, and what would I finish?"
+//!
+//! This example drives a multistage BLAST run to the moment the first
+//! stage is in full swing, then asks the engine to compare pool deltas
+//! from −2 to +4 and prints the full branch table. No policy is in the
+//! loop: the workload keeps running under `HoldPolicy`, so the only
+//! scaling in the system is the hypothetical one inside each branch.
+//!
+//! ```sh
+//! cargo run --release --example whatif_planning
+//! ```
+
+use hta::core::driver::{DriverConfig, SystemDriver};
+use hta::core::policy::{HoldPolicy, ScaleAction};
+use hta::core::OperatorConfig;
+use hta::forecast::{Candidate, ForecastConfig, ForecastEngine};
+use hta::prelude::*;
+use hta::workloads::{blast_multistage, MultistageParams};
+
+fn main() {
+    let workload = blast_multistage(&MultistageParams {
+        stage_tasks: vec![40, 8, 24],
+        ..MultistageParams::default()
+    });
+    let cfg = DriverConfig {
+        operator: OperatorConfig {
+            warmup: true,
+            trust_declared: false,
+            learn: true,
+            seed: 7,
+        },
+        ..DriverConfig::default()
+    };
+    // No autoscaler: the pool only changes inside forked branches.
+    let mut driver = SystemDriver::new(cfg, workload, Box::new(HoldPolicy));
+
+    // Let the warmup probes land and the first stage spin up.
+    let decision_point = SimTime::ZERO + Duration::from_secs(400);
+    driver.advance_until(decision_point);
+    println!(
+        "paused at t={:.0}s: {} completed, {} live worker pods\n",
+        driver.now().as_secs_f64(),
+        driver.completed_tasks(),
+        driver.live_workers()
+    );
+
+    // Plan: fork one branch per pool delta over a 10-minute horizon.
+    let mut engine = ForecastEngine::new(ForecastConfig {
+        ensemble: 2,
+        ..ForecastConfig::default()
+    });
+    let candidates = engine.delta_candidates(driver.live_workers(), 30);
+    let report = engine.evaluate(&driver, &candidates, Duration::from_secs(600));
+    println!("{}", report.table());
+    let best = report.winner();
+    println!(
+        "\nplanner's pick: {} ({:?}) — score {:.1}, mean cost {:.0} core·s, \
+         mean {:.1} tasks left at horizon",
+        best.label, best.action, best.score, best.mean_cost_core_s, best.mean_remaining
+    );
+    println!(
+        "branches forked: {} ({} events simulated, parent untouched)",
+        report.branches_run, report.events_simulated
+    );
+
+    // The parent run is provably unperturbed: finishing it now gives the
+    // same result as if the engine had never forked anything. (The
+    // property tests in crates/forecast pin this bitwise via the event
+    // digest; here we just keep going.)
+    let before = driver.completed_tasks();
+    driver.advance_until(decision_point + Duration::from_secs(600));
+    println!(
+        "\nparent kept running: +{} tasks over the same 600 s window",
+        driver.completed_tasks() - before
+    );
+
+    // A planner can also score hand-picked actions, not just deltas.
+    let custom = vec![
+        Candidate::new("hold", ScaleAction::None),
+        Candidate::new("burst+8", ScaleAction::CreateWorkers(8)),
+    ];
+    let report = engine.evaluate(&driver, &custom, Duration::from_secs(600));
+    println!(
+        "\nsecond decision, hand-picked candidates:\n{}",
+        report.table()
+    );
+}

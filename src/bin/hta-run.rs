@@ -4,8 +4,10 @@
 //! hta-run <workflow.mf | demo> [options]
 //!
 //! options:
-//!   --policy <hta | hpa:<target%> | fixed:<n> | oracle | tracking>
+//!   --policy <hta | hpa:<target%> | fixed:<n> | oracle | tracking | mpc>
 //!                          autoscaler driving the worker pool  [hta]
+//!                          (mpc forks what-if branches of the live
+//!                          simulation at each decision; see hta-forecast)
 //!   --max-workers <n>      worker-pod quota                    [20]
 //!   --nodes <min>:<max>    cluster size bounds                 [3:20]
 //!   --worker-cores <n>     worker pod size in cores            [3]
@@ -41,6 +43,7 @@ use hta::core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPol
 use hta::core::{
     FaultPlan, OperatorConfig, OraclePolicy, TargetTrackingConfig, TargetTrackingPolicy,
 };
+use hta::forecast::{MpcConfig, MpcPolicy};
 use hta::makeflow;
 use hta::metrics::AsciiChart;
 use hta::prelude::*;
@@ -101,7 +104,7 @@ struct Options {
 }
 
 fn usage() -> &'static str {
-    "usage: hta-run <workflow.mf | demo> [--policy hta|hpa:<target%>|fixed:<n>|oracle|tracking] \
+    "usage: hta-run <workflow.mf | demo> [--policy hta|hpa:<target%>|fixed:<n>|oracle|tracking|mpc] \
      [--max-workers N] [--nodes MIN:MAX] [--worker-cores N] [--initial N] [--seed N] \
      [--fail-at s,s,...] [--fail-node s,s,...] [--task-fail-rate P] [--oom-rate P] \
      [--pull-fail-rate P] [--preempt-mean S] [--max-retries N] [--straggler-factor F] \
@@ -234,6 +237,9 @@ fn build_policy(
     }
     if spec == "oracle" {
         return Ok((Box::new(OraclePolicy::from_workflow(workflow)), false));
+    }
+    if spec == "mpc" {
+        return Ok((Box::new(MpcPolicy::new(MpcConfig::default())), true));
     }
     if spec == "tracking" {
         return Ok((

@@ -41,11 +41,13 @@
 //! * [`workqueue`] — the Work-Queue-like master/worker scheduler,
 //! * [`makeflow`] — the DAG workflow manager,
 //! * [`core`] — HTA itself: estimator, operator, policies, driver,
+//! * [`forecast`] — snapshot/fork what-if branches and the MPC policy,
 //! * [`workloads`] — BLAST-like and I/O-bound workload generators.
 
 pub use hta_cluster as cluster;
 pub use hta_core as core;
 pub use hta_des as des;
+pub use hta_forecast as forecast;
 pub use hta_makeflow as makeflow;
 pub use hta_metrics as metrics;
 pub use hta_resources as resources;
