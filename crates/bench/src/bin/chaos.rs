@@ -8,10 +8,11 @@
 //!
 //! Runs the multistage BLAST workload under three chaos levels — none,
 //! light (5 % pull failures, 2 % transient exits), heavy (flaky nodes +
-//! 15 % pull failures, 5 % transients, OOM kills, speculation) — for each
-//! autoscaling policy, and prints runtime inflation, retries by kind,
-//! wasted core·s and the completion guarantee. Everything draws from the
-//! seeded plan, so the table is reproducible.
+//! 15 % pull failures, 5 % transients, OOM kills, speculation, plus a
+//! seeded control-plane crash that checkpoint-restores and WAL-replays) —
+//! for each autoscaling policy, and prints runtime inflation, retries by
+//! kind, wasted core·s, crash-recovery work and the completion guarantee.
+//! Everything draws from the seeded plan, so the table is reproducible.
 
 use hta_core::driver::{DriverConfig, RunResult, SystemDriver};
 use hta_core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
@@ -78,7 +79,7 @@ fn main() {
         .collect();
 
     println!(
-        "{:<8} {:<7} {:>10} {:>9} {:>8} {:>6} {:>6} {:>6} {:>12} {:>9}",
+        "{:<8} {:<7} {:>10} {:>9} {:>8} {:>6} {:>6} {:>6} {:>12} {:>6} {:>8} {:>7} {:>9}",
         "policy",
         "chaos",
         "runtime_s",
@@ -88,6 +89,9 @@ fn main() {
         "oom",
         "pull",
         "wasted_c·s",
+        "crash",
+        "requeue",
+        "down_s",
         "complete"
     );
     for (p, policy) in POLICIES.iter().enumerate() {
@@ -111,7 +115,7 @@ fn main() {
                 format!("-{}", r.jobs_failed + r.jobs_abandoned)
             };
             println!(
-                "{:<8} {:<7} {:>10.0} {:>8.2}x {:>8} {:>6} {:>6} {:>6} {:>12.0} {:>9}",
+                "{:<8} {:<7} {:>10.0} {:>8.2}x {:>8} {:>6} {:>6} {:>6} {:>12.0} {:>6} {:>8} {:>7.0} {:>9}",
                 policy,
                 level,
                 r.summary.runtime_s,
@@ -125,12 +129,17 @@ fn main() {
                 f.oom_kills,
                 f.image_pull_retries,
                 f.wasted_core_s,
+                f.master_crashes,
+                f.recovery_requeued,
+                f.outage_s,
                 complete,
             );
         }
     }
     println!(
         "\ncolumns: inflate = runtime vs the same policy fault-free; trans/oom = attempt kills by kind;\n\
-         pull = image-pull retries; complete = jobs finished (\"all\") or failed+abandoned count."
+         pull = image-pull retries; crash/requeue/down_s = control-plane crashes survived, tasks\n\
+         re-queued by recovery reconciliation, total outage; complete = jobs finished (\"all\") or\n\
+         failed+abandoned count."
     );
 }

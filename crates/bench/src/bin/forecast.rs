@@ -7,9 +7,10 @@
 //! ```
 //!
 //! Runs the Fig. 10 (multistage BLAST) and Fig. 11 (I/O-bound) workloads
-//! under MPC (`hta-forecast`), HTA and HPA-20 — clean and under the
-//! light fault plan — and prints the cost/makespan frontier each policy
-//! lands on. MPC forks what-if branches of the live simulation at every
+//! under MPC (`hta-forecast`), HTA and HPA-20 — clean, under the light
+//! fault plan, and under the heavy plan (node churn + OOM kills + a
+//! seeded control-plane crash-recovery cycle) — and prints the
+//! cost/makespan frontier each policy lands on. MPC forks what-if branches of the live simulation at every
 //! decision (snapshot/fork, see ARCHITECTURE.md), so unlike HTA's
 //! Algorithm 1 estimate its forecasts see staging, contention and the
 //! injected faults; the table quantifies what that buys (and what it
@@ -117,50 +118,58 @@ fn main() {
 
     println!("=== forecast: cost/makespan frontier, MPC vs HTA vs HPA-20 ===\n");
 
-    // 2 workloads × {clean, faulted} × 3 policies, all independent.
-    let cells: Vec<(usize, bool, usize)> = (0..2usize)
+    // 2 workloads × {clean, light, heavy} × 3 policies, all independent.
+    const LEVELS: [&str; 3] = [
+        "clean",
+        "light faults (5% pull failures, 2% transients)",
+        "heavy faults (node churn, OOM kills, control-plane crash-recovery)",
+    ];
+    let cells: Vec<(usize, usize, usize)> = (0..2usize)
         .flat_map(|w| {
-            [false, true]
-                .into_iter()
-                .flat_map(move |f| (0..POLICIES.len()).map(move |p| (w, f, p)))
+            (0..LEVELS.len()).flat_map(move |f| (0..POLICIES.len()).map(move |p| (w, f, p)))
         })
         .collect();
-    let runs: Vec<((usize, bool, usize), RunResult)> = cells
+    let runs: Vec<((usize, usize, usize), RunResult)> = cells
         .par_iter()
-        .map(|&(w, faulted, p)| {
+        .map(|&(w, level, p)| {
             let kind = POLICIES[p].1;
-            let r = match (w, faulted) {
-                (0, false) => fig10_run(kind, seed),
-                (0, true) => fig10_run_faulted(kind, seed, FaultPlan::light(seed)),
-                (1, false) => fig11_run(kind, seed),
-                _ => fig11_run_faulted(kind, seed, FaultPlan::light(seed)),
+            let plan = match level {
+                1 => Some(FaultPlan::light(seed)),
+                2 => Some(FaultPlan::heavy(seed)),
+                _ => None,
             };
-            ((w, faulted, p), r)
+            let r = match (w, plan) {
+                (0, None) => fig10_run(kind, seed),
+                (0, Some(plan)) => fig10_run_faulted(kind, seed, plan),
+                (_, None) => fig11_run(kind, seed),
+                (_, Some(plan)) => fig11_run_faulted(kind, seed, plan),
+            };
+            ((w, level, p), r)
         })
         .collect();
 
     for (w, wname) in [(0, "fig10 multistage BLAST"), (1, "fig11 I/O-bound")] {
-        for faulted in [false, true] {
+        for (level, lname) in LEVELS.iter().enumerate() {
             let mut rows: Vec<(&str, &RunResult)> = Vec::new();
+            let mut crashes = 0;
             for (p, (pname, _)) in POLICIES.iter().enumerate() {
                 if let Some((_, r)) = runs
                     .iter()
-                    .find(|((rw, rf, rp), _)| (*rw, *rf, *rp) == (w, faulted, p))
+                    .find(|((rw, rf, rp), _)| (*rw, *rf, *rp) == (w, level, p))
                 {
                     assert!(!r.timed_out, "{pname} on {wname} hit the sim cut-off");
+                    crashes += r.summary.faults.master_crashes;
                     rows.push((pname, r));
                 }
             }
-            let title = format!(
-                "{} — {}",
-                wname,
-                if faulted {
-                    "light faults (5% pull failures, 2% transients)"
-                } else {
-                    "clean"
-                }
-            );
+            let title = format!("{wname} — {lname}");
             println!("{}", frontier_table(&title, rows));
+            if crashes > 0 {
+                println!(
+                    "  ({crashes} control-plane crash(es) survived across the row — \
+                     costs include checkpoint + WAL-replay recovery)\n"
+                );
+            }
         }
     }
     println!(

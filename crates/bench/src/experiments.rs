@@ -363,6 +363,27 @@ pub fn fig10_run_with(kind: PolicyKind, seed: u64, digest: Option<DigestConfig>)
     finish(SystemDriver::new(cfg, workload, policy), digest)
 }
 
+/// [`fig10_run`] with a seeded control-plane crash-recovery cycle: the
+/// master/operator/policy die mid-ramp, checkpoint-restore after the
+/// outage and WAL-replay their decisions. The perf harness tracks this
+/// workload (`master-crash-recover300s`) to bound the checkpoint + WAL
+/// overhead on the hot path, and `perf --paranoid` replays it bitwise.
+pub fn fig10_run_crash_recovery(
+    kind: PolicyKind,
+    seed: u64,
+    digest: Option<DigestConfig>,
+) -> RunResult {
+    let mut cfg = fig10_driver(kind, seed);
+    cfg.faults.control_plane = hta_core::ControlPlaneFaults {
+        crash_times: vec![Duration::from_secs(900)],
+        outage: Duration::from_secs(60),
+        checkpoint_interval: Duration::from_secs(300),
+    };
+    let policy = make_policy(kind, 3, cfg.max_workers);
+    let workload = fig10_workload(!kind.uses_warmup());
+    finish(SystemDriver::new(cfg, workload, policy), digest)
+}
+
 /// [`fig10_run`] under an injected fault plan (the `forecast` bin's
 /// faulted frontier).
 pub fn fig10_run_faulted(kind: PolicyKind, seed: u64, faults: hta_core::FaultPlan) -> RunResult {

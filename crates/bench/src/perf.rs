@@ -16,8 +16,8 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::{
-    fig10_driver, fig10_run_with, fig10_workload, fig11_run_with, fig4_run_with, Fig4Config,
-    PolicyKind,
+    fig10_driver, fig10_run_crash_recovery, fig10_run_with, fig10_workload, fig11_run_with,
+    fig4_run_with, Fig4Config, PolicyKind,
 };
 use hta_core::driver::{RunResult, SystemDriver};
 use hta_core::whatif::{BranchSpec, WhatIf};
@@ -71,6 +71,12 @@ pub fn workloads(quick: bool) -> Vec<(&'static str, RunFn)> {
         }),
         ("fig10-blast200-hpa50", |s, d| {
             fig10_run_with(PolicyKind::Hpa(0.5), s, d)
+        }),
+        // The crash-recovery gate: same Fig. 10 HTA run with a seeded
+        // control-plane crash (checkpoints every 300 s, WAL replay on
+        // restart). Tracked so checkpoint overhead stays bounded.
+        ("master-crash-recover300s", |s, d| {
+            fig10_run_crash_recovery(PolicyKind::Hta, s, d)
         }),
     ];
     if !quick {

@@ -24,7 +24,8 @@ use hta_cluster::{
 };
 use hta_des::trace::TraceRing;
 use hta_des::{
-    CategoryId, DigestConfig, DigestReport, Duration, EffectSink, EventDigest, EventQueue, SimTime,
+    CategoryId, Checkpoint, DigestConfig, DigestReport, Duration, EffectSink, EventDigest,
+    EventQueue, SimTime, Wal,
 };
 use hta_makeflow::Workflow;
 use hta_metrics::{FaultSummary, RunRecorder, RunSummary, Sample, TaskSpan};
@@ -33,10 +34,11 @@ use hta_workqueue::master::{Master, MasterConfig, WqEvent, WqNotification};
 use hta_workqueue::{WorkerId, WorkerState};
 use std::collections::BTreeMap;
 
-use crate::fault::FaultPlan;
+use crate::fault::{ControlPlaneFaults, FaultPlan};
 use crate::init_time::InitTimeTracker;
 use crate::operator::{Operator, OperatorConfig};
 use crate::policy::{PolicyContext, ScaleAction, ScalingPolicy};
+use crate::recovery::{ControlPlaneState, RecoveryReport, WalRecord};
 use crate::whatif::{BranchOutcome, BranchSpec, BranchStop, WhatIf};
 use hta_des::{branch_salt, SnapshotState};
 
@@ -163,17 +165,63 @@ pub struct RunResult {
     /// [`SystemDriver::with_digest`] (the `perf --paranoid` double-run
     /// divergence hunter).
     pub digest: Option<DigestReport>,
+    /// One report per control-plane crash survived (empty unless
+    /// [`ControlPlaneFaults`] were active).
+    pub recoveries: Vec<RecoveryReport>,
 }
 
 /// Global event type.
 #[derive(Debug, Clone, Copy)]
 enum Event {
     Cluster(ClusterEvent),
-    Wq(WqEvent),
+    /// A Work Queue event tagged with the master incarnation that
+    /// scheduled it. A control-plane crash bumps the incarnation, so every
+    /// in-flight master↔worker message addresses a dead master and is
+    /// dropped on delivery — the lost-dispatch semantics of a real crash.
+    /// Normal (fault-free) runs only ever see incarnation 0.
+    Wq(u64, WqEvent),
     PolicyTick,
     Sample,
     /// Failure injection: crash a node hosting a running worker.
     FailWorkerNode,
+    /// Periodic control-plane checkpoint tick (scheduled only when
+    /// control-plane faults are active — normal runs never see it).
+    CheckpointTick,
+    /// Failure injection: kill the control plane (master + operator +
+    /// policy) at a seeded instant.
+    CrashControlPlane,
+    /// The control plane comes back after its configured outage and runs
+    /// the deterministic reconciliation pass.
+    RestartControlPlane,
+}
+
+/// Live crash-recovery machinery, present only when
+/// [`ControlPlaneFaults::is_active`] (normal runs carry `None` and pay
+/// nothing — no checkpoint events, no WAL appends, no extra branches on
+/// the hot path beyond one `Option` test).
+#[derive(Clone)]
+struct RecoveryState {
+    /// The configured fault arm (crash instants, outage, cadence).
+    faults: ControlPlaneFaults,
+    /// `Some(restart instant)` while the control plane is down.
+    down_until: Option<SimTime>,
+    /// When the most recent crash hit.
+    last_crash_at: SimTime,
+    /// The newest durable checkpoint (taken at master-ready, then every
+    /// `checkpoint_interval`, then immediately after each recovery).
+    checkpoint: Option<Checkpoint<ControlPlaneState>>,
+    /// Decision records appended since the last checkpoint.
+    wal: Wal<WalRecord>,
+    /// Crashes survived.
+    crashes: u64,
+    /// In-flight tasks re-queued across all recoveries.
+    requeued_total: u64,
+    /// Total control-plane downtime, seconds.
+    outage_total_s: f64,
+    /// WAL records replayed across all recoveries.
+    wal_replayed_total: u64,
+    /// One report per completed crash-recovery cycle.
+    reports: Vec<RecoveryReport>,
 }
 
 /// The driver.
@@ -236,6 +284,13 @@ pub struct SystemDriver {
     digest: Option<EventDigest>,
     /// True once [`SystemDriver::start_once`] has bootstrapped the run.
     started: bool,
+    /// Master incarnation: bumped on every control-plane crash so stale
+    /// in-flight [`Event::Wq`] messages are dropped. Always 0 in normal
+    /// runs.
+    incarnation: u64,
+    /// Crash-recovery machinery (None unless control-plane faults are
+    /// active).
+    recovery: Option<RecoveryState>,
 }
 
 impl SystemDriver {
@@ -253,7 +308,26 @@ impl SystemDriver {
             .register("wq-worker:latest", cfg.worker_image_mb);
         let master_image = cluster.registry_mut().register("wq-master:latest", 300.0);
         let mut master = Master::new(cfg.master.clone(), hta_workqueue::FileCatalog::new());
-        let operator = Operator::new(cfg.operator.clone(), workflow, &mut master);
+        let mut operator = Operator::new(cfg.operator.clone(), workflow, &mut master);
+        let recovery = if cfg.faults.control_plane.is_active() {
+            // Every control-plane decision from the very first submission
+            // must be durably logged, so recording starts before bootstrap.
+            operator.record_wal(true);
+            Some(RecoveryState {
+                faults: cfg.faults.control_plane.clone(),
+                down_until: None,
+                last_crash_at: SimTime::ZERO,
+                checkpoint: None,
+                wal: Wal::new(),
+                crashes: 0,
+                requeued_total: 0,
+                outage_total_s: 0.0,
+                wal_replayed_total: 0,
+                reports: Vec::new(),
+            })
+        } else {
+            None
+        };
         let tracker = InitTimeTracker::new(cfg.default_init_time);
         let trace = if cfg.trace_capacity > 0 {
             TraceRing::new(cfg.trace_capacity)
@@ -306,6 +380,8 @@ impl SystemDriver {
             per_cat_counts: Vec::new(),
             digest: None,
             started: false,
+            incarnation: 0,
+            recovery,
         }
     }
 
@@ -334,10 +410,28 @@ impl SystemDriver {
         branch
     }
 
-    /// Drain the reusable Work Queue effect sink into the global queue.
+    /// Drain the reusable Work Queue effect sink into the global queue,
+    /// tagging every message with the current master incarnation.
     fn flush_wq(&mut self) {
         for (d, e) in self.wq_sink.drain() {
-            self.queue.schedule_in(d, Event::Wq(e));
+            self.queue.schedule_in(d, Event::Wq(self.incarnation, e));
+        }
+    }
+
+    /// True while the control plane is crashed (workers keep running; the
+    /// master, operator, policy and init-time tracker are frozen).
+    fn control_plane_down(&self) -> bool {
+        self.recovery
+            .as_ref()
+            .is_some_and(|r| r.down_until.is_some())
+    }
+
+    /// Append the operator's pending decision records to the WAL. Called
+    /// after every operator entry point; a no-op in normal runs (recording
+    /// is off, so the pending buffer stays empty).
+    fn drain_operator_wal(&mut self) {
+        if let Some(rs) = self.recovery.as_mut() {
+            rs.wal.extend(self.operator.drain_wal_records());
         }
     }
 
@@ -472,6 +566,14 @@ impl SystemDriver {
         for at in self.cfg.node_failures.clone() {
             self.queue.schedule_in(at, Event::FailWorkerNode);
         }
+        let crash_times: Vec<Duration> = self
+            .recovery
+            .as_ref()
+            .map(|r| r.faults.crash_times.clone())
+            .unwrap_or_default();
+        for at in crash_times {
+            self.queue.schedule_in(at, Event::CrashControlPlane);
+        }
     }
 
     /// The event loop: pop-and-dispatch until the workload resolves, the
@@ -515,9 +617,15 @@ impl SystemDriver {
                     self.queue.schedule_in(d, Event::Cluster(e));
                 }
             }
-            Event::Wq(we) => {
-                self.master.handle(now, we, &mut self.wq_sink);
-                self.flush_wq();
+            Event::Wq(inc, we) => {
+                // A message from a dead master incarnation is dropped: the
+                // worker it came from (or was headed to) was talking to a
+                // master that no longer exists. The recovered master
+                // re-queues the orphaned work instead.
+                if inc == self.incarnation {
+                    self.master.handle(now, we, &mut self.wq_sink);
+                    self.flush_wq();
+                }
             }
             Event::PolicyTick => self.policy_tick(now),
             Event::Sample => {
@@ -526,6 +634,9 @@ impl SystemDriver {
                     .schedule_in(self.cfg.sample_interval, Event::Sample);
             }
             Event::FailWorkerNode => self.fail_worker_node(now),
+            Event::CheckpointTick => self.checkpoint_tick(now),
+            Event::CrashControlPlane => self.crash_control_plane(now),
+            Event::RestartControlPlane => self.restart_control_plane(now),
         }
         self.pump(now);
     }
@@ -560,6 +671,11 @@ impl SystemDriver {
             } else {
                 self.recovery_times.iter().sum::<f64>() / self.recovery_times.len() as f64
             },
+            master_crashes: self.recovery.as_ref().map_or(0, |r| r.crashes),
+            recovery_requeued: self.recovery.as_ref().map_or(0, |r| r.requeued_total),
+            outage_s: self.recovery.as_ref().map_or(0.0, |r| r.outage_total_s),
+            checkpoints_taken: self.recovery.as_ref().map_or(0, |r| r.wal.truncations()),
+            wal_replayed: self.recovery.as_ref().map_or(0, |r| r.wal_replayed_total),
         };
         let task_spans: Vec<TaskSpan> = self
             .master
@@ -574,9 +690,11 @@ impl SystemDriver {
             })
             .collect();
         let digest = self.digest.take().map(EventDigest::report);
+        let recoveries = self.recovery.take().map(|r| r.reports).unwrap_or_default();
         RunResult {
             label,
             digest,
+            recoveries,
             makespan_s: end,
             summary,
             init_measurements: self.tracker.measurements().to_vec(),
@@ -622,10 +740,23 @@ impl SystemDriver {
             if watch.is_empty() && notes.is_empty() {
                 break;
             }
-            self.tracker.observe_all(watch.iter());
+            // During a control-plane outage the informer consumer is down
+            // with it: pod-lifecycle events still happen (the data plane
+            // keeps running) but nobody measures init times or adopts
+            // fresh workers until the restart reconciliation.
+            let down = self.control_plane_down();
+            if !down {
+                self.tracker.observe_all(watch.iter());
+            }
             for ev in &watch {
                 match ev.kind {
                     WatchKind::PodRunning(_) => {
+                        if down {
+                            // The pod keeps running; if it survives the
+                            // outage the recovery pass re-adopts it from
+                            // the watch-stream snapshot.
+                            continue;
+                        }
                         if Some(ev.pod) == self.master_pod && !self.master_ready {
                             self.master_ready = true;
                             self.on_master_ready(now);
@@ -680,6 +811,13 @@ impl SystemDriver {
                         cat,
                         measured,
                     } => {
+                        // Log the acknowledgement *before* handling it:
+                        // the handler's own decisions (learning commits,
+                        // released warm-up holds) append their records
+                        // after this one, preserving causal replay order.
+                        if let Some(rs) = self.recovery.as_mut() {
+                            rs.wal.append(WalRecord::Complete { task, at: now });
+                        }
                         self.operator.on_task_completed(
                             now,
                             task,
@@ -689,6 +827,7 @@ impl SystemDriver {
                             &mut self.wq_sink,
                         );
                         self.flush_wq();
+                        self.drain_operator_wal();
                         if self.operator.all_complete() && self.workload_finished_at.is_none() {
                             self.workload_finished_at = Some(now);
                             self.trace
@@ -715,6 +854,9 @@ impl SystemDriver {
                                 format!("{task} permanently failed ({name})"),
                             );
                         }
+                        if let Some(rs) = self.recovery.as_mut() {
+                            rs.wal.append(WalRecord::Fail { task, at: now });
+                        }
                         self.operator.on_task_failed(
                             now,
                             task,
@@ -723,6 +865,7 @@ impl SystemDriver {
                             &mut self.wq_sink,
                         );
                         self.flush_wq();
+                        self.drain_operator_wal();
                         // Graceful degradation can resolve the workflow
                         // with failures: the cleanup path is the same.
                         if self.operator.all_complete() && self.workload_finished_at.is_none() {
@@ -760,9 +903,250 @@ impl SystemDriver {
                 }
             }
         }
+        // Checkpoint #0 is taken *before* the first submission wave so the
+        // WAL (recording since construction) covers every decision ever
+        // made on top of it, and the periodic cadence starts here.
+        if self
+            .recovery
+            .as_ref()
+            .is_some_and(|r| r.checkpoint.is_none())
+        {
+            self.take_checkpoint(now);
+            let interval = self
+                .recovery
+                .as_ref()
+                .expect("checked above")
+                .faults
+                .checkpoint_interval;
+            self.queue.schedule_in(interval, Event::CheckpointTick);
+        }
         self.operator
             .submit_ready(now, &mut self.master, &mut self.wq_sink);
         self.flush_wq();
+        self.drain_operator_wal();
+    }
+
+    /// Capture the full control plane into a fresh checkpoint and truncate
+    /// the WAL it supersedes.
+    fn take_checkpoint(&mut self, now: SimTime) {
+        let state = ControlPlaneState {
+            master: self.master.clone(),
+            operator: self.operator.clone(),
+            policy: self.policy.clone(),
+            tracker: self.tracker.clone(),
+        };
+        let rs = self
+            .recovery
+            .as_mut()
+            .expect("checkpointing without control-plane faults");
+        rs.checkpoint = Some(Checkpoint::take(&state, now));
+        rs.wal.truncate();
+    }
+
+    /// Periodic checkpoint cadence (control-plane faults active only).
+    fn checkpoint_tick(&mut self, now: SimTime) {
+        let Some(rs) = self.recovery.as_ref() else {
+            return;
+        };
+        if self.cleanup_started {
+            // Workload resolved; nothing left worth checkpointing and the
+            // cadence can die with the run.
+            return;
+        }
+        let interval = rs.faults.checkpoint_interval;
+        if rs.down_until.is_some() {
+            // Crashed processes take no checkpoints; the restart path
+            // takes its own post-recovery one. Keep the cadence alive.
+            self.queue.schedule_in(interval, Event::CheckpointTick);
+            return;
+        }
+        self.take_checkpoint(now);
+        self.queue.schedule_in(interval, Event::CheckpointTick);
+    }
+
+    /// Failure injection: the control plane dies. Workers keep running
+    /// (they are cluster pods, not control-plane state), but every
+    /// in-flight master↔worker message is now addressed to a dead
+    /// incarnation and will be dropped.
+    fn crash_control_plane(&mut self, now: SimTime) {
+        let Some(rs) = self.recovery.as_mut() else {
+            return;
+        };
+        if !self.master_ready
+            || self.cleanup_started
+            || rs.down_until.is_some()
+            || rs.checkpoint.is_none()
+        {
+            // Nothing to crash yet (or already down, or already winding
+            // down) — the injection is a no-op, like a node crash with no
+            // running worker.
+            return;
+        }
+        let outage = rs.faults.outage;
+        rs.crashes += 1;
+        rs.last_crash_at = now;
+        rs.down_until = Some(now + outage);
+        self.incarnation += 1;
+        // The driver's pod↔worker adoption maps are control-plane memory:
+        // the restarted master re-learns them from the watch stream.
+        self.pod_to_worker.clear();
+        self.worker_to_pod.clear();
+        self.trace.push(
+            now,
+            "fault",
+            format!(
+                "control plane crashed (incarnation {}), restart in {}s",
+                self.incarnation,
+                outage.as_secs_f64()
+            ),
+        );
+        self.queue.schedule_in(outage, Event::RestartControlPlane);
+    }
+
+    /// The deterministic reconciliation pass: restore the checkpoint,
+    /// reset its data-plane beliefs, replay the WAL, reconcile warm-up
+    /// probes, re-adopt surviving workers, resume submissions, and
+    /// re-checkpoint.
+    fn restart_control_plane(&mut self, now: SimTime) {
+        let (state, records, crashed_at, checkpoint_at) = {
+            let Some(rs) = self.recovery.as_mut() else {
+                return;
+            };
+            if rs.down_until.is_none() {
+                return;
+            }
+            rs.down_until = None;
+            let cp = rs
+                .checkpoint
+                .as_ref()
+                .expect("crashes are ignored before checkpoint #0");
+            (
+                cp.restore(),
+                rs.wal.records().to_vec(),
+                rs.last_crash_at,
+                cp.taken_at(),
+            )
+        };
+        // 1. Restore the control plane to its checkpoint.
+        let ControlPlaneState {
+            master,
+            operator,
+            policy,
+            tracker,
+        } = state;
+        self.master = master;
+        self.operator = operator;
+        self.policy = policy;
+        self.tracker = tracker;
+        // 2. The checkpoint believes in workers and in-flight transfers
+        // from before the crash. Reset those beliefs: every worker is
+        // unknown until re-adopted, every Staging/Running/Returning task
+        // is re-queued exactly once.
+        let tasks_requeued = self.master.recover_reset_data_plane(now);
+        // 3. Replay the decision log on top. Submits re-enter with their
+        // originally sampled specs (no randomness re-drawn); terminal
+        // acknowledgements re-apply at their original instants.
+        let wal_replayed = records.len();
+        for rec in records {
+            match rec {
+                WalRecord::Submit { job, spec } => {
+                    self.operator.replay_submit(
+                        now,
+                        job,
+                        spec,
+                        &mut self.master,
+                        &mut self.wq_sink,
+                    );
+                }
+                WalRecord::Learn { cat, resources } => {
+                    self.operator.replay_learn(cat, resources, &mut self.master);
+                }
+                WalRecord::Complete { task, at } => {
+                    self.master.recover_complete(at, task);
+                    self.operator.replay_complete(task);
+                }
+                WalRecord::Fail { task, at } => {
+                    let cat = self.master.task(task).map(|r| r.cat);
+                    self.master.recover_failed(at, task);
+                    if let Some(cat) = cat {
+                        self.operator.replay_fail(task, cat);
+                    }
+                }
+            }
+        }
+        // Replay dispatch effects go nowhere (no workers are connected
+        // yet) but must still drain under the new incarnation.
+        self.flush_wq();
+        // 4. Warm-up probes whose task died with the crash (submitted
+        // after the checkpoint, lost with the WAL-truncating recovery
+        // semantics, or orphaned mid-flight) are re-aimed. These are
+        // *fresh* decisions and log normally.
+        self.operator
+            .reconcile_probes(now, &mut self.master, &mut self.wq_sink);
+        self.flush_wq();
+        self.drain_operator_wal();
+        // 5. Re-adopt the workers that survived the outage, in PodId
+        // order (deterministic), via the cluster watch-state snapshot.
+        let mut survivors: Vec<PodId> = self
+            .cluster
+            .live_pods_in_group(WORKER_GROUP)
+            .filter(|p| matches!(p.phase, PodPhase::Running))
+            .map(|p| p.id)
+            .collect();
+        survivors.sort();
+        let workers_readopted = survivors.len();
+        for pod in survivors {
+            let wid = self
+                .master
+                .worker_connect(now, self.cfg.worker_request, &mut self.wq_sink);
+            self.pod_to_worker.insert(pod, wid);
+            self.worker_to_pod.insert(wid, pod);
+        }
+        self.flush_wq();
+        // 6. Resume submissions the crash interrupted (jobs whose parents
+        // completed while the WAL was being replayed).
+        self.operator
+            .submit_ready(now, &mut self.master, &mut self.wq_sink);
+        self.flush_wq();
+        self.drain_operator_wal();
+        if self.operator.all_complete() && self.workload_finished_at.is_none() {
+            self.workload_finished_at = Some(now);
+            self.trace.push(
+                now,
+                "driver",
+                "workload complete at recovery; cleanup".into(),
+            );
+            self.start_cleanup(now);
+        }
+        // 7. The metrics-pipeline history predates the crash; a restarted
+        // metrics server starts scraping from scratch.
+        self.util_history.clear();
+        // 8. Post-recovery checkpoint: the replayed decisions are now part
+        // of durable state, so a second crash replays from here.
+        self.take_checkpoint(now);
+        // 9. Bookkeeping.
+        let report = RecoveryReport {
+            crashed_at,
+            recovered_at: now,
+            checkpoint_at,
+            wal_replayed,
+            tasks_requeued,
+            workers_readopted,
+        };
+        let rs = self.recovery.as_mut().expect("checked on entry");
+        rs.requeued_total += tasks_requeued as u64;
+        rs.wal_replayed_total += wal_replayed as u64;
+        rs.outage_total_s += now.since(crashed_at).as_secs_f64();
+        rs.reports.push(report);
+        self.trace.push(
+            now,
+            "driver",
+            format!(
+                "control plane recovered: {wal_replayed} WAL records, \
+                 {tasks_requeued} tasks re-queued, {workers_readopted} workers re-adopted"
+            ),
+        );
+        self.master.assert_invariants();
     }
 
     /// Clean-up stage: drain every worker, delete pending worker pods and
@@ -796,6 +1180,14 @@ impl SystemDriver {
             // already deleted). No policy involvement needed.
             self.queue
                 .schedule_in(Duration::from_secs(10), Event::PolicyTick);
+            return;
+        }
+        // A crashed control plane makes no scaling decisions — the policy
+        // is frozen inside the checkpoint and resumes, with its recovered
+        // estimates, once reconciliation finishes.
+        if self.control_plane_down() {
+            self.queue
+                .schedule_in(Duration::from_secs(5), Event::PolicyTick);
             return;
         }
         // Autoscaling belongs to the runtime stage (§V-C): before the
@@ -1425,6 +1817,115 @@ mod tests {
         let c = run(Some((0, 16))).digest.expect("digest recorded");
         assert_eq!(c.captured.len(), 16);
         assert!(a.matches(&c), "capturing must not perturb the run");
+    }
+
+    fn completed_labels(r: &RunResult) -> Vec<String> {
+        let mut v: Vec<String> = r
+            .task_spans
+            .iter()
+            .filter(|s| s.completed_s.is_some())
+            .map(|s| s.label.clone())
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn control_plane_crash_recovers_identical_completed_set() {
+        // The acceptance scenario: kill the master+operator mid-workload,
+        // restart after the outage, and the recovered run must terminate
+        // with the exact completed-task set of its crash-free twin.
+        let crash_free = SystemDriver::new(
+            small_cfg(),
+            tiny_workflow(12),
+            Box::new(FixedPolicy::new(3)),
+        )
+        .run();
+        let crashed = || {
+            let mut cfg = small_cfg();
+            cfg.faults.control_plane = ControlPlaneFaults {
+                crash_times: vec![Duration::from_secs(90)],
+                outage: Duration::from_secs(40),
+                checkpoint_interval: Duration::from_secs(60),
+            };
+            SystemDriver::new(cfg, tiny_workflow(12), Box::new(FixedPolicy::new(3))).run()
+        };
+        let a = crashed();
+        assert!(!a.timed_out, "recovered run must complete");
+        assert_eq!(a.summary.faults.master_crashes, 1);
+        assert_eq!(a.recoveries.len(), 1);
+        let rep = a.recoveries[0];
+        assert_eq!(rep.outage_s(), 40.0);
+        assert!(
+            rep.amnesia_window_s() <= 60.0,
+            "amnesia bounded by one checkpoint interval, got {}",
+            rep.amnesia_window_s()
+        );
+        assert!(rep.tasks_requeued > 0, "crash must orphan in-flight work");
+        assert!(rep.workers_readopted > 0, "survivors must be re-adopted");
+        assert!(
+            a.summary.faults.checkpoints_taken >= 2,
+            "initial + post-recovery"
+        );
+        assert_eq!(a.jobs_failed, 0);
+        assert_eq!(
+            completed_labels(&a),
+            completed_labels(&crash_free),
+            "identical completed-task set"
+        );
+        // Bitwise-per-seed reproducibility of the crashed run itself.
+        let b = crashed();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.makespan_s, b.makespan_s);
+        assert_eq!(a.recoveries, b.recoveries);
+    }
+
+    #[test]
+    fn crash_recovery_digest_is_identical_across_same_seed_runs() {
+        let run = || {
+            let mut cfg = small_cfg();
+            cfg.faults.control_plane = ControlPlaneFaults {
+                crash_times: vec![Duration::from_secs(60), Duration::from_secs(160)],
+                outage: Duration::from_secs(30),
+                checkpoint_interval: Duration::from_secs(45),
+            };
+            SystemDriver::new(cfg, tiny_workflow(16), Box::new(FixedPolicy::new(3)))
+                .with_digest(DigestConfig {
+                    checkpoint_every: 64,
+                    capture: None,
+                })
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.timed_out);
+        let da = a.digest.expect("digest recorded");
+        let db = b.digest.expect("digest recorded");
+        assert!(
+            da.matches(&db),
+            "same-seed crash runs must be bitwise identical"
+        );
+        assert_eq!(da.first_divergence(&db), None);
+        assert_eq!(
+            a.summary.faults.master_crashes,
+            b.summary.faults.master_crashes
+        );
+    }
+
+    #[test]
+    fn inert_control_plane_arm_leaves_runs_untouched() {
+        // A FaultPlan with an *inactive* control-plane arm must not perturb
+        // the event stream at all (no checkpoint events, incarnation 0).
+        let plain =
+            SystemDriver::new(small_cfg(), tiny_workflow(8), Box::new(FixedPolicy::new(2))).run();
+        let mut cfg = small_cfg();
+        cfg.faults.control_plane = ControlPlaneFaults::default();
+        assert!(!cfg.faults.control_plane.is_active());
+        let armed = SystemDriver::new(cfg, tiny_workflow(8), Box::new(FixedPolicy::new(2))).run();
+        assert_eq!(plain.events, armed.events);
+        assert_eq!(plain.summary, armed.summary);
+        assert!(armed.recoveries.is_empty());
     }
 
     #[test]

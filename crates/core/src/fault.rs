@@ -17,6 +17,45 @@ use hta_des::Duration;
 use hta_workqueue::{MasterConfig, TaskFaults};
 use serde::{Deserialize, Serialize};
 
+/// Control-plane (master + operator) crash faults.
+///
+/// Unlike the data-plane knobs, these are not distributed into a substrate
+/// config: the `SystemDriver` consumes them directly — it checkpoints the
+/// control plane every `checkpoint_interval`, kills the master/operator at
+/// each instant in `crash_times` (dropping every in-flight dispatch), and
+/// restarts them after `outage` by restoring the last checkpoint, replaying
+/// the write-ahead decision log, and reconciling against surviving workers.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct ControlPlaneFaults {
+    /// Instants at which the control plane crashes. Crashes landing before
+    /// the master is ready, during cleanup, or inside an ongoing outage
+    /// are skipped.
+    pub crash_times: Vec<Duration>,
+    /// How long the control plane stays down before restarting. Workers
+    /// keep running (and finishing tasks into the void) during the outage.
+    pub outage: Duration,
+    /// Checkpoint cadence; also bounds the WAL replayed at recovery and
+    /// the amnesia window of unlogged statistics.
+    pub checkpoint_interval: Duration,
+}
+
+impl Default for ControlPlaneFaults {
+    fn default() -> Self {
+        ControlPlaneFaults {
+            crash_times: Vec::new(),
+            outage: Duration::from_secs(60),
+            checkpoint_interval: Duration::from_secs(120),
+        }
+    }
+}
+
+impl ControlPlaneFaults {
+    /// True when at least one crash is scheduled.
+    pub fn is_active(&self) -> bool {
+        !self.crash_times.is_empty()
+    }
+}
+
 /// A whole-stack fault-injection plan.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -44,6 +83,10 @@ pub struct FaultPlan {
     pub straggler_factor: Option<f64>,
     /// Failed attempts tolerated per task before permanent failure.
     pub max_task_retries: u32,
+    /// Control-plane crash/recovery faults (consumed by the driver, not
+    /// distributed via [`apply`](Self::apply)).
+    #[serde(default)]
+    pub control_plane: ControlPlaneFaults,
 }
 
 impl Default for FaultPlan {
@@ -58,6 +101,7 @@ impl Default for FaultPlan {
             task_oom_rate: 0.0,
             straggler_factor: None,
             max_task_retries: 3,
+            control_plane: ControlPlaneFaults::default(),
         }
     }
 }
@@ -73,6 +117,7 @@ impl FaultPlan {
             || self.task_transient_rate > 0.0
             || self.task_oom_rate > 0.0
             || self.straggler_factor.is_some()
+            || self.control_plane.is_active()
     }
 
     /// Distribute the plan into the per-substrate fault configs.
@@ -104,7 +149,8 @@ impl FaultPlan {
     }
 
     /// A heavy chaos level: flaky nodes on top of frequent pull and task
-    /// failures, with OOM kills and speculation enabled.
+    /// failures, with OOM kills and speculation enabled, plus a mid-run
+    /// control-plane crash the recovery subsystem must survive.
     pub fn heavy(seed: u64) -> Self {
         FaultPlan {
             seed,
@@ -114,6 +160,11 @@ impl FaultPlan {
             task_transient_rate: 0.05,
             task_oom_rate: 0.02,
             straggler_factor: Some(3.0),
+            control_plane: ControlPlaneFaults {
+                crash_times: vec![Duration::from_secs(900)],
+                outage: Duration::from_secs(60),
+                checkpoint_interval: Duration::from_secs(120),
+            },
             ..FaultPlan::default()
         }
     }
@@ -155,9 +206,33 @@ mod tests {
                 straggler_factor: Some(2.0),
                 ..FaultPlan::default()
             },
+            FaultPlan {
+                control_plane: ControlPlaneFaults {
+                    crash_times: vec![Duration::from_secs(300)],
+                    ..ControlPlaneFaults::default()
+                },
+                ..FaultPlan::default()
+            },
         ] {
             assert!(plan.is_active(), "{plan:?}");
         }
+    }
+
+    #[test]
+    fn control_plane_arm_defaults_are_inert_but_configured() {
+        let cp = ControlPlaneFaults::default();
+        assert!(!cp.is_active(), "no crashes scheduled by default");
+        assert!(cp.outage > Duration::ZERO);
+        assert!(cp.checkpoint_interval > Duration::ZERO);
+        // Old serialized plans (no control_plane field) must still load.
+        let legacy = r#"{
+            "seed": 7, "node_crash_times": [], "node_mttf": null,
+            "node_mttr": 120000, "image_pull_fail_rate": 0.0,
+            "task_transient_rate": 0.0, "task_oom_rate": 0.0,
+            "straggler_factor": null, "max_task_retries": 3
+        }"#;
+        let plan: FaultPlan = serde_json::from_str(legacy).expect("legacy plan loads");
+        assert_eq!(plan.control_plane, ControlPlaneFaults::default());
     }
 
     #[test]
@@ -185,5 +260,9 @@ mod tests {
         assert!(heavy.image_pull_fail_rate > light.image_pull_fail_rate);
         assert!(heavy.task_transient_rate > light.task_transient_rate);
         assert!(heavy.node_mttf.is_some() && light.node_mttf.is_none());
+        assert!(
+            heavy.control_plane.is_active() && !light.control_plane.is_active(),
+            "only heavy crashes the control plane"
+        );
     }
 }

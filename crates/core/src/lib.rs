@@ -77,6 +77,7 @@ pub mod init_time;
 pub mod operator;
 pub mod oracle;
 pub mod policy;
+pub mod recovery;
 pub mod target_tracking;
 pub mod whatif;
 
@@ -86,12 +87,13 @@ pub use estimator::{
     estimate, estimate_per_worker, forecast_rsh_cores, EstimatorInput, RunningTask, ScaleDecision,
     WaitingTask,
 };
-pub use fault::FaultPlan;
+pub use fault::{ControlPlaneFaults, FaultPlan};
 pub use init_time::InitTimeTracker;
 pub use operator::{Operator, OperatorConfig};
 pub use oracle::OraclePolicy;
 pub use policy::{
     FixedPolicy, HoldPolicy, HpaPolicy, HtaPolicy, PolicyContext, ScaleAction, ScalingPolicy,
 };
+pub use recovery::{ControlPlaneState, RecoveryReport, WalRecord};
 pub use target_tracking::{TargetTrackingConfig, TargetTrackingPolicy};
 pub use whatif::{BranchOutcome, BranchSpec, BranchStop, WhatIf};

@@ -27,6 +27,8 @@ use hta_workqueue::master::{Master, WqEvent};
 use hta_workqueue::task::{ExecModel, Measured, TaskSpec};
 use hta_workqueue::{FileId, TaskId};
 
+use crate::recovery::WalRecord;
+
 /// Operator behaviour switches.
 #[derive(Debug, Clone)]
 pub struct OperatorConfig {
@@ -86,6 +88,10 @@ pub struct Operator {
     next_task: u64,
     rng: SimRng,
     submitted: usize,
+    /// Decision records pending collection into the driver's WAL (only
+    /// populated while [`record_wal`](Self::record_wal) is on).
+    wal_pending: Vec<WalRecord>,
+    wal_recording: bool,
 }
 
 impl hta_des::SnapshotState for Operator {
@@ -178,7 +184,22 @@ impl Operator {
             next_task: 0,
             rng,
             submitted: 0,
+            wal_pending: Vec::new(),
+            wal_recording: false,
         }
+    }
+
+    /// Turn write-ahead decision logging on or off. The driver enables
+    /// this when the fault plan schedules control-plane crashes; normal
+    /// runs keep it off and pay nothing.
+    pub fn record_wal(&mut self, on: bool) {
+        self.wal_recording = on;
+    }
+
+    /// Drain the decision records logged since the last call (the driver
+    /// appends them to its WAL after every operator entry point).
+    pub fn drain_wal_records(&mut self) -> Vec<WalRecord> {
+        std::mem::take(&mut self.wal_pending)
     }
 
     /// The learned statistics (feedback input).
@@ -315,6 +336,12 @@ impl Operator {
         self.job_for_task.insert(task_id, job);
         self.task_for_job.insert(job, task_id);
         self.submitted += 1;
+        if self.wal_recording {
+            self.wal_pending.push(WalRecord::Submit {
+                job,
+                spec: spec.clone(),
+            });
+        }
         master.submit(now, spec, fx);
     }
 
@@ -351,6 +378,12 @@ impl Operator {
                 .expect("just observed this category");
             self.learned.insert(cat, est.resources);
             self.probing.insert(cat, false);
+            if self.wal_recording {
+                self.wal_pending.push(WalRecord::Learn {
+                    cat,
+                    resources: est.resources,
+                });
+            }
             // Upgrade already-queued waiting tasks of this category (e.g.
             // re-queued after a worker kill).
             let waiting: Vec<TaskId> = master
@@ -421,6 +454,148 @@ impl Operator {
             }
         }
         self.submit_ready(now, master, fx);
+    }
+
+    // ------------------------------------------------------------------
+    // WAL replay (crash recovery)
+    // ------------------------------------------------------------------
+    //
+    // Replay methods re-apply logged decisions against a checkpoint-
+    // restored operator and a data-plane-reset master. They must never
+    // draw randomness (the logged spec carries the sampled wall time) and
+    // never log (the records being replayed are still in the driver's WAL
+    // for a possible second crash before the next checkpoint).
+
+    /// Re-apply a logged submission.
+    pub fn replay_submit(
+        &mut self,
+        now: SimTime,
+        job: JobId,
+        spec: TaskSpec,
+        master: &mut Master,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        // A job released from a warm-up hold was already marked submitted
+        // in the DAG when it was held; a directly submitted job was not.
+        let mut was_held = false;
+        for list in self.held.values_mut() {
+            let before = list.len();
+            list.retain(|j| *j != job);
+            was_held |= list.len() != before;
+        }
+        self.held.retain(|_, v| !v.is_empty());
+        if !was_held {
+            self.workflow.submit(job);
+        }
+        // The first submission of a still-unlearned category under warm-up
+        // was that category's probe: restore the flag.
+        let cat = self.cat_of[&spec.category];
+        if self.cfg.warmup
+            && !self.learned.contains_key(&cat)
+            && !self.probing.get(&cat).copied().unwrap_or(false)
+        {
+            self.probing.insert(cat, true);
+        }
+        self.next_task = self.next_task.max(spec.id.raw() + 1);
+        self.job_for_task.insert(spec.id, job);
+        self.task_for_job.insert(job, spec.id);
+        self.submitted += 1;
+        master.submit(now, spec, fx);
+    }
+
+    /// Re-apply a logged category learning decision. Held jobs are *not*
+    /// released here — their releases follow as their own `Submit`
+    /// records.
+    pub fn replay_learn(&mut self, cat: CategoryId, resources: Resources, master: &mut Master) {
+        self.learned.insert(cat, resources);
+        self.probing.insert(cat, false);
+        let waiting: Vec<TaskId> = master
+            .queue_status()
+            .waiting
+            .iter()
+            .filter(|w| w.cat == cat)
+            .map(|w| w.id)
+            .collect();
+        for t in waiting {
+            master.declare_resources(t, resources);
+        }
+    }
+
+    /// Re-apply a logged completion acknowledgement (DAG unblock only;
+    /// newly ready jobs were submitted under their own records).
+    pub fn replay_complete(&mut self, task: TaskId) {
+        if let Some(job) = self.job_for_task.get(&task).copied() {
+            let _ = self.workflow.complete(job);
+        }
+    }
+
+    /// Re-apply a logged permanent-failure acknowledgement. The original
+    /// handler's probe re-aim produced its own `Submit` record, so replay
+    /// only fails the DAG and drops the dead probe flag.
+    pub fn replay_fail(&mut self, task: TaskId, cat: CategoryId) {
+        let Some(job) = self.job_for_task.get(&task).copied() else {
+            return;
+        };
+        let abandoned = self.workflow.fail(job);
+        if !abandoned.is_empty() {
+            for list in self.held.values_mut() {
+                list.retain(|j| !abandoned.contains(j));
+            }
+            self.held.retain(|_, v| !v.is_empty());
+        }
+        if self.cfg.warmup
+            && !self.learned.contains_key(&cat)
+            && self.probing.get(&cat).copied().unwrap_or(false)
+        {
+            self.probing.insert(cat, false);
+        }
+    }
+
+    /// Post-replay invariant pass: every category flagged as probing must
+    /// have a live probe task in the master. A flag without a probe (its
+    /// fate was lost in the outage in a way replay couldn't reconstruct)
+    /// would deadlock the category's held jobs forever — promote a held
+    /// job as the new probe, or clear the flag when nothing is held.
+    /// Promotions are fresh decisions and log normally. Returns the
+    /// number of probes promoted.
+    pub fn reconcile_probes(
+        &mut self,
+        now: SimTime,
+        master: &mut Master,
+        fx: &mut EffectSink<WqEvent>,
+    ) -> usize {
+        let flagged: Vec<CategoryId> = self
+            .probing
+            .iter()
+            .filter(|(_, on)| **on)
+            .map(|(cat, _)| *cat)
+            .collect();
+        let mut promoted = 0;
+        for cat in flagged {
+            if self.learned.contains_key(&cat) {
+                self.probing.insert(cat, false);
+                continue;
+            }
+            if master.has_live_task_in_category(cat) {
+                continue;
+            }
+            let next = self
+                .held
+                .get_mut(&cat)
+                .filter(|v| !v.is_empty())
+                .map(|v| v.remove(0));
+            match next {
+                Some(job) => {
+                    self.push_job(now, job, master, fx);
+                    promoted += 1;
+                }
+                None => {
+                    self.probing.insert(cat, false);
+                }
+            }
+        }
+        self.held.retain(|_, v| !v.is_empty());
+        promoted
     }
 
     /// Sample a job's wall time from its category profile: exact when
@@ -855,5 +1030,118 @@ mod tests {
             &mut fx,
         );
         assert!(op.all_complete());
+    }
+
+    #[test]
+    fn wal_recording_off_logs_nothing() {
+        let mut m = master();
+        let wf = parallel_workflow(5, None);
+        let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
+        assert!(op.drain_wal_records().is_empty());
+    }
+
+    #[test]
+    fn wal_replay_reconstructs_control_plane_decisions() {
+        let mut m = master();
+        let wf = parallel_workflow(5, None);
+        let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
+        op.record_wal(true);
+        // Checkpoint #0: pristine clones before any submission.
+        let cp_op = op.clone();
+        let cp_m = m.clone();
+        let mut fx = EffectSink::new();
+        // Live timeline, with WAL collection ordered the way the driver
+        // orders it: terminal acknowledgements are logged *before* the
+        // handler runs, the handler's own decisions right after.
+        let mut wal: Vec<WalRecord> = Vec::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
+        wal.extend(op.drain_wal_records());
+        assert_eq!(wal.len(), 1, "only the probe was submitted");
+        let measured = Measured {
+            peak: Resources::cores(1, 2_000, 2_000),
+            wall: Duration::from_secs(58),
+        };
+        let align = cat(&m, "align");
+        wal.push(WalRecord::Complete {
+            task: TaskId(0),
+            at: SimTime::from_secs(60),
+        });
+        // In a full run the master completes the task before notifying the
+        // operator; there are no workers here, so apply the terminal
+        // transition directly to keep the live master consistent.
+        m.recover_complete(SimTime::from_secs(60), TaskId(0));
+        op.on_task_completed(
+            SimTime::from_secs(60),
+            TaskId(0),
+            align,
+            measured,
+            &mut m,
+            &mut fx,
+        );
+        wal.extend(op.drain_wal_records());
+        // Probe + Complete + Learn + 4 released submissions.
+        assert_eq!(wal.len(), 7);
+        // Crash: restore the checkpoint and replay the log.
+        let (mut rm, mut rop) = (cp_m, cp_op);
+        let t = SimTime::from_secs(90);
+        assert_eq!(rm.recover_reset_data_plane(t), 0, "nothing was in flight");
+        let mut rfx = EffectSink::new();
+        for rec in &wal {
+            match rec {
+                WalRecord::Submit { job, spec } => {
+                    rop.replay_submit(t, *job, spec.clone(), &mut rm, &mut rfx)
+                }
+                WalRecord::Learn { cat, resources } => rop.replay_learn(*cat, *resources, &mut rm),
+                WalRecord::Complete { task, at } => {
+                    rm.recover_complete(*at, *task);
+                    rop.replay_complete(*task);
+                }
+                WalRecord::Fail { task, at } => {
+                    let c = rm.task(*task).unwrap().cat;
+                    rm.recover_failed(*at, *task);
+                    rop.replay_fail(*task, c);
+                }
+            }
+        }
+        rop.reconcile_probes(t, &mut rm, &mut rfx);
+        assert_eq!(rop.submitted_count(), op.submitted_count());
+        assert_eq!(rop.held_jobs(), op.held_jobs());
+        assert_eq!(rop.known_resources("align"), op.known_resources("align"));
+        assert_eq!(rm.completed_task_ids(), m.completed_task_ids());
+        assert_eq!(rm.waiting_count(), m.waiting_count());
+        // Released submissions carry the learned declaration (embedded in
+        // the recorded specs), exactly like the live queue.
+        rm.refresh_queue_status();
+        assert!(rm
+            .queue_status()
+            .waiting
+            .iter()
+            .all(|w| w.declared == Some(Resources::cores(1, 2_000, 2_000))));
+        // Fresh decisions after recovery keep the task-id sequence intact:
+        // no replayed id is ever reissued.
+        assert!(!rop.all_complete());
+    }
+
+    #[test]
+    fn reconcile_probes_promotes_orphaned_hold() {
+        // A probing flag with no live probe and jobs still held would
+        // deadlock the category: reconciliation must promote a new probe.
+        let mut m = master();
+        let wf = parallel_workflow(4, None);
+        let mut op = Operator::new(OperatorConfig::default(), wf, &mut m);
+        let mut fx = EffectSink::new();
+        op.submit_ready(SimTime::ZERO, &mut m, &mut fx);
+        assert_eq!(op.submitted_count(), 1);
+        // Lose the probe without any record of its fate (simulates an
+        // acknowledgement lost in the outage): force-complete it in the
+        // master only.
+        m.recover_complete(SimTime::from_secs(10), TaskId(0));
+        let promoted = op.reconcile_probes(SimTime::from_secs(20), &mut m, &mut fx);
+        assert_eq!(promoted, 1, "one held job became the new probe");
+        assert_eq!(op.submitted_count(), 2);
+        let align = cat(&m, "align");
+        assert_eq!(op.held_jobs(), vec![(align, 2)]);
     }
 }

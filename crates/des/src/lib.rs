@@ -12,7 +12,9 @@
 //! * [`Backoff`] — a capped exponential retry schedule with jitter, shared
 //!   by every layer's transient-fault handling,
 //! * [`SnapshotState`] — checkpoint/fork capability with partitioned RNG
-//!   streams, the basis of the what-if forecasting subsystem.
+//!   streams, the basis of the what-if forecasting subsystem,
+//! * [`Wal`] / [`Checkpoint`] — write-ahead decision log + point-in-time
+//!   snapshots, the substrate of control-plane crash recovery.
 //!
 //! Every component in the stack is written as a *pure state machine*: it
 //! consumes an event at a known `now` and returns follow-up events with
@@ -48,6 +50,7 @@ pub mod sink;
 pub mod snapshot;
 pub mod time;
 pub mod trace;
+pub mod wal;
 
 pub use backoff::Backoff;
 pub use intern::{CategoryId, Interner};
@@ -58,3 +61,4 @@ pub use sim::{Simulation, StopReason};
 pub use sink::EffectSink;
 pub use snapshot::{branch_salt, SnapshotState};
 pub use time::{Duration, SimTime};
+pub use wal::{Checkpoint, Wal};

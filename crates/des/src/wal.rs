@@ -1,0 +1,221 @@
+//! Checkpoint + write-ahead log substrate for crash-recoverable components.
+//!
+//! The what-if subsystem introduced [`SnapshotState`] — a deep-clone/fork
+//! capability with partitioned RNG streams. Crash recovery layers two small
+//! containers on top of it:
+//!
+//! * [`Checkpoint`] — a point-in-time snapshot of a component (taken with
+//!   `fork(0)`, i.e. an exact-replay clone) stamped with the sim instant it
+//!   was captured at.
+//! * [`Wal`] — an in-memory write-ahead log of *decision records* appended
+//!   since the last checkpoint. Recovery restores the checkpoint and then
+//!   re-applies the log in order.
+//!
+//! The crucial design rule is that WAL records carry **decided data, not
+//! decision inputs**: a record says "task 17 was submitted with this exact
+//! spec (sampled wall time included)", never "a task was submitted — go
+//! sample its wall time again". Replay therefore re-draws no randomness and
+//! reconstructs the pre-crash decisions bit-for-bit, while everything *not*
+//! logged (running statistics, learned estimates observed after the
+//! checkpoint) reverts to its checkpoint value — the bounded-amnesia
+//! contract documented in ARCHITECTURE.md §9.
+//!
+//! The log is truncated at every checkpoint, so a crash replays at most one
+//! checkpoint interval of records. Records are deliberately *kept* across a
+//! recovery: a second crash before the next checkpoint must replay the same
+//! records against the same checkpoint.
+
+use crate::{SimTime, SnapshotState};
+
+/// A point-in-time exact-replay snapshot of a component.
+#[derive(Debug, Clone)]
+pub struct Checkpoint<S: SnapshotState> {
+    state: S,
+    taken_at: SimTime,
+}
+
+impl<S: SnapshotState> Checkpoint<S> {
+    /// Capture `state` at sim instant `at` (an exact-replay fork).
+    pub fn take(state: &S, at: SimTime) -> Self {
+        Checkpoint {
+            state: state.fork(0),
+            taken_at: at,
+        }
+    }
+
+    /// Reconstruct the captured state (another exact-replay fork, so one
+    /// checkpoint can serve several successive recoveries).
+    pub fn restore(&self) -> S {
+        self.state.fork(0)
+    }
+
+    /// The sim instant the checkpoint was captured at.
+    pub fn taken_at(&self) -> SimTime {
+        self.taken_at
+    }
+}
+
+/// An in-memory write-ahead log of decision records since the last
+/// checkpoint.
+#[derive(Debug, Clone)]
+pub struct Wal<T> {
+    records: Vec<T>,
+    appended_total: u64,
+    truncations: u64,
+}
+
+impl<T> Default for Wal<T> {
+    fn default() -> Self {
+        Wal::new()
+    }
+}
+
+impl<T> Wal<T> {
+    /// An empty log.
+    pub fn new() -> Self {
+        Wal {
+            records: Vec::new(),
+            appended_total: 0,
+            truncations: 0,
+        }
+    }
+
+    /// Append one decision record.
+    pub fn append(&mut self, record: T) {
+        self.records.push(record);
+        self.appended_total += 1;
+    }
+
+    /// Append every record drained from a producer.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = T>) {
+        for r in records {
+            self.append(r);
+        }
+    }
+
+    /// Records appended since the last [`truncate`](Self::truncate), in
+    /// append order — exactly what a recovery must replay.
+    pub fn records(&self) -> &[T] {
+        &self.records
+    }
+
+    /// Number of records currently pending replay.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are pending.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drop all pending records — called at each checkpoint, which
+    /// supersedes them.
+    pub fn truncate(&mut self) {
+        self.records.clear();
+        self.truncations += 1;
+    }
+
+    /// Total records ever appended (diagnostics; survives truncation).
+    pub fn appended_total(&self) -> u64 {
+        self.appended_total
+    }
+
+    /// Number of checkpoint truncations performed.
+    pub fn truncations(&self) -> u64 {
+        self.truncations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    #[derive(Clone)]
+    struct Counter {
+        rng: SimRng,
+        value: u64,
+    }
+
+    impl SnapshotState for Counter {
+        fn reseed(&mut self, salt: u64) {
+            self.rng = self.rng.partition(salt);
+        }
+    }
+
+    #[test]
+    fn checkpoint_restores_state_at_capture_time() {
+        let mut c = Counter {
+            rng: SimRng::seed_from_u64(7),
+            value: 10,
+        };
+        let cp = Checkpoint::take(&c, SimTime::from_secs(30));
+        c.value = 99;
+        let restored = cp.restore();
+        assert_eq!(c.value, 99, "mutating the live state is visible there");
+        assert_eq!(restored.value, 10, "...but not in the checkpoint");
+        assert_eq!(cp.taken_at(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn checkpoint_restore_is_exact_replay() {
+        let c = Counter {
+            rng: SimRng::seed_from_u64(7),
+            value: 0,
+        };
+        let cp = Checkpoint::take(&c, SimTime::ZERO);
+        let mut a = cp.restore();
+        let mut b = c.clone();
+        for _ in 0..16 {
+            assert_eq!(a.rng.uniform().to_bits(), b.rng.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn checkpoint_serves_repeated_restores() {
+        let c = Counter {
+            rng: SimRng::seed_from_u64(3),
+            value: 5,
+        };
+        let cp = Checkpoint::take(&c, SimTime::ZERO);
+        let mut first = cp.restore();
+        let mut second = cp.restore();
+        assert_eq!(first.value, second.value);
+        for _ in 0..16 {
+            assert_eq!(
+                first.rng.uniform().to_bits(),
+                second.rng.uniform().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn wal_appends_in_order_and_truncates() {
+        let mut wal: Wal<u32> = Wal::new();
+        assert!(wal.is_empty());
+        wal.append(1);
+        wal.extend([2, 3]);
+        assert_eq!(wal.records(), &[1, 2, 3]);
+        assert_eq!(wal.len(), 3);
+        wal.truncate();
+        assert!(wal.is_empty());
+        assert_eq!(wal.appended_total(), 3, "total survives truncation");
+        assert_eq!(wal.truncations(), 1);
+        wal.append(4);
+        assert_eq!(wal.records(), &[4]);
+        assert_eq!(wal.appended_total(), 4);
+    }
+
+    #[test]
+    fn wal_records_survive_until_next_truncation() {
+        // A recovery replays the log but must NOT clear it: a second crash
+        // before the next checkpoint replays the same records again.
+        let mut wal: Wal<&str> = Wal::new();
+        wal.append("submit t0");
+        let replayed: Vec<_> = wal.records().to_vec();
+        assert_eq!(replayed, ["submit t0"]);
+        // …no truncate between recoveries…
+        assert_eq!(wal.records(), &["submit t0"]);
+    }
+}

@@ -19,6 +19,9 @@
 //! |                      | iterator — FP addition is not associative          |
 //! | `fork-unsafe-state`  | `Rc`/`RefCell`/`static mut` — shared mutable state |
 //! |                      | that a snapshot/fork deep clone silently aliases   |
+//! | `checkpoint-unsafe-state` | raw pointers, open OS handles, stored host    |
+//! |                      | time or unsalted RNG inside control-plane crates — |
+//! |                      | state a crash-recovery checkpoint cannot capture   |
 //! | `invalid-allow`      | an allow directive without a justification         |
 //!
 //! The scanner is deliberately simple: it walks `.rs` files (sorted, so
@@ -91,6 +94,14 @@ pub const RULES: &[Rule] = &[
         what: "shared mutable state (Rc/RefCell/static mut) that snapshot/fork deep clones alias",
         hint:
             "own the state directly (Clone forks it); Cell-of-Copy is fine, shared handles are not",
+    },
+    Rule {
+        id: "checkpoint-unsafe-state",
+        what: "control-plane state a crash-recovery checkpoint cannot capture \
+               (raw pointer, open OS handle, stored host time, unsalted RNG)",
+        hint: "keep control-plane structs plain owned data (Clone + SnapshotState): ids or \
+               paths instead of handles, SimTime instead of Instant/SystemTime, SimRng \
+               (salt-reseeded on fork) instead of StdRng/SmallRng",
     },
     Rule {
         id: "invalid-allow",
@@ -511,6 +522,56 @@ fn has_static_mut(code: &str) -> bool {
     false
 }
 
+/// Source roots holding control-plane state — everything the
+/// crash-recovery checkpoint (`Checkpoint<ControlPlaneState>` in
+/// `hta-core`) must be able to capture and restore. Types here may hold
+/// only plain owned data: a raw pointer, an open file or socket, a
+/// stored host-time value or an RNG that is not salt-reseeded on fork
+/// survives `Clone` syntactically but is garbage (or aliased) after a
+/// restore, and the WAL replay then diverges from the original run.
+const CHECKPOINT_SCOPE: &[&str] = &["crates/core/src/", "crates/workqueue/src/"];
+
+fn in_checkpoint_scope(path: &str) -> bool {
+    CHECKPOINT_SCOPE.iter().any(|p| path.starts_with(p))
+}
+
+/// Identifier tokens naming non-snapshottable state, with the hazard
+/// class reported for each. `Instant`/`SystemTime` here catch *stored*
+/// host-time values (fields, bindings); the `wall-clock` rule already
+/// catches the `::now()` call sites everywhere. `StdRng`/`SmallRng` are
+/// seedable but carry no branch-salt reseed on fork, so a restored
+/// checkpoint replays the parent's stream — `SimRng` is the sanctioned
+/// source.
+const CHECKPOINT_UNSAFE_TYPES: &[(&str, &str)] = &[
+    ("File", "open OS handle"),
+    ("TcpStream", "open OS handle"),
+    ("TcpListener", "open OS handle"),
+    ("UdpSocket", "open OS handle"),
+    ("UnixStream", "open OS handle"),
+    ("JoinHandle", "open OS handle"),
+    ("Child", "open OS handle"),
+    ("Instant", "stored host time"),
+    ("SystemTime", "stored host time"),
+    ("StdRng", "unsalted RNG"),
+    ("SmallRng", "unsalted RNG"),
+];
+
+/// True when the line uses a raw-pointer type (`*mut T` / `*const T`).
+/// Multiplication never parses as `* mut`/`* const`, so a plain token
+/// pair check suffices on cleaned code.
+fn has_raw_pointer(code: &str) -> bool {
+    for kw in ["mut", "const"] {
+        let mut start = 0;
+        while let Some(at) = find_ident(&code[start..], kw).map(|p| p + start) {
+            if code[..at].trim_end().ends_with('*') {
+                return true;
+            }
+            start = at + kw.len();
+        }
+    }
+    false
+}
+
 /// Files exempt from a rule by construction.
 fn exempt(path: &str, rule_id: &str) -> bool {
     // The seeded-RNG module is where randomness is *implemented*.
@@ -683,6 +744,25 @@ pub fn scan_file(path: &str, src: &str) -> Vec<Finding> {
                 "fork-unsafe-state",
                 format!("`static mut` — {}", rule("fork-unsafe-state").what),
             );
+        }
+        if in_checkpoint_scope(path) {
+            if has_raw_pointer(code) {
+                push(
+                    idx,
+                    "checkpoint-unsafe-state",
+                    "raw pointer — a checkpoint restore leaves it dangling or aliased".to_string(),
+                );
+            }
+            for (t, class) in CHECKPOINT_UNSAFE_TYPES {
+                if find_ident(code, t).is_some() {
+                    push(
+                        idx,
+                        "checkpoint-unsafe-state",
+                        format!("`{t}` ({class}) — {}", rule("checkpoint-unsafe-state").what),
+                    );
+                    break;
+                }
+            }
         }
         for t in PAR_ITER {
             if let Some(pos) = code.find(t) {
@@ -948,6 +1028,50 @@ mod tests {
         let src = "fn f(x: &'static mut u32, s: &'static str) -> u32 { *x }\n\
                    static LABELS: &[&str] = &[];\n";
         assert!(scan_file("crates/des/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_unsafe_fires_only_in_control_plane_scope() {
+        let src = "struct Bad {\n\
+                       log: File,\n\
+                       started: Instant,\n\
+                       rng: SmallRng,\n\
+                       buf: *mut u8,\n\
+                   }\n";
+        let f = scan_file("crates/core/src/x.rs", src);
+        let got: Vec<(usize, &str)> = f.iter().map(|x| (x.line, x.rule)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (2, "checkpoint-unsafe-state"),
+                (3, "checkpoint-unsafe-state"),
+                (4, "checkpoint-unsafe-state"),
+                (5, "checkpoint-unsafe-state"),
+            ],
+            "{f:#?}"
+        );
+        // Same source outside the control-plane roots is clean: the
+        // harness may hold handles and host timers freely.
+        assert!(scan_file("crates/bench/src/x.rs", src).is_empty());
+        assert!(scan_file("crates/core/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_unsafe_raw_pointer_forms() {
+        assert!(has_raw_pointer("fn f(p: *const u8) {}"));
+        assert!(has_raw_pointer("let q: *mut Node = x;"));
+        // `const` as a keyword and multiplication are not raw pointers.
+        assert!(!has_raw_pointer("const LIMIT: usize = 4;"));
+        assert!(!has_raw_pointer("let a = b * muted;"));
+    }
+
+    #[test]
+    fn checkpoint_unsafe_allow_suppresses() {
+        let src = "struct Probe {\n\
+                       started: Instant, // hta-lint: allow(checkpoint-unsafe-state): \
+                   excluded from ControlPlaneState by construction; rm if it moves in\n\
+                   }\n";
+        assert!(scan_file("crates/workqueue/src/x.rs", src).is_empty());
     }
 
     #[test]

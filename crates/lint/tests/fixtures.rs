@@ -9,6 +9,7 @@ use hta_lint::{findings_to_json, scan_file, Finding, RULES};
 const VIOLATIONS: &str = include_str!("../fixtures/violations.rs");
 const ALLOWED: &str = include_str!("../fixtures/allowed.rs");
 const BAD_ALLOW: &str = include_str!("../fixtures/bad_allow.rs");
+const CHECKPOINT: &str = include_str!("../fixtures/checkpoint_unsafe.rs");
 
 fn pairs(findings: &[Finding]) -> Vec<(usize, &'static str)> {
     findings.iter().map(|f| (f.line, f.rule)).collect()
@@ -35,16 +36,39 @@ fn every_rule_fires_on_the_violations_fixture() {
 
 #[test]
 fn violations_cover_every_scanning_rule() {
-    // Guard against adding a rule without extending the fixture.
-    // `invalid-allow` is exercised by its own fixture.
+    // Guard against adding a rule without extending the fixtures.
+    // `invalid-allow` is exercised by its own fixture; the path-scoped
+    // checkpoint rule by `checkpoint_unsafe.rs` under a scoped path.
     let f = scan_file("fixtures/violations.rs", VIOLATIONS);
+    let cp = scan_file("crates/core/src/fixture.rs", CHECKPOINT);
     for r in RULES.iter().filter(|r| r.id != "invalid-allow") {
         assert!(
-            f.iter().any(|x| x.rule == r.id),
-            "rule `{}` never fires on violations.rs",
+            f.iter().chain(cp.iter()).any(|x| x.rule == r.id),
+            "rule `{}` never fires on any fixture",
             r.id
         );
     }
+}
+
+#[test]
+fn checkpoint_rule_fires_under_control_plane_paths_only() {
+    let f = scan_file("crates/core/src/fixture.rs", CHECKPOINT);
+    assert_eq!(
+        pairs(&f),
+        vec![
+            (7, "checkpoint-unsafe-state"),
+            (8, "checkpoint-unsafe-state"),
+            (9, "checkpoint-unsafe-state"),
+            (10, "checkpoint-unsafe-state"),
+            (11, "checkpoint-unsafe-state"),
+            (14, "checkpoint-unsafe-state"),
+        ],
+        "full findings: {f:#?}"
+    );
+    // The justified allow on the `Probe` struct suppressed line 22, and
+    // the same source outside the control-plane roots is clean — the
+    // harness may hold handles, host timers and ad-hoc RNGs freely.
+    assert!(scan_file("crates/bench/src/fixture.rs", CHECKPOINT).is_empty());
 }
 
 #[test]

@@ -268,6 +268,21 @@ pub struct FaultSummary {
     /// Mean time from an injected node crash until the worker pool is
     /// back at its pre-crash size, seconds (0 when never observed).
     pub mean_recovery_s: f64,
+    /// Control-plane crashes survived (checkpoint-restore + WAL replay).
+    #[serde(default)]
+    pub master_crashes: u64,
+    /// In-flight tasks re-queued by crash-recovery reconciliation.
+    #[serde(default)]
+    pub recovery_requeued: u64,
+    /// Total control-plane outage, seconds.
+    #[serde(default)]
+    pub outage_s: f64,
+    /// Control-plane checkpoints taken.
+    #[serde(default)]
+    pub checkpoints_taken: u64,
+    /// WAL records replayed across all recoveries.
+    #[serde(default)]
+    pub wal_replayed: u64,
 }
 
 impl FaultSummary {

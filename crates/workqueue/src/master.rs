@@ -580,6 +580,128 @@ impl Master {
     }
 
     // ------------------------------------------------------------------
+    // Crash recovery (control-plane restart support)
+    // ------------------------------------------------------------------
+
+    /// Reset the data plane of a checkpoint-restored master after a
+    /// control-plane crash.
+    ///
+    /// The restored state believes transfers are in flight and workers are
+    /// connected; in reality every connection died with the old process.
+    /// This cancels all flows, re-queues every in-flight task exactly once
+    /// (ascending id at the queue front, mirroring [`kill_worker`]'s retry
+    /// priority), and disconnects every worker — survivors re-register with
+    /// fresh ids during the driver's re-adoption pass. Unlike
+    /// [`kill_worker`], speculative duplicates are dropped without
+    /// promotion (the duplicate's worker link is equally dead) and no
+    /// notifications are emitted: the operator replays its own decision
+    /// log instead of reacting to these transitions.
+    ///
+    /// Returns the number of re-queued tasks.
+    ///
+    /// [`kill_worker`]: Self::kill_worker
+    pub fn recover_reset_data_plane(&mut self, now: SimTime) -> usize {
+        self.mwu_cache.set(None);
+        let stale: Vec<FlowId> = self.flows.keys().copied().collect();
+        for f in stale {
+            self.link.cancel_flow(now, f);
+            self.peer_link.cancel_flow(now, f);
+            self.flows.remove(&f);
+        }
+        self.staging_waits.clear();
+        let orphans: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|(_, r)| {
+                matches!(
+                    r.state,
+                    TaskState::Staging(_) | TaskState::Running(_) | TaskState::Returning(_)
+                )
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        for t in orphans.iter().rev() {
+            let rec = self.tasks.get_mut(t).expect("collected above");
+            rec.speculative = None;
+            rec.state = TaskState::Waiting;
+            rec.allocation = None;
+            rec.started_at = None;
+            rec.run_generation += 1;
+            rec.interruptions += 1;
+            self.waiting.push_front(*t);
+            self.refresh_task_snap(*t);
+        }
+        self.waiting_dirty = true;
+        let wids: Vec<WorkerId> = self.workers.keys().copied().collect();
+        for w in wids {
+            if let Some(worker) = self.workers.get_mut(&w) {
+                if worker.state != WorkerState::Stopped {
+                    let _ = worker.stop(now);
+                }
+            }
+            self.refresh_worker_snap(w);
+        }
+        self.notifications.clear();
+        self.assert_invariants();
+        orphans.len()
+    }
+
+    /// Apply a durably logged completion during WAL replay.
+    ///
+    /// The task was re-queued by [`recover_reset_data_plane`]; take it
+    /// straight back to `Complete` (stamped with the original completion
+    /// instant) without emitting a notification — the operator replays its
+    /// own record of the same decision.
+    ///
+    /// [`recover_reset_data_plane`]: Self::recover_reset_data_plane
+    pub fn recover_complete(&mut self, at: SimTime, task: TaskId) {
+        self.mwu_cache.set(None);
+        let Some(rec) = self.tasks.get_mut(&task) else {
+            return;
+        };
+        if matches!(rec.state, TaskState::Complete | TaskState::Failed) {
+            return;
+        }
+        debug_assert_eq!(
+            rec.state,
+            TaskState::Waiting,
+            "WAL replay runs against a reset data plane"
+        );
+        rec.state = TaskState::Complete;
+        rec.completed_at = Some(at);
+        self.completed_count += 1;
+        self.waiting.retain(|t| *t != task);
+        self.waiting_dirty = true;
+        self.refresh_task_snap(task);
+        self.assert_invariants();
+    }
+
+    /// Apply a durably logged permanent failure during WAL replay (the
+    /// counterpart of [`recover_complete`](Self::recover_complete)).
+    pub fn recover_failed(&mut self, at: SimTime, task: TaskId) {
+        self.mwu_cache.set(None);
+        let Some(rec) = self.tasks.get_mut(&task) else {
+            return;
+        };
+        if matches!(rec.state, TaskState::Complete | TaskState::Failed) {
+            return;
+        }
+        debug_assert_eq!(
+            rec.state,
+            TaskState::Waiting,
+            "WAL replay runs against a reset data plane"
+        );
+        rec.state = TaskState::Failed;
+        rec.completed_at = Some(at);
+        self.failed_count += 1;
+        self.fault_stats.permanent_failures += 1;
+        self.waiting.retain(|t| *t != task);
+        self.waiting_dirty = true;
+        self.refresh_task_snap(task);
+        self.assert_invariants();
+    }
+
+    // ------------------------------------------------------------------
     // Sim-sanitizer invariants
     // ------------------------------------------------------------------
 
@@ -1473,6 +1595,24 @@ impl Master {
     /// A task record.
     pub fn task(&self, id: TaskId) -> Option<&TaskRecord> {
         self.tasks.get(&id)
+    }
+
+    /// Ids of all completed tasks, ascending (the crash-recovery
+    /// equivalence checks compare these sets across runs).
+    pub fn completed_task_ids(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|(_, r)| r.state == TaskState::Complete)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    /// True when some task of `cat` is waiting or on a worker (the
+    /// operator's probe reconciliation checks this after a recovery).
+    pub fn has_live_task_in_category(&self, cat: CategoryId) -> bool {
+        self.tasks
+            .values()
+            .any(|r| r.cat == cat && !matches!(r.state, TaskState::Complete | TaskState::Failed))
     }
 
     /// A worker.
@@ -2395,6 +2535,11 @@ mod tests {
         assert!(m.all_complete());
     }
 
+    // The two sanitizer tests expect `assert_invariants` to abort, which
+    // only happens when the sanitizer is compiled in (debug builds or
+    // the `sim-sanitizer` feature) — in plain release the checks compile
+    // to nothing, so the expected panic never fires.
+    #[cfg(any(debug_assertions, feature = "sim-sanitizer"))]
     #[test]
     #[should_panic(expected = "task conservation violated")]
     fn sanitizer_catches_broken_conservation() {
@@ -2416,6 +2561,7 @@ mod tests {
         m.assert_invariants();
     }
 
+    #[cfg(any(debug_assertions, feature = "sim-sanitizer"))]
     #[test]
     #[should_panic(expected = "waiting queue")]
     fn sanitizer_catches_queue_desync() {
@@ -2426,5 +2572,72 @@ mod tests {
         // A task id queued twice (double-requeue bug) must be caught.
         m.waiting.push_back(TaskId(0));
         m.assert_invariants();
+    }
+
+    #[test]
+    fn recover_reset_requeues_inflight_and_disconnects_workers() {
+        let (cat, db) = catalog_with_db();
+        let mut m = Master::new(link_cfg(), cat);
+        let mut q = EventQueue::new();
+        let mut fx = EffectSink::new();
+        let _w = m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 10);
+        let decl = Some(Resources::cores(1, 2_000, 2_000));
+        for i in 0..3 {
+            m.submit(SimTime::ZERO, cpu_task(i, db, decl), &mut fx);
+        }
+        // Let staging finish so tasks are genuinely running mid-flight.
+        run(&mut m, &mut q, &mut fx, 6);
+        assert!(m.running_count() > 0, "tasks in flight before the crash");
+        let now = SimTime::from_secs(30);
+        let requeued = m.recover_reset_data_plane(now);
+        assert_eq!(requeued, 3);
+        assert_eq!(m.waiting_count(), 3, "every orphan re-queued exactly once");
+        assert_eq!(m.running_count(), 0);
+        assert_eq!(m.connected_workers(), 0, "workers await re-adoption");
+        assert!(
+            m.drain_notifications().is_empty(),
+            "recovery emits no notifications"
+        );
+        // Front of the queue is ascending task id (retry priority).
+        let front: Vec<TaskId> = m.waiting.iter().copied().collect();
+        assert_eq!(front, vec![TaskId(0), TaskId(1), TaskId(2)]);
+        // A surviving worker re-registers and the queue drains normally.
+        let _w2 = m.worker_connect(now, Resources::cores(4, 16_000, 50_000), &mut fx);
+        run(&mut m, &mut q, &mut fx, 200);
+        assert!(m.all_complete());
+        assert_eq!(m.completed_count(), 3);
+    }
+
+    #[test]
+    fn recover_complete_and_failed_replay_terminal_states() {
+        let (cat, db) = catalog_with_db();
+        let mut m = Master::new(link_cfg(), cat);
+        let mut fx = EffectSink::new();
+        for i in 0..3 {
+            m.submit(SimTime::ZERO, cpu_task(i, db, None), &mut fx);
+        }
+        m.recover_complete(SimTime::from_secs(45), TaskId(0));
+        m.recover_failed(SimTime::from_secs(50), TaskId(1));
+        assert_eq!(m.completed_count(), 1);
+        assert_eq!(m.failed_count(), 1);
+        assert_eq!(m.waiting_count(), 1);
+        assert_eq!(m.completed_task_ids(), vec![TaskId(0)]);
+        let done = m.task(TaskId(0)).unwrap();
+        assert_eq!(done.state, TaskState::Complete);
+        assert_eq!(
+            done.completed_at,
+            Some(SimTime::from_secs(45)),
+            "original completion instant preserved"
+        );
+        assert_eq!(m.task(TaskId(1)).unwrap().state, TaskState::Failed);
+        // Replaying the same record twice is a no-op (idempotent).
+        m.recover_complete(SimTime::from_secs(60), TaskId(0));
+        assert_eq!(m.completed_count(), 1);
+        assert!(
+            m.drain_notifications().is_empty(),
+            "replay emits no notifications"
+        );
+        assert!(m.has_live_task_in_category(m.task(TaskId(2)).unwrap().cat));
     }
 }

@@ -15,6 +15,11 @@
 //!   --seed <n>             simulation seed                     [42]
 //!   --fail-at <s,s,...>    inject node crashes at these times
 //!   --fail-node <s,s,...>  alias for --fail-at
+//!   --crash-master <s,s,...> kill the control plane (master+operator+
+//!                          policy) at these times; it checkpoint-restores
+//!                          and WAL-replays after the outage
+//!   --crash-outage <s>     control-plane outage length           [60]
+//!   --checkpoint-interval <s> control-plane checkpoint cadence   [120]
 //!   --task-fail-rate <p>   transient task-failure probability  [0]
 //!   --oom-rate <p>         OOM-kill probability per attempt    [0]
 //!   --pull-fail-rate <p>   image-pull failure probability      [0]
@@ -41,7 +46,8 @@ use hta::cluster::ClusterConfig;
 use hta::core::driver::{DriverConfig, SystemDriver};
 use hta::core::policy::{FixedPolicy, HpaPolicy, HtaConfig, HtaPolicy, ScalingPolicy};
 use hta::core::{
-    FaultPlan, OperatorConfig, OraclePolicy, TargetTrackingConfig, TargetTrackingPolicy,
+    ControlPlaneFaults, FaultPlan, OperatorConfig, OraclePolicy, TargetTrackingConfig,
+    TargetTrackingPolicy,
 };
 use hta::forecast::{MpcConfig, MpcPolicy};
 use hta::makeflow;
@@ -89,6 +95,9 @@ struct Options {
     initial: usize,
     seed: u64,
     fail_at: Vec<u64>,
+    crash_master: Vec<u64>,
+    crash_outage: u64,
+    checkpoint_interval: u64,
     task_fail_rate: f64,
     oom_rate: f64,
     pull_fail_rate: f64,
@@ -106,7 +115,8 @@ struct Options {
 fn usage() -> &'static str {
     "usage: hta-run <workflow.mf | demo> [--policy hta|hpa:<target%>|fixed:<n>|oracle|tracking|mpc] \
      [--max-workers N] [--nodes MIN:MAX] [--worker-cores N] [--initial N] [--seed N] \
-     [--fail-at s,s,...] [--fail-node s,s,...] [--task-fail-rate P] [--oom-rate P] \
+     [--fail-at s,s,...] [--fail-node s,s,...] [--crash-master s,s,...] [--crash-outage S] \
+     [--checkpoint-interval S] [--task-fail-rate P] [--oom-rate P] \
      [--pull-fail-rate P] [--preempt-mean S] [--max-retries N] [--straggler-factor F] \
      [--csv path] [--json path] [--chart] [--gantt] [--trace] [--analyze-only]"
 }
@@ -124,6 +134,9 @@ fn parse_args() -> Result<Options, String> {
         initial: 3,
         seed: 42,
         fail_at: Vec::new(),
+        crash_master: Vec::new(),
+        crash_outage: 60,
+        checkpoint_interval: 120,
         task_fail_rate: 0.0,
         oom_rate: 0.0,
         pull_fail_rate: 0.0,
@@ -178,6 +191,23 @@ fn parse_args() -> Result<Options, String> {
                     opt.fail_at
                         .push(part.trim().parse().map_err(|e| format!("{a}: {e}"))?);
                 }
+            }
+            "--crash-master" => {
+                let v = need(&mut args, "--crash-master")?;
+                for part in v.split(',') {
+                    opt.crash_master
+                        .push(part.trim().parse().map_err(|e| format!("{a}: {e}"))?);
+                }
+            }
+            "--crash-outage" => {
+                opt.crash_outage = need(&mut args, "--crash-outage")?
+                    .parse()
+                    .map_err(|e| format!("--crash-outage: {e}"))?
+            }
+            "--checkpoint-interval" => {
+                opt.checkpoint_interval = need(&mut args, "--checkpoint-interval")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-interval: {e}"))?
             }
             "--task-fail-rate" => {
                 opt.task_fail_rate = need(&mut args, "--task-fail-rate")?
@@ -340,6 +370,15 @@ fn main() -> ExitCode {
             task_oom_rate: opt.oom_rate,
             straggler_factor: opt.straggler_factor,
             max_task_retries: opt.max_retries,
+            control_plane: ControlPlaneFaults {
+                crash_times: opt
+                    .crash_master
+                    .iter()
+                    .map(|s| Duration::from_secs(*s))
+                    .collect(),
+                outage: Duration::from_secs(opt.crash_outage),
+                checkpoint_interval: Duration::from_secs(opt.checkpoint_interval),
+            },
             ..FaultPlan::default()
         },
         operator: OperatorConfig {
@@ -410,6 +449,28 @@ fn main() -> ExitCode {
         println!("wasted work:          {:>10.0} core·s", f.wasted_core_s);
         if f.mean_recovery_s > 0.0 {
             println!("mean recovery:        {:>10.0} s", f.mean_recovery_s);
+        }
+        if f.master_crashes > 0 {
+            println!(
+                "master crashes:       {:>10} survived ({:.0} s down, {} checkpoints)",
+                f.master_crashes, f.outage_s, f.checkpoints_taken
+            );
+            println!(
+                "crash recovery:       {:>10} tasks re-queued, {} WAL records replayed",
+                f.recovery_requeued, f.wal_replayed
+            );
+            for (i, r) in result.recoveries.iter().enumerate() {
+                println!(
+                    "  recovery #{i}: crashed t={:.0}s, back t={:.0}s \
+                     (checkpoint t={:.0}s, {} replayed, {} re-queued, {} workers re-adopted)",
+                    r.crashed_at.as_secs_f64(),
+                    r.recovered_at.as_secs_f64(),
+                    r.checkpoint_at.as_secs_f64(),
+                    r.wal_replayed,
+                    r.tasks_requeued,
+                    r.workers_readopted
+                );
+            }
         }
     }
     if result.timed_out {
