@@ -90,9 +90,8 @@ mod tests {
 
     #[test]
     fn ids_are_ord_and_hashable() {
-        // hta-lint: allow(hash-container): this test exercises the Hash
-        // impl itself and never iterates the set; remove if the Hash
-        // derive is ever dropped from the id types.
+        // This test exercises the Hash impl itself and never iterates
+        // the set; test regions are exempt from the container lint.
         use std::collections::HashSet;
         let mut s = HashSet::new();
         s.insert(PodId(1));

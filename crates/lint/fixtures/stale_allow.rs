@@ -1,0 +1,21 @@
+//! Lint fixture: stale-allow — a suppression whose rule no longer
+//! fires anywhere in its scope is itself reported, so the allow
+//! inventory burns down instead of fossilizing. Never compiled;
+//! scanned by `tests/fixtures.rs`.
+
+// Positive: standalone form; the map this excused moved away long ago.
+// hta-lint: allow(hash-container): the cache map moved to lookup.rs
+fn quiet() -> u32 {
+    41
+}
+
+// Negative: a used allow is not stale.
+fn noisy() -> f64 {
+    let t = std::time::Instant::now(); // hta-lint: allow(wall-clock): fixture; the allow is used and must not be reported
+    t.elapsed().as_secs_f64()
+}
+
+// Positive: trailing form on a line with no such hazard.
+fn also_quiet() -> u32 {
+    43 // hta-lint: allow(ambient-rng): no rng here since the reseed refactor
+}

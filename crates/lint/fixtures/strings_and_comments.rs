@@ -1,0 +1,46 @@
+//! Lint fixture: every hazard name the linter knows, placed where the
+//! regex-era engine false-positived — string literals, raw strings,
+//! doc comments, block comments, and `#[cfg(test)]` regions. The
+//! syntax-aware engine must scan this file *clean* under any path.
+//! Never compiled; scanned by `tests/fixtures.rs`.
+
+//! A doc comment mentioning HashMap, Instant::now() and thread_rng.
+
+// Line comment: HashSet, SystemTime::now, rand::random, par_iter.sum()
+/* Block comment: FxHashMap, OsRng, static mut COUNTER, Rc<RefCell<T>> */
+
+/// Rustdoc for `lookup`: prefer `HashMap` for O(1), says the internet.
+fn lookup() -> &'static str {
+    let a = "HashMap and HashSet in a plain string";
+    let b = "Instant::now() and SystemTime::UNIX_EPOCH quoted";
+    let c = r"thread_rng in a raw string with from_entropy";
+    let d = r#"par_iter().sum() and fork(42) and branch_salt(s, 1)"#;
+    let e = "WalRecord::Orphan { .. } and ControlPlaneState { .. }";
+    let f = concat!(a, b, c, d, e);
+    let g = 'H'; // a char literal is not an ident: HashMap
+    let _ = (f, g);
+    "Ha" // a string that, glued to the next line's comment, spells nothing
+}
+
+/// The escape-laden cases the lexer must not lose its place in.
+fn escapes() -> String {
+    let quote_then_hazard = "escaped quote \" then HashMap stays quoted";
+    let backslash = "trailing backslash \\";
+    let newline_escape = "line one\nline two with Instant::now()";
+    format!("{quote_then_hazard}{backslash}{newline_escape}")
+}
+
+#[cfg(test)]
+mod tests {
+    // Real hazards, but in a test region: exempt by design. Tests may
+    // hold wall clocks, hash maps and ad-hoc RNGs freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn timing_scratch() {
+        let started = std::time::Instant::now();
+        let mut m: HashMap<u32, f64> = HashMap::new();
+        m.insert(1, started.elapsed().as_secs_f64());
+        let _jitter: f64 = rand::thread_rng().gen();
+    }
+}

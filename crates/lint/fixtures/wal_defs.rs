@@ -1,0 +1,14 @@
+//! Lint fixture (cross-file pair, 1/2): the WAL decision-log enum.
+//! `tests/fixtures.rs` analyzes this together with `wal_uses.rs` and
+//! runs the workspace finalize over both, exercising `wal-coverage`:
+//! `Orphan` is replayed but never constructed, and `Expire` is
+//! constructed but never replayed, so one finding lands on each
+//! definition line. Never compiled.
+
+pub enum WalRecord {
+    Submit { job: u64 },
+    Learn(u32),
+    Complete,
+    Orphan { task: u64 },
+    Expire { task: u64 },
+}

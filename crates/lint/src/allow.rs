@@ -1,0 +1,239 @@
+//! `// hta-lint: allow(rule): reason` directive parsing, suppression
+//! scoping, and the `invalid-allow` / `stale-allow` rules.
+//!
+//! A *standalone* directive (a comment-only line) suppresses its rule
+//! from that line to the next blank line — one "paragraph" of code. A
+//! *trailing* directive (after code on the same line) suppresses that
+//! line only. The justification after the closing `):` is mandatory; a
+//! directive without one suppresses nothing and is reported as
+//! `invalid-allow`, as is a directive naming a rule the engine does not
+//! know (typos would otherwise silently suppress nothing forever).
+//!
+//! The token-aware engine also closes the loop in the other direction:
+//! a justified directive whose rule no longer fires anywhere in its
+//! scope is reported as `stale-allow`, so the suppression inventory
+//! burns down instead of fossilizing.
+
+use crate::lexer::{TokKind, Token};
+
+/// One parsed allow directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// The rule id named in `allow(...)`.
+    pub rule: String,
+    /// 1-based line of the directive.
+    pub line: usize,
+    /// Byte offset where the directive's comment token starts.
+    pub comment_start: usize,
+    /// True when the directive's line holds no code (standalone form).
+    pub standalone: bool,
+    /// True when a non-empty justification follows `):`.
+    pub has_reason: bool,
+    /// 1-based line range (inclusive) this directive suppresses.
+    pub covers: (usize, usize),
+    /// True when the directive text deviates from canonical spacing
+    /// (`hta-lint: allow(rule): reason`) — `--fix` normalizes these.
+    pub noncanonical: bool,
+}
+
+/// Parse every allow directive in a token stream. `src` is the file
+/// text; `toks` its lossless lexing.
+pub fn parse_allows(src: &str, toks: &[Token]) -> Vec<AllowDirective> {
+    // Per-line info: does the line hold code? any token at all?
+    let last_line = toks
+        .last()
+        .map_or(0, |t| t.line + t.text(src).matches('\n').count());
+    let mut has_code = vec![false; last_line + 2];
+    let mut has_any = vec![false; last_line + 2];
+    for t in toks {
+        let span_lines = t.text(src).matches('\n').count();
+        for l in t.line..=(t.line + span_lines).min(last_line) {
+            match t.kind {
+                TokKind::Whitespace => {}
+                TokKind::LineComment | TokKind::BlockComment => has_any[l] = true,
+                _ => {
+                    has_code[l] = true;
+                    has_any[l] = true;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for t in toks {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let text = t.text(src);
+        // Doc comments never carry directives: a directive shown in
+        // rustdoc is documentation *about* the syntax, not an active
+        // suppression.
+        if is_doc_comment(text) {
+            continue;
+        }
+        let Some(parsed) = parse_directive(text) else {
+            continue;
+        };
+        let standalone = !has_code[t.line];
+        let covers = if standalone {
+            // Suppress until the next blank line (no tokens at all).
+            let mut end = t.line;
+            while end + 1 < has_any.len() && has_any[end + 1] {
+                end += 1;
+            }
+            (t.line, end)
+        } else {
+            (t.line, t.line)
+        };
+        out.push(AllowDirective {
+            rule: parsed.rule,
+            line: t.line,
+            comment_start: t.start,
+            standalone,
+            has_reason: parsed.has_reason,
+            covers,
+            noncanonical: parsed.noncanonical,
+        });
+    }
+    out
+}
+
+/// True for `///`, `//!`, `/**`, and `/*!` comments. `////…` and
+/// `/***…` are *not* doc comments in Rust, but treating them as such
+/// is harmless here — nobody writes directives behind four slashes.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
+struct ParsedDirective {
+    rule: String,
+    has_reason: bool,
+    noncanonical: bool,
+}
+
+/// Parse one comment's text for a directive, tolerating spacing slop
+/// (`hta-lint:allow( rule ) :reason`) so `--fix` can normalize it.
+fn parse_directive(comment: &str) -> Option<ParsedDirective> {
+    let pos = comment.find("hta-lint")?;
+    let rest = &comment[pos + "hta-lint".len()..];
+    let rest_t = rest.trim_start();
+    let rest_t = rest_t.strip_prefix(':')?;
+    let after_colon = rest_t.trim_start();
+    let after_allow = after_colon.strip_prefix("allow")?;
+    let after_allow_t = after_allow.trim_start();
+    let inner = after_allow_t.strip_prefix('(')?;
+    let close = inner.find(')')?;
+    let rule = inner[..close].trim().to_string();
+    if rule.is_empty() || rule.contains(|c: char| c.is_whitespace() || c == ',') {
+        return None;
+    }
+    let after = inner[close + 1..].trim_start();
+    let has_reason = after
+        .strip_prefix(':')
+        .map(|r| !r.trim().is_empty())
+        .unwrap_or(false);
+    // Canonical spacing: exactly one space after the first colon, none
+    // inside the parens, and the reason one space after the closing
+    // paren's colon (see `canonical_directive`).
+    let canonical_prefix = format!("hta-lint: allow({rule}):");
+    let noncanonical = has_reason && !comment[pos..].starts_with(&canonical_prefix);
+    Some(ParsedDirective {
+        rule,
+        has_reason,
+        noncanonical,
+    })
+}
+
+/// Render a directive back in canonical form (used by `--fix`).
+pub fn canonical_directive(rule: &str, reason: &str) -> String {
+    format!("hta-lint: allow({rule}): {}", reason.trim())
+}
+
+/// Extract the reason text from a directive comment (everything after
+/// the `):`), if present.
+pub fn directive_reason(comment: &str) -> Option<&str> {
+    let pos = comment.find("hta-lint")?;
+    let inner = comment[pos..].find(')')?;
+    let after = comment[pos + inner + 1..].trim_start();
+    after.strip_prefix(':').map(|r| r.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn allows(src: &str) -> Vec<AllowDirective> {
+        parse_allows(src, &lex(src))
+    }
+
+    #[test]
+    fn trailing_and_standalone_coverage() {
+        let src = "let a = 1; // hta-lint: allow(hash-container): fixture\n\
+                   // hta-lint: allow(wall-clock): covers the paragraph\n\
+                   let b = 2;\n\
+                   let c = 3;\n\
+                   \n\
+                   let d = 4;\n";
+        let a = allows(src);
+        assert_eq!(a.len(), 2);
+        assert!(!a[0].standalone);
+        assert_eq!(a[0].covers, (1, 1));
+        assert!(a[1].standalone);
+        assert_eq!(a[1].covers, (2, 4), "paragraph ends at the blank line");
+    }
+
+    #[test]
+    fn reasonless_directive_flagged() {
+        let a = allows("// hta-lint: allow(hash-container)\n");
+        assert_eq!(a.len(), 1);
+        assert!(!a[0].has_reason);
+    }
+
+    #[test]
+    fn noncanonical_spacing_detected() {
+        let a = allows("// hta-lint:allow( hash-container ): reason here\n");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].rule, "hash-container");
+        assert!(a[0].has_reason);
+        assert!(a[0].noncanonical);
+        let b = allows("// hta-lint: allow(hash-container): reason here\n");
+        assert!(!b[0].noncanonical);
+    }
+
+    #[test]
+    fn doc_comment_directive_is_documentation() {
+        let a = allows(
+            "//! Module docs showing `// hta-lint: allow(hash-container): why` usage.\n\
+             /// Item docs: `hta-lint: allow(wall-clock): reason` examples.\n\
+             /*! inner block doc: hta-lint: allow(ambient-rng): nope */\n\
+             fn f() {}\n",
+        );
+        assert!(a.is_empty(), "{a:#?}");
+    }
+
+    #[test]
+    fn directive_inside_string_is_ignored() {
+        let a = allows("let s = \"// hta-lint: allow(hash-container): nope\";\n");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn block_comment_directive_parses() {
+        let a = allows("/* hta-lint: allow(wall-clock): block form */ let t = 1;\n");
+        assert_eq!(a.len(), 1);
+        assert!(!a[0].standalone, "code shares the line");
+    }
+
+    #[test]
+    fn reason_extraction() {
+        assert_eq!(
+            directive_reason("// hta-lint: allow(x): keep until Y lands"),
+            Some("keep until Y lands")
+        );
+        assert_eq!(directive_reason("// hta-lint: allow(x)"), None);
+    }
+}

@@ -1,0 +1,217 @@
+//! Committed finding baseline for CI gating and burn-down.
+//!
+//! A baseline file records the findings a repo has *accepted for now*,
+//! so `--deny` can gate on **new** findings only while the existing
+//! inventory is burned down. Entries are fingerprints, not line
+//! numbers: a fingerprint hashes `(rule, trimmed line text, occurrence
+//! index among identical lines)`, so unrelated edits that shift lines
+//! do not invalidate the baseline, while editing the offending line
+//! itself does — the finding then counts as new and must be fixed or
+//! re-baselined deliberately.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::Finding;
+
+/// One baseline entry: `(rule, path, fingerprint)`.
+pub type Entry = (String, String, u64);
+
+/// A loaded baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: BTreeSet<Entry>,
+}
+
+/// FNV-1a over the fingerprint inputs.
+fn fp(rule: &str, line_text: &str, occurrence: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(rule.as_bytes());
+    eat(&[0]);
+    eat(line_text.trim().as_bytes());
+    eat(&[0]);
+    eat(&occurrence.to_le_bytes());
+    h
+}
+
+/// Fingerprint every finding against the scanned sources. Findings on
+/// lines the source no longer has fingerprint the empty string (still
+/// stable across runs).
+pub fn fingerprints(findings: &[Finding], files: &[(String, String)]) -> Vec<Entry> {
+    let mut out = Vec::with_capacity(findings.len());
+    // Occurrence index: among earlier findings with the same
+    // (path, rule, trimmed text), in the findings' sorted order.
+    for (i, f) in findings.iter().enumerate() {
+        let text = files
+            .iter()
+            .find(|(p, _)| p == &f.path)
+            .and_then(|(_, src)| src.lines().nth(f.line.saturating_sub(1)))
+            .unwrap_or("");
+        let occurrence = findings[..i]
+            .iter()
+            .filter(|g| {
+                g.path == f.path && g.rule == f.rule && {
+                    let gt = files
+                        .iter()
+                        .find(|(p, _)| p == &g.path)
+                        .and_then(|(_, src)| src.lines().nth(g.line.saturating_sub(1)))
+                        .unwrap_or("");
+                    gt.trim() == text.trim()
+                }
+            })
+            .count();
+        out.push((
+            f.rule.to_string(),
+            f.path.clone(),
+            fp(f.rule, text, occurrence),
+        ));
+    }
+    out
+}
+
+impl Baseline {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Build a baseline from current findings.
+    pub fn from_scan(findings: &[Finding], files: &[(String, String)]) -> Baseline {
+        Baseline {
+            entries: fingerprints(findings, files).into_iter().collect(),
+        }
+    }
+
+    /// Load a baseline file; `None` when it does not exist or cannot be
+    /// read.
+    pub fn load(path: &Path) -> Option<Baseline> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let mut entries = BTreeSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            let rule = parts.next()?.to_string();
+            let p = parts.next()?.to_string();
+            let h = u64::from_str_radix(parts.next()?, 16).ok()?;
+            entries.insert((rule, p, h));
+        }
+        Some(Baseline { entries })
+    }
+
+    /// Write the baseline file (sorted, commented header).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = String::from(
+            "# hta-lint baseline — accepted findings, gated by `--deny`.\n\
+             # Regenerate with `hta-lint --write-baseline` after a deliberate triage.\n",
+        );
+        for (rule, p, h) in &self.entries {
+            out.push_str(&format!("{rule}\t{p}\t{h:016x}\n"));
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Split current findings into `(new, baselined)` and count
+    /// baseline entries that no longer match anything (resolved — the
+    /// burn-down signal).
+    pub fn diff(
+        &self,
+        findings: &[Finding],
+        files: &[(String, String)],
+    ) -> (Vec<Finding>, usize, usize) {
+        let fps = fingerprints(findings, files);
+        let mut new = Vec::new();
+        let mut matched: BTreeSet<&Entry> = BTreeSet::new();
+        for (f, entry) in findings.iter().zip(&fps) {
+            match self.entries.get(entry) {
+                Some(e) => {
+                    matched.insert(e);
+                }
+                None => new.push(f.clone()),
+            }
+        }
+        let resolved = self.entries.len() - matched.len();
+        (new, matched.len(), resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: usize) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule: "hash-container",
+            message: "m".into(),
+            hint: "h",
+        }
+    }
+
+    #[test]
+    fn fingerprint_survives_line_shift() {
+        let files_a = vec![("a.rs".to_string(), "x\nuse HashMap;\n".to_string())];
+        let files_b = vec![(
+            "a.rs".to_string(),
+            "x\n// new comment\n\nuse HashMap;\n".to_string(),
+        )];
+        let fa = fingerprints(&[finding("a.rs", 2)], &files_a);
+        let fb = fingerprints(&[finding("a.rs", 4)], &files_b);
+        assert_eq!(fa, fb, "same trimmed text, same occurrence, same fp");
+    }
+
+    #[test]
+    fn occurrence_disambiguates_identical_lines() {
+        let files = vec![(
+            "a.rs".to_string(),
+            "use HashMap;\nuse HashMap;\n".to_string(),
+        )];
+        let fps = fingerprints(&[finding("a.rs", 1), finding("a.rs", 2)], &files);
+        assert_ne!(fps[0], fps[1]);
+    }
+
+    #[test]
+    fn diff_splits_new_and_resolved() {
+        let files = vec![("a.rs".to_string(), "one\ntwo\n".to_string())];
+        let old = Baseline::from_scan(&[finding("a.rs", 1)], &files);
+        // Finding on line 1 persists; line-2 finding is new.
+        let (new, matched, resolved) = old.diff(&[finding("a.rs", 1), finding("a.rs", 2)], &files);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].line, 2);
+        assert_eq!(matched, 1);
+        assert_eq!(resolved, 0);
+        // Finding gone entirely: burn-down.
+        let (new, _, resolved) = old.diff(&[], &files);
+        assert!(new.is_empty());
+        assert_eq!(resolved, 1);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("hta-lint-baseline-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("baseline.txt");
+        let files = vec![("a.rs".to_string(), "x\n".to_string())];
+        let b = Baseline::from_scan(&[finding("a.rs", 1)], &files);
+        b.save(&path).unwrap();
+        let loaded = Baseline::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let (new, matched, _) = loaded.diff(&[finding("a.rs", 1)], &files);
+        assert!(new.is_empty());
+        assert_eq!(matched, 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Incremental analysis cache.
+//!
+//! Per-file analyses ([`crate::FileAnalysis`]) are pure functions of
+//! the file contents, so they can be keyed on a content hash and reused
+//! across runs: a warm CI run re-lexes only the files that changed,
+//! then re-runs the cheap workspace join. The cache stores findings
+//! *pre-suppression* plus the extracted allow directives and contract
+//! facts, which is exactly the information [`crate::finalize`] needs —
+//! editing one file can never stale another file's cached entry.
+//!
+//! The format is a plain text file (one record per line, tab-separated,
+//! `\t`/`\n`/`\\` escaped) headed by the [`crate::ENGINE_VERSION`]; any
+//! mismatch or parse hiccup degrades to a cold cache, never to wrong
+//! results.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use crate::allow::AllowDirective;
+use crate::{FileAnalysis, RawFinding, ENGINE_VERSION, RULES};
+
+/// FNV-1a 64-bit content hash.
+pub fn content_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in src.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A loaded cache: `path -> (content hash, analysis)`.
+pub struct Cache {
+    path: PathBuf,
+    entries: BTreeMap<String, (u64, FileAnalysis)>,
+    dirty: bool,
+}
+
+impl Cache {
+    /// Load the cache at `path`; missing files, version mismatches, and
+    /// parse errors all yield an empty (cold) cache.
+    pub fn load(path: PathBuf) -> Cache {
+        let entries = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| parse(&text))
+            .unwrap_or_default();
+        Cache {
+            path,
+            entries,
+            dirty: false,
+        }
+    }
+
+    /// Cached analysis for `path` when the content hash matches.
+    pub fn get(&self, path: &str, hash: u64) -> Option<FileAnalysis> {
+        self.entries
+            .get(path)
+            .filter(|(h, _)| *h == hash)
+            .map(|(_, fa)| fa.clone())
+    }
+
+    /// Insert or replace the entry for `path`.
+    pub fn put(&mut self, path: &str, hash: u64, fa: &FileAnalysis) {
+        self.entries.insert(path.to_string(), (hash, fa.clone()));
+        self.dirty = true;
+    }
+
+    /// Persist the cache (no-op when nothing changed).
+    pub fn save(&self) -> std::io::Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        std::fs::write(&self.path, render(&self.entries))
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn render(entries: &BTreeMap<String, (u64, FileAnalysis)>) -> String {
+    let mut out = format!("hta-lint-cache {ENGINE_VERSION}\n");
+    for (path, (hash, fa)) in entries {
+        out.push_str(&format!("= {}\t{hash:016x}\n", esc(path)));
+        for f in &fa.findings {
+            out.push_str(&format!("f {}\t{}\t{}\n", f.line, f.rule, esc(&f.message)));
+        }
+        for a in &fa.allows {
+            out.push_str(&format!(
+                "a {}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                esc(&a.rule),
+                a.line,
+                a.comment_start,
+                u8::from(a.standalone),
+                u8::from(a.has_reason),
+                a.covers.0,
+                a.covers.1,
+                u8::from(a.noncanonical),
+            ));
+        }
+        for (v, line) in &fa.facts.wal_variants {
+            out.push_str(&format!("v {line}\t{}\n", esc(v)));
+        }
+        for v in &fa.facts.wal_constructs {
+            out.push_str(&format!("c {}\n", esc(v)));
+        }
+        for v in &fa.facts.wal_arms {
+            out.push_str(&format!("m {}\n", esc(v)));
+        }
+        for line in &fa.facts.wal_wildcards {
+            out.push_str(&format!("w {line}\n"));
+        }
+        for t in &fa.facts.snapshot_impls {
+            out.push_str(&format!("s {}\n", esc(t)));
+        }
+        for (t, line) in &fa.facts.rest_uses {
+            out.push_str(&format!("r {line}\t{}\n", esc(t)));
+        }
+    }
+    out
+}
+
+/// Map a rule-id string back to its `&'static str` in [`RULES`];
+/// entries naming rules this engine no longer knows are dropped.
+fn static_rule(id: &str) -> Option<&'static str> {
+    RULES.iter().find(|r| r.id == id).map(|r| r.id)
+}
+
+fn parse(text: &str) -> Option<BTreeMap<String, (u64, FileAnalysis)>> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    if header != format!("hta-lint-cache {ENGINE_VERSION}") {
+        return None;
+    }
+    let mut entries = BTreeMap::new();
+    let mut current: Option<(String, u64, FileAnalysis)> = None;
+    let flush = |c: &mut Option<(String, u64, FileAnalysis)>,
+                 entries: &mut BTreeMap<String, (u64, FileAnalysis)>| {
+        if let Some((p, h, fa)) = c.take() {
+            entries.insert(p, (h, fa));
+        }
+    };
+    for line in lines {
+        let (tag, rest) = line.split_at(line.len().min(2));
+        let fields: Vec<&str> = rest.split('\t').collect();
+        match tag {
+            "= " => {
+                flush(&mut current, &mut entries);
+                let path = unesc(fields.first()?);
+                let hash = u64::from_str_radix(fields.get(1)?, 16).ok()?;
+                current = Some((path, hash, FileAnalysis::default()));
+            }
+            "f " => {
+                let fa = &mut current.as_mut()?.2;
+                let rule = static_rule(fields.get(1)?)?;
+                fa.findings.push(RawFinding {
+                    line: fields.first()?.parse().ok()?,
+                    rule,
+                    message: unesc(fields.get(2)?),
+                });
+            }
+            "a " => {
+                let fa = &mut current.as_mut()?.2;
+                fa.allows.push(AllowDirective {
+                    rule: unesc(fields.first()?),
+                    line: fields.get(1)?.parse().ok()?,
+                    comment_start: fields.get(2)?.parse().ok()?,
+                    standalone: *fields.get(3)? == "1",
+                    has_reason: *fields.get(4)? == "1",
+                    covers: (fields.get(5)?.parse().ok()?, fields.get(6)?.parse().ok()?),
+                    noncanonical: *fields.get(7)? == "1",
+                });
+            }
+            "v " => {
+                let fa = &mut current.as_mut()?.2;
+                fa.facts
+                    .wal_variants
+                    .push((unesc(fields.get(1)?), fields.first()?.parse().ok()?));
+            }
+            "c " => current
+                .as_mut()?
+                .2
+                .facts
+                .wal_constructs
+                .push(unesc(fields.first()?)),
+            "m " => current
+                .as_mut()?
+                .2
+                .facts
+                .wal_arms
+                .push(unesc(fields.first()?)),
+            "w " => current
+                .as_mut()?
+                .2
+                .facts
+                .wal_wildcards
+                .push(fields.first()?.parse().ok()?),
+            "s " => current
+                .as_mut()?
+                .2
+                .facts
+                .snapshot_impls
+                .push(unesc(fields.first()?)),
+            "r " => {
+                let fa = &mut current.as_mut()?.2;
+                fa.facts
+                    .rest_uses
+                    .push((unesc(fields.get(1)?), fields.first()?.parse().ok()?));
+            }
+            _ => return None,
+        }
+    }
+    flush(&mut current, &mut entries);
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_file;
+
+    #[test]
+    fn roundtrip_preserves_analysis() {
+        let src = "use std::collections::HashMap; // hta-lint: allow(hash-container): fixture\n\
+                   pub enum WalRecord { Submit, }\n\
+                   fn f(s: &mut S) { s.fork(7); }\n";
+        let fa = analyze_file("crates/core/src/x.rs", src);
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            "crates/core/src/x.rs".to_string(),
+            (content_hash(src), fa.clone()),
+        );
+        let text = render(&entries);
+        let back = parse(&text).expect("parses");
+        assert_eq!(back.get("crates/core/src/x.rs").unwrap().1, fa);
+    }
+
+    #[test]
+    fn version_mismatch_is_cold() {
+        assert!(parse("hta-lint-cache 0\n= a\t0\n").is_none());
+    }
+
+    #[test]
+    fn hash_differs_on_content_change() {
+        assert_ne!(content_hash("a"), content_hash("b"));
+        assert_eq!(content_hash("same"), content_hash("same"));
+    }
+
+    #[test]
+    fn get_rejects_stale_hash() {
+        let mut c = Cache {
+            path: PathBuf::from("/nonexistent"),
+            entries: BTreeMap::new(),
+            dirty: false,
+        };
+        let fa = FileAnalysis::default();
+        c.put("x.rs", 1, &fa);
+        assert!(c.get("x.rs", 1).is_some());
+        assert!(c.get("x.rs", 2).is_none());
+    }
+}

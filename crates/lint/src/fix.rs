@@ -1,0 +1,209 @@
+//! `--fix`: mechanical autofixes.
+//!
+//! Only rewrites with one obvious, local answer are automated:
+//!
+//! * **hash-container swaps** — `HashMap`→`BTreeMap`, `HashSet`→
+//!   `BTreeSet` (and the Fx/AHash variants), applied to the identifier
+//!   tokens on lines with an unsuppressed finding. Because `use`
+//!   statements naming the type are themselves findings, imports are
+//!   rewritten in the same pass.
+//! * **allow normalization** — directives with sloppy spacing are
+//!   rewritten to the canonical `// hta-lint: allow(rule): reason`.
+//! * **stale-allow removal** — a trailing stale directive is stripped
+//!   from its line; a standalone one's whole line is deleted.
+//!
+//! Fixes are computed as byte-range edits on the original source and
+//! applied in descending order, so ranges never shift under each other.
+//! The pass is idempotent: every edit removes its own trigger, so a
+//! second run computes zero edits (CI verifies this via `--fix` + `git
+//! diff --exit-code`).
+
+use std::path::Path;
+
+use crate::allow::{canonical_directive, directive_reason, parse_allows};
+use crate::lexer::{lex, TokKind};
+use crate::rules::{HASH_FIXES, HASH_TYPES};
+use crate::{known_rule, Finding, Scan};
+
+/// Summary of an applied fix pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixOutcome {
+    /// Files rewritten on disk.
+    pub files_changed: usize,
+    /// Total byte-range edits applied.
+    pub edits: usize,
+}
+
+/// Compute the fixed source and edit count for one file, or `None`
+/// when there is nothing to fix. `findings` is the workspace finding
+/// list.
+pub fn fix_source(path: &str, src: &str, findings: &[Finding]) -> Option<(String, usize)> {
+    let toks = lex(src);
+    let allows = parse_allows(src, &toks);
+    let mut edits: Vec<(usize, usize, String)> = Vec::new();
+
+    // 1. Hash-container ident swaps on finding lines.
+    let hash_lines: Vec<usize> = findings
+        .iter()
+        .filter(|f| f.path == path && f.rule == "hash-container")
+        .map(|f| f.line)
+        .collect();
+    for t in &toks {
+        if t.kind == TokKind::Ident && hash_lines.contains(&t.line) {
+            let word = t.text(src);
+            if HASH_TYPES.contains(&word) {
+                let repl = HASH_FIXES
+                    .iter()
+                    .find(|(from, _)| *from == word)
+                    .map(|(_, to)| *to)
+                    .expect("HASH_FIXES covers HASH_TYPES");
+                edits.push((t.start, t.end, repl.to_string()));
+            }
+        }
+    }
+
+    // 2. Stale-allow removal (line comments only; a stale directive in
+    //    a block comment is reported but left for a human).
+    let stale_lines: Vec<usize> = findings
+        .iter()
+        .filter(|f| f.path == path && f.rule == "stale-allow")
+        .map(|f| f.line)
+        .collect();
+    let mut removed_comments: Vec<usize> = Vec::new();
+    for a in &allows {
+        if !stale_lines.contains(&a.line) {
+            continue;
+        }
+        let Some(t) = toks.iter().find(|t| t.start == a.comment_start) else {
+            continue;
+        };
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        removed_comments.push(t.start);
+        if a.standalone {
+            // Delete the whole line, trailing newline included.
+            let line_start = src[..t.start].rfind('\n').map_or(0, |k| k + 1);
+            let line_end = src[t.end..].find('\n').map_or(src.len(), |k| t.end + k + 1);
+            edits.push((line_start, line_end, String::new()));
+        } else {
+            // Strip the comment and the spaces separating it from code.
+            let mut start = t.start;
+            while start > 0 && matches!(src.as_bytes()[start - 1], b' ' | b'\t') {
+                start -= 1;
+            }
+            edits.push((start, t.end, String::new()));
+        }
+    }
+
+    // 3. Canonicalize sloppy-but-valid directives.
+    for a in &allows {
+        if !a.noncanonical
+            || !a.has_reason
+            || !known_rule(&a.rule)
+            || removed_comments.contains(&a.comment_start)
+        {
+            continue;
+        }
+        let Some(t) = toks.iter().find(|t| t.start == a.comment_start) else {
+            continue;
+        };
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        let (Some(pos), Some(reason)) = (text.find("hta-lint"), directive_reason(text)) else {
+            continue;
+        };
+        edits.push((t.start + pos, t.end, canonical_directive(&a.rule, reason)));
+    }
+
+    if edits.is_empty() {
+        return None;
+    }
+    // Apply back to front; ranges are disjoint by construction.
+    edits.sort_by_key(|(s, _, _)| std::cmp::Reverse(*s));
+    let count = edits.len();
+    let mut fixed = src.to_string();
+    for (s, e, repl) in &edits {
+        fixed.replace_range(s..e, repl);
+    }
+    Some((fixed, count))
+}
+
+/// Apply fixes across a scanned workspace, writing changed files.
+pub fn fix_workspace(root: &Path, scan: &Scan) -> std::io::Result<FixOutcome> {
+    let mut outcome = FixOutcome::default();
+    for (rel, src) in &scan.files {
+        if let Some((fixed, edits)) = fix_source(rel, src, &scan.findings) {
+            outcome.files_changed += 1;
+            outcome.edits += edits;
+            std::fs::write(root.join(rel), fixed)?;
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan_file;
+
+    fn fix_once(path: &str, src: &str) -> Option<String> {
+        let findings = scan_file(path, src);
+        fix_source(path, src, &findings).map(|(s, _)| s)
+    }
+
+    #[test]
+    fn hash_swap_rewrites_use_and_decl() {
+        let src =
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, HashSet<u8>> = x(); }\n";
+        let fixed = fix_once("crates/des/src/x.rs", src).expect("edits");
+        assert_eq!(
+            fixed,
+            "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, BTreeSet<u8>> = x(); }\n"
+        );
+        // Idempotent: the fixed source produces no further edits.
+        assert!(fix_once("crates/des/src/x.rs", &fixed).is_none());
+    }
+
+    #[test]
+    fn suppressed_finding_is_not_fixed() {
+        let src = "use std::collections::HashMap; // hta-lint: allow(hash-container): fixture\n";
+        assert!(fix_once("crates/des/src/x.rs", src).is_none());
+    }
+
+    #[test]
+    fn string_contents_survive_fixing() {
+        let src = "use std::collections::HashMap;\nfn f() { let s = \"HashMap stays\"; }\n";
+        let fixed = fix_once("crates/des/src/x.rs", src).expect("edits");
+        assert!(fixed.contains("\"HashMap stays\""));
+        assert!(fixed.contains("BTreeMap;"));
+    }
+
+    #[test]
+    fn stale_trailing_allow_removed() {
+        let src = "let x = 1; // hta-lint: allow(hash-container): long gone\n";
+        let fixed = fix_once("crates/des/src/x.rs", src).expect("edits");
+        assert_eq!(fixed, "let x = 1;\n");
+        assert!(fix_once("crates/des/src/x.rs", &fixed).is_none());
+    }
+
+    #[test]
+    fn stale_standalone_allow_line_deleted() {
+        let src = "let a = 1;\n// hta-lint: allow(wall-clock): nothing here\nlet b = 2;\n";
+        let fixed = fix_once("crates/des/src/x.rs", src).expect("edits");
+        assert_eq!(fixed, "let a = 1;\nlet b = 2;\n");
+    }
+
+    #[test]
+    fn sloppy_directive_normalized() {
+        let src = "use std::collections::HashMap; // hta-lint:allow( hash-container )  : fixture reason\n";
+        let fixed = fix_once("crates/des/src/x.rs", src).expect("edits");
+        assert!(
+            fixed.ends_with("// hta-lint: allow(hash-container): fixture reason\n"),
+            "{fixed}"
+        );
+        assert!(fix_once("crates/des/src/x.rs", &fixed).is_none());
+    }
+}

@@ -1,0 +1,542 @@
+//! A small, dependency-free, *lossless* Rust lexer.
+//!
+//! The regex-era scanner blanked out strings and comments line by line,
+//! which meant it could neither see across lines reliably nor reason
+//! about token boundaries (`MyHashMapLike`, `'static` vs `'a'`,
+//! `r#"…"#`). This lexer produces a contiguous token stream covering
+//! every byte of the input: concatenating the spans of the tokens, in
+//! order, reproduces the source exactly (property-tested in
+//! `tests/prop_lexer.rs`). Rules then match on *tokens*, so a hazard
+//! name inside a string literal, a doc comment, or a raw string can
+//! never fire, and identifier boundaries are exact by construction.
+//!
+//! The lexer is total: any byte sequence lexes (unknown bytes become
+//! [`TokKind::Unknown`] tokens, unterminated literals run to EOF). It
+//! handles the Rust surface the workspace actually uses — nested block
+//! comments, raw strings with arbitrary hash counts, byte/C strings,
+//! raw identifiers, lifetimes vs char literals — without pulling in a
+//! full grammar.
+
+/// Token classification. Keywords are plain [`TokKind::Ident`]s; rules
+/// that care compare the token text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// A run of whitespace (newlines included).
+    Whitespace,
+    /// `// …` to end of line (doc `///` and `//!` included).
+    LineComment,
+    /// `/* … */`, nesting handled; unterminated runs to EOF.
+    BlockComment,
+    /// Identifier or keyword.
+    Ident,
+    /// `r#ident`.
+    RawIdent,
+    /// `'ident` with no closing quote (includes `'static`).
+    Lifetime,
+    /// Integer or float literal, suffix included.
+    Num,
+    /// `"…"` or `b"…"` / `c"…"`, escapes handled.
+    Str,
+    /// `r"…"` / `r#"…"#` (and `br`/`cr` variants), any hash count.
+    RawStr,
+    /// `'x'`, `'\n'`, `'\u{1F600}'`, `b'x'`.
+    Char,
+    /// A single punctuation character. Multi-char operators (`::`,
+    /// `=>`, `..`) are adjacent single-char tokens; matchers join them.
+    Punct,
+    /// Anything else (lossless catch-all; never emitted for valid Rust).
+    Unknown,
+}
+
+/// One token: a classified byte span of the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Start byte offset (inclusive).
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for whitespace and comments — tokens the grammar ignores.
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+}
+
+/// True for characters that may continue an identifier.
+pub fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True for characters that may start an identifier.
+pub fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    /// (byte offset, char) pairs.
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    i: usize,
+    /// 1-based line of the current position.
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src,
+            chars: src.char_indices().collect(),
+            i: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte(&self) -> usize {
+        self.chars.get(self.i).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.i += 1;
+        Some(c)
+    }
+
+    fn bump_while(&mut self, f: impl Fn(char) -> bool) {
+        while self.peek(0).is_some_and(&f) {
+            self.bump();
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+}
+
+/// Lex `src` into a contiguous, lossless token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while !cur.at_end() {
+        let start = cur.byte();
+        let line = cur.line;
+        let kind = next_kind(&mut cur);
+        let end = cur.byte();
+        debug_assert!(end > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end,
+            line,
+        });
+    }
+    out
+}
+
+fn next_kind(cur: &mut Cursor<'_>) -> TokKind {
+    let c = cur.peek(0).expect("caller checked at_end");
+    if c.is_whitespace() {
+        cur.bump_while(|c| c.is_whitespace());
+        return TokKind::Whitespace;
+    }
+    if c == '/' {
+        match cur.peek(1) {
+            Some('/') => {
+                cur.bump_while(|c| c != '\n');
+                return TokKind::LineComment;
+            }
+            Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 && !cur.at_end() {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        _ => {
+                            cur.bump();
+                        }
+                    }
+                }
+                return TokKind::BlockComment;
+            }
+            _ => {
+                cur.bump();
+                return TokKind::Punct;
+            }
+        }
+    }
+    // String-ish prefixes: r"", r#""#, b"", br"", c"", cr"", b''.
+    if is_ident_start(c) {
+        if let Some(kind) = try_prefixed_literal(cur) {
+            return kind;
+        }
+        cur.bump_while(is_ident_continue);
+        return TokKind::Ident;
+    }
+    if c.is_ascii_digit() {
+        lex_number(cur);
+        return TokKind::Num;
+    }
+    if c == '"' {
+        lex_str_body(cur);
+        return TokKind::Str;
+    }
+    if c == '\'' {
+        return lex_quote(cur);
+    }
+    if c.is_ascii_punctuation() {
+        cur.bump();
+        return TokKind::Punct;
+    }
+    cur.bump();
+    TokKind::Unknown
+}
+
+/// Handle `r`/`b`/`c` prefixed literals and raw identifiers. Returns
+/// `None` when the token at the cursor is a plain identifier.
+fn try_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokKind> {
+    let c0 = cur.peek(0)?;
+    let c1 = cur.peek(1);
+    match (c0, c1) {
+        // r"..."  r#"..."#  r#ident
+        ('r', Some('"')) => {
+            cur.bump();
+            lex_raw_str_body(cur);
+            Some(TokKind::RawStr)
+        }
+        ('r', Some('#')) => {
+            // Distinguish r#ident from r#"...".
+            let mut j = 1;
+            while cur.peek(j) == Some('#') {
+                j += 1;
+            }
+            if cur.peek(j) == Some('"') {
+                cur.bump();
+                lex_raw_str_body(cur);
+                Some(TokKind::RawStr)
+            } else if j == 2 && cur.peek(2).is_some_and(is_ident_start) {
+                // Exactly one `#` then an identifier: `r#type`.
+                cur.bump(); // r
+                cur.bump(); // #
+                cur.bump_while(is_ident_continue);
+                Some(TokKind::RawIdent)
+            } else {
+                None
+            }
+        }
+        // b"..."  b'...'  br"..."  br#"..."#
+        ('b', Some('"')) | ('c', Some('"')) => {
+            cur.bump(); // prefix; lex_str_body consumes the quote
+            lex_str_body(cur);
+            Some(TokKind::Str)
+        }
+        ('b', Some('\'')) => {
+            cur.bump();
+            Some(lex_quote(cur))
+        }
+        ('b', Some('r')) | ('c', Some('r')) => {
+            let mut j = 2;
+            while cur.peek(j) == Some('#') {
+                j += 1;
+            }
+            if cur.peek(j) == Some('"') {
+                cur.bump();
+                cur.bump();
+                lex_raw_str_body(cur);
+                Some(TokKind::RawStr)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Consume a `"…"` body; the opening quote is *not* yet consumed when
+/// called from the bare-`"` path (it is consumed here either way by the
+/// first bump when positioned on it). Callers position the cursor ON
+/// the opening quote.
+fn lex_str_body(cur: &mut Cursor<'_>) {
+    debug_assert_eq!(cur.peek(0), Some('"'));
+    cur.bump(); // opening quote
+    while let Some(c) = cur.peek(0) {
+        match c {
+            '\\' => {
+                cur.bump();
+                cur.bump(); // escaped char (ok at EOF: bump is a no-op)
+            }
+            '"' => {
+                cur.bump();
+                return;
+            }
+            _ => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Consume a raw string from the position of its `#`s or opening quote
+/// (the `r`/`br`/`cr` prefix is already consumed).
+fn lex_raw_str_body(cur: &mut Cursor<'_>) {
+    let mut hashes = 0u32;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek(0) != Some('"') {
+        return; // not actually a raw string; consumed hashes stay Unknown-ish
+    }
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut n = 0u32;
+            while n < hashes && cur.peek(0) == Some('#') {
+                cur.bump();
+                n += 1;
+            }
+            if n == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// At a `'`: decide char literal vs lifetime and consume it.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    debug_assert_eq!(cur.peek(0), Some('\''));
+    match cur.peek(1) {
+        Some('\\') => {
+            // Escaped char literal: consume to the closing quote on the
+            // same line (char literals cannot contain raw newlines).
+            cur.bump(); // '
+            cur.bump(); // backslash
+            cur.bump(); // escaped char
+            while let Some(c) = cur.peek(0) {
+                if c == '\'' {
+                    cur.bump();
+                    return TokKind::Char;
+                }
+                if c == '\n' {
+                    return TokKind::Unknown; // unterminated
+                }
+                cur.bump();
+            }
+            TokKind::Unknown
+        }
+        Some(c) if is_ident_start(c) => {
+            if cur.peek(2) == Some('\'') {
+                cur.bump();
+                cur.bump();
+                cur.bump();
+                TokKind::Char
+            } else {
+                cur.bump(); // '
+                cur.bump_while(is_ident_continue);
+                TokKind::Lifetime
+            }
+        }
+        Some(c) if c != '\'' && cur.peek(2) == Some('\'') => {
+            // '(' style: any single non-quote char then a quote.
+            cur.bump();
+            cur.bump();
+            cur.bump();
+            TokKind::Char
+        }
+        _ => {
+            cur.bump();
+            TokKind::Punct // a lone quote; never valid Rust, but lossless
+        }
+    }
+}
+
+/// Consume a numeric literal: ints (any base), floats, exponents,
+/// suffixes. Deliberately permissive — classification only needs "is it
+/// the literal `0`", which the text answers.
+fn lex_number(cur: &mut Cursor<'_>) {
+    cur.bump_while(is_ident_continue);
+    // Fraction: '.' followed by a digit ( `0..10` must not consume `..`).
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        cur.bump_while(is_ident_continue);
+    }
+    // Exponent sign: `1e+3` — the alnum run stops at '+'/'-'.
+    if cur.peek(0) == Some('+') || cur.peek(0) == Some('-') {
+        let prev = cur.peek_prev();
+        if matches!(prev, Some('e') | Some('E')) {
+            cur.bump();
+            cur.bump_while(is_ident_continue);
+        }
+    }
+}
+
+impl Cursor<'_> {
+    fn peek_prev(&self) -> Option<char> {
+        self.i
+            .checked_sub(1)
+            .and_then(|j| self.chars.get(j))
+            .map(|&(_, c)| c)
+    }
+}
+
+/// Numeric-literal value check: true when `text` is an integer literal
+/// equal to zero (`0`, `0u64`, `0x0`, `0_0` …).
+pub fn num_is_zero(text: &str) -> bool {
+    let t = text.replace('_', "");
+    let digits = if let Some(rest) = t
+        .strip_prefix("0x")
+        .or_else(|| t.strip_prefix("0X"))
+        .or_else(|| t.strip_prefix("0o"))
+        .or_else(|| t.strip_prefix("0b"))
+    {
+        rest
+    } else {
+        &t
+    };
+    let mut saw_digit = false;
+    for c in digits.chars() {
+        if c.is_ascii_digit() {
+            if c != '0' {
+                return false;
+            }
+            saw_digit = true;
+        } else {
+            // Suffix letters (u64, usize…) end the digit run.
+            break;
+        }
+    }
+    saw_digit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn lossless_over_mixed_source() {
+        let src = "fn main() { let s = \"Ha\\\"shMap\"; /* x /* y */ z */ let c = 'a'; }\n";
+        let toks = lex(src);
+        let joined: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+        for w in toks.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "tokens are contiguous");
+        }
+    }
+
+    #[test]
+    fn strings_comments_and_chars_classified() {
+        // A raw string containing `"#` cannot be written inside an r#
+        // literal, so the fixture is spelled with escapes.
+        let src = "let a = \"s\"; // c\nlet b = r#\"raw\"#; let c = 'x'; let d: &'static str = \"\"; let e = b\"y\";";
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::Str, "\"s\"")));
+        assert!(ks.contains(&(TokKind::RawStr, "r#\"raw\"#")));
+        assert!(ks.contains(&(TokKind::Char, "'x'")));
+        assert!(ks.contains(&(TokKind::Lifetime, "'static")));
+        assert!(ks.contains(&(TokKind::Str, "b\"y\"")));
+        assert!(!ks.iter().any(|(k, _)| *k == TokKind::LineComment));
+    }
+
+    #[test]
+    fn raw_ident_and_nested_block_comment() {
+        let src = "let r#type = 1; /* a /* b */ c */ let x = 2;";
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::RawIdent, "r#type")));
+        assert!(ks.contains(&(TokKind::Ident, "x")));
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn char_escapes_and_lifetimes() {
+        for (src, kind) in [
+            ("'\\n'", TokKind::Char),
+            ("'\\u{1F600}'", TokKind::Char),
+            ("'a'", TokKind::Char),
+            ("'abc", TokKind::Lifetime),
+            ("'_", TokKind::Lifetime),
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks[0].kind, kind, "{src}");
+        }
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let src = "0..10 1.5 0x1F 1e+3 x.0";
+        let ks = kinds(src);
+        assert!(ks.contains(&(TokKind::Num, "0")));
+        assert!(ks.contains(&(TokKind::Num, "10")));
+        assert!(ks.contains(&(TokKind::Num, "1.5")));
+        assert!(ks.contains(&(TokKind::Num, "0x1F")));
+        assert!(ks.contains(&(TokKind::Num, "1e+3")));
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn zero_literal_recognition() {
+        for z in ["0", "0u64", "0_0", "0x0", "0b00", "00"] {
+            assert!(num_is_zero(z), "{z}");
+        }
+        for nz in ["1", "0x1", "10", "0b01", "3usize"] {
+            assert!(!num_is_zero(nz), "{nz}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n  c";
+        let toks: Vec<_> = lex(src).into_iter().filter(|t| !t.is_trivia()).collect();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'\\x"] {
+            let toks = lex(src);
+            let joined: String = toks.iter().map(|t| t.text(src)).collect();
+            assert_eq!(joined, src, "lossless on unterminated input");
+        }
+    }
+}

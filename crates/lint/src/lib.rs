@@ -1,55 +1,72 @@
-//! `hta-lint` — static determinism analysis for the HTA workspace.
+//! `hta-lint` — syntax-aware static determinism analysis for the HTA
+//! workspace.
 //!
-//! HTA's value rests on reproducible forward simulation: same-seed runs
-//! must be bitwise identical (the golden `RunSummary` tests enforce it
-//! after the fact). This linter enforces it *before* the fact, by
-//! flagging the code patterns that historically break it:
+//! The simulator's core guarantee is bit-identical replay: same seed,
+//! same trace, same metrics — across machines, thread counts, and
+//! checkpoint/restore cycles. Most violations of that guarantee are not
+//! logic bugs but *ambient* nondeterminism: hash-ordered iteration,
+//! wall-clock reads, unseeded RNGs, scheduling-dependent reductions.
+//! This crate is a purpose-built analysis engine for exactly those
+//! hazards.
 //!
-//! | rule id              | hazard                                             |
-//! |----------------------|----------------------------------------------------|
-//! | `hash-container`     | `HashMap`/`HashSet` — iteration order follows hash |
-//! |                      | state, not program order                           |
-//! | `wall-clock`         | `Instant::now`/`SystemTime::now` — host time leaks |
-//! |                      | into simulated behaviour                           |
-//! | `ambient-rng`        | `thread_rng`/`rand::random`/`OsRng` — unseeded     |
-//! |                      | randomness outside `des::rng`                      |
-//! | `unordered-reduce`   | rayon `par_iter` feeding `reduce`/`fold`/`sum` —   |
-//! |                      | combination order is scheduling-dependent          |
-//! | `float-accumulation` | float `sum`/`fold` over a hash container's         |
-//! |                      | iterator — FP addition is not associative          |
-//! | `fork-unsafe-state`  | `Rc`/`RefCell`/`static mut` — shared mutable state |
-//! |                      | that a snapshot/fork deep clone silently aliases   |
-//! | `checkpoint-unsafe-state` | raw pointers, open OS handles, stored host    |
-//! |                      | time or unsalted RNG inside control-plane crates — |
-//! |                      | state a crash-recovery checkpoint cannot capture   |
-//! | `invalid-allow`      | an allow directive without a justification         |
+//! # Engine shape
 //!
-//! The scanner is deliberately simple: it walks `.rs` files (sorted, so
-//! output order is itself deterministic), strips string literals and
-//! comments, and token-scans what remains. It has no dependencies and no
-//! configuration file; the banned-token tables below *are* the policy.
+//! Analysis runs in two layers:
 //!
-//! # Suppressing a finding
+//! 1. **Per file** ([`analyze_file`]): the file is lexed by a lossless
+//!    token lexer ([`lexer`]) and parsed by a lightweight item parser
+//!    ([`parser`]). Per-file rules ([`rules`]) match on the token
+//!    stream — a hazard name inside a string literal or comment can
+//!    never fire, identifier boundaries are exact, and `#[cfg(test)]`
+//!    regions are exempt. The same pass extracts serializable
+//!    [`contracts::Facts`] and `allow` directives ([`allow`]).
+//! 2. **Workspace** ([`finalize`]): cross-file contract rules join the
+//!    facts (`wal-coverage`, `snapshot-field-coverage`), suppressions
+//!    are applied, and unused suppressions are reported as
+//!    `stale-allow`.
+//!
+//! The split keeps the incremental cache ([`cache`]) correct: per-file
+//! results are keyed on content hash, and only the cheap join re-runs
+//! when nothing changed.
+//!
+//! # Suppressions
 //!
 //! ```text
 //! // hta-lint: allow(hash-container): reason the hazard is not real
-//! //     here, and when the allowance can be removed.
 //! ```
 //!
-//! A standalone allow comment suppresses the named rule from its line to
-//! the next blank line (one "paragraph" of code); a trailing allow on a
+//! A standalone allow comment suppresses its rule from that line to the
+//! next blank line (one "paragraph" of code); a trailing allow on a
 //! code line suppresses that line only. The justification after the
 //! closing `):` is mandatory and should read like an expiry note — what
 //! has to change before the allowance can go. An allow without one does
-//! not suppress anything and is itself reported as `invalid-allow`.
+//! not suppress anything and is itself reported as `invalid-allow`; an
+//! allow whose rule never fires in its scope is reported as
+//! `stale-allow` so the suppression inventory burns down instead of
+//! fossilizing.
 //!
-//! Because matching happens on comment- and string-stripped code, the
-//! linter can scan its own sources: every banned token in this file
-//! lives in a string literal or a comment.
+//! Because matching happens on tokens, the linter scans its own
+//! sources: every banned name in this crate lives in a string literal,
+//! a comment, or a test region.
 
-use std::collections::BTreeMap;
+pub mod allow;
+pub mod baseline;
+pub mod cache;
+pub mod contracts;
+pub mod fix;
+pub mod lexer;
+pub mod parser;
+pub mod rules;
+pub mod sarif;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+use allow::AllowDirective;
+use contracts::Facts;
+
+/// Engine version; bumping it invalidates incremental caches.
+pub const ENGINE_VERSION: &str = "2";
 
 /// One lint rule: id, what it flags, and how to fix it.
 #[derive(Debug, Clone, Copy)]
@@ -67,7 +84,8 @@ pub const RULES: &[Rule] = &[
     Rule {
         id: "hash-container",
         what: "hash-ordered container in simulation code (iteration order depends on hash state)",
-        hint: "use BTreeMap/BTreeSet, or an interned-index Vec for dense ids",
+        hint: "use BTreeMap/BTreeSet, or an interned-index Vec for dense ids (`--fix` rewrites \
+               the idents mechanically)",
     },
     Rule {
         id: "wall-clock",
@@ -104,9 +122,45 @@ pub const RULES: &[Rule] = &[
                (salt-reseeded on fork) instead of StdRng/SmallRng",
     },
     Rule {
+        id: "salt-flow",
+        what: "fork/branch salt that is invented at the call site instead of threaded \
+               (hard-coded literal, reserved replay salt 0, or a repeated stream index)",
+        hint: "derive salts from the caller's salt with `branch_salt(salt, stream)` using \
+               distinct stream indices; salt 0 is reserved for replay/recovery paths",
+    },
+    Rule {
+        id: "effect-purity",
+        what: "event handler holding an `&mut EffectSink` that also schedules through a \
+               second channel (EventQueue parameter, direct `.schedule_*(` call, or a \
+               returned effect Vec)",
+        hint: "push every effect into the sink; the driver drains it and applies \
+               incarnation tagging that crash recovery relies on",
+    },
+    Rule {
+        id: "wal-coverage",
+        what: "WalRecord variant without a construct site or replay arm, or a WalRecord \
+               match with a wildcard `_ =>` arm",
+        hint: "log the decision where it is made, replay it in every recovery path, and \
+               keep WalRecord matches exhaustive so new variants fail to compile",
+    },
+    Rule {
+        id: "snapshot-field-coverage",
+        what: "struct literal or pattern of a snapshot-bundled type using `..` rest syntax \
+               (fields silently dropped from checkpoint/restore)",
+        hint: "name every field; the compiler then forces each checkpoint and restore site \
+               to be updated when a field is added",
+    },
+    Rule {
         id: "invalid-allow",
-        what: "hta-lint allow comment without a justification",
-        hint: "append `): <why the hazard is not real here, and when to remove this>`",
+        what: "hta-lint allow comment without a justification, or naming an unknown rule",
+        hint: "append `): <why the hazard is not real here, and when to remove this>`, and \
+               check the rule id against `--list-rules`",
+    },
+    Rule {
+        id: "stale-allow",
+        what: "hta-lint allow comment whose rule no longer fires anywhere in its scope",
+        hint: "delete the comment (`--fix` removes it); re-add it with a fresh reason if \
+               the hazard returns",
     },
 ];
 
@@ -115,6 +169,22 @@ fn rule(id: &str) -> &'static Rule {
         .iter()
         .find(|r| r.id == id)
         .expect("rule table covers every emitted id")
+}
+
+/// True when `id` names a rule this engine knows.
+pub fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// A per-file finding before suppression and hint attachment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (see [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description including the matched token.
+    pub message: String,
 }
 
 /// One finding: a hazard at `path:line`.
@@ -157,7 +227,7 @@ impl Finding {
 }
 
 /// JSON-escape a string.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -193,660 +263,178 @@ pub fn findings_to_json(findings: &[Finding]) -> String {
     out
 }
 
-// ----------------------------------------------------------------------
-// Source cleaning: strip string literals and comments
-// ----------------------------------------------------------------------
-
-/// One source line split into scannable code and its comment text.
-#[derive(Debug, Clone, Default)]
-struct CleanLine {
-    /// The line with string/char literals and comments blanked out.
-    code: String,
-    /// The concatenated comment text on the line (for allow directives).
-    comment: String,
+/// Everything the engine learns from one file in isolation. This is the
+/// unit the incremental cache stores: findings are pre-suppression so a
+/// change to another file's allow inventory cannot stale them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileAnalysis {
+    /// Per-file rule findings, before suppression.
+    pub findings: Vec<RawFinding>,
+    /// Every allow directive in the file.
+    pub allows: Vec<AllowDirective>,
+    /// Facts feeding the cross-file contract rules.
+    pub facts: Facts,
 }
 
-/// Lexer state that survives across lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Mode {
-    Code,
-    /// Inside a `/* */` comment; Rust block comments nest.
-    Block(u32),
-    /// Inside a `"` string literal.
-    Str,
-    /// Inside a raw string literal with this many `#`s.
-    RawStr(u32),
+/// Run the per-file layer: lex, parse, per-file rules, fact and allow
+/// extraction. Pure function of `(path, src)` — cacheable.
+pub fn analyze_file(path: &str, src: &str) -> FileAnalysis {
+    let toks = lexer::lex(src);
+    let (p, st) = parser::parse_file(src, &toks);
+    FileAnalysis {
+        findings: rules::per_file_rules(path, &p, &st),
+        allows: allow::parse_allows(src, &toks),
+        facts: contracts::extract_facts(&p, &st),
+    }
 }
 
-/// Split a source file into per-line code/comment pairs, blanking out
-/// string and char literals so token scans cannot match inside them.
-fn clean_source(src: &str) -> Vec<CleanLine> {
+/// Run the workspace layer: join contract facts, apply suppressions,
+/// and report invalid/stale allows. Returns findings sorted by
+/// `(path, line, rule)`.
+pub fn finalize(files: &[(String, FileAnalysis)]) -> Vec<Finding> {
+    let facts: Vec<(String, Facts)> = files
+        .iter()
+        .map(|(p, fa)| (p.clone(), fa.facts.clone()))
+        .collect();
+    let contract = contracts::finalize(&facts);
+
     let mut out = Vec::new();
-    let mut mode = Mode::Code;
-    for raw in src.lines() {
-        let bytes: Vec<char> = raw.chars().collect();
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let mut i = 0usize;
-        while i < bytes.len() {
-            let c = bytes[i];
-            let next = bytes.get(i + 1).copied();
-            match mode {
-                Mode::Block(depth) => {
-                    if c == '*' && next == Some('/') {
-                        mode = if depth == 1 {
-                            Mode::Code
-                        } else {
-                            Mode::Block(depth - 1)
-                        };
-                        i += 2;
-                    } else if c == '/' && next == Some('*') {
-                        mode = Mode::Block(depth + 1);
-                        i += 2;
-                    } else {
-                        comment.push(c);
-                        i += 1;
-                    }
-                }
-                Mode::Str => {
-                    if c == '\\' {
-                        i += 2; // skip the escaped char
-                    } else if c == '"' {
-                        mode = Mode::Code;
-                        code.push('"');
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-                Mode::RawStr(hashes) => {
-                    if c == '"' {
-                        let mut n = 0u32;
-                        while bytes.get(i + 1 + n as usize) == Some(&'#') && n < hashes {
-                            n += 1;
-                        }
-                        if n == hashes {
-                            mode = Mode::Code;
-                            code.push('"');
-                            i += 1 + hashes as usize;
-                            continue;
-                        }
-                    }
-                    i += 1;
-                }
-                Mode::Code => {
-                    if c == '/' && next == Some('/') {
-                        comment.push_str(&raw[char_byte_index(raw, i)..]);
-                        i = bytes.len(); // line comment: rest of line
-                    } else if c == '/' && next == Some('*') {
-                        mode = Mode::Block(1);
-                        i += 2;
-                    } else if c == '"' {
-                        mode = Mode::Str;
-                        code.push('"');
-                        i += 1;
-                    } else if c == 'r'
-                        && matches!(next, Some('"') | Some('#'))
-                        && !prev_is_ident(&bytes, i)
-                    {
-                        // Raw string: r"..." or r#"..."# (any hash count).
-                        let mut hashes = 0u32;
-                        let mut j = i + 1;
-                        while bytes.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if bytes.get(j) == Some(&'"') {
-                            mode = Mode::RawStr(hashes);
-                            code.push('"');
-                            i = j + 1;
-                        } else {
-                            code.push(c);
-                            i += 1;
-                        }
-                    } else if c == '\'' {
-                        // Char literal vs lifetime: a literal closes within
-                        // a few chars ('x', '\n', '\u{1F600}').
-                        if let Some(close) = char_literal_end(&bytes, i) {
-                            i = close + 1;
-                        } else {
-                            code.push(c); // lifetime tick
-                            i += 1;
-                        }
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
+    for (path, fa) in files {
+        // Candidate findings for this file: per-file + contract.
+        let mut cands: Vec<(usize, &'static str, String)> = fa
+            .findings
+            .iter()
+            .map(|f| (f.line, f.rule, f.message.clone()))
+            .collect();
+        cands.extend(
+            contract
+                .iter()
+                .filter(|(p, _, _, _)| p == path)
+                .map(|(_, line, rule, msg)| (*line, *rule, msg.clone())),
+        );
+
+        let mut used = vec![false; fa.allows.len()];
+        for (line, rule_id, message) in cands {
+            let mut suppressed = false;
+            for (ai, a) in fa.allows.iter().enumerate() {
+                if a.rule == rule_id
+                    && a.has_reason
+                    && known_rule(&a.rule)
+                    && a.covers.0 <= line
+                    && line <= a.covers.1
+                {
+                    suppressed = true;
+                    used[ai] = true;
                 }
             }
+            if !suppressed {
+                out.push(Finding {
+                    path: path.clone(),
+                    line,
+                    rule: rule_id,
+                    message,
+                    hint: rule(rule_id).hint,
+                });
+            }
         }
-        // A string/raw-string still open at EOL contributes nothing more.
-        out.push(CleanLine { code, comment });
+        for (ai, a) in fa.allows.iter().enumerate() {
+            if !a.has_reason {
+                out.push(Finding {
+                    path: path.clone(),
+                    line: a.line,
+                    rule: "invalid-allow",
+                    message: format!(
+                        "`allow({})` without a justification — it suppresses nothing",
+                        a.rule
+                    ),
+                    hint: rule("invalid-allow").hint,
+                });
+            } else if !known_rule(&a.rule) {
+                out.push(Finding {
+                    path: path.clone(),
+                    line: a.line,
+                    rule: "invalid-allow",
+                    message: format!(
+                        "`allow({})` names an unknown rule — the typo suppresses nothing",
+                        a.rule
+                    ),
+                    hint: rule("invalid-allow").hint,
+                });
+            } else if !used[ai] {
+                out.push(Finding {
+                    path: path.clone(),
+                    line: a.line,
+                    rule: "stale-allow",
+                    message: format!(
+                        "`allow({})` no longer suppresses anything in its scope \
+                         (lines {}–{})",
+                        a.rule, a.covers.0, a.covers.1
+                    ),
+                    hint: rule("stale-allow").hint,
+                });
+            }
+        }
     }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     out
 }
 
-/// Byte index of the `i`-th char of `s` (lines are short; O(n) is fine).
-fn char_byte_index(s: &str, i: usize) -> usize {
-    s.char_indices().nth(i).map_or(s.len(), |(b, _)| b)
-}
-
-fn prev_is_ident(bytes: &[char], i: usize) -> bool {
-    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
-}
-
-/// If a char literal starts at `i` (a `'`), return the index of its
-/// closing quote; `None` means it is a lifetime tick.
-fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
-    match bytes.get(i + 1)? {
-        '\\' => {
-            // Escape: scan to the next unescaped quote within a short
-            // window (covers \u{...}).
-            let mut j = i + 2;
-            while j < bytes.len() && j < i + 12 {
-                if bytes[j] == '\'' {
-                    return Some(j);
-                }
-                j += 1;
-            }
-            None
-        }
-        _ => (bytes.get(i + 2) == Some(&'\'')).then_some(i + 2),
-    }
-}
-
-// ----------------------------------------------------------------------
-// Allow directives
-// ----------------------------------------------------------------------
-
-#[derive(Debug, Clone)]
-struct Allow {
-    rule_id: String,
-    /// 0-based line of the directive.
-    line: usize,
-    /// True when the directive's line has no code (comment-only line).
-    standalone: bool,
-    has_reason: bool,
-}
-
-/// Parse `hta-lint: allow(rule): reason` directives out of comment text.
-fn parse_allows(lines: &[CleanLine]) -> Vec<Allow> {
-    let mut out = Vec::new();
-    for (idx, l) in lines.iter().enumerate() {
-        let c = &l.comment;
-        let Some(pos) = c.find("hta-lint:") else {
-            continue;
-        };
-        let rest = c[pos + "hta-lint:".len()..].trim_start();
-        let Some(rest) = rest.strip_prefix("allow(") else {
-            continue;
-        };
-        let Some(close) = rest.find(')') else {
-            continue;
-        };
-        let rule_id = rest[..close].trim().to_string();
-        let after = rest[close + 1..].trim_start();
-        let has_reason = after
-            .strip_prefix(':')
-            .map(|r| !r.trim().is_empty())
-            .unwrap_or(false);
-        out.push(Allow {
-            rule_id,
-            line: idx,
-            standalone: l.code.trim().is_empty(),
-            has_reason,
-        });
-    }
-    out
-}
-
-/// The set of (line, rule) pairs suppressed by valid allow directives,
-/// plus `invalid-allow` findings for directives without a reason.
-fn build_suppressions(
-    path: &str,
-    lines: &[CleanLine],
-    allows: &[Allow],
-) -> (BTreeMap<(usize, String), ()>, Vec<Finding>) {
-    let mut suppressed = BTreeMap::new();
-    let mut findings = Vec::new();
-    for a in allows {
-        if !a.has_reason {
-            findings.push(Finding {
-                path: path.to_string(),
-                line: a.line + 1,
-                rule: "invalid-allow",
-                message: format!(
-                    "allow({}) has no justification; the comment must explain why the hazard \
-                     is not real here and when the allowance can be removed",
-                    a.rule_id
-                ),
-                hint: rule("invalid-allow").hint,
-            });
-            continue;
-        }
-        if a.standalone {
-            // Suppress until the next blank line (code and comment empty).
-            let mut l = a.line;
-            loop {
-                suppressed.insert((l, a.rule_id.clone()), ());
-                l += 1;
-                match lines.get(l) {
-                    Some(cl) if !(cl.code.trim().is_empty() && cl.comment.trim().is_empty()) => {}
-                    _ => break,
-                }
-            }
-        } else {
-            suppressed.insert((a.line, a.rule_id.clone()), ());
-        }
-    }
-    (suppressed, findings)
-}
-
-// ----------------------------------------------------------------------
-// Token matching
-// ----------------------------------------------------------------------
-
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-/// Find `pat` in `code` as a standalone identifier (no ident char on
-/// either side). Returns the match offset.
-fn find_ident(code: &str, pat: &str) -> Option<usize> {
-    let mut start = 0;
-    while let Some(rel) = code[start..].find(pat) {
-        let at = start + rel;
-        let before_ok = code[..at]
-            .chars()
-            .next_back()
-            .is_none_or(|c| !is_ident_char(c));
-        let after = code[at + pat.len()..].chars().next();
-        let after_ok = after.is_none_or(|c| !is_ident_char(c));
-        if before_ok && after_ok {
-            return Some(at);
-        }
-        start = at + pat.len();
-    }
-    None
-}
-
-/// Hash-ordered container type names.
-const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet", "AHashMap"];
-
-/// Wall-clock call tokens (call sites, not imports — the import alone
-/// does nothing).
-const WALL_CLOCK: &[&str] = &["Instant::now", "SystemTime::now", "SystemTime::UNIX_EPOCH"];
-
-/// Ambient (unseeded) randomness tokens.
-const AMBIENT_RNG: &[&str] = &[
-    "thread_rng",
-    "ThreadRng",
-    "from_entropy",
-    "OsRng",
-    "getrandom",
-    "rand::random",
-];
-
-/// Rayon parallel-iterator entry points.
-const PAR_ITER: &[&str] = &[
-    ".par_iter(",
-    ".into_par_iter(",
-    ".par_bridge(",
-    ".par_chunks(",
-];
-
-/// Order-sensitive terminal reductions (checked at chain depth 0).
-const REDUCERS: &[&str] = &[".reduce(", ".fold(", ".sum(", ".sum::<", ".product("];
-
-/// Shared-mutable-state types that `SnapshotState`'s deep clone silently
-/// aliases between a parent and its forked branch: two "independent"
-/// worlds end up mutating one value behind the handle. `Cell` is *not*
-/// here — a `Cell<Copy>` is owned by value, so a clone genuinely forks
-/// it (the MWU cache in the master relies on this).
-const FORK_UNSAFE_TYPES: &[&str] = &["Rc", "RefCell"];
-
-/// True when the line declares a `static mut` (globally shared mutable
-/// state — invisible to any clone). `&'static mut` references do not
-/// match: the `static` there is a lifetime, not a declaration.
-fn has_static_mut(code: &str) -> bool {
-    let mut start = 0;
-    while let Some(at) = find_ident(&code[start..], "static").map(|p| p + start) {
-        let lifetime = code[..at].ends_with('\'');
-        let rest = code[at + "static".len()..].trim_start();
-        let followed = find_ident(rest, "mut") == Some(0);
-        if !lifetime && followed {
-            return true;
-        }
-        start = at + "static".len();
-    }
-    false
-}
-
-/// Source roots holding control-plane state — everything the
-/// crash-recovery checkpoint (`Checkpoint<ControlPlaneState>` in
-/// `hta-core`) must be able to capture and restore. Types here may hold
-/// only plain owned data: a raw pointer, an open file or socket, a
-/// stored host-time value or an RNG that is not salt-reseeded on fork
-/// survives `Clone` syntactically but is garbage (or aliased) after a
-/// restore, and the WAL replay then diverges from the original run.
-const CHECKPOINT_SCOPE: &[&str] = &["crates/core/src/", "crates/workqueue/src/"];
-
-fn in_checkpoint_scope(path: &str) -> bool {
-    CHECKPOINT_SCOPE.iter().any(|p| path.starts_with(p))
-}
-
-/// Identifier tokens naming non-snapshottable state, with the hazard
-/// class reported for each. `Instant`/`SystemTime` here catch *stored*
-/// host-time values (fields, bindings); the `wall-clock` rule already
-/// catches the `::now()` call sites everywhere. `StdRng`/`SmallRng` are
-/// seedable but carry no branch-salt reseed on fork, so a restored
-/// checkpoint replays the parent's stream — `SimRng` is the sanctioned
-/// source.
-const CHECKPOINT_UNSAFE_TYPES: &[(&str, &str)] = &[
-    ("File", "open OS handle"),
-    ("TcpStream", "open OS handle"),
-    ("TcpListener", "open OS handle"),
-    ("UdpSocket", "open OS handle"),
-    ("UnixStream", "open OS handle"),
-    ("JoinHandle", "open OS handle"),
-    ("Child", "open OS handle"),
-    ("Instant", "stored host time"),
-    ("SystemTime", "stored host time"),
-    ("StdRng", "unsalted RNG"),
-    ("SmallRng", "unsalted RNG"),
-];
-
-/// True when the line uses a raw-pointer type (`*mut T` / `*const T`).
-/// Multiplication never parses as `* mut`/`* const`, so a plain token
-/// pair check suffices on cleaned code.
-fn has_raw_pointer(code: &str) -> bool {
-    for kw in ["mut", "const"] {
-        let mut start = 0;
-        while let Some(at) = find_ident(&code[start..], kw).map(|p| p + start) {
-            if code[..at].trim_end().ends_with('*') {
-                return true;
-            }
-            start = at + kw.len();
-        }
-    }
-    false
-}
-
-/// Files exempt from a rule by construction.
-fn exempt(path: &str, rule_id: &str) -> bool {
-    // The seeded-RNG module is where randomness is *implemented*.
-    rule_id == "ambient-rng" && path.ends_with("crates/des/src/rng.rs")
-}
-
-/// Walk the code from (line, col) forward, tracking bracket depth, and
-/// return the 0-based line of the first depth-0 occurrence of any
-/// `targets` token within the same statement.
-fn depth0_target(
-    lines: &[CleanLine],
-    start_line: usize,
-    start_col: usize,
-    targets: &[&str],
-) -> Option<usize> {
-    let mut depth: i32 = 0;
-    let mut budget = 4000usize; // chars; bounds pathological files
-    for (lno, l) in lines.iter().enumerate().skip(start_line) {
-        let code = if lno == start_line {
-            &l.code[start_col..]
-        } else {
-            &l.code[..]
-        };
-        let chars: Vec<char> = code.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            if budget == 0 {
-                return None;
-            }
-            budget -= 1;
-            let c = chars[i];
-            match c {
-                '(' | '[' | '{' => depth += 1,
-                ')' | ']' | '}' => {
-                    depth -= 1;
-                    if depth < 0 {
-                        return None; // enclosing expression ended
-                    }
-                }
-                ';' if depth == 0 => return None, // statement ended
-                '.' if depth == 0 => {
-                    let rest: String = chars[i..].iter().collect();
-                    if targets.iter().any(|t| rest.starts_with(t)) {
-                        return Some(lno);
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-    }
-    None
-}
-
-/// Names of local bindings / fields declared with a hash container type
-/// anywhere in the file (heuristic: the identifier before the `:` or
-/// after `let [mut]` on a line that names a hash type).
-fn hash_binding_names(lines: &[CleanLine]) -> Vec<String> {
-    let mut names = Vec::new();
-    for l in lines {
-        let code = &l.code;
-        if !HASH_TYPES.iter().any(|t| find_ident(code, t).is_some()) {
-            continue;
-        }
-        // `let [mut] name` form.
-        if let Some(pos) = find_ident(code, "let") {
-            let rest = code[pos + 3..].trim_start();
-            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
-            let name: String = rest.chars().take_while(|c| is_ident_char(*c)).collect();
-            if !name.is_empty() {
-                names.push(name);
-                continue;
-            }
-        }
-        // `name: HashX<...>` field/param form: ident immediately before ':'.
-        if let Some(colon) = code.find(':') {
-            let before = code[..colon].trim_end();
-            let name: String = before
-                .chars()
-                .rev()
-                .take_while(|c| is_ident_char(*c))
-                .collect::<String>()
-                .chars()
-                .rev()
-                .collect();
-            if name.chars().next().is_some_and(|c| !c.is_numeric()) {
-                names.push(name);
-            }
-        }
-    }
-    names.sort();
-    names.dedup();
-    names
-}
-
-// ----------------------------------------------------------------------
-// Per-file scan
-// ----------------------------------------------------------------------
-
-/// Scan one file's contents. `path` is the repo-relative path used for
-/// reporting and scope decisions.
+/// Analyze a single file end to end (per-file rules + single-file
+/// finalize). Cross-file contract rules see only this one file.
 pub fn scan_file(path: &str, src: &str) -> Vec<Finding> {
-    let lines = clean_source(src);
-    let allows = parse_allows(&lines);
-    let (suppressed, mut findings) = build_suppressions(path, &lines, &allows);
-    let is_suppressed =
-        |line: usize, rule_id: &str| suppressed.contains_key(&(line, rule_id.to_string()));
-    let mut push = |line: usize, rule_id: &'static str, message: String| {
-        if !is_suppressed(line, rule_id) && !exempt(path, rule_id) {
-            findings.push(Finding {
-                path: path.to_string(),
-                line: line + 1,
-                rule: rule_id,
-                message,
-                hint: rule(rule_id).hint,
-            });
-        }
-    };
-
-    for (idx, l) in lines.iter().enumerate() {
-        let code = &l.code;
-        for t in HASH_TYPES {
-            if find_ident(code, t).is_some() {
-                push(
-                    idx,
-                    "hash-container",
-                    format!("`{t}` — {}", rule("hash-container").what),
-                );
-                break; // one finding per line
-            }
-        }
-        for t in WALL_CLOCK {
-            if code.contains(t) {
-                push(
-                    idx,
-                    "wall-clock",
-                    format!("`{t}` — {}", rule("wall-clock").what),
-                );
-                break;
-            }
-        }
-        for t in AMBIENT_RNG {
-            let hit = if t.contains("::") {
-                code.contains(t)
-            } else {
-                find_ident(code, t).is_some()
-            };
-            if hit {
-                push(
-                    idx,
-                    "ambient-rng",
-                    format!("`{t}` — {}", rule("ambient-rng").what),
-                );
-                break;
-            }
-        }
-        for t in FORK_UNSAFE_TYPES {
-            if find_ident(code, t).is_some() {
-                push(
-                    idx,
-                    "fork-unsafe-state",
-                    format!("`{t}` — {}", rule("fork-unsafe-state").what),
-                );
-                break;
-            }
-        }
-        if has_static_mut(code) {
-            push(
-                idx,
-                "fork-unsafe-state",
-                format!("`static mut` — {}", rule("fork-unsafe-state").what),
-            );
-        }
-        if in_checkpoint_scope(path) {
-            if has_raw_pointer(code) {
-                push(
-                    idx,
-                    "checkpoint-unsafe-state",
-                    "raw pointer — a checkpoint restore leaves it dangling or aliased".to_string(),
-                );
-            }
-            for (t, class) in CHECKPOINT_UNSAFE_TYPES {
-                if find_ident(code, t).is_some() {
-                    push(
-                        idx,
-                        "checkpoint-unsafe-state",
-                        format!("`{t}` ({class}) — {}", rule("checkpoint-unsafe-state").what),
-                    );
-                    break;
-                }
-            }
-        }
-        for t in PAR_ITER {
-            if let Some(pos) = code.find(t) {
-                // Depth starts inside the par call's own '('; begin the
-                // walk at the token so its parens balance themselves.
-                if let Some(hit_line) = depth0_target(&lines, idx, pos, REDUCERS) {
-                    push(
-                        idx,
-                        "unordered-reduce",
-                        format!(
-                            "`{}...)` feeds an order-sensitive reduction on line {} — {}",
-                            t.trim_end_matches('('),
-                            hit_line + 1,
-                            rule("unordered-reduce").what
-                        ),
-                    );
-                }
-                break;
-            }
-        }
-    }
-
-    // float-accumulation: chains off a known hash-typed binding that hit
-    // a reducer at depth 0.
-    let hash_names = hash_binding_names(&lines);
-    for (idx, l) in lines.iter().enumerate() {
-        let code = &l.code;
-        for name in &hash_names {
-            for method in [".values(", ".keys(", ".iter(", ".into_iter(", ".drain("] {
-                let probe = format!("{name}{method}");
-                if let Some(pos) = code.find(&probe) {
-                    let before_ok = code[..pos]
-                        .chars()
-                        .next_back()
-                        .is_none_or(|c| !is_ident_char(c));
-                    if !before_ok {
-                        continue;
-                    }
-                    if let Some(hit_line) = depth0_target(&lines, idx, pos + name.len(), REDUCERS) {
-                        push(
-                            idx,
-                            "float-accumulation",
-                            format!(
-                                "accumulation over `{name}{method}..)` (reduced on line {}) — {}",
-                                hit_line + 1,
-                                rule("float-accumulation").what
-                            ),
-                        );
-                    }
-                }
-            }
-        }
-    }
-
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings.dedup();
-    findings
+    let fa = analyze_file(path, src);
+    finalize(&[(path.to_string(), fa)])
 }
 
 // ----------------------------------------------------------------------
-// Workspace walking
+// Workspace scanning
 // ----------------------------------------------------------------------
 
-/// Directory names never descended into.
+/// Directory names never descended into. `fixtures` holds rule fixture
+/// files that *deliberately* violate every rule; `--include-fixtures`
+/// re-adds them for the engine's own tests.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
 
 /// Top-level roots scanned below the workspace root.
 pub const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
 
+/// Scan configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ScanOptions {
+    /// Descend into `fixtures/` directories (default: skipped).
+    pub include_fixtures: bool,
+    /// Incremental cache file; per-file analyses are reused when the
+    /// content hash matches.
+    pub cache_path: Option<PathBuf>,
+}
+
+/// A completed workspace scan.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// Final findings, sorted by `(path, line, rule)`.
+    pub findings: Vec<Finding>,
+    /// Every scanned file as `(repo-relative path, contents)` — kept
+    /// for baseline fingerprinting and `--fix`.
+    pub files: Vec<(String, String)>,
+    /// How many per-file analyses were served from the cache.
+    pub cache_hits: usize,
+}
+
 /// Collect every `.rs` file under the scan roots, sorted for
 /// deterministic output.
-pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+pub fn collect_files(root: &Path, include_fixtures: bool) -> std::io::Result<Vec<PathBuf>> {
     let mut files = Vec::new();
     for top in SCAN_ROOTS {
         let dir = root.join(top);
         if dir.is_dir() {
-            walk(&dir, &mut files)?;
+            walk(&dir, include_fixtures, &mut files)?;
         }
     }
     files.sort();
     Ok(files)
 }
 
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+fn walk(dir: &Path, include_fixtures: bool, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
@@ -854,10 +442,10 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for p in entries {
         if p.is_dir() {
             let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
-            if SKIP_DIRS.contains(&name) {
+            if SKIP_DIRS.contains(&name) && !(include_fixtures && name == "fixtures") {
                 continue;
             }
-            walk(&p, out)?;
+            walk(&p, include_fixtures, out)?;
         } else if p.extension().is_some_and(|e| e == "rs") {
             out.push(p);
         }
@@ -865,21 +453,58 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Scan a workspace root; returns (findings, files scanned).
-pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
-    let files = collect_files(root)?;
-    let count = files.len();
-    let mut findings = Vec::new();
-    for f in &files {
+/// Scan a workspace root with options.
+pub fn scan_workspace_opts(root: &Path, opts: &ScanOptions) -> std::io::Result<Scan> {
+    let paths = collect_files(root, opts.include_fixtures)?;
+    let mut cache_state = opts
+        .cache_path
+        .as_ref()
+        .map(|p| cache::Cache::load(p.clone()));
+    let mut analyses = Vec::new();
+    let mut files = Vec::new();
+    let mut cache_hits = 0usize;
+    for f in &paths {
         let rel = f
             .strip_prefix(root)
             .unwrap_or(f)
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(f)?;
-        findings.extend(scan_file(&rel, &src));
+        let hash = cache::content_hash(&src);
+        let fa = match cache_state.as_ref().and_then(|c| c.get(&rel, hash)) {
+            Some(hit) => {
+                cache_hits += 1;
+                hit
+            }
+            None => {
+                let fa = analyze_file(&rel, &src);
+                if let Some(c) = cache_state.as_mut() {
+                    c.put(&rel, hash, &fa);
+                }
+                fa
+            }
+        };
+        analyses.push((rel.clone(), fa));
+        files.push((rel, src));
     }
-    Ok((findings, count))
+    if let Some(c) = &cache_state {
+        // Cache write failures degrade to a cold cache next run.
+        let _ = c.save();
+    }
+    let findings = finalize(&analyses);
+    Ok(Scan {
+        findings,
+        files,
+        cache_hits,
+    })
+}
+
+/// Scan a workspace root with defaults; returns (findings, files
+/// scanned). Kept for API compatibility with the regex-era engine.
+pub fn scan_workspace(root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let scan = scan_workspace_opts(root, &ScanOptions::default())?;
+    let count = scan.files.len();
+    Ok((scan.findings, count))
 }
 
 #[cfg(test)]
@@ -888,7 +513,6 @@ mod tests {
 
     #[test]
     fn strings_and_comments_are_invisible() {
-        // The hazard tokens here live in strings/comments only.
         let src = "let a = \"Ha\".to_string() + \"shMap\"; // a comment\n\
                    /* Instant::now() in a block comment */\n\
                    let b = r#\"thread_rng inside raw string\"#;\n";
@@ -896,195 +520,57 @@ mod tests {
     }
 
     #[test]
-    fn hash_container_fires_on_code() {
-        let src = "use std::collections::BTreeMap;\nlet m: Ha".to_string()
-            + "shMap<u32, u32> = Default::default();\n";
-        let f = scan_file("crates/des/src/x.rs", &src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "hash-container");
-        assert_eq!(f[0].line, 2);
+    fn suppressed_finding_marks_allow_used() {
+        let src = "use std::collections::HashMap; // hta-lint: allow(hash-container): fixture\n";
+        let out = scan_file("crates/des/src/x.rs", src);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]
-    fn ident_boundaries_respected() {
-        // `MyHashMapLike` must not match.
-        let src = "let m: MyHa".to_string() + "shMapLike = x();\n";
-        assert!(scan_file("crates/des/src/x.rs", &src).is_empty());
+    fn unused_allow_is_stale() {
+        let src = "// hta-lint: allow(hash-container): nothing here anymore\nlet x = 1;\n";
+        let out = scan_file("crates/des/src/x.rs", src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "stale-allow");
+        assert_eq!(out[0].line, 1);
     }
 
     #[test]
-    fn trailing_allow_suppresses_own_line_only() {
-        let tok = "Ha".to_string() + "shMap";
-        let src = format!(
-            "let a: {tok}<u8,u8> = x(); // hta-lint: allow(hash-container): test fixture, rm never\n\
-             let b: {tok}<u8,u8> = x();\n"
+    fn reasonless_and_unknown_allows_are_invalid() {
+        let src = "use std::collections::HashMap; // hta-lint: allow(hash-container)\n\
+                   let y = 2; // hta-lint: allow(hash-contanier): typo\n";
+        let out = scan_file("crates/des/src/x.rs", src);
+        let rules: Vec<&str> = out.iter().map(|f| f.rule).collect();
+        assert!(
+            rules.contains(&"hash-container"),
+            "reasonless allow suppresses nothing"
         );
-        let f = scan_file("crates/des/src/x.rs", &src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].line, 2);
-    }
-
-    #[test]
-    fn standalone_allow_covers_paragraph_until_blank() {
-        let tok = "Ha".to_string() + "shMap";
-        let src = format!(
-            "// hta-lint: allow(hash-container): both lines below are fixture, rm never\n\
-             let a: {tok}<u8,u8> = x();\n\
-             let b: {tok}<u8,u8> = x();\n\
-             \n\
-             let c: {tok}<u8,u8> = x();\n"
-        );
-        let f = scan_file("crates/des/src/x.rs", &src);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].line, 5, "the post-blank-line use is not covered");
-    }
-
-    #[test]
-    fn allow_without_reason_is_invalid_and_inert() {
-        let tok = "Ha".to_string() + "shMap";
-        let src = format!(
-            "// hta-lint: allow(hash-container)\n\
-             let a: {tok}<u8,u8> = x();\n"
-        );
-        let f = scan_file("crates/des/src/x.rs", &src);
-        let rules: Vec<&str> = f.iter().map(|x| x.rule).collect();
-        assert!(rules.contains(&"invalid-allow"), "{rules:?}");
-        assert!(rules.contains(&"hash-container"), "{rules:?}");
-    }
-
-    #[test]
-    fn par_iter_map_collect_is_clean() {
-        let src = "let v: Vec<_> = xs.par_iter().map(|x| {\n\
-                       let s: f64 = x.parts.iter().sum();\n\
-                       s * 2.0\n\
-                   }).collect();\n";
-        assert!(scan_file("crates/bench/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn par_iter_sum_is_flagged() {
-        let src = "let total: f64 = xs.par_iter().map(|x| x.v).sum();\n";
-        let f = scan_file("crates/bench/src/x.rs", src);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "unordered-reduce");
-    }
-
-    #[test]
-    fn par_iter_reduce_across_lines_is_flagged() {
-        let src = "let total = xs.par_iter()\n\
-                       .map(|x| x.v)\n\
-                       .reduce(|| 0.0, |a, b| a + b);\n";
-        let f = scan_file("crates/bench/src/x.rs", src);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "unordered-reduce");
-        assert_eq!(f[0].line, 1, "reported at the par_iter call");
-    }
-
-    #[test]
-    fn float_accumulation_over_hash_values() {
-        let tok = "Ha".to_string() + "shMap";
-        let src = format!(
-            "// hta-lint: allow(hash-container): declaring it is the point of this fixture\n\
-             let mut weights: {tok}<u32, f64> = x();\n\
-             \n\
-             let total: f64 = weights.values().sum();\n"
-        );
-        let f = scan_file("crates/des/src/x.rs", &src);
-        assert_eq!(f.len(), 1, "{f:?}");
-        assert_eq!(f[0].rule, "float-accumulation");
-        assert_eq!(f[0].line, 4);
-    }
-
-    #[test]
-    fn rng_module_is_exempt_from_ambient_rng() {
-        let src = "fn seed() { let r = thread_rng(); }\n";
-        assert!(scan_file("crates/des/src/rng.rs", src).is_empty());
-        assert_eq!(scan_file("crates/des/src/sim.rs", src).len(), 1);
-    }
-
-    #[test]
-    fn rc_refcell_and_static_mut_are_fork_unsafe() {
-        let src = "static mut TICKS: u64 = 0;\n\
-                   fn f(shared: Rc<RefCell<Vec<f64>>>) -> usize { shared.borrow().len() }\n";
-        let f = scan_file("crates/des/src/x.rs", src);
-        let got: Vec<(usize, &str)> = f.iter().map(|x| (x.line, x.rule)).collect();
         assert_eq!(
-            got,
-            vec![(1, "fork-unsafe-state"), (2, "fork-unsafe-state")],
-            "{f:#?}"
+            out.iter().filter(|f| f.rule == "invalid-allow").count(),
+            2,
+            "{out:?}"
         );
+        // The typo'd directive is invalid, not stale.
+        assert!(!rules.contains(&"stale-allow"));
     }
 
     #[test]
-    fn cell_of_copy_is_not_fork_unsafe() {
-        // `Cell<Copy>` is owned by value: a deep clone forks it, so the
-        // master's MWU cache pattern stays legal.
-        let src = "use std::cell::Cell;\nlet cache: Cell<Option<u64>> = Cell::new(None);\n";
-        assert!(scan_file("crates/workqueue/src/x.rs", src).is_empty());
+    fn findings_sorted_and_json_escapes() {
+        let src = "fn f() { let a = Instant::now(); }\nuse std::collections::HashMap;\n";
+        let out = scan_file("crates/des/src/x.rs", src);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].line <= out[1].line);
+        let js = findings_to_json(&out);
+        assert!(js.starts_with('[') && js.ends_with(']'));
+        assert!(js.contains("\"wall-clock\""));
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
     }
 
     #[test]
-    fn static_lifetime_is_not_static_mut() {
-        let src = "fn f(x: &'static mut u32, s: &'static str) -> u32 { *x }\n\
-                   static LABELS: &[&str] = &[];\n";
-        assert!(scan_file("crates/des/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn checkpoint_unsafe_fires_only_in_control_plane_scope() {
-        let src = "struct Bad {\n\
-                       log: File,\n\
-                       started: Instant,\n\
-                       rng: SmallRng,\n\
-                       buf: *mut u8,\n\
-                   }\n";
-        let f = scan_file("crates/core/src/x.rs", src);
-        let got: Vec<(usize, &str)> = f.iter().map(|x| (x.line, x.rule)).collect();
-        assert_eq!(
-            got,
-            vec![
-                (2, "checkpoint-unsafe-state"),
-                (3, "checkpoint-unsafe-state"),
-                (4, "checkpoint-unsafe-state"),
-                (5, "checkpoint-unsafe-state"),
-            ],
-            "{f:#?}"
-        );
-        // Same source outside the control-plane roots is clean: the
-        // harness may hold handles and host timers freely.
-        assert!(scan_file("crates/bench/src/x.rs", src).is_empty());
-        assert!(scan_file("crates/core/tests/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn checkpoint_unsafe_raw_pointer_forms() {
-        assert!(has_raw_pointer("fn f(p: *const u8) {}"));
-        assert!(has_raw_pointer("let q: *mut Node = x;"));
-        // `const` as a keyword and multiplication are not raw pointers.
-        assert!(!has_raw_pointer("const LIMIT: usize = 4;"));
-        assert!(!has_raw_pointer("let a = b * muted;"));
-    }
-
-    #[test]
-    fn checkpoint_unsafe_allow_suppresses() {
-        let src = "struct Probe {\n\
-                       started: Instant, // hta-lint: allow(checkpoint-unsafe-state): \
-                   excluded from ControlPlaneState by construction; rm if it moves in\n\
-                   }\n";
-        assert!(scan_file("crates/workqueue/src/x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn json_escapes() {
-        let f = Finding {
-            path: "a\"b.rs".into(),
-            line: 3,
-            rule: "wall-clock",
-            message: "tab\there".into(),
-            hint: "h",
-        };
-        let j = f.to_json();
-        assert!(j.contains("a\\\"b.rs"));
-        assert!(j.contains("tab\\there"));
+    fn every_rule_id_is_unique_and_known() {
+        for r in RULES {
+            assert!(known_rule(r.id));
+            assert_eq!(RULES.iter().filter(|o| o.id == r.id).count(), 1);
+        }
     }
 }

@@ -1,0 +1,663 @@
+//! Per-file rules, evaluated on the token stream.
+//!
+//! Everything here sees *tokens*, never raw text: a hazard name inside
+//! a string literal, doc comment, or raw string cannot match, and
+//! identifier boundaries are exact. All hazard rules are silent inside
+//! `#[cfg(test)]` / `#[test]` regions — tests may hold wall clocks,
+//! hash maps and ad-hoc RNGs freely; the golden digest tests police
+//! determinism where it actually matters.
+
+use crate::lexer::{num_is_zero, TokKind};
+use crate::parser::{Parser, Structure};
+use crate::RawFinding;
+
+/// Hash-ordered container type names.
+pub const HASH_TYPES: &[&str] = &["HashMap", "HashSet", "FxHashMap", "FxHashSet", "AHashMap"];
+
+/// `--fix` replacement for each hash container.
+pub const HASH_FIXES: &[(&str, &str)] = &[
+    ("HashMap", "BTreeMap"),
+    ("HashSet", "BTreeSet"),
+    ("FxHashMap", "BTreeMap"),
+    ("FxHashSet", "BTreeSet"),
+    ("AHashMap", "BTreeMap"),
+];
+
+/// Ambient (unseeded) randomness identifiers.
+const AMBIENT_RNG: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+];
+
+/// Rayon parallel-iterator entry methods.
+const PAR_ITER: &[&str] = &["par_iter", "into_par_iter", "par_bridge", "par_chunks"];
+
+/// Order-sensitive terminal reductions.
+const REDUCERS: &[&str] = &["reduce", "fold", "sum", "product"];
+
+/// Shared-mutable handle types a snapshot/fork deep clone aliases.
+const FORK_UNSAFE_TYPES: &[&str] = &["Rc", "RefCell"];
+
+/// Source roots holding control-plane state the crash-recovery
+/// checkpoint must capture.
+const CHECKPOINT_SCOPE: &[&str] = &["crates/core/src/", "crates/workqueue/src/"];
+
+/// Identifier tokens naming non-snapshottable state, with the hazard
+/// class reported for each.
+const CHECKPOINT_UNSAFE_TYPES: &[(&str, &str)] = &[
+    ("File", "open OS handle"),
+    ("TcpStream", "open OS handle"),
+    ("TcpListener", "open OS handle"),
+    ("UdpSocket", "open OS handle"),
+    ("UnixStream", "open OS handle"),
+    ("JoinHandle", "open OS handle"),
+    ("Child", "open OS handle"),
+    ("Instant", "stored host time"),
+    ("SystemTime", "stored host time"),
+    ("StdRng", "unsalted RNG"),
+    ("SmallRng", "unsalted RNG"),
+];
+
+/// Files whose *purpose* is exact replay: literal salt `0` (the
+/// replay/recovery salt) is legal here and nowhere else.
+const REPLAY_SCOPE: &[&str] = &[
+    "crates/des/src/wal.rs",
+    "crates/des/src/snapshot.rs",
+    "crates/core/src/recovery.rs",
+    "crates/core/src/whatif.rs",
+];
+
+/// Crates whose handlers must route effects through `EffectSink`.
+const EFFECT_SCOPE: &[&str] = &[
+    "crates/des/src/",
+    "crates/core/src/",
+    "crates/workqueue/src/",
+];
+
+/// True when `path` is library/binary source (not integration tests).
+fn in_src(path: &str) -> bool {
+    path.starts_with("src/") || path.contains("/src/")
+}
+
+fn in_checkpoint_scope(path: &str) -> bool {
+    CHECKPOINT_SCOPE.iter().any(|p| path.starts_with(p))
+}
+
+fn in_replay_scope(path: &str) -> bool {
+    REPLAY_SCOPE.contains(&path)
+}
+
+fn in_effect_scope(path: &str) -> bool {
+    EFFECT_SCOPE.iter().any(|p| path.starts_with(p))
+}
+
+/// Files exempt from a rule by construction.
+fn exempt(path: &str, rule_id: &str) -> bool {
+    // The seeded-RNG module is where randomness is *implemented*.
+    rule_id == "ambient-rng" && path.ends_with("crates/des/src/rng.rs")
+}
+
+/// Evaluate every per-file rule. `p` and `st` come from one lex+parse
+/// of the file at `path`.
+pub fn per_file_rules(path: &str, p: &Parser<'_>, st: &Structure) -> Vec<RawFinding> {
+    let mut out = Findings::default();
+    token_rules(path, p, st, &mut out);
+    chain_rules(p, st, &mut out);
+    salt_flow(path, p, st, &mut out);
+    effect_purity(path, p, st, &mut out);
+    out.list
+}
+
+#[derive(Default)]
+struct Findings {
+    list: Vec<RawFinding>,
+}
+
+impl Findings {
+    /// Push a finding, keeping at most one per (line, rule).
+    fn push(&mut self, line: usize, rule: &'static str, message: String) {
+        if self.list.iter().any(|f| f.line == line && f.rule == rule) {
+            return;
+        }
+        self.list.push(RawFinding {
+            line,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Straight identifier/sequence rules.
+fn token_rules(path: &str, p: &Parser<'_>, st: &Structure, out: &mut Findings) {
+    for i in 0..p.sig.len() {
+        let Some(t) = p.tok(i) else { break };
+        if st.in_test(t.start) {
+            continue;
+        }
+        let line = t.line;
+        if t.kind != TokKind::Ident {
+            // Raw pointers: `*mut T` / `*const T` in checkpoint scope.
+            // A deref like `*x` never precedes `mut`/`const` directly.
+            if in_checkpoint_scope(path)
+                && p.punct(i, '*')
+                && (p.ident(i + 1, "mut") || p.ident(i + 1, "const"))
+            {
+                out.push(
+                    line,
+                    "checkpoint-unsafe-state",
+                    "raw pointer — a checkpoint restore leaves it dangling or aliased".into(),
+                );
+            }
+            continue;
+        }
+        let word = p.text(i);
+        if HASH_TYPES.contains(&word) {
+            out.push(
+                line,
+                "hash-container",
+                format!("`{word}` — iteration order follows hash state, not program order"),
+            );
+        }
+        if (word == "Instant" || word == "SystemTime") && p.op(i + 1, "::") {
+            let method = p.text(i + 3);
+            if method == "now" || (word == "SystemTime" && method == "UNIX_EPOCH") {
+                out.push(
+                    line,
+                    "wall-clock",
+                    format!("`{word}::{method}` — host time leaks into simulated behaviour"),
+                );
+            }
+        }
+        if !exempt(path, "ambient-rng") {
+            if AMBIENT_RNG.contains(&word) {
+                out.push(
+                    line,
+                    "ambient-rng",
+                    format!("`{word}` — unseeded randomness outside des::rng"),
+                );
+            }
+            if word == "rand" && p.op(i + 1, "::") && p.ident(i + 3, "random") {
+                out.push(
+                    line,
+                    "ambient-rng",
+                    "`rand::random` — unseeded randomness outside des::rng".into(),
+                );
+            }
+        }
+        if FORK_UNSAFE_TYPES.contains(&word) {
+            out.push(
+                line,
+                "fork-unsafe-state",
+                format!("`{word}` — shared mutable state that snapshot/fork deep clones alias"),
+            );
+        }
+        if word == "static" && p.ident(i + 1, "mut") {
+            out.push(
+                line,
+                "fork-unsafe-state",
+                "`static mut` — global mutable state invisible to any clone".into(),
+            );
+        }
+        if in_checkpoint_scope(path) {
+            if let Some((ty, class)) = CHECKPOINT_UNSAFE_TYPES.iter().find(|(ty, _)| *ty == word) {
+                out.push(
+                    line,
+                    "checkpoint-unsafe-state",
+                    format!("`{ty}` ({class}) — state a crash-recovery checkpoint cannot capture"),
+                );
+            }
+        }
+    }
+}
+
+/// Walk a method chain from the significant index of its opening paren;
+/// return the (line, reducer name) of the first depth-0 order-sensitive
+/// reduction before the expression ends.
+fn chain_reducer(p: &Parser<'_>, open_paren: usize) -> Option<(usize, String)> {
+    let mut depth: i64 = 0;
+    let mut k = open_paren;
+    let mut budget = 4000usize;
+    while p.tok(k).is_some() {
+        budget = budget.checked_sub(1)?;
+        if p.punct(k, '(') || p.punct(k, '[') || p.punct(k, '{') {
+            depth += 1;
+        } else if p.punct(k, ')') || p.punct(k, ']') || p.punct(k, '}') {
+            depth -= 1;
+            if depth < 0 {
+                return None; // enclosing expression ended
+            }
+        } else if depth == 0 {
+            if p.punct(k, ';') || p.punct(k, ',') || p.op(k, "=>") {
+                return None;
+            }
+            if p.punct(k, '.') && !p.op(k, "..") {
+                let m = p.text(k + 1);
+                if REDUCERS.contains(&m) && p.punct(k + 2, '(') {
+                    return Some((p.tok(k + 1)?.line, m.to_string()));
+                }
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// `unordered-reduce` and `float-accumulation`: chains that end in an
+/// order-sensitive reduction.
+fn chain_rules(p: &Parser<'_>, st: &Structure, out: &mut Findings) {
+    // Names bound to hash containers: struct fields + let bindings whose
+    // statement mentions a hash type (annotation or RHS constructor).
+    let mut hash_names: Vec<String> = Vec::new();
+    for s in &st.structs {
+        for (fname, fty, _) in &s.fields {
+            if HASH_TYPES.iter().any(|h| fty.contains(h)) {
+                hash_names.push(fname.clone());
+            }
+        }
+    }
+    let n = p.sig.len();
+    let mut i = 0;
+    while i < n {
+        if p.ident(i, "let") {
+            let name_idx = if p.ident(i + 1, "mut") { i + 2 } else { i + 1 };
+            let name = p.text(name_idx).to_string();
+            let mut k = name_idx + 1;
+            let mut saw_hash = false;
+            while let Some(t) = p.tok(k) {
+                if p.punct(k, ';') {
+                    break;
+                }
+                if p.punct(k, '{') {
+                    k = p.skip_group(k);
+                    continue;
+                }
+                if t.kind == TokKind::Ident && HASH_TYPES.contains(&p.text(k)) {
+                    saw_hash = true;
+                }
+                k += 1;
+            }
+            if saw_hash && !name.is_empty() {
+                hash_names.push(name);
+            }
+        }
+        i += 1;
+    }
+    hash_names.sort();
+    hash_names.dedup();
+
+    for i in 0..n {
+        let Some(t) = p.tok(i) else { break };
+        if t.kind != TokKind::Ident || st.in_test(t.start) {
+            continue;
+        }
+        let word = p.text(i);
+        // `.par_iter()`-style chains.
+        if PAR_ITER.contains(&word) && i > 0 && p.punct(i - 1, '.') && p.punct(i + 1, '(') {
+            if let Some((rline, reducer)) = chain_reducer(p, i + 1) {
+                out.push(
+                    t.line,
+                    "unordered-reduce",
+                    format!(
+                        "`.{word}(...)` feeds order-sensitive `.{reducer}(` on line {rline} — \
+                         combination order is scheduling-dependent"
+                    ),
+                );
+            }
+        }
+        // `weights.values().sum()`-style chains off a hash binding.
+        if hash_names.iter().any(|h| h == word)
+            && p.punct(i + 1, '.')
+            && matches!(
+                p.text(i + 2),
+                "values" | "keys" | "iter" | "into_iter" | "drain"
+            )
+            && p.punct(i + 3, '(')
+        {
+            if let Some((rline, reducer)) = chain_reducer(p, i + 3) {
+                out.push(
+                    t.line,
+                    "float-accumulation",
+                    format!(
+                        "accumulation over `{word}.{}()` reduced by `.{reducer}(` on line \
+                         {rline} — FP addition over hash order is not associative",
+                        p.text(i + 2)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Index (into `st.fns`) of the function whose body (a significant-token
+/// index range) encloses sig index `i`; `usize::MAX` when none does.
+fn enclosing_fn(st: &Structure, i: usize) -> usize {
+    st.fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.body.is_some_and(|(a, b)| a <= i && i <= b))
+        .min_by_key(|(_, f)| {
+            let (a, b) = f.body.expect("filtered on body");
+            b - a // innermost wins
+        })
+        .map_or(usize::MAX, |(idx, _)| idx)
+}
+
+/// `salt-flow`: every fork/branch salt must be threaded, not invented.
+///
+/// * a hard-coded non-zero literal salt can collide with another branch
+///   (distinctness cannot be audited at the call site);
+/// * literal salt `0` is the exact-replay salt, legal only in the
+///   replay/recovery substrate ([`REPLAY_SCOPE`]);
+/// * two `branch_salt(x, N)` calls with the same literal stream index
+///   inside one function silently correlate two RNG streams.
+fn salt_flow(path: &str, p: &Parser<'_>, st: &Structure, out: &mut Findings) {
+    if !in_src(path) {
+        return;
+    }
+    // Per-function literal stream indices seen in branch_salt calls.
+    let mut fn_streams: Vec<(usize, Vec<String>)> = Vec::new();
+    for i in 0..p.sig.len() {
+        let Some(t) = p.tok(i) else { break };
+        if t.kind != TokKind::Ident || st.in_test(t.start) {
+            continue;
+        }
+        // Skip definitions: `fn fork(...)`.
+        if i > 0 && p.ident(i - 1, "fn") {
+            continue;
+        }
+        let word = p.text(i);
+        let (salt_arg, is_branch_salt) = match word {
+            "fork" | "fork_branch" | "partition"
+                if i > 0 && p.punct(i - 1, '.') && p.punct(i + 1, '(') =>
+            {
+                (0usize, false)
+            }
+            // UFCS `SnapshotState::fork(state, salt)`.
+            "fork" if i >= 3 && p.op(i - 3, "::") && p.punct(i + 1, '(') => (1, false),
+            "branch_salt" if p.punct(i + 1, '(') && !(i > 0 && p.punct(i - 1, '.')) => (0, true),
+            _ => continue,
+        };
+        let args = call_args(p, i + 1);
+        let Some(&(a, b)) = args.get(salt_arg) else {
+            continue; // e.g. `SimRng::fork()` with no salt argument
+        };
+        // A salt argument that is a single numeric literal.
+        if b == a + 1 && p.tok(a).is_some_and(|t| t.kind == TokKind::Num) {
+            let lit = p.text(a);
+            if num_is_zero(lit) {
+                if !in_replay_scope(path) {
+                    out.push(
+                        t.line,
+                        "salt-flow",
+                        format!(
+                            "`{word}(0)` — salt 0 is the exact-replay salt, reserved for the \
+                             replay/recovery substrate (des wal+snapshot, core recovery+whatif)"
+                        ),
+                    );
+                }
+            } else {
+                out.push(
+                    t.line,
+                    "salt-flow",
+                    format!(
+                        "`{word}({lit})` — hard-coded salt; derive it from the caller's salt \
+                         via `branch_salt` so distinctness is auditable at the call site"
+                    ),
+                );
+            }
+        }
+        // Duplicate literal stream indices within one function.
+        if is_branch_salt {
+            if let Some(&(s2, e2)) = args.get(1) {
+                if e2 == s2 + 1 && p.tok(s2).is_some_and(|t| t.kind == TokKind::Num) {
+                    let stream = p.text(s2).to_string();
+                    let fid = enclosing_fn(st, i);
+                    let entry = match fn_streams.iter_mut().find(|(f, _)| *f == fid) {
+                        Some(e) => e,
+                        None => {
+                            fn_streams.push((fid, Vec::new()));
+                            fn_streams.last_mut().expect("just pushed")
+                        }
+                    };
+                    if entry.1.contains(&stream) {
+                        out.push(
+                            t.line,
+                            "salt-flow",
+                            format!(
+                                "`branch_salt(_, {stream})` repeats a literal stream index \
+                                 within one function — two RNG streams would correlate"
+                            ),
+                        );
+                    } else {
+                        entry.1.push(stream);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `effect-purity`: a handler that receives an `&mut EffectSink` owns
+/// exactly one effect channel. Scheduling directly into an event queue
+/// (or taking one as a parameter, or *also* returning a `Vec<(Duration,
+/// …)>` effect list) bypasses the sink — and with it the driver's
+/// incarnation tagging that lets crash recovery drop stale in-flight
+/// messages.
+fn effect_purity(path: &str, p: &Parser<'_>, st: &Structure, out: &mut Findings) {
+    if !in_effect_scope(path) {
+        return;
+    }
+    for f in st.fns.iter().filter(|f| !f.in_test) {
+        if !f.params.iter().any(|pa| pa.ty.contains("EffectSink")) {
+            continue;
+        }
+        if let Some(q) = f.params.iter().find(|pa| pa.ty.contains("EventQueue")) {
+            out.push(
+                f.line,
+                "effect-purity",
+                format!(
+                    "`fn {}` takes both `&mut EffectSink` and an `EventQueue` (`{}`) — \
+                     handlers emit through the sink only; the caller owns the queue",
+                    f.name, q.name
+                ),
+            );
+        }
+        if f.ret.contains("Vec < ( Duration") {
+            out.push(
+                f.line,
+                "effect-purity",
+                format!(
+                    "`fn {}` takes `&mut EffectSink` and also returns `Vec<(Duration, _)>` — \
+                     two effect channels; push everything into the sink",
+                    f.name
+                ),
+            );
+        }
+        if let Some((a, b)) = f.body {
+            for k in a..=b {
+                if p.punct(k, '.')
+                    && !p.op(k, "..")
+                    && matches!(p.text(k + 1), "schedule_in" | "schedule_at" | "schedule")
+                    && p.punct(k + 2, '(')
+                {
+                    let line = p.tok(k + 1).map_or(f.line, |t| t.line);
+                    out.push(
+                        line,
+                        "effect-purity",
+                        format!(
+                            "`fn {}` holds an `&mut EffectSink` but schedules directly \
+                             (`.{}(`) — route the effect through the sink",
+                            f.name,
+                            p.text(k + 1)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Top-level argument spans of a call whose opening paren is at
+/// significant index `open`; each span is a half-open significant-index
+/// range.
+fn call_args(p: &Parser<'_>, open: usize) -> Vec<(usize, usize)> {
+    let mut args = Vec::new();
+    if !p.punct(open, '(') {
+        return args;
+    }
+    let close = p.skip_group(open).saturating_sub(1);
+    let mut start = open + 1;
+    let mut k = open + 1;
+    while k < close {
+        if p.punct(k, '(') || p.punct(k, '[') || p.punct(k, '{') {
+            k = p.skip_group(k);
+            continue;
+        }
+        if p.punct(k, ',') {
+            args.push((start, k));
+            start = k + 1;
+        }
+        k += 1;
+    }
+    if close > start {
+        args.push((start, close));
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn findings(path: &str, src: &str) -> Vec<(usize, &'static str)> {
+        let toks = lex(src);
+        let (p, st) = parse_file(src, &toks);
+        per_file_rules(path, &p, &st)
+            .into_iter()
+            .map(|f| (f.line, f.rule))
+            .collect()
+    }
+
+    #[test]
+    fn hash_in_string_or_comment_is_silent() {
+        let src = "// HashMap in a comment\nlet s = \"HashMap\";\nlet t = r#\"HashSet\"#;\n";
+        assert!(findings("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_ident_fires_once_per_line() {
+        let src = "use std::collections::HashMap;\nlet m: HashMap<u32, HashMap<u32, u8>> = x();\n";
+        let f = findings("crates/x/src/a.rs", src);
+        assert_eq!(f, vec![(1, "hash-container"), (2, "hash-container")]);
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        assert!(findings("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_rng_fire_outside_tests() {
+        let src =
+            "fn f() { let t = Instant::now(); let r = thread_rng(); let x: u8 = rand::random(); }\n";
+        let f = findings("crates/x/src/a.rs", src);
+        assert!(f.contains(&(1, "wall-clock")));
+        assert_eq!(
+            f.iter().filter(|(_, r)| *r == "ambient-rng").count(),
+            1,
+            "one finding per line+rule"
+        );
+    }
+
+    #[test]
+    fn par_iter_reduce_chain_detected() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.par_iter().map(|x| x * 2.0).sum() }\n";
+        let f = findings("crates/x/src/a.rs", src);
+        assert_eq!(f, vec![(1, "unordered-reduce")]);
+        // Collected into an ordered Vec first: fine.
+        let ok = "fn f(xs: &[f64]) -> Vec<f64> { xs.par_iter().map(|x| x * 2.0).collect() }\n";
+        assert!(findings("crates/x/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn float_accumulation_over_hash_binding() {
+        let src =
+            "fn f() -> f64 {\n    let weights: HashMap<u32, f64> = make();\n    weights.values().sum()\n}\n";
+        let f = findings("crates/x/src/a.rs", src);
+        assert!(f.contains(&(2, "hash-container")));
+        assert!(f.contains(&(3, "float-accumulation")));
+    }
+
+    #[test]
+    fn checkpoint_scope_types_and_raw_ptrs() {
+        let src = "struct S { f: File, t: Instant }\nfn g(p: *mut u8) {}\n";
+        let f = findings("crates/core/src/a.rs", src);
+        assert!(f.contains(&(1, "checkpoint-unsafe-state")));
+        assert!(f.contains(&(2, "checkpoint-unsafe-state")));
+        // Out of checkpoint scope the same source stays silent for it.
+        let g = findings("crates/des/src/a.rs", src);
+        assert!(!g.iter().any(|(_, r)| *r == "checkpoint-unsafe-state"));
+    }
+
+    #[test]
+    fn salt_flow_literals() {
+        // Hard-coded non-zero salt.
+        let f = findings("crates/core/src/a.rs", "fn f(s: &mut S) { s.fork(42); }\n");
+        assert_eq!(f, vec![(1, "salt-flow")]);
+        // Salt 0 outside replay scope.
+        let f = findings(
+            "crates/core/src/a.rs",
+            "fn f(s: &mut S) { let c = s.fork(0); }\n",
+        );
+        assert_eq!(f, vec![(1, "salt-flow")]);
+        // Salt 0 inside replay scope.
+        let f = findings(
+            "crates/core/src/recovery.rs",
+            "fn f(s: &mut S) { let c = s.fork(0); }\n",
+        );
+        assert!(f.is_empty());
+        // Threaded salt: clean.
+        let f = findings(
+            "crates/core/src/a.rs",
+            "fn f(s: &mut S, salt: u64) { s.fork(salt); }\n",
+        );
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn salt_flow_duplicate_streams() {
+        let src = "fn f(salt: u64) -> (u64, u64) {\n    let a = branch_salt(salt, 1);\n    let b = branch_salt(salt, 1);\n    (a, b)\n}\n";
+        let f = findings("crates/core/src/a.rs", src);
+        assert_eq!(f, vec![(3, "salt-flow")]);
+        let ok = "fn f(salt: u64) -> (u64, u64) { (branch_salt(salt, 1), branch_salt(salt, 2)) }\nfn g(salt: u64) -> u64 { branch_salt(salt, 1) }\n";
+        assert!(findings("crates/core/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn effect_purity_dual_channel() {
+        let src = "impl M {\n    fn handle(&mut self, fx: &mut EffectSink<E>, q: &mut EventQueue<E>) {}\n    fn emit(&mut self, fx: &mut EffectSink<E>) -> Vec<(Duration, E)> { vec![] }\n    fn ok(&mut self, fx: &mut EffectSink<E>) { fx.push(d, e); }\n}\n";
+        let f = findings("crates/core/src/a.rs", src);
+        assert_eq!(f, vec![(2, "effect-purity"), (3, "effect-purity")]);
+    }
+
+    #[test]
+    fn effect_purity_direct_schedule_in_body() {
+        let src =
+            "fn h(fx: &mut EffectSink<E>, w: &mut World) {\n    w.queue.schedule_in(d, e);\n}\n";
+        let f = findings("crates/des/src/a.rs", src);
+        assert_eq!(f, vec![(2, "effect-purity")]);
+    }
+
+    #[test]
+    fn rng_module_exempt_from_ambient_rng() {
+        let src = "fn seed() { let r = getrandom(); }\n";
+        assert!(findings("crates/des/src/rng.rs", src).is_empty());
+        assert!(!findings("crates/des/src/other.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! SARIF 2.1.0 output.
+//!
+//! One run, one driver (`hta-lint`), every rule from [`crate::RULES`]
+//! in the tool metadata (indexable by `ruleIndex`), one result per
+//! finding with a `physicalLocation` region. The shape follows the
+//! SARIF 2.1.0 schema closely enough for GitHub code-scanning upload
+//! (`$schema`, `version`, `runs[].tool.driver`, `runs[].results`).
+//! Hand-rolled JSON — the linter has no dependencies.
+
+use crate::{json_str, Finding, RULES};
+
+/// Render findings as a SARIF 2.1.0 log.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"version\": \"2.1.0\",\n",
+    );
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"hta-lint\",\n");
+    out.push_str(&format!(
+        "          \"version\": {},\n",
+        json_str(env!("CARGO_PKG_VERSION"))
+    ));
+    out.push_str("          \"informationUri\": \"https://example.invalid/hta-lint\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!("              \"id\": {},\n", json_str(r.id)));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": {} }},\n",
+            json_str(r.what)
+        ));
+        out.push_str(&format!(
+            "              \"help\": {{ \"text\": {} }},\n",
+            json_str(r.hint)
+        ));
+        out.push_str("              \"defaultConfiguration\": { \"level\": \"error\" }\n");
+        out.push_str("            }");
+        if i + 1 < RULES.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let rule_index = RULES
+            .iter()
+            .position(|r| r.id == f.rule)
+            .expect("finding rule is in RULES");
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": {},\n", json_str(f.rule)));
+        out.push_str(&format!("          \"ruleIndex\": {rule_index},\n"));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            json_str(&f.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {} }},\n",
+            json_str(&f.path)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            f.line
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str("        }");
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            path: "crates/core/src/driver.rs".into(),
+            line: 42,
+            rule: "hash-container",
+            message: "a \"quoted\" message".into(),
+            hint: "use BTreeMap",
+        }
+    }
+
+    #[test]
+    fn sarif_has_required_shape() {
+        let s = to_sarif(&[finding()]);
+        for needle in [
+            "\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\"",
+            "\"version\": \"2.1.0\"",
+            "\"name\": \"hta-lint\"",
+            "\"ruleId\": \"hash-container\"",
+            "\"startLine\": 42",
+            "\"uri\": \"crates/core/src/driver.rs\"",
+        ] {
+            assert!(s.contains(needle), "missing {needle}\n{s}");
+        }
+        // Every known rule appears in the tool metadata.
+        for r in RULES {
+            assert!(s.contains(&format!("\"id\": \"{}\"", r.id)));
+        }
+    }
+
+    #[test]
+    fn sarif_escapes_messages() {
+        let s = to_sarif(&[finding()]);
+        assert!(s.contains("a \\\"quoted\\\" message"));
+    }
+
+    #[test]
+    fn empty_findings_still_valid_shell() {
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\": [\n      ]"));
+    }
+}

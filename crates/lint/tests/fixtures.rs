@@ -1,22 +1,36 @@
-//! Fixture-driven checks: every rule fires where expected, allows
-//! suppress, and the binary's `--deny` / `--json` modes behave.
+//! Fixture-driven checks for the syntax-aware engine: every rule fires
+//! where expected (and nowhere else), allows suppress, cross-file
+//! contracts join correctly, and the binary's CLI surface (`--deny`,
+//! `--json`, `--sarif`, `--fix`, baseline, cache) behaves.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use hta_lint::{findings_to_json, scan_file, Finding, RULES};
+use hta_lint::{analyze_file, findings_to_json, sarif, scan_file, Finding, RULES};
 
 const VIOLATIONS: &str = include_str!("../fixtures/violations.rs");
 const ALLOWED: &str = include_str!("../fixtures/allowed.rs");
 const BAD_ALLOW: &str = include_str!("../fixtures/bad_allow.rs");
 const CHECKPOINT: &str = include_str!("../fixtures/checkpoint_unsafe.rs");
+const STRINGS: &str = include_str!("../fixtures/strings_and_comments.rs");
+const SALT_FLOW: &str = include_str!("../fixtures/salt_flow.rs");
+const EFFECT_PURITY: &str = include_str!("../fixtures/effect_purity.rs");
+const WAL_DEFS: &str = include_str!("../fixtures/wal_defs.rs");
+const WAL_USES: &str = include_str!("../fixtures/wal_uses.rs");
+const SNAPSHOT: &str = include_str!("../fixtures/snapshot_coverage.rs");
+const STALE_ALLOW: &str = include_str!("../fixtures/stale_allow.rs");
 
 fn pairs(findings: &[Finding]) -> Vec<(usize, &'static str)> {
     findings.iter().map(|f| (f.line, f.rule)).collect()
 }
 
+// ---------------------------------------------------------------------
+// Per-file rules on fixtures
+// ---------------------------------------------------------------------
+
 #[test]
-fn every_rule_fires_on_the_violations_fixture() {
+fn every_hazard_fires_on_the_violations_fixture() {
     let f = scan_file("fixtures/violations.rs", VIOLATIONS);
     assert_eq!(
         pairs(&f),
@@ -35,15 +49,136 @@ fn every_rule_fires_on_the_violations_fixture() {
 }
 
 #[test]
-fn violations_cover_every_scanning_rule() {
+fn strings_comments_and_test_regions_are_invisible() {
+    // The regex-era engine false-positived on all of these; the token
+    // engine must scan the file clean even under a hazard-scoped path.
+    let f = scan_file("crates/core/src/fixture.rs", STRINGS);
+    assert!(f.is_empty(), "expected clean, got: {f:#?}");
+}
+
+#[test]
+fn salt_flow_fixture_positive_negative_and_allow() {
+    let f = scan_file("crates/core/src/fixture.rs", SALT_FLOW);
+    assert_eq!(
+        pairs(&f),
+        vec![(10, "salt-flow"), (17, "salt-flow"), (25, "salt-flow")],
+        "full findings: {f:#?}"
+    );
+    // The same file inside the replay scope legalizes the salt-0 call
+    // (and only that one).
+    let r = scan_file("crates/core/src/recovery.rs", SALT_FLOW);
+    assert!(
+        !r.iter().any(|x| x.line == 17),
+        "salt 0 is legal in replay scope: {r:#?}"
+    );
+    // Outside `src/` the rule is silent entirely, so the allow on the
+    // pinned salt goes stale.
+    let t = scan_file("crates/core/tests/fixture.rs", SALT_FLOW);
+    assert_eq!(pairs(&t), vec![(39, "stale-allow")], "{t:#?}");
+}
+
+#[test]
+fn effect_purity_fixture_positive_negative_and_allow() {
+    let f = scan_file("crates/des/src/fixture.rs", EFFECT_PURITY);
+    assert_eq!(
+        pairs(&f),
+        vec![
+            (10, "effect-purity"),
+            (15, "effect-purity"),
+            (22, "effect-purity"),
+        ],
+        "full findings: {f:#?}"
+    );
+    // Outside the des/core/workqueue source trees the rule is scoped
+    // off; its allow on `shim` is then stale.
+    let g = scan_file("crates/bench/src/fixture.rs", EFFECT_PURITY);
+    assert_eq!(pairs(&g), vec![(40, "stale-allow")], "{g:#?}");
+}
+
+#[test]
+fn wal_coverage_joins_across_files() {
+    let defs_path = "crates/des/src/wal_defs.rs".to_string();
+    let uses_path = "crates/des/src/wal_uses.rs".to_string();
+    let files = vec![
+        (defs_path.clone(), analyze_file(&defs_path, WAL_DEFS)),
+        (uses_path.clone(), analyze_file(&uses_path, WAL_USES)),
+    ];
+    let f = hta_lint::finalize(&files);
+    let got: Vec<(&str, usize, &str)> = f
+        .iter()
+        .map(|x| (x.path.as_str(), x.line, x.rule))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("crates/des/src/wal_defs.rs", 12, "wal-coverage"),
+            ("crates/des/src/wal_defs.rs", 13, "wal-coverage"),
+            ("crates/des/src/wal_uses.rs", 26, "wal-coverage"),
+        ],
+        "full findings: {f:#?}"
+    );
+    assert!(
+        f[0].message.contains("never constructed"),
+        "{}",
+        f[0].message
+    );
+    assert!(f[1].message.contains("no replay arm"), "{}", f[1].message);
+    assert!(f[2].message.contains("wildcard"), "{}", f[2].message);
+}
+
+#[test]
+fn wal_coverage_needs_the_definition_in_scope() {
+    // Without the enum definition the contract cannot anchor: uses
+    // alone produce no wal findings (the defining crate is always in
+    // the real scan set).
+    let f = scan_file("crates/des/src/wal_uses.rs", WAL_USES);
+    assert!(f.is_empty(), "expected clean, got: {f:#?}");
+}
+
+#[test]
+fn snapshot_field_coverage_fixture() {
+    let f = scan_file("crates/cluster/src/fixture.rs", SNAPSHOT);
+    assert_eq!(
+        pairs(&f),
+        vec![
+            (19, "snapshot-field-coverage"),
+            (27, "snapshot-field-coverage"),
+            (34, "snapshot-field-coverage"),
+        ],
+        "full findings: {f:#?}"
+    );
+}
+
+#[test]
+fn stale_allow_fixture() {
+    let f = scan_file("crates/des/src/fixture.rs", STALE_ALLOW);
+    assert_eq!(
+        pairs(&f),
+        vec![(7, "stale-allow"), (20, "stale-allow")],
+        "full findings: {f:#?}"
+    );
+}
+
+#[test]
+fn every_rule_fires_on_some_fixture() {
     // Guard against adding a rule without extending the fixtures.
-    // `invalid-allow` is exercised by its own fixture; the path-scoped
-    // checkpoint rule by `checkpoint_unsafe.rs` under a scoped path.
-    let f = scan_file("fixtures/violations.rs", VIOLATIONS);
-    let cp = scan_file("crates/core/src/fixture.rs", CHECKPOINT);
-    for r in RULES.iter().filter(|r| r.id != "invalid-allow") {
+    let mut all: Vec<Finding> = Vec::new();
+    all.extend(scan_file("fixtures/violations.rs", VIOLATIONS));
+    all.extend(scan_file("crates/core/src/fixture.rs", CHECKPOINT));
+    all.extend(scan_file("fixtures/bad_allow.rs", BAD_ALLOW));
+    all.extend(scan_file("crates/core/src/fixture.rs", SALT_FLOW));
+    all.extend(scan_file("crates/des/src/fixture.rs", EFFECT_PURITY));
+    all.extend(scan_file("crates/cluster/src/fixture.rs", SNAPSHOT));
+    all.extend(scan_file("crates/des/src/fixture.rs", STALE_ALLOW));
+    let defs = analyze_file("crates/des/src/wal_defs.rs", WAL_DEFS);
+    let uses = analyze_file("crates/des/src/wal_uses.rs", WAL_USES);
+    all.extend(hta_lint::finalize(&[
+        ("crates/des/src/wal_defs.rs".to_string(), defs),
+        ("crates/des/src/wal_uses.rs".to_string(), uses),
+    ]));
+    for r in RULES {
         assert!(
-            f.iter().chain(cp.iter()).any(|x| x.rule == r.id),
+            all.iter().any(|x| x.rule == r.id),
             "rule `{}` never fires on any fixture",
             r.id
         );
@@ -65,10 +200,10 @@ fn checkpoint_rule_fires_under_control_plane_paths_only() {
         ],
         "full findings: {f:#?}"
     );
-    // The justified allow on the `Probe` struct suppressed line 22, and
-    // the same source outside the control-plane roots is clean — the
-    // harness may hold handles, host timers and ad-hoc RNGs freely.
-    assert!(scan_file("crates/bench/src/fixture.rs", CHECKPOINT).is_empty());
+    // Outside the control-plane roots the rule is scoped off; the
+    // `Probe` allow that suppressed line 22 is then itself stale.
+    let g = scan_file("crates/bench/src/fixture.rs", CHECKPOINT);
+    assert_eq!(pairs(&g), vec![(19, "stale-allow")], "{g:#?}");
 }
 
 #[test]
@@ -87,6 +222,10 @@ fn unjustified_allow_is_reported_and_inert() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Output formats
+// ---------------------------------------------------------------------
+
 #[test]
 fn findings_json_is_wellformed() {
     let f = scan_file("fixtures/violations.rs", VIOLATIONS);
@@ -98,33 +237,80 @@ fn findings_json_is_wellformed() {
     assert!(json.contains("\"line\":14"));
 }
 
-/// Build a throwaway workspace tree holding one fixture under `crates/`
-/// and run the real binary against it.
-fn run_binary_on(fixture: &str, extra_args: &[&str]) -> std::process::Output {
-    let dir = std::env::temp_dir().join(format!(
-        "hta-lint-test-{}-{}",
-        std::process::id(),
-        fixture.replace('.', "-")
-    ));
-    let src_dir = dir.join("crates/fake/src");
-    std::fs::create_dir_all(&src_dir).expect("create temp workspace");
-    let fixture_path = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("fixtures")
-        .join(fixture);
-    std::fs::copy(&fixture_path, src_dir.join("lib.rs")).expect("copy fixture");
-    let out = Command::new(env!("CARGO_BIN_EXE_hta-lint"))
-        .arg("--root")
-        .arg(&dir)
-        .args(extra_args)
-        .output()
-        .expect("run hta-lint binary");
-    std::fs::remove_dir_all(&dir).ok();
-    out
+#[test]
+fn sarif_output_has_the_required_shape() {
+    let f = scan_file("fixtures/violations.rs", VIOLATIONS);
+    let s = sarif::to_sarif(&f);
+    assert!(s.contains("json.schemastore.org/sarif-2.1.0.json"), "{s}");
+    assert!(s.contains("\"version\": \"2.1.0\""), "{s}");
+    assert!(s.contains("\"name\": \"hta-lint\""), "{s}");
+    // Every finding becomes a result with a physical location.
+    assert_eq!(s.matches("\"ruleId\"").count(), f.len());
+    assert_eq!(s.matches("\"startLine\"").count(), f.len());
+    // The full rule table rides along in the driver.
+    for r in RULES {
+        assert!(
+            s.contains(&format!("\"id\": \"{}\"", r.id)),
+            "missing {}",
+            r.id
+        );
+    }
+    // ruleIndex values must point into the driver rules array.
+    assert_eq!(s.matches("\"ruleIndex\"").count(), f.len());
+}
+
+// ---------------------------------------------------------------------
+// Binary CLI behaviour on throwaway workspaces
+// ---------------------------------------------------------------------
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Build a throwaway workspace tree holding fixtures at the given
+/// repo-relative paths.
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(files: &[(&str, &str)]) -> TempTree {
+        let root = std::env::temp_dir().join(format!(
+            "hta-lint-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        for (rel, contents) in files {
+            let dest = root.join(rel);
+            std::fs::create_dir_all(dest.parent().expect("joined path has a parent"))
+                .expect("create temp workspace");
+            std::fs::write(&dest, contents).expect("write fixture");
+        }
+        TempTree { root }
+    }
+
+    fn run(&self, args: &[&str]) -> std::process::Output {
+        Command::new(env!("CARGO_BIN_EXE_hta-lint"))
+            .arg("--root")
+            .arg(&self.root)
+            .args(args)
+            .output()
+            .expect("run hta-lint binary")
+    }
+
+    fn read(&self, rel: &str) -> String {
+        std::fs::read_to_string(self.root.join(rel)).expect("read back")
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.root).ok();
+    }
 }
 
 #[test]
 fn deny_exits_nonzero_on_findings() {
-    let out = run_binary_on("violations.rs", &["--deny"]);
+    let t = TempTree::new(&[("crates/fake/src/lib.rs", VIOLATIONS)]);
+    let out = t.run(&["--deny"]);
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(
@@ -136,19 +322,22 @@ fn deny_exits_nonzero_on_findings() {
 
 #[test]
 fn deny_exits_zero_on_clean_tree() {
-    let out = run_binary_on("allowed.rs", &["--deny"]);
+    let t = TempTree::new(&[("crates/fake/src/lib.rs", ALLOWED)]);
+    let out = t.run(&["--deny"]);
     assert_eq!(out.status.code(), Some(0), "{out:?}");
 }
 
 #[test]
 fn without_deny_findings_do_not_fail() {
-    let out = run_binary_on("violations.rs", &[]);
+    let t = TempTree::new(&[("crates/fake/src/lib.rs", VIOLATIONS)]);
+    let out = t.run(&[]);
     assert_eq!(out.status.code(), Some(0), "{out:?}");
 }
 
 #[test]
 fn json_mode_emits_an_array() {
-    let out = run_binary_on("violations.rs", &["--json"]);
+    let t = TempTree::new(&[("crates/fake/src/lib.rs", VIOLATIONS)]);
+    let out = t.run(&["--json"]);
     let stdout = String::from_utf8(out.stdout).unwrap();
     let trimmed = stdout.trim();
     assert!(
@@ -157,6 +346,135 @@ fn json_mode_emits_an_array() {
     );
     assert!(trimmed.contains("\"rule\":\"wall-clock\""), "{stdout}");
 }
+
+#[test]
+fn sarif_file_is_written() {
+    let t = TempTree::new(&[("crates/fake/src/lib.rs", VIOLATIONS)]);
+    let sarif_path = t.root.join("out.sarif");
+    let out = t.run(&["--sarif", sarif_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let s = std::fs::read_to_string(&sarif_path).expect("sarif written");
+    assert!(s.contains("\"version\": \"2.1.0\""), "{s}");
+    assert!(s.contains("\"uri\": \"crates/fake/src/lib.rs\""), "{s}");
+}
+
+#[test]
+fn baseline_gates_only_new_findings() {
+    let t = TempTree::new(&[("crates/fake/src/lib.rs", VIOLATIONS)]);
+    // Record the current findings as accepted debt…
+    let out = t.run(&["--write-baseline"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // …after which --deny is green…
+    let out = t.run(&["--deny"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    // …until a *new* finding appears; only it is reported.
+    let grown = format!("{VIOLATIONS}\nfn fresh() {{ let t = std::time::Instant::now(); }}\n");
+    std::fs::write(t.root.join("crates/fake/src/lib.rs"), &grown).unwrap();
+    let out = t.run(&["--deny"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("fn fresh") || stdout.contains("wall-clock"),
+        "{stdout}"
+    );
+    let lines = stdout
+        .lines()
+        .filter(|l| l.contains("[wall-clock]"))
+        .count();
+    assert_eq!(lines, 1, "baselined wall-clock stays suppressed:\n{stdout}");
+}
+
+#[test]
+fn fix_is_applied_and_idempotent() {
+    let t = TempTree::new(&[
+        ("crates/fake/src/lib.rs", VIOLATIONS),
+        ("crates/fake/src/stale.rs", STALE_ALLOW),
+    ]);
+    let out = t.run(&["--fix"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let fixed = t.read("crates/fake/src/lib.rs");
+    assert!(fixed.contains("use std::collections::BTreeMap;"), "{fixed}");
+    assert!(!fixed.contains("HashMap"), "{fixed}");
+    let stale = t.read("crates/fake/src/stale.rs");
+    assert!(!stale.contains("allow(hash-container)"), "{stale}");
+    assert!(!stale.contains("allow(ambient-rng)"), "{stale}");
+    assert!(
+        stale.contains("allow(wall-clock)"),
+        "used allow kept:\n{stale}"
+    );
+    // Second run: nothing left to fix, files byte-identical.
+    let out2 = t.run(&["--fix"]);
+    assert_eq!(out2.status.code(), Some(0), "{out2:?}");
+    let stderr = String::from_utf8(out2.stderr).unwrap();
+    assert!(
+        !stderr.contains("applied"),
+        "second --fix run edits:\n{stderr}"
+    );
+    assert_eq!(t.read("crates/fake/src/lib.rs"), fixed);
+    assert_eq!(t.read("crates/fake/src/stale.rs"), stale);
+}
+
+#[test]
+fn cache_serves_warm_runs() {
+    let t = TempTree::new(&[
+        ("crates/fake/src/lib.rs", VIOLATIONS),
+        ("crates/fake/src/other.rs", ALLOWED),
+    ]);
+    let cache = t.root.join("lint.cache");
+    let cold = t.run(&["--cache", cache.to_str().unwrap()]);
+    let cold_err = String::from_utf8(cold.stderr).unwrap();
+    assert!(!cold_err.contains("cache hit"), "{cold_err}");
+    assert!(cache.is_file(), "cache file persisted");
+    let warm = t.run(&["--cache", cache.to_str().unwrap()]);
+    let warm_err = String::from_utf8(warm.stderr).unwrap();
+    assert!(warm_err.contains("2 cache hit(s)"), "{warm_err}");
+    // Warm and cold runs report identical findings.
+    assert_eq!(cold.stdout, warm.stdout);
+    // Touching a file invalidates only its entry.
+    std::fs::write(
+        t.root.join("crates/fake/src/other.rs"),
+        format!("{ALLOWED}\n// trailing comment\n"),
+    )
+    .unwrap();
+    let third = t.run(&["--cache", cache.to_str().unwrap()]);
+    let third_err = String::from_utf8(third.stderr).unwrap();
+    assert!(third_err.contains("1 cache hit(s)"), "{third_err}");
+}
+
+#[test]
+fn include_fixtures_is_an_escape_hatch() {
+    let t = TempTree::new(&[
+        ("crates/fake/src/lib.rs", "fn clean() {}\n"),
+        ("crates/fake/fixtures/viol.rs", VIOLATIONS),
+    ]);
+    let out = t.run(&["--deny"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "fixtures skipped by default: {out:?}"
+    );
+    let out = t.run(&["--deny", "--include-fixtures"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "fixtures scanned on demand: {out:?}"
+    );
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let t = TempTree::new(&[]);
+    let out = t.run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for r in RULES {
+        assert!(stdout.contains(r.id), "missing {} in:\n{stdout}", r.id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The workspace itself
+// ---------------------------------------------------------------------
 
 #[test]
 fn repo_tree_is_lint_clean() {

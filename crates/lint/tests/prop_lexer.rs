@@ -1,0 +1,96 @@
+//! Property tests for the lint lexer: lexing must be *lossless* and
+//! *total*. Every rule in the engine matches on tokens, so a lexer
+//! that drops, overlaps, or mis-spans a byte silently changes what the
+//! linter can see. The properties below hold for arbitrary byte soup —
+//! including unterminated strings, stray quotes, half-open block
+//! comments, and multi-byte unicode — not just valid Rust.
+
+use hta_lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Characters chosen to maximize lexer-state trouble: quote and
+/// comment openers, raw-string hashes, escape backslashes, number
+/// prefixes/suffixes, and multi-byte unicode.
+const SOUP: &[char] = &[
+    '"', '\'', 'r', '#', 'b', 'c', '/', '*', '\\', '\n', '{', '}', '(', ')', '0', '1', 'x', 'e',
+    '_', 'a', 'A', '5', '.', ':', '=', '>', '<', ' ', '\t', 'α', '日', '🦀',
+];
+
+/// Fragments of plausible Rust, concatenated in arbitrary orders so
+/// literals and comments splice into each other at boundaries.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { ",
+    "}",
+    "let x = \"str with \\\" escape\";",
+    "let y = 'c';",
+    "let l: &'static str = r#\"raw \" inside\"#;",
+    "// line comment with HashMap\n",
+    "/* block /* nested? */ ",
+    "*/",
+    "b\"bytes\\n\"",
+    "0x1f_u64",
+    "1_000.5e-3",
+    "0b1010",
+    "ident_1",
+    "r#type",
+    "Instant::now()",
+    "m.insert(1, 2);",
+    "#[cfg(test)]\n",
+    "mod t { ",
+    "\"unterminated",
+    "r##\"still open",
+    "'\\u{1F980}'",
+    "..=",
+    "=> |x| x * 2.0",
+];
+
+fn soup(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..SOUP.len(), 0..max)
+        .prop_map(|ix| ix.into_iter().map(|i| SOUP[i]).collect())
+}
+
+fn rusty(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..FRAGMENTS.len(), 0..max)
+        .prop_map(|ix| ix.into_iter().map(|i| FRAGMENTS[i]).collect())
+}
+
+/// The lossless checks: tokens tile the input exactly (contiguous,
+/// non-empty, in order) and concatenating their texts reproduces the
+/// source byte for byte.
+fn assert_lossless(src: &str) -> Result<(), proptest::TestCaseError> {
+    let toks = lex(src);
+    let mut pos = 0usize;
+    let mut rebuilt = String::with_capacity(src.len());
+    for t in &toks {
+        prop_assert_eq!(t.start, pos, "gap or overlap at byte {} in {:?}", pos, src);
+        prop_assert!(t.end > t.start, "empty token at byte {} in {:?}", pos, src);
+        rebuilt.push_str(t.text(src));
+        pos = t.end;
+    }
+    prop_assert_eq!(pos, src.len(), "tokens stop short in {:?}", src);
+    prop_assert_eq!(&rebuilt, src);
+    // Line numbers are monotone and 1-based.
+    let mut line = 1usize;
+    for t in &toks {
+        prop_assert!(t.line >= line, "line numbers regress in {:?}", src);
+        line = t.line;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Arbitrary character soup lexes losslessly — the lexer is total.
+    #[test]
+    fn soup_lexes_losslessly(src in soup(64)) {
+        assert_lossless(&src)?;
+    }
+
+    /// Concatenated Rust-like fragments lex losslessly, including
+    /// literal/comment splices at fragment boundaries.
+    #[test]
+    fn rusty_fragments_lex_losslessly(src in rusty(24)) {
+        assert_lossless(&src)?;
+    }
+}
