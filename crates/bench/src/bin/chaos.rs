@@ -79,7 +79,7 @@ fn main() {
         .collect();
 
     println!(
-        "{:<8} {:<7} {:>10} {:>9} {:>8} {:>6} {:>6} {:>6} {:>12} {:>6} {:>8} {:>7} {:>9}",
+        "{:<8} {:<7} {:>10} {:>9} {:>8} {:>6} {:>6} {:>6} {:>12} {:>6} {:>8} {:>7} {:>7} {:>6} {:>6} {:>7} {:>9}",
         "policy",
         "chaos",
         "runtime_s",
@@ -92,6 +92,10 @@ fn main() {
         "crash",
         "requeue",
         "down_s",
+        "dropped",
+        "duped",
+        "lease",
+        "part_s",
         "complete"
     );
     for (p, policy) in POLICIES.iter().enumerate() {
@@ -115,7 +119,7 @@ fn main() {
                 format!("-{}", r.jobs_failed + r.jobs_abandoned)
             };
             println!(
-                "{:<8} {:<7} {:>10.0} {:>8.2}x {:>8} {:>6} {:>6} {:>6} {:>12.0} {:>6} {:>8} {:>7.0} {:>9}",
+                "{:<8} {:<7} {:>10.0} {:>8.2}x {:>8} {:>6} {:>6} {:>6} {:>12.0} {:>6} {:>8} {:>7.0} {:>7} {:>6} {:>6} {:>7.0} {:>9}",
                 policy,
                 level,
                 r.summary.runtime_s,
@@ -132,6 +136,10 @@ fn main() {
                 f.master_crashes,
                 f.recovery_requeued,
                 f.outage_s,
+                f.msgs_dropped,
+                f.msgs_duplicated,
+                f.leases_expired,
+                f.partition_s,
                 complete,
             );
         }
@@ -139,7 +147,9 @@ fn main() {
     println!(
         "\ncolumns: inflate = runtime vs the same policy fault-free; trans/oom = attempt kills by kind;\n\
          pull = image-pull retries; crash/requeue/down_s = control-plane crashes survived, tasks\n\
-         re-queued by recovery reconciliation, total outage; complete = jobs finished (\"all\") or\n\
-         failed+abandoned count."
+         re-queued by recovery reconciliation, total outage; dropped/duped = control messages lost\n\
+         (loss + partitions) and duplicated in flight; lease = worker leases expired (presumed dead);\n\
+         part_s = scheduled partition seconds; complete = jobs finished (\"all\") or failed+abandoned\n\
+         count."
     );
 }

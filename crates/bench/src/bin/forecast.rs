@@ -152,6 +152,10 @@ fn main() {
         for (level, lname) in LEVELS.iter().enumerate() {
             let mut rows: Vec<(&str, &RunResult)> = Vec::new();
             let mut crashes = 0;
+            let mut dropped = 0;
+            let mut duped = 0;
+            let mut leases = 0;
+            let mut part_s = 0.0;
             for (p, (pname, _)) in POLICIES.iter().enumerate() {
                 if let Some((_, r)) = runs
                     .iter()
@@ -159,6 +163,10 @@ fn main() {
                 {
                     assert!(!r.timed_out, "{pname} on {wname} hit the sim cut-off");
                     crashes += r.summary.faults.master_crashes;
+                    dropped += r.summary.faults.msgs_dropped;
+                    duped += r.summary.faults.msgs_duplicated;
+                    leases += r.summary.faults.leases_expired;
+                    part_s += r.summary.faults.partition_s;
                     rows.push((pname, r));
                 }
             }
@@ -168,6 +176,12 @@ fn main() {
                 println!(
                     "  ({crashes} control-plane crash(es) survived across the row — \
                      costs include checkpoint + WAL-replay recovery)\n"
+                );
+            }
+            if dropped + duped + leases > 0 || part_s > 0.0 {
+                println!(
+                    "  (control channel across the row: {dropped} messages dropped, \
+                     {duped} duplicated, {leases} leases expired, {part_s:.0} s partitioned)\n"
                 );
             }
         }

@@ -16,6 +16,7 @@ use hta_workloads::{
     blast_multistage, blast_single_stage, iobound, BlastParams, IoBoundParams, MultistageParams,
 };
 use hta_workqueue::master::MasterConfig;
+use hta_workqueue::{NetworkFaults, Partition};
 
 /// Which autoscaler drives a run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -378,6 +379,36 @@ pub fn fig10_run_crash_recovery(
         crash_times: vec![Duration::from_secs(900)],
         outage: Duration::from_secs(60),
         checkpoint_interval: Duration::from_secs(300),
+    };
+    let policy = make_policy(kind, 3, cfg.max_workers);
+    let workload = fig10_workload(!kind.uses_warmup());
+    finish(SystemDriver::new(cfg, workload, policy), digest)
+}
+
+/// [`fig10_run`] over a degraded control channel: 20 ms message delay
+/// (30 % jitter), 0.5 % loss, 60 s heartbeat leases, and a 300 s
+/// symmetric partition mid-run. The perf harness tracks this workload
+/// (`net-partition300s`) to bound the cost of routing every dispatch /
+/// ack / completion / heartbeat through the message channel plus the
+/// partition's presumed-dead re-queues, and `perf --paranoid` replays
+/// it bitwise.
+pub fn fig10_run_net_partition(
+    kind: PolicyKind,
+    seed: u64,
+    digest: Option<DigestConfig>,
+) -> RunResult {
+    let mut cfg = fig10_driver(kind, seed);
+    cfg.faults.network = NetworkFaults {
+        delay: Duration::from_millis(20),
+        jitter: 0.3,
+        loss: 0.005,
+        lease: Duration::from_secs(60),
+        partitions: vec![Partition {
+            start: Duration::from_secs(900),
+            duration: Duration::from_secs(300),
+            asymmetric: false,
+        }],
+        ..NetworkFaults::default()
     };
     let policy = make_policy(kind, 3, cfg.max_workers);
     let workload = fig10_workload(!kind.uses_warmup());

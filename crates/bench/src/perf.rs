@@ -16,8 +16,8 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::{
-    fig10_driver, fig10_run_crash_recovery, fig10_run_with, fig10_workload, fig11_run_with,
-    fig4_run_with, Fig4Config, PolicyKind,
+    fig10_driver, fig10_run_crash_recovery, fig10_run_net_partition, fig10_run_with,
+    fig10_workload, fig11_run_with, fig4_run_with, Fig4Config, PolicyKind,
 };
 use hta_core::driver::{RunResult, SystemDriver};
 use hta_core::whatif::{BranchSpec, WhatIf};
@@ -77,6 +77,13 @@ pub fn workloads(quick: bool) -> Vec<(&'static str, RunFn)> {
         // restart). Tracked so checkpoint overhead stays bounded.
         ("master-crash-recover300s", |s, d| {
             fig10_run_crash_recovery(PolicyKind::Hta, s, d)
+        }),
+        // The lossy-control-plane gate: same Fig. 10 HTA run with every
+        // control message routed through a degraded channel (delay +
+        // loss + leases) and a 300 s partition. Tracked so the message
+        // layer stays off the hot path.
+        ("net-partition300s", |s, d| {
+            fig10_run_net_partition(PolicyKind::Hta, s, d)
         }),
     ];
     if !quick {

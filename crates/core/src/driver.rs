@@ -676,6 +676,15 @@ impl SystemDriver {
             outage_s: self.recovery.as_ref().map_or(0.0, |r| r.outage_total_s),
             checkpoints_taken: self.recovery.as_ref().map_or(0, |r| r.wal.truncations()),
             wal_replayed: self.recovery.as_ref().map_or(0, |r| r.wal_replayed_total),
+            msgs_dropped: self.master.net_stats().dropped,
+            msgs_duplicated: self.master.net_stats().duplicated,
+            msgs_reordered: self.master.net_stats().reordered,
+            leases_expired: self.master.leases_expired(),
+            zombies_fenced: self.master.zombies_fenced(),
+            partition_s: self
+                .master
+                .net_config()
+                .partition_seconds(Duration::from_secs_f64(end)),
         };
         let task_spans: Vec<TaskSpan> = self
             .master
@@ -1231,6 +1240,7 @@ impl SystemDriver {
             utilization,
             max_workers: self.cfg.max_workers,
             workload_done,
+            telemetry_age: self.master.telemetry_age(now),
         };
         let (action, next) = policy.decide_with_world(&ctx, &*self);
         if self.trace.is_enabled() && action != ScaleAction::None {
@@ -1651,6 +1661,7 @@ mod tests {
                 peer_transfers: false,
                 peer_bandwidth_mbps: 2_000.0,
                 faults: Default::default(),
+                net: Default::default(),
             },
             operator: OperatorConfig {
                 warmup: false,

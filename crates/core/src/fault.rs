@@ -14,7 +14,7 @@
 
 use hta_cluster::{ClusterConfig, ClusterFaults};
 use hta_des::Duration;
-use hta_workqueue::{MasterConfig, TaskFaults};
+use hta_workqueue::{MasterConfig, NetworkFaults, Partition, TaskFaults};
 use serde::{Deserialize, Serialize};
 
 /// Control-plane (master + operator) crash faults.
@@ -87,6 +87,12 @@ pub struct FaultPlan {
     /// distributed via [`apply`](Self::apply)).
     #[serde(default)]
     pub control_plane: ControlPlaneFaults,
+    /// Master↔worker control-channel faults: per-message delay, loss,
+    /// duplication, reordering, scheduled partition episodes, and the
+    /// heartbeat lease. Distributed into [`MasterConfig::net`] with a
+    /// seed derived from the plan seed.
+    #[serde(default)]
+    pub network: NetworkFaults,
 }
 
 impl Default for FaultPlan {
@@ -102,6 +108,7 @@ impl Default for FaultPlan {
             straggler_factor: None,
             max_task_retries: 3,
             control_plane: ControlPlaneFaults::default(),
+            network: NetworkFaults::default(),
         }
     }
 }
@@ -118,6 +125,7 @@ impl FaultPlan {
             || self.task_oom_rate > 0.0
             || self.straggler_factor.is_some()
             || self.control_plane.is_active()
+            || self.network.is_active()
     }
 
     /// Distribute the plan into the per-substrate fault configs.
@@ -135,6 +143,11 @@ impl FaultPlan {
             straggler_factor: self.straggler_factor,
             seed: self.seed,
             ..master.faults.clone()
+        };
+        // Decorrelate the channel's fault stream from the task layer's.
+        master.net = NetworkFaults {
+            seed: self.seed ^ 0x4E45_5431, // "NET1"
+            ..self.network.clone()
         };
     }
 
@@ -164,6 +177,18 @@ impl FaultPlan {
                 crash_times: vec![Duration::from_secs(900)],
                 outage: Duration::from_secs(60),
                 checkpoint_interval: Duration::from_secs(120),
+            },
+            network: NetworkFaults {
+                delay: Duration::from_millis(20),
+                jitter: 0.3,
+                loss: 0.005,
+                lease: Duration::from_secs(60),
+                partitions: vec![Partition {
+                    start: Duration::from_secs(1_500),
+                    duration: Duration::from_secs(90),
+                    asymmetric: false,
+                }],
+                ..NetworkFaults::default()
             },
             ..FaultPlan::default()
         }
@@ -213,6 +238,20 @@ mod tests {
                 },
                 ..FaultPlan::default()
             },
+            FaultPlan {
+                network: NetworkFaults {
+                    loss: 0.01,
+                    ..NetworkFaults::default()
+                },
+                ..FaultPlan::default()
+            },
+            FaultPlan {
+                network: NetworkFaults {
+                    lease: Duration::from_secs(60),
+                    ..NetworkFaults::default()
+                },
+                ..FaultPlan::default()
+            },
         ] {
             assert!(plan.is_active(), "{plan:?}");
         }
@@ -233,6 +272,8 @@ mod tests {
         }"#;
         let plan: FaultPlan = serde_json::from_str(legacy).expect("legacy plan loads");
         assert_eq!(plan.control_plane, ControlPlaneFaults::default());
+        assert_eq!(plan.network, NetworkFaults::default());
+        assert!(!plan.is_active());
     }
 
     #[test]
@@ -250,6 +291,13 @@ mod tests {
         // Knobs the plan doesn't own are preserved.
         assert_eq!(cluster.faults.image_pull_max_attempts, 20);
         assert_eq!(master.faults.oom_escalation, 1.5);
+        // The network arm lands in the master's channel config with a
+        // seed decorrelated from the task-fault stream.
+        assert_eq!(master.net.loss, plan.network.loss);
+        assert_eq!(master.net.lease, plan.network.lease);
+        assert_eq!(master.net.partitions, plan.network.partitions);
+        assert_eq!(master.net.seed, 42 ^ 0x4E45_5431);
+        assert_ne!(master.net.seed, master.faults.seed);
     }
 
     #[test]
@@ -264,5 +312,10 @@ mod tests {
             heavy.control_plane.is_active() && !light.control_plane.is_active(),
             "only heavy crashes the control plane"
         );
+        assert!(
+            heavy.network.is_active() && !light.network.is_active(),
+            "only heavy degrades the control channel"
+        );
+        assert!(!heavy.network.partitions.is_empty());
     }
 }

@@ -669,6 +669,7 @@ mod tests {
                 peer_transfers: false,
                 peer_bandwidth_mbps: 2_000.0,
                 faults: Default::default(),
+                net: Default::default(),
             },
             FileCatalog::new(),
         )

@@ -71,6 +71,11 @@ pub struct PolicyContext<'a> {
     pub max_workers: usize,
     /// True once the workflow has no more jobs (clean-up stage).
     pub workload_done: bool,
+    /// Age of the freshest worker telemetry behind this snapshot. Zero
+    /// unless heartbeat liveness is on and worker reports have actually
+    /// stopped arriving (e.g. a network partition): the policy inputs are
+    /// then a picture of the past, and scaling on them would thrash.
+    pub telemetry_age: Duration,
 }
 
 /// A worker-pool scaling policy.
@@ -129,6 +134,11 @@ pub struct HtaConfig {
     /// At most this many workers drained per decision (rate limit; the
     /// next cycle re-evaluates). `usize::MAX` = paper behaviour.
     pub max_drain_per_cycle: usize,
+    /// Telemetry staleness bound: when the context's `telemetry_age`
+    /// exceeds it, the policy freezes (holds the pool) instead of acting
+    /// on a stale picture of the cluster — graceful degradation during a
+    /// network partition rather than scale thrash.
+    pub staleness_bound: Duration,
 }
 
 impl Default for HtaConfig {
@@ -141,6 +151,7 @@ impl Default for HtaConfig {
             estimator_mode: EstimatorMode::Aggregate,
             min_pool: 0,
             max_drain_per_cycle: usize::MAX,
+            staleness_bound: Duration::from_secs(60),
         }
     }
 }
@@ -256,6 +267,14 @@ impl ScalingPolicy for HtaPolicy {
             } else {
                 (ScaleAction::None, self.cfg.default_cycle)
             };
+        }
+        if ctx.telemetry_age > self.cfg.staleness_bound {
+            // The inputs are a stale picture of the cluster (heartbeats
+            // have stopped arriving — likely a partition). Freeze the
+            // pool and re-check soon; acting would thrash against a state
+            // we cannot observe.
+            self.last_desired = ctx.live_worker_pods;
+            return (ScaleAction::None, self.cfg.min_interval);
         }
         let input = self.build_input(ctx);
         let ScaleDecision { delta, next_action } = match self.cfg.estimator_mode {
@@ -495,6 +514,7 @@ mod tests {
             utilization: None,
             max_workers: 20,
             workload_done: false,
+            telemetry_age: Duration::ZERO,
         }
     }
 

@@ -160,6 +160,7 @@ mod tests {
             utilization: None,
             max_workers: 20,
             workload_done: false,
+            telemetry_age: Duration::ZERO,
         }
     }
 

@@ -68,6 +68,7 @@ fn cfg(seed: u64) -> DriverConfig {
             peer_transfers: false,
             peer_bandwidth_mbps: 2_000.0,
             faults: Default::default(),
+            net: Default::default(),
         },
         operator: OperatorConfig {
             warmup: false,

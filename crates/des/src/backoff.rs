@@ -27,6 +27,14 @@ pub struct Backoff {
     pub jitter: f64,
 }
 
+impl Default for Backoff {
+    /// A general-purpose schedule: 5 s doubling to a 60 s cap, ±10 %
+    /// jitter (the control-channel dispatch-retry default).
+    fn default() -> Self {
+        Backoff::doubling(Duration::from_secs(5), Duration::from_secs(60))
+    }
+}
+
 impl Backoff {
     /// Kubernetes-style image-pull schedule: 10 s doubling to a 300 s
     /// cap, ±10 % jitter.

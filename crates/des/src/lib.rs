@@ -11,6 +11,9 @@
 //! * [`trace`] — a bounded in-memory trace ring for debugging simulations,
 //! * [`Backoff`] — a capped exponential retry schedule with jitter, shared
 //!   by every layer's transient-fault handling,
+//! * [`NetChannel`] — a seeded lossy message channel (delay, loss,
+//!   duplication, reordering, scheduled partitions) modeling the network
+//!   under the control plane,
 //! * [`SnapshotState`] — checkpoint/fork capability with partitioned RNG
 //!   streams, the basis of the what-if forecasting subsystem,
 //! * [`Wal`] / [`Checkpoint`] — write-ahead decision log + point-in-time
@@ -41,6 +44,7 @@
 //! ```
 
 pub mod backoff;
+pub mod channel;
 pub mod intern;
 pub mod queue;
 pub mod rng;
@@ -53,6 +57,7 @@ pub mod trace;
 pub mod wal;
 
 pub use backoff::Backoff;
+pub use channel::{ChanDir, ChannelStats, Delivery, NetChannel, NetworkFaults, Partition};
 pub use intern::{CategoryId, Interner};
 pub use queue::{EventQueue, Scheduled};
 pub use rng::SimRng;

@@ -66,7 +66,7 @@ use allow::AllowDirective;
 use contracts::Facts;
 
 /// Engine version; bumping it invalidates incremental caches.
-pub const ENGINE_VERSION: &str = "2";
+pub const ENGINE_VERSION: &str = "3";
 
 /// One lint rule: id, what it flags, and how to fix it.
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +135,14 @@ pub const RULES: &[Rule] = &[
                returned effect Vec)",
         hint: "push every effect into the sink; the driver drains it and applies \
                incarnation tagging that crash recovery relies on",
+    },
+    Rule {
+        id: "channel-bypass",
+        what: "master↔worker control state mutated without going through the message \
+               channel (a channel-internal entry point called outside its legal callers)",
+        hint: "send a typed ControlMsg via `route_ctl` — the channel applies loss, delay, \
+               partitions and the dispatch-sequence/run-generation fencing that keeps \
+               delivery idempotent",
     },
     Rule {
         id: "wal-coverage",

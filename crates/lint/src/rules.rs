@@ -77,6 +77,25 @@ const EFFECT_SCOPE: &[&str] = &[
     "crates/workqueue/src/",
 ];
 
+/// Source root the control-channel contract governs.
+const CHANNEL_SCOPE: &str = "crates/workqueue/src/";
+
+/// Channel-internal entry points and the only functions allowed to call
+/// each. Everything else must route through the message channel
+/// (`route_ctl`), which is where loss, delay, partitions, duplication
+/// and the fencing rules live.
+const CHANNEL_INTERNALS: &[(&str, &[&str])] = &[
+    // Message delivery: inline from the router, or the scheduled
+    // `NetDeliver` arm of the event handler.
+    ("deliver_ctl", &["route_ctl", "handle"]),
+    // Staging starts only when a Dispatch message is received.
+    ("begin_staging", &["recv_dispatch"]),
+    // Typed receivers: only the delivery demultiplexer.
+    ("recv_dispatch", &["deliver_ctl"]),
+    ("recv_completion", &["deliver_ctl"]),
+    ("recv_heartbeat", &["deliver_ctl"]),
+];
+
 /// True when `path` is library/binary source (not integration tests).
 fn in_src(path: &str) -> bool {
     path.starts_with("src/") || path.contains("/src/")
@@ -108,6 +127,7 @@ pub fn per_file_rules(path: &str, p: &Parser<'_>, st: &Structure) -> Vec<RawFind
     chain_rules(p, st, &mut out);
     salt_flow(path, p, st, &mut out);
     effect_purity(path, p, st, &mut out);
+    channel_bypass(path, p, st, &mut out);
     out.list
 }
 
@@ -500,6 +520,55 @@ fn effect_purity(path: &str, p: &Parser<'_>, st: &Structure, out: &mut Findings)
     }
 }
 
+/// `channel-bypass`: master↔worker control state moves only through the
+/// message channel. The channel-internal entry points
+/// ([`CHANNEL_INTERNALS`]) each have a closed set of legal callers; a
+/// call from anywhere else skips the loss/delay/partition model and the
+/// fencing rules (dispatch sequence, run generation) that make delivery
+/// idempotent — work that would silently be exactly-once in simulation
+/// but at-least-once on a real network.
+fn channel_bypass(path: &str, p: &Parser<'_>, st: &Structure, out: &mut Findings) {
+    if !path.starts_with(CHANNEL_SCOPE) {
+        return;
+    }
+    for i in 0..p.sig.len() {
+        let Some(t) = p.tok(i) else { break };
+        if t.kind != TokKind::Ident || st.in_test(t.start) {
+            continue;
+        }
+        // The definition itself is not a call.
+        if i > 0 && p.ident(i - 1, "fn") {
+            continue;
+        }
+        let word = p.text(i);
+        let Some((callee, allowed)) = CHANNEL_INTERNALS.iter().find(|(c, _)| *c == word) else {
+            continue;
+        };
+        if !p.punct(i + 1, '(') {
+            continue; // a path or field mention, not a call
+        }
+        let fid = enclosing_fn(st, i);
+        let caller = st.fns.get(fid).map_or("<top level>", |f| f.name.as_str());
+        if allowed.contains(&caller) {
+            continue;
+        }
+        out.push(
+            t.line,
+            "channel-bypass",
+            format!(
+                "`{callee}` called from `fn {caller}` — only {} may; everything else \
+                 routes through the message channel (`route_ctl`) so loss, partitions \
+                 and the idempotence fencing apply",
+                allowed
+                    .iter()
+                    .map(|a| format!("`{a}`"))
+                    .collect::<Vec<_>>()
+                    .join("/")
+            ),
+        );
+    }
+}
+
 /// Top-level argument spans of a call whose opening paren is at
 /// significant index `open`; each span is a half-open significant-index
 /// range.
@@ -652,6 +721,25 @@ mod tests {
             "fn h(fx: &mut EffectSink<E>, w: &mut World) {\n    w.queue.schedule_in(d, e);\n}\n";
         let f = findings("crates/des/src/a.rs", src);
         assert_eq!(f, vec![(2, "effect-purity")]);
+    }
+
+    #[test]
+    fn channel_bypass_positive_negative_and_scope() {
+        let src = "impl Master {\n    fn route_ctl(&mut self, m: ControlMsg) { self.deliver_ctl(m); }\n    fn dispatch(&mut self, m: ControlMsg) { self.deliver_ctl(m); }\n    fn recv_dispatch(&mut self, t: TaskId) { self.begin_staging(t); }\n    fn worker_connect(&mut self, t: TaskId) { self.begin_staging(t); }\n}\n";
+        let f = findings("crates/workqueue/src/master.rs", src);
+        assert_eq!(
+            f,
+            vec![(3, "channel-bypass"), (5, "channel-bypass")],
+            "only the disallowed callers fire"
+        );
+        // Outside the workqueue source tree the rule is scoped off.
+        assert!(findings("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn channel_bypass_ignores_definitions_and_tests() {
+        let src = "fn deliver_ctl(m: ControlMsg) {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { m.deliver_ctl(msg); }\n}\n";
+        assert!(findings("crates/workqueue/src/master.rs", src).is_empty());
     }
 
     #[test]

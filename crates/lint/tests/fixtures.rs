@@ -16,6 +16,7 @@ const CHECKPOINT: &str = include_str!("../fixtures/checkpoint_unsafe.rs");
 const STRINGS: &str = include_str!("../fixtures/strings_and_comments.rs");
 const SALT_FLOW: &str = include_str!("../fixtures/salt_flow.rs");
 const EFFECT_PURITY: &str = include_str!("../fixtures/effect_purity.rs");
+const CHANNEL_BYPASS: &str = include_str!("../fixtures/channel_bypass.rs");
 const WAL_DEFS: &str = include_str!("../fixtures/wal_defs.rs");
 const WAL_USES: &str = include_str!("../fixtures/wal_uses.rs");
 const SNAPSHOT: &str = include_str!("../fixtures/snapshot_coverage.rs");
@@ -160,6 +161,24 @@ fn stale_allow_fixture() {
 }
 
 #[test]
+fn channel_bypass_fixture_positive_negative_and_allow() {
+    let f = scan_file("crates/workqueue/src/fixture.rs", CHANNEL_BYPASS);
+    assert_eq!(
+        pairs(&f),
+        vec![
+            (27, "channel-bypass"),
+            (33, "channel-bypass"),
+            (38, "channel-bypass"),
+        ],
+        "full findings: {f:#?}"
+    );
+    // Outside the workqueue source tree the rule is scoped off; its
+    // allow in `replay_shim` is then stale.
+    let g = scan_file("crates/core/src/fixture.rs", CHANNEL_BYPASS);
+    assert_eq!(pairs(&g), vec![(63, "stale-allow")], "{g:#?}");
+}
+
+#[test]
 fn every_rule_fires_on_some_fixture() {
     // Guard against adding a rule without extending the fixtures.
     let mut all: Vec<Finding> = Vec::new();
@@ -168,6 +187,7 @@ fn every_rule_fires_on_some_fixture() {
     all.extend(scan_file("fixtures/bad_allow.rs", BAD_ALLOW));
     all.extend(scan_file("crates/core/src/fixture.rs", SALT_FLOW));
     all.extend(scan_file("crates/des/src/fixture.rs", EFFECT_PURITY));
+    all.extend(scan_file("crates/workqueue/src/fixture.rs", CHANNEL_BYPASS));
     all.extend(scan_file("crates/cluster/src/fixture.rs", SNAPSHOT));
     all.extend(scan_file("crates/des/src/fixture.rs", STALE_ALLOW));
     let defs = analyze_file("crates/des/src/wal_defs.rs", WAL_DEFS);

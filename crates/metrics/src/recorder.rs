@@ -283,6 +283,26 @@ pub struct FaultSummary {
     /// WAL records replayed across all recoveries.
     #[serde(default)]
     pub wal_replayed: u64,
+    /// Control messages the lossy channel dropped (loss + partitions).
+    #[serde(default)]
+    pub msgs_dropped: u64,
+    /// Control messages duplicated in flight.
+    #[serde(default)]
+    pub msgs_duplicated: u64,
+    /// Control messages delivered out of order.
+    #[serde(default)]
+    pub msgs_reordered: u64,
+    /// Worker leases expired (workers presumed dead and their tasks
+    /// re-queued).
+    #[serde(default)]
+    pub leases_expired: u64,
+    /// Stale "zombie" completion reports fenced by the run-generation
+    /// check.
+    #[serde(default)]
+    pub zombies_fenced: u64,
+    /// Total scheduled partition time overlapping the run, seconds.
+    #[serde(default)]
+    pub partition_s: f64,
 }
 
 impl FaultSummary {

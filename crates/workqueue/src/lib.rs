@@ -75,15 +75,18 @@ pub mod file;
 pub mod ids;
 pub mod link;
 pub mod master;
+pub mod proto;
 pub mod task;
 pub mod worker;
 
 pub use file::{FileCatalog, FileSpec};
+pub use hta_des::{ChannelStats, NetworkFaults, Partition};
 pub use ids::{FileId, FlowId, TaskId, WorkerId};
 pub use link::FairShareLink;
 pub use master::{
     CategorySummary, FailKind, Master, MasterConfig, QueueStatus, RunningSnapshot, TaskFaultStats,
     TaskFaults, WaitingSnapshot, WorkerSnapshot, WqEffect, WqEvent, WqNotification,
 };
+pub use proto::ControlMsg;
 pub use task::{ExecModel, Speculative, TaskRecord, TaskSpec, TaskState};
 pub use worker::{Worker, WorkerState};

@@ -33,15 +33,19 @@
 //!   every poll ([`Master::queue_status`] only re-derives the waiting
 //!   view, and only when the queue actually changed).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use hta_des::{CategoryId, Duration, EffectSink, Interner, SimRng, SimTime};
+use hta_des::{
+    branch_salt, CategoryId, ChanDir, ChannelStats, Delivery, Duration, EffectSink, Interner,
+    NetChannel, NetworkFaults, SimRng, SimTime,
+};
 use hta_resources::Resources;
 use serde::{Deserialize, Serialize};
 
 use crate::file::FileCatalog;
 use crate::ids::{FileId, FlowId, TaskId, WorkerId};
 use crate::link::FairShareLink;
+use crate::proto::ControlMsg;
 use crate::task::{Measured, Speculative, TaskRecord, TaskSpec, TaskState};
 use crate::worker::{Worker, WorkerState};
 
@@ -67,6 +71,23 @@ pub enum WqEvent {
     StragglerCheck(TaskId, u64),
     /// A speculative duplicate finished; first finish wins.
     SpeculativeFinished(TaskId, u64),
+    /// A control message crossed the lossy channel and is delivered now
+    /// (only scheduled when transport faults are active; the zero-fault
+    /// channel delivers inline).
+    NetDeliver(ControlMsg),
+    /// Retransmit check for an unacknowledged dispatch:
+    /// `(task, dispatch_seq, attempt)`. At-least-once delivery — armed
+    /// only when transport faults are active.
+    DispatchTimeout(TaskId, u64, u32),
+    /// Worker-side retransmit of a completion report the network ate:
+    /// `(task, run_generation, attempt)`.
+    CompletionResend(TaskId, u64, u32),
+    /// A worker's periodic heartbeat emission (armed only when the
+    /// heartbeat lease is on; self-rescheduling while the worker lives).
+    HeartbeatTick(WorkerId),
+    /// Periodic lease scan presuming silent workers dead (armed once,
+    /// self-rescheduling).
+    LeaseCheck,
 }
 
 /// How an execution attempt died (fault injection).
@@ -133,6 +154,10 @@ pub struct MasterConfig {
     pub peer_bandwidth_mbps: f64,
     /// Fault-injection knobs for the task-execution layer.
     pub faults: TaskFaults,
+    /// Network-fault knobs for the master↔worker control channel. The
+    /// zero-fault default makes the channel a strict pass-through.
+    #[serde(default)]
+    pub net: NetworkFaults,
 }
 
 impl Default for MasterConfig {
@@ -144,6 +169,7 @@ impl Default for MasterConfig {
             peer_transfers: false,
             peer_bandwidth_mbps: 2_000.0,
             faults: TaskFaults::default(),
+            net: NetworkFaults::default(),
         }
     }
 }
@@ -364,13 +390,43 @@ pub struct Master {
     /// cached value is the product of the exact same summation, so
     /// reported series stay bit-identical.
     mwu_cache: std::cell::Cell<Option<Option<f64>>>,
+    /// The lossy control channel all master↔worker traffic crosses
+    /// (zero-fault ⇒ strict inline pass-through).
+    net: NetChannel,
+    /// Dispatch sequence allocator (the per-dispatch fencing token).
+    net_seq: u64,
+    /// Last heartbeat received per live worker (populated only when the
+    /// lease is on).
+    last_heartbeat: BTreeMap<WorkerId, SimTime>,
+    /// Workers presumed dead after a missed lease; skipped by placement
+    /// until a fresh heartbeat clears the suspicion.
+    suspects: BTreeSet<WorkerId>,
+    /// When worker telemetry (heartbeats, connections) last arrived;
+    /// drives the autoscaler's staleness bound during partitions.
+    last_telemetry: SimTime,
+    /// Leases expired (workers presumed dead and their tasks re-queued).
+    leases_expired: u64,
+    /// Stale completion reports fenced by the run-generation check at
+    /// the channel boundary ("zombie" completions from presumed-dead
+    /// workers' runs). Counted only while network faults are active.
+    zombies_fenced: u64,
+    /// True once the self-rescheduling [`WqEvent::LeaseCheck`] is armed.
+    lease_check_armed: bool,
+    /// Deferred link wake-up flags: [`Master::begin_staging`] sets them
+    /// when it opens flows; the enclosing entry point arms the wakes once
+    /// per batch (preserving the one-arming-per-dispatch event stream).
+    wake_link: bool,
+    /// Peer-link counterpart of `wake_link`.
+    wake_peer: bool,
 }
 
 impl hta_des::SnapshotState for Master {
-    /// Re-partition the fault/speculation RNG for a what-if branch; queue
-    /// contents, workers, flows and statistics are untouched.
+    /// Re-partition the fault/speculation and channel RNGs for a what-if
+    /// branch; queue contents, workers, flows and statistics are
+    /// untouched. The two streams get decorrelated salts.
     fn reseed(&mut self, salt: u64) {
         self.rng = self.rng.partition(salt);
+        self.net.reseed(branch_salt(salt, 1));
     }
 }
 
@@ -403,6 +459,16 @@ impl Master {
             dispatch_scratch: VecDeque::new(),
             input_scratch: Vec::new(),
             mwu_cache: std::cell::Cell::new(None),
+            net: NetChannel::new(cfg.net),
+            net_seq: 0,
+            last_heartbeat: BTreeMap::new(),
+            suspects: BTreeSet::new(),
+            last_telemetry: SimTime::ZERO,
+            leases_expired: 0,
+            zombies_fenced: 0,
+            lease_check_armed: false,
+            wake_link: false,
+            wake_peer: false,
         }
     }
 
@@ -471,6 +537,18 @@ impl Master {
         self.next_worker += 1;
         self.workers.insert(id, Worker::connect(id, capacity, now));
         self.refresh_worker_snap(id);
+        if self.liveness_on() {
+            // The connection itself is a heartbeat; the worker then
+            // reports on a cadence that survives a couple of lost beats
+            // before the lease runs out.
+            self.last_heartbeat.insert(id, now);
+            self.last_telemetry = self.last_telemetry.max(now);
+            fx.push(self.heartbeat_interval(), WqEvent::HeartbeatTick(id));
+            if !self.lease_check_armed {
+                self.lease_check_armed = true;
+                fx.push(self.lease_scan_interval(), WqEvent::LeaseCheck);
+            }
+        }
         self.dispatch(now, fx);
         self.assert_invariants();
         id
@@ -506,6 +584,8 @@ impl Master {
         }
         let orphans = w.stop(now);
         self.refresh_worker_snap(id);
+        self.last_heartbeat.remove(&id);
+        self.suspects.remove(&id);
         // Cancel any flows serving the orphaned tasks (the worker's cache
         // and in-flight markers are already gone with `stop`).
         let stale: Vec<FlowId> = self
@@ -628,6 +708,7 @@ impl Master {
             rec.started_at = None;
             rec.run_generation += 1;
             rec.interruptions += 1;
+            rec.dispatch_acked = false;
             self.waiting.push_front(*t);
             self.refresh_task_snap(*t);
         }
@@ -641,6 +722,12 @@ impl Master {
             }
             self.refresh_worker_snap(w);
         }
+        // Liveness state dies with the old incarnation: the pending
+        // LeaseCheck/HeartbeatTick events are incarnation-fenced by the
+        // driver, so re-adopted workers re-arm everything from scratch.
+        self.last_heartbeat.clear();
+        self.suspects.clear();
+        self.lease_check_armed = false;
         self.notifications.clear();
         self.assert_invariants();
         orphans.len()
@@ -811,7 +898,11 @@ impl Master {
                 self.dispatch(now, fx);
                 self.arm_peer_wake(fx);
             }
-            WqEvent::TaskFinished(task, run_gen) => self.task_finished(now, task, run_gen, fx),
+            WqEvent::TaskFinished(task, run_gen) => {
+                // The worker's completion report crosses the control
+                // channel (inline when the channel is fault-free).
+                self.report_completion(now, task, run_gen, 0, fx)
+            }
             WqEvent::FastAbortCheck(task, run_gen) => self.fast_abort_check(now, task, run_gen, fx),
             WqEvent::TaskAttemptFailed(task, run_gen, kind) => {
                 self.task_attempt_failed(now, task, run_gen, kind, fx)
@@ -820,8 +911,403 @@ impl Master {
             WqEvent::SpeculativeFinished(task, run_gen) => {
                 self.speculative_finished(now, task, run_gen, fx)
             }
+            WqEvent::NetDeliver(msg) => {
+                self.deliver_ctl(now, msg, fx);
+                self.flush_wakes(fx);
+            }
+            WqEvent::DispatchTimeout(task, seq, attempt) => {
+                self.dispatch_timeout(now, task, seq, attempt, fx)
+            }
+            WqEvent::CompletionResend(task, run_gen, attempt) => {
+                self.report_completion(now, task, run_gen, attempt, fx)
+            }
+            WqEvent::HeartbeatTick(worker) => self.heartbeat_tick(now, worker, fx),
+            WqEvent::LeaseCheck => self.lease_check(now, fx),
         }
         self.assert_invariants();
+    }
+
+    // ------------------------------------------------------------------
+    // Control channel & liveness
+    // ------------------------------------------------------------------
+
+    /// True when heartbeat/lease liveness is on.
+    fn liveness_on(&self) -> bool {
+        !self.net.cfg().lease.is_zero()
+    }
+
+    /// Heartbeat cadence: a third of the lease, so a worker survives two
+    /// lost beats before being presumed dead.
+    fn heartbeat_interval(&self) -> Duration {
+        Duration::from_millis((self.net.cfg().lease.as_millis() / 3).max(1))
+    }
+
+    /// Lease-scan cadence: half the lease bounds detection latency at
+    /// `1.5 ×` lease without scanning on every event.
+    fn lease_scan_interval(&self) -> Duration {
+        Duration::from_millis((self.net.cfg().lease.as_millis() / 2).max(1))
+    }
+
+    /// Arm the link wake-ups [`begin_staging`](Self::begin_staging)
+    /// requested, once per entry-point batch (several dispatches in one
+    /// batch still produce a single wake per link, exactly like the
+    /// pre-channel code).
+    fn flush_wakes(&mut self, fx: &mut EffectSink<WqEvent>) {
+        if std::mem::take(&mut self.wake_link) {
+            self.arm_link_wake(fx);
+        }
+        if std::mem::take(&mut self.wake_peer) {
+            self.arm_peer_wake(fx);
+        }
+    }
+
+    /// Route one control message through the lossy channel.
+    ///
+    /// Inline delivery (zero-fault transport) applies the message
+    /// immediately — the exact call sequence of a direct method call;
+    /// otherwise delivery becomes one (or, duplicated, two) scheduled
+    /// [`WqEvent::NetDeliver`]s, or nothing at all when the network eats
+    /// the message. Returns `false` on a drop so the caller can arm its
+    /// retransmit machinery.
+    fn route_ctl(
+        &mut self,
+        now: SimTime,
+        dir: ChanDir,
+        msg: ControlMsg,
+        fx: &mut EffectSink<WqEvent>,
+    ) -> bool {
+        match self.net.send(now, dir) {
+            Delivery::Inline => {
+                self.deliver_ctl(now, msg, fx);
+                true
+            }
+            Delivery::Deliver { delay, dup } => {
+                fx.push(delay, WqEvent::NetDeliver(msg));
+                if let Some(d) = dup {
+                    fx.push(d, WqEvent::NetDeliver(msg));
+                }
+                true
+            }
+            Delivery::Dropped => false,
+        }
+    }
+
+    /// Apply one delivered control message. Only reachable through
+    /// [`route_ctl`](Self::route_ctl) (inline) or the
+    /// [`WqEvent::NetDeliver`] arm of [`handle`](Self::handle) — state
+    /// mutations that skip the channel would dodge the fault model.
+    fn deliver_ctl(&mut self, now: SimTime, msg: ControlMsg, fx: &mut EffectSink<WqEvent>) {
+        match msg {
+            ControlMsg::Dispatch { task, seq } => self.recv_dispatch(now, task, seq, fx),
+            ControlMsg::DispatchAck { task, seq } => {
+                if let Some(rec) = self.tasks.get_mut(&task) {
+                    if rec.dispatch_seq == seq {
+                        rec.dispatch_acked = true;
+                    }
+                }
+            }
+            ControlMsg::Completion { task, run_gen } => {
+                self.recv_completion(now, task, run_gen, fx)
+            }
+            ControlMsg::Heartbeat { worker } => self.recv_heartbeat(now, worker, fx),
+        }
+    }
+
+    /// Worker side of a [`ControlMsg::Dispatch`]: begin staging, then
+    /// acknowledge. Idempotent — retransmits and duplicate copies of a
+    /// dispatch already under way only re-send the (possibly lost) ack,
+    /// and a copy carrying a superseded sequence number is fenced.
+    fn recv_dispatch(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        seq: u64,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        let fresh = {
+            let Some(rec) = self.tasks.get(&task) else {
+                return;
+            };
+            if rec.dispatch_seq != seq {
+                return; // fenced: a newer dispatch decision superseded this copy
+            }
+            if rec.worker().is_none() {
+                return; // placement revoked (worker killed) before arrival
+            }
+            // Staging with no pending flow-waits ⇔ the dispatch message
+            // has not been applied yet (begin_staging either enters
+            // staging_waits or starts execution immediately).
+            matches!(rec.state, TaskState::Staging(_)) && !self.staging_waits.contains_key(&task)
+        };
+        if fresh {
+            self.begin_staging(now, task, fx);
+        }
+        let _ = self.route_ctl(
+            now,
+            ChanDir::Reverse,
+            ControlMsg::DispatchAck { task, seq },
+            fx,
+        );
+    }
+
+    /// Master side of a [`ControlMsg::Completion`]: fence zombies, then
+    /// hand the surviving report to the completion path. Duplicate copies
+    /// of a live report are deduplicated by the state check inside
+    /// [`task_finished`](Self::task_finished).
+    fn recv_completion(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        run_gen: u64,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        if self.net.cfg().is_active() {
+            let stale = self
+                .tasks
+                .get(&task)
+                .is_none_or(|rec| rec.run_generation != run_gen);
+            if stale {
+                self.zombies_fenced += 1;
+            }
+        }
+        self.task_finished(now, task, run_gen, fx);
+    }
+
+    /// Master side of a [`ControlMsg::Heartbeat`]: renew the lease,
+    /// refresh telemetry, and clear any presumed-death suspicion (the
+    /// worker was cut off, not dead). Re-adopting a suspect re-triggers
+    /// dispatch — its re-queued tasks may have nowhere else to go.
+    fn recv_heartbeat(&mut self, now: SimTime, worker: WorkerId, fx: &mut EffectSink<WqEvent>) {
+        let live = self
+            .workers
+            .get(&worker)
+            .is_some_and(|w| w.state != WorkerState::Stopped);
+        if !live {
+            return;
+        }
+        self.last_heartbeat.insert(worker, now);
+        self.last_telemetry = self.last_telemetry.max(now);
+        if self.suspects.remove(&worker) {
+            self.dispatch(now, fx);
+        }
+    }
+
+    /// A worker finished the run tagged `run_gen` and (re)reports it over
+    /// the lossy reverse link. On a drop the worker retries on the seeded
+    /// backoff schedule until the master processes the report or the run
+    /// is superseded.
+    fn report_completion(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        run_gen: u64,
+        attempt: u32,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        if attempt > 0 {
+            let resolved = self.tasks.get(&task).is_none_or(|rec| {
+                rec.run_generation != run_gen || !matches!(rec.state, TaskState::Running(_))
+            });
+            if resolved {
+                return; // processed meanwhile, or the run was superseded
+            }
+        }
+        let sent = self.route_ctl(
+            now,
+            ChanDir::Reverse,
+            ControlMsg::Completion { task, run_gen },
+            fx,
+        );
+        if !sent {
+            let delay = self.net.retry_delay(attempt);
+            fx.push(
+                delay,
+                WqEvent::CompletionResend(task, run_gen, attempt.saturating_add(1)),
+            );
+        }
+    }
+
+    /// The ack window for dispatch `seq` elapsed: retransmit unless the
+    /// ack arrived, the decision was superseded, or the task left its
+    /// worker. At-least-once delivery with idempotent receipt.
+    fn dispatch_timeout(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        seq: u64,
+        attempt: u32,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        let resend = self.tasks.get(&task).is_some_and(|rec| {
+            rec.dispatch_seq == seq && !rec.dispatch_acked && rec.worker().is_some()
+        });
+        if !resend {
+            return;
+        }
+        let _ = self.route_ctl(
+            now,
+            ChanDir::Forward,
+            ControlMsg::Dispatch { task, seq },
+            fx,
+        );
+        let next = attempt.saturating_add(1);
+        let delay = self.net.retry_delay(next);
+        fx.push(delay, WqEvent::DispatchTimeout(task, seq, next));
+    }
+
+    /// A worker's heartbeat cadence fired: emit a heartbeat over the
+    /// lossy reverse link and re-arm while the worker lives. (A presumed-
+    /// dead worker that is merely partitioned keeps beating — its first
+    /// heartbeat to survive the network clears the suspicion.)
+    fn heartbeat_tick(&mut self, now: SimTime, worker: WorkerId, fx: &mut EffectSink<WqEvent>) {
+        let live = self
+            .workers
+            .get(&worker)
+            .is_some_and(|w| w.state != WorkerState::Stopped);
+        if !live || !self.liveness_on() {
+            return;
+        }
+        let _ = self.route_ctl(now, ChanDir::Reverse, ControlMsg::Heartbeat { worker }, fx);
+        fx.push(self.heartbeat_interval(), WqEvent::HeartbeatTick(worker));
+    }
+
+    /// Periodic lease scan: any live worker whose last heartbeat is older
+    /// than the lease is presumed dead. Self-rescheduling.
+    fn lease_check(&mut self, now: SimTime, fx: &mut EffectSink<WqEvent>) {
+        if !self.liveness_on() {
+            return;
+        }
+        let lease = self.net.cfg().lease;
+        let expired: Vec<WorkerId> = self
+            .last_heartbeat
+            .iter()
+            .filter(|(_, hb)| now.since(**hb) > lease)
+            .map(|(w, _)| *w)
+            .collect();
+        for wid in expired {
+            self.presume_dead(now, wid, fx);
+        }
+        // Prune entries of workers that stopped gracefully meanwhile.
+        let gone: Vec<WorkerId> = self
+            .last_heartbeat
+            .keys()
+            .filter(|w| {
+                self.workers
+                    .get(w)
+                    .is_none_or(|wk| wk.state == WorkerState::Stopped)
+            })
+            .copied()
+            .collect();
+        for w in gone {
+            self.last_heartbeat.remove(&w);
+            self.suspects.remove(&w);
+        }
+        fx.push(self.lease_scan_interval(), WqEvent::LeaseCheck);
+    }
+
+    /// A worker missed its lease: presume it dead. Its tasks are re-queued
+    /// (fresh run generation, so any late completion from the possibly
+    /// still-running worker is fenced as a zombie) and the worker is
+    /// excluded from placement until a heartbeat proves it alive again.
+    /// Unlike [`kill_worker`](Self::kill_worker) the worker record stays
+    /// `Active` with its cache — a partitioned worker that heals is
+    /// re-adopted with its files still warm.
+    fn presume_dead(&mut self, now: SimTime, wid: WorkerId, fx: &mut EffectSink<WqEvent>) {
+        self.mwu_cache.set(None);
+        let live = self
+            .workers
+            .get(&wid)
+            .is_some_and(|w| w.state != WorkerState::Stopped);
+        if !live {
+            return;
+        }
+        self.leases_expired += 1;
+        self.suspects.insert(wid);
+        self.last_heartbeat.remove(&wid);
+        let orphans: Vec<TaskId> = self
+            .workers
+            .get(&wid)
+            .map(|w| w.tasks().to_vec())
+            .unwrap_or_default();
+        // Cancel transfers serving the orphans and drop any speculative
+        // entanglement conservatively (the re-queued run restarts from
+        // scratch either way).
+        let stale: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, p)| orphans.contains(&p.task()))
+            .map(|(f, _)| *f)
+            .collect();
+        for f in stale {
+            self.link.cancel_flow(now, f);
+            self.peer_link.cancel_flow(now, f);
+            self.flows.remove(&f);
+        }
+        for t in &orphans {
+            self.staging_waits.remove(t);
+            self.cancel_speculation(now, *t);
+        }
+        for t in orphans.iter().rev() {
+            let Some(rec) = self.tasks.get_mut(t) else {
+                continue;
+            };
+            if matches!(rec.state, TaskState::Complete | TaskState::Failed) {
+                continue;
+            }
+            rec.speculative = None;
+            rec.state = TaskState::Waiting;
+            rec.allocation = None;
+            rec.started_at = None;
+            rec.run_generation += 1;
+            rec.interruptions += 1;
+            rec.dispatch_acked = false;
+            self.waiting.push_front(*t);
+            self.waiting_dirty = true;
+            self.notifications.push(WqNotification::TaskRequeued(*t));
+            self.refresh_task_snap(*t);
+        }
+        if let Some(w) = self.workers.get_mut(&wid) {
+            for t in &orphans {
+                w.remove_task(*t);
+            }
+        }
+        self.refresh_worker_snap(wid);
+        // Cancelled flows bumped the link generations; re-arm so the
+        // survivors' completions still wake the link.
+        self.arm_link_wake(fx);
+        self.arm_peer_wake(fx);
+        self.dispatch(now, fx);
+    }
+
+    /// Age of the freshest worker telemetry (heartbeats, connections) the
+    /// master holds. Zero when liveness is off or no worker is connected
+    /// — absence of workers is not staleness, and the policy's no-metrics
+    /// path owns that case.
+    pub fn telemetry_age(&self, now: SimTime) -> Duration {
+        if !self.liveness_on() || self.snap.workers.is_empty() {
+            return Duration::ZERO;
+        }
+        now.since(self.last_telemetry)
+    }
+
+    /// Cumulative control-channel fault counters.
+    pub fn net_stats(&self) -> ChannelStats {
+        self.net.stats()
+    }
+
+    /// Worker leases expired (workers presumed dead).
+    pub fn leases_expired(&self) -> u64 {
+        self.leases_expired
+    }
+
+    /// Stale completion reports fenced at the channel boundary.
+    pub fn zombies_fenced(&self) -> u64 {
+        self.zombies_fenced
+    }
+
+    /// The network-fault plan the control channel applies.
+    pub fn net_config(&self) -> &NetworkFaults {
+        self.net.cfg()
     }
 
     /// Kill and re-queue a task that has been running far past its
@@ -1108,7 +1594,7 @@ impl Master {
         let Some(dup_wid) = self
             .workers
             .values()
-            .find(|w| w.id != primary_wid && w.can_accept(&alloc))
+            .find(|w| w.id != primary_wid && !self.suspects.contains(&w.id) && w.can_accept(&alloc))
             .map(|w| w.id)
         else {
             return;
@@ -1294,8 +1780,6 @@ impl Master {
         let mut leftover = std::mem::take(&mut self.dispatch_scratch);
         leftover.clear();
         let mut changed = false;
-        let mut link_changed = false;
-        let mut peer_changed = false;
         // Admission gate: the component-wise max of free resources across
         // accepting workers is a necessary condition for any placement —
         // a request that does not fit it cannot fit any single worker. On
@@ -1324,12 +1808,12 @@ impl Master {
                 Some(req) => self
                     .workers
                     .values()
-                    .find(|w| w.can_accept(&req))
+                    .find(|w| !self.suspects.contains(&w.id) && w.can_accept(&req))
                     .map(|w| (w.id, req)),
                 None => self
                     .workers
                     .values()
-                    .find(|w| w.can_accept_exclusive())
+                    .find(|w| !self.suspects.contains(&w.id) && w.can_accept_exclusive())
                     .map(|w| (w.id, w.capacity())),
             };
             let Some((wid, allocation)) = target else {
@@ -1348,94 +1832,27 @@ impl Master {
             // The placement shrank this worker's free pool; re-derive the
             // gate so it stays a sound upper bound.
             (max_free, any_idle) = self.dispatch_headroom();
-            // Split the task's inputs into: already cached (free), being
-            // delivered by another task's flow (wait on it), available at
-            // a peer worker (peer fetch), or missing (transfer them in
-            // this task's own flow over the master uplink).
-            let mut inputs = std::mem::take(&mut self.input_scratch);
-            inputs.clear();
-            inputs.extend_from_slice(&self.tasks[&tid].spec.inputs);
-            let mut deps: Vec<FlowId> = Vec::new();
-            let mut own_mb = 0.0;
-            let mut own_cacheable: Vec<FileId> = Vec::new();
-            let mut peer_fetches: Vec<(FileId, f64)> = Vec::new();
-            let own_flow_id = FlowId(self.next_flow);
-            for f in &inputs {
-                let target = &self.workers[&wid];
-                if target.has_cached(*f) {
-                    continue;
-                }
-                if let Some(flow) = target.inflight_flow(*f) {
-                    if !deps.contains(&flow) {
-                        deps.push(flow);
-                    }
-                    continue;
-                }
-                let Some(spec) = self.catalog.get(*f) else {
-                    continue;
-                };
-                if self.peer_transfers && spec.cacheable {
-                    // Another live worker already holds the file: fetch it
-                    // peer-to-peer instead of re-sending from the master.
-                    let held_elsewhere = self.workers.values().any(|w| {
-                        w.id != wid && w.state != WorkerState::Stopped && w.has_cached(*f)
-                    });
-                    if held_elsewhere {
-                        peer_fetches.push((*f, spec.size_mb));
-                        continue;
-                    }
-                }
-                own_mb += spec.size_mb;
-                if spec.cacheable {
-                    own_cacheable.push(*f);
-                    self.workers
-                        .get_mut(&wid)
-                        .expect("worker exists")
-                        .mark_inflight(*f, own_flow_id);
-                }
-            }
-            self.input_scratch = inputs;
+            self.net_seq += 1;
+            let seq = self.net_seq;
             let rec = self.tasks.get_mut(&tid).expect("task exists");
             rec.state = TaskState::Staging(wid);
             rec.allocation = Some(allocation);
+            rec.dispatch_seq = seq;
+            rec.dispatch_acked = false;
             self.refresh_task_snap(tid);
-            if own_mb > 0.0 {
-                self.next_flow += 1;
-                self.link.add_flow(now, own_flow_id, own_mb);
-                self.flows.insert(
-                    own_flow_id,
-                    FlowPurpose::Staging {
-                        task: tid,
-                        files: own_cacheable,
-                    },
-                );
-                deps.push(own_flow_id);
-                link_changed = true;
-            }
-            if !peer_fetches.is_empty() {
-                self.peer_link.advance(now);
-                for (f, mb) in peer_fetches {
-                    let flow = FlowId(self.next_flow);
-                    self.next_flow += 1;
-                    self.peer_link.add_flow(now, flow, mb);
-                    self.flows.insert(
-                        flow,
-                        FlowPurpose::Staging {
-                            task: tid,
-                            files: vec![f],
-                        },
-                    );
-                    if let Some(w) = self.workers.get_mut(&wid) {
-                        w.mark_inflight(f, flow);
-                    }
-                    deps.push(flow);
-                }
-                peer_changed = true;
-            }
-            if deps.is_empty() {
-                self.start_execution(now, tid, fx);
-            } else {
-                self.staging_waits.insert(tid, deps);
+            // The dispatch decision crosses the control channel: inline
+            // (and byte-identical to a direct call) when the transport is
+            // fault-free, otherwise subject to delay/loss/partition with
+            // the at-least-once retransmit loop below backing it up.
+            let _ = self.route_ctl(
+                now,
+                ChanDir::Forward,
+                ControlMsg::Dispatch { task: tid, seq },
+                fx,
+            );
+            if self.net.cfg().transport_active() {
+                let d = self.net.retry_delay(0);
+                fx.push(d, WqEvent::DispatchTimeout(tid, seq, 0));
             }
         }
         std::mem::swap(&mut self.waiting, &mut leftover);
@@ -1443,11 +1860,107 @@ impl Master {
         if changed {
             self.waiting_dirty = true;
         }
-        if link_changed {
-            self.arm_link_wake(fx);
+        self.flush_wakes(fx);
+    }
+
+    /// Worker side of an applied dispatch: split the task's inputs into
+    /// already cached (free), being delivered by another task's flow (wait
+    /// on it), available at a peer worker (peer fetch), or missing
+    /// (transfer them in this task's own flow over the master uplink) —
+    /// then start executing or wait on the staging flows.
+    ///
+    /// Reached only through [`recv_dispatch`](Self::recv_dispatch): the
+    /// staging work is what the [`ControlMsg::Dispatch`] message carries,
+    /// so it must not happen before the message survives the network.
+    fn begin_staging(&mut self, now: SimTime, task: TaskId, fx: &mut EffectSink<WqEvent>) {
+        let Some(rec) = self.tasks.get(&task) else {
+            return;
+        };
+        let TaskState::Staging(wid) = rec.state else {
+            return;
+        };
+        self.link.advance(now);
+        let mut inputs = std::mem::take(&mut self.input_scratch);
+        inputs.clear();
+        inputs.extend_from_slice(&self.tasks[&task].spec.inputs);
+        let mut deps: Vec<FlowId> = Vec::new();
+        let mut own_mb = 0.0;
+        let mut own_cacheable: Vec<FileId> = Vec::new();
+        let mut peer_fetches: Vec<(FileId, f64)> = Vec::new();
+        let own_flow_id = FlowId(self.next_flow);
+        for f in &inputs {
+            let target = &self.workers[&wid];
+            if target.has_cached(*f) {
+                continue;
+            }
+            if let Some(flow) = target.inflight_flow(*f) {
+                if !deps.contains(&flow) {
+                    deps.push(flow);
+                }
+                continue;
+            }
+            let Some(spec) = self.catalog.get(*f) else {
+                continue;
+            };
+            if self.peer_transfers && spec.cacheable {
+                // Another live worker already holds the file: fetch it
+                // peer-to-peer instead of re-sending from the master.
+                let held_elsewhere = self
+                    .workers
+                    .values()
+                    .any(|w| w.id != wid && w.state != WorkerState::Stopped && w.has_cached(*f));
+                if held_elsewhere {
+                    peer_fetches.push((*f, spec.size_mb));
+                    continue;
+                }
+            }
+            own_mb += spec.size_mb;
+            if spec.cacheable {
+                own_cacheable.push(*f);
+                self.workers
+                    .get_mut(&wid)
+                    .expect("worker exists")
+                    .mark_inflight(*f, own_flow_id);
+            }
         }
-        if peer_changed {
-            self.arm_peer_wake(fx);
+        self.input_scratch = inputs;
+        if own_mb > 0.0 {
+            self.next_flow += 1;
+            self.link.add_flow(now, own_flow_id, own_mb);
+            self.flows.insert(
+                own_flow_id,
+                FlowPurpose::Staging {
+                    task,
+                    files: own_cacheable,
+                },
+            );
+            deps.push(own_flow_id);
+            self.wake_link = true;
+        }
+        if !peer_fetches.is_empty() {
+            self.peer_link.advance(now);
+            for (f, mb) in peer_fetches {
+                let flow = FlowId(self.next_flow);
+                self.next_flow += 1;
+                self.peer_link.add_flow(now, flow, mb);
+                self.flows.insert(
+                    flow,
+                    FlowPurpose::Staging {
+                        task,
+                        files: vec![f],
+                    },
+                );
+                if let Some(w) = self.workers.get_mut(&wid) {
+                    w.mark_inflight(f, flow);
+                }
+                deps.push(flow);
+            }
+            self.wake_peer = true;
+        }
+        if deps.is_empty() {
+            self.start_execution(now, task, fx);
+        } else {
+            self.staging_waits.insert(task, deps);
         }
     }
 
@@ -1460,7 +1973,10 @@ impl Master {
         let mut max_free = Resources::ZERO;
         let mut any_idle = false;
         for w in self.workers.values() {
-            if w.state != WorkerState::Active || w.exclusive_task.is_some() {
+            if w.state != WorkerState::Active
+                || w.exclusive_task.is_some()
+                || self.suspects.contains(&w.id)
+            {
                 continue;
             }
             let free = w.pool.available();

@@ -140,6 +140,14 @@ pub struct TaskRecord {
     /// Run generation: incremented on every (re)dispatch so stale
     /// execution-finished events from a killed run are ignored.
     pub run_generation: u64,
+    /// Sequence number of the current dispatch decision (the control
+    /// channel's idempotence/fencing token). 0 before the first dispatch.
+    #[serde(default)]
+    pub dispatch_seq: u64,
+    /// True once the worker acknowledged the current dispatch (stops the
+    /// at-least-once retransmit loop).
+    #[serde(default)]
+    pub dispatch_acked: bool,
 }
 
 impl TaskRecord {
@@ -158,6 +166,8 @@ impl TaskRecord {
             retries: 0,
             speculative: None,
             run_generation: 0,
+            dispatch_seq: 0,
+            dispatch_acked: false,
         }
     }
 

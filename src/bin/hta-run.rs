@@ -23,6 +23,14 @@
 //!   --task-fail-rate <p>   transient task-failure probability  [0]
 //!   --oom-rate <p>         OOM-kill probability per attempt    [0]
 //!   --pull-fail-rate <p>   image-pull failure probability      [0]
+//!   --net-delay <ms>       control-message one-way delay (ms)  [0]
+//!   --net-loss <p>         control-message loss probability    [0]
+//!   --partition <start:dur[:asym]>
+//!                          cut the master↔worker link from start for dur
+//!                          seconds (repeatable); `:asym` cuts only the
+//!                          worker→master direction (zombie workers)
+//!   --lease <s>            heartbeat lease; a worker silent this long is
+//!                          presumed dead and its tasks re-queued  [off]
 //!   --preempt-mean <s>     spot preemption mean lifetime (s)
 //!   --max-retries <n>      per-task retry budget               [3]
 //!   --straggler-factor <f> speculative re-execution threshold
@@ -53,6 +61,7 @@ use hta::forecast::{MpcConfig, MpcPolicy};
 use hta::makeflow;
 use hta::metrics::AsciiChart;
 use hta::prelude::*;
+use hta::workqueue::{NetworkFaults, Partition};
 
 const DEMO: &str = r#"
 # Demo: a two-stage pipeline with a shared cacheable input.
@@ -101,6 +110,10 @@ struct Options {
     task_fail_rate: f64,
     oom_rate: f64,
     pull_fail_rate: f64,
+    net_delay_ms: u64,
+    net_loss: f64,
+    partitions: Vec<Partition>,
+    lease: Option<u64>,
     preempt_mean: Option<u64>,
     max_retries: u32,
     straggler_factor: Option<f64>,
@@ -117,7 +130,8 @@ fn usage() -> &'static str {
      [--max-workers N] [--nodes MIN:MAX] [--worker-cores N] [--initial N] [--seed N] \
      [--fail-at s,s,...] [--fail-node s,s,...] [--crash-master s,s,...] [--crash-outage S] \
      [--checkpoint-interval S] [--task-fail-rate P] [--oom-rate P] \
-     [--pull-fail-rate P] [--preempt-mean S] [--max-retries N] [--straggler-factor F] \
+     [--pull-fail-rate P] [--net-delay MS] [--net-loss P] [--partition START:DUR[:asym]] \
+     [--lease S] [--preempt-mean S] [--max-retries N] [--straggler-factor F] \
      [--csv path] [--json path] [--chart] [--gantt] [--trace] [--analyze-only]"
 }
 
@@ -140,6 +154,10 @@ fn parse_args() -> Result<Options, String> {
         task_fail_rate: 0.0,
         oom_rate: 0.0,
         pull_fail_rate: 0.0,
+        net_delay_ms: 0,
+        net_loss: 0.0,
+        partitions: Vec::new(),
+        lease: None,
         preempt_mean: None,
         max_retries: 3,
         straggler_factor: None,
@@ -223,6 +241,56 @@ fn parse_args() -> Result<Options, String> {
                 opt.pull_fail_rate = need(&mut args, "--pull-fail-rate")?
                     .parse()
                     .map_err(|e| format!("--pull-fail-rate: {e}"))?
+            }
+            "--net-delay" => {
+                opt.net_delay_ms = need(&mut args, "--net-delay")?
+                    .parse()
+                    .map_err(|e| format!("--net-delay: {e}"))?
+            }
+            "--net-loss" => {
+                let p: f64 = need(&mut args, "--net-loss")?
+                    .parse()
+                    .map_err(|e| format!("--net-loss: {e}"))?;
+                // p = 1 would drop every message forever: no dispatch
+                // can ever be acknowledged, so the run only ends at the
+                // simulation cut-off.
+                if !(0.0..1.0).contains(&p) {
+                    return Err(format!("--net-loss: probability {p} not in [0, 1)"));
+                }
+                opt.net_loss = p;
+            }
+            "--partition" => {
+                let v = need(&mut args, "--partition")?;
+                let mut parts = v.split(':');
+                let start: u64 = parts
+                    .next()
+                    .ok_or_else(|| "--partition wants START:DUR[:asym]".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--partition start: {e}"))?;
+                let dur: u64 = parts
+                    .next()
+                    .ok_or_else(|| "--partition wants START:DUR[:asym]".to_string())?
+                    .parse()
+                    .map_err(|e| format!("--partition duration: {e}"))?;
+                let asymmetric = match parts.next() {
+                    None => false,
+                    Some("asym") => true,
+                    Some(other) => {
+                        return Err(format!("--partition: expected \"asym\", got {other:?}"))
+                    }
+                };
+                opt.partitions.push(Partition {
+                    start: Duration::from_secs(start),
+                    duration: Duration::from_secs(dur),
+                    asymmetric,
+                });
+            }
+            "--lease" => {
+                opt.lease = Some(
+                    need(&mut args, "--lease")?
+                        .parse()
+                        .map_err(|e| format!("--lease: {e}"))?,
+                )
             }
             "--preempt-mean" => {
                 opt.preempt_mean = Some(
@@ -379,6 +447,14 @@ fn main() -> ExitCode {
                 outage: Duration::from_secs(opt.crash_outage),
                 checkpoint_interval: Duration::from_secs(opt.checkpoint_interval),
             },
+            network: NetworkFaults {
+                delay: Duration::from_millis(opt.net_delay_ms),
+                jitter: if opt.net_delay_ms > 0 { 0.3 } else { 0.0 },
+                loss: opt.net_loss,
+                partitions: opt.partitions.clone(),
+                lease: opt.lease.map_or(Duration::ZERO, Duration::from_secs),
+                ..NetworkFaults::default()
+            },
             ..FaultPlan::default()
         },
         operator: OperatorConfig {
@@ -470,6 +546,23 @@ fn main() -> ExitCode {
                     r.tasks_requeued,
                     r.workers_readopted
                 );
+            }
+        }
+        let net_touched = f.msgs_dropped + f.msgs_duplicated + f.msgs_reordered + f.leases_expired
+            > 0
+            || f.partition_s > 0.0;
+        if net_touched {
+            println!("--- network ---");
+            println!(
+                "control messages:     {:>10} dropped, {} duplicated, {} reordered",
+                f.msgs_dropped, f.msgs_duplicated, f.msgs_reordered
+            );
+            println!(
+                "worker leases:        {:>10} expired ({} zombie completions fenced)",
+                f.leases_expired, f.zombies_fenced
+            );
+            if f.partition_s > 0.0 {
+                println!("partitioned:          {:>10.0} s", f.partition_s);
             }
         }
     }

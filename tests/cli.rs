@@ -191,6 +191,52 @@ fn bad_fault_knob_values_fail_cleanly() {
 }
 
 #[test]
+fn network_knobs_print_network_summary_deterministically() {
+    let args = [
+        "demo",
+        "--policy",
+        "fixed:3",
+        "--net-delay",
+        "20",
+        "--net-loss",
+        "0.01",
+        "--lease",
+        "30",
+        "--partition",
+        "100:150:asym",
+        "--seed",
+        "9",
+    ];
+    let a = hta_run(&args);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    let stdout = String::from_utf8_lossy(&a.stdout);
+    assert!(stdout.contains("--- network ---"), "{stdout}");
+    assert!(stdout.contains("control messages:"), "{stdout}");
+    assert!(stdout.contains("partitioned:"), "{stdout}");
+    let b = hta_run(&args);
+    assert_eq!(
+        stdout,
+        String::from_utf8_lossy(&b.stdout),
+        "seeded network faults must be deterministic"
+    );
+}
+
+#[test]
+fn bad_network_knob_values_fail_cleanly() {
+    for args in [
+        vec!["demo", "--net-loss", "2.0"],
+        vec!["demo", "--net-loss", "abc"],
+        vec!["demo", "--partition", "bogus"],
+        vec!["demo", "--partition", "100:20:sideways"],
+        vec!["demo", "--lease", "abc"],
+    ] {
+        let out = hta_run(&args);
+        assert!(!out.status.success(), "args {args:?} should fail");
+        assert!(!out.stderr.is_empty());
+    }
+}
+
+#[test]
 fn analyze_only_skips_the_run() {
     let out = hta_run(&["examples/workflows/md.mf", "--analyze-only"]);
     assert!(out.status.success());
