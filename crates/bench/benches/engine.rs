@@ -78,6 +78,7 @@ fn bench_estimator(c: &mut Criterion) {
                 .collect(),
             active_workers: vec![Resources::cores(3, 12_000, 50_000); 20],
             worker_unit: Resources::cores(3, 12_000, 50_000),
+            overflow: Vec::new(),
         };
         group.bench_with_input(
             BenchmarkId::new("algorithm1", format!("r{running}_w{waiting}")),

@@ -5,11 +5,13 @@
 //!      [--check-against FILE] [--tolerance PCT] [--paranoid]
 //! ```
 //!
-//! Runs the Fig. 4/10/11 perf workloads with a fixed seed, prints an
-//! events/sec table, and writes `BENCH_<label>.json` (default label
-//! `current`, default directory `benchmarks/`). With `--check-against`,
-//! exits non-zero if events/sec dropped more than `--tolerance` percent
-//! (default 20) below the given baseline report on any shared workload.
+//! Runs the Fig. 4/10/11 and streaming-trace perf workloads with a
+//! fixed seed, prints an events/sec + peak-RSS table, and writes
+//! `BENCH_<label>.json` (default label `current`, default directory
+//! `benchmarks/`). With `--check-against`, exits non-zero if events/sec
+//! dropped more than `--tolerance` percent (default 20) below the given
+//! baseline report on any shared workload, or if peak RSS grew past
+//! 1.5× the baseline (the bounded-memory gate for `blast-1M`).
 //!
 //! With `--paranoid`, skips timing entirely and instead runs each
 //! workload **twice** with the same seed, diffing a rolling digest of the
@@ -114,17 +116,18 @@ fn main() {
         report.label, report.reps
     );
     println!(
-        "  {:<24} {:>9} {:>11} {:>13} {:>12}",
-        "workload", "events", "wall (ms)", "events/sec", "makespan (s)"
+        "  {:<24} {:>9} {:>11} {:>13} {:>12} {:>10}",
+        "workload", "events", "wall (ms)", "events/sec", "makespan (s)", "peak (MB)"
     );
     for e in &report.entries {
         println!(
-            "  {:<24} {:>9} {:>11.2} {:>13.0} {:>12.1}",
+            "  {:<24} {:>9} {:>11.2} {:>13.0} {:>12.1} {:>10.0}",
             e.name,
             e.events,
             e.best_wall_s * 1e3,
             e.events_per_sec,
-            e.makespan_s
+            e.makespan_s,
+            e.peak_rss_mb
         );
     }
 

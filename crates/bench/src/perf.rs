@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::experiments::{
     fig10_driver, fig10_run_crash_recovery, fig10_run_net_partition, fig10_run_with,
-    fig10_workload, fig11_run_with, fig4_run_with, Fig4Config, PolicyKind,
+    fig10_workload, fig11_run_with, fig4_run_with, trace_run_with, Fig4Config, PolicyKind,
 };
 use hta_core::driver::{RunResult, SystemDriver};
 use hta_core::whatif::{BranchSpec, WhatIf};
@@ -45,6 +45,14 @@ pub struct PerfEntry {
     pub best_wall_s: f64,
     /// Events per wall-clock second, from the best repetition.
     pub events_per_sec: f64,
+    /// Peak resident-set size over this workload's repetitions, MB
+    /// (Linux `VmHWM`, reset per workload; 0.0 where procfs is
+    /// unavailable or in reports recorded before this field existed).
+    /// The streaming-trace workloads gate on this: `blast-1M` streams
+    /// 10⁶ tasks, so its peak must track the in-flight set, not the
+    /// trace length.
+    #[serde(default)]
+    pub peak_rss_mb: f64,
 }
 
 /// A full perf run: every workload, one machine, one build.
@@ -59,6 +67,35 @@ pub struct PerfReport {
 }
 
 type RunFn = fn(u64, Option<DigestConfig>) -> RunResult;
+
+/// Reset the kernel's peak-RSS counter (`VmHWM`) so the next
+/// [`peak_rss_mb`] reading is a per-workload peak rather than a
+/// process-lifetime high-water mark. Best-effort: a no-op where
+/// `/proc/self/clear_refs` is unavailable (non-Linux, locked-down
+/// procfs) — readings then degrade to the monotone process-wide peak.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Peak resident-set size in MB from `/proc/self/status` (`VmHWM`),
+/// or 0.0 where procfs is unavailable.
+pub fn peak_rss_mb() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0.0);
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
 
 /// The benchmarked workloads, in reporting order.
 ///
@@ -85,6 +122,12 @@ pub fn workloads(quick: bool) -> Vec<(&'static str, RunFn)> {
         ("net-partition300s", |s, d| {
             fig10_run_net_partition(PolicyKind::Hta, s, d)
         }),
+        // The streaming-admission gate: 50 k open-loop arrivals (MMPP
+        // bursts + diurnal cycle) streamed from `crates/trace` under
+        // HTA with completed-record retirement. Tracked so streaming
+        // admission stays off the hot path and peak RSS stays bounded
+        // by the in-flight set.
+        ("trace-50k", |s, d| trace_run_with("trace-50k", s, d)),
     ];
     if !quick {
         v.push(("fig11-iobound-hta", |s, d| {
@@ -93,6 +136,11 @@ pub fn workloads(quick: bool) -> Vec<(&'static str, RunFn)> {
         v.push(("fig4-blast100-fine", |s, d| {
             fig4_run_with(Fig4Config::FineGrained, s, d)
         }));
+        // The headline bounded-memory workload: one million open-loop
+        // arrivals end-to-end. Full-set only (it dominates wall time);
+        // `compare` skips it when a quick run checks against the
+        // committed baseline.
+        v.push(("blast-1M", |s, d| trace_run_with("blast-1m", s, d)));
     }
     v
 }
@@ -118,6 +166,7 @@ pub fn snapshot_microbench(reps: usize) -> PerfEntry {
     let mut best = f64::INFINITY;
     let mut events = 0u64;
     let mut elapsed = 0f64;
+    reset_peak_rss();
     for _ in 0..reps.max(1) {
         // hta-lint: allow(wall-clock): measuring host wall time is this
         // harness's purpose; the simulation itself never reads the host
@@ -151,6 +200,7 @@ pub fn snapshot_microbench(reps: usize) -> PerfEntry {
         makespan_s: elapsed,
         best_wall_s: best,
         events_per_sec: events as f64 / best,
+        peak_rss_mb: peak_rss_mb(),
     }
 }
 
@@ -161,6 +211,7 @@ pub fn run_perf(label: &str, quick: bool, reps: usize) -> PerfReport {
         let mut best = f64::INFINITY;
         let mut events = 0u64;
         let mut makespan = 0f64;
+        reset_peak_rss();
         for _ in 0..reps {
             // hta-lint: allow(wall-clock): measuring host wall time is
             // this harness's purpose; the simulation itself never reads
@@ -178,6 +229,7 @@ pub fn run_perf(label: &str, quick: bool, reps: usize) -> PerfReport {
             makespan_s: makespan,
             best_wall_s: best,
             events_per_sec: events as f64 / best,
+            peak_rss_mb: peak_rss_mb(),
         });
     }
     entries.push(snapshot_microbench(reps));
@@ -260,10 +312,17 @@ pub fn load_report(path: &Path) -> std::io::Result<PerfReport> {
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
 }
 
+/// Headroom allowed over a baseline's peak RSS before [`compare`]
+/// flags a memory regression. Deliberately loose: RSS varies with
+/// allocator and machine, but a streaming workload whose peak grows
+/// past 1.5× baseline has started materializing what it should stream.
+pub const MEM_TOLERANCE: f64 = 0.5;
+
 /// Compare a fresh report against a committed baseline.
 ///
 /// Returns regression messages (events/sec dropped below
-/// `1 - tolerance` of the baseline on a workload present in both) and
+/// `1 - tolerance` of the baseline, or peak RSS grew past
+/// `1 + MEM_TOLERANCE` of it, on a workload present in both) and
 /// warnings (simulated-work fingerprint changed — not a perf regression,
 /// but the baseline no longer measures the same work and should be
 /// re-recorded).
@@ -296,6 +355,19 @@ pub fn compare(
                 base.events_per_sec,
             ));
         }
+        // Memory gate: only meaningful when both sides have a reading
+        // (older reports and non-procfs platforms record 0.0).
+        let mem_ceiling = base.peak_rss_mb * (1.0 + MEM_TOLERANCE);
+        if base.peak_rss_mb > 0.0 && cur.peak_rss_mb > mem_ceiling {
+            regressions.push(format!(
+                "{}: peak RSS {:.0} MB > {:.0} MB ({}% above baseline {:.0} MB)",
+                base.name,
+                cur.peak_rss_mb,
+                mem_ceiling,
+                ((cur.peak_rss_mb / base.peak_rss_mb - 1.0) * 100.0).round(),
+                base.peak_rss_mb,
+            ));
+        }
     }
     (regressions, warnings)
 }
@@ -311,6 +383,7 @@ mod tests {
             makespan_s: 100.0,
             best_wall_s: events as f64 / eps,
             events_per_sec: eps,
+            peak_rss_mb: 0.0,
         }
     }
 
@@ -343,6 +416,28 @@ mod tests {
         let cur = report("ci", vec![entry("a", 100, 850.0)]);
         let (reg, warn) = compare(&cur, &base, 0.2);
         assert!(reg.is_empty() && warn.is_empty());
+    }
+
+    #[test]
+    fn compare_flags_memory_regressions() {
+        let mut b = entry("a", 100, 1000.0);
+        b.peak_rss_mb = 100.0;
+        let mut c = entry("a", 100, 1000.0);
+        c.peak_rss_mb = 200.0;
+        let (reg, warn) = compare(&report("ci", vec![c]), &report("baseline", vec![b]), 0.2);
+        assert_eq!(reg.len(), 1, "{reg:?}");
+        assert!(reg[0].contains("peak RSS"), "{reg:?}");
+        assert!(warn.is_empty());
+    }
+
+    #[test]
+    fn pre_rss_reports_deserialize_with_zero_peak() {
+        // Reports committed before `peak_rss_mb` existed must still load.
+        let json = r#"{"label":"old","reps":1,"entries":[{"name":"a",
+            "events":10,"makespan_s":1.0,"best_wall_s":0.5,
+            "events_per_sec":20.0}]}"#;
+        let back: PerfReport = serde_json::from_str(json).expect("old report loads");
+        assert_eq!(back.entries[0].peak_rss_mb, 0.0);
     }
 
     #[test]

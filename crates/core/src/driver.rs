@@ -30,6 +30,7 @@ use hta_des::{
 use hta_makeflow::Workflow;
 use hta_metrics::{FaultSummary, RunRecorder, RunSummary, Sample, TaskSpan};
 use hta_resources::Resources;
+use hta_trace::{ArrivalSource, ArrivalStats};
 use hta_workqueue::master::{Master, MasterConfig, WqEvent, WqNotification};
 use hta_workqueue::{WorkerId, WorkerState};
 use std::collections::BTreeMap;
@@ -168,6 +169,15 @@ pub struct RunResult {
     /// One report per control-plane crash survived (empty unless
     /// [`ControlPlaneFaults`] were active).
     pub recoveries: Vec<RecoveryReport>,
+    /// Open-loop arrival-stream summary (None for workflow-driven runs).
+    pub arrivals: Option<ArrivalStats>,
+    /// Tasks completed, by counter — includes records retired under
+    /// streaming admission, which never appear in `task_spans`.
+    pub completed: usize,
+    /// Order-insensitive digest over the completed task ids (see
+    /// [`Master::completed_digest`]): the completion-set identity that
+    /// crash-equivalence checks compare even when records were retired.
+    pub completed_digest: u64,
 }
 
 /// Global event type.
@@ -193,6 +203,11 @@ enum Event {
     /// The control plane comes back after its configured outage and runs
     /// the deterministic reconciliation pass.
     RestartControlPlane,
+    /// Wake-up for the open-loop arrival pump, tagged with the master
+    /// incarnation that armed it (a crash bumps the incarnation, so a
+    /// wake armed before the crash is dropped and the restart pass
+    /// re-arms its own). At most one wake is outstanding per incarnation.
+    TraceArrival(u64),
 }
 
 /// Live crash-recovery machinery, present only when
@@ -291,6 +306,10 @@ pub struct SystemDriver {
     /// Crash-recovery machinery (None unless control-plane faults are
     /// active).
     recovery: Option<RecoveryState>,
+    /// Open-loop arrival source (None for workflow-driven runs). Part of
+    /// the control-plane checkpoint: the trace cursor must restore with
+    /// the decisions made from it.
+    arrivals: Option<ArrivalSource>,
 }
 
 impl SystemDriver {
@@ -382,7 +401,27 @@ impl SystemDriver {
             started: false,
             incarnation: 0,
             recovery,
+            arrivals: None,
         }
+    }
+
+    /// Build a driver over an open-loop arrival trace instead of a
+    /// workflow: tasks enter the system when the trace says they arrive,
+    /// not when a DAG unblocks them. The master runs with streaming
+    /// admission ([`MasterConfig::retire_completed`]) so its memory
+    /// tracks *in-flight* tasks rather than the full trace length — the
+    /// invariant that makes million-task traces runnable.
+    pub fn new_traced(
+        mut cfg: DriverConfig,
+        source: ArrivalSource,
+        policy: Box<dyn ScalingPolicy>,
+    ) -> Self {
+        cfg.master.retire_completed = true;
+        let workflow =
+            Workflow::from_jobs(Vec::new(), Vec::new()).expect("empty workflow is a valid DAG");
+        let mut driver = SystemDriver::new(cfg, workflow, policy);
+        driver.arrivals = Some(source);
+        driver
     }
 
     /// Record an event-stream digest during the run (see
@@ -637,8 +676,55 @@ impl SystemDriver {
             Event::CheckpointTick => self.checkpoint_tick(now),
             Event::CrashControlPlane => self.crash_control_plane(now),
             Event::RestartControlPlane => self.restart_control_plane(now),
+            Event::TraceArrival(inc) => {
+                // A wake armed by a dead master incarnation is dropped;
+                // the restart pass armed a fresh one for the backlog.
+                if inc == self.incarnation {
+                    self.pump_arrivals(now);
+                }
+            }
         }
         self.pump(now);
+    }
+
+    /// Admit every trace arrival that is due, then arm one wake-up for
+    /// the next one. During a control-plane outage the pump stays quiet
+    /// — arrivals accumulate in the trace (clients retrying against a
+    /// dead endpoint) and the restart pass admits the backlog.
+    fn pump_arrivals(&mut self, now: SimTime) {
+        if self.control_plane_down() || self.cleanup_started {
+            return;
+        }
+        let Some(mut arrivals) = self.arrivals.take() else {
+            return;
+        };
+        while let Some(spec) = arrivals.pop_due(now) {
+            self.operator
+                .submit_trace(now, spec, &mut self.master, &mut self.wq_sink);
+        }
+        self.flush_wq();
+        self.drain_operator_wal();
+        if let Some(next) = arrivals.peek_next_time() {
+            self.queue
+                .schedule_in(next.since(now), Event::TraceArrival(self.incarnation));
+        }
+        self.arrivals = Some(arrivals);
+    }
+
+    /// True when nothing will ever need the pool again: the workflow is
+    /// resolved (vacuously true for the empty workflow of a traced run)
+    /// and, for traced runs, the trace is drained *and* every admitted
+    /// task reached a terminal state. Replaces bare
+    /// `operator.all_complete()` checks — those would declare an open-loop
+    /// run finished while arrivals were still in flight.
+    fn workload_resolved(&mut self) -> bool {
+        if !self.operator.all_complete() {
+            return false;
+        }
+        match self.arrivals.as_mut() {
+            None => true,
+            Some(a) => a.exhausted() && self.master.all_complete(),
+        }
     }
 
     /// Tear down into a [`RunResult`].
@@ -700,10 +786,14 @@ impl SystemDriver {
             .collect();
         let digest = self.digest.take().map(EventDigest::report);
         let recoveries = self.recovery.take().map(|r| r.reports).unwrap_or_default();
+        let arrivals = self.arrivals.as_ref().map(ArrivalSource::stats);
         RunResult {
             label,
             digest,
             recoveries,
+            arrivals,
+            completed: self.master.completed_count(),
+            completed_digest: self.master.completed_digest(),
             makespan_s: end,
             summary,
             init_measurements: self.tracker.measurements().to_vec(),
@@ -837,7 +927,7 @@ impl SystemDriver {
                         );
                         self.flush_wq();
                         self.drain_operator_wal();
-                        if self.operator.all_complete() && self.workload_finished_at.is_none() {
+                        if self.workload_resolved() && self.workload_finished_at.is_none() {
                             self.workload_finished_at = Some(now);
                             self.trace
                                 .push(now, "driver", "workload complete; cleanup".into());
@@ -877,7 +967,7 @@ impl SystemDriver {
                         self.drain_operator_wal();
                         // Graceful degradation can resolve the workflow
                         // with failures: the cleanup path is the same.
-                        if self.operator.all_complete() && self.workload_finished_at.is_none() {
+                        if self.workload_resolved() && self.workload_finished_at.is_none() {
                             self.workload_finished_at = Some(now);
                             self.trace.push(
                                 now,
@@ -933,6 +1023,9 @@ impl SystemDriver {
             .submit_ready(now, &mut self.master, &mut self.wq_sink);
         self.flush_wq();
         self.drain_operator_wal();
+        // Open-loop arrivals start flowing once the master can take them.
+        // Armed *after* checkpoint #0 so every admission is WAL-covered.
+        self.pump_arrivals(now);
     }
 
     /// Capture the full control plane into a fresh checkpoint and truncate
@@ -943,6 +1036,7 @@ impl SystemDriver {
             operator: self.operator.clone(),
             policy: self.policy.clone(),
             tracker: self.tracker.clone(),
+            arrivals: self.arrivals.clone(),
         };
         let rs = self
             .recovery
@@ -1036,17 +1130,21 @@ impl SystemDriver {
                 cp.taken_at(),
             )
         };
-        // 1. Restore the control plane to its checkpoint.
+        // 1. Restore the control plane to its checkpoint. The trace
+        // cursor is control-plane state too: arrivals admitted after the
+        // checkpoint rewind with it and re-admit through WAL replay.
         let ControlPlaneState {
             master,
             operator,
             policy,
             tracker,
+            arrivals,
         } = state;
         self.master = master;
         self.operator = operator;
         self.policy = policy;
         self.tracker = tracker;
+        self.arrivals = arrivals;
         // 2. The checkpoint believes in workers and in-flight transfers
         // from before the crash. Reset those beliefs: every worker is
         // unknown until re-adopted, every Staging/Running/Returning task
@@ -1081,6 +1179,27 @@ impl SystemDriver {
                         self.operator.replay_fail(task, cat);
                     }
                 }
+                WalRecord::TraceSubmit { spec } => {
+                    // Advance the restored cursor one event: the
+                    // generator re-derives this arrival from its rewound
+                    // RNG streams, so the logged spec and the cursor stay
+                    // in lockstep (checked) and no randomness is re-drawn
+                    // for arrivals the old incarnation already admitted.
+                    if let Some(a) = self.arrivals.as_mut() {
+                        let regenerated = a.replay_next().map(|(_, s)| s);
+                        debug_assert_eq!(
+                            regenerated.as_ref(),
+                            Some(&spec),
+                            "trace cursor diverged from the WAL"
+                        );
+                    }
+                    self.operator.replay_trace_submit(
+                        now,
+                        spec,
+                        &mut self.master,
+                        &mut self.wq_sink,
+                    );
+                }
             }
         }
         // Replay dispatch effects go nowhere (no workers are connected
@@ -1113,12 +1232,16 @@ impl SystemDriver {
         }
         self.flush_wq();
         // 6. Resume submissions the crash interrupted (jobs whose parents
-        // completed while the WAL was being replayed).
+        // completed while the WAL was being replayed), and re-arm the
+        // arrival pump under the new incarnation — arrivals that landed
+        // during the outage are clients retrying, admitted now as fresh
+        // (WAL-logged) decisions.
         self.operator
             .submit_ready(now, &mut self.master, &mut self.wq_sink);
         self.flush_wq();
         self.drain_operator_wal();
-        if self.operator.all_complete() && self.workload_finished_at.is_none() {
+        self.pump_arrivals(now);
+        if self.workload_resolved() && self.workload_finished_at.is_none() {
             self.workload_finished_at = Some(now);
             self.trace.push(
                 now,
@@ -1212,7 +1335,7 @@ impl SystemDriver {
         let pending = self.pending_worker_pod_count();
         let utilization = self.lagged_utilization(now);
         let live = self.live_worker_pods();
-        let workload_done = self.operator.all_complete();
+        let workload_done = self.workload_resolved();
         let init_time = if self.cfg.use_measured_init_time {
             self.tracker.latest()
         } else {
@@ -1464,9 +1587,10 @@ impl SystemDriver {
                 break;
             }
         }
-        // Refresh the incremental snapshot (a cheap no-op unless the
-        // waiting set changed since the last event) and read it borrowed.
-        self.master.refresh_queue_status();
+        // The worker/running views of the snapshot are always current;
+        // the waiting queue is summarized by the demand histogram, so
+        // the per-second sampler never walks the queue — with a deep
+        // open-loop backlog the old O(queue) walk dominated the run.
         let status = self.master.snapshot();
         let supply_cores: f64 = status
             .workers
@@ -1475,14 +1599,16 @@ impl SystemDriver {
             .sum();
         let held = self.operator.held_jobs();
         let held_count: usize = held.iter().map(|(_, c)| c).sum();
-        let waiting_cores: f64 = status
-            .waiting
+        let waiting_cores: f64 = self
+            .master
+            .waiting_demand()
             .iter()
-            .map(|w| {
-                w.declared
-                    .or_else(|| self.operator.known_resources_id(w.cat))
+            .map(|(cat, declared, n)| {
+                declared
+                    .or_else(|| self.operator.known_resources_id(*cat))
                     .unwrap_or(self.cfg.worker_request)
                     .cores_f64()
+                    * *n as f64
             })
             .sum::<f64>()
             + held
@@ -1556,6 +1682,9 @@ impl SnapshotState for SystemDriver {
         self.cluster.reseed(branch_salt(salt, 1));
         self.master.reseed(branch_salt(salt, 2));
         self.operator.reseed(branch_salt(salt, 3));
+        if let Some(a) = self.arrivals.as_mut() {
+            a.reseed(branch_salt(salt, 4));
+        }
     }
 }
 
@@ -1662,6 +1791,7 @@ mod tests {
                 peer_bandwidth_mbps: 2_000.0,
                 faults: Default::default(),
                 net: Default::default(),
+                retire_completed: false,
             },
             operator: OperatorConfig {
                 warmup: false,
@@ -1922,6 +2052,88 @@ mod tests {
             a.summary.faults.master_crashes,
             b.summary.faults.master_crashes
         );
+    }
+
+    fn traced_driver(spec: &str, seed: u64, pool: usize) -> SystemDriver {
+        let source = ArrivalSource::synth(spec, seed).expect("valid trace spec");
+        SystemDriver::new_traced(small_cfg(), source, Box::new(FixedPolicy::new(pool)))
+    }
+
+    #[test]
+    fn traced_run_completes_and_retires_every_record() {
+        let result = traced_driver("demo-1k,tasks=400,rate=4", 7, 4).run();
+        assert!(!result.timed_out, "traced run must complete");
+        let st = result.arrivals.expect("traced run reports arrival stats");
+        assert_eq!(st.submitted, 400);
+        assert_eq!(st.total_tasks, 400);
+        assert!(st.exhausted);
+        assert_eq!(result.completed, 400);
+        assert_ne!(result.completed_digest, 0);
+        // Streaming admission: every record was retired on completion, so
+        // memory tracked in-flight tasks and no spans were retained.
+        assert!(result.task_spans.is_empty());
+        // Open loop: the run outlives the last arrival.
+        assert!(result.makespan_s >= st.last_arrival_s.expect("arrivals emitted"));
+    }
+
+    #[test]
+    fn traced_digest_is_identical_across_same_seed_runs() {
+        let run = || {
+            traced_driver("demo-1k,tasks=200", 11, 4)
+                .with_digest(DigestConfig {
+                    checkpoint_every: 64,
+                    capture: None,
+                })
+                .run()
+        };
+        let a = run().digest.expect("digest recorded");
+        let b = run().digest.expect("digest recorded");
+        assert!(a.events > 0);
+        assert!(
+            a.matches(&b),
+            "same-seed traced runs must be bitwise identical"
+        );
+        assert_eq!(a.first_divergence(&b), None);
+    }
+
+    #[test]
+    fn traced_crash_recovery_completes_identical_task_set() {
+        // Crash the control plane while arrivals are still flowing: the
+        // trace cursor restores from the checkpoint, WAL replay advances
+        // it over already-admitted arrivals, and the outage backlog is
+        // admitted at restart. The completed-id digest must match the
+        // crash-free twin (records are retired, so sets are compared by
+        // digest, not spans).
+        let spec = "demo-1k,tasks=300,rate=3";
+        let crash_free = traced_driver(spec, 5, 4).run();
+        assert!(!crash_free.timed_out);
+        assert_eq!(crash_free.completed, 300);
+        let crashed = || {
+            let mut cfg = small_cfg();
+            cfg.faults.control_plane = ControlPlaneFaults {
+                crash_times: vec![Duration::from_secs(60)],
+                outage: Duration::from_secs(30),
+                checkpoint_interval: Duration::from_secs(45),
+            };
+            let source = ArrivalSource::synth(spec, 5).expect("valid trace spec");
+            SystemDriver::new_traced(cfg, source, Box::new(FixedPolicy::new(4))).run()
+        };
+        let a = crashed();
+        assert!(!a.timed_out, "recovered traced run must complete");
+        assert_eq!(a.summary.faults.master_crashes, 1);
+        assert_eq!(a.completed, 300);
+        assert_eq!(
+            a.completed_digest, crash_free.completed_digest,
+            "identical completed-task set across crash and crash-free runs"
+        );
+        let st = a.arrivals.expect("stats survive recovery");
+        assert_eq!(st.submitted, 300);
+        assert!(st.exhausted);
+        // Bitwise-per-seed reproducibility of the crashed traced run.
+        let b = crashed();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.completed_digest, b.completed_digest);
+        assert_eq!(a.makespan_s, b.makespan_s);
     }
 
     #[test]

@@ -56,6 +56,16 @@ pub struct EstimatorInput {
     pub active_workers: Vec<Resources>,
     /// Capacity of one new worker pod (node-sized, §IV-A).
     pub worker_unit: Resources,
+    /// Waiting tasks beyond the caller's simulation cap, grouped by
+    /// planned resource requirement as `(resources, count)`. The forward
+    /// simulation never dispatches them — they stand behind the visible
+    /// FIFO prefix — but they are still real demand: any non-empty
+    /// overflow suppresses the end-of-cycle idle drain, and scale-up adds
+    /// `ceil(count / tasks-per-worker)` workers per group on top of the
+    /// packed leftover (clamped to the pool quota by the policy). Empty
+    /// whenever the whole queue fit under the cap, which keeps every
+    /// closed workflow workload bit-identical.
+    pub overflow: Vec<(Resources, usize)>,
 }
 
 /// Algorithm 1's output.
@@ -65,6 +75,27 @@ pub struct ScaleDecision {
     pub delta: i64,
     /// When to run the estimator again (`timeToNextAction`).
     pub next_action: Duration,
+}
+
+/// Workers needed to hold the overflow groups, sized arithmetically
+/// (`ceil(count / tasks-per-worker)` per group — a lower bound that
+/// ignores cross-group packing, which is fine: overflow only exists when
+/// the backlog already saturates the quota). Zero-sized tasks need no
+/// capacity and oversized tasks are unsatisfiable; both contribute
+/// nothing, mirroring the first-fit packing loop.
+fn overflow_workers(overflow: &[(Resources, usize)], unit: &Resources) -> i64 {
+    let mut total: i64 = 0;
+    for (r, n) in overflow {
+        if *n == 0 || !r.fits_in(unit) {
+            continue;
+        }
+        let per = unit.divide_by(r);
+        if per == 0 || per == i64::MAX {
+            continue;
+        }
+        total = total.saturating_add((*n as i64 + per - 1) / per);
+    }
+    total
 }
 
 /// Run Algorithm 1.
@@ -161,7 +192,18 @@ pub fn estimate(input: &EstimatorInput) -> ScaleDecision {
     // nothing" per line 19 — draining there would cancel pods whose tasks
     // have not dispatched yet. (See DESIGN.md for this
     // pseudocode/behaviour discrepancy.)
+    let hidden = overflow_workers(&input.overflow, &input.worker_unit);
+
     if waiting.is_empty() {
+        // The visible prefix was absorbed, but a truncated backlog is
+        // still real demand the simulation never saw — provision for it
+        // instead of reporting balance (the policy clamps to the quota).
+        if hidden > 0 {
+            return ScaleDecision {
+                delta: hidden,
+                next_action: input.rsrc_init_time,
+            };
+        }
         let idle_workers = available.divide_by(&input.worker_unit);
         if queue_empty_now
             && idle_workers > 0
@@ -184,9 +226,10 @@ pub fn estimate(input: &EstimatorInput) -> ScaleDecision {
         };
     }
 
-    // Lines 22–24: spare whole workers at the end of the cycle → drain.
+    // Lines 22–24: spare whole workers at the end of the cycle → drain
+    // (never while truncated backlog hides behind the visible prefix).
     let idle_workers = available.divide_by(&input.worker_unit);
-    if idle_workers > 0 && idle_workers != i64::MAX {
+    if hidden == 0 && idle_workers > 0 && idle_workers != i64::MAX {
         let next = if max_running_remaining.is_zero() {
             input.default_cycle
         } else {
@@ -213,7 +256,7 @@ pub fn estimate(input: &EstimatorInput) -> ScaleDecision {
         }
     }
     ScaleDecision {
-        delta: bins.len() as i64,
+        delta: (bins.len() as i64).saturating_add(hidden),
         next_action: input.rsrc_init_time,
     }
 }
@@ -331,8 +374,15 @@ pub fn estimate_per_worker(input: &EstimatorInput) -> ScaleDecision {
     let idle_workers = (0..n)
         .filter(|&w| free[w] == input.active_workers[w])
         .count() as i64;
+    let hidden = overflow_workers(&input.overflow, &input.worker_unit);
 
     if waiting.is_empty() {
+        if hidden > 0 {
+            return ScaleDecision {
+                delta: hidden,
+                next_action: input.rsrc_init_time,
+            };
+        }
         if queue_empty_now && idle_workers > 0 {
             let next = if max_running_remaining.is_zero() {
                 input.default_cycle
@@ -349,7 +399,7 @@ pub fn estimate_per_worker(input: &EstimatorInput) -> ScaleDecision {
             next_action: input.default_cycle,
         };
     }
-    if idle_workers > 0 {
+    if hidden == 0 && idle_workers > 0 {
         let next = if max_running_remaining.is_zero() {
             input.default_cycle
         } else {
@@ -371,7 +421,7 @@ pub fn estimate_per_worker(input: &EstimatorInput) -> ScaleDecision {
         }
     }
     ScaleDecision {
-        delta: bins.len() as i64,
+        delta: (bins.len() as i64).saturating_add(hidden),
         next_action: input.rsrc_init_time,
     }
 }
@@ -396,6 +446,7 @@ mod tests {
             waiting: Vec::new(),
             active_workers: Vec::new(),
             worker_unit: worker(),
+            overflow: Vec::new(),
         }
     }
 
@@ -696,6 +747,82 @@ mod tests {
     }
 
     #[test]
+    fn overflow_converts_absorbed_queue_into_scale_up() {
+        // The visible prefix (one quick task) is absorbed within the
+        // window, but 300 truncated one-core tasks hide behind it. Without
+        // overflow this reported "no change" and the pool starved; with it
+        // the estimator asks for ceil(300/3) = 100 workers.
+        let mut input = base_input();
+        input.active_workers = vec![worker()];
+        input.waiting = vec![WaitingTask {
+            resources: one_core(),
+            exec: Duration::from_secs(10),
+        }];
+        input.overflow = vec![(one_core(), 300)];
+        let d = estimate(&input);
+        assert_eq!(d.delta, 100);
+        assert_eq!(d.next_action, input.rsrc_init_time);
+        let pw = estimate_per_worker(&input);
+        assert_eq!(pw.delta, 100, "per-worker variant agrees");
+    }
+
+    #[test]
+    fn overflow_suppresses_idle_drain() {
+        // Visible leftover cannot dispatch (memory-heavy), whole workers
+        // sit idle at cycle end — normally a drain. A truncated backlog
+        // means that idleness is an illusion of the cap: hold instead and
+        // provision for the overflow.
+        let mut input = base_input();
+        input.active_workers = vec![worker(); 4];
+        input.waiting = vec![WaitingTask {
+            resources: Resources::new(1000, 60_000, 0),
+            exec: Duration::from_secs(10),
+        }];
+        input.overflow = vec![(one_core(), 30)];
+        let d = estimate(&input);
+        assert!(
+            d.delta > 0,
+            "idle drain must not fire over a hidden backlog (got {})",
+            d.delta
+        );
+    }
+
+    #[test]
+    fn overflow_adds_to_packed_scale_up() {
+        // No workers: 9 visible one-core tasks pack into 3 workers, and
+        // 9 overflow tasks add 3 more.
+        let mut input = base_input();
+        input.waiting = vec![
+            WaitingTask {
+                resources: one_core(),
+                exec: Duration::from_secs(90)
+            };
+            9
+        ];
+        input.overflow = vec![(one_core(), 9)];
+        let d = estimate(&input);
+        assert_eq!(d.delta, 6);
+    }
+
+    #[test]
+    fn degenerate_overflow_groups_contribute_nothing() {
+        // Zero-count, oversized and zero-sized groups are all ignored —
+        // no infinite provisioning, no division by zero.
+        let mut input = base_input();
+        input.waiting = vec![WaitingTask {
+            resources: one_core(),
+            exec: Duration::from_secs(90),
+        }];
+        input.overflow = vec![
+            (one_core(), 0),
+            (Resources::cores(64, 0, 0), 10),
+            (Resources::ZERO, 10),
+        ];
+        let d = estimate(&input);
+        assert_eq!(d.delta, 1, "only the visible task provisions");
+    }
+
+    #[test]
     fn zero_worker_unit_never_provisions_or_drains() {
         // A degenerate configuration (zero-sized worker unit) must not
         // divide-by-zero or request infinite workers.
@@ -709,6 +836,7 @@ mod tests {
             }],
             active_workers: vec![Resources::cores(3, 0, 0)],
             worker_unit: Resources::ZERO,
+            overflow: Vec::new(),
         };
         let d = estimate(&input);
         assert_eq!(d.delta, 0, "nothing sane to do with a zero unit");

@@ -46,6 +46,7 @@
 //!     ],
 //!     active_workers: vec![],
 //!     worker_unit: Resources::cores(3, 12_000, 50_000),
+//!     overflow: vec![],
 //! });
 //! assert_eq!(decision.delta, 3, "9 one-core jobs pack into 3 workers");
 //! assert_eq!(decision.next_action, Duration::from_secs(157));

@@ -356,6 +356,44 @@ impl Operator {
         self.push_job(now, job, master, fx);
     }
 
+    /// Admit one open-loop trace arrival. Trace tasks have no workflow
+    /// job behind them: the DAG stays untouched and completion
+    /// acknowledgements only feed the category statistics and learning.
+    /// Categories are interned on first sight (unlike workflow stages,
+    /// trace categories are unknown at construction), and a spec with no
+    /// declared resources picks up whatever the category has learned so
+    /// far — open-loop arrivals never wait in warm-up holds.
+    pub fn submit_trace(
+        &mut self,
+        now: SimTime,
+        mut spec: TaskSpec,
+        master: &mut Master,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        let cat = self.intern_trace_category(&spec.category, master);
+        if spec.declared.is_none() {
+            spec.declared = self.known_resources_id(cat);
+        }
+        self.next_task = self.next_task.max(spec.id.raw() + 1);
+        self.submitted += 1;
+        if self.wal_recording {
+            self.wal_pending
+                .push(WalRecord::TraceSubmit { spec: spec.clone() });
+        }
+        master.submit(now, spec, fx);
+    }
+
+    fn intern_trace_category(&mut self, name: &str, master: &mut Master) -> CategoryId {
+        match self.cat_of.get(name) {
+            Some(c) => *c,
+            None => {
+                let id = master.intern_category(name);
+                self.cat_of.insert(name.to_string(), id);
+                id
+            }
+        }
+    }
+
     /// Handle a completed task: record statistics, release held jobs,
     /// unblock dependents, submit whatever is now ready.
     pub fn on_task_completed(
@@ -499,6 +537,23 @@ impl Operator {
         self.next_task = self.next_task.max(spec.id.raw() + 1);
         self.job_for_task.insert(spec.id, job);
         self.task_for_job.insert(job, spec.id);
+        self.submitted += 1;
+        master.submit(now, spec, fx);
+    }
+
+    /// Re-apply a logged trace admission. The spec is decided data — the
+    /// declared fill already happened before logging — so replay only
+    /// re-interns the category (post-checkpoint interns were lost with
+    /// the crash) and resubmits, without logging.
+    pub fn replay_trace_submit(
+        &mut self,
+        now: SimTime,
+        spec: TaskSpec,
+        master: &mut Master,
+        fx: &mut EffectSink<WqEvent>,
+    ) {
+        self.intern_trace_category(&spec.category, master);
+        self.next_task = self.next_task.max(spec.id.raw() + 1);
         self.submitted += 1;
         master.submit(now, spec, fx);
     }
@@ -670,6 +725,7 @@ mod tests {
                 peer_bandwidth_mbps: 2_000.0,
                 faults: Default::default(),
                 net: Default::default(),
+                retire_completed: false,
             },
             FileCatalog::new(),
         )
@@ -1103,6 +1159,9 @@ mod tests {
                     let c = rm.task(*task).unwrap().cat;
                     rm.recover_failed(*at, *task);
                     rop.replay_fail(*task, c);
+                }
+                WalRecord::TraceSubmit { spec } => {
+                    rop.replay_trace_submit(t, spec.clone(), &mut rm, &mut rfx)
                 }
             }
         }

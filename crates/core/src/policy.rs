@@ -139,6 +139,15 @@ pub struct HtaConfig {
     /// on a stale picture of the cluster — graceful degradation during a
     /// network partition rather than scale thrash.
     pub staleness_bound: Duration,
+    /// At most this many waiting tasks enter Algorithm 1's forward
+    /// simulation (its cost is quadratic in the input). The truncated
+    /// tail is not dropped: it is summarized into the estimator's
+    /// `overflow` groups, which suppress scale-down and size scale-up
+    /// arithmetically — so an open-loop backlog of hundreds of thousands
+    /// still saturates the decision at "scale out to the quota" while
+    /// each decision stays O(cap²). Every closed workflow workload
+    /// (queues of a few hundred) fits under the cap and is bit-exact.
+    pub estimator_queue_cap: usize,
 }
 
 impl Default for HtaConfig {
@@ -152,6 +161,7 @@ impl Default for HtaConfig {
             min_pool: 0,
             max_drain_per_cycle: usize::MAX,
             staleness_bound: Duration::from_secs(60),
+            estimator_queue_cap: 1024,
         }
     }
 }
@@ -201,6 +211,7 @@ impl HtaPolicy {
             .queue
             .waiting
             .iter()
+            .take(self.cfg.estimator_queue_cap)
             .map(|w| {
                 let est = stats.estimate(w.cat);
                 let resources = w
@@ -211,6 +222,22 @@ impl HtaPolicy {
                 WaitingTask { resources, exec }
             })
             .collect();
+        // Tasks past the cap stay out of the quadratic simulation but are
+        // still demand: group them by planned requirement so the
+        // estimator can size scale-up for them arithmetically. One linear
+        // pass over the snapshot at policy ticks only (the per-second
+        // sampler never walks the queue).
+        let mut overflow: Vec<(Resources, usize)> = Vec::new();
+        for w in ctx.queue.waiting.iter().skip(self.cfg.estimator_queue_cap) {
+            let resources = w
+                .declared
+                .or(stats.estimate(w.cat).map(|e| e.resources))
+                .unwrap_or(ctx.worker_unit);
+            match overflow.iter_mut().find(|(r, _)| *r == resources) {
+                Some((_, n)) => *n += 1,
+                None => overflow.push((resources, 1)),
+            }
+        }
         // Held jobs whose category is already measured are demand (they
         // enter the queue as soon as the release happens); jobs held for a
         // still-running probe have *unknown* size and contribute nothing —
@@ -248,6 +275,7 @@ impl HtaPolicy {
             waiting,
             active_workers,
             worker_unit: ctx.worker_unit,
+            overflow,
         }
     }
 }

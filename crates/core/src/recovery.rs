@@ -63,6 +63,14 @@ pub enum WalRecord {
         /// The acknowledgement instant.
         at: SimTime,
     },
+    /// An open-loop trace arrival was admitted. The spec embeds every
+    /// decided value exactly as drawn from the generator; replay also
+    /// advances the checkpoint-restored trace cursor one event, so the
+    /// generator never re-draws an already-admitted arrival's randomness.
+    TraceSubmit {
+        /// The exact spec handed to the master.
+        spec: TaskSpec,
+    },
 }
 
 /// Everything the driver checkpoints as "the control plane".
@@ -81,6 +89,11 @@ pub struct ControlPlaneState {
     pub policy: Box<dyn ScalingPolicy>,
     /// The init-time tracker feeding the estimator.
     pub tracker: InitTimeTracker,
+    /// The open-loop trace cursor (None for workflow-driven runs): the
+    /// generator's RNG streams, lookahead buffer and counters, captured
+    /// so WAL replay advances the exact arrival stream the crashed
+    /// control plane was consuming.
+    pub arrivals: Option<hta_trace::ArrivalSource>,
 }
 
 impl SnapshotState for ControlPlaneState {
@@ -90,6 +103,9 @@ impl SnapshotState for ControlPlaneState {
     fn reseed(&mut self, salt: u64) {
         self.master.reseed(branch_salt(salt, 2));
         self.operator.reseed(branch_salt(salt, 3));
+        if let Some(a) = self.arrivals.as_mut() {
+            a.reseed(branch_salt(salt, 4));
+        }
     }
 }
 

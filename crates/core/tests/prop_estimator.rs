@@ -38,6 +38,7 @@ fn arb_input() -> impl Strategy<Value = EstimatorInput> {
             waiting,
             active_workers,
             worker_unit: worker_unit(),
+            overflow: Vec::new(),
         }
     })
 }
@@ -96,6 +97,7 @@ proptest! {
             ],
             active_workers: vec![],
             worker_unit: worker_unit(),
+            overflow: Vec::new(),
         };
         prop_assert_eq!(estimate(&input).delta, n as i64);
     }
@@ -124,6 +126,7 @@ proptest! {
             waiting: vec![task; n_waiting],
             active_workers: vec![worker_unit(); workers],
             worker_unit: worker_unit(),
+            overflow: Vec::new(),
         };
         let base = estimate(&mk(n_workers)).delta;
         let with_extra = estimate(&mk(n_workers + 1)).delta;

@@ -69,6 +69,7 @@ fn cfg(seed: u64) -> DriverConfig {
             peer_bandwidth_mbps: 2_000.0,
             faults: Default::default(),
             net: Default::default(),
+            retire_completed: false,
         },
         operator: OperatorConfig {
             warmup: false,

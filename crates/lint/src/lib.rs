@@ -66,7 +66,7 @@ use allow::AllowDirective;
 use contracts::Facts;
 
 /// Engine version; bumping it invalidates incremental caches.
-pub const ENGINE_VERSION: &str = "3";
+pub const ENGINE_VERSION: &str = "4";
 
 /// One lint rule: id, what it flags, and how to fix it.
 #[derive(Debug, Clone, Copy)]
@@ -157,6 +157,14 @@ pub const RULES: &[Rule] = &[
                (fields silently dropped from checkpoint/restore)",
         hint: "name every field; the compiler then forces each checkpoint and restore site \
                to be updated when a field is added",
+    },
+    Rule {
+        id: "trace-unbounded-materialization",
+        what: "whole-trace materialization in the streaming trace crate \
+               (`.collect(...)`, or `with_capacity` sized by a runtime value)",
+        hint: "keep arrivals lazy — iterate the stream and hold only the in-flight \
+               lookahead window; a genuinely small bounded collection needs a \
+               justified allow stating why it cannot grow with the trace",
     },
     Rule {
         id: "invalid-allow",

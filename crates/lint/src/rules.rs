@@ -80,6 +80,11 @@ const EFFECT_SCOPE: &[&str] = &[
 /// Source root the control-channel contract governs.
 const CHANNEL_SCOPE: &str = "crates/workqueue/src/";
 
+/// Source root of the streaming trace subsystem: arrival generation
+/// must stay lazy, with memory bounded by the in-flight lookahead
+/// window — never by total trace length.
+const TRACE_SCOPE: &str = "crates/trace/src/";
+
 /// Channel-internal entry points and the only functions allowed to call
 /// each. Everything else must route through the message channel
 /// (`route_ctl`), which is where loss, delay, partitions, duplication
@@ -128,6 +133,7 @@ pub fn per_file_rules(path: &str, p: &Parser<'_>, st: &Structure) -> Vec<RawFind
     salt_flow(path, p, st, &mut out);
     effect_purity(path, p, st, &mut out);
     channel_bypass(path, p, st, &mut out);
+    trace_materialization(path, p, st, &mut out);
     out.list
 }
 
@@ -569,6 +575,64 @@ fn channel_bypass(path: &str, p: &Parser<'_>, st: &Structure, out: &mut Findings
     }
 }
 
+/// `trace-unbounded-materialization`: the trace crate's contract is
+/// O(in-flight) memory for arbitrarily long traces. Collecting the
+/// arrival stream (`.collect::<Vec<_>>()`) or pre-sizing a buffer from
+/// a runtime task count (`Vec::with_capacity(total_tasks)`) silently
+/// re-couples memory to trace length — a million-task run then
+/// materializes a million specs and the blast-1M memory gate fails.
+/// A `with_capacity` whose argument is a single numeric literal is a
+/// fixed-size buffer and stays legal; everything else needs a
+/// justified allow stating why the collection cannot grow with the
+/// trace.
+fn trace_materialization(path: &str, p: &Parser<'_>, st: &Structure, out: &mut Findings) {
+    if !path.starts_with(TRACE_SCOPE) {
+        return;
+    }
+    for i in 0..p.sig.len() {
+        let Some(t) = p.tok(i) else { break };
+        if t.kind != TokKind::Ident || st.in_test(t.start) {
+            continue;
+        }
+        let word = p.text(i);
+        // `.collect(` and the turbofish form `.collect::<Vec<_>>(`.
+        if word == "collect"
+            && i > 0
+            && p.punct(i - 1, '.')
+            && (p.punct(i + 1, '(') || p.op(i + 1, "::"))
+        {
+            out.push(
+                t.line,
+                "trace-unbounded-materialization",
+                "`.collect(...)` — materializes the stream it terminates; trace memory \
+                 must stay bounded by the in-flight window, not trace length"
+                    .into(),
+            );
+        }
+        // `with_capacity(expr)` where expr is not one numeric literal.
+        if word == "with_capacity" && p.punct(i + 1, '(') && !(i > 0 && p.ident(i - 1, "fn")) {
+            let args = call_args(p, i + 1);
+            let fixed = args.first().is_some_and(|&(a, b)| {
+                b == a + 1 && p.tok(a).is_some_and(|t| t.kind == TokKind::Num)
+            });
+            if !fixed {
+                let cap = args.first().map_or_else(String::new, |&(a, b)| {
+                    (a..b).map(|k| p.text(k)).collect::<Vec<_>>().join(" ")
+                });
+                out.push(
+                    t.line,
+                    "trace-unbounded-materialization",
+                    format!(
+                        "`with_capacity({cap})` sized by a runtime value — pre-allocating \
+                         for the whole trace re-couples memory to trace length; only a \
+                         literal fixed capacity is self-evidently bounded"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// Top-level argument spans of a call whose opening paren is at
 /// significant index `open`; each span is a half-open significant-index
 /// range.
@@ -740,6 +804,35 @@ mod tests {
     fn channel_bypass_ignores_definitions_and_tests() {
         let src = "fn deliver_ctl(m: ControlMsg) {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { m.deliver_ctl(msg); }\n}\n";
         assert!(findings("crates/workqueue/src/master.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_materialization_scoped_to_trace_crate() {
+        let src = "fn f(it: I) -> Vec<u32> { it.collect() }\n";
+        let f = findings("crates/trace/src/synth.rs", src);
+        assert_eq!(f, vec![(1, "trace-unbounded-materialization")]);
+        // The identical source outside the trace crate is clean.
+        assert!(findings("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_materialization_turbofish_and_runtime_capacity() {
+        let src = "fn f(n: usize, it: I) {\n    let v = it.collect::<Vec<_>>();\n    let b = Vec::with_capacity(n);\n    let ok = Vec::with_capacity(64);\n}\n";
+        let f = findings("crates/trace/src/lib.rs", src);
+        assert_eq!(
+            f,
+            vec![
+                (2, "trace-unbounded-materialization"),
+                (3, "trace-unbounded-materialization"),
+            ],
+            "literal capacity on line 4 stays legal"
+        );
+    }
+
+    #[test]
+    fn trace_materialization_silent_in_tests_and_definitions() {
+        let src = "fn with_capacity(n: usize) -> Buf { Buf { n } }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let v: Vec<u32> = (0..10).collect(); }\n}\n";
+        assert!(findings("crates/trace/src/lib.rs", src).is_empty());
     }
 
     #[test]

@@ -21,6 +21,7 @@ const WAL_DEFS: &str = include_str!("../fixtures/wal_defs.rs");
 const WAL_USES: &str = include_str!("../fixtures/wal_uses.rs");
 const SNAPSHOT: &str = include_str!("../fixtures/snapshot_coverage.rs");
 const STALE_ALLOW: &str = include_str!("../fixtures/stale_allow.rs");
+const TRACE_MAT: &str = include_str!("../fixtures/trace_materialization.rs");
 
 fn pairs(findings: &[Finding]) -> Vec<(usize, &'static str)> {
     findings.iter().map(|f| (f.line, f.rule)).collect()
@@ -179,6 +180,24 @@ fn channel_bypass_fixture_positive_negative_and_allow() {
 }
 
 #[test]
+fn trace_materialization_fixture_positive_negative_and_allow() {
+    let f = scan_file("crates/trace/src/fixture.rs", TRACE_MAT);
+    assert_eq!(
+        pairs(&f),
+        vec![
+            (10, "trace-unbounded-materialization"),
+            (15, "trace-unbounded-materialization"),
+            (21, "trace-unbounded-materialization"),
+        ],
+        "full findings: {f:#?}"
+    );
+    // Outside the trace source tree the rule is scoped off; its allow
+    // in `category_table` is then stale.
+    let g = scan_file("crates/core/src/fixture.rs", TRACE_MAT);
+    assert_eq!(pairs(&g), vec![(43, "stale-allow")], "{g:#?}");
+}
+
+#[test]
 fn every_rule_fires_on_some_fixture() {
     // Guard against adding a rule without extending the fixtures.
     let mut all: Vec<Finding> = Vec::new();
@@ -190,6 +209,7 @@ fn every_rule_fires_on_some_fixture() {
     all.extend(scan_file("crates/workqueue/src/fixture.rs", CHANNEL_BYPASS));
     all.extend(scan_file("crates/cluster/src/fixture.rs", SNAPSHOT));
     all.extend(scan_file("crates/des/src/fixture.rs", STALE_ALLOW));
+    all.extend(scan_file("crates/trace/src/fixture.rs", TRACE_MAT));
     let defs = analyze_file("crates/des/src/wal_defs.rs", WAL_DEFS);
     let uses = analyze_file("crates/des/src/wal_uses.rs", WAL_USES);
     all.extend(hta_lint::finalize(&[

@@ -158,6 +158,15 @@ pub struct MasterConfig {
     /// zero-fault default makes the channel a strict pass-through.
     #[serde(default)]
     pub net: NetworkFaults,
+    /// Streaming admission: drop a task's record the moment it completes,
+    /// keeping master memory proportional to *in-flight* tasks instead of
+    /// every task ever submitted. Required for open-loop trace runs
+    /// (millions of arrivals); leave off for workflow runs, whose post-run
+    /// reporting (task spans, completed-id sets) reads the retained
+    /// records. Terminal accounting survives retirement via counters and
+    /// an order-insensitive completed-id digest.
+    #[serde(default)]
+    pub retire_completed: bool,
 }
 
 impl Default for MasterConfig {
@@ -170,6 +179,7 @@ impl Default for MasterConfig {
             peer_bandwidth_mbps: 2_000.0,
             faults: TaskFaults::default(),
             net: NetworkFaults::default(),
+            retire_completed: false,
         }
     }
 }
@@ -368,6 +378,18 @@ pub struct Master {
     notifications: Vec<WqNotification>,
     completed_count: usize,
     failed_count: usize,
+    /// Streaming admission (see [`MasterConfig::retire_completed`]).
+    retire_completed: bool,
+    /// Completed task records dropped under retirement.
+    retired: usize,
+    /// Order-insensitive digest over every completed task id (wrapping
+    /// sum of a bit-mixed id). Maintained whether or not retirement is
+    /// on, so crash-equivalence checks can compare completion *sets*
+    /// even when the records themselves were retired.
+    completed_digest: u64,
+    /// Retired-completion counts per category, indexed by [`CategoryId`]
+    /// — keeps [`Master::category_summary`] exact under retirement.
+    cat_retired: Vec<usize>,
     fast_abort_multiplier: Option<f64>,
     /// Mean observed wall per category, indexed by [`CategoryId`].
     cat_wall: Vec<CatWall>,
@@ -380,6 +402,14 @@ pub struct Master {
     snap: QueueStatus,
     /// True when `snap.waiting` no longer reflects the FIFO queue.
     waiting_dirty: bool,
+    /// Histogram of the distinct (category, declared requirement) pairs
+    /// currently in `waiting` (None = undeclared/exclusive). Lets
+    /// [`Master::dispatch`] stop scanning the moment remaining headroom
+    /// fits no waiting requirement — on a saturated cluster with a deep
+    /// open-loop backlog that turns each O(queue) rescan into
+    /// O(placements made) — and gives the driver's metrics sampler an
+    /// O(distinct) waiting-cores sum instead of an O(queue) walk.
+    waiting_demand: Vec<(CategoryId, Option<Resources>, usize)>,
     /// Recycled `leftover` deque for [`Master::dispatch`].
     dispatch_scratch: VecDeque<TaskId>,
     /// Recycled input-file buffer for [`Master::dispatch`].
@@ -420,6 +450,16 @@ pub struct Master {
     wake_peer: bool,
 }
 
+/// SplitMix64 finalizer: spreads sequential task ids over the whole u64
+/// space so the wrapping-sum completion digest doesn't collapse distinct
+/// id sets with equal sums (e.g. {0,3} vs {1,2}).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl hta_des::SnapshotState for Master {
     /// Re-partition the fault/speculation and channel RNGs for a what-if
     /// branch; queue contents, workers, flows and statistics are
@@ -449,6 +489,10 @@ impl Master {
             notifications: Vec::new(),
             completed_count: 0,
             failed_count: 0,
+            retire_completed: cfg.retire_completed,
+            retired: 0,
+            completed_digest: 0,
+            cat_retired: Vec::new(),
             fast_abort_multiplier: cfg.fast_abort_multiplier,
             cat_wall: Vec::new(),
             rng: SimRng::seed_from_u64(cfg.faults.seed),
@@ -456,6 +500,7 @@ impl Master {
             fault_stats: TaskFaultStats::default(),
             snap: QueueStatus::default(),
             waiting_dirty: false,
+            waiting_demand: Vec::new(),
             dispatch_scratch: VecDeque::new(),
             input_scratch: Vec::new(),
             mwu_cache: std::cell::Cell::new(None),
@@ -506,8 +551,10 @@ impl Master {
         );
         self.mwu_cache.set(None);
         let cat = self.interner.intern(&spec.category);
+        let declared = spec.declared;
         self.tasks.insert(id, TaskRecord::new(spec, cat, now));
         self.waiting.push_back(id);
+        self.demand_inc(cat, declared);
         self.waiting_dirty = true;
         self.dispatch(now, fx);
         self.assert_invariants();
@@ -517,11 +564,17 @@ impl Master {
     /// category's measured requirement to queued jobs — §IV-A step iii).
     pub fn declare_resources(&mut self, task: TaskId, declared: Resources) {
         self.mwu_cache.set(None);
+        let mut replaced = None;
         if let Some(rec) = self.tasks.get_mut(&task) {
             if rec.state == TaskState::Waiting {
+                replaced = Some((rec.cat, rec.spec.declared));
                 rec.spec.declared = Some(declared);
                 self.waiting_dirty = true;
             }
+        }
+        if let Some((cat, old)) = replaced {
+            self.demand_dec(cat, old);
+            self.demand_inc(cat, Some(declared));
         }
     }
 
@@ -646,6 +699,7 @@ impl Master {
             rec.run_generation += 1;
             rec.interruptions += 1;
             self.waiting.push_front(*t);
+            self.demand_inc_for(*t);
             self.waiting_dirty = true;
             self.notifications.push(WqNotification::TaskRequeued(*t));
             self.refresh_task_snap(*t);
@@ -710,6 +764,7 @@ impl Master {
             rec.interruptions += 1;
             rec.dispatch_acked = false;
             self.waiting.push_front(*t);
+            self.demand_inc_for(*t);
             self.refresh_task_snap(*t);
         }
         self.waiting_dirty = true;
@@ -754,12 +809,22 @@ impl Master {
             TaskState::Waiting,
             "WAL replay runs against a reset data plane"
         );
+        let was_waiting = rec.state == TaskState::Waiting;
+        let declared = rec.spec.declared;
         rec.state = TaskState::Complete;
         rec.completed_at = Some(at);
+        let cat = rec.cat;
         self.completed_count += 1;
+        self.note_completed_id(task);
         self.waiting.retain(|t| *t != task);
+        if was_waiting {
+            self.demand_dec(cat, declared);
+        }
         self.waiting_dirty = true;
         self.refresh_task_snap(task);
+        if self.retire_completed {
+            self.retire_task(task, cat);
+        }
         self.assert_invariants();
     }
 
@@ -778,11 +843,17 @@ impl Master {
             TaskState::Waiting,
             "WAL replay runs against a reset data plane"
         );
+        let was_waiting = rec.state == TaskState::Waiting;
+        let declared = rec.spec.declared;
+        let cat = rec.cat;
         rec.state = TaskState::Failed;
         rec.completed_at = Some(at);
         self.failed_count += 1;
         self.fault_stats.permanent_failures += 1;
         self.waiting.retain(|t| *t != task);
+        if was_waiting {
+            self.demand_dec(cat, declared);
+        }
         self.waiting_dirty = true;
         self.refresh_task_snap(task);
         self.assert_invariants();
@@ -830,12 +901,13 @@ impl Master {
         let submitted = self.tasks.len();
         assert!(
             waiting + on_worker + complete + failed == submitted
-                && complete == self.completed_count
+                && complete + self.retired == self.completed_count
                 && failed == self.failed_count,
             "task conservation violated: {waiting} waiting + {on_worker} on-worker + \
-             {complete} complete + {failed} failed != {submitted} submitted \
-             (counters: completed={}, failed={})",
+             {complete} complete + {failed} failed != {submitted} retained \
+             (counters: completed={}, retired={}, failed={})",
             self.completed_count,
+            self.retired,
             self.failed_count
         );
         assert!(
@@ -850,6 +922,31 @@ impl Master {
                 "waiting queue holds {t:?} in state {state:?}"
             );
         }
+        // The demand histogram must be an exact recount of the queue —
+        // dispatch's early exit is only sound if no requirement is ever
+        // under-counted.
+        let mut expect: Vec<(CategoryId, Option<Resources>, usize)> = Vec::new();
+        for t in &self.waiting {
+            if let Some(rec) = self.tasks.get(t) {
+                match expect
+                    .iter_mut()
+                    .find(|(c, d, _)| *c == rec.cat && *d == rec.spec.declared)
+                {
+                    Some(slot) => slot.2 += 1,
+                    None => expect.push((rec.cat, rec.spec.declared, 1)),
+                }
+            }
+        }
+        assert!(
+            expect.len() == self.waiting_demand.len()
+                && expect.iter().all(|(c, d, n)| {
+                    self.waiting_demand
+                        .iter()
+                        .any(|(cc, dd, nn)| cc == c && dd == d && nn == n)
+                }),
+            "waiting-demand histogram {:?} out of sync with queue recount {expect:?}",
+            self.waiting_demand
+        );
         for w in self.workers.values() {
             let free = w.pool.available();
             assert!(
@@ -1262,6 +1359,7 @@ impl Master {
             rec.interruptions += 1;
             rec.dispatch_acked = false;
             self.waiting.push_front(*t);
+            self.demand_inc_for(*t);
             self.waiting_dirty = true;
             self.notifications.push(WqNotification::TaskRequeued(*t));
             self.refresh_task_snap(*t);
@@ -1342,6 +1440,7 @@ impl Master {
         rec.run_generation += 1;
         rec.interruptions += 1;
         self.waiting.push_front(task);
+        self.demand_inc_for(task);
         self.waiting_dirty = true;
         self.notifications
             .push(WqNotification::TaskFastAborted(task));
@@ -1558,6 +1657,7 @@ impl Master {
             }
             rec.state = TaskState::Waiting;
             self.waiting.push_front(task);
+            self.demand_inc_for(task);
             self.waiting_dirty = true;
         }
         self.refresh_task_snap(task);
@@ -1755,6 +1855,7 @@ impl Master {
         });
         let cat = rec.cat;
         self.completed_count += 1;
+        self.note_completed_id(task);
         self.notifications.push(WqNotification::TaskCompleted {
             task,
             cat,
@@ -1769,9 +1870,89 @@ impl Master {
             }
             self.refresh_worker_snap(wid);
         }
+        if self.retire_completed {
+            self.retire_task(task, cat);
+        }
+    }
+
+    /// Fold a completed task id into the order-insensitive completion
+    /// digest (wrapping sum commutes, so two runs completing the same id
+    /// *set* in different orders agree).
+    fn note_completed_id(&mut self, task: TaskId) {
+        self.completed_digest = self.completed_digest.wrapping_add(mix64(task.raw()));
+    }
+
+    /// Streaming admission: drop a completed task's record, moving it
+    /// into the retirement counters. The notification carrying the task's
+    /// measurement was already pushed, so nothing downstream needs the
+    /// record again.
+    fn retire_task(&mut self, task: TaskId, cat: CategoryId) {
+        if self.tasks.remove(&task).is_none() {
+            return;
+        }
+        self.retired += 1;
+        if self.cat_retired.len() <= cat.index() {
+            self.cat_retired.resize(cat.index() + 1, 0);
+        }
+        self.cat_retired[cat.index()] += 1;
     }
 
     /// First-fit FIFO dispatch of waiting tasks onto workers.
+    /// Count one waiting task's (category, declared requirement) into
+    /// the demand histogram. Every `waiting.push_*` site must pair with
+    /// this.
+    fn demand_inc(&mut self, cat: CategoryId, declared: Option<Resources>) {
+        match self
+            .waiting_demand
+            .iter_mut()
+            .find(|(c, d, _)| *c == cat && *d == declared)
+        {
+            Some(slot) => slot.2 += 1,
+            None => self.waiting_demand.push((cat, declared, 1)),
+        }
+    }
+
+    /// Remove one waiting task's entry from the demand histogram. Every
+    /// removal from `waiting` must pair with this.
+    fn demand_dec(&mut self, cat: CategoryId, declared: Option<Resources>) {
+        if let Some(pos) = self
+            .waiting_demand
+            .iter()
+            .position(|(c, d, _)| *c == cat && *d == declared)
+        {
+            self.waiting_demand[pos].2 -= 1;
+            if self.waiting_demand[pos].2 == 0 {
+                self.waiting_demand.remove(pos);
+            }
+        }
+    }
+
+    /// [`demand_inc`](Self::demand_inc) looked up from the task record
+    /// (for requeue sites, where the record already exists).
+    fn demand_inc_for(&mut self, task: TaskId) {
+        if let Some((cat, d)) = self.tasks.get(&task).map(|r| (r.cat, r.spec.declared)) {
+            self.demand_inc(cat, d);
+        }
+    }
+
+    /// The demand histogram: distinct (category, declared, count) triples
+    /// over the waiting queue, in first-seen order. O(distinct) summary
+    /// for consumers (metrics, autoscalers) that would otherwise walk the
+    /// whole queue.
+    pub fn waiting_demand(&self) -> &[(CategoryId, Option<Resources>, usize)] {
+        &self.waiting_demand
+    }
+
+    /// True when some requirement in the demand histogram fits the
+    /// dispatch headroom — the O(distinct categories) precondition for
+    /// the waiting-queue scan to possibly place anything.
+    fn demand_feasible(&self, max_free: &Resources, any_idle: bool) -> bool {
+        self.waiting_demand.iter().any(|(_, d, _)| match d {
+            Some(req) => req.fits_in(max_free),
+            None => any_idle,
+        })
+    }
+
     fn dispatch(&mut self, now: SimTime, fx: &mut EffectSink<WqEvent>) {
         if self.waiting.is_empty() {
             return;
@@ -1786,7 +1967,17 @@ impl Master {
         // a saturated cluster (the common long-queue case) this skips the
         // per-task worker scan entirely without changing any decision.
         let (mut max_free, mut any_idle) = self.dispatch_headroom();
-        while let Some(tid) = self.waiting.pop_front() {
+        loop {
+            // O(distinct requirements) early exit: once the headroom
+            // fits nothing still waiting, the rest of the scan cannot
+            // place anything (headroom only shrinks within one pass), so
+            // a deep backlog costs O(placements), not O(queue length).
+            if !self.demand_feasible(&max_free, any_idle) {
+                break;
+            }
+            let Some(tid) = self.waiting.pop_front() else {
+                break;
+            };
             let Some(rec) = self.tasks.get(&tid) else {
                 changed = true;
                 continue;
@@ -1796,6 +1987,7 @@ impl Master {
                 continue;
             }
             let declared = rec.spec.declared;
+            let cat = rec.cat;
             let feasible = match declared {
                 Some(req) => req.fits_in(&max_free),
                 None => any_idle,
@@ -1821,6 +2013,7 @@ impl Master {
                 continue;
             };
             changed = true;
+            self.demand_dec(cat, declared);
             {
                 let worker = self.workers.get_mut(&wid).expect("worker exists");
                 match declared {
@@ -1855,7 +2048,19 @@ impl Master {
                 fx.push(d, WqEvent::DispatchTimeout(tid, seq, 0));
             }
         }
-        std::mem::swap(&mut self.waiting, &mut leftover);
+        // Reassemble the queue as rejected-entries-then-unscanned-tail
+        // (both already in submission order, so FIFO is preserved), moving
+        // whichever side is smaller: after an early exit only the few
+        // scanned-and-rejected ids move, so dispatch costs O(scan work),
+        // not O(queue length).
+        if leftover.len() <= self.waiting.len() {
+            for t in leftover.drain(..).rev() {
+                self.waiting.push_front(t);
+            }
+        } else {
+            leftover.extend(self.waiting.drain(..));
+            std::mem::swap(&mut self.waiting, &mut leftover);
+        }
         self.dispatch_scratch = leftover;
         if changed {
             self.waiting_dirty = true;
@@ -2103,9 +2308,28 @@ impl Master {
     }
 
     /// True when every submitted task has reached a terminal state
-    /// (completed, or permanently failed under fault injection).
+    /// (completed, or permanently failed under fault injection). Under
+    /// streaming admission completed records are retired, so the retired
+    /// counter stands in for the emptied map.
     pub fn all_complete(&self) -> bool {
-        self.waiting.is_empty() && self.running_count() == 0 && !self.tasks.is_empty()
+        self.waiting.is_empty()
+            && self.running_count() == 0
+            && (!self.tasks.is_empty() || self.retired > 0)
+    }
+
+    /// Completed task records dropped under streaming admission
+    /// ([`MasterConfig::retire_completed`]); always 0 otherwise.
+    pub fn retired_count(&self) -> usize {
+        self.retired
+    }
+
+    /// Order-insensitive digest over every completed task id. Two runs
+    /// completing the same id *set* agree regardless of completion order
+    /// or retirement — the trace crash-equivalence checks compare this
+    /// where [`Master::completed_task_ids`] would only see retained
+    /// records.
+    pub fn completed_digest(&self) -> u64 {
+        self.completed_digest
     }
 
     /// A task record.
@@ -2257,6 +2481,9 @@ impl Master {
     pub fn category_summary(&self) -> BTreeMap<String, CategorySummary> {
         let mut counts: Vec<CategorySummary> =
             vec![CategorySummary::default(); self.interner.len()];
+        for (idx, n) in self.cat_retired.iter().enumerate() {
+            counts[idx].completed += *n;
+        }
         for rec in self.tasks.values() {
             let entry = &mut counts[rec.cat.index()];
             match rec.state {
@@ -2433,6 +2660,45 @@ mod tests {
                 .as_secs_f64();
             assert!(done < 70.0, "task {i} at {done}");
         }
+    }
+
+    #[test]
+    fn retirement_drops_records_but_keeps_accounting() {
+        let decl = Some(Resources::cores(1, 2_000, 2_000));
+        let mut masters: Vec<Master> = [false, true]
+            .into_iter()
+            .map(|retire| {
+                let (cat, db) = catalog_with_db();
+                let cfg = MasterConfig {
+                    retire_completed: retire,
+                    ..link_cfg()
+                };
+                let mut m = Master::new(cfg, cat);
+                let mut q = EventQueue::new();
+                let mut fx = EffectSink::new();
+                let _w =
+                    m.worker_connect(SimTime::ZERO, Resources::cores(4, 16_000, 50_000), &mut fx);
+                run(&mut m, &mut q, &mut fx, 10);
+                for i in 0..4 {
+                    m.submit(SimTime::ZERO, cpu_task(i, db, decl), &mut fx);
+                }
+                run(&mut m, &mut q, &mut fx, 400);
+                assert!(m.all_complete());
+                m
+            })
+            .collect();
+        let retiring = masters.pop().expect("two masters");
+        let plain = masters.pop().expect("two masters");
+        // Records are gone, counters and the per-category summary are not.
+        assert_eq!(retiring.retired_count(), 4);
+        assert_eq!(retiring.completed_count(), 4);
+        assert!(retiring.task(TaskId(0)).is_none());
+        assert!(retiring.completed_task_ids().is_empty());
+        assert_eq!(plain.retired_count(), 0);
+        assert_eq!(plain.completed_task_ids().len(), 4);
+        // Same completion set ⇒ same order-insensitive digest.
+        assert_eq!(retiring.completed_digest(), plain.completed_digest());
+        assert_eq!(retiring.category_summary(), plain.category_summary());
     }
 
     #[test]

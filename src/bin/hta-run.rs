@@ -2,8 +2,15 @@
 //!
 //! ```text
 //! hta-run <workflow.mf | demo> [options]
+//! hta-run --trace <synth:preset[,knobs] | azure:file.csv> [options]
 //!
 //! options:
+//!   --trace <spec>         drive the run from an open-loop arrival
+//!                          trace instead of a workflow DAG:
+//!                            synth:<preset>[,tasks=N][,rate=R][,amp=A]
+//!                              presets: demo-1k, trace-50k, blast-1m
+//!                            azure:<file.csv>
+//!                              per-minute invocation-count CSV
 //!   --policy <hta | hpa:<target%> | fixed:<n> | oracle | tracking | mpc>
 //!                          autoscaler driving the worker pool  [hta]
 //!                          (mpc forks what-if branches of the live
@@ -38,7 +45,7 @@
 //!   --json <path>          write the run summary as JSON
 //!   --chart                print supply/demand ASCII chart
 //!   --gantt                print a per-task Gantt timeline
-//!   --trace                print the scaling-decision trace tail
+//!   --trace-log            print the scaling-decision trace tail
 //!   --analyze-only         print DAG structure + plan bounds, don't run
 //! ```
 //!
@@ -95,7 +102,8 @@ result: out.0 out.1 out.2 out.3
 "#;
 
 struct Options {
-    workflow: String,
+    workflow: Option<String>,
+    trace_source: Option<String>,
     policy: String,
     max_workers: usize,
     min_nodes: usize,
@@ -121,25 +129,27 @@ struct Options {
     json: Option<String>,
     chart: bool,
     gantt: bool,
-    trace: bool,
+    trace_log: bool,
     analyze_only: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: hta-run <workflow.mf | demo> [--policy hta|hpa:<target%>|fixed:<n>|oracle|tracking|mpc] \
+    "usage: hta-run <workflow.mf | demo> [options]\n\
+            hta-run --trace <synth:preset[,knobs] | azure:file.csv> [options]\n\
+     options: [--policy hta|hpa:<target%>|fixed:<n>|oracle|tracking|mpc] \
      [--max-workers N] [--nodes MIN:MAX] [--worker-cores N] [--initial N] [--seed N] \
      [--fail-at s,s,...] [--fail-node s,s,...] [--crash-master s,s,...] [--crash-outage S] \
      [--checkpoint-interval S] [--task-fail-rate P] [--oom-rate P] \
      [--pull-fail-rate P] [--net-delay MS] [--net-loss P] [--partition START:DUR[:asym]] \
      [--lease S] [--preempt-mean S] [--max-retries N] [--straggler-factor F] \
-     [--csv path] [--json path] [--chart] [--gantt] [--trace] [--analyze-only]"
+     [--csv path] [--json path] [--chart] [--gantt] [--trace-log] [--analyze-only]"
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut args: VecDeque<String> = std::env::args().skip(1).collect();
-    let workflow = args.pop_front().ok_or_else(|| usage().to_string())?;
     let mut opt = Options {
-        workflow,
+        workflow: None,
+        trace_source: None,
         policy: "hta".into(),
         max_workers: 20,
         min_nodes: 3,
@@ -165,7 +175,7 @@ fn parse_args() -> Result<Options, String> {
         json: None,
         chart: false,
         gantt: false,
-        trace: false,
+        trace_log: false,
         analyze_only: false,
     };
     let need = |args: &mut VecDeque<String>, flag: &str| {
@@ -174,6 +184,15 @@ fn parse_args() -> Result<Options, String> {
     };
     while let Some(a) = args.pop_front() {
         match a.as_str() {
+            "--trace" => {
+                let spec = need(&mut args, "--trace")?;
+                if !spec.starts_with("synth:") && !spec.starts_with("azure:") {
+                    return Err(format!(
+                        "--trace: expected synth:<preset>[,knobs] or azure:<file.csv>, got {spec:?}"
+                    ));
+                }
+                opt.trace_source = Some(spec);
+            }
             "--policy" => opt.policy = need(&mut args, "--policy")?,
             "--max-workers" => {
                 opt.max_workers = need(&mut args, "--max-workers")?
@@ -315,17 +334,34 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opt.json = Some(need(&mut args, "--json")?),
             "--chart" => opt.chart = true,
             "--gantt" => opt.gantt = true,
-            "--trace" => opt.trace = true,
+            "--trace-log" => opt.trace_log = true,
             "--analyze-only" => opt.analyze_only = true,
+            other if !other.starts_with('-') && opt.workflow.is_none() => {
+                opt.workflow = Some(other.to_string())
+            }
+            other if !other.starts_with('-') => {
+                return Err(format!(
+                    "unexpected second workflow argument {other:?}\n{}",
+                    usage()
+                ))
+            }
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    Ok(opt)
+    match (&opt.workflow, &opt.trace_source) {
+        (None, None) => Err(format!("need a workflow file or --trace\n{}", usage())),
+        (Some(w), Some(_)) => Err(format!(
+            "a workflow ({w:?}) and --trace are mutually exclusive — \
+             an open-loop trace defines its own arrivals\n{}",
+            usage()
+        )),
+        _ => Ok(opt),
+    }
 }
 
 fn build_policy(
     spec: &str,
-    workflow: &makeflow::Workflow,
+    workflow: Option<&makeflow::Workflow>,
     min: usize,
     max: usize,
 ) -> Result<(Box<dyn ScalingPolicy>, bool), String> {
@@ -334,6 +370,10 @@ fn build_policy(
         return Ok((Box::new(HtaPolicy::new(HtaConfig::default())), true));
     }
     if spec == "oracle" {
+        let workflow = workflow.ok_or(
+            "--policy oracle plans from the workflow DAG; \
+             an open-loop --trace has none",
+        )?;
         return Ok((Box::new(OraclePolicy::from_workflow(workflow)), false));
     }
     if spec == "mpc" {
@@ -368,58 +408,97 @@ fn main() -> ExitCode {
         }
     };
 
-    let text = if opt.workflow == "demo" {
-        DEMO.to_string()
-    } else {
-        match std::fs::read_to_string(&opt.workflow) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot read {}: {e}", opt.workflow);
-                return ExitCode::FAILURE;
+    // Workflow mode parses a DAG; trace mode builds an open-loop arrival
+    // source. Exactly one is present (enforced by parse_args).
+    let workflow = match &opt.workflow {
+        Some(name) => {
+            let text = if name == "demo" {
+                DEMO.to_string()
+            } else {
+                match std::fs::read_to_string(name) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {name}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            match makeflow::parse(&text) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("parse error: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
+        None => None,
     };
-    let workflow = match makeflow::parse(&text) {
-        Ok(w) => w,
-        Err(e) => {
-            eprintln!("parse error: {e}");
-            return ExitCode::FAILURE;
+    let arrivals = match &opt.trace_source {
+        Some(spec) => {
+            let source = if let Some(synth) = spec.strip_prefix("synth:") {
+                hta::trace::ArrivalSource::synth(synth, opt.seed)
+            } else if let Some(path) = spec.strip_prefix("azure:") {
+                // The trace crate stays I/O-free: the CLI owns the read.
+                match std::fs::read_to_string(path) {
+                    Ok(text) => hta::trace::ArrivalSource::azure_csv(spec.clone(), &text, opt.seed),
+                    Err(e) => Err(format!("cannot read {path}: {e}")),
+                }
+            } else {
+                unreachable!("parse_args validated the prefix")
+            };
+            match source {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("--trace: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
+        None => None,
     };
-    let analysis = makeflow::analyze(&workflow);
-    println!(
-        "workflow: {} jobs, categories {:?}",
-        workflow.len(),
-        workflow.dag.categories()
-    );
-    println!(
-        "structure: depth {}, peak width {}, critical path {:.0} s, avg parallelism {:.1}",
-        analysis.depth,
-        analysis.max_width,
-        analysis.critical_path.as_secs_f64(),
-        analysis.average_parallelism()
-    );
 
-    if opt.analyze_only {
-        println!("\nper-level widths: {:?}", analysis.level_widths);
-        println!("category counts:  {:?}", analysis.category_counts);
-        for slots in [3usize, 15, 30, 60] {
-            println!(
-                "makespan lower bound @ {slots:>3} slots: {:>8.0} s",
-                analysis.makespan_lower_bound(slots).as_secs_f64()
-            );
+    if let Some(workflow) = &workflow {
+        let analysis = makeflow::analyze(workflow);
+        println!(
+            "workflow: {} jobs, categories {:?}",
+            workflow.len(),
+            workflow.dag.categories()
+        );
+        println!(
+            "structure: depth {}, peak width {}, critical path {:.0} s, avg parallelism {:.1}",
+            analysis.depth,
+            analysis.max_width,
+            analysis.critical_path.as_secs_f64(),
+            analysis.average_parallelism()
+        );
+
+        if opt.analyze_only {
+            println!("\nper-level widths: {:?}", analysis.level_widths);
+            println!("category counts:  {:?}", analysis.category_counts);
+            for slots in [3usize, 15, 30, 60] {
+                println!(
+                    "makespan lower bound @ {slots:>3} slots: {:>8.0} s",
+                    analysis.makespan_lower_bound(slots).as_secs_f64()
+                );
+            }
+            return ExitCode::SUCCESS;
         }
-        return ExitCode::SUCCESS;
+    } else if opt.analyze_only {
+        eprintln!("--analyze-only inspects a workflow DAG; --trace has none");
+        return ExitCode::FAILURE;
+    } else if let Some(source) = &arrivals {
+        let stats = source.stats();
+        println!("trace: {} ({} tasks)", stats.label, stats.total_tasks);
     }
 
-    let (policy, is_hta) = match build_policy(&opt.policy, &workflow, opt.initial, opt.max_workers)
-    {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let (policy, is_hta) =
+        match build_policy(&opt.policy, workflow.as_ref(), opt.initial, opt.max_workers) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
 
     let cfg = DriverConfig {
         cluster: ClusterConfig {
@@ -458,8 +537,10 @@ fn main() -> ExitCode {
             ..FaultPlan::default()
         },
         operator: OperatorConfig {
-            warmup: is_hta,
-            trust_declared: !is_hta,
+            // Open-loop traces have no workflow jobs to warm-up probe;
+            // categories are learned from the stream itself.
+            warmup: is_hta && arrivals.is_none(),
+            trust_declared: !is_hta || arrivals.is_some(),
             learn: true,
             seed: opt.seed,
         },
@@ -471,12 +552,16 @@ fn main() -> ExitCode {
             .iter()
             .map(|s| Duration::from_secs(*s))
             .collect(),
-        trace_capacity: if opt.trace { 2048 } else { 0 },
+        trace_capacity: if opt.trace_log { 2048 } else { 0 },
         ..DriverConfig::default()
     };
     let label = policy.name();
     println!("policy: {label}\n");
-    let result = SystemDriver::new(cfg, workflow, policy).run();
+    let result = match (workflow, arrivals) {
+        (Some(workflow), None) => SystemDriver::new(cfg, workflow, policy).run(),
+        (None, Some(source)) => SystemDriver::new_traced(cfg, source, policy).run(),
+        _ => unreachable!("parse_args enforces exactly one input"),
+    };
 
     println!("makespan:             {:>10.0} s", result.makespan_s);
     println!(
@@ -499,6 +584,30 @@ fn main() -> ExitCode {
     println!("interrupted tasks:    {:>10}", result.interrupted_tasks);
     println!("node failures:        {:>10}", result.failures_injected);
     println!("simulation events:    {:>10}", result.events);
+    if let Some(a) = &result.arrivals {
+        println!("--- trace ---");
+        println!("source:               {:>10}", a.label);
+        println!(
+            "arrivals:             {:>10} of {} ({})",
+            a.submitted,
+            a.total_tasks,
+            if a.exhausted {
+                "exhausted"
+            } else {
+                "cut off early"
+            }
+        );
+        if let (Some(first), Some(last)) = (a.first_arrival_s, a.last_arrival_s) {
+            println!(
+                "arrival span:         {:>10.0} s ({first:.1} → {last:.1})",
+                last - first
+            );
+        }
+        println!(
+            "tasks completed:      {:>10} (digest {:#018x})",
+            result.completed, result.completed_digest
+        );
+    }
     let f = &result.summary.faults;
     if !f.is_clean() || result.jobs_failed > 0 {
         println!("--- failures & retries ---");
@@ -582,9 +691,9 @@ fn main() -> ExitCode {
         chart.add('u', result.recorder.in_use.clone());
         println!("\n{}", chart.render());
     }
-    if opt.trace {
+    if opt.trace_log {
         println!(
-            "\n--- trace (most recent {} entries) ---",
+            "\n--- decision log (most recent {} entries) ---",
             result.trace.len()
         );
         print!("{}", result.trace.render());

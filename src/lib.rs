@@ -42,7 +42,8 @@
 //! * [`makeflow`] — the DAG workflow manager,
 //! * [`core`] — HTA itself: estimator, operator, policies, driver,
 //! * [`forecast`] — snapshot/fork what-if branches and the MPC policy,
-//! * [`workloads`] — BLAST-like and I/O-bound workload generators.
+//! * [`workloads`] — BLAST-like and I/O-bound workload generators,
+//! * [`trace`] — streaming open-loop arrival traces (synthetic + Azure).
 
 pub use hta_cluster as cluster;
 pub use hta_core as core;
@@ -51,6 +52,7 @@ pub use hta_forecast as forecast;
 pub use hta_makeflow as makeflow;
 pub use hta_metrics as metrics;
 pub use hta_resources as resources;
+pub use hta_trace as trace;
 pub use hta_workloads as workloads;
 pub use hta_workqueue as workqueue;
 

@@ -237,6 +237,123 @@ fn bad_network_knob_values_fail_cleanly() {
 }
 
 #[test]
+fn synth_trace_runs_open_loop() {
+    let out = hta_run(&["--trace", "synth:demo-1k", "--max-workers", "30"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("trace: synth:demo-1k (1000 tasks)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("--- trace ---"), "{stdout}");
+    assert!(
+        stdout.contains("arrivals:                   1000 of 1000 (exhausted)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("tasks completed:            1000"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn synth_trace_knobs_override_the_preset() {
+    let out = hta_run(&["--trace", "synth:demo-1k,tasks=200", "--policy", "fixed:6"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(200 tasks)"), "{stdout}");
+    assert!(
+        stdout.contains("tasks completed:             200"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn same_seed_trace_runs_are_identical() {
+    let args = ["--trace", "synth:demo-1k", "--seed", "77"];
+    let a = hta_run(&args);
+    let b = hta_run(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout),
+        "seeded trace generation must be deterministic (digest line included)"
+    );
+}
+
+#[test]
+fn azure_trace_file_runs() {
+    let out = hta_run(&["--trace", "azure:examples/traces/azure-demo.csv"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("trace: azure:examples/traces/azure-demo.csv"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("(exhausted)"), "{stdout}");
+}
+
+#[test]
+fn trace_composes_with_fault_injection() {
+    let out = hta_run(&[
+        "--trace",
+        "synth:demo-1k,tasks=300",
+        "--task-fail-rate",
+        "0.2",
+        "--net-loss",
+        "0.01",
+        "--seed",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--- trace ---"), "{stdout}");
+    assert!(stdout.contains("task retries:"), "{stdout}");
+}
+
+#[test]
+fn bad_trace_specs_fail_cleanly() {
+    for args in [
+        vec!["--trace", "synth:nonsense"],
+        vec!["--trace", "bogus:x"],
+        vec!["--trace", "synth:demo-1k,tasks=abc"],
+        vec!["--trace", "azure:/definitely/not/a/file.csv"],
+        vec!["demo", "--trace", "synth:demo-1k"], // mutually exclusive
+        vec!["--trace", "synth:demo-1k", "--policy", "oracle"],
+        vec!["--trace", "synth:demo-1k", "--analyze-only"],
+        vec![], // neither workflow nor trace
+    ] {
+        let out = hta_run(&args);
+        assert!(!out.status.success(), "args {args:?} should fail");
+        assert!(!out.stderr.is_empty(), "args {args:?} should explain");
+    }
+}
+
+#[test]
+fn trace_log_flag_prints_decision_tail() {
+    let out = hta_run(&["demo", "--trace-log"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--- decision log"), "{stdout}");
+}
+
+#[test]
 fn analyze_only_skips_the_run() {
     let out = hta_run(&["examples/workflows/md.mf", "--analyze-only"]);
     assert!(out.status.success());
